@@ -1,0 +1,77 @@
+// Shared configuration for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table/figure/claim from the paper
+// (see DESIGN.md section 4): it prints the paper-style rows computed from
+// our implementation, and registers google-benchmark microbenchmarks for
+// the underlying hot operations.
+
+#ifndef VAFS_BENCH_BENCH_SUPPORT_H_
+#define VAFS_BENCH_BENCH_SUPPORT_H_
+
+#include <cstdio>
+
+#include "src/core/continuity.h"
+#include "src/core/profiles.h"
+#include "src/disk/disk_model.h"
+#include "src/media/media.h"
+#include "src/vafs/file_system.h"
+
+namespace vafs {
+
+// The paper's testbed-era disk (PC-AT class, late 1980s): ~100 MB,
+// 3600 RPM, 4-35 ms seeks, ~8.6 Mbit/s media rate.
+inline DiskParameters TestbedDisk() { return DiskParameters(); }
+
+// A projected "future fast disk" (the paper's Section 3 discussion):
+// higher RPM and density, ~10 ms worst-case positioning.
+inline DiskParameters FutureDisk() {
+  DiskParameters params;
+  params.cylinders = 2000;
+  params.surfaces = 16;
+  params.sectors_per_track = 128;
+  params.bytes_per_sector = 512;
+  params.rpm = 7200.0;
+  params.min_seek_ms = 1.0;
+  params.max_seek_ms = 8.0;
+  return params;
+}
+
+// Display devices for the testbed media.
+inline DeviceProfile UvcDisplay() {
+  // The UVC board decodes in real time with a little headroom; 8 frame
+  // buffers on the card.
+  return DeviceProfile{UvcCompressedVideo().BitRate() * 3.0, 8};
+}
+
+inline DeviceProfile AudioDisplay() {
+  return DeviceProfile{TelephoneAudio().BitRate() * 16.0, 16'384};
+}
+
+inline FileSystemConfig TestbedConfig() {
+  FileSystemConfig config;
+  config.disk = TestbedDisk();
+  config.video_device = UvcDisplay();
+  config.audio_device = AudioDisplay();
+  config.architecture = RetrievalArchitecture::kPipelined;
+  return config;
+}
+
+inline void PrintHeader(const char* artifact, const char* title) {
+  std::printf("\n=== %s: %s ===\n", artifact, title);
+}
+
+inline void PrintOperatingPoint(const DiskParameters& disk) {
+  const DiskModel model(disk);
+  const StorageTimings timings = StorageTimings::FromDiskModel(model);
+  std::printf("disk: %lld cyl x %lld surf x %lld sect (%.1f MB), %.0f rpm\n",
+              static_cast<long long>(disk.cylinders), static_cast<long long>(disk.surfaces),
+              static_cast<long long>(disk.sectors_per_track),
+              static_cast<double>(disk.CapacityBytes()) / 1e6, disk.rpm);
+  std::printf("R_dt = %.2f Mbit/s, l_seek_max = %.1f ms, avg latency = %.1f ms\n",
+              timings.transfer_rate_bits_per_sec / 1e6, timings.max_access_gap_sec * 1e3,
+              timings.avg_rotational_latency_sec * 1e3);
+}
+
+}  // namespace vafs
+
+#endif  // VAFS_BENCH_BENCH_SUPPORT_H_

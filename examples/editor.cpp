@@ -1,0 +1,126 @@
+// A scripted multimedia editing session — the programmatic analogue of the
+// paper's Figure 12 window-based editor.
+//
+// Records raw footage and a narration take, then builds a news segment
+// with the Section 4.1 operations: SUBSTRING to cut takes, CONCATE to
+// join them, INSERT to splice a clip, REPLACE to dub the narration over a
+// scene, DELETE to drop a flubbed take, triggers to synchronize slide
+// text, scattering repair to keep the edited rope playable, and garbage
+// collection to reclaim the footage nothing references anymore.
+
+#include <cstdio>
+
+#include "src/media/media.h"
+#include "src/media/sources.h"
+#include "src/vafs/file_system.h"
+
+namespace {
+
+void PrintRope(vafs::MultimediaFileSystem& fs, const char* name, vafs::RopeId id) {
+  const vafs::Rope* rope = *fs.rope_server().Find(id);
+  std::printf("%-12s %5.1f s, %zu video intervals, %zu triggers\n", name, rope->LengthSec(),
+              rope->video().segments.size(), rope->triggers().size());
+  for (const vafs::SyncInterval& interval : rope->SynchronizationInfo()) {
+    std::printf("    [%5.1fs +%5.1fs] video=%llu@%lld audio=%llu@%lld\n", interval.start_sec,
+                interval.length_sec, static_cast<unsigned long long>(interval.video_strand),
+                static_cast<long long>(interval.video_block),
+                static_cast<unsigned long long>(interval.audio_strand),
+                static_cast<long long>(interval.audio_block));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace vafs;
+  FileSystemConfig config;
+  config.video_device = DeviceProfile{UvcCompressedVideo().BitRate() * 3.0, 8};
+  config.audio_device = DeviceProfile{TelephoneAudio().BitRate() * 16.0, 16'384};
+  MultimediaFileSystem fs(config);
+  RopeServer& server = fs.rope_server();
+
+  std::printf("vaFS editor session (Figure 12 analogue)\n\n");
+
+  // Two AV takes and a narration-only take.
+  auto record = [&](uint64_t seed, double seconds, bool with_audio) {
+    VideoSource camera(UvcCompressedVideo(), seed);
+    AudioSource microphone(TelephoneAudio(), SpeechProfile{}, seed);
+    return *fs.Record("editor", &camera, with_audio ? &microphone : nullptr, seconds);
+  };
+  const RopeId take1 = record(1, 12.0, true).rope;
+  const RopeId take2 = record(2, 8.0, true).rope;
+  VideoSource unused_camera(UvcCompressedVideo(), 3);
+  AudioSource narration_mic(TelephoneAudio(), SpeechProfile{}, 3);
+  const RopeId narration = (*fs.Record("editor", nullptr, &narration_mic, 6.0)).rope;
+
+  PrintRope(fs, "take1", take1);
+  PrintRope(fs, "take2", take2);
+  PrintRope(fs, "narration", narration);
+
+  // Cut the best 6 seconds of take1.
+  std::printf("\nSUBSTRING[take1, 2s..8s] -> scene1\n");
+  const RopeId scene1 =
+      *server.Substring("editor", take1, MediaSelector::kAudioVisual, TimeInterval{2.0, 6.0});
+  PrintRope(fs, "scene1", scene1);
+
+  // Join with the first 5 seconds of take2.
+  std::printf("\nSUBSTRING[take2, 0s..5s] -> scene2; CONCATE[scene1, scene2] -> story\n");
+  const RopeId scene2 =
+      *server.Substring("editor", take2, MediaSelector::kAudioVisual, TimeInterval{0.0, 5.0});
+  const RopeId story = *server.Concat("editor", scene1, scene2);
+  PrintRope(fs, "story", story);
+
+  // Splice 3 seconds of take2's ending into the middle of the story.
+  std::printf("\nINSERT[story @4s, take2[5s..8s]]\n");
+  (void)server.Insert("editor", story, 4.0, MediaSelector::kAudioVisual, take2,
+                      TimeInterval{5.0, 3.0});
+  PrintRope(fs, "story", story);
+
+  // Dub the narration over the first 4 seconds (audio only), the paper's
+  // Rope4/Rope5 REPLACE pattern.
+  std::printf("\nREPLACE[story audio 0s..4s <- narration 0s..4s]\n");
+  (void)server.Replace("editor", story, MediaSelector::kAudio, TimeInterval{0.0, 4.0},
+                       narration, TimeInterval{0.0, 4.0});
+  PrintRope(fs, "story", story);
+
+  // Drop a flubbed second.
+  std::printf("\nDELETE[story, 9s..10s]\n");
+  (void)server.Delete("editor", story, MediaSelector::kAudioVisual, TimeInterval{9.0, 1.0});
+  PrintRope(fs, "story", story);
+
+  // Slide titles as trigger info.
+  (void)server.AddTrigger("editor", story, Trigger{0.0, "Top story"});
+  (void)server.AddTrigger("editor", story, Trigger{6.5, "Eyewitness report"});
+
+  // Repair edit seams so the story plays continuously.
+  std::printf("\nscattering repair:\n");
+  for (Medium medium : {Medium::kVideo, Medium::kAudio}) {
+    Result<RopeServer::RopeRepairStats> stats = server.RepairRope(story, medium);
+    std::printf("  %s: %lld seams, %lld repaired, %lld blocks copied\n", MediumName(medium),
+                static_cast<long long>(stats->seams_checked),
+                static_cast<long long>(stats->seams_repaired),
+                static_cast<long long>(stats->blocks_copied));
+  }
+
+  // Play the finished story.
+  Result<RequestId> request =
+      fs.Play("editor", story, Medium::kVideo,
+              TimeInterval{0.0, (*server.Find(story))->video().DurationSec()});
+  fs.RunUntilIdle();
+  const RequestStats stats = *fs.Stats(*request);
+  std::printf("\nplayback of the edited story: %lld blocks, %lld violations\n",
+              static_cast<long long>(stats.blocks_done),
+              static_cast<long long>(stats.continuity_violations));
+
+  // The editor discards the scratch ropes; unreferenced footage is
+  // collected via interests.
+  (void)server.DeleteRope("editor", scene1);
+  (void)server.DeleteRope("editor", scene2);
+  (void)server.DeleteRope("editor", take1);
+  const int64_t before = fs.storage_manager().strand_count();
+  const int64_t collected = server.CollectGarbage();
+  std::printf("\nGC: %lld strands on disk, %lld collected "
+              "(story still references shared footage)\n",
+              static_cast<long long>(before), static_cast<long long>(collected));
+  return stats.continuity_violations == 0 ? 0 : 1;
+}

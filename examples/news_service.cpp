@@ -1,0 +1,84 @@
+// A news-distribution service (one of the paper's motivating
+// applications): a library of stories is recorded once, then many viewers
+// stream concurrently. Admission control decides how many viewers the
+// disk can serve without glitching anyone, raising the round size k step
+// by step as viewers join; the overflow viewer is rejected outright.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/media/media.h"
+#include "src/media/sources.h"
+#include "src/vafs/file_system.h"
+
+int main() {
+  using namespace vafs;
+
+  // A "future" higher-bandwidth disk so the service can host a crowd.
+  FileSystemConfig config;
+  config.disk.cylinders = 2000;
+  config.disk.surfaces = 16;
+  config.disk.sectors_per_track = 128;
+  config.disk.rpm = 7200.0;
+  config.disk.min_seek_ms = 1.0;
+  config.disk.max_seek_ms = 8.0;
+  config.video_device = DeviceProfile{UvcCompressedVideo().BitRate() * 3.0, 8};
+  config.retain_data = false;  // service-scale run: timing only
+  MultimediaFileSystem fs(config);
+
+  std::printf("vaFS news service\n");
+  std::printf("disk: %.1f GB, R_dt = %.1f Mbit/s; story bit rate %.2f Mbit/s\n\n",
+              static_cast<double>(config.disk.CapacityBytes()) / 1e9,
+              fs.disk().model().TransferRateBitsPerSec() / 1e6,
+              UvcCompressedVideo().BitRate() / 1e6);
+
+  // Publish a library of stories.
+  const char* headlines[] = {"Election results", "Harbor fire contained", "Sports roundup",
+                             "Weather outlook"};
+  std::vector<RopeId> stories;
+  for (int i = 0; i < 4; ++i) {
+    VideoSource camera(UvcCompressedVideo(), static_cast<uint64_t>(i) + 1);
+    Result<MultimediaFileSystem::RecordResult> recorded =
+        fs.Record("newsroom", &camera, nullptr, 30.0);
+    stories.push_back(recorded->rope);
+    std::printf("published story %d: \"%s\" (%.0f s)\n", i + 1, headlines[i],
+                (*fs.rope_server().Find(recorded->rope))->LengthSec());
+  }
+
+  // Viewers arrive one by one, each picking a story round-robin.
+  std::printf("\nviewers arriving (admission control gates each):\n");
+  std::vector<RequestId> sessions;
+  int rejected_at = -1;
+  for (int viewer = 1; viewer <= 20; ++viewer) {
+    const RopeId story = stories[static_cast<size_t>((viewer - 1) % 4)];
+    Result<RequestId> session =
+        fs.Play("viewer", story, Medium::kVideo, TimeInterval{0.0, 30.0});
+    if (!session.ok()) {
+      std::printf("  viewer %2d: REJECTED (%s)\n", viewer, session.status().message().c_str());
+      rejected_at = viewer;
+      break;
+    }
+    sessions.push_back(*session);
+    // A second of service elapses between arrivals.
+    fs.simulator().RunUntil(fs.simulator().Now() + SecondsToUsec(1.0));
+    std::printf("  viewer %2d: admitted; scheduler round size k = %lld\n", viewer,
+                static_cast<long long>(fs.scheduler().current_k()));
+  }
+
+  fs.RunUntilIdle();
+
+  std::printf("\nfinal tally:\n");
+  int64_t total_violations = 0;
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    const RequestStats stats = *fs.Stats(sessions[i]);
+    total_violations += stats.continuity_violations;
+    std::printf("  viewer %2zu: %4lld blocks, %lld glitches, startup %6.1f ms\n", i + 1,
+                static_cast<long long>(stats.blocks_done),
+                static_cast<long long>(stats.continuity_violations),
+                UsecToSeconds(stats.startup_latency) * 1e3);
+  }
+  std::printf("\n%zu concurrent viewers served with %lld total glitches; "
+              "viewer %d was turned away rather than degrade the others\n",
+              sessions.size(), static_cast<long long>(total_violations), rejected_at);
+  return total_violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,261 @@
+// An interactive shell over the vaFS API — the closest analogue to
+// mounting the file system and poking at it. Reads commands from stdin
+// (or runs a scripted demo session when stdin is not a TTY and empty).
+//
+//   record <user> <seconds>                RECORD an A/V rope
+//   play <user> <rope> <video|audio>       PLAY a whole rope
+//   ls                                      list ropes
+//   info <rope>                             synchronization info (Fig. 8)
+//   insert <user> <base> <at> <with>        INSERT whole <with> at <at> sec
+//   substring <user> <rope> <start> <len>   SUBSTRING -> new rope
+//   concat <user> <a> <b>                   CONCATE -> new rope
+//   delete <user> <rope> <start> <len>      DELETE a range (both media)
+//   rmrope <user> <rope>                    delete the rope object
+//   repair <rope>                           scattering repair (both media)
+//   gc                                      collect unreferenced strands
+//   write <name> <text...> / read <name>    text files in the gaps
+//   checkpoint / recover                    persistence
+//   df                                      disk usage
+//   quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/media/media.h"
+#include "src/media/sources.h"
+#include "src/vafs/file_system.h"
+
+namespace {
+
+using namespace vafs;
+
+class Shell {
+ public:
+  Shell() : fs_(MakeConfig()) {}
+
+  static FileSystemConfig MakeConfig() {
+    FileSystemConfig config;
+    config.video_device = DeviceProfile{UvcCompressedVideo().BitRate() * 3.0, 8};
+    config.audio_device = DeviceProfile{TelephoneAudio().BitRate() * 16.0, 16'384};
+    return config;
+  }
+
+  bool Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command) || command.empty() || command[0] == '#') {
+      return true;
+    }
+    if (command == "quit" || command == "exit") {
+      return false;
+    }
+    if (command == "record") {
+      std::string user;
+      double seconds = 0;
+      in >> user >> seconds;
+      VideoSource camera(UvcCompressedVideo(), next_seed_);
+      AudioSource mic(TelephoneAudio(), SpeechProfile{}, next_seed_);
+      ++next_seed_;
+      Result<MultimediaFileSystem::RecordResult> result =
+          fs_.Record(user, &camera, &mic, seconds);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        std::printf("rope %llu recorded (%.1f s, %lld silent audio blocks)\n",
+                    static_cast<unsigned long long>(result->rope), seconds,
+                    static_cast<long long>(result->audio.silence_blocks));
+      }
+    } else if (command == "play") {
+      std::string user;
+      RopeId rope = 0;
+      std::string medium_name;
+      in >> user >> rope >> medium_name;
+      const Medium medium = medium_name == "audio" ? Medium::kAudio : Medium::kVideo;
+      Result<const Rope*> rope_ptr = fs_.rope_server().Find(rope);
+      if (!rope_ptr.ok()) {
+        std::printf("error: %s\n", rope_ptr.status().ToString().c_str());
+        return true;
+      }
+      Result<RequestId> request = fs_.Play(
+          user, rope, medium, TimeInterval{0.0, (*rope_ptr)->TrackFor(medium).DurationSec()});
+      if (!request.ok()) {
+        std::printf("error: %s\n", request.status().ToString().c_str());
+        return true;
+      }
+      fs_.RunUntilIdle();
+      const RequestStats stats = *fs_.Stats(*request);
+      std::printf("played %lld blocks, %lld glitches, startup %.1f ms\n",
+                  static_cast<long long>(stats.blocks_done),
+                  static_cast<long long>(stats.continuity_violations),
+                  UsecToSeconds(stats.startup_latency) * 1e3);
+    } else if (command == "ls") {
+      for (const Rope* rope : fs_.rope_server().AllRopes()) {
+        std::printf("rope %llu  %-10s %6.1f s  %zu video segs, %zu audio segs\n",
+                    static_cast<unsigned long long>(rope->id()), rope->creator().c_str(),
+                    rope->LengthSec(), rope->video().segments.size(),
+                    rope->audio().segments.size());
+      }
+    } else if (command == "info") {
+      RopeId rope = 0;
+      in >> rope;
+      Result<const Rope*> rope_ptr = fs_.rope_server().Find(rope);
+      if (!rope_ptr.ok()) {
+        std::printf("error: %s\n", rope_ptr.status().ToString().c_str());
+        return true;
+      }
+      for (const SyncInterval& interval : (*rope_ptr)->SynchronizationInfo()) {
+        std::printf("  [%6.2fs +%6.2fs] video=%llu@%lld audio=%llu@%lld\n", interval.start_sec,
+                    interval.length_sec,
+                    static_cast<unsigned long long>(interval.video_strand),
+                    static_cast<long long>(interval.video_block),
+                    static_cast<unsigned long long>(interval.audio_strand),
+                    static_cast<long long>(interval.audio_block));
+      }
+      for (const Trigger& trigger : (*rope_ptr)->triggers()) {
+        std::printf("  trigger @%.2fs: %s\n", trigger.at_sec, trigger.text.c_str());
+      }
+    } else if (command == "insert") {
+      std::string user;
+      RopeId base = 0;
+      double at = 0;
+      RopeId with = 0;
+      in >> user >> base >> at >> with;
+      Result<const Rope*> with_rope = fs_.rope_server().Find(with);
+      if (!with_rope.ok()) {
+        std::printf("error: %s\n", with_rope.status().ToString().c_str());
+        return true;
+      }
+      Status status =
+          fs_.rope_server().Insert(user, base, at, MediaSelector::kAudioVisual, with,
+                                   TimeInterval{0.0, (*with_rope)->LengthSec()});
+      std::printf("%s\n", status.ToString().c_str());
+    } else if (command == "substring") {
+      std::string user;
+      RopeId rope = 0;
+      double start = 0;
+      double length = 0;
+      in >> user >> rope >> start >> length;
+      Result<RopeId> result = fs_.rope_server().Substring(
+          user, rope, MediaSelector::kAudioVisual, TimeInterval{start, length});
+      if (result.ok()) {
+        std::printf("rope %llu created\n", static_cast<unsigned long long>(*result));
+      } else {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      }
+    } else if (command == "concat") {
+      std::string user;
+      RopeId a = 0;
+      RopeId b = 0;
+      in >> user >> a >> b;
+      Result<RopeId> result = fs_.rope_server().Concat(user, a, b);
+      if (result.ok()) {
+        std::printf("rope %llu created\n", static_cast<unsigned long long>(*result));
+      } else {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      }
+    } else if (command == "delete") {
+      std::string user;
+      RopeId rope = 0;
+      double start = 0;
+      double length = 0;
+      in >> user >> rope >> start >> length;
+      Status status = fs_.rope_server().Delete(user, rope, MediaSelector::kAudioVisual,
+                                               TimeInterval{start, length});
+      std::printf("%s\n", status.ToString().c_str());
+    } else if (command == "rmrope") {
+      std::string user;
+      RopeId rope = 0;
+      in >> user >> rope;
+      std::printf("%s\n", fs_.rope_server().DeleteRope(user, rope).ToString().c_str());
+    } else if (command == "repair") {
+      RopeId rope = 0;
+      in >> rope;
+      for (Medium medium : {Medium::kVideo, Medium::kAudio}) {
+        Result<RopeServer::RopeRepairStats> stats =
+            fs_.rope_server().RepairRope(rope, medium);
+        if (stats.ok()) {
+          std::printf("%s: %lld seams, %lld repaired, %lld blocks copied\n",
+                      MediumName(medium), static_cast<long long>(stats->seams_checked),
+                      static_cast<long long>(stats->seams_repaired),
+                      static_cast<long long>(stats->blocks_copied));
+        }
+      }
+    } else if (command == "gc") {
+      std::printf("%lld strands collected\n",
+                  static_cast<long long>(fs_.rope_server().CollectGarbage()));
+    } else if (command == "write") {
+      std::string name;
+      in >> name;
+      std::string text;
+      std::getline(in, text);
+      Status status = fs_.text_files().Write(
+          name, std::vector<uint8_t>(text.begin(), text.end()));
+      std::printf("%s\n", status.ToString().c_str());
+    } else if (command == "read") {
+      std::string name;
+      in >> name;
+      Result<std::vector<uint8_t>> data = fs_.text_files().Read(name);
+      if (data.ok()) {
+        std::printf("%s\n", std::string(data->begin(), data->end()).c_str());
+      } else {
+        std::printf("error: %s\n", data.status().ToString().c_str());
+      }
+    } else if (command == "checkpoint") {
+      std::printf("%s\n", fs_.Checkpoint().ToString().c_str());
+    } else if (command == "recover") {
+      std::printf("%s\n", fs_.Recover().ToString().c_str());
+    } else if (command == "df") {
+      const auto& allocator = fs_.storage_manager().allocator();
+      std::printf("%.1f%% used; %lld free sectors in %lld fragments; %lld strands, "
+                  "%lld ropes, %lld text files\n",
+                  allocator.Occupancy() * 100.0,
+                  static_cast<long long>(allocator.free_sectors()),
+                  static_cast<long long>(allocator.FreeExtentCount()),
+                  static_cast<long long>(fs_.storage_manager().strand_count()),
+                  static_cast<long long>(fs_.rope_server().rope_count()),
+                  static_cast<long long>(fs_.text_files().file_count()));
+    } else {
+      std::printf("unknown command: %s\n", command.c_str());
+    }
+    return true;
+  }
+
+ private:
+  MultimediaFileSystem fs_;
+  uint64_t next_seed_ = 1;
+};
+
+// The scripted session used when stdin has no commands (e.g., CI).
+constexpr const char* kDemoScript[] = {
+    "record alice 8",  "record bob 5",     "ls",
+    "substring alice 1 2 4", "concat alice 3 2", "info 4",
+    "repair 4",        "play alice 4 video", "delete alice 4 1 2",
+    "write motd vaFS demo complete", "read motd", "checkpoint",
+    "gc",              "df",
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  std::string line;
+  bool interactive = false;
+  std::printf("vaFS shell (type 'quit' to exit)\n");
+  while (std::getline(std::cin, line)) {
+    interactive = true;
+    std::printf("> %s\n", line.c_str());
+    if (!shell.Execute(line)) {
+      return 0;
+    }
+  }
+  if (!interactive) {
+    std::printf("(no input; running the demo script)\n");
+    for (const char* command : kDemoScript) {
+      std::printf("> %s\n", command);
+      shell.Execute(command);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,166 @@
+#include "src/core/continuity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace vafs {
+
+const char* ArchitectureName(RetrievalArchitecture arch) {
+  switch (arch) {
+    case RetrievalArchitecture::kSequential:
+      return "sequential";
+    case RetrievalArchitecture::kPipelined:
+      return "pipelined";
+    case RetrievalArchitecture::kConcurrent:
+      return "concurrent";
+  }
+  return "unknown";
+}
+
+ContinuityModel::ContinuityModel(StorageTimings storage, DeviceProfile device, int concurrency)
+    : storage_(storage), device_(device), concurrency_(concurrency) {
+  assert(storage_.transfer_rate_bits_per_sec > 0);
+  assert(concurrency_ >= 1);
+}
+
+double ContinuityModel::BlockPlaybackDuration(const MediaProfile& media, int64_t granularity) {
+  return static_cast<double>(granularity) / media.units_per_sec;
+}
+
+double ContinuityModel::BlockTransferTime(const MediaProfile& media, int64_t granularity) const {
+  return storage_.TransferTime(static_cast<double>(granularity * media.bits_per_unit));
+}
+
+double ContinuityModel::BlockDisplayTime(const MediaProfile& media, int64_t granularity) const {
+  assert(device_.display_rate_bits_per_sec > 0);
+  return device_.DisplayTime(static_cast<double>(granularity * media.bits_per_unit));
+}
+
+double ContinuityModel::MaxScattering(RetrievalArchitecture arch, const MediaProfile& media,
+                                      int64_t granularity, double rate_multiplier) const {
+  assert(granularity > 0);
+  assert(rate_multiplier > 0);
+  // Fast-forward at m x speed shrinks each block's playback duration m-fold.
+  const double playback = BlockPlaybackDuration(media, granularity) / rate_multiplier;
+  const double transfer = BlockTransferTime(media, granularity);
+  switch (arch) {
+    case RetrievalArchitecture::kSequential:
+      return playback - transfer - BlockDisplayTime(media, granularity);
+    case RetrievalArchitecture::kPipelined:
+      return playback - transfer;
+    case RetrievalArchitecture::kConcurrent:
+      return static_cast<double>(concurrency_ - 1) * playback - transfer;
+  }
+  return 0.0;
+}
+
+bool ContinuityModel::SatisfiesContinuity(RetrievalArchitecture arch, const MediaProfile& media,
+                                          int64_t granularity, double scattering_sec,
+                                          double rate_multiplier) const {
+  return scattering_sec <= MaxScattering(arch, media, granularity, rate_multiplier);
+}
+
+double ContinuityModel::MaxScatteringMixedHomogeneous(const MediaProfile& video,
+                                                      int64_t video_granularity,
+                                                      const MediaProfile& audio,
+                                                      int64_t audio_granularity) const {
+  // n: how many video-block playback durations one audio block spans. The
+  // paper assumes audio blocks are sized so n >= 1.
+  const double video_duration = BlockPlaybackDuration(video, video_granularity);
+  const double audio_duration = BlockPlaybackDuration(audio, audio_granularity);
+  const double n = audio_duration / video_duration;
+  // The paper assumes audio blocks span at least one video block; allow a
+  // hair under 1 from granularity rounding, but nothing smaller.
+  assert(n > 0.99);
+  // Eq. 5: n*(l + Tv) + (l + Ta) <= n * video_duration, solve for l.
+  const double transfer_video = BlockTransferTime(video, video_granularity);
+  const double transfer_audio = BlockTransferTime(audio, audio_granularity);
+  return (n * video_duration - n * transfer_video - transfer_audio) / (n + 1.0);
+}
+
+double ContinuityModel::MaxScatteringMixedHeterogeneous(const MediaProfile& video,
+                                                        int64_t video_granularity,
+                                                        const MediaProfile& audio,
+                                                        int64_t audio_granularity) const {
+  // Eq. 6: the audio payload rides along with every video block (or sits
+  // adjacent to it), so one gap per combined block.
+  const double video_duration = BlockPlaybackDuration(video, video_granularity);
+  const double combined_bits = static_cast<double>(video_granularity * video.bits_per_unit +
+                                                   audio_granularity * audio.bits_per_unit);
+  return video_duration - storage_.TransferTime(combined_bits);
+}
+
+int64_t ContinuityModel::MaxGranularityForDevice(RetrievalArchitecture arch,
+                                                 const MediaProfile& media) const {
+  (void)media;
+  const int64_t f = device_.buffer_units;
+  switch (arch) {
+    case RetrievalArchitecture::kSequential:
+      return std::max<int64_t>(1, f);
+    case RetrievalArchitecture::kPipelined:
+      return std::max<int64_t>(1, f / 2);
+    case RetrievalArchitecture::kConcurrent:
+      return std::max<int64_t>(1, f / concurrency_);
+  }
+  return 1;
+}
+
+Result<StrandPlacement> ContinuityModel::DerivePlacement(RetrievalArchitecture arch,
+                                                         const MediaProfile& media) const {
+  const int64_t max_granularity = MaxGranularityForDevice(arch, media);
+  // MaxScattering grows with q for any feasible configuration (playback
+  // duration scales with q faster than the fixed gap), so prefer the
+  // largest device-feasible granularity; walk down only if infeasible.
+  for (int64_t q = max_granularity; q >= 1; --q) {
+    const double bound = MaxScattering(arch, media, q);
+    // Every reposition pays at least the rotational latency, so a bound
+    // below it is physically unplaceable even though the equation is
+    // non-negative.
+    if (bound >= storage_.avg_rotational_latency_sec) {
+      StrandPlacement placement;
+      placement.granularity = q;
+      placement.max_scattering_sec = bound;
+      // Lower bound: consecutive blocks of one strand can never be closer
+      // in time than the rotational latency paid on every reposition.
+      placement.min_scattering_sec =
+          std::min(storage_.avg_rotational_latency_sec, bound);
+      return placement;
+    }
+  }
+  return Status(ErrorCode::kAdmissionRejected,
+                std::string("no granularity satisfies continuity for ") + media.ToString() +
+                    " under the " + ArchitectureName(arch) + " architecture");
+}
+
+ContinuityModel::BufferingPlan ContinuityModel::PlanBuffering(RetrievalArchitecture arch,
+                                                              int64_t k) const {
+  assert(k >= 1);
+  BufferingPlan plan;
+  switch (arch) {
+    case RetrievalArchitecture::kSequential:
+      plan.read_ahead_blocks = k;
+      plan.device_buffers = k;
+      break;
+    case RetrievalArchitecture::kPipelined:
+      // One set of k buffers drains while the other set fills.
+      plan.read_ahead_blocks = k;
+      plan.device_buffers = 2 * k;
+      break;
+    case RetrievalArchitecture::kConcurrent:
+      plan.read_ahead_blocks = concurrency_ * k;
+      plan.device_buffers = concurrency_ * k;
+      break;
+  }
+  return plan;
+}
+
+int64_t ContinuityModel::ExtraReadAheadForTaskSwitch(const MediaProfile& media,
+                                                     int64_t granularity) const {
+  // Eq. 4: h = ceil(l_seek_max * playback rate in blocks/sec).
+  const double block_duration = BlockPlaybackDuration(media, granularity);
+  return static_cast<int64_t>(std::ceil(storage_.max_access_gap_sec / block_duration));
+}
+
+}  // namespace vafs

@@ -1,0 +1,144 @@
+// Continuity model: Equations 1-6 of the paper and the derivation of
+// storage granularity and scattering parameters from them (Section 3).
+//
+// For a strand of granularity q (units/block), unit size s (bits) and
+// recording rate R (units/sec), retrieved from a disk with transfer rate
+// R_dt and displayed at rate R_dp, the continuity requirement under each
+// retrieval architecture bounds the scattering parameter l_ds (the
+// positioning gap between consecutive blocks of the strand):
+//
+//   sequential (Eq. 1):  l_ds + q*s/R_dt + q*s/R_dp <= q/R
+//   pipelined  (Eq. 2):  l_ds + q*s/R_dt            <= q/R
+//   concurrent (Eq. 3):  l_ds + q*s/R_dt            <= (p-1) * q/R
+//
+// Mixed audio+video retrieval over homogeneous blocks (Eq. 5), where one
+// audio block plays as long as n video blocks:
+//
+//   n*(l_ds + qv*sv/R_dt) + (l_ds + qa*sa/R_dt) <= n * qv/Rv
+//
+// and over heterogeneous blocks, or homogeneous blocks co-located so that
+// the audio->video gap vanishes (Eq. 6):
+//
+//   (qv*sv + qa*sa)/R_dt + l_ds <= qv/Rv
+//
+// Section 3.3 adds buffering/read-ahead counts for strict and k-block
+// average continuity, the extra read-ahead h before a task switch (Eq. 4),
+// and rate-scaled continuity for fast-forward and slow motion.
+
+#ifndef VAFS_SRC_CORE_CONTINUITY_H_
+#define VAFS_SRC_CORE_CONTINUITY_H_
+
+#include <cstdint>
+
+#include "src/core/profiles.h"
+#include "src/media/media.h"
+#include "src/util/result.h"
+
+namespace vafs {
+
+enum class RetrievalArchitecture {
+  kSequential,  // read and display serialized (Fig. 1)
+  kPipelined,   // read overlaps display, two device buffers (Fig. 2)
+  kConcurrent,  // p parallel disk accesses (Fig. 3)
+};
+
+const char* ArchitectureName(RetrievalArchitecture arch);
+
+// Per-strand placement decision: how many media units go in a block, and
+// the bounds on the positioning gap between consecutive blocks.
+struct StrandPlacement {
+  int64_t granularity = 1;          // q, units per block
+  double min_scattering_sec = 0.0;  // lower bound on l_ds (edit copy bound, Sec. 4.2)
+  double max_scattering_sec = 0.0;  // upper bound on l_ds (continuity)
+};
+
+class ContinuityModel {
+ public:
+  // `concurrency` is the paper's p, meaningful for kConcurrent only.
+  ContinuityModel(StorageTimings storage, DeviceProfile device, int concurrency = 1);
+
+  const StorageTimings& storage() const { return storage_; }
+  const DeviceProfile& device() const { return device_; }
+  int concurrency() const { return concurrency_; }
+
+  // --- Elementary durations (Table 1 derived quantities) -------------------
+
+  // Playback duration of a block: q / R.
+  static double BlockPlaybackDuration(const MediaProfile& media, int64_t granularity);
+
+  // Disk transfer time of a block: q*s / R_dt.
+  double BlockTransferTime(const MediaProfile& media, int64_t granularity) const;
+
+  // Display (decode + DAC) time of a block: q*s / R_dp.
+  double BlockDisplayTime(const MediaProfile& media, int64_t granularity) const;
+
+  // --- Single-medium continuity (Eqs. 1-3) ---------------------------------
+
+  // Largest scattering parameter under which continuity holds for the given
+  // architecture at `rate_multiplier` x normal playback speed (1.0 = normal;
+  // > 1 models fast-forward without frame skipping). May be negative, which
+  // means the configuration is infeasible at any placement.
+  double MaxScattering(RetrievalArchitecture arch, const MediaProfile& media,
+                       int64_t granularity, double rate_multiplier = 1.0) const;
+
+  // Continuity predicate for a concrete scattering value.
+  bool SatisfiesContinuity(RetrievalArchitecture arch, const MediaProfile& media,
+                           int64_t granularity, double scattering_sec,
+                           double rate_multiplier = 1.0) const;
+
+  // --- Mixed media (Eqs. 5-6) ----------------------------------------------
+
+  // Max scattering for interleaved retrieval of one video and one audio
+  // strand from homogeneous blocks (Eq. 5). `n` = audio block playback
+  // duration / video block playback duration, derived from granularities.
+  double MaxScatteringMixedHomogeneous(const MediaProfile& video, int64_t video_granularity,
+                                       const MediaProfile& audio,
+                                       int64_t audio_granularity) const;
+
+  // Max scattering when each block carries both media, or when audio and
+  // video blocks are adjacent so the intra-pair gap vanishes (Eq. 6).
+  double MaxScatteringMixedHeterogeneous(const MediaProfile& video, int64_t video_granularity,
+                                         const MediaProfile& audio,
+                                         int64_t audio_granularity) const;
+
+  // --- Granularity selection (Sec. 3.3.4) ----------------------------------
+
+  // Largest granularity the display device's internal buffers allow:
+  //   sequential: f, pipelined: f/2 (double buffering), concurrent: f/p.
+  int64_t MaxGranularityForDevice(RetrievalArchitecture arch, const MediaProfile& media) const;
+
+  // Chooses the largest device-feasible granularity with a positive
+  // scattering bound, and fills in both scattering bounds (the lower bound
+  // comes from the editing copy-bound argument and is a caller policy;
+  // here it is set to one average rotational latency, the smallest
+  // physically meaningful gap). Fails if no granularity satisfies
+  // continuity.
+  Result<StrandPlacement> DerivePlacement(RetrievalArchitecture arch,
+                                          const MediaProfile& media) const;
+
+  // --- Buffering and read-ahead (Sec. 3.3.2, Eq. 4) -------------------------
+
+  struct BufferingPlan {
+    int64_t read_ahead_blocks = 0;  // blocks fetched before playback starts
+    int64_t device_buffers = 0;     // device-side block buffers needed
+  };
+
+  // Buffer/read-ahead counts when continuity is satisfied over an average
+  // of `k` consecutive blocks (k = 1 is the strict requirement):
+  // sequential k & k, pipelined k & 2k, concurrent p*k & p*k.
+  BufferingPlan PlanBuffering(RetrievalArchitecture arch, int64_t k) const;
+
+  // Extra read-ahead h (Eq. 4) needed before the disk switches to another
+  // task: enough blocks to cover a worst-case reposition, h =
+  // ceil(l_seek_max / block playback duration).
+  int64_t ExtraReadAheadForTaskSwitch(const MediaProfile& media, int64_t granularity) const;
+
+ private:
+  StorageTimings storage_;
+  DeviceProfile device_;
+  int concurrency_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_CORE_CONTINUITY_H_

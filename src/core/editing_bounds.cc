@@ -1,0 +1,27 @@
+#include "src/core/editing_bounds.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vafs {
+
+int64_t EditCopyBound(double max_access_gap_sec, double min_scattering_sec,
+                      DiskOccupancy occupancy) {
+  assert(max_access_gap_sec > 0);
+  assert(min_scattering_sec > 0);
+  const double m = max_access_gap_sec / min_scattering_sec;
+  const double bound = occupancy == DiskOccupancy::kSparse ? m / 2.0 : m;  // Eqs. 19 / 20
+  return std::max<int64_t>(0, static_cast<int64_t>(std::ceil(bound)));
+}
+
+int64_t EditCopyBoundAtBoundary(double max_access_gap_sec, double preceding_min_scattering_sec,
+                                double following_min_scattering_sec, DiskOccupancy occupancy) {
+  const int64_t preceding =
+      EditCopyBound(max_access_gap_sec, preceding_min_scattering_sec, occupancy);
+  const int64_t following =
+      EditCopyBound(max_access_gap_sec, following_min_scattering_sec, occupancy);
+  return std::min(preceding, following);
+}
+
+}  // namespace vafs

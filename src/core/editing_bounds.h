@@ -1,0 +1,43 @@
+// Copy bounds for scattering maintenance during editing (Section 4.2,
+// Eqs. 19-20).
+//
+// An edited rope strings together intervals of immutable strands. Within
+// an interval the scattering bound holds by construction, but the hop from
+// the last block of one interval to the first block of the next can be as
+// bad as a full worst-case reposition. The paper bounds the repair cost:
+// redistributing the first C_b blocks of the following interval (or the
+// last C_a of the preceding one) restores the bound, with
+//
+//   C_b = l_seek_max / (2 * l_ds_lower)   on a sparsely occupied disk (Eq. 19)
+//   C_b = l_seek_max / l_ds_lower         on a densely occupied disk (Eq. 20)
+//
+// where l_ds_lower is the strand's lower scattering bound. Immutability
+// means the copied blocks form a brand-new strand.
+
+#ifndef VAFS_SRC_CORE_EDITING_BOUNDS_H_
+#define VAFS_SRC_CORE_EDITING_BOUNDS_H_
+
+#include <cstdint>
+
+namespace vafs {
+
+// Occupancy regimes of Eqs. 19-20.
+enum class DiskOccupancy {
+  kSparse,
+  kDense,
+};
+
+// Maximum number of blocks that must be copied to repair one interval
+// boundary. `max_access_gap_sec` is l_seek_max; `min_scattering_sec` is
+// the strand's lower scattering bound l_ds_lower.
+int64_t EditCopyBound(double max_access_gap_sec, double min_scattering_sec,
+                      DiskOccupancy occupancy);
+
+// The repair copies min(C_a, C_b) blocks, choosing the cheaper side of the
+// boundary; both sides use the same formula with their own lower bounds.
+int64_t EditCopyBoundAtBoundary(double max_access_gap_sec, double preceding_min_scattering_sec,
+                                double following_min_scattering_sec, DiskOccupancy occupancy);
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_CORE_EDITING_BOUNDS_H_

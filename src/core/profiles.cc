@@ -1,0 +1,19 @@
+#include "src/core/profiles.h"
+
+namespace vafs {
+
+StorageTimings StorageTimings::FromDiskModel(const DiskModel& model) {
+  StorageTimings timings;
+  timings.transfer_rate_bits_per_sec = model.TransferRateBitsPerSec();
+  timings.max_access_gap_sec = UsecToSeconds(model.MaxAccessGap());
+  timings.avg_rotational_latency_sec = UsecToSeconds(model.AverageRotationalLatency());
+  return timings;
+}
+
+StorageTimings StorageTimings::FromDiskModelArray(const DiskModel& member_model, int members) {
+  StorageTimings timings = FromDiskModel(member_model);
+  timings.transfer_rate_bits_per_sec *= static_cast<double>(members);
+  return timings;
+}
+
+}  // namespace vafs

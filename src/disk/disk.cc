@@ -1,0 +1,92 @@
+#include "src/disk/disk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace vafs {
+
+Disk::Disk(const DiskParameters& params, DiskOptions options)
+    : model_(params), options_(options) {}
+
+void Disk::MoveHeadToCylinder(int64_t cylinder) {
+  assert(cylinder >= 0 && cylinder < model_.params().cylinders);
+  head_cylinder_ = cylinder;
+}
+
+Status Disk::ValidateExtent(int64_t start_sector, int64_t sectors) const {
+  if (start_sector < 0 || sectors <= 0 || start_sector + sectors > total_sectors()) {
+    return Status(ErrorCode::kOutOfRange,
+                  "extent [" + std::to_string(start_sector) + ", +" + std::to_string(sectors) +
+                      ") outside disk of " + std::to_string(total_sectors()) + " sectors");
+  }
+  return Status::Ok();
+}
+
+SimDuration Disk::Position(int64_t start_sector) {
+  const int64_t target_cylinder = model_.SectorToCylinder(start_sector);
+  const SimDuration seek = model_.SeekTime(head_cylinder_, target_cylinder);
+  head_cylinder_ = target_cylinder;
+  return seek + model_.AverageRotationalLatency();
+}
+
+SimDuration Disk::PeekServiceTime(int64_t start_sector, int64_t sectors) const {
+  const int64_t target_cylinder = model_.SectorToCylinder(start_sector);
+  return model_.SeekTime(head_cylinder_, target_cylinder) + model_.AverageRotationalLatency() +
+         model_.TransferTime(sectors);
+}
+
+Result<SimDuration> Disk::Read(int64_t start_sector, int64_t sectors, std::vector<uint8_t>* out) {
+  if (Status status = ValidateExtent(start_sector, sectors); !status.ok()) {
+    return status;
+  }
+  const SimDuration service = Position(start_sector) + model_.TransferTime(sectors);
+  ++reads_;
+  busy_time_ += service;
+  // Arm ends on the cylinder of the last sector read.
+  head_cylinder_ = model_.SectorToCylinder(start_sector + sectors - 1);
+
+  if (out != nullptr) {
+    out->clear();
+    if (options_.retain_data) {
+      const int64_t sector_bytes = bytes_per_sector();
+      out->resize(static_cast<size_t>(sectors * sector_bytes), 0);
+      for (int64_t i = 0; i < sectors; ++i) {
+        auto it = store_.find(start_sector + i);
+        if (it != store_.end()) {
+          std::copy(it->second.begin(), it->second.end(),
+                    out->begin() + static_cast<ptrdiff_t>(i * sector_bytes));
+        }
+      }
+    }
+  }
+  return service;
+}
+
+Result<SimDuration> Disk::Write(int64_t start_sector, int64_t sectors,
+                                std::span<const uint8_t> data) {
+  if (Status status = ValidateExtent(start_sector, sectors); !status.ok()) {
+    return status;
+  }
+  const int64_t sector_bytes = bytes_per_sector();
+  if (options_.retain_data && !data.empty() &&
+      static_cast<int64_t>(data.size()) != sectors * sector_bytes) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "write payload of " + std::to_string(data.size()) + " bytes does not cover " +
+                      std::to_string(sectors) + " sectors");
+  }
+  const SimDuration service = Position(start_sector) + model_.TransferTime(sectors);
+  ++writes_;
+  busy_time_ += service;
+  head_cylinder_ = model_.SectorToCylinder(start_sector + sectors - 1);
+
+  if (options_.retain_data && !data.empty()) {
+    for (int64_t i = 0; i < sectors; ++i) {
+      auto first = data.begin() + static_cast<ptrdiff_t>(i * sector_bytes);
+      store_[start_sector + i] = std::vector<uint8_t>(first, first + sector_bytes);
+    }
+  }
+  return service;
+}
+
+}  // namespace vafs

@@ -1,0 +1,81 @@
+// Stateful simulated disk.
+//
+// Wraps a DiskModel with mutable state: the current arm position and a
+// sparse in-memory sector store. Read/Write return the simulated service
+// time of the operation so callers (the MSM service loop, benches) can
+// advance the simulation clock; the arm position is updated so that the
+// next operation pays the correct seek.
+//
+// Data retention is optional: benchmarks that only study timing can run
+// with retain_data = false and skip the byte copies.
+
+#ifndef VAFS_SRC_DISK_DISK_H_
+#define VAFS_SRC_DISK_DISK_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/disk/disk_model.h"
+#include "src/util/result.h"
+#include "src/util/time.h"
+
+namespace vafs {
+
+struct DiskOptions {
+  bool retain_data = true;
+};
+
+class Disk {
+ public:
+  using Options = DiskOptions;
+
+  explicit Disk(const DiskParameters& params, DiskOptions options = DiskOptions());
+
+  const DiskModel& model() const { return model_; }
+  int64_t total_sectors() const { return model_.params().TotalSectors(); }
+  int64_t bytes_per_sector() const { return model_.params().bytes_per_sector; }
+
+  // Cylinder the arm currently rests on.
+  int64_t head_cylinder() const { return head_cylinder_; }
+
+  // Repositions the arm (e.g., after the disk served an unrelated task).
+  void MoveHeadToCylinder(int64_t cylinder);
+
+  // Reads `sectors` contiguous sectors starting at `start_sector` into
+  // `out` (resized to fit; left empty when retain_data is off). Returns the
+  // simulated service time: seek + rotational latency + transfer.
+  Result<SimDuration> Read(int64_t start_sector, int64_t sectors, std::vector<uint8_t>* out);
+
+  // Writes the given bytes over `sectors` contiguous sectors. `data` must
+  // be exactly sectors * bytes_per_sector long (or empty when retain_data
+  // is off). Returns the simulated service time.
+  Result<SimDuration> Write(int64_t start_sector, int64_t sectors, std::span<const uint8_t> data);
+
+  // Pure timing: service time the next read/write of this extent would
+  // take from the current arm position, without performing it.
+  SimDuration PeekServiceTime(int64_t start_sector, int64_t sectors) const;
+
+  // Lifetime operation counters (diagnostics).
+  int64_t reads() const { return reads_; }
+  int64_t writes() const { return writes_; }
+  SimDuration busy_time() const { return busy_time_; }
+
+ private:
+  Status ValidateExtent(int64_t start_sector, int64_t sectors) const;
+  SimDuration Position(int64_t start_sector);
+
+  DiskModel model_;
+  Options options_;
+  int64_t head_cylinder_ = 0;
+  int64_t reads_ = 0;
+  int64_t writes_ = 0;
+  SimDuration busy_time_ = 0;
+  // Sparse store: sector number -> sector payload.
+  std::unordered_map<int64_t, std::vector<uint8_t>> store_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_DISK_DISK_H_

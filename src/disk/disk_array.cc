@@ -1,0 +1,85 @@
+#include "src/disk/disk_array.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace vafs {
+
+DiskArray::DiskArray(const DiskParameters& member_params, int members, DiskOptions options) {
+  assert(members > 0);
+  disks_.reserve(static_cast<size_t>(members));
+  for (int i = 0; i < members; ++i) {
+    disks_.push_back(std::make_unique<Disk>(member_params, options));
+  }
+}
+
+Status DiskArray::ValidateBatch(const std::vector<BatchRequest>& batch) const {
+  std::vector<bool> used(disks_.size(), false);
+  for (const BatchRequest& request : batch) {
+    if (request.member < 0 || request.member >= members()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "batch names member " + std::to_string(request.member) + " of " +
+                        std::to_string(members()));
+    }
+    if (used[static_cast<size_t>(request.member)]) {
+      // Two requests on one member cannot proceed concurrently; callers
+      // must split such work across batches.
+      return Status(ErrorCode::kInvalidArgument,
+                    "batch has two requests for member " + std::to_string(request.member));
+    }
+    used[static_cast<size_t>(request.member)] = true;
+  }
+  return Status::Ok();
+}
+
+Result<SimDuration> DiskArray::ReadBatch(const std::vector<BatchRequest>& batch,
+                                         std::vector<std::vector<uint8_t>>* out) {
+  if (Status status = ValidateBatch(batch); !status.ok()) {
+    return status;
+  }
+  if (out != nullptr) {
+    out->assign(batch.size(), {});
+  }
+  SimDuration slowest = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const BatchRequest& request = batch[i];
+    std::vector<uint8_t>* slot = out != nullptr ? &(*out)[i] : nullptr;
+    Result<SimDuration> service =
+        disks_[static_cast<size_t>(request.member)]->Read(request.start_sector, request.sectors, slot);
+    if (!service.ok()) {
+      return service.status();
+    }
+    slowest = std::max(slowest, *service);
+  }
+  return slowest;
+}
+
+Result<SimDuration> DiskArray::WriteBatch(const std::vector<BatchRequest>& batch,
+                                          const std::vector<std::vector<uint8_t>>& data) {
+  if (Status status = ValidateBatch(batch); !status.ok()) {
+    return status;
+  }
+  if (!data.empty() && data.size() != batch.size()) {
+    return Status(ErrorCode::kInvalidArgument, "payload count does not match batch size");
+  }
+  SimDuration slowest = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const BatchRequest& request = batch[i];
+    std::span<const uint8_t> payload =
+        data.empty() ? std::span<const uint8_t>() : std::span<const uint8_t>(data[i]);
+    Result<SimDuration> service =
+        disks_[static_cast<size_t>(request.member)]->Write(request.start_sector, request.sectors, payload);
+    if (!service.ok()) {
+      return service.status();
+    }
+    slowest = std::max(slowest, *service);
+  }
+  return slowest;
+}
+
+double DiskArray::AggregateTransferRateBitsPerSec() const {
+  return static_cast<double>(members()) * member_model().TransferRateBitsPerSec();
+}
+
+}  // namespace vafs

@@ -1,0 +1,66 @@
+// Multi-head disk array for the paper's concurrent retrieval architecture.
+//
+// Section 3.1 (Figure 3) analyzes retrieval with p concurrent disk
+// accesses, as provided by a RAID-like array. DiskArray models p identical
+// member disks; a batch of p block reads issued together is served in
+// parallel and completes when the slowest member finishes. Consecutive
+// blocks of a strand are assigned to members round-robin, so a group of p
+// successive strand blocks always spans all members.
+
+#ifndef VAFS_SRC_DISK_DISK_ARRAY_H_
+#define VAFS_SRC_DISK_DISK_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/disk/disk.h"
+#include "src/util/result.h"
+#include "src/util/time.h"
+
+namespace vafs {
+
+class DiskArray {
+ public:
+  // An array of `members` disks, each with the given geometry.
+  DiskArray(const DiskParameters& member_params, int members, DiskOptions options = DiskOptions());
+
+  int members() const { return static_cast<int>(disks_.size()); }
+  const DiskModel& member_model() const { return disks_.front()->model(); }
+  Disk& member(int index) { return *disks_[static_cast<size_t>(index)]; }
+
+  // Member disk that stores the `block_index`-th block of a strand.
+  int MemberForBlock(int64_t block_index) const {
+    return static_cast<int>(block_index % members());
+  }
+
+  struct BatchRequest {
+    int member;            // which disk serves this block
+    int64_t start_sector;  // extent on that member
+    int64_t sectors;
+  };
+
+  // Issues the batch concurrently (at most one request per member) and
+  // returns the parallel completion time: max over members of their
+  // individual service times. Data is read into `out[i]` for request i
+  // when non-null.
+  Result<SimDuration> ReadBatch(const std::vector<BatchRequest>& batch,
+                                std::vector<std::vector<uint8_t>>* out);
+
+  // Parallel write counterpart; `data[i]` is the payload of request i.
+  Result<SimDuration> WriteBatch(const std::vector<BatchRequest>& batch,
+                                 const std::vector<std::vector<uint8_t>>& data);
+
+  // Aggregate transfer rate (members * per-member R_dt), the figure the
+  // paper's HDTV feasibility argument sweeps.
+  double AggregateTransferRateBitsPerSec() const;
+
+ private:
+  Status ValidateBatch(const std::vector<BatchRequest>& batch) const;
+
+  std::vector<std::unique_ptr<Disk>> disks_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_DISK_DISK_ARRAY_H_

@@ -1,0 +1,120 @@
+#include "src/disk/disk_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vafs {
+
+DiskModel::DiskModel(const DiskParameters& params) : params_(params) {
+  assert(params_.cylinders > 0);
+  assert(params_.surfaces > 0);
+  assert(params_.sectors_per_track > 0);
+  assert(params_.bytes_per_sector > 0);
+  assert(params_.rpm > 0);
+  assert(params_.min_seek_ms >= 0);
+  assert(params_.max_seek_ms >= params_.min_seek_ms);
+
+  rotation_usec_ = SecondsToUsec(60.0 / params_.rpm);
+  sector_usec_ = rotation_usec_ / params_.sectors_per_track;
+
+  // Calibrate the curve so that seek(1) = min_seek and
+  // seek(cylinders - 1) = max_seek. Single-cylinder disks degenerate to a
+  // constant model. For kSqrt: seek(d) = base + coeff * sqrt(d); for
+  // kLinear: seek(d) = base + coeff * d.
+  const double min_usec = params_.min_seek_ms * 1e3;
+  const double max_usec = params_.max_seek_ms * 1e3;
+  const double full_stroke = static_cast<double>(params_.cylinders - 1);
+  if (full_stroke >= 2.0) {
+    const double span = params_.seek_curve == SeekCurve::kSqrt
+                            ? std::sqrt(full_stroke) - 1.0
+                            : full_stroke - 1.0;
+    seek_sqrt_coeff_usec_ = (max_usec - min_usec) / span;
+    seek_base_usec_ = min_usec - seek_sqrt_coeff_usec_;
+    if (seek_base_usec_ < 0) {
+      // Keep seek(1) exact and non-negative base by folding into the
+      // coefficient; this only matters for extreme parameter choices.
+      seek_base_usec_ = 0;
+      seek_sqrt_coeff_usec_ = min_usec;
+    }
+  } else {
+    seek_sqrt_coeff_usec_ = 0;
+    seek_base_usec_ = min_usec;
+  }
+}
+
+Chs DiskModel::SectorToChs(int64_t sector) const {
+  assert(sector >= 0 && sector < params_.TotalSectors());
+  const int64_t per_cylinder = params_.SectorsPerCylinder();
+  Chs chs;
+  chs.cylinder = sector / per_cylinder;
+  const int64_t within = sector % per_cylinder;
+  chs.surface = within / params_.sectors_per_track;
+  chs.sector = within % params_.sectors_per_track;
+  return chs;
+}
+
+int64_t DiskModel::SectorToCylinder(int64_t sector) const {
+  return sector / params_.SectorsPerCylinder();
+}
+
+SimDuration DiskModel::SeekTimeForDistance(int64_t distance) const {
+  if (distance <= 0) {
+    return 0;
+  }
+  const double scaled = params_.seek_curve == SeekCurve::kSqrt
+                            ? std::sqrt(static_cast<double>(distance))
+                            : static_cast<double>(distance);
+  const double usec = seek_base_usec_ + seek_sqrt_coeff_usec_ * scaled;
+  return static_cast<SimDuration>(std::llround(usec));
+}
+
+SimDuration DiskModel::SeekTime(int64_t from_cylinder, int64_t to_cylinder) const {
+  const int64_t distance =
+      from_cylinder > to_cylinder ? from_cylinder - to_cylinder : to_cylinder - from_cylinder;
+  return SeekTimeForDistance(distance);
+}
+
+SimDuration DiskModel::RotationTime() const { return rotation_usec_; }
+
+SimDuration DiskModel::TransferTime(int64_t sectors) const {
+  assert(sectors >= 0);
+  return sectors * sector_usec_;
+}
+
+double DiskModel::TransferRateBitsPerSec() const {
+  const double bytes_per_rotation =
+      static_cast<double>(params_.sectors_per_track * params_.bytes_per_sector);
+  const double rotations_per_sec = params_.rpm / 60.0;
+  return bytes_per_rotation * rotations_per_sec * kBitsPerByte;
+}
+
+SimDuration DiskModel::MaxAccessGap() const {
+  return SeekTimeForDistance(params_.cylinders - 1) + WorstRotationalLatency();
+}
+
+SimDuration DiskModel::AccessGap(int64_t from_sector, int64_t to_sector) const {
+  return SeekTime(SectorToCylinder(from_sector), SectorToCylinder(to_sector)) +
+         AverageRotationalLatency();
+}
+
+int64_t DiskModel::MaxCylinderDistanceForGap(SimDuration gap) const {
+  const SimDuration budget = gap - AverageRotationalLatency();
+  if (budget < 0) {
+    return -1;
+  }
+  // SeekTimeForDistance is monotone; binary search the largest distance
+  // that fits. Distances range over [0, cylinders - 1].
+  int64_t lo = 0;
+  int64_t hi = params_.cylinders - 1;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo + 1) / 2;
+    if (SeekTimeForDistance(mid) <= budget) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace vafs

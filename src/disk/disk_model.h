@@ -1,0 +1,120 @@
+// Parametric disk timing model.
+//
+// The paper's continuity analysis consumes three hardware quantities: the
+// seek time between block positions, the rotational latency, and the data
+// transfer rate R_dt. This model exposes exactly those, computed from a
+// classical disk description (cylinders, surfaces, sectors per track, RPM,
+// single-cylinder and full-stroke seek times).
+//
+// Seek is modeled as the usual concave curve: a fixed arm settle cost plus
+// a component proportional to the square root of the cylinder distance,
+// calibrated so that a 1-cylinder seek costs `min_seek` and a full-stroke
+// seek costs `max_seek`. Rotational latency policy is selectable: the
+// analytic model uses averages (paper Section 3), worst-case bounds use a
+// full rotation, and simulations may draw uniformly at random.
+
+#ifndef VAFS_SRC_DISK_DISK_MODEL_H_
+#define VAFS_SRC_DISK_DISK_MODEL_H_
+
+#include <cstdint>
+
+#include "src/util/time.h"
+#include "src/util/units.h"
+
+namespace vafs {
+
+// Arm seek-time curve shape. Real drives are concave (sqrt-like); the
+// linear option matches the additive-seek assumption behind the paper's
+// editing copy bounds (Eqs. 19-20) and is used by those experiments.
+enum class SeekCurve {
+  kSqrt,
+  kLinear,
+};
+
+// Physical description of a disk. Defaults approximate a late-1980s
+// workstation drive of the kind in the paper's testbed (PC-AT local disk).
+struct DiskParameters {
+  int64_t cylinders = 1400;
+  int64_t surfaces = 8;             // read/write heads, one track per surface per cylinder
+  int64_t sectors_per_track = 35;
+  int64_t bytes_per_sector = 512;
+  double rpm = 3600.0;
+  double min_seek_ms = 4.0;         // single-cylinder seek
+  double max_seek_ms = 35.0;        // full-stroke seek
+  SeekCurve seek_curve = SeekCurve::kSqrt;
+
+  int64_t TotalSectors() const { return cylinders * surfaces * sectors_per_track; }
+  int64_t SectorsPerCylinder() const { return surfaces * sectors_per_track; }
+  int64_t CapacityBytes() const { return TotalSectors() * bytes_per_sector; }
+};
+
+// Cylinder/surface/sector coordinates of a logical sector.
+struct Chs {
+  int64_t cylinder;
+  int64_t surface;
+  int64_t sector;
+};
+
+class DiskModel {
+ public:
+  explicit DiskModel(const DiskParameters& params);
+
+  const DiskParameters& params() const { return params_; }
+
+  // --- Geometry -----------------------------------------------------------
+
+  // Maps a logical sector number (0-based, cylinder-major) to CHS.
+  Chs SectorToChs(int64_t sector) const;
+
+  // Cylinder holding a logical sector.
+  int64_t SectorToCylinder(int64_t sector) const;
+
+  // --- Timing -------------------------------------------------------------
+
+  // Arm movement time between two cylinders. Zero for a zero-distance seek.
+  SimDuration SeekTime(int64_t from_cylinder, int64_t to_cylinder) const;
+
+  // Seek time as a function of cylinder distance.
+  SimDuration SeekTimeForDistance(int64_t distance) const;
+
+  // One full platter rotation.
+  SimDuration RotationTime() const;
+
+  // Expected rotational latency (half a rotation).
+  SimDuration AverageRotationalLatency() const { return RotationTime() / 2; }
+
+  // Worst-case rotational latency (a full rotation).
+  SimDuration WorstRotationalLatency() const { return RotationTime(); }
+
+  // Time to transfer `sectors` contiguous sectors once positioned.
+  SimDuration TransferTime(int64_t sectors) const;
+
+  // Sustained media transfer rate in bits/second (the paper's R_dt).
+  double TransferRateBitsPerSec() const;
+
+  // The paper's l_seek^max: worst-case positioning cost between two
+  // arbitrary blocks (full-stroke seek plus worst rotational latency).
+  SimDuration MaxAccessGap() const;
+
+  // Positioning cost (seek + average latency) between two sectors; this is
+  // the realized scattering gap between consecutive strand blocks.
+  SimDuration AccessGap(int64_t from_sector, int64_t to_sector) const;
+
+  // --- Inverse timing (for the allocator) ----------------------------------
+
+  // Largest cylinder distance whose seek plus average rotational latency
+  // fits within `gap`. Returns -1 if even a zero-distance reposition
+  // (pure latency) exceeds `gap`.
+  int64_t MaxCylinderDistanceForGap(SimDuration gap) const;
+
+ private:
+  DiskParameters params_;
+  SimDuration rotation_usec_;
+  SimDuration sector_usec_;      // time for one sector to pass under the head
+  double seek_base_usec_;        // settle component
+  double seek_sqrt_coeff_usec_;  // sqrt(distance) component
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_DISK_DISK_MODEL_H_

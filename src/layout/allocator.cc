@@ -1,0 +1,277 @@
+#include "src/layout/allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace vafs {
+
+ConstrainedAllocator::ConstrainedAllocator(const DiskModel* model)
+    : model_(model),
+      total_sectors_(model->params().TotalSectors()),
+      free_sectors_(total_sectors_) {
+  free_[0] = total_sectors_;
+}
+
+Result<Extent> ConstrainedAllocator::Allocate(int64_t sectors, int64_t hint_sector) {
+  if (sectors <= 0) {
+    return Status(ErrorCode::kInvalidArgument, "allocation of non-positive size");
+  }
+  std::optional<Extent> found =
+      FindInWindow(sectors, hint_sector, total_sectors_, /*forward=*/true, hint_sector);
+  if (!found.has_value() && hint_sector > 0) {
+    found = FindInWindow(sectors, 0, hint_sector, /*forward=*/true, 0);
+  }
+  if (!found.has_value()) {
+    return Status(ErrorCode::kNoSpace,
+                  "no free extent of " + std::to_string(sectors) + " sectors");
+  }
+  if (Status status = AllocateExact(*found); !status.ok()) {
+    return status;
+  }
+  return *found;
+}
+
+Result<Extent> ConstrainedAllocator::AllocateInLargest(int64_t sectors) {
+  if (sectors <= 0) {
+    return Status(ErrorCode::kInvalidArgument, "allocation of non-positive size");
+  }
+  const std::map<int64_t, int64_t>::const_iterator largest = std::max_element(
+      free_.begin(), free_.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (largest == free_.end() || largest->second < sectors) {
+    return Status(ErrorCode::kNoSpace,
+                  "no free extent of " + std::to_string(sectors) + " sectors");
+  }
+  const Extent extent{largest->first, sectors};
+  if (Status status = AllocateExact(extent); !status.ok()) {
+    return status;
+  }
+  return extent;
+}
+
+Result<Extent> ConstrainedAllocator::AllocateNear(int64_t previous_end_sector, int64_t sectors,
+                                                  int64_t max_distance_cylinders,
+                                                  int64_t min_distance_cylinders,
+                                                  PlacementPreference preference) {
+  if (sectors <= 0 || previous_end_sector <= 0 || previous_end_sector > total_sectors_) {
+    return Status(ErrorCode::kInvalidArgument, "bad constrained allocation request");
+  }
+  if (max_distance_cylinders < min_distance_cylinders) {
+    return Status(ErrorCode::kInvalidArgument, "empty cylinder distance window");
+  }
+  const int64_t per_cylinder = model_->params().SectorsPerCylinder();
+  const int64_t anchor_cylinder = (previous_end_sector - 1) / per_cylinder;
+
+  // Feasible start sectors: blocks whose *starting* cylinder is within the
+  // distance window. (The block may spill into the next cylinder; the gap
+  // that matters is the seek to the block's start.)
+  const int64_t lo_cyl = anchor_cylinder - max_distance_cylinders;
+  const int64_t hi_cyl = anchor_cylinder + max_distance_cylinders;
+  const int64_t window_begin = std::max<int64_t>(0, lo_cyl * per_cylinder);
+  const int64_t window_end = std::min(total_sectors_, (hi_cyl + 1) * per_cylinder);
+
+  auto satisfies_min = [&](const Extent& extent) {
+    if (min_distance_cylinders <= 0) {
+      return true;
+    }
+    const int64_t cyl = extent.start_sector / per_cylinder;
+    const int64_t distance = cyl >= anchor_cylinder ? cyl - anchor_cylinder : anchor_cylinder - cyl;
+    return distance >= min_distance_cylinders;
+  };
+
+  std::optional<Extent> found;
+  // Repair chains want maximal progress: try the far edge of the window
+  // first, then fall through to the nearest-fit policy.
+  if (preference == PlacementPreference::kFarthestForward) {
+    std::optional<Extent> candidate =
+        FindInWindow(sectors, previous_end_sector, window_end, /*forward=*/false, window_end);
+    if (candidate.has_value() && satisfies_min(*candidate)) {
+      if (Status status = AllocateExact(*candidate); !status.ok()) {
+        return status;
+      }
+      return *candidate;
+    }
+  } else if (preference == PlacementPreference::kFarthestBackward) {
+    std::optional<Extent> candidate =
+        FindInWindow(sectors, window_begin, previous_end_sector, /*forward=*/true, window_begin);
+    if (candidate.has_value() && satisfies_min(*candidate)) {
+      if (Status status = AllocateExact(*candidate); !status.ok()) {
+        return status;
+      }
+      return *candidate;
+    }
+  }
+  // Forward sweep first: allocating ahead of the arm's travel direction
+  // keeps strands marching across the disk instead of ping-ponging.
+  int64_t cursor = previous_end_sector;
+  while (true) {
+    std::optional<Extent> candidate =
+        FindInWindow(sectors, window_begin, window_end, /*forward=*/true, cursor);
+    if (!candidate.has_value()) {
+      break;
+    }
+    if (satisfies_min(*candidate)) {
+      found = candidate;
+      break;
+    }
+    cursor = candidate->start_sector + 1;
+  }
+  if (!found.has_value()) {
+    cursor = previous_end_sector;
+    while (true) {
+      std::optional<Extent> candidate =
+          FindInWindow(sectors, window_begin, window_end, /*forward=*/false, cursor);
+      if (!candidate.has_value()) {
+        break;
+      }
+      if (satisfies_min(*candidate)) {
+        found = candidate;
+        break;
+      }
+      cursor = candidate->start_sector + sectors - 1;
+      if (cursor <= window_begin) {
+        break;
+      }
+    }
+  }
+  if (!found.has_value()) {
+    return Status(ErrorCode::kNoSpace,
+                  "no free extent of " + std::to_string(sectors) + " sectors within " +
+                      std::to_string(max_distance_cylinders) + " cylinders");
+  }
+  if (Status status = AllocateExact(*found); !status.ok()) {
+    return status;
+  }
+  return *found;
+}
+
+std::optional<Extent> ConstrainedAllocator::FindInWindow(int64_t sectors, int64_t window_begin,
+                                                         int64_t window_end, bool forward,
+                                                         int64_t from) const {
+  if (window_begin >= window_end) {
+    return std::nullopt;
+  }
+  from = std::clamp(from, window_begin, window_end);
+  if (forward) {
+    // First free extent at or after `from` (also consider the extent
+    // containing `from`).
+    auto it = free_.upper_bound(from);
+    if (it != free_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second > from) {
+        const int64_t start = std::max(prev->first, from);
+        const int64_t available = prev->first + prev->second - start;
+        if (start + sectors <= window_end && available >= sectors) {
+          return Extent{start, sectors};
+        }
+      }
+    }
+    for (; it != free_.end() && it->first + sectors <= window_end; ++it) {
+      if (it->second >= sectors && it->first >= window_begin) {
+        return Extent{it->first, sectors};
+      }
+    }
+    return std::nullopt;
+  }
+  // Backward: last free run that can hold `sectors` fully before `from`
+  // and within the window. Prefer the placement closest to `from`.
+  auto it = free_.upper_bound(from);
+  while (it != free_.begin()) {
+    --it;
+    const int64_t run_start = std::max(it->first, window_begin);
+    const int64_t run_end = std::min({it->first + it->second, from, window_end});
+    if (run_end - run_start >= sectors) {
+      return Extent{run_end - sectors, sectors};
+    }
+    if (it->first < window_begin) {
+      break;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ConstrainedAllocator::IsFree(const Extent& extent) const {
+  auto it = free_.upper_bound(extent.start_sector);
+  if (it == free_.begin()) {
+    return false;
+  }
+  --it;
+  return it->first <= extent.start_sector && it->first + it->second >= extent.end_sector();
+}
+
+int64_t ConstrainedAllocator::LargestFreeExtent() const {
+  int64_t largest = 0;
+  for (const auto& [start, length] : free_) {
+    largest = std::max(largest, length);
+  }
+  return largest;
+}
+
+Status ConstrainedAllocator::AllocateExact(const Extent& extent) {
+  if (extent.sectors <= 0 || extent.start_sector < 0 || extent.end_sector() > total_sectors_) {
+    return Status(ErrorCode::kInvalidArgument, "extent outside disk");
+  }
+  auto it = free_.upper_bound(extent.start_sector);
+  if (it == free_.begin()) {
+    return Status(ErrorCode::kNoSpace, "extent not free");
+  }
+  --it;
+  if (it->first > extent.start_sector || it->first + it->second < extent.end_sector()) {
+    return Status(ErrorCode::kNoSpace, "extent not free");
+  }
+  Carve(it->first, it->second, extent);
+  free_sectors_ -= extent.sectors;
+  return Status::Ok();
+}
+
+void ConstrainedAllocator::Carve(int64_t free_start, int64_t free_length, const Extent& extent) {
+  free_.erase(free_start);
+  if (extent.start_sector > free_start) {
+    free_[free_start] = extent.start_sector - free_start;
+  }
+  const int64_t tail_start = extent.end_sector();
+  const int64_t tail_length = free_start + free_length - tail_start;
+  if (tail_length > 0) {
+    free_[tail_start] = tail_length;
+  }
+}
+
+Status ConstrainedAllocator::Free(const Extent& extent) {
+  if (extent.sectors <= 0 || extent.start_sector < 0 || extent.end_sector() > total_sectors_) {
+    return Status(ErrorCode::kInvalidArgument, "extent outside disk");
+  }
+  // Reject double frees: the extent must not overlap any free run.
+  auto next = free_.upper_bound(extent.start_sector);
+  if (next != free_.end() && next->first < extent.end_sector()) {
+    return Status(ErrorCode::kFailedPrecondition, "double free");
+  }
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second > extent.start_sector) {
+      return Status(ErrorCode::kFailedPrecondition, "double free");
+    }
+  }
+
+  int64_t start = extent.start_sector;
+  int64_t length = extent.sectors;
+  // Merge with the preceding run if adjacent.
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      length += prev->second;
+      free_.erase(prev);
+    }
+  }
+  // Merge with the following run if adjacent.
+  if (next != free_.end() && next->first == extent.end_sector()) {
+    length += next->second;
+    free_.erase(next);
+  }
+  free_[start] = length;
+  free_sectors_ += extent.sectors;
+  return Status::Ok();
+}
+
+}  // namespace vafs

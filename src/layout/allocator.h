@@ -1,0 +1,113 @@
+// Constrained block allocation (paper Section 3).
+//
+// Blocks of a media strand must be placed so that the positioning gap
+// between consecutive blocks never exceeds the strand's scattering bound.
+// Random allocation gives no such guarantee; contiguous allocation gives a
+// zero gap but fragments and forces bulk copying on edits. The paper's
+// answer is *constrained* allocation: each next block may land anywhere
+// within a bounded cylinder distance of its predecessor, and the gaps left
+// between media blocks remain available — notably for conventional text
+// files, letting one server integrate both roles.
+//
+// The allocator manages free sector extents on one disk. Media strands
+// allocate with a distance window relative to the previous block; text and
+// index blocks allocate unconstrained (first fit).
+
+#ifndef VAFS_SRC_LAYOUT_ALLOCATOR_H_
+#define VAFS_SRC_LAYOUT_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/disk/disk_model.h"
+#include "src/util/result.h"
+
+namespace vafs {
+
+// How AllocateNear chooses among feasible extents. Nearest keeps strands
+// compact; the farthest variants are used by scattering repair, which must
+// make maximal progress toward a distant target with every placed block.
+enum class PlacementPreference {
+  kNearest,
+  kFarthestForward,   // as close to the forward window edge as possible
+  kFarthestBackward,  // as close to the backward window edge as possible
+};
+
+// A contiguous run of sectors.
+struct Extent {
+  int64_t start_sector = 0;
+  int64_t sectors = 0;
+
+  int64_t end_sector() const { return start_sector + sectors; }
+  friend bool operator==(const Extent& a, const Extent& b) = default;
+};
+
+class ConstrainedAllocator {
+ public:
+  explicit ConstrainedAllocator(const DiskModel* model);
+
+  // --- Unconstrained allocation (text files, index blocks) -----------------
+
+  // First free extent of `sectors`, optionally at/after `hint_sector`.
+  Result<Extent> Allocate(int64_t sectors, int64_t hint_sector = 0);
+
+  // Allocates at the start of the largest free run. Used for the first
+  // block of a new strand: the strand's whole constrained chain grows
+  // from this spot, so it should begin where the most contiguous room is.
+  Result<Extent> AllocateInLargest(int64_t sectors);
+
+  // --- Constrained allocation (media blocks) --------------------------------
+
+  // Allocates `sectors` such that the cylinder distance from the cylinder
+  // holding `previous_end_sector - 1` is within [min_distance, max_distance].
+  // Preference order: nearest feasible extent beyond the previous block
+  // (forward sweep), then nearest feasible extent before it. min_distance
+  // is almost always 0; tests use it to force specific layouts.
+  Result<Extent> AllocateNear(int64_t previous_end_sector, int64_t sectors,
+                              int64_t max_distance_cylinders,
+                              int64_t min_distance_cylinders = 0,
+                              PlacementPreference preference = PlacementPreference::kNearest);
+
+  // Allocates a specific extent if free (used by block redistribution
+  // during scattering repair, which computes target positions itself).
+  Status AllocateExact(const Extent& extent);
+
+  // Returns an extent to the free pool; merges with neighbours.
+  Status Free(const Extent& extent);
+
+  // --- Introspection --------------------------------------------------------
+
+  int64_t total_sectors() const { return total_sectors_; }
+  int64_t free_sectors() const { return free_sectors_; }
+  double Occupancy() const {
+    return 1.0 - static_cast<double>(free_sectors_) / static_cast<double>(total_sectors_);
+  }
+  // Number of free extents (fragmentation indicator).
+  int64_t FreeExtentCount() const { return static_cast<int64_t>(free_.size()); }
+
+  // True if every sector of `extent` is currently free.
+  bool IsFree(const Extent& extent) const;
+
+  // Largest free extent available anywhere.
+  int64_t LargestFreeExtent() const;
+
+ private:
+  // Finds a free extent of `sectors` inside [window_begin, window_end),
+  // scanning from `from` in the given direction. Returns nullopt if none.
+  std::optional<Extent> FindInWindow(int64_t sectors, int64_t window_begin, int64_t window_end,
+                                     bool forward, int64_t from) const;
+
+  void Carve(int64_t free_start, int64_t free_length, const Extent& extent);
+
+  const DiskModel* model_;
+  int64_t total_sectors_;
+  int64_t free_sectors_;
+  // Free extents: start sector -> length. Invariant: non-overlapping,
+  // non-adjacent (adjacent extents are merged on Free).
+  std::map<int64_t, int64_t> free_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_LAYOUT_ALLOCATOR_H_

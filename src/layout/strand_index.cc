@@ -1,0 +1,181 @@
+#include "src/layout/strand_index.h"
+
+#include <cassert>
+#include <cstring>
+#include <string>
+
+#include "src/util/units.h"
+
+namespace vafs {
+
+namespace {
+
+void PutI64(std::vector<uint8_t>* out, int64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(static_cast<uint64_t>(value) >> (8 * i)));
+  }
+}
+
+void PutF64(std::vector<uint8_t>* out, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutI64(out, static_cast<int64_t>(bits));
+}
+
+int64_t GetI64(const std::vector<uint8_t>& in, size_t offset) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(in[offset + static_cast<size_t>(i)]) << (8 * i);
+  }
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace
+
+StrandIndex::StrandIndex(IndexFanout fanout) : fanout_(fanout) {
+  assert(fanout_.entries_per_primary > 0);
+  assert(fanout_.primaries_per_secondary > 0);
+}
+
+void StrandIndex::Append(const PrimaryEntry& entry) {
+  assert(entry.IsSilence() ? entry.sector_count == 0
+                           : (entry.sector >= 0 && entry.sector_count > 0));
+  entries_.push_back(entry);
+  ++block_count_;
+  if (entry.IsSilence()) {
+    ++silence_blocks_;
+  }
+}
+
+Result<PrimaryEntry> StrandIndex::Lookup(int64_t block_number) const {
+  if (block_number < 0 || block_number >= block_count_) {
+    return Status(ErrorCode::kOutOfRange,
+                  "block " + std::to_string(block_number) + " outside strand of " +
+                      std::to_string(block_count_) + " blocks");
+  }
+  return entries_[static_cast<size_t>(block_number)];
+}
+
+int64_t StrandIndex::primary_block_count() const {
+  return CeilDiv(block_count_, fanout_.entries_per_primary);
+}
+
+int64_t StrandIndex::secondary_block_count() const {
+  return CeilDiv(primary_block_count(), fanout_.primaries_per_secondary);
+}
+
+std::vector<uint8_t> StrandIndex::SerializePrimaryBlock(int64_t pb_number) const {
+  assert(pb_number >= 0 && pb_number < primary_block_count());
+  const int64_t first = pb_number * fanout_.entries_per_primary;
+  const int64_t last = std::min(block_count_, first + fanout_.entries_per_primary);
+  std::vector<uint8_t> out;
+  out.reserve(static_cast<size_t>((last - first) * 16));
+  for (int64_t i = first; i < last; ++i) {
+    const PrimaryEntry& entry = entries_[static_cast<size_t>(i)];
+    PutI64(&out, entry.sector);
+    PutI64(&out, entry.sector_count);
+  }
+  return out;
+}
+
+std::vector<uint8_t> StrandIndex::SerializeSecondaryBlock(
+    int64_t sb_number, const std::vector<std::pair<int64_t, int64_t>>& pb_extents) const {
+  assert(sb_number >= 0 && sb_number < secondary_block_count());
+  assert(static_cast<int64_t>(pb_extents.size()) == primary_block_count());
+  const int64_t first_pb = sb_number * fanout_.primaries_per_secondary;
+  const int64_t last_pb = std::min(primary_block_count(), first_pb + fanout_.primaries_per_secondary);
+  std::vector<uint8_t> out;
+  for (int64_t pb = first_pb; pb < last_pb; ++pb) {
+    const int64_t start_block = pb * fanout_.entries_per_primary;
+    const int64_t blocks_in_pb =
+        std::min(block_count_ - start_block, fanout_.entries_per_primary);
+    PutI64(&out, start_block);                                   // startBlock
+    PutI64(&out, blocks_in_pb);                                  // BlockCount
+    PutI64(&out, pb_extents[static_cast<size_t>(pb)].first);     // sector
+    PutI64(&out, pb_extents[static_cast<size_t>(pb)].second);    // sectorCount
+  }
+  return out;
+}
+
+std::vector<uint8_t> StrandIndex::SerializeHeaderBlock(
+    double recording_rate, int64_t unit_count,
+    const std::vector<std::pair<int64_t, int64_t>>& sb_extents) const {
+  assert(static_cast<int64_t>(sb_extents.size()) == secondary_block_count());
+  std::vector<uint8_t> out;
+  PutF64(&out, recording_rate);                                  // frameRate
+  PutI64(&out, static_cast<int64_t>(sb_extents.size()));         // secondaryCount
+  PutI64(&out, unit_count);                                      // frameCount
+  for (const auto& [sector, sector_count] : sb_extents) {        // secondaryArray
+    PutI64(&out, sector);
+    PutI64(&out, sector_count);
+  }
+  return out;
+}
+
+Result<StrandIndex> StrandIndex::FromSerializedPrimaries(
+    IndexFanout fanout, const std::vector<std::vector<uint8_t>>& primaries) {
+  StrandIndex index(fanout);
+  for (const std::vector<uint8_t>& pb : primaries) {
+    if (pb.size() % 16 != 0) {
+      return Status(ErrorCode::kInvalidArgument, "primary block blob not a multiple of 16 bytes");
+    }
+    for (size_t offset = 0; offset < pb.size(); offset += 16) {
+      PrimaryEntry entry;
+      entry.sector = GetI64(pb, offset);
+      entry.sector_count = GetI64(pb, offset + 8);
+      if (entry.IsSilence() ? entry.sector_count != 0
+                            : (entry.sector < 0 || entry.sector_count <= 0)) {
+        return Status(ErrorCode::kInvalidArgument, "corrupt primary entry");
+      }
+      index.Append(entry);
+    }
+  }
+  return index;
+}
+
+Result<std::vector<StrandIndex::SecondaryEntry>> StrandIndex::ParseSecondaryBlock(
+    const std::vector<uint8_t>& blob) {
+  if (blob.size() % 32 != 0) {
+    return Status(ErrorCode::kInvalidArgument, "secondary block blob not a multiple of 32 bytes");
+  }
+  std::vector<SecondaryEntry> entries;
+  for (size_t offset = 0; offset + 32 <= blob.size(); offset += 32) {
+    SecondaryEntry entry;
+    entry.start_block = GetI64(blob, offset);
+    entry.block_count = GetI64(blob, offset + 8);
+    entry.sector = GetI64(blob, offset + 16);
+    entry.sector_count = GetI64(blob, offset + 24);
+    if (entry.block_count == 0) {
+      break;  // sector padding
+    }
+    if (entry.start_block < 0 || entry.block_count < 0 || entry.sector < 0 ||
+        entry.sector_count <= 0) {
+      return Status(ErrorCode::kInvalidArgument, "corrupt secondary entry");
+    }
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+Result<StrandIndex::HeaderInfo> StrandIndex::ParseHeaderBlock(const std::vector<uint8_t>& blob) {
+  if (blob.size() < 24) {
+    return Status(ErrorCode::kInvalidArgument, "header block too small");
+  }
+  HeaderInfo info;
+  const int64_t rate_bits = GetI64(blob, 0);
+  uint64_t bits = static_cast<uint64_t>(rate_bits);
+  std::memcpy(&info.recording_rate, &bits, sizeof(bits));
+  const int64_t secondary_count = GetI64(blob, 8);
+  info.unit_count = GetI64(blob, 16);
+  if (secondary_count < 0 || info.unit_count < 0 || !(info.recording_rate > 0) ||
+      blob.size() < 24 + static_cast<size_t>(secondary_count) * 16) {
+    return Status(ErrorCode::kInvalidArgument, "corrupt header block");
+  }
+  for (int64_t i = 0; i < secondary_count; ++i) {
+    const size_t offset = 24 + static_cast<size_t>(i) * 16;
+    info.sb_extents.emplace_back(GetI64(blob, offset), GetI64(blob, offset + 8));
+  }
+  return info;
+}
+
+}  // namespace vafs

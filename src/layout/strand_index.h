@@ -1,0 +1,134 @@
+// Three-level strand index (paper Section 3.5, Figures 5-6).
+//
+// A strand's media blocks are addressed through:
+//   Header Block (HB): recording rate, frame count, pointers to all SBs;
+//   Secondary Blocks (SB): entries [startBlock, blockCount, sector,
+//     sectorCount] locating Primary Blocks;
+//   Primary Blocks (PB): entries [sector, sectorCount] locating Media
+//     Blocks (MB) on disk.
+// The structure gives large strand sizes plus random and concurrent access
+// (any media block is reachable in HB -> SB -> PB -> MB = 3 index hops).
+//
+// Silence elimination (Section 4) stores no data for silent audio blocks;
+// a NULL pointer in the primary index — encoded here as sector == -1 —
+// acts as the explicit delay holder for the duration of a block.
+
+#ifndef VAFS_SRC_LAYOUT_STRAND_INDEX_H_
+#define VAFS_SRC_LAYOUT_STRAND_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace vafs {
+
+// Sentinel disk position for an eliminated-silence block.
+inline constexpr int64_t kSilenceSector = -1;
+
+// One Primary Block entry: where a media block lives (Fig. 6).
+struct PrimaryEntry {
+  int64_t sector = kSilenceSector;  // position of the MB on disk
+  int64_t sector_count = 0;         // length of the MB in sectors
+
+  bool IsSilence() const { return sector == kSilenceSector; }
+  friend bool operator==(const PrimaryEntry& a, const PrimaryEntry& b) = default;
+};
+
+// Fan-out configuration: how many entries fit in each index block. The
+// defaults correspond to 4 KB index blocks holding 16-byte PB entries and
+// 32-byte SB entries.
+struct IndexFanout {
+  int64_t entries_per_primary = 256;
+  int64_t primaries_per_secondary = 128;
+};
+
+class StrandIndex {
+ public:
+  explicit StrandIndex(IndexFanout fanout = IndexFanout());
+
+  const IndexFanout& fanout() const { return fanout_; }
+
+  // Appends the next media block's location (strands are append-only:
+  // immutability keeps garbage collection simple).
+  void Append(const PrimaryEntry& entry);
+
+  // Location of media block `block_number`.
+  Result<PrimaryEntry> Lookup(int64_t block_number) const;
+
+  int64_t block_count() const { return block_count_; }
+
+  // Number of media blocks that are eliminated silence.
+  int64_t silence_block_count() const { return silence_blocks_; }
+
+  // Structural sizes (Fig. 5): how many PBs / SBs the strand needs.
+  int64_t primary_block_count() const;
+  int64_t secondary_block_count() const;
+
+  // Index blocks touched by a cold random lookup (HB + SB + PB).
+  static constexpr int64_t kColdLookupHops = 3;
+
+  // Iterates entries in block order.
+  const std::vector<PrimaryEntry>& entries() const { return entries_; }
+
+  // --- On-disk form ---------------------------------------------------------
+  //
+  // Serialization lays the three levels into self-contained byte blobs so
+  // the storage manager can place each index block on disk. Offsets use
+  // little-endian int64.
+
+  // Serialized Primary Block `pb_number` (entries only).
+  std::vector<uint8_t> SerializePrimaryBlock(int64_t pb_number) const;
+
+  // Serialized Secondary Block `sb_number`, given the disk extents at
+  // which the PBs it covers were placed: pb_extents[i] = {sector,
+  // sector_count} of PB i (absolute PB numbering).
+  std::vector<uint8_t> SerializeSecondaryBlock(
+      int64_t sb_number, const std::vector<std::pair<int64_t, int64_t>>& pb_extents) const;
+
+  // Serialized Header Block, given SB extents and media metadata.
+  std::vector<uint8_t> SerializeHeaderBlock(
+      double recording_rate, int64_t unit_count,
+      const std::vector<std::pair<int64_t, int64_t>>& sb_extents) const;
+
+  // Rebuilds an index from the concatenation of its serialized PBs, in
+  // order (used by recovery; SB/HB carry only placement).
+  static Result<StrandIndex> FromSerializedPrimaries(
+      IndexFanout fanout, const std::vector<std::vector<uint8_t>>& primaries);
+
+  // --- Recovery parsing -------------------------------------------------------
+
+  // One Secondary Block entry as stored on disk (Fig. 6).
+  struct SecondaryEntry {
+    int64_t start_block = 0;
+    int64_t block_count = 0;
+    int64_t sector = 0;
+    int64_t sector_count = 0;
+  };
+
+  // Parses a Secondary Block read back from disk. Trailing sector padding
+  // (all-zero entries, recognizable by block_count == 0) is ignored.
+  static Result<std::vector<SecondaryEntry>> ParseSecondaryBlock(
+      const std::vector<uint8_t>& blob);
+
+  // The Header Block's decoded contents.
+  struct HeaderInfo {
+    double recording_rate = 0.0;
+    int64_t unit_count = 0;
+    // SB placements: (sector, sector_count).
+    std::vector<std::pair<int64_t, int64_t>> sb_extents;
+  };
+
+  // Parses a Header Block read back from disk.
+  static Result<HeaderInfo> ParseHeaderBlock(const std::vector<uint8_t>& blob);
+
+ private:
+  IndexFanout fanout_;
+  std::vector<PrimaryEntry> entries_;
+  int64_t block_count_ = 0;
+  int64_t silence_blocks_ = 0;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_LAYOUT_STRAND_INDEX_H_

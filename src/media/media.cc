@@ -1,0 +1,46 @@
+#include "src/media/media.h"
+
+#include <cstdio>
+
+namespace vafs {
+
+const char* MediumName(Medium medium) {
+  switch (medium) {
+    case Medium::kVideo:
+      return "video";
+    case Medium::kAudio:
+      return "audio";
+  }
+  return "unknown";
+}
+
+std::string MediaProfile::ToString() const {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%s: %.1f units/s x %lld bits (%.2f Mbit/s)",
+                MediumName(medium), units_per_sec, static_cast<long long>(bits_per_unit),
+                BitRate() / 1e6);
+  return buffer;
+}
+
+MediaProfile UvcCompressedVideo() {
+  // 480x200 pixels x 12 bpp = 1,152,000 bits/frame raw; the UVC board
+  // compresses roughly 12:1, giving ~96,000 bits (12 KB) per frame.
+  return MediaProfile{Medium::kVideo, 30.0, 96'000};
+}
+
+MediaProfile UvcRawVideo() { return MediaProfile{Medium::kVideo, 30.0, 480 * 200 * 12}; }
+
+MediaProfile TelephoneAudio() {
+  // 8 KBytes/sec of 8-bit samples = 8000 samples/sec.
+  return MediaProfile{Medium::kAudio, 8000.0, 8};
+}
+
+MediaProfile CdAudio() { return MediaProfile{Medium::kAudio, 44'100.0, 32}; }
+
+MediaProfile HdtvVideo() {
+  // ~1920x1035 x 24 bpp x 52 frames/sec ~= 2.5 Gbit/s, the figure the
+  // paper quotes for one HDTV-quality strand.
+  return MediaProfile{Medium::kVideo, 52.0, 1920 * 1035 * 24};
+}
+
+}  // namespace vafs

@@ -1,0 +1,61 @@
+// Media stream descriptions (the paper's Table 1 symbols for each medium).
+//
+// A medium is characterized by its recording rate (R_v frames/sec for
+// video, R_a samples/sec for audio) and the size of one unit (s_vf bits
+// per frame, s_as bits per sample). Everything downstream — granularity,
+// scattering, admission control — is computed from these two numbers, so
+// vaFS handles any continuous medium uniformly.
+
+#ifndef VAFS_SRC_MEDIA_MEDIA_H_
+#define VAFS_SRC_MEDIA_MEDIA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/units.h"
+
+namespace vafs {
+
+enum class Medium {
+  kVideo,
+  kAudio,
+};
+
+const char* MediumName(Medium medium);
+
+// Rate and unit-size description of one recorded stream.
+struct MediaProfile {
+  Medium medium = Medium::kVideo;
+  double units_per_sec = 30.0;  // R_v or R_a
+  int64_t bits_per_unit = 0;    // s_vf or s_as
+
+  // Stream bandwidth in bits/second.
+  double BitRate() const { return units_per_sec * static_cast<double>(bits_per_unit); }
+
+  // Playback duration of one unit in seconds.
+  double UnitDuration() const { return 1.0 / units_per_sec; }
+
+  std::string ToString() const;
+};
+
+// The paper's testbed video: UVC hardware digitizing NTSC at 480x200
+// pixels, 12 bits/pixel, 30 frames/sec, with ~12:1 compression.
+MediaProfile UvcCompressedVideo();
+
+// Uncompressed variant of the testbed video (for stress parameters).
+MediaProfile UvcRawVideo();
+
+// The paper's testbed audio: 8 KBytes/sec, 8-bit samples.
+MediaProfile TelephoneAudio();
+
+// CD-quality stereo audio: 44.1 kHz, 32 bits per (stereo) sample.
+MediaProfile CdAudio();
+
+// HDTV-quality video from the paper's Section 3 feasibility argument:
+// a stream requiring data rates up to ~2.5 Gbit/s (uncompressed HDTV at
+// 60 frames/sec).
+MediaProfile HdtvVideo();
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_MEDIA_MEDIA_H_

@@ -1,0 +1,17 @@
+#include "src/media/silence.h"
+
+namespace vafs {
+
+double SilenceDetector::AverageEnergy(std::span<const uint8_t> samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (uint8_t sample : samples) {
+    const double deviation = static_cast<double>(sample) - 128.0;
+    sum += deviation * deviation;
+  }
+  return sum / static_cast<double>(samples.size());
+}
+
+}  // namespace vafs

@@ -1,0 +1,42 @@
+// Energy-threshold silence detection (paper Section 4, silence elimination).
+//
+// "In silence elimination, if the average energy level over a block falls
+// below a threshold, no audio data is stored for that duration." The
+// detector computes mean squared deviation from the 8-bit midpoint over a
+// window and compares it against a threshold.
+
+#ifndef VAFS_SRC_MEDIA_SILENCE_H_
+#define VAFS_SRC_MEDIA_SILENCE_H_
+
+#include <cstdint>
+#include <span>
+
+namespace vafs {
+
+class SilenceDetector {
+ public:
+  // `energy_threshold` is the mean squared amplitude (deviation from the
+  // 128 midpoint, squared, averaged over the window) below which a window
+  // counts as silent. The default separates the synthetic speech profile's
+  // speech (~amplitude 90) from its residual noise (~amplitude 2) with a
+  // wide margin.
+  explicit SilenceDetector(double energy_threshold = 100.0)
+      : energy_threshold_(energy_threshold) {}
+
+  double energy_threshold() const { return energy_threshold_; }
+
+  // Average energy of the window: mean of (sample - 128)^2.
+  static double AverageEnergy(std::span<const uint8_t> samples);
+
+  // True if the window's average energy is below the threshold.
+  bool IsSilent(std::span<const uint8_t> samples) const {
+    return AverageEnergy(samples) < energy_threshold_;
+  }
+
+ private:
+  double energy_threshold_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_MEDIA_SILENCE_H_

@@ -1,0 +1,88 @@
+// Variable-rate compressed video (paper Section 6.2).
+//
+// "Variable rate compression of video (analogous to silence elimination in
+// audio), such as differencing between frames, can result in varying but
+// smaller sizes of video frames, thereby yielding better bounds for
+// granularity and scattering."
+//
+// VbrVideoSource models a differencing encoder: every group-of-pictures
+// starts with a full intra frame at the nominal (peak) size, followed by
+// delta frames whose size depends on scene activity. Scene activity is a
+// deterministic function of (seed, time): quiet stretches produce tiny
+// deltas, action stretches approach the intra size. Every frame remains
+// regenerable from (seed, index) for read-back verification.
+
+#ifndef VAFS_SRC_MEDIA_VBR_SOURCE_H_
+#define VAFS_SRC_MEDIA_VBR_SOURCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/media/media.h"
+#include "src/media/sources.h"
+#include "src/util/prng.h"
+
+namespace vafs {
+
+struct VbrProfile {
+  int64_t group_of_pictures = 15;   // frames per intra-coded frame
+  double delta_mean_fraction = 0.2; // mean delta size as a fraction of intra size
+  double scene_change_per_sec = 0.3;// rate of activity level changes
+};
+
+class VbrVideoSource {
+ public:
+  // `profile.bits_per_unit` is the intra (peak) frame size.
+  VbrVideoSource(const MediaProfile& profile, const VbrProfile& vbr, uint64_t seed);
+
+  const MediaProfile& profile() const { return profile_; }
+  int64_t peak_frame_bytes() const { return peak_frame_bytes_; }
+
+  // Size in bytes of frame `index` (deterministic).
+  int64_t FrameBytes(int64_t index) const;
+
+  // Payload of frame `index` (deterministic, FrameBytes(index) long).
+  std::vector<uint8_t> FramePayload(int64_t index) const;
+
+  // Next frame in capture order.
+  VideoFrame NextFrame();
+
+  int64_t frames_produced() const { return next_index_; }
+
+  // Mean frame size over the first `frames` frames (for rate planning).
+  double MeanFrameBytes(int64_t frames) const;
+
+ private:
+  // Activity level in [0, 1] for the scene containing `index`.
+  double ActivityAt(int64_t index) const;
+
+  MediaProfile profile_;
+  VbrProfile vbr_;
+  uint64_t seed_;
+  int64_t peak_frame_bytes_;
+  int64_t next_index_ = 0;
+};
+
+// Block-size statistics of a recorded VBR strand, and the read-ahead that
+// restores strict continuity despite the size variation: with transfer
+// budgeted at the mean block size, a burst of oversized blocks can put the
+// stream behind by at most `worst_burst_excess_bits / R_dt` seconds, which
+// `required_read_ahead` buffered blocks absorb.
+struct VbrStrandStats {
+  double mean_block_bits = 0.0;
+  int64_t peak_block_bits = 0;
+  // Largest cumulative excess of actual over mean bits across any block
+  // window (the burst a read-ahead must cover).
+  double worst_burst_excess_bits = 0.0;
+  // Blocks of read-ahead that cover the worst burst at the given transfer
+  // rate and block playback duration.
+  int64_t RequiredReadAhead(double transfer_rate_bits_per_sec,
+                            double block_duration_sec) const;
+};
+
+// Computes the statistics from per-block bit counts in playback order.
+VbrStrandStats AnalyzeVbrBlocks(const std::vector<int64_t>& block_bits);
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_MEDIA_VBR_SOURCE_H_

@@ -1,0 +1,97 @@
+#include "src/msm/interleaved.h"
+
+#include <cmath>
+#include <string>
+
+#include "src/util/units.h"
+
+namespace vafs {
+
+Result<InterleavedLayout> MakeInterleavedLayout(const MediaProfile& video,
+                                                const MediaProfile& audio) {
+  if (video.medium != Medium::kVideo || audio.medium != Medium::kAudio) {
+    return Status(ErrorCode::kInvalidArgument, "need one video and one audio profile");
+  }
+  const double ratio = audio.units_per_sec / video.units_per_sec;
+  if (std::abs(ratio - std::round(ratio)) > 1e-9 || ratio < 1.0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "audio rate must be an integer multiple of the frame rate");
+  }
+  if (audio.bits_per_unit != 8) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "interleaving supports 8-bit audio samples");
+  }
+  InterleavedLayout layout;
+  layout.frame_bytes = BitsToBytesCeil(video.bits_per_unit);
+  layout.samples_per_frame = static_cast<int64_t>(std::llround(ratio));
+  layout.frames_per_sec = video.units_per_sec;
+  return layout;
+}
+
+Result<RecordingResult> RecordInterleavedAv(StrandStore* store, VideoSource* video,
+                                            AudioSource* audio,
+                                            const InterleavedLayout& layout,
+                                            const StrandPlacement& placement,
+                                            double duration_sec) {
+  const int64_t total_frames = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(duration_sec * layout.frames_per_sec)));
+
+  Result<std::unique_ptr<StrandWriter>> writer =
+      store->CreateStrand(layout.Profile(), placement);
+  if (!writer.ok()) {
+    return writer.status();
+  }
+
+  RecordingResult result;
+  std::vector<uint8_t> block;
+  int64_t frames_in_block = 0;
+  for (int64_t frame = 0; frame < total_frames; ++frame) {
+    // Combine: the frame, then the audio covering its display interval.
+    VideoFrame captured = video->NextFrame();
+    if (static_cast<int64_t>(captured.payload.size()) != layout.frame_bytes) {
+      return Status(ErrorCode::kInvalidArgument, "video source does not match the layout");
+    }
+    block.insert(block.end(), captured.payload.begin(), captured.payload.end());
+    const std::vector<uint8_t> samples = audio->NextSamples(layout.samples_per_frame);
+    block.insert(block.end(), samples.begin(), samples.end());
+
+    if (++frames_in_block == placement.granularity || frame + 1 == total_frames) {
+      if (Result<SimDuration> written = (*writer)->AppendBlock(block); !written.ok()) {
+        return written.status();
+      }
+      block.clear();
+      frames_in_block = 0;
+    }
+  }
+
+  result.blocks_total = (*writer)->blocks_written();
+  result.units_recorded = total_frames;
+  result.avg_gap_sec = (*writer)->AverageGapSec();
+  result.max_gap_sec = (*writer)->MaxGapSec();
+  Result<StrandId> id = (*writer)->Finish(total_frames);
+  if (!id.ok()) {
+    return id.status();
+  }
+  result.strand = *id;
+  return result;
+}
+
+Result<SeparatedUnit> SeparateUnit(const InterleavedLayout& layout,
+                                   std::span<const uint8_t> block_payload,
+                                   int64_t unit_within_block) {
+  const int64_t unit_bytes = layout.UnitBytes();
+  const int64_t offset = unit_within_block * unit_bytes;
+  if (unit_within_block < 0 ||
+      offset + unit_bytes > static_cast<int64_t>(block_payload.size())) {
+    return Status(ErrorCode::kOutOfRange,
+                  "unit " + std::to_string(unit_within_block) + " outside block of " +
+                      std::to_string(block_payload.size()) + " bytes");
+  }
+  SeparatedUnit unit;
+  auto begin = block_payload.begin() + offset;
+  unit.frame.assign(begin, begin + layout.frame_bytes);
+  unit.samples.assign(begin + layout.frame_bytes, begin + unit_bytes);
+  return unit;
+}
+
+}  // namespace vafs

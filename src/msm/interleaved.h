@@ -1,0 +1,69 @@
+// Heterogeneous blocks: audio and video stored together (Section 3.3.3).
+//
+// "Multiple media being recorded are stored within the same block, which
+// may entail additional processing for combining these media during
+// storage, and for separating them during retrieval. The advantage of
+// this scheme is that it provides implicit inter-media synchronization."
+//
+// An interleaved strand's unit is one video frame together with the audio
+// samples spanning its display time (R_a / R_v samples). Each block holds
+// q such composite units, laid out as [frame 0][audio 0][frame 1][audio 1]
+// ... so retrieval of a block delivers both media for its interval in one
+// disk access — Eq. 6's single positioning gap per combined block, and
+// synchronization for free. The cost the paper names is the combining/
+// separating step, which InterleavedCodec implements explicitly.
+
+#ifndef VAFS_SRC_MSM_INTERLEAVED_H_
+#define VAFS_SRC_MSM_INTERLEAVED_H_
+
+#include <cstdint>
+
+#include "src/media/sources.h"
+#include "src/msm/recorder.h"
+#include "src/msm/strand_store.h"
+#include "src/util/result.h"
+
+namespace vafs {
+
+// Fixed per-frame layout of an interleaved A/V stream.
+struct InterleavedLayout {
+  int64_t frame_bytes = 0;          // video payload per composite unit
+  int64_t samples_per_frame = 0;    // audio samples per composite unit
+  double frames_per_sec = 0.0;
+
+  int64_t UnitBytes() const { return frame_bytes + samples_per_frame; }
+
+  // The composite stream as a MediaProfile: video-rate units whose size
+  // covers both media (what the continuity model and admission control
+  // see — one stream, one request slot).
+  MediaProfile Profile() const {
+    return MediaProfile{Medium::kVideo, frames_per_sec, UnitBytes() * 8};
+  }
+};
+
+// Derives the layout for a video/audio source pair. The audio rate must
+// be an integer multiple of the frame rate (true for all presets).
+Result<InterleavedLayout> MakeInterleavedLayout(const MediaProfile& video,
+                                                const MediaProfile& audio);
+
+// Records `duration_sec` from both sources into one interleaved strand.
+// Returns the usual recording statistics; silence elimination does not
+// apply (a block always carries its video).
+Result<RecordingResult> RecordInterleavedAv(StrandStore* store, VideoSource* video,
+                                            AudioSource* audio,
+                                            const InterleavedLayout& layout,
+                                            const StrandPlacement& placement,
+                                            double duration_sec);
+
+// Separates one composite unit out of a block payload read from disk.
+struct SeparatedUnit {
+  std::vector<uint8_t> frame;
+  std::vector<uint8_t> samples;
+};
+Result<SeparatedUnit> SeparateUnit(const InterleavedLayout& layout,
+                                   std::span<const uint8_t> block_payload,
+                                   int64_t unit_within_block);
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_MSM_INTERLEAVED_H_

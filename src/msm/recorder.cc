@@ -1,0 +1,127 @@
+#include "src/msm/recorder.h"
+
+#include <cmath>
+#include <vector>
+
+namespace vafs {
+
+Result<RecordingResult> RecordVideo(StrandStore* store, VideoSource* source,
+                                    const StrandPlacement& placement, double duration_sec) {
+  const MediaProfile& profile = source->profile();
+  const int64_t total_frames = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(duration_sec * profile.units_per_sec)));
+
+  Result<std::unique_ptr<StrandWriter>> writer = store->CreateStrand(profile, placement);
+  if (!writer.ok()) {
+    return writer.status();
+  }
+
+  std::vector<uint8_t> block;
+  int64_t frames_in_block = 0;
+  for (int64_t frame = 0; frame < total_frames; ++frame) {
+    VideoFrame captured = source->NextFrame();
+    block.insert(block.end(), captured.payload.begin(), captured.payload.end());
+    if (++frames_in_block == placement.granularity || frame + 1 == total_frames) {
+      if (Result<SimDuration> written = (*writer)->AppendBlock(block); !written.ok()) {
+        return written.status();
+      }
+      block.clear();
+      frames_in_block = 0;
+    }
+  }
+
+  RecordingResult result;
+  result.blocks_total = (*writer)->blocks_written();
+  result.units_recorded = total_frames;
+  result.avg_gap_sec = (*writer)->AverageGapSec();
+  result.max_gap_sec = (*writer)->MaxGapSec();
+  Result<StrandId> id = (*writer)->Finish(total_frames);
+  if (!id.ok()) {
+    return id.status();
+  }
+  result.strand = *id;
+  return result;
+}
+
+Result<RecordingResult> RecordVbrVideo(StrandStore* store, VbrVideoSource* source,
+                                       const StrandPlacement& placement, double duration_sec) {
+  const MediaProfile& profile = source->profile();
+  const int64_t total_frames = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(duration_sec * profile.units_per_sec)));
+
+  Result<std::unique_ptr<StrandWriter>> writer = store->CreateStrand(profile, placement);
+  if (!writer.ok()) {
+    return writer.status();
+  }
+
+  RecordingResult result;
+  std::vector<uint8_t> block;
+  int64_t frames_in_block = 0;
+  for (int64_t frame = 0; frame < total_frames; ++frame) {
+    VideoFrame captured = source->NextFrame();
+    block.insert(block.end(), captured.payload.begin(), captured.payload.end());
+    if (++frames_in_block == placement.granularity || frame + 1 == total_frames) {
+      result.block_bits.push_back(static_cast<int64_t>(block.size()) * 8);
+      if (Result<SimDuration> written = (*writer)->AppendBlock(block); !written.ok()) {
+        return written.status();
+      }
+      block.clear();
+      frames_in_block = 0;
+    }
+  }
+
+  result.blocks_total = (*writer)->blocks_written();
+  result.units_recorded = total_frames;
+  result.avg_gap_sec = (*writer)->AverageGapSec();
+  result.max_gap_sec = (*writer)->MaxGapSec();
+  Result<StrandId> id = (*writer)->Finish(total_frames);
+  if (!id.ok()) {
+    return id.status();
+  }
+  result.strand = *id;
+  return result;
+}
+
+Result<RecordingResult> RecordAudio(StrandStore* store, AudioSource* source,
+                                    const SilenceDetector& detector,
+                                    const StrandPlacement& placement, double duration_sec) {
+  const MediaProfile& profile = source->profile();
+  const int64_t total_samples = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(duration_sec * profile.units_per_sec)));
+
+  Result<std::unique_ptr<StrandWriter>> writer = store->CreateStrand(profile, placement);
+  if (!writer.ok()) {
+    return writer.status();
+  }
+
+  RecordingResult result;
+  int64_t produced = 0;
+  while (produced < total_samples) {
+    const int64_t count = std::min(placement.granularity, total_samples - produced);
+    std::vector<uint8_t> samples = source->NextSamples(count);
+    produced += count;
+    if (detector.IsSilent(samples)) {
+      if (Status status = (*writer)->AppendSilence(); !status.ok()) {
+        return status;
+      }
+      ++result.silence_blocks;
+    } else {
+      if (Result<SimDuration> written = (*writer)->AppendBlock(samples); !written.ok()) {
+        return written.status();
+      }
+    }
+    ++result.blocks_total;
+  }
+
+  result.units_recorded = total_samples;
+  result.avg_gap_sec = (*writer)->AverageGapSec();
+  result.max_gap_sec = (*writer)->MaxGapSec();
+  Result<StrandId> id = (*writer)->Finish(total_samples);
+  if (!id.ok()) {
+    return id.status();
+  }
+  result.strand = *id;
+  return result;
+}
+
+}  // namespace vafs

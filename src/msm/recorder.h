@@ -1,0 +1,56 @@
+// Untimed recording helpers: pull media from a synthetic source, pack it
+// into blocks at the strand's granularity, run silence elimination for
+// audio, and write the strand through a StrandWriter.
+//
+// These helpers perform the *data path* of RECORD without real-time
+// pacing; the service scheduler (service_scheduler.h) provides the timed,
+// admission-controlled variant. Ropes and editing tests use these to
+// materialize strands quickly.
+
+#ifndef VAFS_SRC_MSM_RECORDER_H_
+#define VAFS_SRC_MSM_RECORDER_H_
+
+#include <cstdint>
+
+#include "src/core/continuity.h"
+#include "src/media/silence.h"
+#include "src/media/sources.h"
+#include "src/media/vbr_source.h"
+#include "src/msm/strand_store.h"
+#include "src/util/result.h"
+
+namespace vafs {
+
+struct RecordingResult {
+  StrandId strand = kNullStrand;
+  int64_t blocks_total = 0;
+  int64_t silence_blocks = 0;
+  int64_t units_recorded = 0;
+  double avg_gap_sec = 0.0;  // realized scattering
+  double max_gap_sec = 0.0;
+  // Per-block payload sizes in bits (filled by the VBR recorder only;
+  // constant-rate recordings leave it empty).
+  std::vector<int64_t> block_bits;
+};
+
+// Records `duration_sec` of video from `source` into a new strand.
+Result<RecordingResult> RecordVideo(StrandStore* store, VideoSource* source,
+                                    const StrandPlacement& placement, double duration_sec);
+
+// Records `duration_sec` of variable-rate compressed video: blocks carry
+// q frames each but their byte sizes vary with the encoder's output
+// (Section 6.2). The result's block_bits holds the realized sizes for
+// read-ahead analysis.
+Result<RecordingResult> RecordVbrVideo(StrandStore* store, VbrVideoSource* source,
+                                       const StrandPlacement& placement, double duration_sec);
+
+// Records `duration_sec` of audio with silence elimination: blocks whose
+// average energy falls below the detector's threshold store no data and
+// appear as NULL (silence) primary entries.
+Result<RecordingResult> RecordAudio(StrandStore* store, AudioSource* source,
+                                    const SilenceDetector& detector,
+                                    const StrandPlacement& placement, double duration_sec);
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_MSM_RECORDER_H_

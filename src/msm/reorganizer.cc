@@ -1,0 +1,102 @@
+#include "src/msm/reorganizer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace vafs {
+
+Result<StrandHealth> AuditStrand(StrandStore* store, StrandId id,
+                                 double bound_override_sec) {
+  Result<const Strand*> strand_result = store->Get(id);
+  if (!strand_result.ok()) {
+    return strand_result.status();
+  }
+  const Strand& strand = **strand_result;
+  const DiskModel& model = store->model();
+
+  StrandHealth health;
+  health.id = id;
+  health.bound_sec =
+      bound_override_sec >= 0 ? bound_override_sec : strand.info().max_scattering_sec;
+  double total_gap = 0.0;
+  int64_t gaps = 0;
+  int64_t previous_end = -1;
+  for (const PrimaryEntry& entry : strand.index().entries()) {
+    if (entry.IsSilence()) {
+      // Silence occupies no disk position; the playback duration it
+      // represents only adds slack, so it resets nothing.
+      continue;
+    }
+    ++health.data_blocks;
+    if (previous_end > 0) {
+      const double gap = UsecToSeconds(model.AccessGap(previous_end - 1, entry.sector));
+      total_gap += gap;
+      ++gaps;
+      health.max_gap_sec = std::max(health.max_gap_sec, gap);
+      if (gap > health.bound_sec + 1e-9) {
+        ++health.anomalous_gaps;
+      }
+    }
+    previous_end = entry.sector + entry.sector_count;
+  }
+  health.avg_gap_sec = gaps > 0 ? total_gap / static_cast<double>(gaps) : 0.0;
+  return health;
+}
+
+Result<RelocationOutcome> RelocateStrand(StrandStore* store, StrandId id,
+                                         int64_t pack_hint_sector, double new_bound_sec) {
+  Result<const Strand*> strand_result = store->Get(id);
+  if (!strand_result.ok()) {
+    return strand_result.status();
+  }
+  const Strand& strand = **strand_result;
+  const StrandInfo& info = strand.info();
+
+  const double bound = new_bound_sec >= 0 ? new_bound_sec : info.max_scattering_sec;
+  Result<std::unique_ptr<StrandWriter>> writer_result = store->CreateStrand(
+      info.Profile(), StrandPlacement{info.granularity,
+                                      std::min(info.min_scattering_sec, bound), bound});
+  if (!writer_result.ok()) {
+    return writer_result.status();
+  }
+  StrandWriter& writer = **writer_result;
+  if (pack_hint_sector >= 0) {
+    writer.SetAllocationHint(pack_hint_sector);
+  }
+
+  RelocationOutcome outcome;
+  const int64_t sector_bytes = store->disk().bytes_per_sector();
+  for (const PrimaryEntry& entry : strand.index().entries()) {
+    if (entry.IsSilence()) {
+      if (Status status = writer.AppendSilence(); !status.ok()) {
+        return status;
+      }
+      continue;
+    }
+    std::vector<uint8_t> payload;
+    Result<SimDuration> read = store->disk().Read(entry.sector, entry.sector_count, &payload);
+    if (!read.ok()) {
+      return read.status();
+    }
+    outcome.copy_time += *read;
+    if (payload.empty()) {
+      // Timing-only disks return no data; preserve sizes with zeros.
+      payload.assign(static_cast<size_t>(entry.sector_count * sector_bytes), 0);
+    }
+    Result<SimDuration> write = writer.AppendBlock(payload);
+    if (!write.ok()) {
+      return write.status();
+    }
+    outcome.copy_time += *write;
+    ++outcome.blocks_moved;
+  }
+
+  Result<StrandId> new_id = writer.Finish(info.unit_count);
+  if (!new_id.ok()) {
+    return new_id.status();
+  }
+  outcome.new_strand = *new_id;
+  return outcome;
+}
+
+}  // namespace vafs

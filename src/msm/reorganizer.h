@@ -1,0 +1,62 @@
+// Storage reorganization (paper Section 6.2).
+//
+// "Constrained scattering of blocks of a media strand can be difficult to
+// achieve when the disk is densely utilized. When it becomes impossible to
+// place new media strands in such a way that their scattering bounds are
+// satisfied, the storage of existing media strands on the disk may have to
+// be reorganized. [...] we are studying techniques by which a small number
+// of anomalies in scattering can be smoothed out."
+//
+// Two tools, both preserving strand immutability by producing fresh
+// strands (the rope layer rebinds references and garbage-collects the
+// originals):
+//   - AuditStrand measures a strand's realized scattering against its
+//     contract and counts anomalous gaps;
+//   - RelocateStrand rewrites a strand into a new constrained placement,
+//     optionally packed toward a target region (the compaction primitive).
+
+#ifndef VAFS_SRC_MSM_REORGANIZER_H_
+#define VAFS_SRC_MSM_REORGANIZER_H_
+
+#include <cstdint>
+
+#include "src/msm/strand_store.h"
+#include "src/util/result.h"
+
+namespace vafs {
+
+struct StrandHealth {
+  StrandId id = kNullStrand;
+  int64_t data_blocks = 0;       // silence excluded
+  double avg_gap_sec = 0.0;
+  double max_gap_sec = 0.0;
+  double bound_sec = 0.0;        // the strand's scattering contract
+  int64_t anomalous_gaps = 0;    // gaps exceeding the contract
+
+  bool NeedsRepair() const { return anomalous_gaps > 0; }
+};
+
+// Measures the realized inter-block gaps of a strand against its
+// scattering contract, or against `bound_override_sec` when >= 0 (e.g.,
+// auditing existing strands against bounds recomputed for new hardware).
+Result<StrandHealth> AuditStrand(StrandStore* store, StrandId id,
+                                 double bound_override_sec = -1.0);
+
+struct RelocationOutcome {
+  StrandId new_strand = kNullStrand;
+  int64_t blocks_moved = 0;
+  SimDuration copy_time = 0;
+};
+
+// Rewrites `id` into a fresh placement honouring its original contract
+// (or `new_bound_sec` when >= 0, adopting a recomputed bound). With
+// pack_hint_sector >= 0 the first block is allocated at/after that
+// position (compaction packs strands one after another). The original
+// strand is left in place; callers rebind references, then delete it.
+Result<RelocationOutcome> RelocateStrand(StrandStore* store, StrandId id,
+                                         int64_t pack_hint_sector = -1,
+                                         double new_bound_sec = -1.0);
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_MSM_REORGANIZER_H_

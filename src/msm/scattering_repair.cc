@@ -1,0 +1,170 @@
+#include "src/msm/scattering_repair.h"
+
+#include <string>
+#include <vector>
+
+namespace vafs {
+
+namespace {
+
+// Last non-silence entry at or before `block` (silence blocks occupy no
+// disk position, so the seam anchors on real data). Returns false if the
+// whole prefix is silence.
+bool AnchorEntry(const Strand& strand, int64_t block, PrimaryEntry* out) {
+  for (int64_t b = block; b >= 0; --b) {
+    Result<PrimaryEntry> entry = strand.index().Lookup(b);
+    if (!entry.ok()) {
+      return false;
+    }
+    if (!entry->IsSilence()) {
+      *out = *entry;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<double> SeamGapSec(StrandStore* store, StrandId preceding, int64_t preceding_last_block,
+                          StrandId following, int64_t following_first_block) {
+  Result<const Strand*> strand_a = store->Get(preceding);
+  if (!strand_a.ok()) {
+    return strand_a.status();
+  }
+  Result<const Strand*> strand_b = store->Get(following);
+  if (!strand_b.ok()) {
+    return strand_b.status();
+  }
+  PrimaryEntry from;
+  if (!AnchorEntry(**strand_a, preceding_last_block, &from)) {
+    return 0.0;  // all silence before the seam: nothing to hop from
+  }
+  Result<PrimaryEntry> to = (*strand_b)->index().Lookup(following_first_block);
+  if (!to.ok()) {
+    return to.status();
+  }
+  if (to->IsSilence()) {
+    return 0.0;
+  }
+  return UsecToSeconds(store->model().AccessGap(from.sector + from.sector_count - 1, to->sector));
+}
+
+Result<RepairOutcome> RepairSeam(StrandStore* store, StrandId preceding,
+                                 int64_t preceding_last_block, StrandId following,
+                                 int64_t following_first_block,
+                                 int64_t following_blocks_available) {
+  Result<const Strand*> strand_a_result = store->Get(preceding);
+  if (!strand_a_result.ok()) {
+    return strand_a_result.status();
+  }
+  Result<const Strand*> strand_b_result = store->Get(following);
+  if (!strand_b_result.ok()) {
+    return strand_b_result.status();
+  }
+  const Strand& strand_a = **strand_a_result;
+  const Strand& strand_b = **strand_b_result;
+  const double bound_sec = strand_b.info().max_scattering_sec;
+  const DiskModel& model = store->model();
+
+  RepairOutcome outcome;
+
+  PrimaryEntry seam_anchor;
+  if (!AnchorEntry(strand_a, preceding_last_block, &seam_anchor)) {
+    outcome.already_continuous = true;
+    return outcome;
+  }
+  const int64_t seam_anchor_end = seam_anchor.sector + seam_anchor.sector_count;
+
+  auto gap_sec = [&](int64_t from_end_sector, const PrimaryEntry& to) {
+    return UsecToSeconds(model.AccessGap(from_end_sector - 1, to.sector));
+  };
+
+  // Fast path: the seam already satisfies the bound.
+  {
+    Result<PrimaryEntry> first = strand_b.index().Lookup(following_first_block);
+    if (!first.ok()) {
+      return first.status();
+    }
+    if (first->IsSilence() || gap_sec(seam_anchor_end, *first) <= bound_sec) {
+      outcome.already_continuous = true;
+      return outcome;
+    }
+  }
+
+  // Copy chain: each copied block is placed within the scattering window
+  // of the previous position; the chain ends as soon as the next block's
+  // *original* placement is itself within reach.
+  Result<std::unique_ptr<StrandWriter>> writer_result = store->CreateStrand(
+      strand_b.info().Profile(),
+      StrandPlacement{strand_b.info().granularity, strand_b.info().min_scattering_sec,
+                      strand_b.info().max_scattering_sec});
+  if (!writer_result.ok()) {
+    return writer_result.status();
+  }
+  StrandWriter& writer = **writer_result;
+  if (Status status = writer.SetAnchor(seam_anchor_end); !status.ok()) {
+    return status;
+  }
+
+  int64_t copied_units = 0;
+  int64_t chain_length = 0;
+  while (chain_length < following_blocks_available) {
+    const int64_t block = following_first_block + chain_length;
+    Result<PrimaryEntry> entry = strand_b.index().Lookup(block);
+    if (!entry.ok()) {
+      return entry.status();
+    }
+    if (!entry->IsSilence() &&
+        gap_sec(writer.previous_end_sector(), *entry) <= bound_sec) {
+      break;  // original placement reachable: done
+    }
+    if (entry->IsSilence()) {
+      // Silence stores nothing; carry it into the copy so playback content
+      // is preserved, at zero disk cost.
+      if (Status status = writer.AppendSilence(); !status.ok()) {
+        return status;
+      }
+    } else {
+      // Each copy must make maximal progress toward the block's original
+      // position, or the chain would idle near the seam forever.
+      writer.SetPlacementPreference(entry->sector >= writer.previous_end_sector()
+                                        ? PlacementPreference::kFarthestForward
+                                        : PlacementPreference::kFarthestBackward);
+      std::vector<uint8_t> payload;
+      Result<SimDuration> read = store->disk().Read(entry->sector, entry->sector_count, &payload);
+      if (!read.ok()) {
+        return read.status();
+      }
+      outcome.copy_time += *read;
+      if (payload.empty()) {
+        // Timing-only disks return no data; keep the copy chain's sizes
+        // faithful with a zero payload of the right length.
+        payload.assign(static_cast<size_t>(entry->sector_count *
+                                           store->disk().bytes_per_sector()),
+                       0);
+      }
+      Result<SimDuration> write = writer.AppendBlock(payload);
+      if (!write.ok()) {
+        return write.status();
+      }
+      outcome.copy_time += *write;
+    }
+    copied_units += strand_b.UnitsInBlock(block);
+    ++chain_length;
+  }
+
+  if (chain_length == 0) {
+    // Cannot happen: the fast path would have returned. Defensive only.
+    return Status(ErrorCode::kInternal, "repair chain empty after failed fast path");
+  }
+  Result<StrandId> copy_id = writer.Finish(copied_units);
+  if (!copy_id.ok()) {
+    return copy_id.status();
+  }
+  outcome.copy_strand = *copy_id;
+  outcome.blocks_copied = chain_length;
+  return outcome;
+}
+
+}  // namespace vafs

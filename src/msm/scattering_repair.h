@@ -1,0 +1,59 @@
+// Scattering maintenance while editing (Section 4.2).
+//
+// Editing stitches intervals of different strands together. Inside an
+// interval the scattering bound holds; at the seam between interval [.,a_l]
+// of strand S_a and interval [b_f,.] of strand S_b the hop can be
+// arbitrarily long. The repair copies a bounded prefix of S_b's interval
+// (or suffix of S_a's) into freshly allocated blocks that walk from the
+// seam back under the bound: block b_f lands within the scattering window
+// of a_l, b_f+1 within the window of the new b_f, and so on until the copy
+// chain reaches a point from which the *original* placement of the next
+// block already satisfies the bound. Eqs. 19-20 bound the chain length by
+// C_b = l_seek_max / (2 * l_ds_lower) (sparse disk) and l_seek_max /
+// l_ds_lower (dense).
+//
+// Because strands are immutable, the copied blocks form a brand-new strand
+// with its own ID; the edited rope references [new strand] + [b_f+C ..] of
+// the original.
+
+#ifndef VAFS_SRC_MSM_SCATTERING_REPAIR_H_
+#define VAFS_SRC_MSM_SCATTERING_REPAIR_H_
+
+#include <cstdint>
+
+#include "src/msm/strand_store.h"
+#include "src/util/result.h"
+
+namespace vafs {
+
+struct RepairOutcome {
+  // No repair was needed: the seam already satisfied the bound.
+  bool already_continuous = false;
+  // Strand holding the copied blocks (kNullStrand if none were needed).
+  StrandId copy_strand = kNullStrand;
+  // How many leading blocks of the following interval were copied; the
+  // edited rope must reference copy_strand for these, then the original
+  // from block `following_first_block + blocks_copied` on.
+  int64_t blocks_copied = 0;
+  // Simulated disk time spent on the copy (reads + writes).
+  SimDuration copy_time = 0;
+};
+
+// Checks the seam between block `preceding_last_block` of `preceding` and
+// block `following_first_block` of `following`, and repairs it by copying
+// if the positioning gap exceeds the following strand's scattering bound.
+// `following_blocks_available` limits how many blocks of the following
+// interval may be consumed by the chain (the interval's length).
+Result<RepairOutcome> RepairSeam(StrandStore* store, StrandId preceding,
+                                 int64_t preceding_last_block, StrandId following,
+                                 int64_t following_first_block,
+                                 int64_t following_blocks_available);
+
+// The gap (in seconds) a playback would pay hopping across the seam; the
+// quantity RepairSeam compares against the scattering bound.
+Result<double> SeamGapSec(StrandStore* store, StrandId preceding, int64_t preceding_last_block,
+                          StrandId following, int64_t following_first_block);
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_MSM_SCATTERING_REPAIR_H_

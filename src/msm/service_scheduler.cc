@@ -1,0 +1,439 @@
+#include "src/msm/service_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace vafs {
+
+ServiceScheduler::ServiceScheduler(StrandStore* store, Simulator* simulator,
+                                   AdmissionControl admission, SchedulerOptions options)
+    : store_(store), simulator_(simulator), admission_(std::move(admission)), options_(options) {}
+
+std::vector<RequestSpec> ServiceScheduler::ActiveSpecs(bool include_paused) const {
+  std::vector<RequestSpec> specs;
+  for (const auto& [id, request] : requests_) {
+    if (request.stats.completed) {
+      continue;
+    }
+    if (request.stats.paused && !include_paused) {
+      continue;
+    }
+    if (request.playback.has_value()) {
+      specs.push_back(request.playback->spec);
+    } else if (request.recording.has_value()) {
+      specs.push_back(request.recording->Spec());
+    }
+  }
+  return specs;
+}
+
+Result<RequestId> ServiceScheduler::Submit(ActiveRequest request, const RequestSpec& spec) {
+  // Admission: existing = every request still holding a slot (active,
+  // pending, or non-destructively paused).
+  Result<std::vector<int64_t>> schedule = std::vector<int64_t>{};
+  if (options_.bypass_admission) {
+    // Overload experiments: take everyone at a fixed round size.
+    schedule->push_back(options_.forced_k > 0 ? options_.forced_k : current_k_);
+  } else {
+    const std::vector<RequestSpec> existing = ActiveSpecs(/*include_paused=*/true);
+    schedule = admission_.PlanAdmission(existing, spec, current_k_);
+    if (!schedule.ok()) {
+      return schedule.status();
+    }
+  }
+  if (options_.max_k > 0 && schedule->back() > options_.max_k) {
+    return Status(ErrorCode::kAdmissionRejected,
+                  "admitting would need k=" + std::to_string(schedule->back()) +
+                      " > configured maximum " + std::to_string(options_.max_k));
+  }
+
+  const RequestId id = next_id_++;
+  request.stats.id = id;
+  request.stats.submit_time = simulator_->Now();
+  if (request.playback.has_value()) {
+    request.stats.blocks_total = static_cast<int64_t>(request.playback->blocks.size());
+    const int64_t k_target = schedule->back();
+    request.read_ahead = request.playback->read_ahead_blocks > 0
+                             ? request.playback->read_ahead_blocks
+                             : k_target;
+    request.buffer_cap = request.playback->device_buffers;  // 0 resolved per round
+  } else {
+    request.stats.blocks_total = request.recording->total_blocks;
+  }
+
+  PendingAdmission pending;
+  pending.id = id;
+  if (options_.stepped_transitions) {
+    pending.k_schedule.assign(schedule->begin(), schedule->end());
+  } else {
+    // Naive policy: jump straight to the target k (Section 3.4 shows this
+    // can glitch in-flight streams; bench_admission_transition measures it).
+    pending.k_schedule.push_back(schedule->back());
+  }
+  requests_.emplace(id, std::move(request));
+  pending_.push_back(std::move(pending));
+  ScheduleRound();
+  return id;
+}
+
+Result<RequestId> ServiceScheduler::SubmitPlayback(PlaybackRequest playback) {
+  if (playback.blocks.empty() || playback.block_duration <= 0) {
+    return Status(ErrorCode::kInvalidArgument, "empty playback request");
+  }
+  ActiveRequest request;
+  const RequestSpec spec = playback.spec;
+  request.playback = std::move(playback);
+  return Submit(std::move(request), spec);
+}
+
+Result<RequestId> ServiceScheduler::SubmitRecording(RecordingRequest recording) {
+  if (recording.total_blocks <= 0) {
+    return Status(ErrorCode::kInvalidArgument, "empty recording request");
+  }
+  ActiveRequest request;
+  const RequestSpec spec = recording.Spec();
+  request.stats.is_recording = true;
+  request.recording = std::move(recording);
+  return Submit(std::move(request), spec);
+}
+
+void ServiceScheduler::ScheduleRound() {
+  if (round_scheduled_) {
+    return;
+  }
+  round_scheduled_ = true;
+  simulator_->ScheduleAfter(0, [this] { RunRound(); });
+}
+
+namespace {
+
+// Folds a finished or paused consumer's observations into the stats.
+void FoldConsumer(const PlaybackConsumer* consumer, RequestStats* stats) {
+  if (consumer == nullptr) {
+    return;
+  }
+  stats->continuity_violations += consumer->violations();
+  stats->total_tardiness += consumer->total_tardiness();
+  stats->max_buffered_blocks = std::max(stats->max_buffered_blocks,
+                                        consumer->max_buffered_blocks());
+}
+
+}  // namespace
+
+void ServiceScheduler::FinishRequest(ActiveRequest* request, SimTime now) {
+  request->stats.completed = true;
+  request->stats.completion_time = now;
+  FoldConsumer(request->consumer.get(), &request->stats);
+  request->consumer.reset();
+  if (request->writer != nullptr) {
+    const int64_t units =
+        request->recording->total_blocks * request->recording->placement.granularity;
+    Result<StrandId> finished = request->writer->Finish(units);
+    if (finished.ok()) {
+      request->stats.recorded_strand = *finished;
+    }
+    request->writer.reset();
+  }
+  if (request->producer != nullptr) {
+    request->stats.capture_overflows = request->producer->overflows();
+    request->producer.reset();
+  }
+}
+
+int64_t ServiceScheduler::ServicePlayback(ActiveRequest* request, SimTime* now) {
+  PlaybackRequest& playback = *request->playback;
+  const SimDuration effective_duration = static_cast<SimDuration>(
+      static_cast<double>(playback.block_duration) / playback.rate_multiplier);
+  const int64_t cap = request->buffer_cap > 0 ? request->buffer_cap : 2 * current_k_;
+  int64_t transferred = 0;
+  while (transferred < current_k_ &&
+         request->next_block < static_cast<int64_t>(playback.blocks.size())) {
+    if (request->consumer != nullptr && request->consumer->BufferedAt(*now) >= cap) {
+      // Device buffers are full (e.g., slow motion): the disk switches to
+      // other tasks rather than accumulate without bound (Section 3.3.2).
+      break;
+    }
+    const PrimaryEntry& entry = playback.blocks[static_cast<size_t>(request->next_block)];
+    if (!entry.IsSilence()) {
+      Result<SimDuration> service =
+          store_->disk().Read(entry.sector, entry.sector_count, nullptr);
+      assert(service.ok());
+      *now += *service;
+      ++transferred;
+    }
+    // Report readiness of this block (silence is "ready" for free).
+    if (request->consumer == nullptr) {
+      request->prelude_ready_times.push_back(*now);
+      const bool prelude_done =
+          static_cast<int64_t>(request->prelude_ready_times.size()) >= request->read_ahead ||
+          request->next_block + 1 == static_cast<int64_t>(playback.blocks.size());
+      if (prelude_done) {
+        // Anti-jitter read-ahead satisfied: playback starts now, and the
+        // buffered blocks are ready at their recorded instants.
+        const SimTime start = request->prelude_ready_times.back();
+        request->consumer =
+            std::make_unique<PlaybackConsumer>(effective_duration, start, 0);
+        for (SimTime ready : request->prelude_ready_times) {
+          request->consumer->BlockReady(ready);
+        }
+        request->prelude_ready_times.clear();
+        if (request->stats.startup_latency == 0) {
+          request->stats.startup_latency = start - request->stats.submit_time;
+        }
+      }
+    } else {
+      request->consumer->BlockReady(*now);
+    }
+    ++request->next_block;
+    ++request->stats.blocks_done;
+  }
+  if (request->next_block == static_cast<int64_t>(playback.blocks.size())) {
+    FinishRequest(request, *now);
+  }
+  return transferred;
+}
+
+int64_t ServiceScheduler::ServiceRecording(ActiveRequest* request, SimTime* now) {
+  RecordingRequest& recording = *request->recording;
+  if (request->producer == nullptr) {
+    const SimDuration block_duration = SecondsToUsec(
+        static_cast<double>(recording.placement.granularity) / recording.profile.units_per_sec);
+    request->producer =
+        std::make_unique<CaptureProducer>(block_duration, *now, recording.capture_buffers);
+    Result<std::unique_ptr<StrandWriter>> writer =
+        store_->CreateStrand(recording.profile, recording.placement);
+    assert(writer.ok());
+    request->writer = std::move(*writer);
+  }
+  const int64_t block_bytes =
+      BitsToBytesCeil(recording.placement.granularity * recording.profile.bits_per_unit);
+  const std::vector<uint8_t> payload(static_cast<size_t>(block_bytes), 0);
+
+  int64_t transferred = 0;
+  while (transferred < current_k_ && request->stats.blocks_done < recording.total_blocks) {
+    if (request->producer->CaptureEnd(request->stats.blocks_done) > *now) {
+      break;  // the camera has not finished this block yet
+    }
+    Result<SimDuration> service = request->writer->AppendBlock(payload);
+    assert(service.ok());
+    *now += *service;
+    request->producer->BlockWritten(*now);
+    ++request->stats.blocks_done;
+    ++transferred;
+  }
+  if (request->stats.blocks_done == recording.total_blocks) {
+    FinishRequest(request, *now);
+  }
+  return transferred;
+}
+
+void ServiceScheduler::RunRound() {
+  round_scheduled_ = false;
+  ++rounds_;
+  SimTime now = simulator_->Now();
+
+  // Phase in at most one admission step per round.
+  if (!pending_.empty()) {
+    PendingAdmission& front = pending_.front();
+    assert(!front.k_schedule.empty());
+    current_k_ = front.k_schedule.front();
+    front.k_schedule.pop_front();
+    if (front.k_schedule.empty()) {
+      service_order_.push_back(front.id);
+      pending_.pop_front();
+    }
+  }
+
+  // Section 6.2 SCAN option: service this round's requests in disk-position
+  // order, shrinking the inter-request repositioning cost.
+  std::vector<RequestId> round_order(service_order_.begin(), service_order_.end());
+  if (options_.service_order == ServiceOrder::kSeekScan) {
+    std::sort(round_order.begin(), round_order.end(), [this](RequestId a, RequestId b) {
+      return NextSector(requests_.at(a)) < NextSector(requests_.at(b));
+    });
+  }
+
+  int64_t transferred_total = 0;
+  for (RequestId id : round_order) {
+    auto it = requests_.find(id);
+    assert(it != requests_.end());
+    ActiveRequest& request = it->second;
+    if (request.stats.completed || request.stats.paused) {
+      continue;
+    }
+    if (request.stats.start_time < 0) {
+      request.stats.start_time = now;
+    }
+    transferred_total += request.playback.has_value() ? ServicePlayback(&request, &now)
+                                                      : ServiceRecording(&request, &now);
+  }
+  simulator_->RunUntil(now);  // account the disk time this round consumed
+
+  // Drop completed requests from the rotation.
+  std::erase_if(service_order_, [this](RequestId id) {
+    return requests_.at(id).stats.completed;
+  });
+
+  const bool have_work =
+      !pending_.empty() ||
+      std::any_of(service_order_.begin(), service_order_.end(), [this](RequestId id) {
+        return !requests_.at(id).stats.paused;
+      });
+  if (!have_work) {
+    return;
+  }
+  if (transferred_total > 0) {
+    ScheduleRound();
+    return;
+  }
+  // The round moved no data (buffers full, capture not ready): sleep until
+  // the earliest instant more work exists instead of spinning.
+  SimTime wake = -1;
+  for (RequestId id : service_order_) {
+    const ActiveRequest& request = requests_.at(id);
+    if (request.stats.completed || request.stats.paused) {
+      continue;
+    }
+    SimTime candidate = -1;
+    if (request.playback.has_value() && request.consumer != nullptr) {
+      candidate = request.consumer->NextDrainAfter(now);
+    } else if (request.recording.has_value() && request.producer != nullptr) {
+      candidate = request.producer->CaptureEnd(request.stats.blocks_done);
+    }
+    if (candidate >= 0 && (wake < 0 || candidate < wake)) {
+      wake = candidate;
+    }
+  }
+  if (wake < 0) {
+    wake = now + 1000;  // defensive: never stall the rotation entirely
+  }
+  round_scheduled_ = true;
+  simulator_->ScheduleAt(wake, [this] { RunRound(); });
+}
+
+Status ServiceScheduler::Stop(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) {
+    return Status(ErrorCode::kNotFound, "request " + std::to_string(id));
+  }
+  ActiveRequest& request = it->second;
+  if (request.stats.completed) {
+    return Status::Ok();
+  }
+  // A stopped recording keeps what it captured so far.
+  if (request.writer != nullptr && request.stats.blocks_done > 0) {
+    const int64_t units =
+        request.stats.blocks_done * request.recording->placement.granularity;
+    Result<StrandId> finished = request.writer->Finish(units);
+    if (finished.ok()) {
+      request.stats.recorded_strand = *finished;
+    }
+    request.writer.reset();
+  }
+  FoldConsumer(request.consumer.get(), &request.stats);
+  request.consumer.reset();
+  request.stats.completed = true;
+  request.stats.completion_time = simulator_->Now();
+  std::erase(service_order_, id);
+  std::erase_if(pending_, [id](const PendingAdmission& p) { return p.id == id; });
+  return Status::Ok();
+}
+
+Status ServiceScheduler::Pause(RequestId id, bool destructive) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) {
+    return Status(ErrorCode::kNotFound, "request " + std::to_string(id));
+  }
+  ActiveRequest& request = it->second;
+  if (request.stats.completed || request.stats.paused) {
+    return Status(ErrorCode::kFailedPrecondition, "request not running");
+  }
+  request.stats.paused = true;
+  request.destructively_paused = destructive;
+  // Deadlines do not survive a pause: fold what the consumer saw and
+  // restart the anti-jitter prelude on resume.
+  FoldConsumer(request.consumer.get(), &request.stats);
+  request.consumer.reset();
+  request.prelude_ready_times.clear();
+  if (destructive) {
+    // The slot is released; a smaller request set may allow a smaller k.
+    Result<int64_t> k = admission_.TransientSafeBlocksPerRound(ActiveSpecs(true));
+    if (k.ok() && *k < current_k_) {
+      current_k_ = *k;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ServiceScheduler::Resume(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) {
+    return Status(ErrorCode::kNotFound, "request " + std::to_string(id));
+  }
+  ActiveRequest& request = it->second;
+  if (request.stats.completed || !request.stats.paused) {
+    return Status(ErrorCode::kFailedPrecondition, "request not paused");
+  }
+  if (!request.destructively_paused) {
+    request.stats.paused = false;
+    ScheduleRound();
+    return Status::Ok();
+  }
+  // Destructive pause released the slot: re-run admission control.
+  const RequestSpec spec = request.playback.has_value() ? request.playback->spec
+                                                        : request.recording->Spec();
+  std::vector<RequestSpec> existing = ActiveSpecs(/*include_paused=*/true);
+  Result<std::vector<int64_t>> schedule = admission_.PlanAdmission(existing, spec, current_k_);
+  if (!schedule.ok()) {
+    return schedule.status();
+  }
+  request.stats.paused = false;
+  request.destructively_paused = false;
+  std::erase(service_order_, id);  // rejoin through the pending queue
+  PendingAdmission pending;
+  pending.id = id;
+  pending.k_schedule.assign(schedule->begin(), schedule->end());
+  pending_.push_back(std::move(pending));
+  ScheduleRound();
+  return Status::Ok();
+}
+
+int64_t ServiceScheduler::NextSector(const ActiveRequest& request) const {
+  if (request.playback.has_value()) {
+    const auto& blocks = request.playback->blocks;
+    for (int64_t b = request.next_block; b < static_cast<int64_t>(blocks.size()); ++b) {
+      if (!blocks[static_cast<size_t>(b)].IsSilence()) {
+        return blocks[static_cast<size_t>(b)].sector;
+      }
+    }
+    return 0;
+  }
+  if (request.writer != nullptr && request.writer->previous_end_sector() >= 0) {
+    return request.writer->previous_end_sector();
+  }
+  return 0;
+}
+
+void ServiceScheduler::RunUntilIdle() { simulator_->Run(); }
+
+Result<RequestStats> ServiceScheduler::stats(RequestId id) const {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) {
+    return Status(ErrorCode::kNotFound, "request " + std::to_string(id));
+  }
+  RequestStats stats = it->second.stats;
+  // Live requests report the consumer's running totals too.
+  FoldConsumer(it->second.consumer.get(), &stats);
+  if (it->second.producer != nullptr) {
+    stats.capture_overflows = it->second.producer->overflows();
+  }
+  return stats;
+}
+
+int64_t ServiceScheduler::active_request_count() const {
+  return static_cast<int64_t>(service_order_.size());
+}
+
+}  // namespace vafs

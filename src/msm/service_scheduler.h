@@ -1,0 +1,181 @@
+// Round-robin request servicing with admission control (Section 3.4).
+//
+// The storage manager services all active requests in rounds: in each
+// round it transfers k consecutive blocks per request, paying a worst-case
+// reposition when switching between requests and the strand's scattering
+// between blocks of one request. k comes from admission control; admitting
+// a new request that needs a larger k raises k one step per round (the
+// transient-safe transition of Eq. 18) before the newcomer starts, so
+// in-flight streams never glitch.
+//
+// Playback requests feed PlaybackConsumers that check every block against
+// its playback deadline; recording requests write captured blocks through
+// a StrandWriter, honouring capture-device buffer limits. The scheduler
+// runs under the discrete-event simulator: each round is one event, and
+// all disk service times come from the disk model.
+
+#ifndef VAFS_SRC_MSM_SERVICE_SCHEDULER_H_
+#define VAFS_SRC_MSM_SERVICE_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/admission.h"
+#include "src/layout/strand_index.h"
+#include "src/media/devices.h"
+#include "src/msm/strand_store.h"
+#include "src/sim/simulator.h"
+#include "src/util/result.h"
+
+namespace vafs {
+
+using RequestId = uint64_t;
+
+// A fully resolved playback request: the block locations in playback
+// order (silence entries advance time without disk traffic).
+struct PlaybackRequest {
+  std::vector<PrimaryEntry> blocks;
+  SimDuration block_duration = 0;   // playback duration of one block
+  RequestSpec spec;                 // admission-control view (q_i, s_i, R_i)
+  double rate_multiplier = 1.0;     // >1 = fast-forward without skipping
+  int64_t read_ahead_blocks = 0;    // 0: use k at admission time
+  int64_t device_buffers = 0;       // 0: use 2k (pipelined double buffering)
+};
+
+// A recording request: capture produces blocks at the recording rate into
+// `capture_buffers` device buffers; the scheduler writes them to a new
+// strand as rounds come by.
+struct RecordingRequest {
+  MediaProfile profile;
+  StrandPlacement placement;
+  int64_t total_blocks = 0;
+  int64_t capture_buffers = 4;
+  RequestSpec Spec() const { return RequestSpec{profile, placement.granularity}; }
+};
+
+struct RequestStats {
+  RequestId id = 0;
+  bool is_recording = false;
+  bool completed = false;
+  bool paused = false;
+  SimTime submit_time = 0;
+  SimTime start_time = -1;       // first round that serviced it
+  SimTime completion_time = -1;
+  int64_t blocks_done = 0;
+  int64_t blocks_total = 0;
+  // Playback only:
+  int64_t continuity_violations = 0;
+  SimDuration total_tardiness = 0;
+  int64_t max_buffered_blocks = 0;
+  SimDuration startup_latency = 0;  // submit -> first block's playback start
+  // Recording only:
+  int64_t capture_overflows = 0;
+  StrandId recorded_strand = kNullStrand;
+};
+
+// Order in which the requests of one round are serviced. The paper's
+// baseline is round-robin in arrival order, charging every switch a
+// worst-case reposition; Section 6.2 proposes servicing in the order that
+// minimizes inter-request seeks, which kSeekScan approximates by sorting
+// each round's requests by their next block's disk position.
+enum class ServiceOrder {
+  kRoundRobin,
+  kSeekScan,
+};
+
+struct SchedulerOptions {
+  // If false, k jumps straight to the new target on admission (the naive
+  // policy the paper warns about); if true, k steps by 1 per round.
+  bool stepped_transitions = true;
+  // Upper bound on k to keep startup latencies sane; 0 = unlimited.
+  int64_t max_k = 0;
+  ServiceOrder service_order = ServiceOrder::kRoundRobin;
+  // Experiments only: admit every request regardless of the admission
+  // test, with a fixed round size (`forced_k`, or the current k if 0).
+  bool bypass_admission = false;
+  int64_t forced_k = 0;
+};
+
+class ServiceScheduler {
+ public:
+  ServiceScheduler(StrandStore* store, Simulator* simulator, AdmissionControl admission,
+                   SchedulerOptions options = SchedulerOptions());
+
+  // Admission-checked submission. The request starts at the next round
+  // boundary once any k transition completes.
+  Result<RequestId> SubmitPlayback(PlaybackRequest request);
+  Result<RequestId> SubmitRecording(RecordingRequest request);
+
+  // Halts a request; its resources are released at the next round edge.
+  Status Stop(RequestId id);
+
+  // PAUSE: a destructive pause releases the request's admission slot (a
+  // later RESUME re-runs admission control); a non-destructive pause keeps
+  // the slot occupied, guaranteeing the RESUME.
+  Status Pause(RequestId id, bool destructive);
+  Status Resume(RequestId id);
+
+  // Drives the simulator until all submitted requests complete (or only
+  // paused ones remain).
+  void RunUntilIdle();
+
+  Result<RequestStats> stats(RequestId id) const;
+  int64_t current_k() const { return current_k_; }
+  int64_t active_request_count() const;
+  int64_t rounds_executed() const { return rounds_; }
+
+ private:
+  struct ActiveRequest {
+    RequestStats stats;
+    bool destructively_paused = false;
+    // Playback state.
+    std::optional<PlaybackRequest> playback;
+    std::unique_ptr<PlaybackConsumer> consumer;
+    std::vector<SimTime> prelude_ready_times;  // before read-ahead is met
+    int64_t next_block = 0;
+    int64_t read_ahead = 1;
+    int64_t buffer_cap = 0;
+    // Recording state.
+    std::optional<RecordingRequest> recording;
+    std::unique_ptr<CaptureProducer> producer;
+    std::unique_ptr<StrandWriter> writer;
+  };
+
+  // A request waiting to join, with the k values to step through first.
+  struct PendingAdmission {
+    RequestId id;
+    std::deque<int64_t> k_schedule;
+  };
+
+  Result<RequestId> Submit(ActiveRequest request, const RequestSpec& spec);
+  std::vector<RequestSpec> ActiveSpecs(bool include_paused) const;
+  void ScheduleRound();
+  void RunRound();
+  // First disk position the request will touch next (for kSeekScan).
+  int64_t NextSector(const ActiveRequest& request) const;
+  // Services one request within the round; advances `now` by the disk time
+  // spent. Returns blocks transferred.
+  int64_t ServicePlayback(ActiveRequest* request, SimTime* now);
+  int64_t ServiceRecording(ActiveRequest* request, SimTime* now);
+  void FinishRequest(ActiveRequest* request, SimTime now);
+
+  StrandStore* store_;
+  Simulator* simulator_;
+  AdmissionControl admission_;
+  SchedulerOptions options_;
+  RequestId next_id_ = 1;
+  int64_t current_k_ = 1;
+  int64_t rounds_ = 0;
+  bool round_scheduled_ = false;
+  std::map<RequestId, ActiveRequest> requests_;
+  std::vector<RequestId> service_order_;  // round-robin order over active requests
+  std::deque<PendingAdmission> pending_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_MSM_SERVICE_SCHEDULER_H_

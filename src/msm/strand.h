@@ -1,0 +1,76 @@
+// Strand: an immutable sequence of continuously recorded media blocks.
+//
+// "A strand is an immutable sequence of continuously recorded audio
+// samples or video frames" (Section 2). Immutability simplifies garbage
+// collection and makes rope editing pure pointer manipulation. A strand
+// couples its media description (rate, unit size, granularity), its
+// placement contract (scattering bounds) and its 3-level index.
+
+#ifndef VAFS_SRC_MSM_STRAND_H_
+#define VAFS_SRC_MSM_STRAND_H_
+
+#include <cstdint>
+
+#include "src/layout/strand_index.h"
+#include "src/media/media.h"
+#include "src/util/time.h"
+#include "src/util/units.h"
+
+namespace vafs {
+
+using StrandId = uint64_t;
+inline constexpr StrandId kNullStrand = 0;
+
+// Immutable description of a finished strand.
+struct StrandInfo {
+  StrandId id = kNullStrand;
+  Medium medium = Medium::kVideo;
+  double recording_rate = 0.0;      // units/sec (R_v or R_a)
+  int64_t bits_per_unit = 0;        // s_vf or s_as
+  int64_t granularity = 1;          // q: units per media block
+  int64_t unit_count = 0;           // total recorded units (incl. silence)
+  double min_scattering_sec = 0.0;  // placement contract lower bound
+  double max_scattering_sec = 0.0;  // placement contract upper bound
+
+  MediaProfile Profile() const {
+    return MediaProfile{medium, recording_rate, bits_per_unit};
+  }
+
+  // Playback duration of one block in simulated time.
+  SimDuration BlockDuration() const {
+    return SecondsToUsec(static_cast<double>(granularity) / recording_rate);
+  }
+
+  // Bytes in a (full) media block.
+  int64_t BlockBytes() const { return BitsToBytesCeil(granularity * bits_per_unit); }
+
+  // Total playback duration in seconds.
+  double DurationSec() const { return static_cast<double>(unit_count) / recording_rate; }
+};
+
+// A finished strand: info plus its index. Strands are immutable once the
+// writer finishes them; the store hands out const access only.
+class Strand {
+ public:
+  Strand(StrandInfo info, StrandIndex index) : info_(info), index_(std::move(index)) {}
+
+  const StrandInfo& info() const { return info_; }
+  const StrandIndex& index() const { return index_; }
+
+  int64_t block_count() const { return index_.block_count(); }
+
+  // Units stored in block `block_number` (the tail block may be partial).
+  int64_t UnitsInBlock(int64_t block_number) const {
+    const int64_t start = block_number * info_.granularity;
+    const int64_t remaining = info_.unit_count - start;
+    return remaining < info_.granularity ? remaining : info_.granularity;
+  }
+
+ private:
+  StrandInfo info_;
+  StrandIndex index_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_MSM_STRAND_H_

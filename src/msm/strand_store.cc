@@ -1,0 +1,350 @@
+#include "src/msm/strand_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace vafs {
+
+namespace {
+
+// Smallest cylinder distance whose seek time is at least `budget` (for
+// enforcing a lower scattering bound). Zero when any distance qualifies.
+int64_t MinCylinderDistanceForGap(const DiskModel& model, SimDuration min_gap) {
+  const SimDuration budget = min_gap - model.AverageRotationalLatency();
+  if (budget <= 0) {
+    return 0;
+  }
+  int64_t lo = 0;
+  int64_t hi = model.params().cylinders - 1;
+  if (model.SeekTimeForDistance(hi) < budget) {
+    // No distance on this disk seeks that slowly; the caller's window
+    // will be empty and allocation correctly fails.
+    return model.params().cylinders;
+  }
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (model.SeekTimeForDistance(mid) >= budget) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+StrandStore::StrandStore(Disk* disk) : disk_(disk), allocator_(&disk->model()) {}
+
+Result<std::unique_ptr<StrandWriter>> StrandStore::CreateStrand(
+    const MediaProfile& media, const StrandPlacement& placement) {
+  if (placement.granularity <= 0 || media.bits_per_unit <= 0 || media.units_per_sec <= 0) {
+    return Status(ErrorCode::kInvalidArgument, "bad media profile or placement");
+  }
+  if (placement.max_scattering_sec < 0) {
+    return Status(ErrorCode::kInvalidArgument, "negative scattering bound");
+  }
+  StrandInfo info;
+  info.id = next_id_++;
+  info.medium = media.medium;
+  info.recording_rate = media.units_per_sec;
+  info.bits_per_unit = media.bits_per_unit;
+  info.granularity = placement.granularity;
+  info.min_scattering_sec = placement.min_scattering_sec;
+  info.max_scattering_sec = placement.max_scattering_sec;
+  return std::unique_ptr<StrandWriter>(new StrandWriter(this, info));
+}
+
+StrandWriter::StrandWriter(StrandStore* store, StrandInfo info)
+    : store_(store), info_(info) {
+  const int64_t sector_bytes = store_->disk().bytes_per_sector();
+  sectors_per_block_ = CeilDiv(info_.BlockBytes(), sector_bytes);
+  const DiskModel& model = store_->model();
+  max_distance_cylinders_ =
+      model.MaxCylinderDistanceForGap(SecondsToUsec(info_.max_scattering_sec));
+  if (max_distance_cylinders_ < 0) {
+    // Even a zero-distance reposition exceeds the bound; constrain to the
+    // same cylinder and let the continuity check upstream reject.
+    max_distance_cylinders_ = 0;
+  }
+  min_distance_cylinders_ =
+      MinCylinderDistanceForGap(model, SecondsToUsec(info_.min_scattering_sec));
+}
+
+StrandWriter::~StrandWriter() {
+  if (!finished_) {
+    // Abandoned recording: return everything to the free pool.
+    for (const Extent& extent : extents_) {
+      (void)store_->allocator().Free(extent);
+    }
+  }
+}
+
+Result<SimDuration> StrandWriter::AppendBlock(std::span<const uint8_t> payload) {
+  if (finished_) {
+    return Status(ErrorCode::kFailedPrecondition, "writer already finished");
+  }
+  const int64_t sector_bytes = store_->disk().bytes_per_sector();
+  const int64_t max_bytes = sectors_per_block_ * sector_bytes;
+  if (static_cast<int64_t>(payload.size()) > max_bytes || payload.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "payload of " + std::to_string(payload.size()) + " bytes for a block of " +
+                      std::to_string(max_bytes));
+  }
+  const int64_t sectors = CeilDiv(static_cast<int64_t>(payload.size()), sector_bytes);
+
+  // The first block anchors the whole constrained chain: with no explicit
+  // hint it goes to the largest free run, which maximizes the room the
+  // chain has to grow.
+  Result<Extent> extent =
+      previous_end_sector_ < 0
+          ? (first_block_hint_ >= 0
+                 ? store_->allocator().Allocate(sectors, first_block_hint_)
+                 : store_->allocator().AllocateInLargest(sectors))
+          : store_->allocator().AllocateNear(previous_end_sector_, sectors,
+                                             max_distance_cylinders_, min_distance_cylinders_,
+                                             preference_);
+  if (!extent.ok()) {
+    return extent.status();
+  }
+
+  // Pad the tail block to whole sectors.
+  std::vector<uint8_t> padded;
+  std::span<const uint8_t> to_write = payload;
+  if (static_cast<int64_t>(payload.size()) != sectors * sector_bytes) {
+    padded.assign(payload.begin(), payload.end());
+    padded.resize(static_cast<size_t>(sectors * sector_bytes), 0);
+    to_write = padded;
+  }
+  Result<SimDuration> service = store_->disk().Write(extent->start_sector, sectors, to_write);
+  if (!service.ok()) {
+    return service.status();
+  }
+
+  if (previous_end_sector_ >= 0) {
+    const double gap_sec = UsecToSeconds(
+        store_->model().AccessGap(previous_end_sector_ - 1, extent->start_sector));
+    total_gap_sec_ += gap_sec;
+    max_gap_sec_ = std::max(max_gap_sec_, gap_sec);
+  }
+  previous_end_sector_ = extent->end_sector();
+  extents_.push_back(*extent);
+  index_.Append(PrimaryEntry{extent->start_sector, sectors});
+  ++blocks_written_;
+  return *service;
+}
+
+Status StrandWriter::AppendSilence() {
+  if (finished_) {
+    return Status(ErrorCode::kFailedPrecondition, "writer already finished");
+  }
+  index_.Append(PrimaryEntry{kSilenceSector, 0});
+  return Status::Ok();
+}
+
+Status StrandWriter::SetAnchor(int64_t end_sector) {
+  if (blocks_written_ > 0) {
+    return Status(ErrorCode::kFailedPrecondition, "anchor must precede the first block");
+  }
+  if (end_sector <= 0 || end_sector > store_->disk().total_sectors()) {
+    return Status(ErrorCode::kInvalidArgument, "anchor outside disk");
+  }
+  previous_end_sector_ = end_sector;
+  return Status::Ok();
+}
+
+double StrandWriter::AverageGapSec() const {
+  const int64_t gaps = blocks_written_ - 1;
+  return gaps > 0 ? total_gap_sec_ / static_cast<double>(gaps) : 0.0;
+}
+
+Result<StrandId> StrandWriter::Finish(int64_t unit_count) {
+  if (finished_) {
+    return Status(ErrorCode::kFailedPrecondition, "writer already finished");
+  }
+  if (unit_count <= 0 || CeilDiv(unit_count, info_.granularity) != index_.block_count()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "unit count " + std::to_string(unit_count) + " inconsistent with " +
+                      std::to_string(index_.block_count()) + " blocks of granularity " +
+                      std::to_string(info_.granularity));
+  }
+  info_.unit_count = unit_count;
+
+  // Persist the index: PBs first (collecting their placements), then SBs,
+  // then the HB. Index blocks are not rate-critical, so they allocate
+  // unconstrained — typically landing in the scattering gaps between media
+  // blocks, exactly where the paper stores non-real-time data.
+  const int64_t sector_bytes = store_->disk().bytes_per_sector();
+  auto persist = [&](const std::vector<uint8_t>& blob) -> Result<std::pair<int64_t, int64_t>> {
+    const int64_t sectors = std::max<int64_t>(1, CeilDiv(static_cast<int64_t>(blob.size()),
+                                                         sector_bytes));
+    Result<Extent> extent = store_->allocator().Allocate(sectors);
+    if (!extent.ok()) {
+      return extent.status();
+    }
+    std::vector<uint8_t> padded = blob;
+    padded.resize(static_cast<size_t>(sectors * sector_bytes), 0);
+    if (Result<SimDuration> write =
+            store_->disk().Write(extent->start_sector, sectors, padded);
+        !write.ok()) {
+      return write.status();
+    }
+    owned_index_.push_back(*extent);
+    return std::make_pair(extent->start_sector, sectors);
+  };
+
+  std::vector<std::pair<int64_t, int64_t>> pb_extents;
+  for (int64_t pb = 0; pb < index_.primary_block_count(); ++pb) {
+    Result<std::pair<int64_t, int64_t>> placed = persist(index_.SerializePrimaryBlock(pb));
+    if (!placed.ok()) {
+      return placed.status();
+    }
+    pb_extents.push_back(*placed);
+  }
+  std::vector<std::pair<int64_t, int64_t>> sb_extents;
+  for (int64_t sb = 0; sb < index_.secondary_block_count(); ++sb) {
+    Result<std::pair<int64_t, int64_t>> placed =
+        persist(index_.SerializeSecondaryBlock(sb, pb_extents));
+    if (!placed.ok()) {
+      return placed.status();
+    }
+    sb_extents.push_back(*placed);
+  }
+  if (Result<std::pair<int64_t, int64_t>> placed =
+          persist(index_.SerializeHeaderBlock(info_.recording_rate, unit_count, sb_extents));
+      !placed.ok()) {
+    return placed.status();
+  }
+
+  StrandStore::StrandRecord record;
+  record.strand = std::make_unique<Strand>(info_, std::move(index_));
+  record.data_extents = std::move(extents_);
+  record.index_extents = std::move(owned_index_);
+  record.total_gap_sec = total_gap_sec_;
+  record.gap_count = blocks_written_ > 0 ? blocks_written_ - 1 : 0;
+  store_->strands_[info_.id] = std::move(record);
+  finished_ = true;
+  return info_.id;
+}
+
+Result<const Strand*> StrandStore::Get(StrandId id) const {
+  auto it = strands_.find(id);
+  if (it == strands_.end()) {
+    return Status(ErrorCode::kNotFound, "strand " + std::to_string(id));
+  }
+  return it->second.strand.get();
+}
+
+Status StrandStore::Delete(StrandId id) {
+  auto it = strands_.find(id);
+  if (it == strands_.end()) {
+    return Status(ErrorCode::kNotFound, "strand " + std::to_string(id));
+  }
+  for (const Extent& extent : it->second.data_extents) {
+    if (Status status = allocator_.Free(extent); !status.ok()) {
+      return status;
+    }
+  }
+  for (const Extent& extent : it->second.index_extents) {
+    if (Status status = allocator_.Free(extent); !status.ok()) {
+      return status;
+    }
+  }
+  strands_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<StrandId> StrandStore::AllIds() const {
+  std::vector<StrandId> ids;
+  ids.reserve(strands_.size());
+  for (const auto& [id, record] : strands_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<StrandStore::CatalogEntry> StrandStore::ExportCatalog() const {
+  std::vector<CatalogEntry> catalog;
+  for (const auto& [id, record] : strands_) {
+    CatalogEntry entry;
+    entry.info = record.strand->info();
+    // The Header Block is persisted last (see StrandWriter::Finish).
+    entry.header_block = record.index_extents.back();
+    catalog.push_back(entry);
+  }
+  return catalog;
+}
+
+Status StrandStore::AdoptStrand(const StrandInfo& info, StrandIndex index,
+                                std::vector<Extent> index_extents) {
+  if (strands_.count(info.id) != 0) {
+    return Status(ErrorCode::kAlreadyExists, "strand " + std::to_string(info.id));
+  }
+  StrandRecord record;
+  // Mark every extent the strand occupies and rebuild the gap statistics
+  // the catalog does not store.
+  int64_t previous_end = -1;
+  for (const PrimaryEntry& entry : index.entries()) {
+    if (entry.IsSilence()) {
+      continue;
+    }
+    const Extent extent{entry.sector, entry.sector_count};
+    if (Status status = allocator_.AllocateExact(extent); !status.ok()) {
+      return Status(ErrorCode::kInternal,
+                    "recovered extent overlaps existing allocation: " + status.message());
+    }
+    record.data_extents.push_back(extent);
+    if (previous_end > 0) {
+      record.total_gap_sec +=
+          UsecToSeconds(model().AccessGap(previous_end - 1, entry.sector));
+      ++record.gap_count;
+    }
+    previous_end = extent.end_sector();
+  }
+  for (const Extent& extent : index_extents) {
+    if (Status status = allocator_.AllocateExact(extent); !status.ok()) {
+      return Status(ErrorCode::kInternal,
+                    "recovered index extent overlaps: " + status.message());
+    }
+  }
+  record.index_extents = std::move(index_extents);
+  record.strand = std::make_unique<Strand>(info, std::move(index));
+  strands_[info.id] = std::move(record);
+  if (info.id >= next_id_) {
+    next_id_ = info.id + 1;
+  }
+  return Status::Ok();
+}
+
+double StrandStore::AverageScatteringSec() const {
+  double total = 0.0;
+  int64_t count = 0;
+  for (const auto& [id, record] : strands_) {
+    total += record.total_gap_sec;
+    count += record.gap_count;
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+Result<SimDuration> StrandStore::ReadBlock(StrandId id, int64_t block_number,
+                                           std::vector<uint8_t>* out) {
+  Result<const Strand*> strand = Get(id);
+  if (!strand.ok()) {
+    return strand.status();
+  }
+  Result<PrimaryEntry> entry = (*strand)->index().Lookup(block_number);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  if (entry->IsSilence()) {
+    if (out != nullptr) {
+      out->clear();
+    }
+    return static_cast<SimDuration>(0);
+  }
+  return disk_->Read(entry->sector, entry->sector_count, out);
+}
+
+}  // namespace vafs

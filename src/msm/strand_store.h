@@ -1,0 +1,172 @@
+// Strand store: the Multimedia Storage Manager's catalog of strands on one
+// disk, with constrained placement of their blocks.
+//
+// The store owns the disk, the constrained allocator, and the set of
+// finished strands. New strands are produced through StrandWriter, which
+// allocates each media block within the strand's scattering window,
+// writes the payload, and appends the index entry; on Finish() the index
+// blocks themselves (HB/SB/PBs) are placed and written, and the strand
+// becomes immutable. Realized inter-block gaps are tracked so admission
+// control can use the fleet's true average scattering l_ds^avg.
+
+#ifndef VAFS_SRC_MSM_STRAND_STORE_H_
+#define VAFS_SRC_MSM_STRAND_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/continuity.h"
+#include "src/layout/allocator.h"
+#include "src/disk/disk.h"
+#include "src/layout/allocator.h"
+#include "src/layout/strand_index.h"
+#include "src/msm/strand.h"
+#include "src/util/result.h"
+
+namespace vafs {
+
+class StrandStore;
+
+// Streams media blocks of one new strand to disk. Obtain from
+// StrandStore::CreateStrand; call AppendBlock / AppendSilence in recording
+// order, then Finish exactly once.
+class StrandWriter {
+ public:
+  // Appends a media block with the given payload (<= BlockBytes; short
+  // tail blocks are padded to whole sectors). Returns the simulated write
+  // service time.
+  Result<SimDuration> AppendBlock(std::span<const uint8_t> payload);
+
+  // Appends an eliminated-silence block: no disk space, NULL index entry.
+  Status AppendSilence();
+
+  // Chooses how constrained allocation picks among feasible positions.
+  // Scattering repair uses the farthest variants to make maximal progress
+  // toward a distant target with each copied block.
+  void SetPlacementPreference(PlacementPreference preference) { preference_ = preference; }
+
+  // Directs the first block's unconstrained allocation to the first free
+  // extent at/after `sector` (compaction packs strands back to back);
+  // without a hint the first block goes to the largest free run.
+  void SetAllocationHint(int64_t sector) { first_block_hint_ = sector; }
+
+  // Anchors the first block's constrained allocation next to an existing
+  // disk position (used by scattering repair, which must start its copy
+  // chain within reach of the seam's preceding block). Only valid before
+  // the first AppendBlock.
+  Status SetAnchor(int64_t end_sector);
+
+  // Completes the strand: records the exact unit count, persists index
+  // blocks, registers the strand, and returns its ID.
+  Result<StrandId> Finish(int64_t unit_count);
+
+  // Realized placement quality so far.
+  int64_t blocks_written() const { return blocks_written_; }
+
+  // Sector just past the most recently placed block (or the anchor); -1
+  // before any placement.
+  int64_t previous_end_sector() const { return previous_end_sector_; }
+  double AverageGapSec() const;
+  double MaxGapSec() const { return max_gap_sec_; }
+
+  ~StrandWriter();
+
+  StrandWriter(const StrandWriter&) = delete;
+  StrandWriter& operator=(const StrandWriter&) = delete;
+
+ private:
+  friend class StrandStore;
+  StrandWriter(StrandStore* store, StrandInfo info);
+
+  StrandStore* store_;
+  StrandInfo info_;
+  StrandIndex index_;
+  std::vector<Extent> extents_;      // data extents, for teardown on abort
+  std::vector<Extent> owned_index_;  // index extents after Finish
+  int64_t sectors_per_block_;
+  int64_t max_distance_cylinders_;
+  int64_t min_distance_cylinders_;
+  int64_t previous_end_sector_ = -1;  // -1: no block placed yet
+  int64_t first_block_hint_ = -1;  // -1: no hint, use the largest free run
+  PlacementPreference preference_ = PlacementPreference::kNearest;
+  int64_t blocks_written_ = 0;
+  double total_gap_sec_ = 0.0;
+  double max_gap_sec_ = 0.0;
+  bool finished_ = false;
+};
+
+class StrandStore {
+ public:
+  // The store does not own `disk`; it must outlive the store.
+  explicit StrandStore(Disk* disk);
+
+  Disk& disk() { return *disk_; }
+  const DiskModel& model() const { return disk_->model(); }
+  ConstrainedAllocator& allocator() { return allocator_; }
+
+  // Starts a new strand with the given media description and placement
+  // contract (granularity + scattering bounds, from
+  // ContinuityModel::DerivePlacement).
+  Result<std::unique_ptr<StrandWriter>> CreateStrand(const MediaProfile& media,
+                                                     const StrandPlacement& placement);
+
+  // Looks up a finished strand.
+  Result<const Strand*> Get(StrandId id) const;
+
+  // Deletes a strand, returning all its extents (data + index) to the
+  // allocator. Callers (the rope layer's GC) must ensure no references
+  // remain.
+  Status Delete(StrandId id);
+
+  int64_t strand_count() const { return static_cast<int64_t>(strands_.size()); }
+
+  // IDs of all finished strands (for the rope layer's garbage collector).
+  std::vector<StrandId> AllIds() const;
+
+  // --- Persistence support -----------------------------------------------------
+
+  // Catalog entry for the on-disk image: the strand's metadata plus the
+  // location of its Header Block, from which the whole index (and thus
+  // every data extent) is recoverable.
+  struct CatalogEntry {
+    StrandInfo info;
+    Extent header_block;
+  };
+  std::vector<CatalogEntry> ExportCatalog() const;
+
+  // Re-registers a recovered strand: marks its extents allocated and
+  // rebuilds gap statistics from the index. The id inside `info` is kept.
+  Status AdoptStrand(const StrandInfo& info, StrandIndex index,
+                     std::vector<Extent> index_extents);
+
+  // Fleet-wide average realized scattering across all finished strands,
+  // in seconds (l_ds^avg for admission control). Zero if nothing recorded.
+  double AverageScatteringSec() const;
+
+  // Reads one media block of a strand. Returns the simulated service
+  // time; silence blocks cost nothing and yield an empty payload.
+  Result<SimDuration> ReadBlock(StrandId id, int64_t block_number, std::vector<uint8_t>* out);
+
+ private:
+  friend class StrandWriter;
+
+  struct StrandRecord {
+    std::unique_ptr<Strand> strand;
+    std::vector<Extent> data_extents;
+    std::vector<Extent> index_extents;
+    double total_gap_sec = 0.0;
+    int64_t gap_count = 0;
+  };
+
+  StrandId next_id_ = 1;
+  Disk* disk_;
+  ConstrainedAllocator allocator_;
+  std::map<StrandId, StrandRecord> strands_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_MSM_STRAND_STORE_H_

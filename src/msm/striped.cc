@@ -1,0 +1,137 @@
+#include "src/msm/striped.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/util/units.h"
+
+namespace vafs {
+
+StripedStore::StripedStore(DiskArray* array) : array_(array) {
+  for (int m = 0; m < array_->members(); ++m) {
+    allocators_.push_back(std::make_unique<ConstrainedAllocator>(&array_->member_model()));
+  }
+}
+
+Result<StripedStrand> StripedStore::Record(const MediaProfile& media,
+                                           const StrandPlacement& placement,
+                                           double duration_sec) {
+  const DiskModel& model = array_->member_model();
+  const int64_t sector_bytes = model.params().bytes_per_sector;
+  const int64_t block_bytes = BitsToBytesCeil(placement.granularity * media.bits_per_unit);
+  const int64_t sectors = CeilDiv(block_bytes, sector_bytes);
+  const int64_t total_units = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(duration_sec * media.units_per_sec)));
+  const int64_t total_blocks = CeilDiv(total_units, placement.granularity);
+
+  int64_t max_distance = model.MaxCylinderDistanceForGap(
+      SecondsToUsec(placement.max_scattering_sec));
+  if (max_distance < 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "scattering bound below one rotational latency");
+  }
+
+  StripedStrand strand;
+  strand.profile = media;
+  strand.granularity = placement.granularity;
+  strand.unit_count = total_units;
+
+  const std::vector<uint8_t> payload(static_cast<size_t>(sectors * sector_bytes), 0);
+  // Per-member chain anchors: the previous block on the same member.
+  std::vector<int64_t> previous_end(static_cast<size_t>(members()), -1);
+  auto rollback = [&] {
+    (void)Free(strand);
+  };
+  for (int64_t b = 0; b < total_blocks; ++b) {
+    const int member = array_->MemberForBlock(b);
+    ConstrainedAllocator& allocator = *allocators_[static_cast<size_t>(member)];
+    int64_t& anchor = previous_end[static_cast<size_t>(member)];
+    Result<Extent> extent = anchor < 0
+                                ? allocator.AllocateInLargest(sectors)
+                                : allocator.AllocateNear(anchor, sectors, max_distance);
+    if (!extent.ok()) {
+      rollback();
+      return extent.status();
+    }
+    Result<SimDuration> written =
+        array_->member(member).Write(extent->start_sector, sectors, payload);
+    if (!written.ok()) {
+      rollback();
+      return written.status();
+    }
+    anchor = extent->end_sector();
+    strand.blocks.push_back(PrimaryEntry{extent->start_sector, sectors});
+  }
+  return strand;
+}
+
+Status StripedStore::Free(const StripedStrand& strand) {
+  for (size_t b = 0; b < strand.blocks.size(); ++b) {
+    const PrimaryEntry& entry = strand.blocks[b];
+    if (entry.IsSilence()) {
+      continue;
+    }
+    const int member = array_->MemberForBlock(static_cast<int64_t>(b));
+    (void)allocators_[static_cast<size_t>(member)]->Free(
+        Extent{entry.sector, entry.sector_count});
+  }
+  return Status::Ok();
+}
+
+Result<StripedStore::PlaybackOutcome> StripedStore::Play(const StripedStrand& strand,
+                                                         int64_t buffer_cap) {
+  if (strand.blocks.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty striped strand");
+  }
+  const int p = members();
+  const SimDuration block_duration = SecondsToUsec(
+      static_cast<double>(strand.granularity) / strand.profile.units_per_sec);
+  const int64_t cap = buffer_cap > 0 ? buffer_cap : 2 * p;
+
+  PlaybackOutcome outcome;
+  SimTime now = 0;
+  std::unique_ptr<PlaybackConsumer> consumer;
+  const int64_t total_blocks = static_cast<int64_t>(strand.blocks.size());
+  for (int64_t group_start = 0; group_start < total_blocks; group_start += p) {
+    // One batch: up to p consecutive blocks, one per member, in parallel.
+    std::vector<DiskArray::BatchRequest> batch;
+    const int64_t group_end = std::min(total_blocks, group_start + p);
+    for (int64_t b = group_start; b < group_end; ++b) {
+      const PrimaryEntry& entry = strand.blocks[static_cast<size_t>(b)];
+      batch.push_back(DiskArray::BatchRequest{array_->MemberForBlock(b), entry.sector,
+                                              entry.sector_count});
+    }
+    // Bounded accumulation: wait for the device to drain before fetching
+    // ahead of the cap (Section 3.3.2's switch-away discipline).
+    if (consumer != nullptr) {
+      while (consumer->BufferedAt(now) + static_cast<int64_t>(batch.size()) > cap) {
+        const SimTime drain = consumer->NextDrainAfter(now);
+        if (drain < 0) {
+          break;
+        }
+        now = drain;
+      }
+    }
+    Result<SimDuration> service = array_->ReadBatch(batch, nullptr);
+    if (!service.ok()) {
+      return service.status();
+    }
+    now += *service;
+    if (consumer == nullptr) {
+      // Anti-jitter: playback starts once the first batch group is in.
+      consumer = std::make_unique<PlaybackConsumer>(block_duration, now, 0);
+    }
+    for (int64_t b = group_start; b < group_end; ++b) {
+      consumer->BlockReady(now);
+      ++outcome.blocks_done;
+    }
+  }
+  outcome.violations = consumer->violations();
+  outcome.total_tardiness = consumer->total_tardiness();
+  outcome.max_buffered_blocks = consumer->max_buffered_blocks();
+  outcome.completion_time = consumer->playback_end();
+  return outcome;
+}
+
+}  // namespace vafs

@@ -1,0 +1,82 @@
+// Striped strands over a multi-head array: the concurrent retrieval
+// architecture (Section 3.1, Figure 3) made operational.
+//
+// Block i of a striped strand lives on array member i mod p. Retrieval
+// fetches groups of p consecutive blocks as one parallel batch, so the
+// continuity requirement relaxes to Eq. 3:
+//
+//   l_ds + q*s/R_dt <= (p - 1) * q/R
+//
+// with R_dt the *member* transfer rate — this is how a stream whose bit
+// rate exceeds any single disk (the paper's HDTV argument) becomes
+// servable. Placement is constrained per member: on its member, block i's
+// predecessor is block i-p, and the window derives from Eq. 3's budget.
+
+#ifndef VAFS_SRC_MSM_STRIPED_H_
+#define VAFS_SRC_MSM_STRIPED_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/continuity.h"
+#include "src/disk/disk_array.h"
+#include "src/layout/allocator.h"
+#include "src/layout/strand_index.h"
+#include "src/media/devices.h"
+#include "src/media/media.h"
+#include "src/util/result.h"
+
+namespace vafs {
+
+// A strand striped across the members of one array.
+struct StripedStrand {
+  MediaProfile profile;
+  int64_t granularity = 1;         // q, units per block
+  int64_t unit_count = 0;
+  // blocks[i] is the extent on member (i mod p).
+  std::vector<PrimaryEntry> blocks;
+};
+
+class StripedStore {
+ public:
+  // Does not own `array`; it must outlive the store.
+  explicit StripedStore(DiskArray* array);
+
+  DiskArray& array() { return *array_; }
+  int members() const { return array_->members(); }
+
+  // Records `duration_sec` of media striped across the members under the
+  // given placement (granularity + per-member scattering bound, from
+  // ContinuityModel::DerivePlacement with the kConcurrent architecture
+  // and per-member storage timings). Payload is zero-filled (the striped
+  // path is a timing substrate; content-bearing strands live in
+  // StrandStore).
+  Result<StripedStrand> Record(const MediaProfile& media, const StrandPlacement& placement,
+                               double duration_sec);
+
+  // Frees a striped strand's blocks.
+  Status Free(const StripedStrand& strand);
+
+  struct PlaybackOutcome {
+    int64_t blocks_done = 0;
+    int64_t violations = 0;
+    SimDuration total_tardiness = 0;
+    int64_t max_buffered_blocks = 0;
+    SimTime completion_time = 0;
+  };
+
+  // Plays the strand back with batches of p parallel block fetches,
+  // checking every block against its playback deadline. `buffer_cap`
+  // bounds device-side accumulation (0 = 2p, double buffering of one
+  // batch group).
+  Result<PlaybackOutcome> Play(const StripedStrand& strand, int64_t buffer_cap = 0);
+
+ private:
+  DiskArray* array_;
+  std::vector<std::unique_ptr<ConstrainedAllocator>> allocators_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_MSM_STRIPED_H_

@@ -1,0 +1,221 @@
+#include "src/rope/rope.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vafs {
+
+int64_t Track::TotalUnits() const {
+  int64_t total = 0;
+  for (const TrackSegment& segment : segments) {
+    total += segment.unit_count;
+  }
+  return total;
+}
+
+int64_t Track::UnitsAt(double seconds) const {
+  assert(rate > 0);
+  return static_cast<int64_t>(std::llround(seconds * rate));
+}
+
+bool AccessControl::AllowsPlay(const std::string& user, const std::string& creator) const {
+  if (user == creator || play_users.empty()) {
+    return true;
+  }
+  return std::find(play_users.begin(), play_users.end(), user) != play_users.end();
+}
+
+bool AccessControl::AllowsEdit(const std::string& user, const std::string& creator) const {
+  if (user == creator || edit_users.empty()) {
+    return true;
+  }
+  return std::find(edit_users.begin(), edit_users.end(), user) != edit_users.end();
+}
+
+double Rope::LengthSec() const { return std::max(video_.DurationSec(), audio_.DurationSec()); }
+
+void AppendSegment(Track* track, TrackSegment segment) {
+  if (segment.unit_count <= 0) {
+    return;
+  }
+  if (!track->segments.empty()) {
+    TrackSegment& tail = track->segments.back();
+    const bool contiguous_strand = !tail.IsGap() && tail.strand == segment.strand &&
+                                   tail.start_unit + tail.unit_count == segment.start_unit;
+    const bool both_gaps = tail.IsGap() && segment.IsGap();
+    if (contiguous_strand || both_gaps) {
+      tail.unit_count += segment.unit_count;
+      return;
+    }
+  }
+  track->segments.push_back(segment);
+}
+
+std::vector<TrackSegment> SliceTrack(const Track& track, int64_t start_unit, int64_t count) {
+  assert(start_unit >= 0 && count >= 0);
+  std::vector<TrackSegment> result;
+  int64_t position = 0;
+  const int64_t end_unit = start_unit + count;
+  for (const TrackSegment& segment : track.segments) {
+    const int64_t seg_begin = position;
+    const int64_t seg_end = position + segment.unit_count;
+    position = seg_end;
+    const int64_t overlap_begin = std::max(seg_begin, start_unit);
+    const int64_t overlap_end = std::min(seg_end, end_unit);
+    if (overlap_begin >= overlap_end) {
+      continue;
+    }
+    TrackSegment piece;
+    piece.strand = segment.strand;
+    piece.start_unit = segment.IsGap() ? 0 : segment.start_unit + (overlap_begin - seg_begin);
+    piece.unit_count = overlap_end - overlap_begin;
+    result.push_back(piece);
+  }
+  return result;
+}
+
+namespace {
+
+// Rebuilds a track's segments from slices, re-merging adjacencies.
+void Rebuild(Track* track, const std::vector<std::vector<TrackSegment>>& parts) {
+  std::vector<TrackSegment> original = std::move(track->segments);
+  track->segments.clear();
+  for (const std::vector<TrackSegment>& part : parts) {
+    for (const TrackSegment& segment : part) {
+      AppendSegment(track, segment);
+    }
+  }
+  (void)original;
+}
+
+}  // namespace
+
+namespace {
+
+// Track surgery is total: ranges are clamped to the track, so editing a
+// rope whose media have different lengths (LengthSec is their max) can
+// never address units a shorter track does not have.
+void ClampRange(const Track& track, int64_t* start_unit, int64_t* count) {
+  const int64_t total = track.TotalUnits();
+  *start_unit = std::clamp<int64_t>(*start_unit, 0, total);
+  *count = std::clamp<int64_t>(*count, 0, total - *start_unit);
+}
+
+}  // namespace
+
+void EraseRange(Track* track, int64_t start_unit, int64_t count) {
+  ClampRange(*track, &start_unit, &count);
+  const int64_t total = track->TotalUnits();
+  std::vector<TrackSegment> prefix = SliceTrack(*track, 0, start_unit);
+  std::vector<TrackSegment> suffix =
+      SliceTrack(*track, start_unit + count, total - (start_unit + count));
+  Rebuild(track, {prefix, suffix});
+}
+
+void BlankRange(Track* track, int64_t start_unit, int64_t count) {
+  ClampRange(*track, &start_unit, &count);
+  const int64_t total = track->TotalUnits();
+  std::vector<TrackSegment> prefix = SliceTrack(*track, 0, start_unit);
+  std::vector<TrackSegment> suffix =
+      SliceTrack(*track, start_unit + count, total - (start_unit + count));
+  std::vector<TrackSegment> gap;
+  if (count > 0) {
+    gap.push_back(TrackSegment{kNullStrand, 0, count});
+  }
+  Rebuild(track, {prefix, gap, suffix});
+}
+
+void InsertSegments(Track* track, int64_t start_unit,
+                    const std::vector<TrackSegment>& segments) {
+  const int64_t total = track->TotalUnits();
+  start_unit = std::clamp<int64_t>(start_unit, 0, total);
+  std::vector<TrackSegment> prefix = SliceTrack(*track, 0, start_unit);
+  std::vector<TrackSegment> suffix = SliceTrack(*track, start_unit, total - start_unit);
+  Rebuild(track, {prefix, segments, suffix});
+}
+
+namespace {
+
+// Locates the (strand, absolute unit) under a track-relative unit offset.
+struct TrackPosition {
+  StrandId strand = kNullStrand;
+  int64_t strand_unit = 0;  // absolute unit within the strand
+};
+
+TrackPosition Locate(const Track& track, int64_t unit) {
+  int64_t position = 0;
+  for (const TrackSegment& segment : track.segments) {
+    if (unit < position + segment.unit_count) {
+      TrackPosition result;
+      result.strand = segment.strand;
+      result.strand_unit = segment.IsGap() ? 0 : segment.start_unit + (unit - position);
+      return result;
+    }
+    position += segment.unit_count;
+  }
+  return TrackPosition{};
+}
+
+}  // namespace
+
+std::vector<SyncInterval> Rope::SynchronizationInfo() const {
+  // Boundary instants: every segment edge of either track, in seconds.
+  std::vector<double> boundaries;
+  boundaries.push_back(0.0);
+  for (const Track* track : {&video_, &audio_}) {
+    if (track->rate <= 0) {
+      continue;
+    }
+    int64_t position = 0;
+    for (const TrackSegment& segment : track->segments) {
+      position += segment.unit_count;
+      boundaries.push_back(static_cast<double>(position) / track->rate);
+    }
+  }
+  boundaries.push_back(LengthSec());
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end(),
+                               [](double a, double b) { return std::abs(a - b) < 1e-9; }),
+                   boundaries.end());
+
+  std::vector<SyncInterval> info;
+  for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    const double begin = boundaries[i];
+    const double end = boundaries[i + 1];
+    if (end - begin < 1e-9) {
+      continue;
+    }
+    const double midpoint = (begin + end) / 2.0;
+    SyncInterval interval;
+    interval.start_sec = begin;
+    interval.length_sec = end - begin;
+    if (video_.rate > 0 && midpoint < video_.DurationSec()) {
+      const TrackPosition at_begin =
+          Locate(video_, static_cast<int64_t>(midpoint * video_.rate));
+      interval.video_strand = at_begin.strand;
+      interval.video_rate = video_.rate;
+      interval.video_granularity = video_.granularity;
+      if (at_begin.strand != kNullStrand) {
+        // Correspondence at the interval start, not the midpoint.
+        const TrackPosition at_start = Locate(video_, video_.UnitsAt(begin));
+        interval.video_block = at_start.strand_unit / video_.granularity;
+      }
+    }
+    if (audio_.rate > 0 && midpoint < audio_.DurationSec()) {
+      const TrackPosition at_begin =
+          Locate(audio_, static_cast<int64_t>(midpoint * audio_.rate));
+      interval.audio_strand = at_begin.strand;
+      interval.audio_rate = audio_.rate;
+      interval.audio_granularity = audio_.granularity;
+      if (at_begin.strand != kNullStrand) {
+        const TrackPosition at_start = Locate(audio_, audio_.UnitsAt(begin));
+        interval.audio_block = at_start.strand_unit / audio_.granularity;
+      }
+    }
+    info.push_back(interval);
+  }
+  return info;
+}
+
+}  // namespace vafs

@@ -1,0 +1,153 @@
+// Multimedia rope: strands tied together by synchronization information
+// (paper Section 4, Figures 7-8).
+//
+// A rope carries its creator, access rights, and for each component
+// medium the sequence of strand intervals that make up its timeline.
+// Internally each medium is a *track*: an ordered list of segments, where
+// a segment references a half-open unit range of an immutable strand, or
+// is a gap (no media for that duration — e.g., a rope whose video was
+// deleted while its audio remains, or the non-existent video component of
+// the paper's Rope4). Editing manipulates these segment lists only;
+// strand payloads are never touched (Section 4's pointer-manipulation
+// requirement). The paper's Fig. 8 interval view — per-interval strand
+// IDs, rates, granularities and block-level correspondence — is derived
+// from the two tracks on demand.
+
+#ifndef VAFS_SRC_ROPE_ROPE_H_
+#define VAFS_SRC_ROPE_ROPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/media/media.h"
+#include "src/msm/strand.h"
+#include "src/util/result.h"
+
+namespace vafs {
+
+using RopeId = uint64_t;
+inline constexpr RopeId kNullRope = 0;
+
+// One run of a track: `unit_count` units of `strand` starting at
+// `start_unit`, or a gap of `unit_count` units when strand == kNullStrand.
+struct TrackSegment {
+  StrandId strand = kNullStrand;
+  int64_t start_unit = 0;
+  int64_t unit_count = 0;
+
+  bool IsGap() const { return strand == kNullStrand; }
+  friend bool operator==(const TrackSegment& a, const TrackSegment& b) = default;
+};
+
+// A single-medium timeline.
+struct Track {
+  Medium medium = Medium::kVideo;
+  double rate = 0.0;        // units/sec; 0 while the track is empty
+  int64_t granularity = 1;  // units/block of the referenced strands
+
+  std::vector<TrackSegment> segments;
+
+  bool empty() const { return segments.empty(); }
+  int64_t TotalUnits() const;
+  double DurationSec() const {
+    return rate > 0 ? static_cast<double>(TotalUnits()) / rate : 0.0;
+  }
+
+  // Converts a time offset to a unit offset (round to nearest unit).
+  int64_t UnitsAt(double seconds) const;
+};
+
+// Access-control lists (Fig. 8: PlayAccess / EditAccess). An empty list
+// grants access to everyone; otherwise the creator and listed users only.
+struct AccessControl {
+  std::vector<std::string> play_users;
+  std::vector<std::string> edit_users;
+
+  bool AllowsPlay(const std::string& user, const std::string& creator) const;
+  bool AllowsEdit(const std::string& user, const std::string& creator) const;
+};
+
+// Text synchronized with the audio/video timeline (Fig. 8 trigger info).
+struct Trigger {
+  double at_sec = 0.0;
+  std::string text;
+};
+
+// The Fig. 8 interval view: one entry per maximal run over which both
+// tracks reference an unchanging (strand, offset) pair.
+struct SyncInterval {
+  StrandId video_strand = kNullStrand;
+  StrandId audio_strand = kNullStrand;
+  double start_sec = 0.0;
+  double length_sec = 0.0;
+  double video_rate = 0.0;
+  double audio_rate = 0.0;
+  int64_t video_granularity = 0;
+  int64_t audio_granularity = 0;
+  // Block-level correspondence: blocks of each strand at which this
+  // interval's playback starts simultaneously.
+  int64_t video_block = -1;
+  int64_t audio_block = -1;
+};
+
+class Rope {
+ public:
+  Rope(RopeId id, std::string creator) : id_(id), creator_(std::move(creator)) {}
+
+  RopeId id() const { return id_; }
+  const std::string& creator() const { return creator_; }
+  AccessControl& access() { return access_; }
+  const AccessControl& access() const { return access_; }
+
+  Track& video() { return video_; }
+  const Track& video() const { return video_; }
+  Track& audio() { return audio_; }
+  const Track& audio() const { return audio_; }
+
+  Track& TrackFor(Medium medium) { return medium == Medium::kVideo ? video_ : audio_; }
+  const Track& TrackFor(Medium medium) const {
+    return medium == Medium::kVideo ? video_ : audio_;
+  }
+
+  std::vector<Trigger>& triggers() { return triggers_; }
+  const std::vector<Trigger>& triggers() const { return triggers_; }
+
+  // Rope length: the longer of the two component timelines.
+  double LengthSec() const;
+
+  // Derives the Fig. 8 synchronization-information view.
+  std::vector<SyncInterval> SynchronizationInfo() const;
+
+ private:
+  RopeId id_;
+  std::string creator_;
+  AccessControl access_;
+  Track video_{Medium::kVideo, 0.0, 1, {}};
+  Track audio_{Medium::kAudio, 0.0, 1, {}};
+  std::vector<Trigger> triggers_;
+};
+
+// --- Track surgery (shared by the rope server's editing operations) --------
+
+// Appends a segment, merging with the tail when contiguous in the same
+// strand (or both gaps).
+void AppendSegment(Track* track, TrackSegment segment);
+
+// Copies the sub-track covering units [start_unit, start_unit + count).
+std::vector<TrackSegment> SliceTrack(const Track& track, int64_t start_unit, int64_t count);
+
+// Removes units [start_unit, start_unit + count), closing the gap (the
+// track shortens).
+void EraseRange(Track* track, int64_t start_unit, int64_t count);
+
+// Replaces units [start_unit, start_unit + count) with a gap of equal
+// length (duration preserved; used when deleting one medium of a rope).
+void BlankRange(Track* track, int64_t start_unit, int64_t count);
+
+// Inserts the given segments at `start_unit`, shifting the remainder.
+void InsertSegments(Track* track, int64_t start_unit, const std::vector<TrackSegment>& segments);
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_ROPE_ROPE_H_

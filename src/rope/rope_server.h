@@ -1,0 +1,176 @@
+// Multimedia Rope Server (MRS): the device-independent layer of the file
+// system (paper Section 5.2). Creates and maintains ropes, implements the
+// editing operations of Section 4.1 as pure pointer manipulation over
+// immutable strands, maintains Etherphone-style interests (reference
+// counts) for garbage collection, and invokes the storage manager's
+// scattering repair at edit seams so edited ropes stay playable.
+
+#ifndef VAFS_SRC_ROPE_ROPE_SERVER_H_
+#define VAFS_SRC_ROPE_ROPE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/layout/strand_index.h"
+#include "src/msm/reorganizer.h"
+#include "src/msm/scattering_repair.h"
+#include "src/msm/strand_store.h"
+#include "src/rope/rope.h"
+#include "src/util/result.h"
+
+namespace vafs {
+
+// Which media an editing operation applies to ("any subset of media
+// constituting a rope", Section 4.1).
+enum class MediaSelector {
+  kVideo,
+  kAudio,
+  kAudioVisual,
+};
+
+// A time range within a rope or strand, in seconds.
+struct TimeInterval {
+  double start_sec = 0.0;
+  double length_sec = 0.0;
+};
+
+class RopeServer {
+ public:
+  // The server does not own `store`; it must outlive the server.
+  explicit RopeServer(StrandStore* store);
+
+  // --- Creation -------------------------------------------------------------
+
+  // Creates a rope over freshly recorded strands (either may be
+  // kNullStrand, but not both). The strands' rates and granularities
+  // become the rope's track parameters.
+  Result<RopeId> CreateRope(const std::string& creator, StrandId video_strand,
+                            StrandId audio_strand);
+
+  Result<const Rope*> Find(RopeId id) const;
+
+  Status SetAccess(const std::string& user, RopeId id, AccessControl access);
+
+  Status AddTrigger(const std::string& user, RopeId id, Trigger trigger);
+
+  // --- Editing (Section 4.1 interfaces) --------------------------------------
+
+  // INSERT[baseRope, position, media, withRope, withInterval]
+  Status Insert(const std::string& user, RopeId base, double position_sec, MediaSelector media,
+                RopeId with, TimeInterval with_interval);
+
+  // REPLACE[baseRope, media, baseInterval, withRope, withInterval]
+  Status Replace(const std::string& user, RopeId base, MediaSelector media,
+                 TimeInterval base_interval, RopeId with, TimeInterval with_interval);
+
+  // SUBSTRING[baseRope, media, interval] -> new rope
+  Result<RopeId> Substring(const std::string& user, RopeId base, MediaSelector media,
+                           TimeInterval interval);
+
+  // CONCATE[mmRopeID1, mmRopeID2] -> new rope
+  Result<RopeId> Concat(const std::string& user, RopeId first, RopeId second);
+
+  // DELETE[baseRope, media, interval]. Deleting all media closes the gap
+  // (the rope shortens); deleting one medium blanks it, preserving the
+  // other medium's timeline.
+  Status Delete(const std::string& user, RopeId base, MediaSelector media,
+                TimeInterval interval);
+
+  // Deletes the rope itself; its strands become garbage once unreferenced.
+  Status DeleteRope(const std::string& user, RopeId id);
+
+  // --- Playback support -------------------------------------------------------
+
+  // Flattens a rope's medium over a time interval into block locations in
+  // playback order (gaps become silence entries). Enforces play access.
+  Result<std::vector<PrimaryEntry>> ResolveBlocks(const std::string& user, RopeId id,
+                                                  Medium medium, TimeInterval interval) const;
+
+  // --- Scattering repair (Section 4.2) ----------------------------------------
+
+  struct RopeRepairStats {
+    int64_t seams_checked = 0;
+    int64_t seams_repaired = 0;
+    int64_t blocks_copied = 0;
+    SimDuration copy_time = 0;
+  };
+
+  // Walks every edit seam in the rope's medium track and repairs those
+  // whose gap exceeds the scattering bound, splicing the copies into the
+  // rope.
+  Result<RopeRepairStats> RepairRope(RopeId id, Medium medium);
+
+  // --- Storage reorganization (Section 6.2) -----------------------------------
+
+  struct StorageReorgStats {
+    int64_t strands_audited = 0;
+    int64_t strands_relocated = 0;
+    int64_t blocks_moved = 0;
+    SimDuration copy_time = 0;
+    int64_t largest_free_extent_before = 0;
+    int64_t largest_free_extent_after = 0;
+  };
+
+  // Smooths out scattering anomalies: audits every referenced strand and
+  // relocates those whose realized gaps exceed their contract (or the
+  // override bound, e.g. recomputed for new hardware), rebinding every
+  // rope that references them and collecting the originals.
+  Result<StorageReorgStats> ReorganizeStorage(double bound_override_sec = -1.0);
+
+  // Defragmentation: relocates every referenced strand, packing them from
+  // the start of the disk, so the free space consolidates into large runs
+  // (the precondition for placing new strands within scattering bounds).
+  Result<StorageReorgStats> CompactStorage();
+
+  // --- Garbage collection (interests) -----------------------------------------
+
+  // Number of rope segments referencing the strand across all ropes.
+  int64_t InterestCount(StrandId id) const;
+
+  // Protects a strand that is not yet referenced by any rope (e.g., just
+  // recorded) from collection.
+  void Pin(StrandId id) { pinned_.insert(id); }
+  void Unpin(StrandId id) { pinned_.erase(id); }
+
+  // Deletes every unreferenced, unpinned strand. Returns how many were
+  // collected.
+  int64_t CollectGarbage();
+
+  int64_t rope_count() const { return static_cast<int64_t>(ropes_.size()); }
+
+  // --- Persistence support -----------------------------------------------------
+
+  // All ropes, for serialization into the on-disk image.
+  std::vector<const Rope*> AllRopes() const;
+
+  // Re-registers a recovered rope, keeping its id.
+  Status AdoptRope(std::unique_ptr<Rope> rope);
+
+ private:
+  Result<Rope*> FindMutable(const std::string& user, RopeId id);
+  // Tracks selected by a MediaSelector.
+  static std::vector<Medium> SelectedMedia(MediaSelector media);
+  // Ensures the rope's track for `medium` has rate/granularity compatible
+  // with `reference`; adopts them (padding with a gap to `pad_to_sec`) when
+  // the track is still untyped.
+  Status EnsureTrackCompatible(Rope* rope, Medium medium, const Track& reference,
+                               double pad_to_sec);
+  // Points every rope segment referencing `from` at `to` instead (unit
+  // offsets are preserved by relocation).
+  void RebindStrand(StrandId from, StrandId to);
+  // Strands referenced by at least one rope, in id order.
+  std::vector<StrandId> ReferencedStrands() const;
+
+  StrandStore* store_;
+  RopeId next_id_ = 1;
+  std::map<RopeId, std::unique_ptr<Rope>> ropes_;
+  std::set<StrandId> pinned_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_ROPE_ROPE_SERVER_H_

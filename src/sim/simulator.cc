@@ -1,0 +1,46 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace vafs {
+
+void Simulator::ScheduleAt(SimTime at, Callback callback) {
+  if (at < now_) {
+    at = now_;
+  }
+  queue_.push(Event{at, next_sequence_++, std::move(callback)});
+}
+
+void Simulator::ScheduleAfter(SimDuration delay, Callback callback) {
+  ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(callback));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // Move the callback out before popping: running it may schedule new
+  // events and reallocate the underlying heap.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  ++events_executed_;
+  event.callback();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace vafs

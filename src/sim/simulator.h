@@ -1,0 +1,81 @@
+// Discrete-event simulation engine.
+//
+// vaFS timing behaviour (disk transfers, playback deadlines, service
+// rounds) is evaluated under a simulated clock rather than wall time, so
+// that continuity properties are deterministic and testable. The engine is
+// a classic calendar: events are (time, sequence, callback) triples; ties
+// in time are broken by insertion order so runs are exactly reproducible.
+
+#ifndef VAFS_SRC_SIM_SIMULATOR_H_
+#define VAFS_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace vafs {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+
+  // Simulators own pending callbacks; moving one around would invalidate
+  // `this` captured by components, so forbid copies and moves.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time in microseconds.
+  SimTime Now() const { return now_; }
+
+  // Schedules `callback` to run at absolute simulated time `at`.
+  // Scheduling in the past is clamped to Now(): the event runs next.
+  void ScheduleAt(SimTime at, Callback callback);
+
+  // Schedules `callback` to run `delay` microseconds from now.
+  void ScheduleAfter(SimDuration delay, Callback callback);
+
+  // Runs the earliest pending event. Returns false if none are pending.
+  bool Step();
+
+  // Runs events until the queue is empty.
+  void Run();
+
+  // Runs events with time <= deadline; leaves later events pending and
+  // advances the clock to `deadline`.
+  void RunUntil(SimTime deadline);
+
+  // Number of events executed so far (diagnostic).
+  int64_t events_executed() const { return events_executed_; }
+
+  // Number of events still pending.
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    int64_t sequence;
+    Callback callback;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  SimTime now_ = 0;
+  int64_t next_sequence_ = 0;
+  int64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of vaFS (synthetic media content, silence
+// profiles, workload generators) draws from an explicitly seeded generator
+// so that tests and benchmarks are exactly reproducible. SplitMix64 is used
+// for seeding and xoshiro256** for the stream; both are tiny, fast and have
+// no global state.
+
+#ifndef VAFS_SRC_UTIL_PRNG_H_
+#define VAFS_SRC_UTIL_PRNG_H_
+
+#include <cstdint>
+
+namespace vafs {
+
+// SplitMix64 step: used to expand a single seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna. Deterministic for a given seed.
+class Prng {
+ public:
+  explicit Prng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  // Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_UTIL_PRNG_H_

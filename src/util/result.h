@@ -1,0 +1,103 @@
+// Error handling for vaFS public interfaces.
+//
+// File-system operations fail for predictable, recoverable reasons
+// (admission rejected, disk full, bad rope ID). Those are values, not
+// exceptions, so every fallible API returns Result<T> / Status.
+
+#ifndef VAFS_SRC_UTIL_RESULT_H_
+#define VAFS_SRC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vafs {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // strand / rope / request ID unknown
+  kPermissionDenied,  // rope access-rights check failed
+  kAdmissionRejected, // admission control cannot accept the request
+  kNoSpace,           // allocator could not satisfy the scattering constraint
+  kFailedPrecondition,// operation not valid in the current state
+  kAlreadyExists,     // ID collision
+  kOutOfRange,        // interval outside strand/rope bounds
+  kInternal,          // invariant violation; indicates a vaFS bug
+};
+
+// Human-readable name for an ErrorCode, for logs and test failure messages.
+const char* ErrorCodeName(ErrorCode code);
+
+// A status: either OK or an error code with a message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(ErrorCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// A value or a Status error. Minimal absl::StatusOr analogue.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: lets `return value;` and `return status;` both work.
+  Result(T value) : state_(std::move(value)) {}
+  Result(Status status) : state_(std::move(status)) {
+    assert(!std::get<Status>(state_).ok() && "Result constructed from OK status without value");
+  }
+  Result(ErrorCode code, std::string message) : state_(Status(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(state_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_UTIL_RESULT_H_

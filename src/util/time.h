@@ -1,0 +1,41 @@
+// Time representations used across vaFS.
+//
+// The analytic continuity model (src/core) works in real-valued seconds,
+// because the paper's equations are algebraic relations between durations.
+// The discrete-event simulator (src/sim) works in integer microseconds so
+// event ordering is exact and runs are reproducible. This header provides
+// both representations and the conversions between them.
+
+#ifndef VAFS_SRC_UTIL_TIME_H_
+#define VAFS_SRC_UTIL_TIME_H_
+
+#include <cstdint>
+#include <cmath>
+
+namespace vafs {
+
+// Simulated time in integer microseconds since the start of a run.
+using SimTime = int64_t;
+
+// Durations in integer microseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kUsecPerSec = 1'000'000;
+
+// Converts a real-valued duration in seconds to integer microseconds,
+// rounding up so that a consumer never observes data arriving earlier than
+// the model predicts (conservative for continuity checks).
+inline SimDuration SecondsToUsec(double seconds) {
+  return static_cast<SimDuration>(std::ceil(seconds * static_cast<double>(kUsecPerSec)));
+}
+
+// Converts integer microseconds to real-valued seconds.
+inline double UsecToSeconds(SimDuration usec) {
+  return static_cast<double>(usec) / static_cast<double>(kUsecPerSec);
+}
+
+inline SimDuration MillisToUsec(double millis) { return SecondsToUsec(millis / 1e3); }
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_UTIL_TIME_H_

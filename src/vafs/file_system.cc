@@ -1,0 +1,202 @@
+#include "src/vafs/file_system.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace vafs {
+
+namespace {
+
+// The display device matching a medium.
+const DeviceProfile& DeviceFor(const FileSystemConfig& config, Medium medium) {
+  return medium == Medium::kVideo ? config.video_device : config.audio_device;
+}
+
+}  // namespace
+
+MultimediaFileSystem::MultimediaFileSystem(const FileSystemConfig& config) : config_(config) {
+  disk_ = std::make_unique<Disk>(config.disk, DiskOptions{config.retain_data});
+  store_ = std::make_unique<StrandStore>(disk_.get());
+
+  const StorageTimings storage = StorageTimings::FromDiskModel(disk_->model());
+  continuity_ =
+      std::make_unique<ContinuityModel>(storage, config.video_device, config.concurrency);
+
+  double avg_scattering = config.assumed_avg_scattering_sec;
+  if (avg_scattering < 0) {
+    // Conservative default: assume strands realize their full scattering
+    // budget; admission then under-promises rather than glitching.
+    avg_scattering = storage.avg_rotational_latency_sec;
+    Result<StrandPlacement> placement =
+        PlacementFor(MediaProfile{Medium::kVideo, 30.0, 96'000});
+    if (placement.ok()) {
+      avg_scattering = placement->max_scattering_sec;
+    }
+  }
+  if (avg_scattering > storage.max_access_gap_sec) {
+    avg_scattering = storage.max_access_gap_sec;
+  }
+  admission_ = std::make_unique<AdmissionControl>(storage, avg_scattering);
+  scheduler_ =
+      std::make_unique<ServiceScheduler>(store_.get(), &simulator_, *admission_, config.scheduler);
+  ropes_ = std::make_unique<RopeServer>(store_.get());
+  text_files_ = std::make_unique<TextFileService>(disk_.get(), &store_->allocator());
+}
+
+Result<StrandPlacement> MultimediaFileSystem::PlacementFor(const MediaProfile& media) const {
+  const StorageTimings storage = StorageTimings::FromDiskModel(disk_->model());
+  ContinuityModel model(storage, DeviceFor(config_, media.medium), config_.concurrency);
+  return model.DerivePlacement(config_.architecture, media);
+}
+
+Result<MultimediaFileSystem::RecordResult> MultimediaFileSystem::Record(const std::string& user,
+                                                                        VideoSource* video,
+                                                                        AudioSource* audio,
+                                                                        double duration_sec) {
+  if (video == nullptr && audio == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "RECORD needs at least one medium");
+  }
+  if (duration_sec <= 0) {
+    return Status(ErrorCode::kInvalidArgument, "RECORD needs a positive duration");
+  }
+  RecordResult result;
+  if (video != nullptr) {
+    Result<StrandPlacement> placement = PlacementFor(video->profile());
+    if (!placement.ok()) {
+      return placement.status();
+    }
+    Result<RecordingResult> recorded = RecordVideo(store_.get(), video, *placement, duration_sec);
+    if (!recorded.ok()) {
+      return recorded.status();
+    }
+    result.video = *recorded;
+    result.video_strand = recorded->strand;
+  }
+  if (audio != nullptr) {
+    Result<StrandPlacement> placement = PlacementFor(audio->profile());
+    if (!placement.ok()) {
+      return placement.status();
+    }
+    Result<RecordingResult> recorded =
+        RecordAudio(store_.get(), audio, silence_detector_, *placement, duration_sec);
+    if (!recorded.ok()) {
+      return recorded.status();
+    }
+    result.audio = *recorded;
+    result.audio_strand = recorded->strand;
+  }
+  Result<RopeId> rope = ropes_->CreateRope(user, result.video_strand, result.audio_strand);
+  if (!rope.ok()) {
+    return rope.status();
+  }
+  result.rope = *rope;
+  return result;
+}
+
+Result<RequestId> MultimediaFileSystem::StartTimedRecording(const MediaProfile& media,
+                                                            double duration_sec) {
+  Result<StrandPlacement> placement = PlacementFor(media);
+  if (!placement.ok()) {
+    return placement.status();
+  }
+  const double units = duration_sec * media.units_per_sec;
+  RecordingRequest request;
+  request.profile = media;
+  request.placement = *placement;
+  request.total_blocks = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(units / static_cast<double>(placement->granularity))));
+  return scheduler_->SubmitRecording(request);
+}
+
+Result<RequestId> MultimediaFileSystem::Play(const std::string& user, RopeId rope, Medium medium,
+                                             TimeInterval interval, double rate_multiplier) {
+  Result<const Rope*> rope_ptr = ropes_->Find(rope);
+  if (!rope_ptr.ok()) {
+    return rope_ptr.status();
+  }
+  const Track& track = (*rope_ptr)->TrackFor(medium);
+  if (track.rate <= 0) {
+    return Status(ErrorCode::kNotFound,
+                  std::string("rope has no ") + MediumName(medium) + " component");
+  }
+  Result<std::vector<PrimaryEntry>> blocks = ropes_->ResolveBlocks(user, rope, medium, interval);
+  if (!blocks.ok()) {
+    return blocks.status();
+  }
+
+  // Per-unit size: taken from the first referenced strand (every strand in
+  // a track shares rate and granularity; unit size follows the medium).
+  int64_t bits_per_unit = 8;
+  for (const TrackSegment& segment : track.segments) {
+    if (!segment.IsGap()) {
+      Result<const Strand*> strand = store_->Get(segment.strand);
+      if (strand.ok()) {
+        bits_per_unit = (*strand)->info().bits_per_unit;
+        break;
+      }
+    }
+  }
+
+  PlaybackRequest request;
+  request.blocks = std::move(*blocks);
+  request.block_duration =
+      SecondsToUsec(static_cast<double>(track.granularity) / track.rate);
+  request.spec =
+      RequestSpec{MediaProfile{medium, track.rate, bits_per_unit}, track.granularity};
+  request.rate_multiplier = rate_multiplier;
+  return scheduler_->SubmitPlayback(std::move(request));
+}
+
+Status MultimediaFileSystem::Checkpoint() {
+  Result<ImageReceipt> receipt =
+      SaveImage(store_.get(), ropes_.get(), text_files_.get(),
+                image_receipt_.valid ? &image_receipt_ : nullptr);
+  if (!receipt.ok()) {
+    return receipt.status();
+  }
+  image_receipt_ = *receipt;
+  return Status::Ok();
+}
+
+Status MultimediaFileSystem::Recover() {
+  Result<LoadedImage> image = LoadImage(disk_.get());
+  if (!image.ok()) {
+    return image.status();
+  }
+  store_ = std::move(image->store);
+  ropes_ = std::move(image->ropes);
+  text_files_ = std::move(image->texts);
+  image_receipt_ = image->receipt;
+  // The scheduler's in-flight requests died with the crash; rebuild it
+  // over the recovered store.
+  scheduler_ =
+      std::make_unique<ServiceScheduler>(store_.get(), &simulator_, *admission_,
+                                         config_.scheduler);
+  return Status::Ok();
+}
+
+Result<std::vector<std::vector<uint8_t>>> MultimediaFileSystem::ReadRopeBlocks(
+    const std::string& user, RopeId rope, Medium medium, TimeInterval interval) {
+  Result<std::vector<PrimaryEntry>> blocks = ropes_->ResolveBlocks(user, rope, medium, interval);
+  if (!blocks.ok()) {
+    return blocks.status();
+  }
+  std::vector<std::vector<uint8_t>> payloads;
+  payloads.reserve(blocks->size());
+  for (const PrimaryEntry& entry : *blocks) {
+    if (entry.IsSilence()) {
+      payloads.emplace_back();
+      continue;
+    }
+    std::vector<uint8_t> payload;
+    Result<SimDuration> read = disk_->Read(entry.sector, entry.sector_count, &payload);
+    if (!read.ok()) {
+      return read.status();
+    }
+    payloads.push_back(std::move(payload));
+  }
+  return payloads;
+}
+
+}  // namespace vafs

@@ -1,0 +1,135 @@
+// MultimediaFileSystem: the public facade tying both layers together.
+//
+// Mirrors the paper's prototype (Section 5): the Multimedia Rope Server
+// (device-independent rope abstraction) layered over the Multimedia
+// Storage Manager (device-specific placement, admission control and
+// service rounds), plus the integrated conventional text-file service.
+// The client interface is the paper's Section 4.1 operation set: RECORD,
+// PLAY, STOP, PAUSE (destructive or not), RESUME, and the rope editing
+// utilities exposed through rope_server().
+
+#ifndef VAFS_SRC_VAFS_FILE_SYSTEM_H_
+#define VAFS_SRC_VAFS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/admission.h"
+#include "src/core/continuity.h"
+#include "src/disk/disk.h"
+#include "src/media/silence.h"
+#include "src/media/sources.h"
+#include "src/msm/recorder.h"
+#include "src/msm/service_scheduler.h"
+#include "src/msm/strand_store.h"
+#include "src/rope/rope_server.h"
+#include "src/sim/simulator.h"
+#include "src/vafs/persistence.h"
+#include "src/vafs/text_files.h"
+
+namespace vafs {
+
+struct FileSystemConfig {
+  DiskParameters disk;
+  // Display-path devices per medium (decode rate, internal buffers).
+  DeviceProfile video_device{96'000.0 * 30.0 * 4, 8};
+  DeviceProfile audio_device{8.0 * 8000.0 * 16, 64};
+  RetrievalArchitecture architecture = RetrievalArchitecture::kPipelined;
+  int concurrency = 1;  // p, for the concurrent architecture
+  SchedulerOptions scheduler;
+  // Average scattering assumed by admission control; < 0 derives a
+  // conservative value (the video placement's upper bound).
+  double assumed_avg_scattering_sec = -1.0;
+  bool retain_data = true;  // false: timing-only simulation (fast benches)
+};
+
+class MultimediaFileSystem {
+ public:
+  explicit MultimediaFileSystem(const FileSystemConfig& config);
+
+  // --- Layer access (the prototype is a testbed; Section 5.2) --------------
+  Simulator& simulator() { return simulator_; }
+  Disk& disk() { return *disk_; }
+  StrandStore& storage_manager() { return *store_; }
+  RopeServer& rope_server() { return *ropes_; }
+  ServiceScheduler& scheduler() { return *scheduler_; }
+  TextFileService& text_files() { return *text_files_; }
+  const ContinuityModel& continuity() const { return *continuity_; }
+  const AdmissionControl& admission() const { return *admission_; }
+
+  // Placement derived for a media profile under the configured
+  // architecture (granularity + scattering bounds).
+  Result<StrandPlacement> PlacementFor(const MediaProfile& media) const;
+
+  // --- RECORD ---------------------------------------------------------------
+
+  // RECORD [media] -> [requestID, mmRopeID]. Records the given sources
+  // (either may be null, not both) for `duration_sec`, with silence
+  // elimination on audio, and ties the strands into a rope.
+  struct RecordResult {
+    RopeId rope = kNullRope;
+    StrandId video_strand = kNullStrand;
+    StrandId audio_strand = kNullStrand;
+    RecordingResult video;
+    RecordingResult audio;
+  };
+  Result<RecordResult> Record(const std::string& user, VideoSource* video, AudioSource* audio,
+                              double duration_sec);
+
+  // Timed recording through admission control and service rounds (the
+  // storage-side real-time path). Completion is observed via Stats().
+  Result<RequestId> StartTimedRecording(const MediaProfile& media, double duration_sec);
+
+  // --- PLAY / STOP / PAUSE / RESUME -------------------------------------------
+
+  // PLAY [mmRopeID, interval, media] -> requestID. Non-blocking: drive the
+  // simulation with RunUntilIdle() and inspect Stats().
+  Result<RequestId> Play(const std::string& user, RopeId rope, Medium medium,
+                         TimeInterval interval, double rate_multiplier = 1.0);
+
+  Status Stop(RequestId request) { return scheduler_->Stop(request); }
+  Status Pause(RequestId request, bool destructive) {
+    return scheduler_->Pause(request, destructive);
+  }
+  Status Resume(RequestId request) { return scheduler_->Resume(request); }
+
+  void RunUntilIdle() { scheduler_->RunUntilIdle(); }
+
+  Result<RequestStats> Stats(RequestId request) const { return scheduler_->stats(request); }
+
+  // --- Persistence ------------------------------------------------------------
+
+  // Writes the catalog (strands, ropes, text files) to the disk image;
+  // repeated checkpoints reuse the root sector and free the old catalog.
+  Status Checkpoint();
+
+  // Discards all in-memory state and rebuilds it from the disk image (the
+  // crash-recovery path). Active requests are abandoned.
+  Status Recover();
+
+  // Untimed data-path read of a rope interval (for verification and
+  // non-real-time clients). Returns one payload per block covering the
+  // interval, in playback order; eliminated-silence blocks come back as
+  // empty vectors.
+  Result<std::vector<std::vector<uint8_t>>> ReadRopeBlocks(const std::string& user, RopeId rope,
+                                                           Medium medium, TimeInterval interval);
+
+ private:
+  FileSystemConfig config_;
+  Simulator simulator_;
+  std::unique_ptr<Disk> disk_;
+  std::unique_ptr<StrandStore> store_;
+  std::unique_ptr<ContinuityModel> continuity_;
+  std::unique_ptr<AdmissionControl> admission_;
+  std::unique_ptr<ServiceScheduler> scheduler_;
+  std::unique_ptr<RopeServer> ropes_;
+  std::unique_ptr<TextFileService> text_files_;
+  SilenceDetector silence_detector_;
+  ImageReceipt image_receipt_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_VAFS_FILE_SYSTEM_H_

@@ -1,0 +1,417 @@
+#include "src/vafs/persistence.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "src/layout/strand_index.h"
+#include "src/util/units.h"
+
+namespace vafs {
+
+namespace {
+
+constexpr uint64_t kImageMagic = 0x5641'4653'3030'3031ULL;  // "VAFS0001"
+
+// --- Byte-stream plumbing ----------------------------------------------------
+
+class ByteWriter {
+ public:
+  void I64(int64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<uint8_t>(static_cast<uint64_t>(value) >> (8 * i)));
+    }
+  }
+  void F64(double value) {
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    I64(static_cast<int64_t>(bits));
+  }
+  void Str(const std::string& value) {
+    I64(static_cast<int64_t>(value.size()));
+    bytes_.insert(bytes_.end(), value.begin(), value.end());
+  }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+
+  int64_t I64() {
+    if (offset_ + 8 > bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(bytes_[offset_ + static_cast<size_t>(i)]) << (8 * i);
+    }
+    offset_ += 8;
+    return static_cast<int64_t>(value);
+  }
+  double F64() {
+    const int64_t raw = I64();
+    uint64_t bits = static_cast<uint64_t>(raw);
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+  std::string Str() {
+    const int64_t length = I64();
+    if (length < 0 || offset_ + static_cast<size_t>(length) > bytes_.size()) {
+      ok_ = false;
+      return "";
+    }
+    std::string value(bytes_.begin() + static_cast<ptrdiff_t>(offset_),
+                      bytes_.begin() + static_cast<ptrdiff_t>(offset_ + static_cast<size_t>(length)));
+    offset_ += static_cast<size_t>(length);
+    return value;
+  }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+void WriteTrack(ByteWriter* out, const Track& track) {
+  out->F64(track.rate);
+  out->I64(track.granularity);
+  out->I64(static_cast<int64_t>(track.segments.size()));
+  for (const TrackSegment& segment : track.segments) {
+    out->I64(static_cast<int64_t>(segment.strand));
+    out->I64(segment.start_unit);
+    out->I64(segment.unit_count);
+  }
+}
+
+bool ReadTrack(ByteReader* in, Track* track) {
+  track->rate = in->F64();
+  track->granularity = in->I64();
+  const int64_t segments = in->I64();
+  for (int64_t i = 0; i < segments && in->ok(); ++i) {
+    TrackSegment segment;
+    segment.strand = static_cast<StrandId>(in->I64());
+    segment.start_unit = in->I64();
+    segment.unit_count = in->I64();
+    track->segments.push_back(segment);
+  }
+  return in->ok();
+}
+
+}  // namespace
+
+Result<ImageReceipt> SaveImage(StrandStore* store, const RopeServer* ropes,
+                               const TextFileService* texts, const ImageReceipt* previous) {
+  Disk& disk = store->disk();
+  const int64_t sector_bytes = disk.bytes_per_sector();
+  const int64_t root_sector = disk.total_sectors() - 1;
+
+  // Serialize the catalog.
+  ByteWriter out;
+  out.I64(static_cast<int64_t>(kImageMagic));
+
+  const auto catalog = store->ExportCatalog();
+  out.I64(static_cast<int64_t>(catalog.size()));
+  for (const StrandStore::CatalogEntry& entry : catalog) {
+    out.I64(static_cast<int64_t>(entry.info.id));
+    out.I64(entry.info.medium == Medium::kVideo ? 0 : 1);
+    out.F64(entry.info.recording_rate);
+    out.I64(entry.info.bits_per_unit);
+    out.I64(entry.info.granularity);
+    out.I64(entry.info.unit_count);
+    out.F64(entry.info.min_scattering_sec);
+    out.F64(entry.info.max_scattering_sec);
+    out.I64(entry.header_block.start_sector);
+    out.I64(entry.header_block.sectors);
+  }
+
+  const auto all_ropes = ropes->AllRopes();
+  out.I64(static_cast<int64_t>(all_ropes.size()));
+  for (const Rope* rope : all_ropes) {
+    out.I64(static_cast<int64_t>(rope->id()));
+    out.Str(rope->creator());
+    out.I64(static_cast<int64_t>(rope->access().play_users.size()));
+    for (const std::string& user : rope->access().play_users) {
+      out.Str(user);
+    }
+    out.I64(static_cast<int64_t>(rope->access().edit_users.size()));
+    for (const std::string& user : rope->access().edit_users) {
+      out.Str(user);
+    }
+    WriteTrack(&out, rope->video());
+    WriteTrack(&out, rope->audio());
+    out.I64(static_cast<int64_t>(rope->triggers().size()));
+    for (const Trigger& trigger : rope->triggers()) {
+      out.F64(trigger.at_sec);
+      out.Str(trigger.text);
+    }
+  }
+
+  const auto files = texts != nullptr ? texts->ExportAll()
+                                      : std::vector<TextFileService::ExportedFile>{};
+  out.I64(static_cast<int64_t>(files.size()));
+  for (const TextFileService::ExportedFile& file : files) {
+    out.Str(file.name);
+    out.I64(file.size_bytes);
+    out.I64(static_cast<int64_t>(file.extents.size()));
+    for (const Extent& extent : file.extents) {
+      out.I64(extent.start_sector);
+      out.I64(extent.sectors);
+    }
+  }
+
+  std::vector<uint8_t> blob = out.Take();
+  const int64_t blob_bytes = static_cast<int64_t>(blob.size());
+
+  // Reserve the root sector on the first save; later saves reuse it.
+  if (previous == nullptr || !previous->valid) {
+    if (Status status = store->allocator().AllocateExact(Extent{root_sector, 1});
+        !status.ok()) {
+      return Status(ErrorCode::kNoSpace,
+                    "root sector occupied; reserve it before recording media");
+    }
+  } else {
+    if (Status status = store->allocator().Free(previous->catalog_extent); !status.ok()) {
+      return status;
+    }
+  }
+
+  const int64_t blob_sectors = std::max<int64_t>(1, CeilDiv(blob_bytes, sector_bytes));
+  Result<Extent> catalog_extent = store->allocator().Allocate(blob_sectors);
+  if (!catalog_extent.ok()) {
+    return catalog_extent.status();
+  }
+  blob.resize(static_cast<size_t>(blob_sectors * sector_bytes), 0);
+  if (Result<SimDuration> write =
+          disk.Write(catalog_extent->start_sector, blob_sectors, blob);
+      !write.ok()) {
+    return write.status();
+  }
+
+  // Stamp the root.
+  ByteWriter root;
+  root.I64(static_cast<int64_t>(kImageMagic));
+  root.I64(catalog_extent->start_sector);
+  root.I64(blob_sectors);
+  root.I64(blob_bytes);
+  std::vector<uint8_t> root_bytes = root.Take();
+  root_bytes.resize(static_cast<size_t>(sector_bytes), 0);
+  if (Result<SimDuration> write = disk.Write(root_sector, 1, root_bytes); !write.ok()) {
+    return write.status();
+  }
+
+  ImageReceipt receipt;
+  receipt.catalog_extent = *catalog_extent;
+  receipt.valid = true;
+  return receipt;
+}
+
+namespace {
+
+// Reads an extent and trims to `bytes` (or leaves sector-padded if < 0).
+Result<std::vector<uint8_t>> ReadExtent(Disk* disk, int64_t sector, int64_t sectors,
+                                        int64_t bytes = -1) {
+  std::vector<uint8_t> data;
+  if (Result<SimDuration> read = disk->Read(sector, sectors, &data); !read.ok()) {
+    return read.status();
+  }
+  if (bytes >= 0 && static_cast<int64_t>(data.size()) > bytes) {
+    data.resize(static_cast<size_t>(bytes));
+  }
+  return data;
+}
+
+// Walks HB -> SBs -> PBs to rebuild a strand's index from the platters.
+Result<StrandIndex> RecoverIndex(Disk* disk, const Extent& header_block,
+                                 std::vector<Extent>* index_extents) {
+  Result<std::vector<uint8_t>> hb_bytes =
+      ReadExtent(disk, header_block.start_sector, header_block.sectors);
+  if (!hb_bytes.ok()) {
+    return hb_bytes.status();
+  }
+  Result<StrandIndex::HeaderInfo> header = StrandIndex::ParseHeaderBlock(*hb_bytes);
+  if (!header.ok()) {
+    return header.status();
+  }
+
+  std::vector<StrandIndex::SecondaryEntry> pb_locations;
+  std::vector<Extent> sb_extents;
+  for (const auto& [sb_sector, sb_sectors] : header->sb_extents) {
+    Result<std::vector<uint8_t>> sb_bytes = ReadExtent(disk, sb_sector, sb_sectors);
+    if (!sb_bytes.ok()) {
+      return sb_bytes.status();
+    }
+    Result<std::vector<StrandIndex::SecondaryEntry>> entries =
+        StrandIndex::ParseSecondaryBlock(*sb_bytes);
+    if (!entries.ok()) {
+      return entries.status();
+    }
+    pb_locations.insert(pb_locations.end(), entries->begin(), entries->end());
+    sb_extents.push_back(Extent{sb_sector, sb_sectors});
+  }
+
+  std::vector<std::vector<uint8_t>> primaries;
+  for (const StrandIndex::SecondaryEntry& pb : pb_locations) {
+    Result<std::vector<uint8_t>> pb_bytes =
+        ReadExtent(disk, pb.sector, pb.sector_count, pb.block_count * 16);
+    if (!pb_bytes.ok()) {
+      return pb_bytes.status();
+    }
+    primaries.push_back(std::move(*pb_bytes));
+    index_extents->push_back(Extent{pb.sector, pb.sector_count});
+  }
+  // Writer convention: PBs first, then SBs, then the HB last.
+  index_extents->insert(index_extents->end(), sb_extents.begin(), sb_extents.end());
+  index_extents->push_back(header_block);
+
+  return StrandIndex::FromSerializedPrimaries(IndexFanout(), primaries);
+}
+
+}  // namespace
+
+Result<LoadedImage> LoadImage(Disk* disk) {
+  const int64_t sector_bytes = disk->bytes_per_sector();
+  const int64_t root_sector = disk->total_sectors() - 1;
+
+  Result<std::vector<uint8_t>> root_bytes = ReadExtent(disk, root_sector, 1);
+  if (!root_bytes.ok()) {
+    return root_bytes.status();
+  }
+  ByteReader root(*root_bytes);
+  if (static_cast<uint64_t>(root.I64()) != kImageMagic) {
+    return Status(ErrorCode::kNotFound, "no vaFS image on this disk");
+  }
+  const int64_t catalog_sector = root.I64();
+  const int64_t catalog_sectors = root.I64();
+  const int64_t catalog_bytes = root.I64();
+  if (!root.ok() || catalog_sector < 0 || catalog_sectors <= 0 ||
+      catalog_bytes > catalog_sectors * sector_bytes) {
+    return Status(ErrorCode::kInvalidArgument, "corrupt root sector");
+  }
+
+  Result<std::vector<uint8_t>> blob =
+      ReadExtent(disk, catalog_sector, catalog_sectors, catalog_bytes);
+  if (!blob.ok()) {
+    return blob.status();
+  }
+  ByteReader in(*blob);
+  if (static_cast<uint64_t>(in.I64()) != kImageMagic) {
+    return Status(ErrorCode::kInvalidArgument, "corrupt catalog");
+  }
+
+  LoadedImage image;
+  image.store = std::make_unique<StrandStore>(disk);
+  image.receipt.catalog_extent = Extent{catalog_sector, catalog_sectors};
+  image.receipt.valid = true;
+
+  // Reserve the bookkeeping extents before any strand claims them.
+  if (Status status = image.store->allocator().AllocateExact(Extent{root_sector, 1});
+      !status.ok()) {
+    return status;
+  }
+  if (Status status =
+          image.store->allocator().AllocateExact(image.receipt.catalog_extent);
+      !status.ok()) {
+    return status;
+  }
+
+  // Strands: metadata from the catalog, index from the platters.
+  const int64_t strand_count = in.I64();
+  for (int64_t i = 0; i < strand_count && in.ok(); ++i) {
+    StrandInfo info;
+    info.id = static_cast<StrandId>(in.I64());
+    info.medium = in.I64() == 0 ? Medium::kVideo : Medium::kAudio;
+    info.recording_rate = in.F64();
+    info.bits_per_unit = in.I64();
+    info.granularity = in.I64();
+    info.unit_count = in.I64();
+    info.min_scattering_sec = in.F64();
+    info.max_scattering_sec = in.F64();
+    Extent header_block;
+    header_block.start_sector = in.I64();
+    header_block.sectors = in.I64();
+    if (!in.ok()) {
+      break;
+    }
+    std::vector<Extent> index_extents;
+    Result<StrandIndex> index = RecoverIndex(disk, header_block, &index_extents);
+    if (!index.ok()) {
+      return index.status();
+    }
+    if (Status status = image.store->AdoptStrand(info, std::move(*index),
+                                                 std::move(index_extents));
+        !status.ok()) {
+      return status;
+    }
+    ++image.strands_recovered;
+  }
+
+  // Ropes.
+  image.ropes = std::make_unique<RopeServer>(image.store.get());
+  const int64_t rope_count = in.I64();
+  for (int64_t i = 0; i < rope_count && in.ok(); ++i) {
+    const RopeId id = static_cast<RopeId>(in.I64());
+    const std::string creator = in.Str();
+    auto rope = std::make_unique<Rope>(id, creator);
+    const int64_t play_users = in.I64();
+    for (int64_t u = 0; u < play_users && in.ok(); ++u) {
+      rope->access().play_users.push_back(in.Str());
+    }
+    const int64_t edit_users = in.I64();
+    for (int64_t u = 0; u < edit_users && in.ok(); ++u) {
+      rope->access().edit_users.push_back(in.Str());
+    }
+    if (!ReadTrack(&in, &rope->video()) || !ReadTrack(&in, &rope->audio())) {
+      break;
+    }
+    const int64_t triggers = in.I64();
+    for (int64_t t = 0; t < triggers && in.ok(); ++t) {
+      Trigger trigger;
+      trigger.at_sec = in.F64();
+      trigger.text = in.Str();
+      rope->triggers().push_back(std::move(trigger));
+    }
+    if (Status status = image.ropes->AdoptRope(std::move(rope)); !status.ok()) {
+      return status;
+    }
+    ++image.ropes_recovered;
+  }
+
+  // Text files.
+  image.texts = std::make_unique<TextFileService>(disk, &image.store->allocator());
+  const int64_t file_count = in.I64();
+  for (int64_t i = 0; i < file_count && in.ok(); ++i) {
+    const std::string name = in.Str();
+    const int64_t size_bytes = in.I64();
+    const int64_t extent_count = in.I64();
+    std::vector<Extent> extents;
+    for (int64_t e = 0; e < extent_count && in.ok(); ++e) {
+      Extent extent;
+      extent.start_sector = in.I64();
+      extent.sectors = in.I64();
+      if (Status status = image.store->allocator().AllocateExact(extent); !status.ok()) {
+        return status;
+      }
+      extents.push_back(extent);
+    }
+    if (Status status = image.texts->Adopt(name, size_bytes, std::move(extents));
+        !status.ok()) {
+      return status;
+    }
+    ++image.text_files_recovered;
+  }
+
+  if (!in.ok()) {
+    return Status(ErrorCode::kInvalidArgument, "truncated catalog");
+  }
+  return image;
+}
+
+}  // namespace vafs

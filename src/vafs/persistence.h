@@ -1,0 +1,58 @@
+// On-disk image: persistence and crash recovery for the whole file system.
+//
+// The durable state of vaFS is (a) the strands' data and index blocks,
+// already on disk in the 3-level layout of Section 3.5, and (b) the
+// catalog that finds them: strand metadata with Header Block locations,
+// rope structures, and text-file extents. SaveImage serializes the catalog
+// into a blob, places it on disk, and stamps a fixed *root sector* (the
+// disk's last sector) with a pointer to it. LoadImage starts from the root
+// sector, reads the catalog, then walks every strand's HB -> SBs -> PBs
+// from the platters to rebuild its index — exercising the on-disk index
+// as the real source of truth — and reconstructs the allocator's free map
+// from the recovered extents.
+
+#ifndef VAFS_SRC_VAFS_PERSISTENCE_H_
+#define VAFS_SRC_VAFS_PERSISTENCE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/disk/disk.h"
+#include "src/msm/strand_store.h"
+#include "src/rope/rope_server.h"
+#include "src/util/result.h"
+#include "src/vafs/text_files.h"
+
+namespace vafs {
+
+// Where a saved image's catalog lives (needed to free it before resaving).
+struct ImageReceipt {
+  Extent catalog_extent;
+  bool valid = false;
+};
+
+// Serializes the catalog of `store`, `ropes` and (optionally) `texts` and
+// writes it to the store's disk. If `previous` is valid, its catalog
+// extent is freed first (the root sector stays reserved across saves).
+Result<ImageReceipt> SaveImage(StrandStore* store, const RopeServer* ropes,
+                               const TextFileService* texts,
+                               const ImageReceipt* previous = nullptr);
+
+// A recovered file system: fresh layers over the same disk.
+struct LoadedImage {
+  std::unique_ptr<StrandStore> store;
+  std::unique_ptr<RopeServer> ropes;
+  std::unique_ptr<TextFileService> texts;
+  ImageReceipt receipt;
+  int64_t strands_recovered = 0;
+  int64_t ropes_recovered = 0;
+  int64_t text_files_recovered = 0;
+};
+
+// Rebuilds the file system state from the root sector of `disk`. The disk
+// must outlive the returned layers.
+Result<LoadedImage> LoadImage(Disk* disk);
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_VAFS_PERSISTENCE_H_

@@ -1,0 +1,132 @@
+#include "src/vafs/text_files.h"
+
+#include <algorithm>
+
+#include "src/util/units.h"
+
+namespace vafs {
+
+TextFileService::TextFileService(Disk* disk, ConstrainedAllocator* allocator)
+    : disk_(disk), allocator_(allocator) {}
+
+void TextFileService::FreeFile(const FileRecord& record) {
+  for (const Extent& extent : record.extents) {
+    (void)allocator_->Free(extent);
+  }
+}
+
+Status TextFileService::Write(const std::string& name, std::span<const uint8_t> data) {
+  if (name.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty file name");
+  }
+  const int64_t sector_bytes = disk_->bytes_per_sector();
+  int64_t sectors_needed = std::max<int64_t>(
+      1, CeilDiv(static_cast<int64_t>(data.size()), sector_bytes));
+
+  // Gather extents first; only then replace any existing file, so a
+  // failed write leaves the old contents intact.
+  std::vector<Extent> extents;
+  auto rollback = [&] {
+    for (const Extent& extent : extents) {
+      (void)allocator_->Free(extent);
+    }
+  };
+  int64_t remaining = sectors_needed;
+  while (remaining > 0) {
+    // Try the largest chunk that still fits in some free run; halve on
+    // failure so files pack into whatever gaps exist.
+    int64_t chunk = remaining;
+    Result<Extent> extent = allocator_->Allocate(chunk);
+    while (!extent.ok() && chunk > 1) {
+      chunk = (chunk + 1) / 2;
+      extent = allocator_->Allocate(chunk);
+    }
+    if (!extent.ok()) {
+      rollback();
+      return Status(ErrorCode::kNoSpace, "disk full writing " + name);
+    }
+    extents.push_back(*extent);
+    remaining -= extent->sectors;
+  }
+
+  // Write payload across the extents, padding the tail sector.
+  int64_t offset = 0;
+  const int64_t total_bytes = static_cast<int64_t>(data.size());
+  for (const Extent& extent : extents) {
+    const int64_t extent_bytes = extent.sectors * sector_bytes;
+    std::vector<uint8_t> chunk(static_cast<size_t>(extent_bytes), 0);
+    const int64_t copy = std::min(extent_bytes, total_bytes - offset);
+    if (copy > 0) {
+      std::copy(data.begin() + offset, data.begin() + offset + copy, chunk.begin());
+    }
+    if (Result<SimDuration> written = disk_->Write(extent.start_sector, extent.sectors, chunk);
+        !written.ok()) {
+      rollback();
+      return written.status();
+    }
+    offset += extent_bytes;
+  }
+
+  auto it = files_.find(name);
+  if (it != files_.end()) {
+    FreeFile(it->second);
+  }
+  files_[name] = FileRecord{total_bytes, std::move(extents)};
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> TextFileService::Read(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status(ErrorCode::kNotFound, name);
+  }
+  std::vector<uint8_t> data;
+  data.reserve(static_cast<size_t>(it->second.size_bytes));
+  for (const Extent& extent : it->second.extents) {
+    std::vector<uint8_t> chunk;
+    if (Result<SimDuration> read = disk_->Read(extent.start_sector, extent.sectors, &chunk);
+        !read.ok()) {
+      return read.status();
+    }
+    data.insert(data.end(), chunk.begin(), chunk.end());
+  }
+  data.resize(static_cast<size_t>(it->second.size_bytes));
+  return data;
+}
+
+Status TextFileService::Remove(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status(ErrorCode::kNotFound, name);
+  }
+  FreeFile(it->second);
+  files_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<TextFileService::ExportedFile> TextFileService::ExportAll() const {
+  std::vector<ExportedFile> files;
+  for (const auto& [name, record] : files_) {
+    files.push_back(ExportedFile{name, record.size_bytes, record.extents});
+  }
+  return files;
+}
+
+Status TextFileService::Adopt(const std::string& name, int64_t size_bytes,
+                              std::vector<Extent> extents) {
+  if (files_.count(name) != 0) {
+    return Status(ErrorCode::kAlreadyExists, name);
+  }
+  files_[name] = FileRecord{size_bytes, std::move(extents)};
+  return Status::Ok();
+}
+
+Result<int64_t> TextFileService::ExtentCount(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status(ErrorCode::kNotFound, name);
+  }
+  return static_cast<int64_t>(it->second.extents.size());
+}
+
+}  // namespace vafs

@@ -1,0 +1,73 @@
+// Conventional text files stored in the scattering gaps.
+//
+// Section 3: "A common file server can integrate the functions of both a
+// conventional text file server and a multimedia file server by employing
+// constrained block allocation for media strands, and using the gaps
+// between successive blocks of a media strand to store text files." Text
+// files have no placement constraint, so they allocate first-fit — which
+// lands them precisely in the gaps constrained allocation leaves behind.
+
+#ifndef VAFS_SRC_VAFS_TEXT_FILES_H_
+#define VAFS_SRC_VAFS_TEXT_FILES_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/disk/disk.h"
+#include "src/layout/allocator.h"
+#include "src/util/result.h"
+
+namespace vafs {
+
+class TextFileService {
+ public:
+  // Neither pointer is owned.
+  TextFileService(Disk* disk, ConstrainedAllocator* allocator);
+
+  // Creates or overwrites a named file. Data may be split across several
+  // extents when no single free run is large enough.
+  Status Write(const std::string& name, std::span<const uint8_t> data);
+
+  Result<std::vector<uint8_t>> Read(const std::string& name) const;
+
+  Status Remove(const std::string& name);
+
+  bool Exists(const std::string& name) const { return files_.count(name) != 0; }
+
+  int64_t file_count() const { return static_cast<int64_t>(files_.size()); }
+
+  // Number of extents a file is split across (fragmentation diagnostic).
+  Result<int64_t> ExtentCount(const std::string& name) const;
+
+  // --- Persistence support ----------------------------------------------------
+
+  struct ExportedFile {
+    std::string name;
+    int64_t size_bytes = 0;
+    std::vector<Extent> extents;
+  };
+  std::vector<ExportedFile> ExportAll() const;
+
+  // Re-registers a recovered file whose extents the loader has already
+  // marked allocated.
+  Status Adopt(const std::string& name, int64_t size_bytes, std::vector<Extent> extents);
+
+ private:
+  struct FileRecord {
+    int64_t size_bytes = 0;
+    std::vector<Extent> extents;
+  };
+
+  void FreeFile(const FileRecord& record);
+
+  Disk* disk_;
+  ConstrainedAllocator* allocator_;
+  std::map<std::string, FileRecord> files_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_VAFS_TEXT_FILES_H_

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/disk/disk_model.h"
+#include "src/layout/allocator.h"
+#include "src/util/prng.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  AllocatorTest() : model_(TestDiskParameters()), allocator_(&model_) {}
+
+  DiskModel model_;
+  ConstrainedAllocator allocator_;
+};
+
+TEST_F(AllocatorTest, StartsFullyFree) {
+  EXPECT_EQ(allocator_.free_sectors(), allocator_.total_sectors());
+  EXPECT_DOUBLE_EQ(allocator_.Occupancy(), 0.0);
+  EXPECT_EQ(allocator_.FreeExtentCount(), 1);
+  EXPECT_EQ(allocator_.LargestFreeExtent(), allocator_.total_sectors());
+}
+
+TEST_F(AllocatorTest, FirstFitAllocates) {
+  Result<Extent> extent = allocator_.Allocate(16);
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->start_sector, 0);
+  EXPECT_EQ(extent->sectors, 16);
+  EXPECT_EQ(allocator_.free_sectors(), allocator_.total_sectors() - 16);
+  EXPECT_FALSE(allocator_.IsFree(*extent));
+}
+
+TEST_F(AllocatorTest, HintSkipsAhead) {
+  Result<Extent> extent = allocator_.Allocate(8, 1000);
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->start_sector, 1000);
+}
+
+TEST_F(AllocatorTest, HintWrapsWhenTailFull) {
+  const int64_t total = allocator_.total_sectors();
+  // Occupy the entire tail.
+  ASSERT_TRUE(allocator_.AllocateExact(Extent{total - 100, 100}).ok());
+  Result<Extent> extent = allocator_.Allocate(8, total - 50);
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->start_sector, 0);
+}
+
+TEST_F(AllocatorTest, RejectsBadArguments) {
+  EXPECT_EQ(allocator_.Allocate(0).status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(allocator_.Allocate(-5).status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(allocator_.AllocateExact(Extent{-1, 4}).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(allocator_.Free(Extent{0, -1}).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(AllocatorTest, ExactAllocationAndDoubleAllocationFails) {
+  ASSERT_TRUE(allocator_.AllocateExact(Extent{500, 10}).ok());
+  EXPECT_EQ(allocator_.AllocateExact(Extent{505, 2}).code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(allocator_.AllocateExact(Extent{495, 10}).code(), ErrorCode::kNoSpace);
+}
+
+TEST_F(AllocatorTest, FreeMergesNeighbours) {
+  ASSERT_TRUE(allocator_.AllocateExact(Extent{100, 10}).ok());
+  ASSERT_TRUE(allocator_.AllocateExact(Extent{110, 10}).ok());
+  ASSERT_TRUE(allocator_.AllocateExact(Extent{120, 10}).ok());
+  EXPECT_EQ(allocator_.FreeExtentCount(), 2);  // head + tail
+  ASSERT_TRUE(allocator_.Free(Extent{100, 10}).ok());
+  ASSERT_TRUE(allocator_.Free(Extent{120, 10}).ok());
+  // {100,10} merged into the head run; {120,10} merged into the tail run;
+  // only {110,10} remains allocated between them.
+  EXPECT_EQ(allocator_.FreeExtentCount(), 2);
+  ASSERT_TRUE(allocator_.Free(Extent{110, 10}).ok());
+  // Everything coalesces back into one run.
+  EXPECT_EQ(allocator_.FreeExtentCount(), 1);
+  EXPECT_EQ(allocator_.free_sectors(), allocator_.total_sectors());
+}
+
+TEST_F(AllocatorTest, DoubleFreeRejected) {
+  ASSERT_TRUE(allocator_.AllocateExact(Extent{100, 10}).ok());
+  ASSERT_TRUE(allocator_.Free(Extent{100, 10}).ok());
+  EXPECT_EQ(allocator_.Free(Extent{100, 10}).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(allocator_.Free(Extent{105, 2}).code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(AllocatorTest, ConstrainedAllocationStaysInWindow) {
+  const int64_t per_cylinder = model_.params().SectorsPerCylinder();
+  // Previous block ends at cylinder 50.
+  const int64_t previous_end = 50 * per_cylinder + 10;
+  Result<Extent> extent = allocator_.AllocateNear(previous_end, 16, 5);
+  ASSERT_TRUE(extent.ok());
+  const int64_t cylinder = extent->start_sector / per_cylinder;
+  EXPECT_GE(cylinder, 45);
+  EXPECT_LE(cylinder, 55);
+  // Forward preference: lands at or after the previous end.
+  EXPECT_GE(extent->start_sector, previous_end);
+}
+
+TEST_F(AllocatorTest, ConstrainedAllocationFallsBackBackward) {
+  const int64_t per_cylinder = model_.params().SectorsPerCylinder();
+  // Occupy everything from cylinder 50 onward.
+  const int64_t wall = 50 * per_cylinder;
+  ASSERT_TRUE(allocator_.AllocateExact(Extent{wall, allocator_.total_sectors() - wall}).ok());
+  const int64_t previous_end = wall;  // previous block ended right at the wall
+  Result<Extent> extent = allocator_.AllocateNear(previous_end, 16, 5);
+  ASSERT_TRUE(extent.ok());
+  EXPECT_LT(extent->start_sector, wall);
+  const int64_t cylinder = extent->start_sector / per_cylinder;
+  EXPECT_GE(cylinder, 44);
+}
+
+TEST_F(AllocatorTest, ConstrainedAllocationFailsOutsideWindow) {
+  const int64_t per_cylinder = model_.params().SectorsPerCylinder();
+  // Only cylinders >= 100 are free; previous block at cylinder 10.
+  ASSERT_TRUE(allocator_.AllocateExact(Extent{0, 100 * per_cylinder}).ok());
+  Result<Extent> extent = allocator_.AllocateNear(10 * per_cylinder, 16, 5);
+  EXPECT_EQ(extent.status().code(), ErrorCode::kNoSpace);
+}
+
+TEST_F(AllocatorTest, MinDistanceForcesSpacing) {
+  const int64_t per_cylinder = model_.params().SectorsPerCylinder();
+  const int64_t previous_end = 50 * per_cylinder;
+  Result<Extent> extent = allocator_.AllocateNear(previous_end, 16, 20, 10);
+  ASSERT_TRUE(extent.ok());
+  const int64_t cylinder = extent->start_sector / per_cylinder;
+  const int64_t distance = std::abs(cylinder - 49);  // anchor cylinder of sector previous_end-1
+  EXPECT_GE(distance, 10);
+  EXPECT_LE(distance, 20);
+}
+
+TEST_F(AllocatorTest, EmptyWindowRejected) {
+  EXPECT_EQ(allocator_.AllocateNear(100, 4, 2, 5).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(AllocatorTest, RandomAllocFreeStressKeepsInvariants) {
+  Prng prng(2024);
+  std::vector<Extent> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || prng.NextDouble() < 0.6) {
+      const int64_t sectors = prng.NextInRange(1, 64);
+      Result<Extent> extent = allocator_.Allocate(sectors, prng.NextInRange(0, 20000));
+      if (extent.ok()) {
+        // No overlap with any live extent.
+        for (const Extent& other : live) {
+          EXPECT_TRUE(extent->end_sector() <= other.start_sector ||
+                      other.end_sector() <= extent->start_sector);
+        }
+        live.push_back(*extent);
+      }
+    } else {
+      const size_t victim = prng.NextBelow(live.size());
+      ASSERT_TRUE(allocator_.Free(live[victim]).ok());
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    }
+  }
+  int64_t live_sectors = 0;
+  for (const Extent& extent : live) {
+    live_sectors += extent.sectors;
+  }
+  EXPECT_EQ(allocator_.free_sectors(), allocator_.total_sectors() - live_sectors);
+  for (const Extent& extent : live) {
+    ASSERT_TRUE(allocator_.Free(extent).ok());
+  }
+  EXPECT_EQ(allocator_.FreeExtentCount(), 1);
+  EXPECT_EQ(allocator_.free_sectors(), allocator_.total_sectors());
+}
+
+TEST_F(AllocatorTest, FillsDiskCompletely) {
+  int64_t allocated = 0;
+  while (true) {
+    Result<Extent> extent = allocator_.Allocate(128);
+    if (!extent.ok()) {
+      break;
+    }
+    allocated += extent->sectors;
+  }
+  EXPECT_EQ(allocated, allocator_.total_sectors());
+  EXPECT_EQ(allocator_.free_sectors(), 0);
+  EXPECT_DOUBLE_EQ(allocator_.Occupancy(), 1.0);
+}
+
+}  // namespace
+}  // namespace vafs

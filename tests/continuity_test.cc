@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/continuity.h"
+#include "src/core/editing_bounds.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+ContinuityModel TestModel(int concurrency = 1) {
+  return ContinuityModel(TestStorage(), TestVideoDevice(), concurrency);
+}
+
+TEST(ContinuityTest, ElementaryDurations) {
+  ContinuityModel model = TestModel();
+  const MediaProfile video = TestVideo();
+  // Playback: q / R_v.
+  EXPECT_DOUBLE_EQ(ContinuityModel::BlockPlaybackDuration(video, 3), 0.1);
+  // Transfer: q * s / R_dt.
+  EXPECT_DOUBLE_EQ(model.BlockTransferTime(video, 3),
+                   3.0 * 16384 / TestStorage().transfer_rate_bits_per_sec);
+  // Display: q * s / R_dp.
+  EXPECT_DOUBLE_EQ(model.BlockDisplayTime(video, 3),
+                   3.0 * 16384 / TestVideoDevice().display_rate_bits_per_sec);
+}
+
+TEST(ContinuityTest, Equation1SequentialBound) {
+  ContinuityModel model = TestModel();
+  const MediaProfile video = TestVideo();
+  const int64_t q = 4;
+  const double expected = ContinuityModel::BlockPlaybackDuration(video, q) -
+                          model.BlockTransferTime(video, q) - model.BlockDisplayTime(video, q);
+  EXPECT_DOUBLE_EQ(model.MaxScattering(RetrievalArchitecture::kSequential, video, q), expected);
+}
+
+TEST(ContinuityTest, Equation2PipelinedBound) {
+  ContinuityModel model = TestModel();
+  const MediaProfile video = TestVideo();
+  const int64_t q = 4;
+  const double expected = ContinuityModel::BlockPlaybackDuration(video, q) -
+                          model.BlockTransferTime(video, q);
+  EXPECT_DOUBLE_EQ(model.MaxScattering(RetrievalArchitecture::kPipelined, video, q), expected);
+}
+
+TEST(ContinuityTest, Equation3ConcurrentBound) {
+  ContinuityModel model = TestModel(4);
+  const MediaProfile video = TestVideo();
+  const int64_t q = 2;
+  const double expected = 3.0 * ContinuityModel::BlockPlaybackDuration(video, q) -
+                          model.BlockTransferTime(video, q);
+  EXPECT_DOUBLE_EQ(model.MaxScattering(RetrievalArchitecture::kConcurrent, video, q), expected);
+}
+
+TEST(ContinuityTest, ArchitectureOrdering) {
+  // Pipelining buys display time; concurrency buys (p-1) playback periods.
+  ContinuityModel model = TestModel(3);
+  const MediaProfile video = TestVideo();
+  const double sequential =
+      model.MaxScattering(RetrievalArchitecture::kSequential, video, 4);
+  const double pipelined = model.MaxScattering(RetrievalArchitecture::kPipelined, video, 4);
+  const double concurrent =
+      model.MaxScattering(RetrievalArchitecture::kConcurrent, video, 4);
+  EXPECT_LT(sequential, pipelined);
+  EXPECT_LT(pipelined, concurrent);
+}
+
+TEST(ContinuityTest, SatisfiesContinuityIsConsistentWithBound) {
+  ContinuityModel model = TestModel();
+  const MediaProfile video = TestVideo();
+  const double bound = model.MaxScattering(RetrievalArchitecture::kPipelined, video, 4);
+  EXPECT_TRUE(model.SatisfiesContinuity(RetrievalArchitecture::kPipelined, video, 4, bound));
+  EXPECT_FALSE(
+      model.SatisfiesContinuity(RetrievalArchitecture::kPipelined, video, 4, bound + 1e-9));
+}
+
+TEST(ContinuityTest, FastForwardShrinksTheBound) {
+  ContinuityModel model = TestModel();
+  const MediaProfile video = TestVideo();
+  const double normal = model.MaxScattering(RetrievalArchitecture::kPipelined, video, 4, 1.0);
+  const double doubled = model.MaxScattering(RetrievalArchitecture::kPipelined, video, 4, 2.0);
+  EXPECT_GT(normal, doubled);
+  // At 2x speed the playback duration halves exactly.
+  const double playback = ContinuityModel::BlockPlaybackDuration(TestVideo(), 4);
+  EXPECT_NEAR(normal - doubled, playback / 2.0, 1e-12);
+}
+
+TEST(ContinuityTest, InfeasibleMediaYieldsNegativeBound) {
+  // HDTV against a single small disk: transfer alone exceeds playback.
+  ContinuityModel model = TestModel();
+  EXPECT_LT(model.MaxScattering(RetrievalArchitecture::kPipelined, HdtvVideo(), 4), 0.0);
+}
+
+TEST(ContinuityTest, MixedHomogeneousEquation5) {
+  ContinuityModel model = TestModel();
+  const MediaProfile video = TestVideo();
+  const MediaProfile audio = TestAudio();
+  // Audio granularity chosen so one audio block spans n=2 video blocks:
+  // video block = 4/30 s; audio block = 2*4/30 s -> qa = 4000*8/30.
+  const int64_t qv = 4;
+  const int64_t qa = static_cast<int64_t>(4000.0 * 8.0 / 30.0);
+  const double n = (static_cast<double>(qa) / 4000.0) / (4.0 / 30.0);
+  ASSERT_NEAR(n, 2.0, 0.01);
+  const double bound = model.MaxScatteringMixedHomogeneous(video, qv, audio, qa);
+  const double expected =
+      (n * (4.0 / 30.0) - n * model.BlockTransferTime(video, qv) -
+       model.BlockTransferTime(audio, qa)) /
+      (n + 1.0);
+  EXPECT_NEAR(bound, expected, 1e-9);
+}
+
+TEST(ContinuityTest, MixedHeterogeneousEquation6) {
+  ContinuityModel model = TestModel();
+  const MediaProfile video = TestVideo();
+  const MediaProfile audio = TestAudio();
+  const int64_t qv = 4;
+  const int64_t qa = static_cast<int64_t>(4000.0 * 4.0 / 30.0);  // same duration as video block
+  const double bound = model.MaxScatteringMixedHeterogeneous(video, qv, audio, qa);
+  const double expected =
+      4.0 / 30.0 - TestStorage().TransferTime(4.0 * 16384 + static_cast<double>(qa) * 8);
+  EXPECT_NEAR(bound, expected, 1e-9);
+}
+
+TEST(ContinuityTest, HeterogeneousBeatsHomogeneousPerGap) {
+  // With one gap per combined block instead of (n+1) gaps per n video
+  // blocks, the heterogeneous layout tolerates more scattering.
+  ContinuityModel model = TestModel();
+  const int64_t qv = 4;
+  const int64_t qa = static_cast<int64_t>(4000.0 * 4.0 / 30.0);
+  EXPECT_GT(model.MaxScatteringMixedHeterogeneous(TestVideo(), qv, TestAudio(), qa),
+            model.MaxScatteringMixedHomogeneous(TestVideo(), qv, TestAudio(), qa));
+}
+
+TEST(ContinuityTest, GranularityRangesFollowSection334) {
+  ContinuityModel model = TestModel(4);
+  // Device has f = 8 frame buffers.
+  EXPECT_EQ(model.MaxGranularityForDevice(RetrievalArchitecture::kSequential, TestVideo()), 8);
+  EXPECT_EQ(model.MaxGranularityForDevice(RetrievalArchitecture::kPipelined, TestVideo()), 4);
+  EXPECT_EQ(model.MaxGranularityForDevice(RetrievalArchitecture::kConcurrent, TestVideo()), 2);
+}
+
+TEST(ContinuityTest, DerivePlacementPicksLargestFeasibleGranularity) {
+  ContinuityModel model = TestModel();
+  Result<StrandPlacement> placement =
+      model.DerivePlacement(RetrievalArchitecture::kPipelined, TestVideo());
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->granularity, 4);  // f/2 with f = 8
+  EXPECT_GT(placement->max_scattering_sec, 0.0);
+  EXPECT_GE(placement->max_scattering_sec, placement->min_scattering_sec);
+}
+
+TEST(ContinuityTest, DerivePlacementRejectsInfeasibleMedia) {
+  ContinuityModel model = TestModel();
+  Result<StrandPlacement> placement =
+      model.DerivePlacement(RetrievalArchitecture::kPipelined, HdtvVideo());
+  EXPECT_FALSE(placement.ok());
+  EXPECT_EQ(placement.status().code(), ErrorCode::kAdmissionRejected);
+}
+
+TEST(ContinuityTest, BufferingPlansMatchSection332) {
+  ContinuityModel model = TestModel(3);
+  const auto sequential = model.PlanBuffering(RetrievalArchitecture::kSequential, 5);
+  EXPECT_EQ(sequential.read_ahead_blocks, 5);
+  EXPECT_EQ(sequential.device_buffers, 5);
+  const auto pipelined = model.PlanBuffering(RetrievalArchitecture::kPipelined, 5);
+  EXPECT_EQ(pipelined.read_ahead_blocks, 5);
+  EXPECT_EQ(pipelined.device_buffers, 10);  // 2k
+  const auto concurrent = model.PlanBuffering(RetrievalArchitecture::kConcurrent, 5);
+  EXPECT_EQ(concurrent.read_ahead_blocks, 15);  // pk
+  EXPECT_EQ(concurrent.device_buffers, 15);
+}
+
+TEST(ContinuityTest, StrictContinuityIsKEqualsOne) {
+  ContinuityModel model = TestModel();
+  const auto plan = model.PlanBuffering(RetrievalArchitecture::kSequential, 1);
+  EXPECT_EQ(plan.read_ahead_blocks, 1);
+  EXPECT_EQ(plan.device_buffers, 1);
+}
+
+TEST(ContinuityTest, Equation4TaskSwitchReadAhead) {
+  ContinuityModel model = TestModel();
+  const MediaProfile video = TestVideo();
+  const int64_t q = 4;
+  const double block_duration = ContinuityModel::BlockPlaybackDuration(video, q);
+  const int64_t h = model.ExtraReadAheadForTaskSwitch(video, q);
+  EXPECT_EQ(h, static_cast<int64_t>(
+                   std::ceil(TestStorage().max_access_gap_sec / block_duration)));
+  EXPECT_GE(h, 1);
+  // h blocks of playback cover the worst-case reposition.
+  EXPECT_GE(static_cast<double>(h) * block_duration, TestStorage().max_access_gap_sec);
+}
+
+TEST(EditingBoundsTest, SparseIsHalfOfDense) {
+  const int64_t sparse = EditCopyBound(0.05, 0.005, DiskOccupancy::kSparse);
+  const int64_t dense = EditCopyBound(0.05, 0.005, DiskOccupancy::kDense);
+  EXPECT_EQ(sparse, 5);   // ceil(0.05 / (2*0.005))
+  EXPECT_EQ(dense, 10);   // ceil(0.05 / 0.005)
+}
+
+TEST(EditingBoundsTest, BoundaryUsesCheaperSide) {
+  EXPECT_EQ(EditCopyBoundAtBoundary(0.05, 0.01, 0.005, DiskOccupancy::kDense), 5);
+  EXPECT_EQ(EditCopyBoundAtBoundary(0.05, 0.005, 0.01, DiskOccupancy::kDense), 5);
+}
+
+TEST(EditingBoundsTest, TighterLowerBoundMeansFewerCopies) {
+  // A larger minimum scattering means each copied block covers more of the
+  // seek distance, so fewer copies are needed.
+  EXPECT_LT(EditCopyBound(0.05, 0.01, DiskOccupancy::kDense),
+            EditCopyBound(0.05, 0.001, DiskOccupancy::kDense));
+}
+
+// Property sweep over granularity: MaxScattering grows with q whenever
+// the configuration is feasible at q = 1 (playback scales linearly while
+// per-block overheads scale linearly too, leaving slack to grow).
+class GranularitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GranularitySweep, BoundMonotoneInGranularity) {
+  ContinuityModel model = TestModel();
+  const MediaProfile video = TestVideo();
+  const auto arch = static_cast<RetrievalArchitecture>(GetParam());
+  double previous = model.MaxScattering(arch, video, 1);
+  if (previous < 0) {
+    GTEST_SKIP() << "infeasible at q=1";
+  }
+  for (int64_t q = 2; q <= 32; ++q) {
+    const double bound = model.MaxScattering(arch, video, q);
+    EXPECT_GT(bound, previous) << "q=" << q;
+    previous = bound;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, GranularitySweep,
+                         ::testing::Values(static_cast<int>(RetrievalArchitecture::kSequential),
+                                           static_cast<int>(RetrievalArchitecture::kPipelined),
+                                           static_cast<int>(RetrievalArchitecture::kConcurrent)));
+
+// Property sweep over concurrency: more heads always relax the bound.
+class ConcurrencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConcurrencySweep, MoreHeadsMoreSlack) {
+  const int p = GetParam();
+  ContinuityModel narrow = ContinuityModel(TestStorage(), TestVideoDevice(), p);
+  ContinuityModel wide = ContinuityModel(TestStorage(), TestVideoDevice(), p + 1);
+  EXPECT_LT(narrow.MaxScattering(RetrievalArchitecture::kConcurrent, TestVideo(), 1),
+            wide.MaxScattering(RetrievalArchitecture::kConcurrent, TestVideo(), 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, ConcurrencySweep, ::testing::Range(2, 9));
+
+}  // namespace
+}  // namespace vafs

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "src/vafs/file_system.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+class FileSystemTest : public ::testing::Test {
+ protected:
+  FileSystemTest() : fs_(TestConfig()) {}
+
+  MultimediaFileSystem::RecordResult RecordAv(double duration_sec, uint64_t seed) {
+    VideoSource video(TestVideo(), seed);
+    AudioSource audio(TestAudio(), SpeechProfile{}, seed);
+    Result<MultimediaFileSystem::RecordResult> result =
+        fs_.Record("alice", &video, &audio, duration_sec);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  }
+
+  MultimediaFileSystem fs_;
+};
+
+TEST_F(FileSystemTest, RecordCreatesRopeWithBothStrands) {
+  const auto result = RecordAv(2.0, 1);
+  EXPECT_NE(result.rope, kNullRope);
+  EXPECT_NE(result.video_strand, kNullStrand);
+  EXPECT_NE(result.audio_strand, kNullStrand);
+  EXPECT_EQ(result.video.units_recorded, 60);
+  EXPECT_EQ(result.audio.units_recorded, 8000);
+  Result<const Rope*> rope = fs_.rope_server().Find(result.rope);
+  ASSERT_TRUE(rope.ok());
+  EXPECT_NEAR((*rope)->LengthSec(), 2.0, 0.05);
+}
+
+TEST_F(FileSystemTest, RecordValidatesInput) {
+  EXPECT_EQ(fs_.Record("alice", nullptr, nullptr, 1.0).status().code(),
+            ErrorCode::kInvalidArgument);
+  VideoSource video(TestVideo(), 1);
+  EXPECT_EQ(fs_.Record("alice", &video, nullptr, -1.0).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FileSystemTest, PlayCompletesWithoutGlitches) {
+  const auto recorded = RecordAv(3.0, 2);
+  Result<RequestId> request =
+      fs_.Play("alice", recorded.rope, Medium::kVideo, TimeInterval{0.0, 3.0});
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  fs_.RunUntilIdle();
+  Result<RequestStats> stats = fs_.Stats(*request);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->continuity_violations, 0);
+  EXPECT_GT(stats->blocks_done, 0);
+}
+
+TEST_F(FileSystemTest, PlayAudioWorksToo) {
+  const auto recorded = RecordAv(2.0, 3);
+  Result<RequestId> request =
+      fs_.Play("alice", recorded.rope, Medium::kAudio, TimeInterval{0.0, 2.0});
+  ASSERT_TRUE(request.ok());
+  fs_.RunUntilIdle();
+  EXPECT_TRUE(fs_.Stats(*request)->completed);
+  EXPECT_EQ(fs_.Stats(*request)->continuity_violations, 0);
+}
+
+TEST_F(FileSystemTest, PlayMissingMediumRejected) {
+  VideoSource video(TestVideo(), 4);
+  Result<MultimediaFileSystem::RecordResult> recorded =
+      fs_.Record("alice", &video, nullptr, 1.0);
+  ASSERT_TRUE(recorded.ok());
+  EXPECT_EQ(
+      fs_.Play("alice", recorded->rope, Medium::kAudio, TimeInterval{0.0, 1.0}).status().code(),
+      ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.Play("alice", 999, Medium::kVideo, TimeInterval{0.0, 1.0}).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(FileSystemTest, PauseResumeStopLifecycle) {
+  const auto recorded = RecordAv(4.0, 5);
+  Result<RequestId> request =
+      fs_.Play("alice", recorded.rope, Medium::kVideo, TimeInterval{0.0, 4.0});
+  ASSERT_TRUE(request.ok());
+  fs_.simulator().RunUntil(SecondsToUsec(0.5));
+  ASSERT_TRUE(fs_.Pause(*request, /*destructive=*/false).ok());
+  ASSERT_TRUE(fs_.Resume(*request).ok());
+  fs_.RunUntilIdle();
+  EXPECT_TRUE(fs_.Stats(*request)->completed);
+
+  Result<RequestId> second =
+      fs_.Play("alice", recorded.rope, Medium::kVideo, TimeInterval{0.0, 4.0});
+  ASSERT_TRUE(second.ok());
+  fs_.simulator().RunUntil(fs_.simulator().Now() + SecondsToUsec(0.5));
+  ASSERT_TRUE(fs_.Stop(*second).ok());
+  fs_.RunUntilIdle();
+  EXPECT_TRUE(fs_.Stats(*second)->completed);
+}
+
+TEST_F(FileSystemTest, TimedRecordingProducesStrand) {
+  Result<RequestId> request = fs_.StartTimedRecording(TestVideo(), 2.0);
+  ASSERT_TRUE(request.ok());
+  fs_.RunUntilIdle();
+  Result<RequestStats> stats = fs_.Stats(*request);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->capture_overflows, 0);
+  ASSERT_NE(stats->recorded_strand, kNullStrand);
+  Result<const Strand*> strand = fs_.storage_manager().Get(stats->recorded_strand);
+  ASSERT_TRUE(strand.ok());
+  EXPECT_NEAR((*strand)->info().DurationSec(), 2.0, 0.2);
+}
+
+TEST_F(FileSystemTest, ReadRopeBlocksMatchesRecordedContent) {
+  VideoSource source(TestVideo(), 6);
+  VideoSource reference(TestVideo(), 6);
+  Result<MultimediaFileSystem::RecordResult> recorded =
+      fs_.Record("alice", &source, nullptr, 1.0);
+  ASSERT_TRUE(recorded.ok());
+  Result<std::vector<std::vector<uint8_t>>> blocks =
+      fs_.ReadRopeBlocks("alice", recorded->rope, Medium::kVideo, TimeInterval{0.0, 1.0});
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_FALSE(blocks->empty());
+  // First frame of the first block equals the regenerated frame 0.
+  const std::vector<uint8_t> expected = reference.FramePayload(0);
+  ASSERT_GE((*blocks)[0].size(), expected.size());
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(), (*blocks)[0].begin()));
+}
+
+TEST_F(FileSystemTest, EditedRopePlaysAfterRepair) {
+  const auto first = RecordAv(2.0, 7);
+  const auto second = RecordAv(2.0, 8);
+  Result<RopeId> combined = fs_.rope_server().Concat("alice", first.rope, second.rope);
+  ASSERT_TRUE(combined.ok());
+  ASSERT_TRUE(fs_.rope_server().RepairRope(*combined, Medium::kVideo).ok());
+  Result<RequestId> request =
+      fs_.Play("alice", *combined, Medium::kVideo, TimeInterval{0.0, 4.0});
+  ASSERT_TRUE(request.ok());
+  fs_.RunUntilIdle();
+  EXPECT_TRUE(fs_.Stats(*request)->completed);
+  EXPECT_EQ(fs_.Stats(*request)->continuity_violations, 0);
+}
+
+TEST_F(FileSystemTest, TextFilesCoexistWithMedia) {
+  const auto recorded = RecordAv(2.0, 9);
+  const std::vector<uint8_t> note{'h', 'i'};
+  ASSERT_TRUE(fs_.text_files().Write("note", note).ok());
+  Result<RequestId> request =
+      fs_.Play("alice", recorded.rope, Medium::kVideo, TimeInterval{0.0, 2.0});
+  ASSERT_TRUE(request.ok());
+  fs_.RunUntilIdle();
+  EXPECT_EQ(fs_.Stats(*request)->continuity_violations, 0);
+  Result<std::vector<uint8_t>> read = fs_.text_files().Read("note");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, note);
+}
+
+TEST_F(FileSystemTest, PlacementForDerivesFromConfig) {
+  Result<StrandPlacement> video = fs_.PlacementFor(TestVideo());
+  ASSERT_TRUE(video.ok());
+  EXPECT_EQ(video->granularity, 4);  // f/2 with f = 8 under pipelined
+  Result<StrandPlacement> hdtv = fs_.PlacementFor(HdtvVideo());
+  EXPECT_FALSE(hdtv.ok());
+}
+
+TEST_F(FileSystemTest, FastForwardPlayback) {
+  const auto recorded = RecordAv(2.0, 10);
+  Result<RequestId> request =
+      fs_.Play("alice", recorded.rope, Medium::kVideo, TimeInterval{0.0, 2.0}, 2.0);
+  ASSERT_TRUE(request.ok());
+  fs_.RunUntilIdle();
+  EXPECT_TRUE(fs_.Stats(*request)->completed);
+}
+
+TEST_F(FileSystemTest, CheckpointAndRecoverRoundTrip) {
+  const auto recorded = RecordAv(2.0, 20);
+  const std::vector<uint8_t> note{'x', 'y'};
+  ASSERT_TRUE(fs_.text_files().Write("n", note).ok());
+  ASSERT_TRUE(fs_.Checkpoint().ok());
+  // More work after the checkpoint is lost by a crash...
+  const auto lost = RecordAv(1.0, 21);
+  ASSERT_TRUE(fs_.Recover().ok());
+  // ...the checkpointed rope survives, the post-checkpoint one does not.
+  EXPECT_TRUE(fs_.rope_server().Find(recorded.rope).ok());
+  EXPECT_FALSE(fs_.rope_server().Find(lost.rope).ok());
+  Result<std::vector<uint8_t>> read = fs_.text_files().Read("n");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, note);
+  // The recovered rope still plays glitch-free.
+  Result<RequestId> request =
+      fs_.Play("alice", recorded.rope, Medium::kVideo, TimeInterval{0.0, 2.0});
+  ASSERT_TRUE(request.ok());
+  fs_.RunUntilIdle();
+  EXPECT_EQ(fs_.Stats(*request)->continuity_violations, 0);
+}
+
+TEST_F(FileSystemTest, RepeatedCheckpointsSucceed) {
+  RecordAv(1.0, 22);
+  ASSERT_TRUE(fs_.Checkpoint().ok());
+  RecordAv(1.0, 23);
+  ASSERT_TRUE(fs_.Checkpoint().ok());
+  ASSERT_TRUE(fs_.Recover().ok());
+  EXPECT_EQ(fs_.rope_server().rope_count(), 2);
+}
+
+}  // namespace
+}  // namespace vafs

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "src/msm/interleaved.h"
+#include "src/msm/service_scheduler.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+class InterleavedTest : public ::testing::Test {
+ protected:
+  InterleavedTest() : disk_(TestDiskParameters()), store_(&disk_) {}
+
+  // TestVideo at 30 fps with a 3000-sample/s audio companion: 100
+  // samples per frame.
+  MediaProfile CompanionAudio() { return MediaProfile{Medium::kAudio, 3000.0, 8}; }
+
+  Disk disk_;
+  StrandStore store_;
+};
+
+TEST_F(InterleavedTest, LayoutDerivation) {
+  Result<InterleavedLayout> layout = MakeInterleavedLayout(TestVideo(), CompanionAudio());
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->frame_bytes, 2048);
+  EXPECT_EQ(layout->samples_per_frame, 100);
+  EXPECT_EQ(layout->UnitBytes(), 2148);
+  // The combined profile is one video-rate stream carrying both media.
+  EXPECT_DOUBLE_EQ(layout->Profile().units_per_sec, 30.0);
+  EXPECT_EQ(layout->Profile().bits_per_unit, 2148 * 8);
+}
+
+TEST_F(InterleavedTest, LayoutRejectsNonIntegerRatio) {
+  // 44 kHz is not a multiple of 30 fps.
+  EXPECT_FALSE(MakeInterleavedLayout(TestVideo(), MediaProfile{Medium::kAudio, 44000, 8}).ok());
+  // Swapped media kinds.
+  EXPECT_FALSE(MakeInterleavedLayout(CompanionAudio(), TestVideo()).ok());
+  // 16-bit samples unsupported.
+  EXPECT_FALSE(MakeInterleavedLayout(TestVideo(), MediaProfile{Medium::kAudio, 3000, 16}).ok());
+}
+
+TEST_F(InterleavedTest, RecordAndSeparateRoundTrip) {
+  Result<InterleavedLayout> layout = MakeInterleavedLayout(TestVideo(), CompanionAudio());
+  ASSERT_TRUE(layout.ok());
+  VideoSource video(TestVideo(), 7);
+  VideoSource reference_video(TestVideo(), 7);
+  AudioSource audio(CompanionAudio(), SpeechProfile{}, 7);
+  AudioSource reference_audio(CompanionAudio(), SpeechProfile{}, 7);
+
+  const StrandPlacement placement{4, 0.0, 0.08};
+  Result<RecordingResult> recorded =
+      RecordInterleavedAv(&store_, &video, &audio, *layout, placement, 2.0);
+  ASSERT_TRUE(recorded.ok());
+  EXPECT_EQ(recorded->units_recorded, 60);
+  EXPECT_EQ(recorded->blocks_total, 15);
+
+  // Read a block back and separate: both media match their sources.
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(store_.ReadBlock(recorded->strand, 2, &payload).ok());
+  for (int64_t u = 0; u < 4; ++u) {
+    Result<SeparatedUnit> unit = SeparateUnit(*layout, payload, u);
+    ASSERT_TRUE(unit.ok());
+    const int64_t frame = 2 * 4 + u;
+    EXPECT_EQ(unit->frame, reference_video.FramePayload(frame)) << "frame " << frame;
+  }
+  // Audio stream: frames 0..59 consumed 100 samples each in order.
+  std::vector<uint8_t> expected_audio = reference_audio.NextSamples(60 * 100);
+  std::vector<uint8_t> block0;
+  ASSERT_TRUE(store_.ReadBlock(recorded->strand, 0, &block0).ok());
+  Result<SeparatedUnit> first = SeparateUnit(*layout, block0, 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(std::equal(first->samples.begin(), first->samples.end(),
+                         expected_audio.begin()));
+}
+
+TEST_F(InterleavedTest, SeparateRejectsOutOfRange) {
+  Result<InterleavedLayout> layout = MakeInterleavedLayout(TestVideo(), CompanionAudio());
+  ASSERT_TRUE(layout.ok());
+  std::vector<uint8_t> block(static_cast<size_t>(layout->UnitBytes() * 2));
+  EXPECT_TRUE(SeparateUnit(*layout, block, 1).ok());
+  EXPECT_FALSE(SeparateUnit(*layout, block, 2).ok());
+  EXPECT_FALSE(SeparateUnit(*layout, block, -1).ok());
+}
+
+TEST_F(InterleavedTest, OneRequestServesBothMedia) {
+  // The paper's point: heterogeneous blocks give implicit synchronization
+  // and consume ONE admission slot where homogeneous strands need two.
+  Result<InterleavedLayout> layout = MakeInterleavedLayout(TestVideo(), CompanionAudio());
+  ASSERT_TRUE(layout.ok());
+  VideoSource video(TestVideo(), 9);
+  AudioSource audio(CompanionAudio(), SpeechProfile{}, 9);
+  const StrandPlacement placement{4, 0.0, 0.08};
+  Result<RecordingResult> recorded =
+      RecordInterleavedAv(&store_, &video, &audio, *layout, placement, 4.0);
+  ASSERT_TRUE(recorded.ok());
+  Result<const Strand*> strand = store_.Get(recorded->strand);
+  ASSERT_TRUE(strand.ok());
+
+  Simulator sim;
+  AdmissionControl admission(TestStorage(), std::max(store_.AverageScatteringSec(), 1e-4));
+  ServiceScheduler scheduler(&store_, &sim, admission);
+  PlaybackRequest request;
+  for (int64_t b = 0; b < (*strand)->block_count(); ++b) {
+    request.blocks.push_back(*(*strand)->index().Lookup(b));
+  }
+  request.block_duration = (*strand)->info().BlockDuration();
+  request.spec = RequestSpec{layout->Profile(), placement.granularity};
+  Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+  ASSERT_TRUE(id.ok());
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(scheduler.stats(*id)->completed);
+  EXPECT_EQ(scheduler.stats(*id)->continuity_violations, 0);
+  EXPECT_EQ(scheduler.active_request_count(), 0);
+}
+
+}  // namespace
+}  // namespace vafs

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "src/media/vbr_source.h"
+#include "src/msm/recorder.h"
+#include "src/rope/rope_server.h"
+#include "src/vafs/persistence.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  PersistenceTest()
+      : disk_(TestDiskParameters()),
+        store_(std::make_unique<StrandStore>(&disk_)),
+        server_(std::make_unique<RopeServer>(store_.get())),
+        texts_(std::make_unique<TextFileService>(&disk_, &store_->allocator())) {}
+
+  StrandPlacement VideoPlacement() {
+    ContinuityModel model(TestStorage(), TestVideoDevice());
+    return *model.DerivePlacement(RetrievalArchitecture::kPipelined, TestVideo());
+  }
+
+  RopeId RecordAvRope(uint64_t seed, double duration) {
+    VideoSource video(TestVideo(), seed);
+    AudioSource audio(TestAudio(), SpeechProfile{}, seed);
+    RecordingResult v = *RecordVideo(store_.get(), &video, VideoPlacement(), duration);
+    RecordingResult a =
+        *RecordAudio(store_.get(), &audio, SilenceDetector(), StrandPlacement{512, 0.0, 0.1},
+                     duration);
+    return *server_->CreateRope("alice", v.strand, a.strand);
+  }
+
+  Disk disk_;
+  std::unique_ptr<StrandStore> store_;
+  std::unique_ptr<RopeServer> server_;
+  std::unique_ptr<TextFileService> texts_;
+};
+
+TEST_F(PersistenceTest, EmptyImageRoundTrips) {
+  Result<ImageReceipt> receipt = SaveImage(store_.get(), server_.get(), texts_.get());
+  ASSERT_TRUE(receipt.ok());
+  Result<LoadedImage> image = LoadImage(&disk_);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->strands_recovered, 0);
+  EXPECT_EQ(image->ropes_recovered, 0);
+  EXPECT_EQ(image->text_files_recovered, 0);
+}
+
+TEST_F(PersistenceTest, LoadWithoutImageFails) {
+  EXPECT_EQ(LoadImage(&disk_).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(PersistenceTest, FullStateSurvivesRemount) {
+  const RopeId rope = RecordAvRope(1, 2.0);
+  ASSERT_TRUE(server_->AddTrigger("alice", rope, Trigger{1.0, "mark"}).ok());
+  AccessControl access;
+  access.play_users = {"bob"};
+  ASSERT_TRUE(server_->SetAccess("alice", rope, access).ok());
+  const std::vector<uint8_t> note{'h', 'e', 'l', 'l', 'o'};
+  ASSERT_TRUE(texts_->Write("note.txt", note).ok());
+
+  // Capture pre-crash ground truth.
+  const Rope* rope_before = *server_->Find(rope);
+  const StrandId video_strand = rope_before->video().segments[0].strand;
+  std::vector<uint8_t> block0_before;
+  ASSERT_TRUE(store_->ReadBlock(video_strand, 0, &block0_before).ok());
+  const int64_t free_before = store_->allocator().free_sectors();
+
+  Result<ImageReceipt> receipt = SaveImage(store_.get(), server_.get(), texts_.get());
+  ASSERT_TRUE(receipt.ok());
+  const int64_t free_after_save = store_->allocator().free_sectors();
+
+  // "Crash": discard all in-memory layers; only the Disk object survives.
+  texts_.reset();
+  server_.reset();
+  store_.reset();
+
+  Result<LoadedImage> image = LoadImage(&disk_);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  EXPECT_EQ(image->strands_recovered, 2);
+  EXPECT_EQ(image->ropes_recovered, 1);
+  EXPECT_EQ(image->text_files_recovered, 1);
+
+  // Rope metadata intact.
+  Result<const Rope*> recovered = image->ropes->Find(rope);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->creator(), "alice");
+  EXPECT_NEAR((*recovered)->LengthSec(), 2.0, 0.05);
+  ASSERT_EQ((*recovered)->triggers().size(), 1u);
+  EXPECT_EQ((*recovered)->triggers()[0].text, "mark");
+  EXPECT_EQ((*recovered)->access().play_users, std::vector<std::string>{"bob"});
+
+  // Strand data identical (read through the recovered index).
+  std::vector<uint8_t> block0_after;
+  ASSERT_TRUE(image->store->ReadBlock(video_strand, 0, &block0_after).ok());
+  EXPECT_EQ(block0_after, block0_before);
+
+  // Allocator reconstructed exactly (same allocated set).
+  EXPECT_EQ(image->store->allocator().free_sectors(), free_after_save);
+  (void)free_before;
+
+  // Text file intact.
+  Result<std::vector<uint8_t>> read_note = image->texts->Read("note.txt");
+  ASSERT_TRUE(read_note.ok());
+  EXPECT_EQ(*read_note, note);
+}
+
+TEST_F(PersistenceTest, SilenceBlocksSurviveRecovery) {
+  AudioSource audio(TestAudio(), SpeechProfile{.silence_mean_sec = 1.5}, 3);
+  RecordingResult recorded = *RecordAudio(store_.get(), &audio, SilenceDetector(),
+                                          StrandPlacement{512, 0.0, 0.1}, 20.0);
+  ASSERT_GT(recorded.silence_blocks, 0);
+  const RopeId rope = *server_->CreateRope("alice", kNullStrand, recorded.strand);
+  (void)rope;
+  ASSERT_TRUE(SaveImage(store_.get(), server_.get(), texts_.get()).ok());
+
+  Result<LoadedImage> image = LoadImage(&disk_);
+  ASSERT_TRUE(image.ok());
+  Result<const Strand*> strand = image->store->Get(recorded.strand);
+  ASSERT_TRUE(strand.ok());
+  EXPECT_EQ((*strand)->index().silence_block_count(), recorded.silence_blocks);
+  EXPECT_EQ((*strand)->block_count(), recorded.blocks_total);
+}
+
+TEST_F(PersistenceTest, ResaveReusesRootAndFreesOldCatalog) {
+  const RopeId rope1 = RecordAvRope(1, 1.0);
+  Result<ImageReceipt> first = SaveImage(store_.get(), server_.get(), texts_.get());
+  ASSERT_TRUE(first.ok());
+  const int64_t free_after_first = store_->allocator().free_sectors();
+
+  const RopeId rope2 = RecordAvRope(2, 1.0);
+  Result<ImageReceipt> second =
+      SaveImage(store_.get(), server_.get(), texts_.get(), &*first);
+  ASSERT_TRUE(second.ok());
+  (void)free_after_first;
+
+  Result<LoadedImage> image = LoadImage(&disk_);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->ropes_recovered, 2);
+  EXPECT_TRUE(image->ropes->Find(rope1).ok());
+  EXPECT_TRUE(image->ropes->Find(rope2).ok());
+}
+
+TEST_F(PersistenceTest, RecoveredStoreKeepsAllocatingCorrectly) {
+  RecordAvRope(1, 1.0);
+  ASSERT_TRUE(SaveImage(store_.get(), server_.get(), texts_.get()).ok());
+  Result<LoadedImage> image = LoadImage(&disk_);
+  ASSERT_TRUE(image.ok());
+
+  // Record more media in the recovered store; nothing may collide (the
+  // disk's data retention would surface corruption via content checks).
+  VideoSource video(TestVideo(), 99);
+  Result<RecordingResult> more =
+      RecordVideo(image->store.get(), &video, VideoPlacement(), 1.0);
+  ASSERT_TRUE(more.ok());
+  // Old content still reads back fine after new writes.
+  for (StrandId id : image->store->AllIds()) {
+    Result<const Strand*> strand = image->store->Get(id);
+    ASSERT_TRUE(strand.ok());
+    std::vector<uint8_t> payload;
+    EXPECT_TRUE(image->store->ReadBlock(id, 0, &payload).ok());
+  }
+}
+
+TEST_F(PersistenceTest, EditedRopesSurvive) {
+  const RopeId base = RecordAvRope(1, 3.0);
+  const RopeId clip = RecordAvRope(2, 1.0);
+  ASSERT_TRUE(server_
+                  ->Insert("alice", base, 1.0, MediaSelector::kAudioVisual, clip,
+                           TimeInterval{0.0, 1.0})
+                  .ok());
+  const Rope* before = *server_->Find(base);
+  const size_t segments_before = before->video().segments.size();
+  const double length_before = before->LengthSec();
+
+  ASSERT_TRUE(SaveImage(store_.get(), server_.get(), texts_.get()).ok());
+  Result<LoadedImage> image = LoadImage(&disk_);
+  ASSERT_TRUE(image.ok());
+  const Rope* after = *image->ropes->Find(base);
+  EXPECT_EQ(after->video().segments.size(), segments_before);
+  EXPECT_NEAR(after->LengthSec(), length_before, 1e-9);
+  // The recovered rope resolves and its interests still protect strands.
+  EXPECT_GT(image->ropes->InterestCount(after->video().segments[0].strand), 0);
+  EXPECT_EQ(image->ropes->CollectGarbage(), 0);
+}
+
+TEST_F(PersistenceTest, VbrStrandsWithVariableBlockSizesRecover) {
+  // VBR blocks have differing sector counts; recovery must rebuild the
+  // exact per-block extents from the on-disk primary blocks.
+  VbrProfile vbr;
+  vbr.group_of_pictures = 10;
+  VbrVideoSource source(TestVideo(), vbr, 5);
+  Result<RecordingResult> recorded =
+      RecordVbrVideo(store_.get(), &source, StrandPlacement{4, 0.0, 0.05}, 4.0);
+  ASSERT_TRUE(recorded.ok());
+  const Strand* before = *store_->Get(recorded->strand);
+  const std::vector<PrimaryEntry> entries_before = before->index().entries();
+  (void)server_->CreateRope("alice", recorded->strand, kNullStrand);
+
+  ASSERT_TRUE(SaveImage(store_.get(), server_.get(), texts_.get()).ok());
+  Result<LoadedImage> image = LoadImage(&disk_);
+  ASSERT_TRUE(image.ok());
+  Result<const Strand*> after = image->store->Get(recorded->strand);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->index().entries(), entries_before);
+  // Data reads back identically through the recovered index.
+  for (int64_t b = 0; b < (*after)->block_count(); ++b) {
+    std::vector<uint8_t> x;
+    std::vector<uint8_t> y;
+    ASSERT_TRUE(image->store->ReadBlock(recorded->strand, b, &y).ok());
+    ASSERT_TRUE(disk_.Read(entries_before[static_cast<size_t>(b)].sector,
+                           entries_before[static_cast<size_t>(b)].sector_count, &x)
+                    .ok());
+    EXPECT_EQ(x, y) << "block " << b;
+  }
+}
+
+TEST_F(PersistenceTest, ManyStrandIndexLevelsRecover) {
+  // A strand long enough to need several primary blocks and a secondary
+  // fan-out exercises the full HB -> SB -> PB walk.
+  Result<std::unique_ptr<StrandWriter>> writer =
+      store_->CreateStrand(TestAudio(), StrandPlacement{64, 0.0, 0.1});
+  ASSERT_TRUE(writer.ok());
+  for (int64_t b = 0; b < 600; ++b) {  // > 2 primary blocks at fanout 256
+    if (b % 7 == 3) {
+      ASSERT_TRUE((*writer)->AppendSilence().ok());
+    } else {
+      ASSERT_TRUE((*writer)->AppendBlock(std::vector<uint8_t>(64, 1)).ok());
+    }
+  }
+  Result<StrandId> id = (*writer)->Finish(600 * 64);
+  ASSERT_TRUE(id.ok());
+  const int64_t silences = (*store_->Get(*id))->index().silence_block_count();
+  (void)server_->CreateRope("alice", kNullStrand, *id);
+
+  ASSERT_TRUE(SaveImage(store_.get(), server_.get(), texts_.get()).ok());
+  Result<LoadedImage> image = LoadImage(&disk_);
+  ASSERT_TRUE(image.ok());
+  Result<const Strand*> recovered = image->store->Get(*id);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->block_count(), 600);
+  EXPECT_EQ((*recovered)->index().silence_block_count(), silences);
+  EXPECT_EQ((*recovered)->index().primary_block_count(), 3);
+}
+
+}  // namespace
+}  // namespace vafs

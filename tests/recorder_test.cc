@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/msm/recorder.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  RecorderTest() : disk_(TestDiskParameters()), store_(&disk_) {}
+
+  StrandPlacement Placement(const MediaProfile& media) {
+    const DeviceProfile& device =
+        media.medium == Medium::kVideo ? TestVideoDevice() : TestAudioDevice();
+    ContinuityModel model(TestStorage(), device);
+    Result<StrandPlacement> placement =
+        model.DerivePlacement(RetrievalArchitecture::kPipelined, media);
+    EXPECT_TRUE(placement.ok());
+    return *placement;
+  }
+
+  Disk disk_;
+  StrandStore store_;
+};
+
+TEST_F(RecorderTest, VideoRecordingProducesExpectedBlocks) {
+  VideoSource source(TestVideo(), 5);
+  const StrandPlacement placement = Placement(TestVideo());
+  Result<RecordingResult> result = RecordVideo(&store_, &source, placement, 2.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->units_recorded, 60);  // 2 s at 30 fps
+  EXPECT_EQ(result->blocks_total, (60 + placement.granularity - 1) / placement.granularity);
+  EXPECT_EQ(result->silence_blocks, 0);
+  EXPECT_LE(result->max_gap_sec, placement.max_scattering_sec + 1e-9);
+
+  Result<const Strand*> strand = store_.Get(result->strand);
+  ASSERT_TRUE(strand.ok());
+  EXPECT_EQ((*strand)->info().unit_count, 60);
+  EXPECT_EQ((*strand)->info().medium, Medium::kVideo);
+}
+
+TEST_F(RecorderTest, VideoContentSurvivesRoundTrip) {
+  VideoSource source(TestVideo(), 77);
+  const StrandPlacement placement = Placement(TestVideo());
+  Result<RecordingResult> result = RecordVideo(&store_, &source, placement, 1.0);
+  ASSERT_TRUE(result.ok());
+
+  // Every frame of every block must match the regenerable source payload.
+  const int64_t frame_bytes = source.frame_bytes();
+  Result<const Strand*> strand = store_.Get(result->strand);
+  ASSERT_TRUE(strand.ok());
+  for (int64_t block = 0; block < (*strand)->block_count(); ++block) {
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(store_.ReadBlock(result->strand, block, &payload).ok());
+    const int64_t units = (*strand)->UnitsInBlock(block);
+    for (int64_t i = 0; i < units; ++i) {
+      const int64_t frame = block * placement.granularity + i;
+      std::vector<uint8_t> expected = source.FramePayload(frame);
+      ASSERT_GE(static_cast<int64_t>(payload.size()), (i + 1) * frame_bytes);
+      EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                             payload.begin() + static_cast<ptrdiff_t>(i * frame_bytes)))
+          << "frame " << frame;
+    }
+  }
+}
+
+TEST_F(RecorderTest, AudioRecordingEliminatesSilence) {
+  SpeechProfile speech;
+  speech.silence_mean_sec = 1.0;  // pauses long enough to silence whole blocks
+  AudioSource source(TestAudio(), speech, 21);
+  // 512-sample blocks (128 ms): fine-grained enough for elimination.
+  const StrandPlacement placement{512, 0.0, 0.1};
+  Result<RecordingResult> result =
+      RecordAudio(&store_, &source, SilenceDetector(), placement, 30.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->units_recorded, 4000 * 30);
+  // The speech profile spends roughly a third of the time silent; at
+  // least some blocks must have been eliminated, but not all.
+  EXPECT_GT(result->silence_blocks, 0);
+  EXPECT_LT(result->silence_blocks, result->blocks_total);
+
+  Result<const Strand*> strand = store_.Get(result->strand);
+  ASSERT_TRUE(strand.ok());
+  EXPECT_EQ((*strand)->index().silence_block_count(), result->silence_blocks);
+}
+
+TEST_F(RecorderTest, SilenceEliminationSavesSpace) {
+  const StrandPlacement placement{512, 0.0, 0.1};
+  SpeechProfile speech;
+  speech.silence_mean_sec = 1.0;
+  // Same duration, with and without elimination (threshold 0 disables it).
+  AudioSource with_source(TestAudio(), speech, 33);
+  const int64_t free_start = store_.allocator().free_sectors();
+  Result<RecordingResult> with =
+      RecordAudio(&store_, &with_source, SilenceDetector(100.0), placement, 20.0);
+  ASSERT_TRUE(with.ok());
+  const int64_t used_with = free_start - store_.allocator().free_sectors();
+
+  AudioSource without_source(TestAudio(), speech, 33);
+  const int64_t free_middle = store_.allocator().free_sectors();
+  Result<RecordingResult> without =
+      RecordAudio(&store_, &without_source, SilenceDetector(0.0), placement, 20.0);
+  ASSERT_TRUE(without.ok());
+  const int64_t used_without = free_middle - store_.allocator().free_sectors();
+
+  EXPECT_EQ(without->silence_blocks, 0);
+  EXPECT_LT(used_with, used_without);
+}
+
+TEST_F(RecorderTest, TinyDurationStillRecordsOneUnit) {
+  VideoSource source(TestVideo(), 1);
+  Result<RecordingResult> result =
+      RecordVideo(&store_, &source, Placement(TestVideo()), 0.001);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->units_recorded, 1);
+  EXPECT_EQ(result->blocks_total, 1);
+}
+
+}  // namespace
+}  // namespace vafs

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "src/msm/recorder.h"
+#include "src/msm/reorganizer.h"
+#include "src/rope/rope_server.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+class ReorganizerTest : public ::testing::Test {
+ protected:
+  ReorganizerTest() : disk_(TestDiskParameters()), store_(&disk_), server_(&store_) {}
+
+  // A well-placed strand recorded under the derived placement.
+  StrandId HealthyStrand(uint64_t seed, double duration = 2.0) {
+    VideoSource source(TestVideo(), seed);
+    ContinuityModel model(TestStorage(), TestVideoDevice());
+    Result<StrandPlacement> placement =
+        model.DerivePlacement(RetrievalArchitecture::kPipelined, TestVideo());
+    Result<RecordingResult> result = RecordVideo(&store_, &source, *placement, duration);
+    EXPECT_TRUE(result.ok());
+    return result->strand;
+  }
+
+  // A strand recorded under a lax contract with placement deliberately
+  // strewn across the disk: legal when written, anomalous once audited
+  // against a tighter (recomputed) bound — the Section 6.2 scenario.
+  StrandId ScatteredStrand() {
+    Result<std::unique_ptr<StrandWriter>> writer =
+        store_.CreateStrand(TestVideo(), StrandPlacement{2, 0.0, 10.0});
+    EXPECT_TRUE(writer.ok());
+    const std::vector<uint8_t> payload(2 * 16384 / 8, 1);
+    for (int64_t b = 0; b < 6; ++b) {
+      // Ping-pong the arm: farthest-forward, then farthest-backward.
+      (*writer)->SetPlacementPreference(b % 2 == 0 ? PlacementPreference::kFarthestForward
+                                                   : PlacementPreference::kFarthestBackward);
+      EXPECT_TRUE((*writer)->AppendBlock(payload).ok());
+    }
+    Result<StrandId> id = (*writer)->Finish(12);
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  Disk disk_;
+  StrandStore store_;
+  RopeServer server_;
+};
+
+TEST_F(ReorganizerTest, HealthyStrandAuditsClean) {
+  const StrandId id = HealthyStrand(1);
+  Result<StrandHealth> health = AuditStrand(&store_, id);
+  ASSERT_TRUE(health.ok());
+  EXPECT_GT(health->data_blocks, 0);
+  EXPECT_EQ(health->anomalous_gaps, 0);
+  EXPECT_LE(health->max_gap_sec, health->bound_sec + 1e-9);
+  EXPECT_FALSE(health->NeedsRepair());
+}
+
+TEST_F(ReorganizerTest, ScatteredStrandFailsTightAudit) {
+  const StrandId id = ScatteredStrand();
+  // Within its own (lax) contract...
+  Result<StrandHealth> lax = AuditStrand(&store_, id);
+  ASSERT_TRUE(lax.ok());
+  EXPECT_FALSE(lax->NeedsRepair());
+  // ...but anomalous against a recomputed 12 ms bound.
+  Result<StrandHealth> tight = AuditStrand(&store_, id, 0.012);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_TRUE(tight->NeedsRepair());
+  EXPECT_GT(tight->max_gap_sec, 0.012);
+}
+
+TEST_F(ReorganizerTest, RelocationRestoresScattering) {
+  const StrandId id = ScatteredStrand();
+  Result<StrandHealth> before = AuditStrand(&store_, id, 0.012);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(before->NeedsRepair());
+
+  Result<RelocationOutcome> outcome =
+      RelocateStrand(&store_, id, /*pack_hint_sector=*/-1, /*new_bound_sec=*/0.012);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->blocks_moved, 6);
+  EXPECT_GT(outcome->copy_time, 0);
+
+  Result<StrandHealth> after = AuditStrand(&store_, outcome->new_strand);
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(after->max_gap_sec, before->max_gap_sec);
+  EXPECT_EQ(after->anomalous_gaps, 0);
+  // The relocated strand carries the new contract.
+  Result<const Strand*> relocated = store_.Get(outcome->new_strand);
+  ASSERT_TRUE(relocated.ok());
+  EXPECT_DOUBLE_EQ((*relocated)->info().max_scattering_sec, 0.012);
+}
+
+TEST_F(ReorganizerTest, RelocationPreservesContent) {
+  const StrandId id = ScatteredStrand();
+  Result<RelocationOutcome> outcome = RelocateStrand(&store_, id);
+  ASSERT_TRUE(outcome.ok());
+  Result<const Strand*> original = store_.Get(id);
+  Result<const Strand*> relocated = store_.Get(outcome->new_strand);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(relocated.ok());
+  EXPECT_EQ((*relocated)->info().unit_count, (*original)->info().unit_count);
+  for (int64_t b = 0; b < (*original)->block_count(); ++b) {
+    std::vector<uint8_t> from;
+    std::vector<uint8_t> to;
+    ASSERT_TRUE(store_.ReadBlock(id, b, &from).ok());
+    ASSERT_TRUE(store_.ReadBlock(outcome->new_strand, b, &to).ok());
+    EXPECT_EQ(from, to) << "block " << b;
+  }
+}
+
+TEST_F(ReorganizerTest, RelocationPreservesSilence) {
+  Result<std::unique_ptr<StrandWriter>> writer =
+      store_.CreateStrand(TestAudio(), StrandPlacement{512, 0.0, 0.1});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendBlock(std::vector<uint8_t>(512, 1)).ok());
+  ASSERT_TRUE((*writer)->AppendSilence().ok());
+  ASSERT_TRUE((*writer)->AppendBlock(std::vector<uint8_t>(512, 2)).ok());
+  Result<StrandId> id = (*writer)->Finish(3 * 512);
+  ASSERT_TRUE(id.ok());
+
+  Result<RelocationOutcome> outcome = RelocateStrand(&store_, *id);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->blocks_moved, 2);  // silence is kept, not moved
+  Result<const Strand*> relocated = store_.Get(outcome->new_strand);
+  ASSERT_TRUE(relocated.ok());
+  EXPECT_TRUE((*relocated)->index().Lookup(1)->IsSilence());
+  EXPECT_EQ((*relocated)->index().silence_block_count(), 1);
+}
+
+TEST_F(ReorganizerTest, ReorganizeStorageRelocatesAnomalousAndRebinds) {
+  const StrandId scattered = ScatteredStrand();
+  const StrandId healthy = HealthyStrand(3);
+  Result<RopeId> rope1 = server_.CreateRope("alice", scattered, kNullStrand);
+  Result<RopeId> rope2 = server_.CreateRope("alice", healthy, kNullStrand);
+  ASSERT_TRUE(rope1.ok());
+  ASSERT_TRUE(rope2.ok());
+
+  Result<RopeServer::StorageReorgStats> stats = server_.ReorganizeStorage(0.012);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->strands_audited, 2);
+  EXPECT_EQ(stats->strands_relocated, 1);  // only the scattered one moves
+  EXPECT_EQ(stats->blocks_moved, 6);
+
+  // The rope now references the relocated strand; the original is gone.
+  const Rope* rope = *server_.Find(*rope1);
+  EXPECT_NE(rope->video().segments[0].strand, scattered);
+  EXPECT_FALSE(store_.Get(scattered).ok());
+  // And every referenced strand now passes the tight audit.
+  for (const TrackSegment& segment : rope->video().segments) {
+    Result<StrandHealth> health = AuditStrand(&store_, segment.strand, 0.012);
+    ASSERT_TRUE(health.ok());
+    EXPECT_FALSE(health->NeedsRepair());
+  }
+}
+
+TEST_F(ReorganizerTest, CompactStorageConsolidatesFreeSpace) {
+  // Record several strands, delete every other one: free space fragments.
+  std::vector<RopeId> ropes;
+  for (int i = 0; i < 6; ++i) {
+    const StrandId id = HealthyStrand(static_cast<uint64_t>(i) + 1, 1.0);
+    ropes.push_back(*server_.CreateRope("alice", id, kNullStrand));
+  }
+  for (size_t i = 0; i < ropes.size(); i += 2) {
+    ASSERT_TRUE(server_.DeleteRope("alice", ropes[i]).ok());
+  }
+  ASSERT_EQ(server_.CollectGarbage(), 3);
+  const int64_t largest_before = store_.allocator().LargestFreeExtent();
+
+  Result<RopeServer::StorageReorgStats> stats = server_.CompactStorage();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->strands_relocated, 3);
+  EXPECT_GE(stats->largest_free_extent_after, largest_before);
+
+  // The surviving ropes still resolve to readable blocks.
+  for (size_t i = 1; i < ropes.size(); i += 2) {
+    Result<std::vector<PrimaryEntry>> blocks =
+        server_.ResolveBlocks("alice", ropes[i], Medium::kVideo, TimeInterval{0.0, 1.0});
+    ASSERT_TRUE(blocks.ok());
+    for (const PrimaryEntry& entry : *blocks) {
+      std::vector<uint8_t> payload;
+      EXPECT_TRUE(disk_.Read(entry.sector, entry.sector_count, &payload).ok());
+    }
+  }
+}
+
+TEST_F(ReorganizerTest, UnknownStrandRejected) {
+  EXPECT_FALSE(AuditStrand(&store_, 999).ok());
+  EXPECT_FALSE(RelocateStrand(&store_, 999).ok());
+}
+
+}  // namespace
+}  // namespace vafs

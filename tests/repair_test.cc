@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "src/core/editing_bounds.h"
+#include "src/msm/recorder.h"
+#include "src/msm/scattering_repair.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+class RepairTest : public ::testing::Test {
+ protected:
+  RepairTest() : disk_(TestDiskParameters()), store_(&disk_) {}
+
+  // Records a strand whose blocks all sit near `cylinder` (tight window).
+  StrandId StrandNearCylinder(int64_t cylinder, int64_t blocks, double max_scattering_sec) {
+    const StrandPlacement placement{2, 0.0, max_scattering_sec};
+    Result<std::unique_ptr<StrandWriter>> writer = store_.CreateStrand(TestVideo(), placement);
+    EXPECT_TRUE(writer.ok());
+    const int64_t per_cylinder = disk_.model().params().SectorsPerCylinder();
+    EXPECT_TRUE((*writer)->SetAnchor(cylinder * per_cylinder + 1).ok());
+    const int64_t block_bytes = 2 * 16384 / 8;
+    for (int64_t b = 0; b < blocks; ++b) {
+      EXPECT_TRUE((*writer)->AppendBlock(std::vector<uint8_t>(block_bytes, 1)).ok());
+    }
+    Result<StrandId> id = (*writer)->Finish(blocks * 2);
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  Disk disk_;
+  StrandStore store_;
+};
+
+TEST_F(RepairTest, AdjacentStrandsNeedNoRepair) {
+  // Both strands near cylinder 10: the seam gap is tiny.
+  const double bound = 0.015;  // covers ~19 cylinders on this disk
+  const StrandId a = StrandNearCylinder(10, 5, bound);
+  const StrandId b = StrandNearCylinder(12, 5, bound);
+  Result<double> gap = SeamGapSec(&store_, a, 4, b, 0);
+  ASSERT_TRUE(gap.ok());
+  EXPECT_LE(*gap, bound);
+  Result<RepairOutcome> outcome = RepairSeam(&store_, a, 4, b, 0, 5);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->already_continuous);
+  EXPECT_EQ(outcome->blocks_copied, 0);
+}
+
+TEST_F(RepairTest, DistantSeamGetsRepaired) {
+  // Strand a near cylinder 5, strand b near cylinder 190; the bound
+  // covers ~64 cylinders, the seam spans 185.
+  const double bound = 0.020;
+  const StrandId a = StrandNearCylinder(5, 5, bound);
+  const StrandId b = StrandNearCylinder(190, 40, bound);
+  Result<double> gap = SeamGapSec(&store_, a, 4, b, 0);
+  ASSERT_TRUE(gap.ok());
+  ASSERT_GT(*gap, bound);
+
+  Result<RepairOutcome> outcome = RepairSeam(&store_, a, 4, b, 0, 40);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->already_continuous);
+  EXPECT_GT(outcome->blocks_copied, 0);
+  EXPECT_GT(outcome->copy_time, 0);
+  ASSERT_NE(outcome->copy_strand, kNullStrand);
+
+  // The copy strand's first block is reachable from a's last block.
+  Result<const Strand*> copy = store_.Get(outcome->copy_strand);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ((*copy)->block_count(), outcome->blocks_copied);
+  Result<double> new_gap = SeamGapSec(&store_, a, 4, outcome->copy_strand, 0);
+  ASSERT_TRUE(new_gap.ok());
+  EXPECT_LE(*new_gap, bound + 1e-9);
+
+  // And the chain's end reaches b's remaining blocks within the bound.
+  Result<double> tail_gap = SeamGapSec(&store_, outcome->copy_strand,
+                                       outcome->blocks_copied - 1, b, outcome->blocks_copied);
+  ASSERT_TRUE(tail_gap.ok());
+  EXPECT_LE(*tail_gap, bound + 1e-9);
+}
+
+TEST_F(RepairTest, CopiedBlocksPreserveContent) {
+  const double bound = 0.020;
+  const StrandId a = StrandNearCylinder(5, 3, bound);
+
+  // Strand b with distinguishable content, far away.
+  const StrandPlacement placement{2, 0.0, bound};
+  Result<std::unique_ptr<StrandWriter>> writer = store_.CreateStrand(TestVideo(), placement);
+  ASSERT_TRUE(writer.ok());
+  const int64_t per_cylinder = disk_.model().params().SectorsPerCylinder();
+  ASSERT_TRUE((*writer)->SetAnchor(190 * per_cylinder + 1).ok());
+  const int64_t block_bytes = 2 * 16384 / 8;
+  for (int64_t b = 0; b < 30; ++b) {
+    ASSERT_TRUE(
+        (*writer)->AppendBlock(std::vector<uint8_t>(block_bytes, static_cast<uint8_t>(b + 1)))
+            .ok());
+  }
+  Result<StrandId> b_id = (*writer)->Finish(60);
+  ASSERT_TRUE(b_id.ok());
+
+  Result<RepairOutcome> outcome = RepairSeam(&store_, a, 2, *b_id, 0, 30);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_GT(outcome->blocks_copied, 0);
+  for (int64_t i = 0; i < outcome->blocks_copied; ++i) {
+    std::vector<uint8_t> copied;
+    ASSERT_TRUE(store_.ReadBlock(outcome->copy_strand, i, &copied).ok());
+    std::vector<uint8_t> original;
+    ASSERT_TRUE(store_.ReadBlock(*b_id, i, &original).ok());
+    EXPECT_EQ(copied, original) << "block " << i;
+  }
+}
+
+TEST_F(RepairTest, CopyCountRespectsEq20Bound) {
+  const double bound = 0.020;
+  const StrandId a = StrandNearCylinder(5, 3, bound);
+  const StrandId b = StrandNearCylinder(190, 60, bound);
+  Result<RepairOutcome> outcome = RepairSeam(&store_, a, 2, b, 0, 60);
+  ASSERT_TRUE(outcome.ok());
+  // The strand's realized minimum scattering: consecutive copies land at
+  // least a rotational latency apart. Eq. 20's dense bound with
+  // l_ds_lower = one latency gives the worst case.
+  const double l_lower = TestStorage().avg_rotational_latency_sec;
+  const int64_t dense_bound =
+      EditCopyBound(TestStorage().max_access_gap_sec, l_lower, DiskOccupancy::kDense);
+  EXPECT_LE(outcome->blocks_copied, dense_bound);
+}
+
+TEST_F(RepairTest, RepairRespectsAvailabilityLimit) {
+  const double bound = 0.020;
+  const StrandId a = StrandNearCylinder(5, 3, bound);
+  const StrandId b = StrandNearCylinder(190, 60, bound);
+  // Only 1 block of b may be consumed: the chain is truncated even though
+  // the seam is not yet bridged.
+  Result<RepairOutcome> outcome = RepairSeam(&store_, a, 2, b, 0, 1);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LE(outcome->blocks_copied, 1);
+}
+
+TEST_F(RepairTest, UnknownStrandsRejected) {
+  EXPECT_FALSE(RepairSeam(&store_, 999, 0, 998, 0, 1).ok());
+  EXPECT_FALSE(SeamGapSec(&store_, 999, 0, 998, 0).ok());
+}
+
+}  // namespace
+}  // namespace vafs

@@ -1,0 +1,179 @@
+// Property tests: random editing sequences preserve rope invariants.
+//
+// Whatever sequence of INSERT / REPLACE / SUBSTRING / CONCATE / DELETE is
+// applied, the following must hold for every rope:
+//   - every non-gap segment references a live strand and lies within it;
+//   - segment unit counts are positive; track totals match durations;
+//   - ResolveBlocks over the whole rope succeeds and yields only valid
+//     block locations;
+//   - garbage collection never reclaims a referenced strand, and after
+//     deleting all ropes it reclaims everything;
+//   - the allocator's free-space accounting stays consistent.
+
+#include <gtest/gtest.h>
+
+#include "src/msm/recorder.h"
+#include "src/rope/rope_server.h"
+#include "src/util/prng.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+class RopePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  RopePropertyTest() : disk_(TestDiskParameters()), store_(&disk_), server_(&store_) {}
+
+  RopeId NewRope(uint64_t seed, double duration) {
+    VideoSource video(TestVideo(), seed);
+    AudioSource audio(TestAudio(), SpeechProfile{}, seed);
+    ContinuityModel model(TestStorage(), TestVideoDevice());
+    const StrandPlacement video_placement =
+        *model.DerivePlacement(RetrievalArchitecture::kPipelined, TestVideo());
+    RecordingResult v = *RecordVideo(&store_, &video, video_placement, duration);
+    RecordingResult a = *RecordAudio(&store_, &audio, SilenceDetector(),
+                                     StrandPlacement{512, 0.0, 0.1}, duration);
+    return *server_.CreateRope("fuzz", v.strand, a.strand);
+  }
+
+  void CheckInvariants(const std::vector<RopeId>& ropes) {
+    for (RopeId id : ropes) {
+      Result<const Rope*> rope_result = server_.Find(id);
+      if (!rope_result.ok()) {
+        continue;  // deleted by the fuzz sequence
+      }
+      const Rope& rope = **rope_result;
+      for (const Track* track : {&rope.video(), &rope.audio()}) {
+        int64_t total = 0;
+        for (const TrackSegment& segment : track->segments) {
+          ASSERT_GT(segment.unit_count, 0) << "rope " << id;
+          total += segment.unit_count;
+          if (segment.IsGap()) {
+            continue;
+          }
+          Result<const Strand*> strand = store_.Get(segment.strand);
+          ASSERT_TRUE(strand.ok()) << "rope " << id << " references dead strand "
+                                   << segment.strand;
+          ASSERT_GE(segment.start_unit, 0);
+          ASSERT_LE(segment.start_unit + segment.unit_count,
+                    (*strand)->info().unit_count)
+              << "rope " << id << " segment outside strand";
+        }
+        ASSERT_EQ(total, track->TotalUnits());
+      }
+      // The whole rope resolves to valid blocks for each present medium.
+      for (Medium medium : {Medium::kVideo, Medium::kAudio}) {
+        const Track& track = rope.TrackFor(medium);
+        if (track.rate <= 0 || track.TotalUnits() == 0) {
+          continue;
+        }
+        Result<std::vector<PrimaryEntry>> blocks = server_.ResolveBlocks(
+            "fuzz", id, medium, TimeInterval{0.0, track.DurationSec()});
+        ASSERT_TRUE(blocks.ok()) << blocks.status().ToString();
+        for (const PrimaryEntry& entry : *blocks) {
+          if (!entry.IsSilence()) {
+            ASSERT_GE(entry.sector, 0);
+            ASSERT_GT(entry.sector_count, 0);
+            ASSERT_LE(entry.sector + entry.sector_count, disk_.total_sectors());
+          }
+        }
+      }
+    }
+    // GC never touches referenced strands (CollectGarbage returns only
+    // unreferenced ones; re-running is a no-op).
+    server_.CollectGarbage();
+    ASSERT_EQ(server_.CollectGarbage(), 0);
+  }
+
+  Disk disk_;
+  StrandStore store_;
+  RopeServer server_;
+};
+
+TEST_P(RopePropertyTest, RandomEditSequencesKeepInvariants) {
+  Prng prng(GetParam());
+  std::vector<RopeId> ropes;
+  ropes.push_back(NewRope(GetParam() * 100 + 1, 4.0));
+  ropes.push_back(NewRope(GetParam() * 100 + 2, 3.0));
+
+  for (int step = 0; step < 40; ++step) {
+    const RopeId base = ropes[prng.NextBelow(ropes.size())];
+    Result<const Rope*> base_rope = server_.Find(base);
+    if (!base_rope.ok() || (*base_rope)->LengthSec() < 0.5) {
+      continue;
+    }
+    const double length = (*base_rope)->LengthSec();
+    const double at = prng.NextDouble() * length * 0.9;
+    const double span = 0.2 + prng.NextDouble() * (length - at) * 0.5;
+    const RopeId other = ropes[prng.NextBelow(ropes.size())];
+    const auto selector = static_cast<MediaSelector>(prng.NextBelow(3));
+
+    switch (prng.NextBelow(5)) {
+      case 0:
+        (void)server_.Insert("fuzz", base, at, selector, other, TimeInterval{0.0, span});
+        break;
+      case 1: {
+        Result<const Rope*> other_rope = server_.Find(other);
+        if (other_rope.ok() && (*other_rope)->LengthSec() > span) {
+          (void)server_.Replace("fuzz", base, selector, TimeInterval{at, span}, other,
+                                TimeInterval{0.0, span});
+        }
+        break;
+      }
+      case 2: {
+        Result<RopeId> sub = server_.Substring("fuzz", base, MediaSelector::kAudioVisual,
+                                               TimeInterval{at, span});
+        if (sub.ok() && ropes.size() < 8) {
+          ropes.push_back(*sub);
+        } else if (sub.ok()) {
+          (void)server_.DeleteRope("fuzz", *sub);
+        }
+        break;
+      }
+      case 3: {
+        Result<RopeId> joined = server_.Concat("fuzz", base, other);
+        if (joined.ok() && ropes.size() < 8) {
+          ropes.push_back(*joined);
+        } else if (joined.ok()) {
+          (void)server_.DeleteRope("fuzz", *joined);
+        }
+        break;
+      }
+      case 4:
+        (void)server_.Delete("fuzz", base, selector, TimeInterval{at, span});
+        break;
+    }
+    if (step % 10 == 9) {
+      CheckInvariants(ropes);
+    }
+  }
+  CheckInvariants(ropes);
+
+  // Repair every rope and re-check.
+  for (RopeId id : ropes) {
+    if (server_.Find(id).ok()) {
+      (void)server_.RepairRope(id, Medium::kVideo);
+      (void)server_.RepairRope(id, Medium::kAudio);
+    }
+  }
+  CheckInvariants(ropes);
+
+  // Tear everything down: all strands must be reclaimed and the disk
+  // returns to a fully free state.
+  const int64_t total_sectors = store_.allocator().total_sectors();
+  for (RopeId id : ropes) {
+    if (server_.Find(id).ok()) {
+      ASSERT_TRUE(server_.DeleteRope("fuzz", id).ok());
+    }
+  }
+  server_.CollectGarbage();
+  EXPECT_EQ(store_.strand_count(), 0);
+  EXPECT_EQ(store_.allocator().free_sectors(), total_sectors);
+  EXPECT_EQ(store_.allocator().FreeExtentCount(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RopePropertyTest,
+                         ::testing::Values<uint64_t>(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace vafs

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "src/msm/recorder.h"
+#include "src/rope/rope_server.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+class RopeServerTest : public ::testing::Test {
+ protected:
+  RopeServerTest() : disk_(TestDiskParameters()), store_(&disk_), server_(&store_) {}
+
+  StrandId RecordVideoStrand(double duration_sec, uint64_t seed) {
+    VideoSource source(TestVideo(), seed);
+    ContinuityModel model(TestStorage(), TestVideoDevice());
+    Result<StrandPlacement> placement =
+        model.DerivePlacement(RetrievalArchitecture::kPipelined, TestVideo());
+    EXPECT_TRUE(placement.ok());
+    Result<RecordingResult> result = RecordVideo(&store_, &source, *placement, duration_sec);
+    EXPECT_TRUE(result.ok());
+    return result->strand;
+  }
+
+  StrandId RecordAudioStrand(double duration_sec, uint64_t seed) {
+    AudioSource source(TestAudio(), SpeechProfile{}, seed);
+    Result<RecordingResult> result = RecordAudio(&store_, &source, SilenceDetector(),
+                                                 StrandPlacement{512, 0.0, 0.1}, duration_sec);
+    EXPECT_TRUE(result.ok());
+    return result->strand;
+  }
+
+  RopeId AvRope(double duration_sec, uint64_t seed) {
+    Result<RopeId> rope = server_.CreateRope(
+        "alice", RecordVideoStrand(duration_sec, seed), RecordAudioStrand(duration_sec, seed));
+    EXPECT_TRUE(rope.ok());
+    return *rope;
+  }
+
+  Disk disk_;
+  StrandStore store_;
+  RopeServer server_;
+};
+
+TEST_F(RopeServerTest, CreateRopeAdoptsStrandParameters) {
+  const RopeId id = AvRope(2.0, 1);
+  Result<const Rope*> rope = server_.Find(id);
+  ASSERT_TRUE(rope.ok());
+  EXPECT_EQ((*rope)->creator(), "alice");
+  EXPECT_DOUBLE_EQ((*rope)->video().rate, 30.0);
+  EXPECT_DOUBLE_EQ((*rope)->audio().rate, 4000.0);
+  EXPECT_NEAR((*rope)->LengthSec(), 2.0, 0.01);
+  EXPECT_EQ(server_.rope_count(), 1);
+}
+
+TEST_F(RopeServerTest, CreateRopeValidation) {
+  EXPECT_EQ(server_.CreateRope("alice", kNullStrand, kNullStrand).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(server_.CreateRope("alice", 12345, kNullStrand).status().code(),
+            ErrorCode::kNotFound);
+  // Medium mismatch: audio strand in the video slot.
+  const StrandId audio = RecordAudioStrand(1.0, 3);
+  EXPECT_EQ(server_.CreateRope("alice", audio, kNullStrand).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RopeServerTest, InsertSplicesBothMedia) {
+  const RopeId base = AvRope(4.0, 10);
+  const RopeId clip = AvRope(2.0, 20);
+  const double base_length = (*server_.Find(base))->LengthSec();
+  // Fig. 9: insert the whole clip at t = 1 s.
+  ASSERT_TRUE(server_.Insert("alice", base, 1.0, MediaSelector::kAudioVisual, clip,
+                             TimeInterval{0.0, 2.0})
+                  .ok());
+  Result<const Rope*> rope = server_.Find(base);
+  ASSERT_TRUE(rope.ok());
+  EXPECT_NEAR((*rope)->LengthSec(), base_length + 2.0, 0.01);
+  // The video track now has three intervals: base[0,1), clip, base[1,..).
+  EXPECT_EQ((*rope)->video().segments.size(), 3u);
+  const std::vector<SyncInterval> info = (*rope)->SynchronizationInfo();
+  EXPECT_GE(info.size(), 3u);
+}
+
+TEST_F(RopeServerTest, InsertSingleMediumLeavesOtherAlone) {
+  const RopeId base = AvRope(4.0, 11);
+  const RopeId clip = AvRope(2.0, 21);
+  const double audio_before = (*server_.Find(base))->audio().DurationSec();
+  ASSERT_TRUE(server_.Insert("alice", base, 1.0, MediaSelector::kVideo, clip,
+                             TimeInterval{0.0, 2.0})
+                  .ok());
+  Result<const Rope*> rope = server_.Find(base);
+  EXPECT_NEAR((*rope)->video().DurationSec(), 6.0, 0.01);
+  EXPECT_NEAR((*rope)->audio().DurationSec(), audio_before, 1e-9);
+}
+
+TEST_F(RopeServerTest, InsertFromRopeWithoutMediumInsertsAlignedGap) {
+  const RopeId base = AvRope(4.0, 12);
+  // A video-only rope.
+  Result<RopeId> clip = server_.CreateRope("alice", RecordVideoStrand(2.0, 22), kNullStrand);
+  ASSERT_TRUE(clip.ok());
+  ASSERT_TRUE(server_.Insert("alice", base, 1.0, MediaSelector::kAudioVisual, *clip,
+                             TimeInterval{0.0, 2.0})
+                  .ok());
+  Result<const Rope*> rope = server_.Find(base);
+  // Both timelines grew by 2 s; the audio grew by a gap.
+  EXPECT_NEAR((*rope)->video().DurationSec(), 6.0, 0.01);
+  EXPECT_NEAR((*rope)->audio().DurationSec(), 6.0, 0.01);
+  bool has_gap = false;
+  for (const TrackSegment& segment : (*rope)->audio().segments) {
+    has_gap |= segment.IsGap();
+  }
+  EXPECT_TRUE(has_gap);
+}
+
+TEST_F(RopeServerTest, ReplaceSwapsContent) {
+  const RopeId base = AvRope(4.0, 13);
+  const RopeId donor = AvRope(2.0, 23);
+  const StrandId donor_video = (*server_.Find(donor))->video().segments[0].strand;
+  ASSERT_TRUE(server_.Replace("alice", base, MediaSelector::kVideo, TimeInterval{1.0, 2.0},
+                              donor, TimeInterval{0.0, 2.0})
+                  .ok());
+  Result<const Rope*> rope = server_.Find(base);
+  EXPECT_NEAR((*rope)->video().DurationSec(), 4.0, 0.01);
+  // The middle of the video track now references the donor's strand.
+  const Track& video = (*rope)->video();
+  ASSERT_EQ(video.segments.size(), 3u);
+  EXPECT_EQ(video.segments[1].strand, donor_video);
+}
+
+TEST_F(RopeServerTest, ReplaceFillsNonExistentMedium) {
+  // The paper's Rope4/Rope5 example: an audio-only rope gains the video
+  // component of another rope.
+  Result<RopeId> audio_only = server_.CreateRope("alice", kNullStrand, RecordAudioStrand(3.0, 14));
+  ASSERT_TRUE(audio_only.ok());
+  Result<RopeId> video_donor = server_.CreateRope("alice", RecordVideoStrand(3.0, 24), kNullStrand);
+  ASSERT_TRUE(video_donor.ok());
+  ASSERT_TRUE(server_.Replace("alice", *audio_only, MediaSelector::kVideo,
+                              TimeInterval{0.0, 3.0}, *video_donor, TimeInterval{0.0, 3.0})
+                  .ok());
+  Result<const Rope*> rope = server_.Find(*audio_only);
+  EXPECT_GT((*rope)->video().rate, 0.0);
+  EXPECT_NEAR((*rope)->video().DurationSec(), 3.0, 0.01);
+  EXPECT_NEAR((*rope)->audio().DurationSec(), 3.0, 0.01);
+  // Synchronization info pairs the two strands.
+  const std::vector<SyncInterval> info = (*rope)->SynchronizationInfo();
+  ASSERT_FALSE(info.empty());
+  EXPECT_NE(info[0].video_strand, kNullStrand);
+  EXPECT_NE(info[0].audio_strand, kNullStrand);
+}
+
+TEST_F(RopeServerTest, SubstringCreatesIndependentRope) {
+  const RopeId base = AvRope(4.0, 15);
+  ASSERT_TRUE(server_.AddTrigger("alice", base, Trigger{2.5, "slide 2"}).ok());
+  ASSERT_TRUE(server_.AddTrigger("alice", base, Trigger{0.5, "slide 1"}).ok());
+  Result<RopeId> sub =
+      server_.Substring("bob", base, MediaSelector::kAudioVisual, TimeInterval{2.0, 1.5});
+  ASSERT_TRUE(sub.ok());
+  Result<const Rope*> rope = server_.Find(*sub);
+  EXPECT_EQ((*rope)->creator(), "bob");
+  EXPECT_NEAR((*rope)->LengthSec(), 1.5, 0.01);
+  // Triggers in range come along, re-based (2.5 -> 0.5).
+  ASSERT_EQ((*rope)->triggers().size(), 1u);
+  EXPECT_NEAR((*rope)->triggers()[0].at_sec, 0.5, 1e-9);
+  // The base is untouched.
+  EXPECT_NEAR((*server_.Find(base))->LengthSec(), 4.0, 0.01);
+}
+
+TEST_F(RopeServerTest, ConcatAlignsAndAppends) {
+  const RopeId first = AvRope(2.0, 16);
+  const RopeId second = AvRope(3.0, 26);
+  ASSERT_TRUE(server_.AddTrigger("alice", second, Trigger{1.0, "part 2"}).ok());
+  Result<RopeId> combined = server_.Concat("carol", first, second);
+  ASSERT_TRUE(combined.ok());
+  Result<const Rope*> rope = server_.Find(*combined);
+  EXPECT_NEAR((*rope)->LengthSec(), 5.0, 0.02);
+  // The second part's trigger shifted by the first rope's length.
+  ASSERT_EQ((*rope)->triggers().size(), 1u);
+  EXPECT_NEAR((*rope)->triggers()[0].at_sec, 3.0, 0.02);
+  // Sources are untouched; strands are shared, not copied.
+  EXPECT_EQ(server_.InterestCount((*rope)->video().segments[0].strand), 2);
+}
+
+TEST_F(RopeServerTest, DeleteAllMediaShortensRope) {
+  const RopeId base = AvRope(4.0, 17);
+  ASSERT_TRUE(server_.AddTrigger("alice", base, Trigger{1.5, "gone"}).ok());
+  ASSERT_TRUE(server_.AddTrigger("alice", base, Trigger{3.5, "kept"}).ok());
+  ASSERT_TRUE(
+      server_.Delete("alice", base, MediaSelector::kAudioVisual, TimeInterval{1.0, 2.0}).ok());
+  Result<const Rope*> rope = server_.Find(base);
+  EXPECT_NEAR((*rope)->LengthSec(), 2.0, 0.01);
+  // The in-range trigger vanished; the later one shifted left.
+  ASSERT_EQ((*rope)->triggers().size(), 1u);
+  EXPECT_EQ((*rope)->triggers()[0].text, "kept");
+  EXPECT_NEAR((*rope)->triggers()[0].at_sec, 1.5, 1e-9);
+}
+
+TEST_F(RopeServerTest, DeleteOneMediumBlanksIt) {
+  const RopeId base = AvRope(4.0, 18);
+  ASSERT_TRUE(server_.Delete("alice", base, MediaSelector::kAudio, TimeInterval{1.0, 2.0}).ok());
+  Result<const Rope*> rope = server_.Find(base);
+  // Duration unchanged; audio has a gap in the middle.
+  EXPECT_NEAR((*rope)->LengthSec(), 4.0, 0.01);
+  EXPECT_NEAR((*rope)->audio().DurationSec(), 4.0, 0.01);
+  bool has_gap = false;
+  for (const TrackSegment& segment : (*rope)->audio().segments) {
+    has_gap |= segment.IsGap();
+  }
+  EXPECT_TRUE(has_gap);
+}
+
+TEST_F(RopeServerTest, AccessControlEnforced) {
+  const RopeId base = AvRope(2.0, 19);
+  AccessControl access;
+  access.play_users = {"bob"};
+  access.edit_users = {};  // empty edit list = everyone may edit; tighten:
+  access.edit_users = {"alice"};
+  ASSERT_TRUE(server_.SetAccess("alice", base, access).ok());
+  // carol may not play or edit.
+  EXPECT_EQ(server_
+                .ResolveBlocks("carol", base, Medium::kVideo, TimeInterval{0.0, 1.0})
+                .status()
+                .code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(server_.Delete("carol", base, MediaSelector::kVideo, TimeInterval{0.0, 1.0}).code(),
+            ErrorCode::kPermissionDenied);
+  // bob may play but not edit.
+  EXPECT_TRUE(server_.ResolveBlocks("bob", base, Medium::kVideo, TimeInterval{0.0, 1.0}).ok());
+  EXPECT_EQ(server_.Substring("carol", base, MediaSelector::kVideo, TimeInterval{0.0, 1.0})
+                .status()
+                .code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(RopeServerTest, ResolveBlocksCoversIntervalAndGaps) {
+  const RopeId base = AvRope(4.0, 30);
+  Result<const Rope*> rope = server_.Find(base);
+  const int64_t q = (*rope)->video().granularity;
+  Result<std::vector<PrimaryEntry>> blocks =
+      server_.ResolveBlocks("alice", base, Medium::kVideo, TimeInterval{0.0, 4.0});
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ(static_cast<int64_t>(blocks->size()), (120 + q - 1) / q);
+  // Blank some audio, then resolve: gaps appear as silence entries.
+  ASSERT_TRUE(server_.Delete("alice", base, MediaSelector::kAudio, TimeInterval{1.0, 2.0}).ok());
+  Result<std::vector<PrimaryEntry>> audio_blocks =
+      server_.ResolveBlocks("alice", base, Medium::kAudio, TimeInterval{0.0, 4.0});
+  ASSERT_TRUE(audio_blocks.ok());
+  int64_t silence = 0;
+  for (const PrimaryEntry& entry : *audio_blocks) {
+    silence += entry.IsSilence() ? 1 : 0;
+  }
+  EXPECT_GE(silence, 2000 / 512);  // at least the blanked 2 s worth
+}
+
+TEST_F(RopeServerTest, GarbageCollectionFollowsInterests) {
+  const StrandId video = RecordVideoStrand(2.0, 40);
+  const StrandId audio = RecordAudioStrand(2.0, 41);
+  Result<RopeId> rope = server_.CreateRope("alice", video, audio);
+  ASSERT_TRUE(rope.ok());
+  EXPECT_EQ(server_.InterestCount(video), 1);
+  // A substring shares the strands.
+  Result<RopeId> sub =
+      server_.Substring("alice", *rope, MediaSelector::kAudioVisual, TimeInterval{0.0, 1.0});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(server_.InterestCount(video), 2);
+  // Nothing is collectable while referenced.
+  EXPECT_EQ(server_.CollectGarbage(), 0);
+  ASSERT_TRUE(server_.DeleteRope("alice", *rope).ok());
+  EXPECT_EQ(server_.InterestCount(video), 1);
+  EXPECT_EQ(server_.CollectGarbage(), 0);
+  ASSERT_TRUE(server_.DeleteRope("alice", *sub).ok());
+  EXPECT_EQ(server_.InterestCount(video), 0);
+  // Both strands are now garbage.
+  const int64_t strands_before = store_.strand_count();
+  EXPECT_EQ(server_.CollectGarbage(), 2);
+  EXPECT_EQ(store_.strand_count(), strands_before - 2);
+}
+
+TEST_F(RopeServerTest, PinnedStrandsSurviveCollection) {
+  const StrandId video = RecordVideoStrand(1.0, 50);
+  server_.Pin(video);
+  EXPECT_EQ(server_.CollectGarbage(), 0);
+  server_.Unpin(video);
+  EXPECT_EQ(server_.CollectGarbage(), 1);
+}
+
+TEST_F(RopeServerTest, DeleteRangeReleasesStrandWhenFullyRemoved) {
+  const StrandId video = RecordVideoStrand(2.0, 60);
+  Result<RopeId> rope = server_.CreateRope("alice", video, kNullStrand);
+  ASSERT_TRUE(rope.ok());
+  // Delete the entire content: the strand loses its last interest.
+  ASSERT_TRUE(server_
+                  .Delete("alice", *rope, MediaSelector::kAudioVisual,
+                          TimeInterval{0.0, 2.0})
+                  .ok());
+  EXPECT_EQ(server_.InterestCount(video), 0);
+  EXPECT_EQ(server_.CollectGarbage(), 1);
+}
+
+TEST_F(RopeServerTest, RepairRopeFixesEditSeams) {
+  // Two strands recorded far apart in time end up far apart on disk once
+  // the disk has filled in between; concatenating them creates a seam.
+  const RopeId first = AvRope(3.0, 70);
+  // Fill space so the next strand lands far away.
+  const StrandId filler = RecordVideoStrand(8.0, 71);
+  const RopeId second = AvRope(3.0, 72);
+  Result<RopeId> combined = server_.Concat("alice", first, second);
+  ASSERT_TRUE(combined.ok());
+
+  Result<RopeServer::RopeRepairStats> stats = server_.RepairRope(*combined, Medium::kVideo);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->seams_checked, 1);
+  // Whether a repair fired depends on the realized gap; if it did, the
+  // rope must now reference the copy strand and every seam must be within
+  // bounds on re-check.
+  Result<RopeServer::RopeRepairStats> recheck = server_.RepairRope(*combined, Medium::kVideo);
+  ASSERT_TRUE(recheck.ok());
+  EXPECT_EQ(recheck->seams_repaired, 0);
+  (void)filler;
+}
+
+TEST_F(RopeServerTest, OutOfRangeIntervalsRejected) {
+  const RopeId base = AvRope(2.0, 80);
+  EXPECT_EQ(server_
+                .ResolveBlocks("alice", base, Medium::kVideo, TimeInterval{5.0, 1.0})
+                .status()
+                .code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(server_.Insert("alice", base, 10.0, MediaSelector::kVideo, base,
+                           TimeInterval{0.0, 1.0})
+                .code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(server_
+                .Substring("alice", base, MediaSelector::kVideo, TimeInterval{3.0, 1.0})
+                .status()
+                .code(),
+            ErrorCode::kOutOfRange);
+}
+
+TEST_F(RopeServerTest, TriggerValidation) {
+  const RopeId base = AvRope(2.0, 81);
+  EXPECT_EQ(server_.AddTrigger("alice", base, Trigger{-1.0, "bad"}).code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(server_.AddTrigger("alice", base, Trigger{99.0, "bad"}).code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_TRUE(server_.AddTrigger("alice", base, Trigger{1.0, "ok"}).ok());
+}
+
+}  // namespace
+}  // namespace vafs

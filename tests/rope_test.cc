@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "src/rope/rope.h"
+
+namespace vafs {
+namespace {
+
+Track MakeTrack(std::vector<TrackSegment> segments, double rate = 30.0, int64_t granularity = 4) {
+  Track track;
+  track.medium = Medium::kVideo;
+  track.rate = rate;
+  track.granularity = granularity;
+  track.segments = std::move(segments);
+  return track;
+}
+
+TEST(TrackTest, TotalsAndDuration) {
+  Track track = MakeTrack({{1, 0, 60}, {kNullStrand, 0, 30}, {2, 10, 30}});
+  EXPECT_EQ(track.TotalUnits(), 120);
+  EXPECT_DOUBLE_EQ(track.DurationSec(), 4.0);
+  EXPECT_EQ(track.UnitsAt(2.0), 60);
+  EXPECT_EQ(track.UnitsAt(0.017), 1);  // rounds to nearest frame
+}
+
+TEST(TrackTest, AppendSegmentMergesContiguous) {
+  Track track = MakeTrack({});
+  AppendSegment(&track, {1, 0, 10});
+  AppendSegment(&track, {1, 10, 5});  // contiguous in strand 1
+  EXPECT_EQ(track.segments.size(), 1u);
+  EXPECT_EQ(track.segments[0].unit_count, 15);
+  AppendSegment(&track, {1, 20, 5});  // same strand, NOT contiguous
+  EXPECT_EQ(track.segments.size(), 2u);
+  AppendSegment(&track, {kNullStrand, 0, 3});
+  AppendSegment(&track, {kNullStrand, 0, 4});  // gaps merge
+  EXPECT_EQ(track.segments.size(), 3u);
+  EXPECT_EQ(track.segments.back().unit_count, 7);
+  AppendSegment(&track, {2, 0, 0});  // empty: dropped
+  EXPECT_EQ(track.segments.size(), 3u);
+}
+
+TEST(TrackTest, SliceAcrossSegments) {
+  Track track = MakeTrack({{1, 0, 10}, {2, 100, 10}, {3, 200, 10}});
+  std::vector<TrackSegment> slice = SliceTrack(track, 5, 15);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0], (TrackSegment{1, 5, 5}));
+  EXPECT_EQ(slice[1], (TrackSegment{2, 100, 10}));
+  // Slice crossing a gap keeps the gap portion.
+  Track with_gap = MakeTrack({{1, 0, 10}, {kNullStrand, 0, 10}, {2, 0, 10}});
+  slice = SliceTrack(with_gap, 8, 14);
+  ASSERT_EQ(slice.size(), 3u);
+  EXPECT_TRUE(slice[1].IsGap());
+  EXPECT_EQ(slice[1].unit_count, 10);
+  EXPECT_EQ(slice[2], (TrackSegment{2, 0, 2}));
+}
+
+TEST(TrackTest, SliceEdgeCases) {
+  Track track = MakeTrack({{1, 0, 10}});
+  EXPECT_TRUE(SliceTrack(track, 10, 5).empty());  // beyond end
+  EXPECT_TRUE(SliceTrack(track, 3, 0).empty());   // zero length
+  std::vector<TrackSegment> whole = SliceTrack(track, 0, 10);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0], (TrackSegment{1, 0, 10}));
+}
+
+TEST(TrackTest, EraseRangeShortensAndRejoins) {
+  Track track = MakeTrack({{1, 0, 30}});
+  EraseRange(&track, 10, 10);
+  EXPECT_EQ(track.TotalUnits(), 20);
+  ASSERT_EQ(track.segments.size(), 2u);
+  EXPECT_EQ(track.segments[0], (TrackSegment{1, 0, 10}));
+  EXPECT_EQ(track.segments[1], (TrackSegment{1, 20, 10}));
+  // Erasing the hole's neighbourhood rejoins contiguous remains.
+  Track track2 = MakeTrack({{1, 0, 30}});
+  EraseRange(&track2, 0, 10);
+  ASSERT_EQ(track2.segments.size(), 1u);
+  EXPECT_EQ(track2.segments[0], (TrackSegment{1, 10, 20}));
+}
+
+TEST(TrackTest, BlankRangePreservesDuration) {
+  Track track = MakeTrack({{1, 0, 30}});
+  BlankRange(&track, 10, 10);
+  EXPECT_EQ(track.TotalUnits(), 30);
+  ASSERT_EQ(track.segments.size(), 3u);
+  EXPECT_TRUE(track.segments[1].IsGap());
+  EXPECT_EQ(track.segments[1].unit_count, 10);
+}
+
+TEST(TrackTest, InsertShiftsRemainder) {
+  Track track = MakeTrack({{1, 0, 20}});
+  InsertSegments(&track, 10, {{2, 50, 5}});
+  EXPECT_EQ(track.TotalUnits(), 25);
+  ASSERT_EQ(track.segments.size(), 3u);
+  EXPECT_EQ(track.segments[0], (TrackSegment{1, 0, 10}));
+  EXPECT_EQ(track.segments[1], (TrackSegment{2, 50, 5}));
+  EXPECT_EQ(track.segments[2], (TrackSegment{1, 10, 10}));
+  // Insert at the very end appends.
+  InsertSegments(&track, 25, {{3, 0, 5}});
+  EXPECT_EQ(track.segments.back(), (TrackSegment{3, 0, 5}));
+}
+
+TEST(TrackTest, InsertAdjacentPiecesRemerge) {
+  Track track = MakeTrack({{1, 0, 20}});
+  // Inserting strand 1's units 20.. right at the end merges.
+  InsertSegments(&track, 20, {{1, 20, 10}});
+  ASSERT_EQ(track.segments.size(), 1u);
+  EXPECT_EQ(track.segments[0].unit_count, 30);
+}
+
+TEST(AccessControlTest, EmptyListsAllowEveryone) {
+  AccessControl access;
+  EXPECT_TRUE(access.AllowsPlay("anyone", "creator"));
+  EXPECT_TRUE(access.AllowsEdit("anyone", "creator"));
+}
+
+TEST(AccessControlTest, ListsRestrict) {
+  AccessControl access;
+  access.play_users = {"alice"};
+  access.edit_users = {"bob"};
+  EXPECT_TRUE(access.AllowsPlay("alice", "creator"));
+  EXPECT_FALSE(access.AllowsPlay("bob", "creator"));
+  EXPECT_TRUE(access.AllowsEdit("bob", "creator"));
+  EXPECT_FALSE(access.AllowsEdit("alice", "creator"));
+  // The creator is always allowed.
+  EXPECT_TRUE(access.AllowsPlay("creator", "creator"));
+  EXPECT_TRUE(access.AllowsEdit("creator", "creator"));
+}
+
+TEST(RopeTest, LengthIsLongerTimeline) {
+  Rope rope(1, "alice");
+  rope.video() = MakeTrack({{1, 0, 90}});         // 3 s at 30 fps
+  rope.audio().medium = Medium::kAudio;
+  rope.audio().rate = 4000.0;
+  rope.audio().granularity = 512;
+  rope.audio().segments = {{2, 0, 20000}};        // 5 s at 4 kHz
+  EXPECT_DOUBLE_EQ(rope.LengthSec(), 5.0);
+}
+
+TEST(RopeTest, SynchronizationInfoSegmentsByBothTracks) {
+  // Video: strand 1 for 2 s then strand 2 for 2 s. Audio: strand 3 for 4 s.
+  Rope rope(1, "alice");
+  rope.video() = MakeTrack({{1, 0, 60}, {2, 0, 60}});
+  rope.audio().medium = Medium::kAudio;
+  rope.audio().rate = 4000.0;
+  rope.audio().granularity = 512;
+  rope.audio().segments = {{3, 0, 16000}};
+
+  std::vector<SyncInterval> info = rope.SynchronizationInfo();
+  ASSERT_EQ(info.size(), 2u);
+  EXPECT_EQ(info[0].video_strand, 1u);
+  EXPECT_EQ(info[0].audio_strand, 3u);
+  EXPECT_DOUBLE_EQ(info[0].start_sec, 0.0);
+  EXPECT_NEAR(info[0].length_sec, 2.0, 1e-9);
+  EXPECT_EQ(info[0].video_block, 0);
+  EXPECT_EQ(info[0].audio_block, 0);
+  EXPECT_EQ(info[1].video_strand, 2u);
+  EXPECT_EQ(info[1].audio_strand, 3u);
+  // Audio correspondence: 2 s in = sample 8000 = block 15 (granularity 512).
+  EXPECT_EQ(info[1].audio_block, 8000 / 512);
+  EXPECT_EQ(info[1].video_block, 0);  // strand 2 starts at its block 0
+}
+
+TEST(RopeTest, SynchronizationInfoMarksGapsAsNullStrands) {
+  Rope rope(1, "alice");
+  rope.video() = MakeTrack({{1, 0, 30}, {kNullStrand, 0, 30}, {1, 30, 30}});
+  std::vector<SyncInterval> info = rope.SynchronizationInfo();
+  ASSERT_EQ(info.size(), 3u);
+  EXPECT_EQ(info[1].video_strand, kNullStrand);
+  EXPECT_EQ(info[0].video_strand, 1u);
+  EXPECT_EQ(info[2].video_strand, 1u);
+  // The resumed interval starts at strand unit 30 -> block 7 (granularity 4).
+  EXPECT_EQ(info[2].video_block, 30 / 4);
+}
+
+}  // namespace
+}  // namespace vafs

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/msm/recorder.h"
+#include "src/msm/service_scheduler.h"
+#include "src/sim/simulator.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : disk_(TestDiskParameters()), store_(&disk_) {}
+
+  StrandPlacement VideoPlacement() {
+    ContinuityModel model(TestStorage(), TestVideoDevice());
+    Result<StrandPlacement> placement =
+        model.DerivePlacement(RetrievalArchitecture::kPipelined, TestVideo());
+    EXPECT_TRUE(placement.ok());
+    return *placement;
+  }
+
+  // Records a strand and returns a playback request over all its blocks.
+  PlaybackRequest MakePlayback(double duration_sec, uint64_t seed) {
+    VideoSource source(TestVideo(), seed);
+    const StrandPlacement placement = VideoPlacement();
+    Result<RecordingResult> recorded = RecordVideo(&store_, &source, placement, duration_sec);
+    EXPECT_TRUE(recorded.ok());
+    Result<const Strand*> strand = store_.Get(recorded->strand);
+    EXPECT_TRUE(strand.ok());
+    PlaybackRequest request;
+    for (int64_t b = 0; b < (*strand)->block_count(); ++b) {
+      request.blocks.push_back(*(*strand)->index().Lookup(b));
+    }
+    request.block_duration = (*strand)->info().BlockDuration();
+    request.spec = RequestSpec{TestVideo(), placement.granularity};
+    return request;
+  }
+
+  AdmissionControl MakeAdmission() {
+    // Use the realized average scattering so admission is representative.
+    const double avg = std::max(store_.AverageScatteringSec(), 1e-4);
+    return AdmissionControl(TestStorage(), avg);
+  }
+
+  Disk disk_;
+  StrandStore store_;
+  Simulator sim_;
+};
+
+TEST_F(SchedulerTest, SinglePlaybackCompletesWithoutViolations) {
+  PlaybackRequest request = MakePlayback(5.0, 1);
+  const int64_t total_blocks = static_cast<int64_t>(request.blocks.size());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+  ASSERT_TRUE(id.ok());
+  scheduler.RunUntilIdle();
+
+  Result<RequestStats> stats = scheduler.stats(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->blocks_done, total_blocks);
+  EXPECT_EQ(stats->continuity_violations, 0);
+  EXPECT_GT(stats->completion_time, 0);
+  EXPECT_GE(stats->startup_latency, 0);
+}
+
+TEST_F(SchedulerTest, ManyConcurrentPlaybacksMeetDeadlines) {
+  std::vector<PlaybackRequest> requests;
+  for (int i = 0; i < 3; ++i) {
+    requests.push_back(MakePlayback(4.0, 100 + i));
+  }
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  std::vector<RequestId> ids;
+  for (PlaybackRequest& request : requests) {
+    Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  scheduler.RunUntilIdle();
+  for (RequestId id : ids) {
+    Result<RequestStats> stats = scheduler.stats(id);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_TRUE(stats->completed);
+    EXPECT_EQ(stats->continuity_violations, 0) << "request " << id;
+  }
+  EXPECT_GT(scheduler.rounds_executed(), 1);
+}
+
+TEST_F(SchedulerTest, AdmissionRejectsBeyondCeiling) {
+  AdmissionControl admission = MakeAdmission();
+  // Build the smallest strand once; submit the same blocks many times.
+  PlaybackRequest prototype = MakePlayback(2.0, 7);
+  const int64_t n_max =
+      admission.Analyze({RequestSpec{TestVideo(), VideoPlacement().granularity}}).n_max;
+  ServiceScheduler scheduler(&store_, &sim_, admission);
+  int admitted = 0;
+  int rejected = 0;
+  for (int64_t i = 0; i < n_max + 3; ++i) {
+    PlaybackRequest request = prototype;
+    Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+    if (id.ok()) {
+      ++admitted;
+    } else {
+      EXPECT_EQ(id.status().code(), ErrorCode::kAdmissionRejected);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(admitted, n_max);
+  EXPECT_EQ(rejected, 3);
+  scheduler.RunUntilIdle();
+}
+
+TEST_F(SchedulerTest, SteppedAdmissionRaisesKGradually) {
+  PlaybackRequest first = MakePlayback(6.0, 11);
+  PlaybackRequest second = MakePlayback(6.0, 12);
+  PlaybackRequest third = MakePlayback(6.0, 13);
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ASSERT_TRUE(scheduler.SubmitPlayback(std::move(first)).ok());
+  // Let the first request get going.
+  sim_.RunUntil(SecondsToUsec(1.0));
+  const int64_t k_before = scheduler.current_k();
+  ASSERT_TRUE(scheduler.SubmitPlayback(std::move(second)).ok());
+  ASSERT_TRUE(scheduler.SubmitPlayback(std::move(third)).ok());
+  scheduler.RunUntilIdle();
+  EXPECT_GE(scheduler.current_k(), k_before);
+}
+
+TEST_F(SchedulerTest, LateJoinerDoesNotGlitchExistingStreams) {
+  // Start one stream, then admit two more mid-flight; the stepped
+  // transition must keep the first stream's deadlines intact.
+  PlaybackRequest first = MakePlayback(8.0, 21);
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  Result<RequestId> first_id = scheduler.SubmitPlayback(std::move(first));
+  ASSERT_TRUE(first_id.ok());
+  sim_.RunUntil(SecondsToUsec(2.0));
+
+  PlaybackRequest second = MakePlayback(4.0, 22);
+  PlaybackRequest third = MakePlayback(4.0, 23);
+  ASSERT_TRUE(scheduler.SubmitPlayback(std::move(second)).ok());
+  ASSERT_TRUE(scheduler.SubmitPlayback(std::move(third)).ok());
+  scheduler.RunUntilIdle();
+
+  Result<RequestStats> stats = scheduler.stats(*first_id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->continuity_violations, 0);
+}
+
+TEST_F(SchedulerTest, StopHaltsARequest) {
+  PlaybackRequest request = MakePlayback(10.0, 31);
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+  ASSERT_TRUE(id.ok());
+  sim_.RunUntil(SecondsToUsec(1.0));
+  ASSERT_TRUE(scheduler.Stop(*id).ok());
+  scheduler.RunUntilIdle();
+  Result<RequestStats> stats = scheduler.stats(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->completed);
+  EXPECT_LT(stats->blocks_done, static_cast<int64_t>(stats->blocks_total));
+  EXPECT_EQ(scheduler.active_request_count(), 0);
+}
+
+TEST_F(SchedulerTest, NonDestructivePauseResumes) {
+  PlaybackRequest request = MakePlayback(6.0, 41);
+  const int64_t total = static_cast<int64_t>(request.blocks.size());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+  ASSERT_TRUE(id.ok());
+  sim_.RunUntil(SecondsToUsec(1.0));
+  ASSERT_TRUE(scheduler.Pause(*id, /*destructive=*/false).ok());
+  const int64_t done_at_pause = scheduler.stats(*id)->blocks_done;
+  sim_.RunUntil(SecondsToUsec(3.0));
+  // Nothing advanced while paused.
+  EXPECT_EQ(scheduler.stats(*id)->blocks_done, done_at_pause);
+  ASSERT_TRUE(scheduler.Resume(*id).ok());
+  scheduler.RunUntilIdle();
+  Result<RequestStats> stats = scheduler.stats(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->blocks_done, total);
+}
+
+TEST_F(SchedulerTest, DestructivePauseReRunsAdmission) {
+  PlaybackRequest request = MakePlayback(6.0, 51);
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+  ASSERT_TRUE(id.ok());
+  sim_.RunUntil(SecondsToUsec(1.0));
+  ASSERT_TRUE(scheduler.Pause(*id, /*destructive=*/true).ok());
+  ASSERT_TRUE(scheduler.Resume(*id).ok());
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(scheduler.stats(*id)->completed);
+}
+
+TEST_F(SchedulerTest, PauseStateTransitionsValidated) {
+  PlaybackRequest request = MakePlayback(3.0, 61);
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(scheduler.Resume(*id).code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(scheduler.Pause(*id, false).ok());
+  EXPECT_EQ(scheduler.Pause(*id, false).code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(scheduler.Resume(*id).ok());
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(scheduler.stats(999).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(scheduler.Stop(999).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(SchedulerTest, RecordingWritesAStrand) {
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  RecordingRequest request;
+  request.profile = TestVideo();
+  request.placement = VideoPlacement();
+  request.total_blocks = 20;
+  Result<RequestId> id = scheduler.SubmitRecording(request);
+  ASSERT_TRUE(id.ok());
+  scheduler.RunUntilIdle();
+  Result<RequestStats> stats = scheduler.stats(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->blocks_done, 20);
+  EXPECT_EQ(stats->capture_overflows, 0);
+  ASSERT_NE(stats->recorded_strand, kNullStrand);
+  Result<const Strand*> strand = store_.Get(stats->recorded_strand);
+  ASSERT_TRUE(strand.ok());
+  EXPECT_EQ((*strand)->block_count(), 20);
+}
+
+TEST_F(SchedulerTest, MixedRecordAndPlaybackCoexist) {
+  PlaybackRequest playback = MakePlayback(4.0, 71);
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  Result<RequestId> play_id = scheduler.SubmitPlayback(std::move(playback));
+  ASSERT_TRUE(play_id.ok());
+  RecordingRequest recording;
+  recording.profile = TestVideo();
+  recording.placement = VideoPlacement();
+  recording.total_blocks = 15;
+  Result<RequestId> record_id = scheduler.SubmitRecording(recording);
+  ASSERT_TRUE(record_id.ok());
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(scheduler.stats(*play_id)->completed);
+  EXPECT_EQ(scheduler.stats(*play_id)->continuity_violations, 0);
+  EXPECT_TRUE(scheduler.stats(*record_id)->completed);
+  EXPECT_EQ(scheduler.stats(*record_id)->capture_overflows, 0);
+}
+
+TEST_F(SchedulerTest, SilenceBlocksPlayForFree) {
+  // A playback plan that is mostly silence finishes with almost no disk
+  // traffic.
+  PlaybackRequest request = MakePlayback(1.0, 81);
+  const size_t data_blocks = request.blocks.size();
+  for (int i = 0; i < 100; ++i) {
+    request.blocks.push_back(PrimaryEntry{kSilenceSector, 0});
+  }
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  const int64_t reads_before = disk_.reads();
+  Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+  ASSERT_TRUE(id.ok());
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(scheduler.stats(*id)->completed);
+  EXPECT_EQ(disk_.reads() - reads_before, static_cast<int64_t>(data_blocks));
+}
+
+TEST_F(SchedulerTest, FastForwardDoublesConsumptionRate) {
+  PlaybackRequest normal = MakePlayback(4.0, 91);
+  PlaybackRequest fast = normal;
+  fast.rate_multiplier = 2.0;
+  {
+    Simulator sim;
+    ServiceScheduler scheduler(&store_, &sim, MakeAdmission());
+    Result<RequestId> id = scheduler.SubmitPlayback(std::move(normal));
+    ASSERT_TRUE(id.ok());
+    scheduler.RunUntilIdle();
+    // Normal speed: completes around the content duration.
+    EXPECT_TRUE(scheduler.stats(*id)->completed);
+  }
+  {
+    Simulator sim;
+    ServiceScheduler scheduler(&store_, &sim, MakeAdmission());
+    Result<RequestId> id = scheduler.SubmitPlayback(std::move(fast));
+    ASSERT_TRUE(id.ok());
+    scheduler.RunUntilIdle();
+    Result<RequestStats> stats = scheduler.stats(*id);
+    EXPECT_TRUE(stats->completed);
+    // The small test disk can sustain 2x for this stream.
+    EXPECT_EQ(stats->continuity_violations, 0);
+  }
+}
+
+TEST_F(SchedulerTest, BufferCapLimitsPrefetch) {
+  PlaybackRequest request = MakePlayback(6.0, 95);
+  request.device_buffers = 2;
+  request.read_ahead_blocks = 1;
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+  ASSERT_TRUE(id.ok());
+  scheduler.RunUntilIdle();
+  Result<RequestStats> stats = scheduler.stats(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->completed);
+  EXPECT_LE(stats->max_buffered_blocks, 2 + 1);  // cap plus the one in flight
+}
+
+TEST_F(SchedulerTest, EmptyRequestsRejected) {
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  EXPECT_EQ(scheduler.SubmitPlayback(PlaybackRequest{}).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(scheduler.SubmitRecording(RecordingRequest{}).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace vafs

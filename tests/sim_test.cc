@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace vafs {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(5, [&] { order.push_back(1); });
+  sim.ScheduleAt(5, [&] { order.push_back(2); });
+  sim.ScheduleAt(5, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { observed = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(observed, 150);
+}
+
+TEST(SimulatorTest, PastSchedulingClampsToNow) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAt(10, [&] { observed = sim.Now(); });  // in the past
+  });
+  sim.Run();
+  EXPECT_EQ(observed, 100);
+}
+
+TEST(SimulatorTest, EventsCanCascade) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) {
+      sim.ScheduleAfter(7, tick);
+    }
+  };
+  sim.ScheduleAt(0, tick);
+  sim.Run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.Now(), 63);
+  EXPECT_EQ(sim.events_executed(), 10);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.ScheduleAt(1, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  int ran = 0;
+  sim.ScheduleAt(10, [&] { ++ran; });
+  sim.ScheduleAt(20, [&] { ++ran; });
+  sim.ScheduleAt(30, [&] { ++ran; });
+  sim.RunUntil(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500);
+}
+
+}  // namespace
+}  // namespace vafs

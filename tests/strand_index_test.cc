@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/layout/strand_index.h"
+
+namespace vafs {
+namespace {
+
+PrimaryEntry Block(int64_t sector, int64_t count = 4) { return PrimaryEntry{sector, count}; }
+PrimaryEntry Silence() { return PrimaryEntry{kSilenceSector, 0}; }
+
+TEST(StrandIndexTest, AppendAndLookup) {
+  StrandIndex index;
+  index.Append(Block(100));
+  index.Append(Block(200));
+  index.Append(Silence());
+  index.Append(Block(300));
+  EXPECT_EQ(index.block_count(), 4);
+  EXPECT_EQ(index.silence_block_count(), 1);
+  ASSERT_TRUE(index.Lookup(0).ok());
+  EXPECT_EQ(index.Lookup(0)->sector, 100);
+  EXPECT_TRUE(index.Lookup(2)->IsSilence());
+  EXPECT_EQ(index.Lookup(3)->sector, 300);
+}
+
+TEST(StrandIndexTest, LookupOutOfRange) {
+  StrandIndex index;
+  index.Append(Block(1));
+  EXPECT_EQ(index.Lookup(-1).status().code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(index.Lookup(1).status().code(), ErrorCode::kOutOfRange);
+}
+
+TEST(StrandIndexTest, StructuralCountsFollowFanout) {
+  StrandIndex index(IndexFanout{4, 2});
+  EXPECT_EQ(index.primary_block_count(), 0);
+  EXPECT_EQ(index.secondary_block_count(), 0);
+  for (int i = 0; i < 9; ++i) {  // 9 entries: 3 PBs of <=4, 2 SBs of <=2
+    index.Append(Block(i * 10));
+  }
+  EXPECT_EQ(index.primary_block_count(), 3);
+  EXPECT_EQ(index.secondary_block_count(), 2);
+  EXPECT_EQ(StrandIndex::kColdLookupHops, 3);
+}
+
+TEST(StrandIndexTest, DefaultFanoutScalesToLargeStrands) {
+  StrandIndex index;
+  // One hour of 30 fps video at 4 frames/block = 27000 blocks.
+  for (int i = 0; i < 27000; ++i) {
+    index.Append(Block(i));
+  }
+  // 27000 / 256 = 106 PBs; 106 / 128 = 1 SB.
+  EXPECT_EQ(index.primary_block_count(), 106);
+  EXPECT_EQ(index.secondary_block_count(), 1);
+}
+
+TEST(StrandIndexTest, PrimaryBlockSerializationRoundTrip) {
+  StrandIndex index(IndexFanout{4, 2});
+  index.Append(Block(100, 8));
+  index.Append(Silence());
+  index.Append(Block(300, 8));
+  index.Append(Block(400, 8));
+  index.Append(Block(500, 8));  // second PB
+
+  std::vector<std::vector<uint8_t>> blobs;
+  for (int64_t pb = 0; pb < index.primary_block_count(); ++pb) {
+    blobs.push_back(index.SerializePrimaryBlock(pb));
+  }
+  EXPECT_EQ(blobs[0].size(), 4u * 16);
+  EXPECT_EQ(blobs[1].size(), 1u * 16);
+
+  Result<StrandIndex> rebuilt = StrandIndex::FromSerializedPrimaries(IndexFanout{4, 2}, blobs);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->block_count(), 5);
+  EXPECT_EQ(rebuilt->silence_block_count(), 1);
+  for (int64_t b = 0; b < 5; ++b) {
+    EXPECT_EQ(*rebuilt->Lookup(b), *index.Lookup(b)) << "block " << b;
+  }
+}
+
+TEST(StrandIndexTest, CorruptPrimaryRejected) {
+  EXPECT_FALSE(
+      StrandIndex::FromSerializedPrimaries(IndexFanout{}, {{1, 2, 3}}).ok());  // not 16B multiple
+  // Negative sector with nonzero count.
+  std::vector<uint8_t> bad(16, 0xff);
+  bad[8] = 0x02;  // sector_count mangled vs silence rules
+  EXPECT_FALSE(StrandIndex::FromSerializedPrimaries(IndexFanout{}, {bad}).ok());
+}
+
+TEST(StrandIndexTest, SecondaryBlockRecordsPbPlacement) {
+  StrandIndex index(IndexFanout{2, 2});
+  for (int i = 0; i < 5; ++i) {
+    index.Append(Block(1000 + i));
+  }
+  // 3 PBs; pretend they were placed at sectors 7, 9, 11 (1 sector each).
+  std::vector<std::pair<int64_t, int64_t>> pb_extents = {{7, 1}, {9, 1}, {11, 1}};
+  const std::vector<uint8_t> sb0 = index.SerializeSecondaryBlock(0, pb_extents);
+  const std::vector<uint8_t> sb1 = index.SerializeSecondaryBlock(1, pb_extents);
+  EXPECT_EQ(sb0.size(), 2u * 32);  // two PB entries of 4 int64 fields
+  EXPECT_EQ(sb1.size(), 1u * 32);
+  // First SB entry: startBlock 0, blockCount 2, sector 7, sectorCount 1.
+  auto get_i64 = [](const std::vector<uint8_t>& blob, size_t offset) {
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(blob[offset + static_cast<size_t>(i)]) << (8 * i);
+    }
+    return static_cast<int64_t>(value);
+  };
+  EXPECT_EQ(get_i64(sb0, 0), 0);
+  EXPECT_EQ(get_i64(sb0, 8), 2);
+  EXPECT_EQ(get_i64(sb0, 16), 7);
+  EXPECT_EQ(get_i64(sb0, 24), 1);
+  // Second PB entry starts at block 2.
+  EXPECT_EQ(get_i64(sb0, 32), 2);
+  // Third PB (in SB 1) starts at block 4 and has the tail single block.
+  EXPECT_EQ(get_i64(sb1, 0), 4);
+  EXPECT_EQ(get_i64(sb1, 8), 1);
+}
+
+TEST(StrandIndexTest, HeaderBlockLayout) {
+  StrandIndex index(IndexFanout{2, 1});
+  for (int i = 0; i < 3; ++i) {
+    index.Append(Block(i));
+  }
+  // 2 PBs -> 2 SBs with fanout 1.
+  const std::vector<uint8_t> header =
+      index.SerializeHeaderBlock(30.0, 12, {{100, 1}, {200, 1}});
+  // frameRate (8) + secondaryCount (8) + frameCount (8) + 2 * 16.
+  EXPECT_EQ(header.size(), 8u + 8 + 8 + 32);
+}
+
+}  // namespace
+}  // namespace vafs

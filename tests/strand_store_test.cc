@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/core/continuity.h"
+#include "src/disk/disk.h"
+#include "src/msm/strand_store.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+class StrandStoreTest : public ::testing::Test {
+ protected:
+  StrandStoreTest() : disk_(TestDiskParameters()), store_(&disk_) {}
+
+  StrandPlacement VideoPlacement() {
+    ContinuityModel model(TestStorage(), TestVideoDevice());
+    Result<StrandPlacement> placement =
+        model.DerivePlacement(RetrievalArchitecture::kPipelined, TestVideo());
+    EXPECT_TRUE(placement.ok());
+    return *placement;
+  }
+
+  std::vector<uint8_t> BlockPayload(int64_t block, int64_t bytes) {
+    std::vector<uint8_t> payload(static_cast<size_t>(bytes));
+    std::iota(payload.begin(), payload.end(), static_cast<uint8_t>(block));
+    return payload;
+  }
+
+  Disk disk_;
+  StrandStore store_;
+};
+
+TEST_F(StrandStoreTest, RecordsAndReadsBackBlocks) {
+  const StrandPlacement placement = VideoPlacement();
+  Result<std::unique_ptr<StrandWriter>> writer = store_.CreateStrand(TestVideo(), placement);
+  ASSERT_TRUE(writer.ok());
+  const int64_t block_bytes = placement.granularity * 16384 / 8;
+  for (int64_t b = 0; b < 10; ++b) {
+    ASSERT_TRUE((*writer)->AppendBlock(BlockPayload(b, block_bytes)).ok());
+  }
+  Result<StrandId> id = (*writer)->Finish(10 * placement.granularity);
+  ASSERT_TRUE(id.ok());
+
+  Result<const Strand*> strand = store_.Get(*id);
+  ASSERT_TRUE(strand.ok());
+  EXPECT_EQ((*strand)->block_count(), 10);
+  EXPECT_EQ((*strand)->info().unit_count, 10 * placement.granularity);
+
+  for (int64_t b = 0; b < 10; ++b) {
+    std::vector<uint8_t> payload;
+    Result<SimDuration> read = store_.ReadBlock(*id, b, &payload);
+    ASSERT_TRUE(read.ok());
+    EXPECT_GT(*read, 0);
+    payload.resize(static_cast<size_t>(block_bytes));  // strip sector padding
+    EXPECT_EQ(payload, BlockPayload(b, block_bytes)) << "block " << b;
+  }
+}
+
+TEST_F(StrandStoreTest, RealizedGapsRespectScatteringBound) {
+  const StrandPlacement placement = VideoPlacement();
+  Result<std::unique_ptr<StrandWriter>> writer = store_.CreateStrand(TestVideo(), placement);
+  ASSERT_TRUE(writer.ok());
+  const int64_t block_bytes = placement.granularity * 16384 / 8;
+  for (int64_t b = 0; b < 50; ++b) {
+    ASSERT_TRUE((*writer)->AppendBlock(BlockPayload(b, block_bytes)).ok());
+  }
+  EXPECT_LE((*writer)->MaxGapSec(), placement.max_scattering_sec + 1e-9);
+  EXPECT_GT((*writer)->AverageGapSec(), 0.0);
+  ASSERT_TRUE((*writer)->Finish(50 * placement.granularity).ok());
+  EXPECT_GT(store_.AverageScatteringSec(), 0.0);
+  EXPECT_LE(store_.AverageScatteringSec(), placement.max_scattering_sec);
+}
+
+TEST_F(StrandStoreTest, SilenceBlocksUseNoSpace) {
+  const StrandPlacement placement{8, 0.0, 0.050};
+  Result<std::unique_ptr<StrandWriter>> writer = store_.CreateStrand(TestAudio(), placement);
+  ASSERT_TRUE(writer.ok());
+  const int64_t free_before = store_.allocator().free_sectors();
+  ASSERT_TRUE((*writer)->AppendSilence().ok());
+  ASSERT_TRUE((*writer)->AppendSilence().ok());
+  EXPECT_EQ(store_.allocator().free_sectors(), free_before);
+  ASSERT_TRUE((*writer)->AppendBlock(std::vector<uint8_t>(8, 1)).ok());
+  Result<StrandId> id = (*writer)->Finish(24);
+  ASSERT_TRUE(id.ok());
+
+  // Reading a silence block is free and yields no data.
+  std::vector<uint8_t> payload{9, 9};
+  Result<SimDuration> read = store_.ReadBlock(*id, 0, &payload);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, 0);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST_F(StrandStoreTest, FinishValidatesUnitCount) {
+  const StrandPlacement placement = VideoPlacement();
+  Result<std::unique_ptr<StrandWriter>> writer = store_.CreateStrand(TestVideo(), placement);
+  ASSERT_TRUE(writer.ok());
+  const int64_t block_bytes = placement.granularity * 16384 / 8;
+  ASSERT_TRUE((*writer)->AppendBlock(BlockPayload(0, block_bytes)).ok());
+  // 3 blocks' worth of units against 1 block: inconsistent.
+  EXPECT_EQ((*writer)->Finish(3 * placement.granularity).status().code(),
+            ErrorCode::kInvalidArgument);
+  // Partial tail block is fine.
+  EXPECT_TRUE((*writer)->Finish(placement.granularity - 1).ok());
+}
+
+TEST_F(StrandStoreTest, WriterAbortFreesEverything) {
+  const int64_t free_before = store_.allocator().free_sectors();
+  {
+    Result<std::unique_ptr<StrandWriter>> writer =
+        store_.CreateStrand(TestVideo(), VideoPlacement());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendBlock(std::vector<uint8_t>(1024, 1)).ok());
+    ASSERT_TRUE((*writer)->AppendBlock(std::vector<uint8_t>(1024, 2)).ok());
+    // Writer destroyed without Finish.
+  }
+  EXPECT_EQ(store_.allocator().free_sectors(), free_before);
+}
+
+TEST_F(StrandStoreTest, DeleteReturnsAllSpace) {
+  const int64_t free_before = store_.allocator().free_sectors();
+  const StrandPlacement placement = VideoPlacement();
+  Result<std::unique_ptr<StrandWriter>> writer = store_.CreateStrand(TestVideo(), placement);
+  ASSERT_TRUE(writer.ok());
+  const int64_t block_bytes = placement.granularity * 16384 / 8;
+  for (int64_t b = 0; b < 20; ++b) {
+    ASSERT_TRUE((*writer)->AppendBlock(BlockPayload(b, block_bytes)).ok());
+  }
+  Result<StrandId> id = (*writer)->Finish(20 * placement.granularity);
+  ASSERT_TRUE(id.ok());
+  EXPECT_LT(store_.allocator().free_sectors(), free_before);
+  ASSERT_TRUE(store_.Delete(*id).ok());
+  EXPECT_EQ(store_.allocator().free_sectors(), free_before);
+  EXPECT_EQ(store_.Get(*id).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(store_.Delete(*id).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(StrandStoreTest, IndexBlocksArePersisted) {
+  // A strand with many blocks must consume extra space for PBs/SB/HB.
+  const StrandPlacement placement{1, 0.0, 0.050};
+  Result<std::unique_ptr<StrandWriter>> writer = store_.CreateStrand(TestAudio(), placement);
+  ASSERT_TRUE(writer.ok());
+  for (int64_t b = 0; b < 300; ++b) {  // > one primary block (fanout 256)
+    ASSERT_TRUE((*writer)->AppendBlock(std::vector<uint8_t>(1, 7)).ok());
+  }
+  const int64_t free_before_finish = store_.allocator().free_sectors();
+  Result<StrandId> id = (*writer)->Finish(300);
+  ASSERT_TRUE(id.ok());
+  // 2 PBs + 1 SB + 1 HB at one sector minimum each.
+  EXPECT_LE(store_.allocator().free_sectors(), free_before_finish - 4);
+  Result<const Strand*> strand = store_.Get(*id);
+  ASSERT_TRUE(strand.ok());
+  EXPECT_EQ((*strand)->index().primary_block_count(), 2);
+}
+
+TEST_F(StrandStoreTest, WriterRejectsOversizedPayload) {
+  const StrandPlacement placement = VideoPlacement();
+  Result<std::unique_ptr<StrandWriter>> writer = store_.CreateStrand(TestVideo(), placement);
+  ASSERT_TRUE(writer.ok());
+  const int64_t block_bytes = placement.granularity * 16384 / 8;
+  std::vector<uint8_t> oversized(static_cast<size_t>(block_bytes) + 512 + 1);
+  EXPECT_EQ((*writer)->AppendBlock(oversized).status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ((*writer)->AppendBlock({}).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(StrandStoreTest, UseAfterFinishRejected) {
+  Result<std::unique_ptr<StrandWriter>> writer =
+      store_.CreateStrand(TestVideo(), VideoPlacement());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendBlock(std::vector<uint8_t>(100, 1)).ok());
+  ASSERT_TRUE((*writer)->Finish(1).ok());
+  EXPECT_EQ((*writer)->AppendBlock(std::vector<uint8_t>(100, 1)).status().code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ((*writer)->AppendSilence().code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ((*writer)->Finish(1).status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(StrandStoreTest, CreateStrandValidatesArguments) {
+  EXPECT_FALSE(store_.CreateStrand(TestVideo(), StrandPlacement{0, 0, 0.01}).ok());
+  EXPECT_FALSE(store_.CreateStrand(TestVideo(), StrandPlacement{4, 0, -0.5}).ok());
+  MediaProfile bad = TestVideo();
+  bad.bits_per_unit = 0;
+  EXPECT_FALSE(store_.CreateStrand(bad, StrandPlacement{4, 0, 0.01}).ok());
+}
+
+TEST_F(StrandStoreTest, UnitsInBlockHandlesPartialTail) {
+  const StrandPlacement placement{4, 0.0, 0.050};
+  Result<std::unique_ptr<StrandWriter>> writer = store_.CreateStrand(TestVideo(), placement);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendBlock(std::vector<uint8_t>(8192, 1)).ok());
+  ASSERT_TRUE((*writer)->AppendBlock(std::vector<uint8_t>(4096, 2)).ok());
+  Result<StrandId> id = (*writer)->Finish(6);  // 4 + 2
+  ASSERT_TRUE(id.ok());
+  Result<const Strand*> strand = store_.Get(*id);
+  ASSERT_TRUE(strand.ok());
+  EXPECT_EQ((*strand)->UnitsInBlock(0), 4);
+  EXPECT_EQ((*strand)->UnitsInBlock(1), 2);
+}
+
+TEST_F(StrandStoreTest, AllIdsEnumeratesStrands) {
+  EXPECT_TRUE(store_.AllIds().empty());
+  Result<std::unique_ptr<StrandWriter>> writer =
+      store_.CreateStrand(TestVideo(), VideoPlacement());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendBlock(std::vector<uint8_t>(100, 1)).ok());
+  Result<StrandId> id = (*writer)->Finish(1);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(store_.AllIds(), std::vector<StrandId>{*id});
+}
+
+}  // namespace
+}  // namespace vafs

@@ -1,0 +1,60 @@
+// Shared fixtures and parameter sets for vaFS tests: a small, fast disk
+// geometry and media profiles scaled down so recording seconds of media
+// touches hundreds (not hundreds of thousands) of simulated sectors.
+
+#ifndef VAFS_TESTS_TEST_SUPPORT_H_
+#define VAFS_TESTS_TEST_SUPPORT_H_
+
+#include "src/core/continuity.h"
+#include "src/core/profiles.h"
+#include "src/disk/disk_model.h"
+#include "src/media/media.h"
+#include "src/vafs/file_system.h"
+
+namespace vafs {
+
+// ~13 MB disk: 200 cylinders x 4 surfaces x 32 sectors x 512 B.
+inline DiskParameters TestDiskParameters() {
+  DiskParameters params;
+  params.cylinders = 200;
+  params.surfaces = 4;
+  params.sectors_per_track = 32;
+  params.bytes_per_sector = 512;
+  params.rpm = 3600.0;
+  params.min_seek_ms = 2.0;
+  params.max_seek_ms = 20.0;
+  return params;
+}
+
+// Small video: 30 fps, 2 KB frames (~0.5 Mbit/s).
+inline MediaProfile TestVideo() { return MediaProfile{Medium::kVideo, 30.0, 16'384}; }
+
+// Small audio: 4000 samples/s, 8-bit.
+inline MediaProfile TestAudio() { return MediaProfile{Medium::kAudio, 4000.0, 8}; }
+
+inline StorageTimings TestStorage() {
+  return StorageTimings::FromDiskModel(DiskModel(TestDiskParameters()));
+}
+
+inline DeviceProfile TestVideoDevice() {
+  // Decodes at 4x the stream bit rate; 8 frame buffers.
+  return DeviceProfile{TestVideo().BitRate() * 4.0, 8};
+}
+
+inline DeviceProfile TestAudioDevice() {
+  // 16x-rate decode; 8192-sample internal buffer (audio buffers are cheap).
+  return DeviceProfile{TestAudio().BitRate() * 16.0, 8192};
+}
+
+inline FileSystemConfig TestConfig() {
+  FileSystemConfig config;
+  config.disk = TestDiskParameters();
+  config.video_device = TestVideoDevice();
+  config.audio_device = TestAudioDevice();
+  config.architecture = RetrievalArchitecture::kPipelined;
+  return config;
+}
+
+}  // namespace vafs
+
+#endif  // VAFS_TESTS_TEST_SUPPORT_H_

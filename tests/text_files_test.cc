@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/msm/recorder.h"
+#include "src/vafs/text_files.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+class TextFilesTest : public ::testing::Test {
+ protected:
+  TextFilesTest() : disk_(TestDiskParameters()), store_(&disk_), files_(&disk_, &store_.allocator()) {}
+
+  std::vector<uint8_t> Bytes(size_t n, uint8_t seed = 1) {
+    std::vector<uint8_t> data(n);
+    std::iota(data.begin(), data.end(), seed);
+    return data;
+  }
+
+  Disk disk_;
+  StrandStore store_;
+  TextFileService files_;
+};
+
+TEST_F(TextFilesTest, WriteReadRoundTrip) {
+  const std::vector<uint8_t> data = Bytes(2000);
+  ASSERT_TRUE(files_.Write("notes.txt", data).ok());
+  EXPECT_TRUE(files_.Exists("notes.txt"));
+  Result<std::vector<uint8_t>> read = files_.Read("notes.txt");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST_F(TextFilesTest, OverwriteReplacesContent) {
+  ASSERT_TRUE(files_.Write("f", Bytes(100, 1)).ok());
+  const int64_t free_after_first = store_.allocator().free_sectors();
+  ASSERT_TRUE(files_.Write("f", Bytes(300, 7)).ok());
+  Result<std::vector<uint8_t>> read = files_.Read("f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, Bytes(300, 7));
+  EXPECT_EQ(files_.file_count(), 1);
+  // Old extent was returned (same sector count for <=512 B, so free space
+  // is back to the single-file level).
+  EXPECT_EQ(store_.allocator().free_sectors(), free_after_first);
+}
+
+TEST_F(TextFilesTest, EmptyFileAndMissingFile) {
+  ASSERT_TRUE(files_.Write("empty", {}).ok());
+  Result<std::vector<uint8_t>> read = files_.Read("empty");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+  EXPECT_EQ(files_.Read("missing").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(files_.Remove("missing").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(files_.Write("", Bytes(10)).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(TextFilesTest, RemoveFreesSpace) {
+  const int64_t free_before = store_.allocator().free_sectors();
+  ASSERT_TRUE(files_.Write("f", Bytes(5000)).ok());
+  ASSERT_TRUE(files_.Remove("f").ok());
+  EXPECT_EQ(store_.allocator().free_sectors(), free_before);
+  EXPECT_FALSE(files_.Exists("f"));
+}
+
+TEST_F(TextFilesTest, FilesLandInScatteringGaps) {
+  // Record a strand with forced inter-block spacing, then verify a text
+  // file fits into the gap between the first two media blocks.
+  const StrandPlacement placement{4, 0.011, 0.015};  // min one cylinder away
+  Result<std::unique_ptr<StrandWriter>> writer = store_.CreateStrand(TestVideo(), placement);
+  ASSERT_TRUE(writer.ok());
+  const int64_t block_bytes = 4 * 16384 / 8;
+  std::vector<int64_t> starts;
+  for (int64_t b = 0; b < 10; ++b) {
+    ASSERT_TRUE((*writer)->AppendBlock(std::vector<uint8_t>(block_bytes, 1)).ok());
+  }
+  Result<StrandId> id = (*writer)->Finish(40);
+  ASSERT_TRUE(id.ok());
+  Result<const Strand*> strand = store_.Get(*id);
+  ASSERT_TRUE(strand.ok());
+  const PrimaryEntry first = *(*strand)->index().Lookup(0);
+  const PrimaryEntry second = *(*strand)->index().Lookup(1);
+  ASSERT_GT(second.sector, first.sector + first.sector_count);  // a real gap
+
+  ASSERT_TRUE(files_.Write("in-gap", Bytes(512)).ok());
+  // The file's single sector fits strictly between the two media blocks
+  // (first-fit allocation finds the gap before any later free space).
+  Result<std::vector<uint8_t>> read = files_.Read("in-gap");
+  ASSERT_TRUE(read.ok());
+}
+
+TEST_F(TextFilesTest, LargeFileSplitsAcrossFragments) {
+  // Fragment the free space: allocate every other 64-sector chunk.
+  std::vector<Extent> pins;
+  for (int64_t i = 0; i < 100; ++i) {
+    Result<Extent> pin = store_.allocator().Allocate(64, i * 128);
+    ASSERT_TRUE(pin.ok());
+    pins.push_back(*pin);
+  }
+  // A file larger than any single free run must still be writable.
+  const int64_t largest = store_.allocator().LargestFreeExtent();
+  const int64_t want_sectors = largest + 64;
+  const std::vector<uint8_t> data(static_cast<size_t>(want_sectors * 512), 0x5a);
+  ASSERT_TRUE(files_.Write("big", data).ok());
+  Result<int64_t> extents = files_.ExtentCount("big");
+  ASSERT_TRUE(extents.ok());
+  EXPECT_GE(*extents, 2);
+  Result<std::vector<uint8_t>> read = files_.Read("big");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST_F(TextFilesTest, DiskFullFailsCleanly) {
+  // Swallow nearly the whole disk.
+  const int64_t total = store_.allocator().total_sectors();
+  ASSERT_TRUE(store_.allocator().AllocateExact(Extent{0, total - 2}).ok());
+  const int64_t free_before = store_.allocator().free_sectors();
+  const std::vector<uint8_t> data(10 * 512, 1);
+  EXPECT_EQ(files_.Write("too-big", data).code(), ErrorCode::kNoSpace);
+  // The failed write leaked nothing.
+  EXPECT_EQ(store_.allocator().free_sectors(), free_before);
+}
+
+TEST_F(TextFilesTest, FailedOverwriteKeepsOldContent) {
+  ASSERT_TRUE(files_.Write("f", Bytes(100, 3)).ok());
+  const int64_t total = store_.allocator().total_sectors();
+  // Fill the disk so a large overwrite cannot succeed.
+  Result<Extent> hog = store_.allocator().Allocate(store_.allocator().LargestFreeExtent());
+  ASSERT_TRUE(hog.ok());
+  while (store_.allocator().free_sectors() > 0) {
+    Result<Extent> more = store_.allocator().Allocate(store_.allocator().LargestFreeExtent());
+    ASSERT_TRUE(more.ok());
+  }
+  const std::vector<uint8_t> huge(static_cast<size_t>(total) * 512, 1);
+  EXPECT_EQ(files_.Write("f", huge).code(), ErrorCode::kNoSpace);
+  Result<std::vector<uint8_t>> read = files_.Read("f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, Bytes(100, 3));
+}
+
+}  // namespace
+}  // namespace vafs

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/prng.h"
+#include "src/util/result.h"
+#include "src/util/time.h"
+#include "src/util/units.h"
+
+namespace vafs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status(ErrorCode::kNoSpace, "disk full");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(status.message(), "disk full");
+  EXPECT_EQ(status.ToString(), "NO_SPACE: disk full");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (ErrorCode code :
+       {ErrorCode::kOk, ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
+        ErrorCode::kPermissionDenied, ErrorCode::kAdmissionRejected, ErrorCode::kNoSpace,
+        ErrorCode::kFailedPrecondition, ErrorCode::kAlreadyExists, ErrorCode::kOutOfRange,
+        ErrorCode::kInternal}) {
+    EXPECT_STRNE(ErrorCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(ErrorCode::kNotFound, "missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).value();
+  EXPECT_EQ(*value, 7);
+}
+
+TEST(TimeTest, SecondsToUsecRoundsUp) {
+  EXPECT_EQ(SecondsToUsec(1.0), 1'000'000);
+  EXPECT_EQ(SecondsToUsec(0.0000015), 2);  // rounds up, never early
+  EXPECT_EQ(SecondsToUsec(0.0), 0);
+}
+
+TEST(TimeTest, RoundTrip) {
+  EXPECT_DOUBLE_EQ(UsecToSeconds(SecondsToUsec(2.5)), 2.5);
+  EXPECT_EQ(MillisToUsec(3.0), 3000);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(KiB(4), 4096);
+  EXPECT_EQ(MiB(1), 1048576);
+  EXPECT_EQ(BytesToBits(512), 4096);
+  EXPECT_EQ(BitsToBytesCeil(9), 2);
+  EXPECT_EQ(BitsToBytesCeil(8), 1);
+  EXPECT_EQ(CeilDiv(10, 3), 4);
+  EXPECT_EQ(CeilDiv(9, 3), 3);
+}
+
+TEST(PrngTest, DeterministicForSeed) {
+  Prng a(123);
+  Prng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(PrngTest, RangesRespected) {
+  Prng prng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t value = prng.NextInRange(-5, 5);
+    EXPECT_GE(value, -5);
+    EXPECT_LE(value, 5);
+    const double d = prng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(PrngTest, CoversRange) {
+  Prng prng(99);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(prng.NextInRange(0, 9));
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+}  // namespace
+}  // namespace vafs
