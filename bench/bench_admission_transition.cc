@@ -19,6 +19,10 @@
 namespace vafs {
 namespace {
 
+// Every scenario folds its trace into one registry, dumped as JSON at exit.
+obs::MetricsRegistry g_metrics;
+obs::MetricsSink g_metrics_sink(&g_metrics);
+
 struct TransitionResult {
   int streams_admitted = 0;
   int64_t preexisting_violations = 0;  // violations on streams admitted earlier
@@ -51,6 +55,9 @@ TransitionResult RunScenario(bool stepped, int target_streams) {
                              store.AverageScatteringSec());
   SchedulerOptions options;
   options.stepped_transitions = stepped;
+  options.trace = &g_metrics_sink;
+  disk.set_trace_sink(&g_metrics_sink);
+  store.set_trace_sink(&g_metrics_sink);
   ServiceScheduler scheduler(&store, &sim, admission, options);
 
   TransitionResult result;
@@ -121,6 +128,7 @@ BENCHMARK(BM_AdmitOneStream)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   vafs::PrintTransitionTable();
+  vafs::WriteMetricsJson(vafs::g_metrics, "admission_transition");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -21,6 +21,10 @@
 namespace vafs {
 namespace {
 
+// Every run folds its trace into one registry, dumped as JSON at exit.
+obs::MetricsRegistry g_metrics;
+obs::MetricsSink g_metrics_sink(&g_metrics);
+
 struct Outcome {
   int64_t violations = 0;
   double busy_sec = 0.0;
@@ -79,6 +83,9 @@ Outcome RunStreams(ServiceOrder order, int n, int64_t forced_k) {
   options.service_order = order;
   options.bypass_admission = true;  // measure past the pessimistic ceiling
   options.forced_k = forced_k;
+  options.trace = &g_metrics_sink;
+  disk.set_trace_sink(&g_metrics_sink);
+  store.set_trace_sink(&g_metrics_sink);
   ServiceScheduler scheduler(&store, &sim, admission, options);
 
   // Arrival order is a random permutation of disk order: FIFO then pays a
@@ -147,6 +154,7 @@ BENCHMARK(BM_ScanRound)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   vafs::PrintScanTable();
+  vafs::WriteMetricsJson(vafs::g_metrics, "scan");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,11 +9,13 @@
 #define VAFS_BENCH_BENCH_SUPPORT_H_
 
 #include <cstdio>
+#include <string>
 
 #include "src/core/continuity.h"
 #include "src/core/profiles.h"
 #include "src/disk/disk_model.h"
 #include "src/media/media.h"
+#include "src/obs/metrics.h"
 #include "src/vafs/file_system.h"
 
 namespace vafs {
@@ -70,6 +72,23 @@ inline void PrintOperatingPoint(const DiskParameters& disk) {
   std::printf("R_dt = %.2f Mbit/s, l_seek_max = %.1f ms, avg latency = %.1f ms\n",
               timings.transfer_rate_bits_per_sec / 1e6, timings.max_access_gap_sec * 1e3,
               timings.avg_rotational_latency_sec * 1e3);
+}
+
+// Dumps the registry as BENCH_<name>_metrics.json in the working directory:
+// the machine-readable twin of the bench's printed table (per-round service
+// times, disk transfer distributions, admission decisions).
+inline void WriteMetricsJson(const obs::MetricsRegistry& registry, const char* bench_name) {
+  const std::string path = std::string("BENCH_") + bench_name + "_metrics.json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string json = registry.ToJson();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("metrics: %s\n", path.c_str());
 }
 
 }  // namespace vafs

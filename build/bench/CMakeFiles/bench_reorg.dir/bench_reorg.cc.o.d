@@ -211,8 +211,9 @@ bench/CMakeFiles/bench_reorg.dir/bench_reorg.cc.o: \
  /root/repo/src/media/media.h /root/repo/src/util/result.h \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/vafs/file_system.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/array /root/repo/src/vafs/file_system.h \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -241,8 +242,8 @@ bench/CMakeFiles/bench_reorg.dir/bench_reorg.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
- /root/repo/src/core/admission.h /root/repo/src/disk/disk.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
+ /root/repo/src/core/admission.h /root/repo/src/obs/trace.h \
+ /root/repo/src/disk/disk.h /usr/include/c++/12/span \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/media/silence.h \

@@ -226,28 +226,28 @@ examples/CMakeFiles/vafs_shell.dir/vafs_shell.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/result.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/obs/trace.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/array \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/util/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/core/continuity.h /root/repo/src/disk/disk.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/media/silence.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/media/silence.h \
  /root/repo/src/msm/recorder.h /root/repo/src/media/vbr_source.h \
- /root/repo/src/msm/strand_store.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/layout/allocator.h /root/repo/src/layout/strand_index.h \
- /root/repo/src/msm/strand.h /root/repo/src/msm/service_scheduler.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/media/devices.h \
- /root/repo/src/sim/simulator.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/msm/strand_store.h /root/repo/src/layout/allocator.h \
+ /root/repo/src/layout/strand_index.h /root/repo/src/msm/strand.h \
+ /root/repo/src/msm/service_scheduler.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/media/devices.h /root/repo/src/sim/simulator.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \

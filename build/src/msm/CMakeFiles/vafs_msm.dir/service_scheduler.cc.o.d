@@ -229,16 +229,17 @@ src/msm/CMakeFiles/vafs_msm.dir/service_scheduler.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/units.h \
- /root/repo/src/media/media.h /root/repo/src/util/result.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/media/media.h /root/repo/src/obs/trace.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/array \
+ /root/repo/src/util/result.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/layout/strand_index.h /root/repo/src/media/devices.h \
  /root/repo/src/msm/strand_store.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/core/continuity.h /root/repo/src/layout/allocator.h \
- /root/repo/src/disk/disk.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/cstddef /root/repo/src/core/continuity.h \
+ /root/repo/src/layout/allocator.h /root/repo/src/disk/disk.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/msm/strand.h \
  /root/repo/src/sim/simulator.h /usr/include/c++/12/functional \

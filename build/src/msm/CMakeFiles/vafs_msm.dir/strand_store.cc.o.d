@@ -237,9 +237,10 @@ src/msm/CMakeFiles/vafs_msm.dir/strand_store.cc.o: \
  /root/repo/src/disk/disk.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/layout/strand_index.h /root/repo/src/msm/strand.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/obs/trace.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/layout/strand_index.h \
+ /root/repo/src/msm/strand.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

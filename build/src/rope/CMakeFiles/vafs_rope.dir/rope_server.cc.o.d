@@ -240,7 +240,8 @@ src/rope/CMakeFiles/vafs_rope.dir/rope_server.cc.o: \
  /usr/include/c++/12/optional /root/repo/src/disk/disk.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/msm/strand.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/obs/trace.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/msm/strand.h \
  /root/repo/src/msm/scattering_repair.h /root/repo/src/rope/rope.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \

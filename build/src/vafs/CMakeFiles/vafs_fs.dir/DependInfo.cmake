@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/media/CMakeFiles/vafs_media.dir/DependInfo.cmake"
   "/root/repo/build/src/layout/CMakeFiles/vafs_layout.dir/DependInfo.cmake"
   "/root/repo/build/src/disk/CMakeFiles/vafs_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/vafs_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/vafs_util.dir/DependInfo.cmake"
   )
 

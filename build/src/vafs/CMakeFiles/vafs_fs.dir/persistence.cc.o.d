@@ -229,13 +229,14 @@ src/vafs/CMakeFiles/vafs_fs.dir/persistence.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/units.h \
- /root/repo/src/util/result.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/msm/strand_store.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/core/continuity.h \
+ /root/repo/src/obs/trace.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/result.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/msm/strand_store.h /root/repo/src/core/continuity.h \
  /root/repo/src/core/profiles.h /root/repo/src/media/media.h \
  /root/repo/src/layout/allocator.h /usr/include/c++/12/optional \
  /root/repo/src/layout/strand_index.h /root/repo/src/msm/strand.h \

@@ -158,6 +158,7 @@ src/vafs/CMakeFiles/vafs_fs.dir/text_files.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/units.h \
+ /root/repo/src/obs/trace.h /root/repo/src/obs/metrics.h \
  /root/repo/src/util/result.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \

@@ -319,7 +319,8 @@ tests/CMakeFiles/admission_test.dir/admission_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/core/admission.h \
  /root/repo/src/core/profiles.h /root/repo/src/disk/disk_model.h \
  /root/repo/src/util/time.h /root/repo/src/util/units.h \
- /root/repo/src/media/media.h /root/repo/src/util/result.h \
+ /root/repo/src/media/media.h /root/repo/src/obs/trace.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/util/result.h \
  /root/repo/tests/test_support.h /root/repo/src/core/continuity.h \
  /root/repo/src/vafs/file_system.h /root/repo/src/disk/disk.h \
  /usr/include/c++/12/span /root/repo/src/media/silence.h \

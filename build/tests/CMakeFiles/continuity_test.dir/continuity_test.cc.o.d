@@ -320,7 +320,8 @@ tests/CMakeFiles/continuity_test.dir/continuity_test.cc.o: \
  /root/repo/src/util/units.h /root/repo/src/media/media.h \
  /root/repo/src/util/result.h /root/repo/src/core/editing_bounds.h \
  /root/repo/tests/test_support.h /root/repo/src/vafs/file_system.h \
- /root/repo/src/core/admission.h /root/repo/src/disk/disk.h \
+ /root/repo/src/core/admission.h /root/repo/src/obs/trace.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/disk/disk.h \
  /usr/include/c++/12/span /root/repo/src/media/silence.h \
  /root/repo/src/media/sources.h /root/repo/src/util/prng.h \
  /root/repo/src/msm/recorder.h /root/repo/src/media/vbr_source.h \

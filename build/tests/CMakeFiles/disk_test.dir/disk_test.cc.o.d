@@ -318,6 +318,7 @@ tests/CMakeFiles/disk_test.dir/disk_test.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/units.h \
+ /root/repo/src/obs/trace.h /root/repo/src/obs/metrics.h \
  /root/repo/src/util/result.h /root/repo/src/disk/disk_array.h \
  /root/repo/tests/test_support.h /root/repo/src/core/continuity.h \
  /root/repo/src/core/profiles.h /root/repo/src/media/media.h \

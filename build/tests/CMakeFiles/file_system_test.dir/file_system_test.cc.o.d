@@ -317,7 +317,8 @@ tests/CMakeFiles/file_system_test.dir/file_system_test.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/units.h \
- /root/repo/src/media/media.h /root/repo/src/util/result.h \
+ /root/repo/src/media/media.h /root/repo/src/obs/trace.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/util/result.h \
  /root/repo/src/core/continuity.h /root/repo/src/disk/disk.h \
  /usr/include/c++/12/span /root/repo/src/media/silence.h \
  /root/repo/src/media/sources.h /root/repo/src/util/prng.h \

@@ -325,6 +325,7 @@ tests/CMakeFiles/media_test.dir/media_test.cc.o: \
  /root/repo/src/core/continuity.h /root/repo/src/core/profiles.h \
  /root/repo/src/disk/disk_model.h /root/repo/src/util/result.h \
  /root/repo/src/vafs/file_system.h /root/repo/src/core/admission.h \
+ /root/repo/src/obs/trace.h /root/repo/src/obs/metrics.h \
  /root/repo/src/disk/disk.h /root/repo/src/msm/recorder.h \
  /root/repo/src/media/vbr_source.h /root/repo/src/msm/strand_store.h \
  /root/repo/src/layout/allocator.h /root/repo/src/layout/strand_index.h \

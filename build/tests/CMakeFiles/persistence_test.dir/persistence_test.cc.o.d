@@ -322,7 +322,8 @@ tests/CMakeFiles/persistence_test.dir/persistence_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/result.h \
  /root/repo/src/media/silence.h /usr/include/c++/12/span \
  /root/repo/src/msm/strand_store.h /root/repo/src/layout/allocator.h \
- /root/repo/src/disk/disk.h /root/repo/src/layout/strand_index.h \
+ /root/repo/src/disk/disk.h /root/repo/src/obs/trace.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/layout/strand_index.h \
  /root/repo/src/msm/strand.h /root/repo/src/rope/rope_server.h \
  /root/repo/src/msm/reorganizer.h /root/repo/src/msm/scattering_repair.h \
  /root/repo/src/rope/rope.h /root/repo/src/vafs/persistence.h \

@@ -322,6 +322,7 @@ tests/CMakeFiles/recorder_test.dir/recorder_test.cc.o: \
  /root/repo/src/media/sources.h /root/repo/src/util/prng.h \
  /root/repo/src/media/vbr_source.h /root/repo/src/msm/strand_store.h \
  /root/repo/src/layout/allocator.h /root/repo/src/disk/disk.h \
+ /root/repo/src/obs/trace.h /root/repo/src/obs/metrics.h \
  /root/repo/src/layout/strand_index.h /root/repo/src/msm/strand.h \
  /root/repo/tests/test_support.h /root/repo/src/vafs/file_system.h \
  /root/repo/src/core/admission.h /root/repo/src/msm/service_scheduler.h \

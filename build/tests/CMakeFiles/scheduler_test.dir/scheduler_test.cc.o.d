@@ -322,13 +322,14 @@ tests/CMakeFiles/scheduler_test.dir/scheduler_test.cc.o: \
  /root/repo/src/media/sources.h /root/repo/src/util/prng.h \
  /root/repo/src/media/vbr_source.h /root/repo/src/msm/strand_store.h \
  /root/repo/src/layout/allocator.h /root/repo/src/disk/disk.h \
+ /root/repo/src/obs/trace.h /root/repo/src/obs/metrics.h \
  /root/repo/src/layout/strand_index.h /root/repo/src/msm/strand.h \
  /root/repo/src/msm/service_scheduler.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/core/admission.h /root/repo/src/media/devices.h \
  /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/tests/test_support.h \
- /root/repo/src/vafs/file_system.h /root/repo/src/rope/rope_server.h \
- /root/repo/src/msm/reorganizer.h /root/repo/src/msm/scattering_repair.h \
- /root/repo/src/rope/rope.h /root/repo/src/vafs/persistence.h \
- /root/repo/src/vafs/text_files.h
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/obs/auditor.h \
+ /root/repo/tests/test_support.h /root/repo/src/vafs/file_system.h \
+ /root/repo/src/rope/rope_server.h /root/repo/src/msm/reorganizer.h \
+ /root/repo/src/msm/scattering_repair.h /root/repo/src/rope/rope.h \
+ /root/repo/src/vafs/persistence.h /root/repo/src/vafs/text_files.h

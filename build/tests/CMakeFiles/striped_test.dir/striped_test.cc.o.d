@@ -319,7 +319,8 @@ tests/CMakeFiles/striped_test.dir/striped_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/units.h \
  /root/repo/src/media/media.h /root/repo/src/util/result.h \
  /root/repo/src/disk/disk_array.h /root/repo/src/disk/disk.h \
- /usr/include/c++/12/span /root/repo/src/layout/allocator.h \
+ /usr/include/c++/12/span /root/repo/src/obs/trace.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/layout/allocator.h \
  /root/repo/src/layout/strand_index.h /root/repo/src/media/devices.h \
  /root/repo/tests/test_support.h /root/repo/src/vafs/file_system.h \
  /root/repo/src/core/admission.h /root/repo/src/media/silence.h \

@@ -324,7 +324,8 @@ tests/CMakeFiles/vbr_test.dir/vbr_test.cc.o: /root/repo/tests/vbr_test.cc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/result.h \
  /root/repo/src/media/silence.h /usr/include/c++/12/span \
  /root/repo/src/msm/strand_store.h /root/repo/src/layout/allocator.h \
- /root/repo/src/disk/disk.h /root/repo/src/layout/strand_index.h \
+ /root/repo/src/disk/disk.h /root/repo/src/obs/trace.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/layout/strand_index.h \
  /root/repo/src/msm/strand.h /root/repo/src/msm/service_scheduler.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/admission.h \

@@ -93,10 +93,25 @@ Result<std::vector<int64_t>> AdmissionControl::PlanAdmission(
     int64_t current_k) const {
   std::vector<RequestSpec> combined = existing;
   combined.push_back(candidate);
+  auto emit = [&](obs::TraceEventKind kind, int64_t target_k, const std::string& detail) {
+    if (trace_ == nullptr) {
+      return;
+    }
+    obs::TraceEvent event;
+    event.kind = kind;
+    event.k = current_k;
+    event.existing = static_cast<int64_t>(existing.size());
+    event.target_k = target_k;
+    event.n_max = Analyze(combined).n_max;
+    event.detail = detail;
+    trace_->OnEvent(event);
+  };
   Result<int64_t> target = TransientSafeBlocksPerRound(combined);
   if (!target.ok()) {
+    emit(obs::TraceEventKind::kAdmissionReject, 0, target.status().message());
     return target.status();
   }
+  emit(obs::TraceEventKind::kAdmissionPlan, std::max(*target, current_k), "");
   std::vector<int64_t> schedule;
   if (*target <= current_k) {
     // The current round size already covers the enlarged set; the new

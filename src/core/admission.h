@@ -26,6 +26,7 @@
 
 #include "src/core/profiles.h"
 #include "src/media/media.h"
+#include "src/obs/trace.h"
 #include "src/util/result.h"
 
 namespace vafs {
@@ -52,6 +53,11 @@ class AdmissionControl {
   AdmissionControl(StorageTimings storage, double avg_scattering_sec);
 
   double avg_scattering_sec() const { return avg_scattering_sec_; }
+
+  // Optional observability: PlanAdmission reports each decision (the
+  // existing-set size, the combined set's n_max, and the planned k target)
+  // to `sink`. The sink must outlive this object and its copies.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
   // The Eq. 12-14 aggregates for a request set.
   struct Analysis {
@@ -109,6 +115,7 @@ class AdmissionControl {
  private:
   StorageTimings storage_;
   double avg_scattering_sec_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace vafs

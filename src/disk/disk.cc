@@ -9,6 +9,23 @@ namespace vafs {
 Disk::Disk(const DiskParameters& params, DiskOptions options)
     : model_(params), options_(options) {}
 
+namespace {
+
+void EmitTransfer(obs::TraceSink* trace, obs::TraceEventKind kind, int64_t start_sector,
+                  int64_t sectors, SimDuration service) {
+  if (trace == nullptr) {
+    return;
+  }
+  obs::TraceEvent event;
+  event.kind = kind;
+  event.sector = start_sector;
+  event.blocks = sectors;
+  event.duration = service;
+  trace->OnEvent(event);
+}
+
+}  // namespace
+
 void Disk::MoveHeadToCylinder(int64_t cylinder) {
   assert(cylinder >= 0 && cylinder < model_.params().cylinders);
   head_cylinder_ = cylinder;
@@ -43,6 +60,7 @@ Result<SimDuration> Disk::Read(int64_t start_sector, int64_t sectors, std::vecto
   const SimDuration service = Position(start_sector) + model_.TransferTime(sectors);
   ++reads_;
   busy_time_ += service;
+  EmitTransfer(trace_, obs::TraceEventKind::kDiskRead, start_sector, sectors, service);
   // Arm ends on the cylinder of the last sector read.
   head_cylinder_ = model_.SectorToCylinder(start_sector + sectors - 1);
 
@@ -78,6 +96,7 @@ Result<SimDuration> Disk::Write(int64_t start_sector, int64_t sectors,
   const SimDuration service = Position(start_sector) + model_.TransferTime(sectors);
   ++writes_;
   busy_time_ += service;
+  EmitTransfer(trace_, obs::TraceEventKind::kDiskWrite, start_sector, sectors, service);
   head_cylinder_ = model_.SectorToCylinder(start_sector + sectors - 1);
 
   if (options_.retain_data && !data.empty()) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/disk/disk_model.h"
+#include "src/obs/trace.h"
 #include "src/util/result.h"
 #include "src/util/time.h"
 
@@ -62,12 +63,17 @@ class Disk {
   int64_t writes() const { return writes_; }
   SimDuration busy_time() const { return busy_time_; }
 
+  // Optional observability: every Read/Write reports its extent and
+  // simulated service time to `sink`. The sink must outlive the disk.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
  private:
   Status ValidateExtent(int64_t start_sector, int64_t sectors) const;
   SimDuration Position(int64_t start_sector);
 
   DiskModel model_;
   Options options_;
+  obs::TraceSink* trace_ = nullptr;
   int64_t head_cylinder_ = 0;
   int64_t reads_ = 0;
   int64_t writes_ = 0;

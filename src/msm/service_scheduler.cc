@@ -9,16 +9,18 @@ namespace vafs {
 
 ServiceScheduler::ServiceScheduler(StrandStore* store, Simulator* simulator,
                                    AdmissionControl admission, SchedulerOptions options)
-    : store_(store), simulator_(simulator), admission_(std::move(admission)), options_(options) {}
+    : store_(store), simulator_(simulator), admission_(std::move(admission)), options_(options) {
+  admission_.set_trace_sink(options_.trace);
+}
 
-std::vector<RequestSpec> ServiceScheduler::ActiveSpecs(bool include_paused) const {
+std::vector<RequestSpec> ServiceScheduler::SlotHolderSpecs() const {
   std::vector<RequestSpec> specs;
   for (const auto& [id, request] : requests_) {
     if (request.stats.completed) {
       continue;
     }
-    if (request.stats.paused && !include_paused) {
-      continue;
+    if (request.stats.paused && request.destructively_paused) {
+      continue;  // the slot was released at pause time
     }
     if (request.playback.has_value()) {
       specs.push_back(request.playback->spec);
@@ -29,21 +31,70 @@ std::vector<RequestSpec> ServiceScheduler::ActiveSpecs(bool include_paused) cons
   return specs;
 }
 
+bool ServiceScheduler::IsPending(RequestId id) const {
+  return std::any_of(pending_.begin(), pending_.end(),
+                     [id](const PendingAdmission& pending) { return pending.id == id; });
+}
+
+obs::SlotSnapshot ServiceScheduler::Snapshot() const {
+  obs::SlotSnapshot snapshot;
+  for (const auto& [id, request] : requests_) {
+    if (request.stats.completed) {
+      continue;
+    }
+    if (request.stats.paused) {
+      if (request.destructively_paused) {
+        ++snapshot.paused_destructive;
+      } else {
+        ++snapshot.paused_nondestructive;
+      }
+    } else if (IsPending(id)) {
+      ++snapshot.pending;
+    } else {
+      ++snapshot.active;
+    }
+  }
+  return snapshot;
+}
+
+obs::TraceEvent ServiceScheduler::TraceContext() const {
+  obs::TraceEvent event;
+  event.time = simulator_->Now();
+  event.round = rounds_;
+  event.k = current_k_;
+  event.slots = Snapshot();
+  return event;
+}
+
+void ServiceScheduler::Emit(const obs::TraceEvent& event) const {
+  if (options_.trace != nullptr) {
+    options_.trace->OnEvent(event);
+  }
+}
+
 Result<RequestId> ServiceScheduler::Submit(ActiveRequest request, const RequestSpec& spec) {
   // Admission: existing = every request still holding a slot (active,
-  // pending, or non-destructively paused).
+  // pending, or non-destructively paused); destructively paused requests
+  // released theirs and must not be charged.
   Result<std::vector<int64_t>> schedule = std::vector<int64_t>{};
   if (options_.bypass_admission) {
     // Overload experiments: take everyone at a fixed round size.
     schedule->push_back(options_.forced_k > 0 ? options_.forced_k : current_k_);
   } else {
-    const std::vector<RequestSpec> existing = ActiveSpecs(/*include_paused=*/true);
-    schedule = admission_.PlanAdmission(existing, spec, current_k_);
+    schedule = admission_.PlanAdmission(SlotHolderSpecs(), spec, current_k_);
     if (!schedule.ok()) {
+      obs::TraceEvent event = TraceContext();
+      event.kind = obs::TraceEventKind::kSubmitRejected;
+      event.detail = schedule.status().message();
+      Emit(event);
       return schedule.status();
     }
   }
   if (options_.max_k > 0 && schedule->back() > options_.max_k) {
+    obs::TraceEvent event = TraceContext();
+    event.kind = obs::TraceEventKind::kSubmitRejected;
+    event.detail = "needs k beyond configured maximum";
+    Emit(event);
     return Status(ErrorCode::kAdmissionRejected,
                   "admitting would need k=" + std::to_string(schedule->back()) +
                       " > configured maximum " + std::to_string(options_.max_k));
@@ -74,6 +125,11 @@ Result<RequestId> ServiceScheduler::Submit(ActiveRequest request, const RequestS
   }
   requests_.emplace(id, std::move(request));
   pending_.push_back(std::move(pending));
+  obs::TraceEvent event = TraceContext();
+  event.kind = obs::TraceEventKind::kSubmitAccepted;
+  event.request = id;
+  event.target_k = pending_.back().k_schedule.back();
+  Emit(event);
   ScheduleRound();
   return id;
 }
@@ -140,6 +196,12 @@ void ServiceScheduler::FinishRequest(ActiveRequest* request, SimTime now) {
     request->stats.capture_overflows = request->producer->overflows();
     request->producer.reset();
   }
+  obs::TraceEvent event = TraceContext();
+  event.kind = obs::TraceEventKind::kCompleted;
+  event.time = now;
+  event.request = request->stats.id;
+  event.blocks = request->stats.blocks_done;
+  Emit(event);
 }
 
 int64_t ServiceScheduler::ServicePlayback(ActiveRequest* request, SimTime* now) {
@@ -179,7 +241,7 @@ int64_t ServiceScheduler::ServicePlayback(ActiveRequest* request, SimTime* now) 
           request->consumer->BlockReady(ready);
         }
         request->prelude_ready_times.clear();
-        if (request->stats.startup_latency == 0) {
+        if (request->stats.startup_latency == RequestStats::kUnsetLatency) {
           request->stats.startup_latency = start - request->stats.submit_time;
         }
       }
@@ -232,18 +294,37 @@ int64_t ServiceScheduler::ServiceRecording(ActiveRequest* request, SimTime* now)
 void ServiceScheduler::RunRound() {
   round_scheduled_ = false;
   ++rounds_;
-  SimTime now = simulator_->Now();
+  const SimTime round_start = simulator_->Now();
+  SimTime now = round_start;
 
-  // Phase in at most one admission step per round.
+  // Phase in at most one admission step per round. A queued admission's
+  // schedule was planned against the k of its submit instant; if earlier
+  // transitions have since raised k, the stale low steps are skipped — k
+  // only ever shrinks when a slot is released, never mid-ramp. The first
+  // unskipped step is then at most current_k_ + 1, preserving Eq. 18's
+  // one-step-per-round bound.
   if (!pending_.empty()) {
     PendingAdmission& front = pending_.front();
     assert(!front.k_schedule.empty());
-    current_k_ = front.k_schedule.front();
+    while (front.k_schedule.size() > 1 && front.k_schedule.front() <= current_k_) {
+      front.k_schedule.pop_front();
+    }
+    current_k_ = std::max(current_k_, front.k_schedule.front());
     front.k_schedule.pop_front();
     if (front.k_schedule.empty()) {
-      service_order_.push_back(front.id);
+      const RequestId activated = front.id;
+      service_order_.push_back(activated);
       pending_.pop_front();
+      obs::TraceEvent event = TraceContext();
+      event.kind = obs::TraceEventKind::kActivated;
+      event.request = activated;
+      Emit(event);
     }
+  }
+  if (options_.trace != nullptr) {
+    obs::TraceEvent event = TraceContext();
+    event.kind = obs::TraceEventKind::kRoundStart;
+    Emit(event);
   }
 
   // Section 6.2 SCAN option: service this round's requests in disk-position
@@ -266,8 +347,34 @@ void ServiceScheduler::RunRound() {
     if (request.stats.start_time < 0) {
       request.stats.start_time = now;
     }
-    transferred_total += request.playback.has_value() ? ServicePlayback(&request, &now)
-                                                      : ServiceRecording(&request, &now);
+    const int64_t transferred = request.playback.has_value() ? ServicePlayback(&request, &now)
+                                                             : ServiceRecording(&request, &now);
+    transferred_total += transferred;
+    if (options_.trace != nullptr) {
+      obs::TraceEvent event = TraceContext();
+      event.kind = obs::TraceEventKind::kRequestServiced;
+      event.time = now;
+      event.request = id;
+      event.blocks = transferred;
+      if (request.playback.has_value()) {
+        event.block_playback = static_cast<SimDuration>(
+            static_cast<double>(request.playback->block_duration) /
+            request.playback->rate_multiplier);
+      } else {
+        event.block_playback = SecondsToUsec(
+            static_cast<double>(request.recording->placement.granularity) /
+            request.recording->profile.units_per_sec);
+      }
+      Emit(event);
+    }
+  }
+  if (options_.trace != nullptr) {
+    obs::TraceEvent event = TraceContext();
+    event.kind = obs::TraceEventKind::kRoundEnd;
+    event.time = now;
+    event.duration = now - round_start;
+    event.blocks = transferred_total;
+    Emit(event);
   }
   simulator_->RunUntil(now);  // account the disk time this round consumed
 
@@ -322,15 +429,23 @@ Status ServiceScheduler::Stop(RequestId id) {
   if (request.stats.completed) {
     return Status::Ok();
   }
-  // A stopped recording keeps what it captured so far.
-  if (request.writer != nullptr && request.stats.blocks_done > 0) {
-    const int64_t units =
-        request.stats.blocks_done * request.recording->placement.granularity;
-    Result<StrandId> finished = request.writer->Finish(units);
-    if (finished.ok()) {
-      request.stats.recorded_strand = *finished;
+  // A stopped recording keeps what it captured so far; one that never wrote
+  // a block is aborted outright (destroying the writer returns any
+  // allocated extents), leaving no half-created strand behind.
+  if (request.writer != nullptr) {
+    if (request.stats.blocks_done > 0) {
+      const int64_t units =
+          request.stats.blocks_done * request.recording->placement.granularity;
+      Result<StrandId> finished = request.writer->Finish(units);
+      if (finished.ok()) {
+        request.stats.recorded_strand = *finished;
+      }
     }
     request.writer.reset();
+  }
+  if (request.producer != nullptr) {
+    request.stats.capture_overflows = request.producer->overflows();
+    request.producer.reset();
   }
   FoldConsumer(request.consumer.get(), &request.stats);
   request.consumer.reset();
@@ -338,6 +453,11 @@ Status ServiceScheduler::Stop(RequestId id) {
   request.stats.completion_time = simulator_->Now();
   std::erase(service_order_, id);
   std::erase_if(pending_, [id](const PendingAdmission& p) { return p.id == id; });
+  obs::TraceEvent event = TraceContext();
+  event.kind = obs::TraceEventKind::kStop;
+  event.request = id;
+  event.blocks = request.stats.blocks_done;
+  Emit(event);
   return Status::Ok();
 }
 
@@ -358,12 +478,20 @@ Status ServiceScheduler::Pause(RequestId id, bool destructive) {
   request.consumer.reset();
   request.prelude_ready_times.clear();
   if (destructive) {
-    // The slot is released; a smaller request set may allow a smaller k.
-    Result<int64_t> k = admission_.TransientSafeBlocksPerRound(ActiveSpecs(true));
+    // The slot is released now: leave the rotation and any pending k ramp,
+    // and let the remaining slot holders settle to a smaller k.
+    std::erase(service_order_, id);
+    std::erase_if(pending_, [id](const PendingAdmission& p) { return p.id == id; });
+    Result<int64_t> k = admission_.TransientSafeBlocksPerRound(SlotHolderSpecs());
     if (k.ok() && *k < current_k_) {
       current_k_ = *k;
     }
   }
+  obs::TraceEvent event = TraceContext();
+  event.kind = obs::TraceEventKind::kPause;
+  event.request = id;
+  event.destructive = destructive;
+  Emit(event);
   return Status::Ok();
 }
 
@@ -378,24 +506,39 @@ Status ServiceScheduler::Resume(RequestId id) {
   }
   if (!request.destructively_paused) {
     request.stats.paused = false;
+    obs::TraceEvent event = TraceContext();
+    event.kind = obs::TraceEventKind::kResume;
+    event.request = id;
+    Emit(event);
     ScheduleRound();
     return Status::Ok();
   }
-  // Destructive pause released the slot: re-run admission control.
+  // Destructive pause released the slot: re-run admission control. The
+  // resuming request holds no slot, so SlotHolderSpecs excludes it — it is
+  // presented only once, as the candidate.
   const RequestSpec spec = request.playback.has_value() ? request.playback->spec
                                                         : request.recording->Spec();
-  std::vector<RequestSpec> existing = ActiveSpecs(/*include_paused=*/true);
-  Result<std::vector<int64_t>> schedule = admission_.PlanAdmission(existing, spec, current_k_);
+  Result<std::vector<int64_t>> schedule =
+      admission_.PlanAdmission(SlotHolderSpecs(), spec, current_k_);
   if (!schedule.ok()) {
+    obs::TraceEvent event = TraceContext();
+    event.kind = obs::TraceEventKind::kResumeRejected;
+    event.request = id;
+    event.detail = schedule.status().message();
+    Emit(event);
     return schedule.status();
   }
   request.stats.paused = false;
   request.destructively_paused = false;
-  std::erase(service_order_, id);  // rejoin through the pending queue
   PendingAdmission pending;
   pending.id = id;
   pending.k_schedule.assign(schedule->begin(), schedule->end());
-  pending_.push_back(std::move(pending));
+  pending_.push_back(std::move(pending));  // rejoin through the pending queue
+  obs::TraceEvent event = TraceContext();
+  event.kind = obs::TraceEventKind::kResume;
+  event.request = id;
+  event.destructive = true;
+  Emit(event);
   ScheduleRound();
   return Status::Ok();
 }

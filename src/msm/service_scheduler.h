@@ -28,6 +28,7 @@
 #include "src/layout/strand_index.h"
 #include "src/media/devices.h"
 #include "src/msm/strand_store.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/util/result.h"
 
@@ -71,7 +72,10 @@ struct RequestStats {
   int64_t continuity_violations = 0;
   SimDuration total_tardiness = 0;
   int64_t max_buffered_blocks = 0;
-  SimDuration startup_latency = 0;  // submit -> first block's playback start
+  // Submit -> first block's playback start; kUnsetLatency until playback
+  // actually starts (zero is a legitimate latency, not a sentinel).
+  static constexpr SimDuration kUnsetLatency = -1;
+  SimDuration startup_latency = kUnsetLatency;
   // Recording only:
   int64_t capture_overflows = 0;
   StrandId recorded_strand = kNullStrand;
@@ -98,6 +102,10 @@ struct SchedulerOptions {
   // test, with a fixed round size (`forced_k`, or the current k if 0).
   bool bypass_admission = false;
   int64_t forced_k = 0;
+  // Optional observability: request lifecycle, admission decisions and
+  // per-round service records are reported here (see src/obs/trace.h).
+  // The sink must outlive the scheduler.
+  obs::TraceSink* trace = nullptr;
 };
 
 class ServiceScheduler {
@@ -113,9 +121,12 @@ class ServiceScheduler {
   // Halts a request; its resources are released at the next round edge.
   Status Stop(RequestId id);
 
-  // PAUSE: a destructive pause releases the request's admission slot (a
-  // later RESUME re-runs admission control); a non-destructive pause keeps
-  // the slot occupied, guaranteeing the RESUME.
+  // PAUSE: a destructive pause releases the request's admission slot
+  // immediately — it leaves the service rotation, stops counting against
+  // admission, and k may shrink to fit the remaining slot holders; a later
+  // RESUME re-runs admission control and may be rejected if the slot was
+  // given away. A non-destructive pause keeps the slot occupied,
+  // guaranteeing the RESUME.
   Status Pause(RequestId id, bool destructive);
   Status Resume(RequestId id);
 
@@ -152,7 +163,16 @@ class ServiceScheduler {
   };
 
   Result<RequestId> Submit(ActiveRequest request, const RequestSpec& spec);
-  std::vector<RequestSpec> ActiveSpecs(bool include_paused) const;
+  // The requests currently holding an admission slot: running, pending, or
+  // non-destructively paused. Destructively paused requests gave theirs up.
+  std::vector<RequestSpec> SlotHolderSpecs() const;
+  bool IsPending(RequestId id) const;
+  // Slot ledger by lifecycle state, for trace events.
+  obs::SlotSnapshot Snapshot() const;
+  // Builds a trace event pre-filled with time/round/k/ledger context; the
+  // caller adds kind-specific fields and passes it to Emit.
+  obs::TraceEvent TraceContext() const;
+  void Emit(const obs::TraceEvent& event) const;
   void ScheduleRound();
   void RunRound();
   // First disk position the request will touch next (for kSeekScan).

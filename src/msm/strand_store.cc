@@ -123,11 +123,22 @@ Result<SimDuration> StrandWriter::AppendBlock(std::span<const uint8_t> payload) 
     return service.status();
   }
 
+  double gap_sec = -1.0;  // -1: first block, no predecessor to gap against
   if (previous_end_sector_ >= 0) {
-    const double gap_sec = UsecToSeconds(
+    gap_sec = UsecToSeconds(
         store_->model().AccessGap(previous_end_sector_ - 1, extent->start_sector));
     total_gap_sec_ += gap_sec;
     max_gap_sec_ = std::max(max_gap_sec_, gap_sec);
+  }
+  if (store_->trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.kind = obs::TraceEventKind::kStrandWrite;
+    event.sector = extent->start_sector;
+    event.blocks = sectors;
+    event.duration = *service;
+    event.gap_sec = gap_sec;
+    event.gap_bound_sec = info_.max_scattering_sec;
+    store_->trace_->OnEvent(event);
   }
   previous_end_sector_ = extent->end_sector();
   extents_.push_back(*extent);

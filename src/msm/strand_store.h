@@ -24,6 +24,7 @@
 #include "src/layout/allocator.h"
 #include "src/layout/strand_index.h"
 #include "src/msm/strand.h"
+#include "src/obs/trace.h"
 #include "src/util/result.h"
 
 namespace vafs {
@@ -107,6 +108,11 @@ class StrandStore {
   const DiskModel& model() const { return disk_->model(); }
   ConstrainedAllocator& allocator() { return allocator_; }
 
+  // Optional observability: every media-block placement (through any
+  // StrandWriter of this store) reports its realized gap against the
+  // strand's scattering contract. The sink must outlive the store.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+
   // Starts a new strand with the given media description and placement
   // contract (granularity + scattering bounds, from
   // ContinuityModel::DerivePlacement).
@@ -163,6 +169,7 @@ class StrandStore {
 
   StrandId next_id_ = 1;
   Disk* disk_;
+  obs::TraceSink* trace_ = nullptr;
   ConstrainedAllocator allocator_;
   std::map<StrandId, StrandRecord> strands_;
 };

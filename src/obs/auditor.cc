@@ -1,0 +1,247 @@
+#include "src/obs/auditor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vafs {
+namespace obs {
+
+ContinuityAuditor::ContinuityAuditor(AuditorOptions options) : options_(options) {}
+
+void ContinuityAuditor::Flag(const TraceEvent& event, std::string what) {
+  violations_.push_back(AuditViolation{event.round, event.time, std::move(what)});
+}
+
+SlotSnapshot ContinuityAuditor::Ledger() const {
+  SlotSnapshot ledger;
+  for (const auto& [id, request] : requests_) {
+    switch (request.state) {
+      case SlotState::kPending:
+        ++ledger.pending;
+        break;
+      case SlotState::kActive:
+        ++ledger.active;
+        break;
+      case SlotState::kPausedNonDestructive:
+        ++ledger.paused_nondestructive;
+        break;
+      case SlotState::kPausedDestructive:
+        ++ledger.paused_destructive;
+        break;
+      case SlotState::kCompleted:
+        break;
+    }
+  }
+  return ledger;
+}
+
+void ContinuityAuditor::CheckLedger(const TraceEvent& event) {
+  const SlotSnapshot replayed = Ledger();
+  if (replayed == event.slots) {
+    return;
+  }
+  auto render = [](const SlotSnapshot& s) {
+    return "{active=" + std::to_string(s.active) + " pending=" + std::to_string(s.pending) +
+           " paused_nd=" + std::to_string(s.paused_nondestructive) +
+           " paused_d=" + std::to_string(s.paused_destructive) + "}";
+  };
+  Flag(event, std::string(TraceEventKindName(event.kind)) +
+                  ": scheduler slot ledger " + render(event.slots) +
+                  " disagrees with replayed lifecycle " + render(replayed));
+}
+
+void ContinuityAuditor::HandleLifecycle(const TraceEvent& event) {
+  auto it = requests_.find(event.request);
+  const bool known = it != requests_.end() && it->second.state != SlotState::kCompleted;
+  switch (event.kind) {
+    case TraceEventKind::kSubmitAccepted:
+      if (known) {
+        Flag(event, "submit of request " + std::to_string(event.request) +
+                        " which already holds a lifecycle state");
+      }
+      requests_[event.request] = RequestState{SlotState::kPending, false};
+      break;
+    case TraceEventKind::kActivated:
+      if (!known) {
+        Flag(event, "activation of unknown request " + std::to_string(event.request));
+        break;
+      }
+      it->second.activated = true;
+      if (it->second.state == SlotState::kPending) {
+        it->second.state = SlotState::kActive;
+      }
+      // A paused request can legitimately reach the head of the pending
+      // queue; it stays paused and only the activated flag advances.
+      break;
+    case TraceEventKind::kPause:
+      if (!known || (it->second.state != SlotState::kActive &&
+                     it->second.state != SlotState::kPending)) {
+        Flag(event, "pause of request " + std::to_string(event.request) +
+                        " which is not running or pending");
+        break;
+      }
+      it->second.state = event.destructive ? SlotState::kPausedDestructive
+                                           : SlotState::kPausedNonDestructive;
+      if (event.destructive) {
+        slot_released_ = true;  // k may legitimately shrink to fit
+      }
+      break;
+    case TraceEventKind::kResume:
+      if (!known || (it->second.state != SlotState::kPausedDestructive &&
+                     it->second.state != SlotState::kPausedNonDestructive)) {
+        Flag(event, "resume of request " + std::to_string(event.request) + " which is not paused");
+        break;
+      }
+      if (it->second.state == SlotState::kPausedDestructive) {
+        // Rejoins through the pending queue after fresh admission.
+        it->second.state = SlotState::kPending;
+        it->second.activated = false;
+      } else {
+        it->second.state = it->second.activated ? SlotState::kActive : SlotState::kPending;
+      }
+      break;
+    case TraceEventKind::kStop:
+    case TraceEventKind::kCompleted:
+      if (!known) {
+        Flag(event, std::string(TraceEventKindName(event.kind)) + " of unknown request " +
+                        std::to_string(event.request));
+        break;
+      }
+      if (it->second.state != SlotState::kPausedDestructive) {
+        slot_released_ = true;
+      }
+      it->second.state = SlotState::kCompleted;
+      break;
+    default:
+      break;
+  }
+  CheckLedger(event);
+}
+
+void ContinuityAuditor::HandleRound(const TraceEvent& event) {
+  switch (event.kind) {
+    case TraceEventKind::kRoundStart:
+      round_open_ = true;
+      round_k_ = event.k;
+      round_saturated_ = true;
+      round_serviced_ = 0;
+      round_min_budget_ = 0;
+      break;
+    case TraceEventKind::kRequestServiced: {
+      if (!round_open_) {
+        Flag(event, "request serviced outside a round");
+        break;
+      }
+      if (event.blocks != round_k_) {
+        round_saturated_ = false;  // completion tail, full buffers, capture lag
+      }
+      const SimDuration budget = event.blocks * event.block_playback;
+      if (round_serviced_ == 0 || budget < round_min_budget_) {
+        round_min_budget_ = budget;
+      }
+      ++round_serviced_;
+      break;
+    }
+    case TraceEventKind::kRoundEnd: {
+      round_open_ = false;
+      CheckLedger(event);
+      if (options_.stepped_transitions && previous_round_k_ >= 0) {
+        if (event.k > previous_round_k_ + 1) {
+          Flag(event, "k jumped " + std::to_string(previous_round_k_) + " -> " +
+                          std::to_string(event.k) + " in one round (Eq. 18 allows one step)");
+        } else if (event.k < previous_round_k_ && !slot_released_) {
+          Flag(event, "k shrank " + std::to_string(previous_round_k_) + " -> " +
+                          std::to_string(event.k) + " without any slot release");
+        }
+      }
+      previous_round_k_ = event.k;
+      slot_released_ = false;
+      if (options_.check_round_time && round_saturated_ && round_serviced_ > 0) {
+        // Eq. 11 on a saturated round: the round must not outlast the
+        // playback of any request's fetched blocks.
+        const double allowed =
+            static_cast<double>(round_min_budget_) * (1.0 + options_.round_time_slack);
+        if (static_cast<double>(event.duration) > allowed) {
+          Flag(event, "round " + std::to_string(event.round) + " took " +
+                          std::to_string(event.duration) + " us but the tightest request's " +
+                          "fetched playback is " + std::to_string(round_min_budget_) +
+                          " us (Eq. 11 violated)");
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ContinuityAuditor::OnEvent(const TraceEvent& event) {
+  switch (event.kind) {
+    case TraceEventKind::kSubmitAccepted:
+    case TraceEventKind::kActivated:
+    case TraceEventKind::kPause:
+    case TraceEventKind::kResume:
+    case TraceEventKind::kStop:
+    case TraceEventKind::kCompleted:
+      HandleLifecycle(event);
+      break;
+    case TraceEventKind::kSubmitRejected:
+    case TraceEventKind::kResumeRejected:
+      // No state change; the snapshot must still agree.
+      CheckLedger(event);
+      break;
+    case TraceEventKind::kAdmissionPlan:
+    case TraceEventKind::kAdmissionReject: {
+      // The candidate must not be pre-counted in the existing set: at plan
+      // time it holds no slot (fresh submit, or destructively paused and
+      // re-applying). The historic Resume double-count shows up here.
+      const int64_t holders = Ledger().Held();
+      if (event.existing != holders) {
+        Flag(event, "admission saw " + std::to_string(event.existing) +
+                        " existing requests but " + std::to_string(holders) +
+                        " hold slots (double-count or leaked slot)");
+      }
+      break;
+    }
+    case TraceEventKind::kRoundStart:
+    case TraceEventKind::kRequestServiced:
+    case TraceEventKind::kRoundEnd:
+      HandleRound(event);
+      break;
+    case TraceEventKind::kStrandWrite:
+      if (event.gap_bound_sec > 0.0 && event.gap_sec > event.gap_bound_sec + 1e-9) {
+        Flag(event, "strand block at sector " + std::to_string(event.sector) +
+                        " placed with a " + std::to_string(event.gap_sec) +
+                        " s gap, over the " + std::to_string(event.gap_bound_sec) +
+                        " s scattering contract");
+      }
+      break;
+    case TraceEventKind::kDiskRead:
+    case TraceEventKind::kDiskWrite:
+      break;
+  }
+}
+
+std::string ContinuityAuditor::Report() const {
+  if (violations_.empty()) {
+    return "audit clean";
+  }
+  std::string report = std::to_string(violations_.size()) + " audit violation(s):";
+  for (const AuditViolation& violation : violations_) {
+    report += "\n  [round " + std::to_string(violation.round) + " t=" +
+              std::to_string(violation.time) + "] " + violation.what;
+  }
+  return report;
+}
+
+std::vector<AuditViolation> ContinuityAuditor::Replay(const std::vector<TraceEvent>& events,
+                                                      AuditorOptions options) {
+  ContinuityAuditor auditor(options);
+  for (const TraceEvent& event : events) {
+    auditor.OnEvent(event);
+  }
+  return auditor.violations_;
+}
+
+}  // namespace obs
+}  // namespace vafs

@@ -1,0 +1,125 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace vafs {
+namespace obs {
+
+void Histogram::Record(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  int bucket = 0;
+  if (value > 1.0) {
+    const uint64_t magnitude = static_cast<uint64_t>(std::ceil(value)) - 1;
+    bucket = std::min(kBuckets - 1, 64 - std::countl_zero(magnitude));
+  }
+  ++buckets_[static_cast<size_t>(bucket)];
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it != counters_.end() ? &it->second : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? &it->second : nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+    }
+    out->push_back(c);
+  }
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  out->append(buffer);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::string json = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    json += first ? "\n" : ",\n";
+    first = false;
+    json += "    \"";
+    AppendEscaped(&json, name);
+    json += "\": " + std::to_string(counter.value());
+  }
+  json += first ? "},\n" : "\n  },\n";
+  json += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    json += first ? "\n" : ",\n";
+    first = false;
+    json += "    \"";
+    AppendEscaped(&json, name);
+    json += "\": ";
+    AppendDouble(&json, gauge.value());
+  }
+  json += first ? "},\n" : "\n  },\n";
+  json += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    json += first ? "\n" : ",\n";
+    first = false;
+    json += "    \"";
+    AppendEscaped(&json, name);
+    json += "\": {\"count\": " + std::to_string(histogram.count());
+    json += ", \"sum\": ";
+    AppendDouble(&json, histogram.sum());
+    json += ", \"min\": ";
+    AppendDouble(&json, histogram.min());
+    json += ", \"max\": ";
+    AppendDouble(&json, histogram.max());
+    json += ", \"mean\": ";
+    AppendDouble(&json, histogram.Mean());
+    // Sparse buckets: [upper_bound, count] pairs for the occupied ones.
+    json += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const int64_t in_bucket = histogram.buckets()[static_cast<size_t>(b)];
+      if (in_bucket == 0) {
+        continue;
+      }
+      if (!first_bucket) {
+        json += ", ";
+      }
+      first_bucket = false;
+      json += "[";
+      AppendDouble(&json, std::ldexp(1.0, b));
+      json += ", " + std::to_string(in_bucket) + "]";
+    }
+    json += "]}";
+  }
+  json += first ? "}\n" : "\n  }\n";
+  json += "}\n";
+  return json;
+}
+
+}  // namespace obs
+}  // namespace vafs

@@ -1,0 +1,91 @@
+// Lightweight metrics for the storage manager's service path.
+//
+// A MetricsRegistry names three instrument kinds: counters (monotonic event
+// totals), gauges (last-written instantaneous values) and histograms
+// (distribution summaries over power-of-two buckets). Components never hold
+// registry state themselves; they emit trace events (src/obs/trace.h) and a
+// MetricsSink folds the stream into a registry. The registry serializes to
+// JSON so benches can drop a machine-readable metrics file next to their
+// printed tables.
+
+#ifndef VAFS_SRC_OBS_METRICS_H_
+#define VAFS_SRC_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace vafs {
+namespace obs {
+
+// Monotonically increasing event total.
+class Counter {
+ public:
+  void Increment(int64_t by = 1) { value_ += by; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Last-written instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Distribution summary. Bucket 0 counts samples <= 1 (including non-positive
+// ones); bucket i counts samples in (2^(i-1), 2^i]; the last bucket absorbs
+// everything larger.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void Record(double value);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double Mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  const std::array<int64_t, kBuckets>& buckets() const { return buckets_; }
+
+ private:
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<int64_t, kBuckets> buckets_{};
+};
+
+class MetricsRegistry {
+ public:
+  // Lookup-or-create by name. References stay valid for the registry's
+  // lifetime (node-based map storage).
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  // Lookup without creating; nullptr when the instrument was never touched.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // Deterministic (name-sorted) JSON image of every instrument.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace obs
+}  // namespace vafs
+
+#endif  // VAFS_SRC_OBS_METRICS_H_

@@ -1,0 +1,119 @@
+#include "src/obs/trace.h"
+
+namespace vafs {
+namespace obs {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kSubmitAccepted:
+      return "submit_accepted";
+    case TraceEventKind::kSubmitRejected:
+      return "submit_rejected";
+    case TraceEventKind::kActivated:
+      return "activated";
+    case TraceEventKind::kPause:
+      return "pause";
+    case TraceEventKind::kResume:
+      return "resume";
+    case TraceEventKind::kResumeRejected:
+      return "resume_rejected";
+    case TraceEventKind::kStop:
+      return "stop";
+    case TraceEventKind::kCompleted:
+      return "completed";
+    case TraceEventKind::kAdmissionPlan:
+      return "admission_plan";
+    case TraceEventKind::kAdmissionReject:
+      return "admission_reject";
+    case TraceEventKind::kRoundStart:
+      return "round_start";
+    case TraceEventKind::kRequestServiced:
+      return "request_serviced";
+    case TraceEventKind::kRoundEnd:
+      return "round_end";
+    case TraceEventKind::kDiskRead:
+      return "disk_read";
+    case TraceEventKind::kDiskWrite:
+      return "disk_write";
+    case TraceEventKind::kStrandWrite:
+      return "strand_write";
+  }
+  return "unknown";
+}
+
+void MetricsSink::OnEvent(const TraceEvent& event) {
+  MetricsRegistry& m = *registry_;
+  switch (event.kind) {
+    case TraceEventKind::kSubmitAccepted:
+      m.counter("scheduler.submits_accepted").Increment();
+      break;
+    case TraceEventKind::kSubmitRejected:
+      m.counter("scheduler.submits_rejected").Increment();
+      break;
+    case TraceEventKind::kActivated:
+      m.counter("scheduler.activations").Increment();
+      break;
+    case TraceEventKind::kPause:
+      m.counter(event.destructive ? "scheduler.pauses_destructive"
+                                  : "scheduler.pauses_nondestructive")
+          .Increment();
+      break;
+    case TraceEventKind::kResume:
+      m.counter("scheduler.resumes").Increment();
+      break;
+    case TraceEventKind::kResumeRejected:
+      m.counter("scheduler.resumes_rejected").Increment();
+      break;
+    case TraceEventKind::kStop:
+      m.counter("scheduler.stops").Increment();
+      break;
+    case TraceEventKind::kCompleted:
+      m.counter("scheduler.completions").Increment();
+      break;
+    case TraceEventKind::kAdmissionPlan:
+      m.counter("admission.plans_accepted").Increment();
+      m.histogram("admission.transition_steps")
+          .Record(static_cast<double>(event.target_k - event.k > 0 ? event.target_k - event.k : 0));
+      break;
+    case TraceEventKind::kAdmissionReject:
+      m.counter("admission.rejections").Increment();
+      break;
+    case TraceEventKind::kRoundStart:
+      break;
+    case TraceEventKind::kRequestServiced:
+      m.counter("scheduler.blocks_serviced").Increment(event.blocks);
+      break;
+    case TraceEventKind::kRoundEnd:
+      m.counter("scheduler.rounds").Increment();
+      m.histogram("scheduler.round_duration_usec").Record(static_cast<double>(event.duration));
+      m.histogram("scheduler.round_blocks").Record(static_cast<double>(event.blocks));
+      m.gauge("scheduler.current_k").Set(static_cast<double>(event.k));
+      m.gauge("scheduler.slots_active").Set(static_cast<double>(event.slots.active));
+      m.gauge("scheduler.slots_pending").Set(static_cast<double>(event.slots.pending));
+      m.gauge("scheduler.slots_paused_nondestructive")
+          .Set(static_cast<double>(event.slots.paused_nondestructive));
+      m.gauge("scheduler.slots_paused_destructive")
+          .Set(static_cast<double>(event.slots.paused_destructive));
+      m.gauge("scheduler.slots_held").Set(static_cast<double>(event.slots.Held()));
+      break;
+    case TraceEventKind::kDiskRead:
+      m.counter("disk.reads").Increment();
+      m.counter("disk.sectors_read").Increment(event.blocks);
+      m.histogram("disk.read_service_usec").Record(static_cast<double>(event.duration));
+      break;
+    case TraceEventKind::kDiskWrite:
+      m.counter("disk.writes").Increment();
+      m.counter("disk.sectors_written").Increment(event.blocks);
+      m.histogram("disk.write_service_usec").Record(static_cast<double>(event.duration));
+      break;
+    case TraceEventKind::kStrandWrite:
+      m.counter("store.strand_blocks_written").Increment();
+      if (event.gap_sec >= 0.0) {
+        m.histogram("store.strand_gap_ms").Record(event.gap_sec * 1e3);
+      }
+      break;
+  }
+}
+
+}  // namespace obs
+}  // namespace vafs

@@ -1,0 +1,129 @@
+// Structured round-trace events for the storage manager's service path.
+//
+// The service scheduler, admission control, disk and strand store emit one
+// TraceEvent per interesting transition (request lifecycle, admission
+// decision, round execution, disk transfer, strand-block placement) into a
+// TraceSink. Sinks compose: TraceLog records the stream for replay, TeeSink
+// fans it out, MetricsSink folds it into a MetricsRegistry, and the
+// ContinuityAuditor (src/obs/auditor.h) checks the paper's service
+// invariants against it after every round.
+
+#ifndef VAFS_SRC_OBS_TRACE_H_
+#define VAFS_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/time.h"
+
+namespace vafs {
+namespace obs {
+
+enum class TraceEventKind {
+  // Request lifecycle (service scheduler).
+  kSubmitAccepted,
+  kSubmitRejected,
+  kActivated,  // left the pending queue, joined the service rotation
+  kPause,
+  kResume,
+  kResumeRejected,
+  kStop,
+  kCompleted,
+  // Admission decisions (admission control).
+  kAdmissionPlan,
+  kAdmissionReject,
+  // Round execution (service scheduler).
+  kRoundStart,
+  kRequestServiced,
+  kRoundEnd,
+  // Device level.
+  kDiskRead,
+  kDiskWrite,
+  kStrandWrite,
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+// Snapshot of the scheduler's admission-slot ledger, attached to lifecycle
+// and round events. A slot is held by running, pending and non-destructively
+// paused requests; a destructive pause gives the slot back.
+struct SlotSnapshot {
+  int64_t active = 0;
+  int64_t pending = 0;
+  int64_t paused_nondestructive = 0;
+  int64_t paused_destructive = 0;
+
+  int64_t Held() const { return active + pending + paused_nondestructive; }
+  bool operator==(const SlotSnapshot&) const = default;
+};
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kRoundStart;
+  SimTime time = 0;       // simulated time (0 for device-level events)
+  int64_t round = 0;      // rounds executed, for round-scoped events
+  uint64_t request = 0;   // request id; 0 = not request-scoped
+  int64_t k = 0;          // scheduler round size at emission
+  int64_t blocks = 0;     // blocks or sectors moved, by kind
+  SimDuration duration = 0;        // service time of the round / transfer
+  SimDuration block_playback = 0;  // effective playback time of one block
+  bool destructive = false;        // kPause / kResume flavor
+  int64_t sector = 0;              // device events: first sector touched
+  // Admission decisions:
+  int64_t existing = 0;  // size of the existing set presented
+  int64_t target_k = 0;  // final k of the planned step schedule
+  int64_t n_max = 0;     // Eq. 17 ceiling of the combined set
+  // Strand writes:
+  double gap_sec = 0.0;        // realized gap to the previous block (-1: first)
+  double gap_bound_sec = 0.0;  // the strand's max-scattering contract
+  SlotSnapshot slots;
+  std::string detail;  // human-readable context, e.g. a rejection reason
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const TraceEvent& event) = 0;
+};
+
+// Records the full event stream for later replay (the round-trace log).
+class TraceLog : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& event) override { events_.push_back(event); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// Fans one event stream out to several sinks (log + auditor + metrics).
+class TeeSink : public TraceSink {
+ public:
+  void Add(TraceSink* sink) { sinks_.push_back(sink); }
+  void OnEvent(const TraceEvent& event) override {
+    for (TraceSink* sink : sinks_) {
+      sink->OnEvent(event);
+    }
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+// Folds the event stream into registry counters/gauges/histograms; keeps no
+// event history of its own.
+class MetricsSink : public TraceSink {
+ public:
+  explicit MetricsSink(MetricsRegistry* registry) : registry_(registry) {}
+  void OnEvent(const TraceEvent& event) override;
+
+ private:
+  MetricsRegistry* registry_;
+};
+
+}  // namespace obs
+}  // namespace vafs
+
+#endif  // VAFS_SRC_OBS_TRACE_H_

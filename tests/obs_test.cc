@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/auditor.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace vafs {
+namespace obs {
+namespace {
+
+TEST(MetricsTest, CountersAndGauges) {
+  MetricsRegistry registry;
+  registry.counter("events").Increment();
+  registry.counter("events").Increment(4);
+  registry.gauge("k").Set(3.0);
+  registry.gauge("k").Set(5.0);
+  EXPECT_EQ(registry.counter("events").value(), 5);
+  EXPECT_EQ(registry.gauge("k").value(), 5.0);
+  ASSERT_NE(registry.FindCounter("events"), nullptr);
+  EXPECT_EQ(registry.FindCounter("events")->value(), 5);
+  EXPECT_EQ(registry.FindCounter("never"), nullptr);
+  EXPECT_EQ(registry.FindGauge("never"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("never"), nullptr);
+}
+
+TEST(MetricsTest, HistogramBuckets) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_EQ(histogram.min(), 0.0);
+  EXPECT_EQ(histogram.Mean(), 0.0);
+  histogram.Record(0.0);   // bucket 0
+  histogram.Record(1.0);   // bucket 0 (<= 1)
+  histogram.Record(2.0);   // bucket 1 ((1, 2])
+  histogram.Record(3.0);   // bucket 2 ((2, 4])
+  histogram.Record(100.0); // bucket 7 ((64, 128])
+  EXPECT_EQ(histogram.count(), 5);
+  EXPECT_EQ(histogram.min(), 0.0);
+  EXPECT_EQ(histogram.max(), 100.0);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 106.0);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 106.0 / 5.0);
+  EXPECT_EQ(histogram.buckets()[0], 2);
+  EXPECT_EQ(histogram.buckets()[1], 1);
+  EXPECT_EQ(histogram.buckets()[2], 1);
+  EXPECT_EQ(histogram.buckets()[7], 1);
+  // Overflow absorbs into the last bucket.
+  histogram.Record(1e30);
+  EXPECT_EQ(histogram.buckets()[Histogram::kBuckets - 1], 1);
+}
+
+TEST(MetricsTest, JsonImageIsDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("b.count").Increment(2);
+  registry.counter("a.count").Increment(1);
+  registry.gauge("k").Set(4.0);
+  registry.histogram("round_usec").Record(100.0);
+  const std::string json = registry.ToJson();
+  // Name-sorted, so a.count precedes b.count.
+  EXPECT_NE(json.find("\"a.count\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"b.count\": 2"), std::string::npos) << json;
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"b.count\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"round_usec\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(TraceTest, LogRecordsAndTeeFansOut) {
+  TraceLog log_a;
+  TraceLog log_b;
+  TeeSink tee;
+  tee.Add(&log_a);
+  tee.Add(&log_b);
+  TraceEvent event;
+  event.kind = TraceEventKind::kRoundStart;
+  event.round = 7;
+  tee.OnEvent(event);
+  ASSERT_EQ(log_a.events().size(), 1u);
+  ASSERT_EQ(log_b.events().size(), 1u);
+  EXPECT_EQ(log_a.events()[0].round, 7);
+  log_a.Clear();
+  EXPECT_TRUE(log_a.events().empty());
+}
+
+TEST(TraceTest, EventKindNamesAreStable) {
+  EXPECT_STREQ(TraceEventKindName(TraceEventKind::kSubmitAccepted), "submit_accepted");
+  EXPECT_STREQ(TraceEventKindName(TraceEventKind::kRoundEnd), "round_end");
+  EXPECT_STREQ(TraceEventKindName(TraceEventKind::kStrandWrite), "strand_write");
+}
+
+TEST(TraceTest, MetricsSinkFoldsEvents) {
+  MetricsRegistry registry;
+  MetricsSink sink(&registry);
+
+  TraceEvent submit;
+  submit.kind = TraceEventKind::kSubmitAccepted;
+  sink.OnEvent(submit);
+  TraceEvent round;
+  round.kind = TraceEventKind::kRoundEnd;
+  round.k = 3;
+  round.blocks = 6;
+  round.duration = 1500;
+  round.slots.active = 2;
+  sink.OnEvent(round);
+  TraceEvent read;
+  read.kind = TraceEventKind::kDiskRead;
+  read.blocks = 64;
+  read.duration = 900;
+  sink.OnEvent(read);
+
+  EXPECT_EQ(registry.FindCounter("scheduler.submits_accepted")->value(), 1);
+  EXPECT_EQ(registry.FindCounter("scheduler.rounds")->value(), 1);
+  EXPECT_EQ(registry.FindGauge("scheduler.current_k")->value(), 3.0);
+  EXPECT_EQ(registry.FindGauge("scheduler.slots_active")->value(), 2.0);
+  EXPECT_EQ(registry.FindHistogram("scheduler.round_duration_usec")->count(), 1);
+  EXPECT_DOUBLE_EQ(registry.FindHistogram("scheduler.round_duration_usec")->sum(), 1500.0);
+  EXPECT_EQ(registry.FindCounter("disk.reads")->value(), 1);
+  EXPECT_EQ(registry.FindCounter("disk.sectors_read")->value(), 64);
+}
+
+// --- Auditor -------------------------------------------------------------
+
+// Builders for a synthetic, internally consistent trace.
+TraceEvent Lifecycle(TraceEventKind kind, uint64_t request, SlotSnapshot slots) {
+  TraceEvent event;
+  event.kind = kind;
+  event.request = request;
+  event.slots = slots;
+  return event;
+}
+
+TraceEvent RoundStart(int64_t round, int64_t k, SlotSnapshot slots) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kRoundStart;
+  event.round = round;
+  event.k = k;
+  event.slots = slots;
+  return event;
+}
+
+TraceEvent Serviced(int64_t round, uint64_t request, int64_t blocks, SimDuration playback) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kRequestServiced;
+  event.round = round;
+  event.request = request;
+  event.blocks = blocks;
+  event.block_playback = playback;
+  return event;
+}
+
+TraceEvent RoundEnd(int64_t round, int64_t k, SimDuration duration, SlotSnapshot slots) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kRoundEnd;
+  event.round = round;
+  event.k = k;
+  event.duration = duration;
+  event.slots = slots;
+  return event;
+}
+
+TEST(AuditorTest, CleanTraceAudits) {
+  const SlotSnapshot one_pending{.pending = 1};
+  const SlotSnapshot one_active{.active = 1};
+  std::vector<TraceEvent> events;
+  events.push_back(Lifecycle(TraceEventKind::kSubmitAccepted, 1, one_pending));
+  events.push_back(Lifecycle(TraceEventKind::kActivated, 1, one_active));
+  events.push_back(RoundStart(1, 1, one_active));
+  events.push_back(Serviced(1, 1, 1, 2000));
+  events.push_back(RoundEnd(1, 1, 1500, one_active));
+  events.push_back(Lifecycle(TraceEventKind::kCompleted, 1, SlotSnapshot{}));
+  ContinuityAuditor auditor;
+  for (const TraceEvent& event : events) {
+    auditor.OnEvent(event);
+  }
+  EXPECT_TRUE(auditor.Clean()) << auditor.Report();
+  EXPECT_EQ(auditor.Report(), "audit clean");
+}
+
+TEST(AuditorTest, FlagsAdmissionDoubleCount) {
+  // One pending slot holder, but admission claims to have seen two existing
+  // requests: the candidate was pre-counted (the historic Resume bug).
+  std::vector<TraceEvent> events;
+  events.push_back(
+      Lifecycle(TraceEventKind::kSubmitAccepted, 1, SlotSnapshot{.pending = 1}));
+  TraceEvent plan;
+  plan.kind = TraceEventKind::kAdmissionPlan;
+  plan.existing = 2;
+  events.push_back(plan);
+  const std::vector<AuditViolation> violations = ContinuityAuditor::Replay(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].what.find("double-count"), std::string::npos);
+}
+
+TEST(AuditorTest, FlagsKJumpBeyondOneStep) {
+  const SlotSnapshot one_active{.active = 1};
+  std::vector<TraceEvent> events;
+  events.push_back(Lifecycle(TraceEventKind::kSubmitAccepted, 1, SlotSnapshot{.pending = 1}));
+  events.push_back(Lifecycle(TraceEventKind::kActivated, 1, one_active));
+  events.push_back(RoundStart(1, 1, one_active));
+  events.push_back(RoundEnd(1, 1, 0, one_active));
+  events.push_back(RoundStart(2, 3, one_active));
+  events.push_back(RoundEnd(2, 3, 0, one_active));  // 1 -> 3 in one round
+  const std::vector<AuditViolation> violations = ContinuityAuditor::Replay(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].what.find("jumped"), std::string::npos);
+  // The naive-jump policy opts out of the stepping check.
+  EXPECT_TRUE(
+      ContinuityAuditor::Replay(events, AuditorOptions{.stepped_transitions = false}).empty());
+}
+
+TEST(AuditorTest, FlagsKShrinkWithoutSlotRelease) {
+  const SlotSnapshot one_active{.active = 1};
+  std::vector<TraceEvent> events;
+  events.push_back(Lifecycle(TraceEventKind::kSubmitAccepted, 1, SlotSnapshot{.pending = 1}));
+  events.push_back(Lifecycle(TraceEventKind::kActivated, 1, one_active));
+  events.push_back(RoundStart(1, 2, one_active));
+  events.push_back(RoundEnd(1, 2, 0, one_active));
+  events.push_back(RoundStart(2, 1, one_active));
+  events.push_back(RoundEnd(2, 1, 0, one_active));  // shrank with no release
+  const std::vector<AuditViolation> violations = ContinuityAuditor::Replay(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].what.find("shrank"), std::string::npos);
+}
+
+TEST(AuditorTest, DestructivePauseJustifiesKShrink) {
+  const SlotSnapshot two_active{.active = 2};
+  std::vector<TraceEvent> events;
+  events.push_back(Lifecycle(TraceEventKind::kSubmitAccepted, 1, SlotSnapshot{.pending = 1}));
+  events.push_back(Lifecycle(TraceEventKind::kActivated, 1, SlotSnapshot{.active = 1}));
+  events.push_back(
+      Lifecycle(TraceEventKind::kSubmitAccepted, 2, SlotSnapshot{.active = 1, .pending = 1}));
+  events.push_back(Lifecycle(TraceEventKind::kActivated, 2, two_active));
+  events.push_back(RoundStart(1, 2, two_active));
+  events.push_back(RoundEnd(1, 2, 0, two_active));
+  TraceEvent pause =
+      Lifecycle(TraceEventKind::kPause, 2, SlotSnapshot{.active = 1, .paused_destructive = 1});
+  pause.destructive = true;
+  events.push_back(pause);
+  const SlotSnapshot after_pause{.active = 1, .paused_destructive = 1};
+  events.push_back(RoundStart(2, 1, after_pause));
+  events.push_back(RoundEnd(2, 1, 0, after_pause));  // shrink is justified
+  EXPECT_TRUE(ContinuityAuditor::Replay(events).empty());
+}
+
+TEST(AuditorTest, FlagsRoundOverrunOnSaturatedRound) {
+  const SlotSnapshot one_active{.active = 1};
+  std::vector<TraceEvent> events;
+  events.push_back(Lifecycle(TraceEventKind::kSubmitAccepted, 1, SlotSnapshot{.pending = 1}));
+  events.push_back(Lifecycle(TraceEventKind::kActivated, 1, one_active));
+  events.push_back(RoundStart(1, 2, one_active));
+  events.push_back(Serviced(1, 1, 2, 1000));       // budget: 2 blocks * 1000 us
+  events.push_back(RoundEnd(1, 2, 2500, one_active));  // took 2500 us: Eq. 11 broken
+  const std::vector<AuditViolation> violations = ContinuityAuditor::Replay(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].what.find("Eq. 11"), std::string::npos);
+  // An unsaturated round (completion tail) is exempt...
+  events[3] = Serviced(1, 1, 1, 1000);
+  EXPECT_TRUE(ContinuityAuditor::Replay(events).empty());
+  // ...and slack can absorb a legitimate overshoot.
+  events[3] = Serviced(1, 1, 2, 1000);
+  EXPECT_TRUE(
+      ContinuityAuditor::Replay(events, AuditorOptions{.round_time_slack = 0.3}).empty());
+}
+
+TEST(AuditorTest, FlagsLedgerMismatch) {
+  std::vector<TraceEvent> events;
+  // Scheduler claims two pending but only one submit was ever traced.
+  events.push_back(Lifecycle(TraceEventKind::kSubmitAccepted, 1, SlotSnapshot{.pending = 2}));
+  const std::vector<AuditViolation> violations = ContinuityAuditor::Replay(events);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].what.find("disagrees"), std::string::npos);
+}
+
+TEST(AuditorTest, FlagsIllegalLifecycleTransitions) {
+  std::vector<TraceEvent> events;
+  events.push_back(Lifecycle(TraceEventKind::kResume, 9, SlotSnapshot{}));  // never submitted
+  events.push_back(Lifecycle(TraceEventKind::kCompleted, 9, SlotSnapshot{}));
+  const std::vector<AuditViolation> violations = ContinuityAuditor::Replay(events);
+  // Resume of an unknown request, then completion of an unknown request.
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_NE(violations[0].what.find("not paused"), std::string::npos);
+  EXPECT_NE(violations[1].what.find("unknown"), std::string::npos);
+}
+
+TEST(AuditorTest, FlagsScatteringContractBreach) {
+  TraceEvent write;
+  write.kind = TraceEventKind::kStrandWrite;
+  write.sector = 4096;
+  write.gap_sec = 0.010;
+  write.gap_bound_sec = 0.004;
+  const std::vector<AuditViolation> violations = ContinuityAuditor::Replay({write});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].what.find("scattering contract"), std::string::npos);
+  // Within the bound (or the first block of a strand) is fine.
+  write.gap_sec = 0.004;
+  EXPECT_TRUE(ContinuityAuditor::Replay({write}).empty());
+  write.gap_sec = -1.0;
+  EXPECT_TRUE(ContinuityAuditor::Replay({write}).empty());
+}
+
+TEST(AuditorTest, NonDestructiveResumeRestoresLedgerColumn) {
+  const SlotSnapshot one_active{.active = 1};
+  std::vector<TraceEvent> events;
+  events.push_back(Lifecycle(TraceEventKind::kSubmitAccepted, 1, SlotSnapshot{.pending = 1}));
+  events.push_back(Lifecycle(TraceEventKind::kActivated, 1, one_active));
+  events.push_back(
+      Lifecycle(TraceEventKind::kPause, 1, SlotSnapshot{.paused_nondestructive = 1}));
+  events.push_back(Lifecycle(TraceEventKind::kResume, 1, one_active));
+  events.push_back(Lifecycle(TraceEventKind::kCompleted, 1, SlotSnapshot{}));
+  EXPECT_TRUE(ContinuityAuditor::Replay(events).empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vafs

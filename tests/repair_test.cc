@@ -3,6 +3,8 @@
 #include "src/core/editing_bounds.h"
 #include "src/msm/recorder.h"
 #include "src/msm/scattering_repair.h"
+#include "src/obs/auditor.h"
+#include "src/obs/trace.h"
 #include "tests/test_support.h"
 
 namespace vafs {
@@ -10,7 +12,15 @@ namespace {
 
 class RepairTest : public ::testing::Test {
  protected:
-  RepairTest() : disk_(TestDiskParameters()), store_(&disk_) {}
+  RepairTest() : disk_(TestDiskParameters()), store_(&disk_) {
+    tee_.Add(&log_);
+    tee_.Add(&auditor_);
+    store_.set_trace_sink(&tee_);
+  }
+
+  // Strict mode: every block placed during the test (original strands and
+  // repair copies alike) must honour its strand's scattering contract.
+  void TearDown() override { EXPECT_TRUE(auditor_.Clean()) << auditor_.Report(); }
 
   // Records a strand whose blocks all sit near `cylinder` (tight window).
   StrandId StrandNearCylinder(int64_t cylinder, int64_t blocks, double max_scattering_sec) {
@@ -30,6 +40,9 @@ class RepairTest : public ::testing::Test {
 
   Disk disk_;
   StrandStore store_;
+  obs::TraceLog log_;
+  obs::ContinuityAuditor auditor_;
+  obs::TeeSink tee_;
 };
 
 TEST_F(RepairTest, AdjacentStrandsNeedNoRepair) {

@@ -4,6 +4,8 @@
 
 #include "src/msm/recorder.h"
 #include "src/msm/service_scheduler.h"
+#include "src/obs/auditor.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "tests/test_support.h"
 
@@ -12,7 +14,22 @@ namespace {
 
 class SchedulerTest : public ::testing::Test {
  protected:
-  SchedulerTest() : disk_(TestDiskParameters()), store_(&disk_) {}
+  SchedulerTest() : disk_(TestDiskParameters()), store_(&disk_) {
+    tee_.Add(&log_);
+    tee_.Add(&auditor_);
+    store_.set_trace_sink(&tee_);
+  }
+
+  // Strict mode: every test's full trace (scheduler rounds, admission
+  // decisions, strand placements) must replay clean through the auditor.
+  void TearDown() override { EXPECT_TRUE(auditor_.Clean()) << auditor_.Report(); }
+
+  // Scheduler options with the trace pipeline attached.
+  SchedulerOptions Traced() {
+    SchedulerOptions options;
+    options.trace = &tee_;
+    return options;
+  }
 
   StrandPlacement VideoPlacement() {
     ContinuityModel model(TestStorage(), TestVideoDevice());
@@ -48,12 +65,20 @@ class SchedulerTest : public ::testing::Test {
   Disk disk_;
   StrandStore store_;
   Simulator sim_;
+  // Trace pipeline: record + audit every event of the test (strict mode).
+  // Admission plans against the fleet-average scattering (Eq. 13), so at
+  // full load a round whose strands scatter worse than average can exceed
+  // its Eq. 11 budget by a small statistical margin; 5% slack absorbs that
+  // spread while still catching systematic overruns.
+  obs::TraceLog log_;
+  obs::ContinuityAuditor auditor_{obs::AuditorOptions{.round_time_slack = 0.05}};
+  obs::TeeSink tee_;
 };
 
 TEST_F(SchedulerTest, SinglePlaybackCompletesWithoutViolations) {
   PlaybackRequest request = MakePlayback(5.0, 1);
   const int64_t total_blocks = static_cast<int64_t>(request.blocks.size());
-  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
   Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
   ASSERT_TRUE(id.ok());
   scheduler.RunUntilIdle();
@@ -72,7 +97,7 @@ TEST_F(SchedulerTest, ManyConcurrentPlaybacksMeetDeadlines) {
   for (int i = 0; i < 3; ++i) {
     requests.push_back(MakePlayback(4.0, 100 + i));
   }
-  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
   std::vector<RequestId> ids;
   for (PlaybackRequest& request : requests) {
     Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
@@ -95,7 +120,7 @@ TEST_F(SchedulerTest, AdmissionRejectsBeyondCeiling) {
   PlaybackRequest prototype = MakePlayback(2.0, 7);
   const int64_t n_max =
       admission.Analyze({RequestSpec{TestVideo(), VideoPlacement().granularity}}).n_max;
-  ServiceScheduler scheduler(&store_, &sim_, admission);
+  ServiceScheduler scheduler(&store_, &sim_, admission, Traced());
   int admitted = 0;
   int rejected = 0;
   for (int64_t i = 0; i < n_max + 3; ++i) {
@@ -117,7 +142,7 @@ TEST_F(SchedulerTest, SteppedAdmissionRaisesKGradually) {
   PlaybackRequest first = MakePlayback(6.0, 11);
   PlaybackRequest second = MakePlayback(6.0, 12);
   PlaybackRequest third = MakePlayback(6.0, 13);
-  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
   ASSERT_TRUE(scheduler.SubmitPlayback(std::move(first)).ok());
   // Let the first request get going.
   sim_.RunUntil(SecondsToUsec(1.0));
@@ -132,7 +157,7 @@ TEST_F(SchedulerTest, LateJoinerDoesNotGlitchExistingStreams) {
   // Start one stream, then admit two more mid-flight; the stepped
   // transition must keep the first stream's deadlines intact.
   PlaybackRequest first = MakePlayback(8.0, 21);
-  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
   Result<RequestId> first_id = scheduler.SubmitPlayback(std::move(first));
   ASSERT_TRUE(first_id.ok());
   sim_.RunUntil(SecondsToUsec(2.0));
@@ -150,7 +175,7 @@ TEST_F(SchedulerTest, LateJoinerDoesNotGlitchExistingStreams) {
 
 TEST_F(SchedulerTest, StopHaltsARequest) {
   PlaybackRequest request = MakePlayback(10.0, 31);
-  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
   Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
   ASSERT_TRUE(id.ok());
   sim_.RunUntil(SecondsToUsec(1.0));
@@ -166,7 +191,7 @@ TEST_F(SchedulerTest, StopHaltsARequest) {
 TEST_F(SchedulerTest, NonDestructivePauseResumes) {
   PlaybackRequest request = MakePlayback(6.0, 41);
   const int64_t total = static_cast<int64_t>(request.blocks.size());
-  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
   Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
   ASSERT_TRUE(id.ok());
   sim_.RunUntil(SecondsToUsec(1.0));
@@ -185,7 +210,7 @@ TEST_F(SchedulerTest, NonDestructivePauseResumes) {
 
 TEST_F(SchedulerTest, DestructivePauseReRunsAdmission) {
   PlaybackRequest request = MakePlayback(6.0, 51);
-  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
   Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
   ASSERT_TRUE(id.ok());
   sim_.RunUntil(SecondsToUsec(1.0));
@@ -197,7 +222,7 @@ TEST_F(SchedulerTest, DestructivePauseReRunsAdmission) {
 
 TEST_F(SchedulerTest, PauseStateTransitionsValidated) {
   PlaybackRequest request = MakePlayback(3.0, 61);
-  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
   Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(scheduler.Resume(*id).code(), ErrorCode::kFailedPrecondition);
@@ -210,7 +235,7 @@ TEST_F(SchedulerTest, PauseStateTransitionsValidated) {
 }
 
 TEST_F(SchedulerTest, RecordingWritesAStrand) {
-  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
   RecordingRequest request;
   request.profile = TestVideo();
   request.placement = VideoPlacement();
@@ -231,7 +256,7 @@ TEST_F(SchedulerTest, RecordingWritesAStrand) {
 
 TEST_F(SchedulerTest, MixedRecordAndPlaybackCoexist) {
   PlaybackRequest playback = MakePlayback(4.0, 71);
-  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
   Result<RequestId> play_id = scheduler.SubmitPlayback(std::move(playback));
   ASSERT_TRUE(play_id.ok());
   RecordingRequest recording;
@@ -255,7 +280,7 @@ TEST_F(SchedulerTest, SilenceBlocksPlayForFree) {
   for (int i = 0; i < 100; ++i) {
     request.blocks.push_back(PrimaryEntry{kSilenceSector, 0});
   }
-  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
   const int64_t reads_before = disk_.reads();
   Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
   ASSERT_TRUE(id.ok());
@@ -270,7 +295,7 @@ TEST_F(SchedulerTest, FastForwardDoublesConsumptionRate) {
   fast.rate_multiplier = 2.0;
   {
     Simulator sim;
-    ServiceScheduler scheduler(&store_, &sim, MakeAdmission());
+    ServiceScheduler scheduler(&store_, &sim, MakeAdmission(), Traced());
     Result<RequestId> id = scheduler.SubmitPlayback(std::move(normal));
     ASSERT_TRUE(id.ok());
     scheduler.RunUntilIdle();
@@ -279,7 +304,7 @@ TEST_F(SchedulerTest, FastForwardDoublesConsumptionRate) {
   }
   {
     Simulator sim;
-    ServiceScheduler scheduler(&store_, &sim, MakeAdmission());
+    ServiceScheduler scheduler(&store_, &sim, MakeAdmission(), Traced());
     Result<RequestId> id = scheduler.SubmitPlayback(std::move(fast));
     ASSERT_TRUE(id.ok());
     scheduler.RunUntilIdle();
@@ -294,7 +319,7 @@ TEST_F(SchedulerTest, BufferCapLimitsPrefetch) {
   PlaybackRequest request = MakePlayback(6.0, 95);
   request.device_buffers = 2;
   request.read_ahead_blocks = 1;
-  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
   Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
   ASSERT_TRUE(id.ok());
   scheduler.RunUntilIdle();
@@ -304,8 +329,122 @@ TEST_F(SchedulerTest, BufferCapLimitsPrefetch) {
   EXPECT_LE(stats->max_buffered_blocks, 2 + 1);  // cap plus the one in flight
 }
 
+TEST_F(SchedulerTest, DestructivePauseFreesSlotForNewStream) {
+  // Fill the scheduler to exactly n_max streams...
+  AdmissionControl admission = MakeAdmission();
+  PlaybackRequest prototype = MakePlayback(6.0, 201);
+  const int64_t n_max =
+      admission.Analyze({RequestSpec{TestVideo(), VideoPlacement().granularity}}).n_max;
+  ASSERT_GE(n_max, 2);
+  ServiceScheduler scheduler(&store_, &sim_, admission, Traced());
+  std::vector<RequestId> ids;
+  for (int64_t i = 0; i < n_max; ++i) {
+    Result<RequestId> id = scheduler.SubmitPlayback(prototype);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  sim_.RunUntil(SecondsToUsec(0.5));
+  // ...so a further stream bounces off the ceiling...
+  EXPECT_EQ(scheduler.SubmitPlayback(prototype).status().code(), ErrorCode::kAdmissionRejected);
+  // ...until a destructive pause gives its slot back.
+  ASSERT_TRUE(scheduler.Pause(ids[0], /*destructive=*/true).ok());
+  Result<RequestId> newcomer = scheduler.SubmitPlayback(prototype);
+  EXPECT_TRUE(newcomer.ok()) << newcomer.status().message();
+  scheduler.RunUntilIdle();
+}
+
+TEST_F(SchedulerTest, ResumeAfterDestructivePauseNotDoubleCounted) {
+  // At exactly n_max streams, destructively pause one and resume it. The
+  // resumed request must be presented to admission only as the candidate
+  // (n_max - 1 holders + 1 = n_max: feasible); counting it among the
+  // existing set too would push the tally to n_max + 1 and bounce a resume
+  // that the paper guarantees fits.
+  AdmissionControl admission = MakeAdmission();
+  PlaybackRequest prototype = MakePlayback(6.0, 211);
+  const int64_t n_max =
+      admission.Analyze({RequestSpec{TestVideo(), VideoPlacement().granularity}}).n_max;
+  ASSERT_GE(n_max, 2);
+  ServiceScheduler scheduler(&store_, &sim_, admission, Traced());
+  std::vector<RequestId> ids;
+  for (int64_t i = 0; i < n_max; ++i) {
+    Result<RequestId> id = scheduler.SubmitPlayback(prototype);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  sim_.RunUntil(SecondsToUsec(0.5));
+  ASSERT_TRUE(scheduler.Pause(ids[0], /*destructive=*/true).ok());
+  Status resumed = scheduler.Resume(ids[0]);
+  EXPECT_TRUE(resumed.ok()) << resumed.message();
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(scheduler.stats(ids[0])->completed);
+}
+
+TEST_F(SchedulerTest, ResumeRejectedWhenSlotGivenAway) {
+  // Destructive PAUSE means the slot can be handed to someone else; the
+  // RESUME then re-runs admission and loses.
+  AdmissionControl admission = MakeAdmission();
+  PlaybackRequest prototype = MakePlayback(6.0, 221);
+  const int64_t n_max =
+      admission.Analyze({RequestSpec{TestVideo(), VideoPlacement().granularity}}).n_max;
+  ASSERT_GE(n_max, 2);
+  ServiceScheduler scheduler(&store_, &sim_, admission, Traced());
+  std::vector<RequestId> ids;
+  for (int64_t i = 0; i < n_max; ++i) {
+    Result<RequestId> id = scheduler.SubmitPlayback(prototype);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  sim_.RunUntil(SecondsToUsec(0.5));
+  ASSERT_TRUE(scheduler.Pause(ids[0], /*destructive=*/true).ok());
+  ASSERT_TRUE(scheduler.SubmitPlayback(prototype).ok());  // slot retaken
+  EXPECT_EQ(scheduler.Resume(ids[0]).code(), ErrorCode::kAdmissionRejected);
+  scheduler.RunUntilIdle();
+  EXPECT_FALSE(scheduler.stats(ids[0])->completed);
+}
+
+TEST_F(SchedulerTest, StopBeforeFirstBlockAbortsRecording) {
+  // Stop a recording whose capture device has not yet produced a block: the
+  // writer is aborted outright, leaving no strand (and no leaked extents)
+  // behind.
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
+  const int64_t strands_before = store_.strand_count();
+  RecordingRequest request;
+  request.profile = TestVideo();
+  request.placement = VideoPlacement();
+  request.total_blocks = 20;
+  Result<RequestId> id = scheduler.SubmitRecording(request);
+  ASSERT_TRUE(id.ok());
+  sim_.RunUntil(1);  // first round: writer created, capture still busy
+  Result<RequestStats> before = scheduler.stats(*id);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->blocks_done, 0);
+  ASSERT_TRUE(scheduler.Stop(*id).ok());
+  scheduler.RunUntilIdle();
+  Result<RequestStats> stats = scheduler.stats(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->recorded_strand, kNullStrand);
+  EXPECT_EQ(store_.strand_count(), strands_before);
+}
+
+TEST_F(SchedulerTest, StartupLatencyStaysUnsetWhenStoppedBeforeStart) {
+  // Zero is a legitimate startup latency, so "never started" must be the
+  // explicit unset marker rather than 0.
+  PlaybackRequest request = MakePlayback(3.0, 231);
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
+  Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(scheduler.Stop(*id).ok());  // before the first round ever ran
+  scheduler.RunUntilIdle();
+  Result<RequestStats> stats = scheduler.stats(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->blocks_done, 0);
+  EXPECT_EQ(stats->startup_latency, RequestStats::kUnsetLatency);
+}
+
 TEST_F(SchedulerTest, EmptyRequestsRejected) {
-  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), Traced());
   EXPECT_EQ(scheduler.SubmitPlayback(PlaybackRequest{}).status().code(),
             ErrorCode::kInvalidArgument);
   EXPECT_EQ(scheduler.SubmitRecording(RecordingRequest{}).status().code(),
