@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_admission.dir/bench_admission.cc.o"
+  "CMakeFiles/bench_admission.dir/bench_admission.cc.o.d"
+  "bench_admission"
+  "bench_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_admission_transition.dir/bench_admission_transition.cc.o"
+  "CMakeFiles/bench_admission_transition.dir/bench_admission_transition.cc.o.d"
+  "bench_admission_transition"
+  "bench_admission_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_admission_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

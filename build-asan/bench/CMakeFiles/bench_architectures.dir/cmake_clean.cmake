@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_architectures.dir/bench_architectures.cc.o"
+  "CMakeFiles/bench_architectures.dir/bench_architectures.cc.o.d"
+  "bench_architectures"
+  "bench_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edit_copy.dir/bench_edit_copy.cc.o"
+  "CMakeFiles/bench_edit_copy.dir/bench_edit_copy.cc.o.d"
+  "bench_edit_copy"
+  "bench_edit_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edit_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hdtv_claim.dir/bench_hdtv_claim.cc.o"
+  "CMakeFiles/bench_hdtv_claim.dir/bench_hdtv_claim.cc.o.d"
+  "bench_hdtv_claim"
+  "bench_hdtv_claim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hdtv_claim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

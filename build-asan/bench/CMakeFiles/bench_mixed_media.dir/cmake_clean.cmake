@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixed_media.dir/bench_mixed_media.cc.o"
+  "CMakeFiles/bench_mixed_media.dir/bench_mixed_media.cc.o.d"
+  "bench_mixed_media"
+  "bench_mixed_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_readahead.dir/bench_readahead.cc.o"
+  "CMakeFiles/bench_readahead.dir/bench_readahead.cc.o.d"
+  "bench_readahead"
+  "bench_readahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_readahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reorg.dir/bench_reorg.cc.o"
+  "CMakeFiles/bench_reorg.dir/bench_reorg.cc.o.d"
+  "bench_reorg"
+  "bench_reorg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reorg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

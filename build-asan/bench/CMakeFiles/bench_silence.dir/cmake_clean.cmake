@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_silence.dir/bench_silence.cc.o"
+  "CMakeFiles/bench_silence.dir/bench_silence.cc.o.d"
+  "bench_silence"
+  "bench_silence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_silence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vbr.dir/bench_vbr.cc.o"
+  "CMakeFiles/bench_vbr.dir/bench_vbr.cc.o.d"
+  "bench_vbr"
+  "bench_vbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

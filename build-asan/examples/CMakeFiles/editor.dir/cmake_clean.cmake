@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/editor.dir/editor.cpp.o"
+  "CMakeFiles/editor.dir/editor.cpp.o.d"
+  "editor"
+  "editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_service.dir/news_service.cpp.o"
+  "CMakeFiles/news_service.dir/news_service.cpp.o.d"
+  "news_service"
+  "news_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_shell.dir/vafs_shell.cpp.o"
+  "CMakeFiles/vafs_shell.dir/vafs_shell.cpp.o.d"
+  "vafs_shell"
+  "vafs_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

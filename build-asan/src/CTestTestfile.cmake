@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("sim")
+subdirs("disk")
+subdirs("media")
+subdirs("core")
+subdirs("layout")
+subdirs("msm")
+subdirs("rope")
+subdirs("vafs")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cc" "src/core/CMakeFiles/vafs_core.dir/admission.cc.o" "gcc" "src/core/CMakeFiles/vafs_core.dir/admission.cc.o.d"
+  "/root/repo/src/core/continuity.cc" "src/core/CMakeFiles/vafs_core.dir/continuity.cc.o" "gcc" "src/core/CMakeFiles/vafs_core.dir/continuity.cc.o.d"
+  "/root/repo/src/core/editing_bounds.cc" "src/core/CMakeFiles/vafs_core.dir/editing_bounds.cc.o" "gcc" "src/core/CMakeFiles/vafs_core.dir/editing_bounds.cc.o.d"
+  "/root/repo/src/core/profiles.cc" "src/core/CMakeFiles/vafs_core.dir/profiles.cc.o" "gcc" "src/core/CMakeFiles/vafs_core.dir/profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/vafs_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/vafs_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/disk/CMakeFiles/vafs_disk.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/media/CMakeFiles/vafs_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_core.dir/admission.cc.o"
+  "CMakeFiles/vafs_core.dir/admission.cc.o.d"
+  "CMakeFiles/vafs_core.dir/continuity.cc.o"
+  "CMakeFiles/vafs_core.dir/continuity.cc.o.d"
+  "CMakeFiles/vafs_core.dir/editing_bounds.cc.o"
+  "CMakeFiles/vafs_core.dir/editing_bounds.cc.o.d"
+  "CMakeFiles/vafs_core.dir/profiles.cc.o"
+  "CMakeFiles/vafs_core.dir/profiles.cc.o.d"
+  "libvafs_core.a"
+  "libvafs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

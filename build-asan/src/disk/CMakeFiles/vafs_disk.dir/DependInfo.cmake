@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/disk.cc" "src/disk/CMakeFiles/vafs_disk.dir/disk.cc.o" "gcc" "src/disk/CMakeFiles/vafs_disk.dir/disk.cc.o.d"
+  "/root/repo/src/disk/disk_array.cc" "src/disk/CMakeFiles/vafs_disk.dir/disk_array.cc.o" "gcc" "src/disk/CMakeFiles/vafs_disk.dir/disk_array.cc.o.d"
+  "/root/repo/src/disk/disk_model.cc" "src/disk/CMakeFiles/vafs_disk.dir/disk_model.cc.o" "gcc" "src/disk/CMakeFiles/vafs_disk.dir/disk_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/vafs_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/vafs_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

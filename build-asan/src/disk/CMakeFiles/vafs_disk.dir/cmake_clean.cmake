@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_disk.dir/disk.cc.o"
+  "CMakeFiles/vafs_disk.dir/disk.cc.o.d"
+  "CMakeFiles/vafs_disk.dir/disk_array.cc.o"
+  "CMakeFiles/vafs_disk.dir/disk_array.cc.o.d"
+  "CMakeFiles/vafs_disk.dir/disk_model.cc.o"
+  "CMakeFiles/vafs_disk.dir/disk_model.cc.o.d"
+  "libvafs_disk.a"
+  "libvafs_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

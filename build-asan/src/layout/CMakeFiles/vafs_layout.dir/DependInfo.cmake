@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/allocator.cc" "src/layout/CMakeFiles/vafs_layout.dir/allocator.cc.o" "gcc" "src/layout/CMakeFiles/vafs_layout.dir/allocator.cc.o.d"
+  "/root/repo/src/layout/strand_index.cc" "src/layout/CMakeFiles/vafs_layout.dir/strand_index.cc.o" "gcc" "src/layout/CMakeFiles/vafs_layout.dir/strand_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/vafs_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/disk/CMakeFiles/vafs_disk.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/vafs_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_layout.dir/allocator.cc.o"
+  "CMakeFiles/vafs_layout.dir/allocator.cc.o.d"
+  "CMakeFiles/vafs_layout.dir/strand_index.cc.o"
+  "CMakeFiles/vafs_layout.dir/strand_index.cc.o.d"
+  "libvafs_layout.a"
+  "libvafs_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/devices.cc" "src/media/CMakeFiles/vafs_media.dir/devices.cc.o" "gcc" "src/media/CMakeFiles/vafs_media.dir/devices.cc.o.d"
+  "/root/repo/src/media/media.cc" "src/media/CMakeFiles/vafs_media.dir/media.cc.o" "gcc" "src/media/CMakeFiles/vafs_media.dir/media.cc.o.d"
+  "/root/repo/src/media/silence.cc" "src/media/CMakeFiles/vafs_media.dir/silence.cc.o" "gcc" "src/media/CMakeFiles/vafs_media.dir/silence.cc.o.d"
+  "/root/repo/src/media/sources.cc" "src/media/CMakeFiles/vafs_media.dir/sources.cc.o" "gcc" "src/media/CMakeFiles/vafs_media.dir/sources.cc.o.d"
+  "/root/repo/src/media/vbr_source.cc" "src/media/CMakeFiles/vafs_media.dir/vbr_source.cc.o" "gcc" "src/media/CMakeFiles/vafs_media.dir/vbr_source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/vafs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

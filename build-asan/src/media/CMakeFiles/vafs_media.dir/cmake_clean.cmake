@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_media.dir/devices.cc.o"
+  "CMakeFiles/vafs_media.dir/devices.cc.o.d"
+  "CMakeFiles/vafs_media.dir/media.cc.o"
+  "CMakeFiles/vafs_media.dir/media.cc.o.d"
+  "CMakeFiles/vafs_media.dir/silence.cc.o"
+  "CMakeFiles/vafs_media.dir/silence.cc.o.d"
+  "CMakeFiles/vafs_media.dir/sources.cc.o"
+  "CMakeFiles/vafs_media.dir/sources.cc.o.d"
+  "CMakeFiles/vafs_media.dir/vbr_source.cc.o"
+  "CMakeFiles/vafs_media.dir/vbr_source.cc.o.d"
+  "libvafs_media.a"
+  "libvafs_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

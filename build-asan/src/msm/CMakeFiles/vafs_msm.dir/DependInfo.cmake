@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msm/interleaved.cc" "src/msm/CMakeFiles/vafs_msm.dir/interleaved.cc.o" "gcc" "src/msm/CMakeFiles/vafs_msm.dir/interleaved.cc.o.d"
+  "/root/repo/src/msm/recorder.cc" "src/msm/CMakeFiles/vafs_msm.dir/recorder.cc.o" "gcc" "src/msm/CMakeFiles/vafs_msm.dir/recorder.cc.o.d"
+  "/root/repo/src/msm/reorganizer.cc" "src/msm/CMakeFiles/vafs_msm.dir/reorganizer.cc.o" "gcc" "src/msm/CMakeFiles/vafs_msm.dir/reorganizer.cc.o.d"
+  "/root/repo/src/msm/scattering_repair.cc" "src/msm/CMakeFiles/vafs_msm.dir/scattering_repair.cc.o" "gcc" "src/msm/CMakeFiles/vafs_msm.dir/scattering_repair.cc.o.d"
+  "/root/repo/src/msm/service_scheduler.cc" "src/msm/CMakeFiles/vafs_msm.dir/service_scheduler.cc.o" "gcc" "src/msm/CMakeFiles/vafs_msm.dir/service_scheduler.cc.o.d"
+  "/root/repo/src/msm/strand_store.cc" "src/msm/CMakeFiles/vafs_msm.dir/strand_store.cc.o" "gcc" "src/msm/CMakeFiles/vafs_msm.dir/strand_store.cc.o.d"
+  "/root/repo/src/msm/striped.cc" "src/msm/CMakeFiles/vafs_msm.dir/striped.cc.o" "gcc" "src/msm/CMakeFiles/vafs_msm.dir/striped.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/vafs_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/vafs_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/disk/CMakeFiles/vafs_disk.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/media/CMakeFiles/vafs_media.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/vafs_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/layout/CMakeFiles/vafs_layout.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/vafs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_msm.dir/interleaved.cc.o"
+  "CMakeFiles/vafs_msm.dir/interleaved.cc.o.d"
+  "CMakeFiles/vafs_msm.dir/recorder.cc.o"
+  "CMakeFiles/vafs_msm.dir/recorder.cc.o.d"
+  "CMakeFiles/vafs_msm.dir/reorganizer.cc.o"
+  "CMakeFiles/vafs_msm.dir/reorganizer.cc.o.d"
+  "CMakeFiles/vafs_msm.dir/scattering_repair.cc.o"
+  "CMakeFiles/vafs_msm.dir/scattering_repair.cc.o.d"
+  "CMakeFiles/vafs_msm.dir/service_scheduler.cc.o"
+  "CMakeFiles/vafs_msm.dir/service_scheduler.cc.o.d"
+  "CMakeFiles/vafs_msm.dir/strand_store.cc.o"
+  "CMakeFiles/vafs_msm.dir/strand_store.cc.o.d"
+  "CMakeFiles/vafs_msm.dir/striped.cc.o"
+  "CMakeFiles/vafs_msm.dir/striped.cc.o.d"
+  "libvafs_msm.a"
+  "libvafs_msm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_msm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_obs.dir/auditor.cc.o"
+  "CMakeFiles/vafs_obs.dir/auditor.cc.o.d"
+  "CMakeFiles/vafs_obs.dir/metrics.cc.o"
+  "CMakeFiles/vafs_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/vafs_obs.dir/trace.cc.o"
+  "CMakeFiles/vafs_obs.dir/trace.cc.o.d"
+  "libvafs_obs.a"
+  "libvafs_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

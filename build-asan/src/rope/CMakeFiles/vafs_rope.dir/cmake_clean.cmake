@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_rope.dir/rope.cc.o"
+  "CMakeFiles/vafs_rope.dir/rope.cc.o.d"
+  "CMakeFiles/vafs_rope.dir/rope_server.cc.o"
+  "CMakeFiles/vafs_rope.dir/rope_server.cc.o.d"
+  "libvafs_rope.a"
+  "libvafs_rope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_rope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_sim.dir/simulator.cc.o"
+  "CMakeFiles/vafs_sim.dir/simulator.cc.o.d"
+  "libvafs_sim.a"
+  "libvafs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_util.dir/result.cc.o"
+  "CMakeFiles/vafs_util.dir/result.cc.o.d"
+  "libvafs_util.a"
+  "libvafs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

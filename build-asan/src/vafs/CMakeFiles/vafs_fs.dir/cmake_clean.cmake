@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_fs.dir/file_system.cc.o"
+  "CMakeFiles/vafs_fs.dir/file_system.cc.o.d"
+  "CMakeFiles/vafs_fs.dir/persistence.cc.o"
+  "CMakeFiles/vafs_fs.dir/persistence.cc.o.d"
+  "CMakeFiles/vafs_fs.dir/text_files.cc.o"
+  "CMakeFiles/vafs_fs.dir/text_files.cc.o.d"
+  "libvafs_fs.a"
+  "libvafs_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuity_test.dir/continuity_test.cc.o"
+  "CMakeFiles/continuity_test.dir/continuity_test.cc.o.d"
+  "continuity_test"
+  "continuity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_system_test.dir/file_system_test.cc.o"
+  "CMakeFiles/file_system_test.dir/file_system_test.cc.o.d"
+  "file_system_test"
+  "file_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interleaved_test.dir/interleaved_test.cc.o"
+  "CMakeFiles/interleaved_test.dir/interleaved_test.cc.o.d"
+  "interleaved_test"
+  "interleaved_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interleaved_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorganizer_test.dir/reorganizer_test.cc.o"
+  "CMakeFiles/reorganizer_test.dir/reorganizer_test.cc.o.d"
+  "reorganizer_test"
+  "reorganizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorganizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

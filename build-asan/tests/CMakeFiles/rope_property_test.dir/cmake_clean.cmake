@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rope_property_test.dir/rope_property_test.cc.o"
+  "CMakeFiles/rope_property_test.dir/rope_property_test.cc.o.d"
+  "rope_property_test"
+  "rope_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rope_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rope_test.dir/rope_test.cc.o"
+  "CMakeFiles/rope_test.dir/rope_test.cc.o.d"
+  "rope_test"
+  "rope_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/strand_index_test.cc" "tests/CMakeFiles/strand_index_test.dir/strand_index_test.cc.o" "gcc" "tests/CMakeFiles/strand_index_test.dir/strand_index_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/vafs/CMakeFiles/vafs_fs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rope/CMakeFiles/vafs_rope.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/msm/CMakeFiles/vafs_msm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/vafs_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/layout/CMakeFiles/vafs_layout.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/media/CMakeFiles/vafs_media.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/disk/CMakeFiles/vafs_disk.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/vafs_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/vafs_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/vafs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strand_index_test.dir/strand_index_test.cc.o"
+  "CMakeFiles/strand_index_test.dir/strand_index_test.cc.o.d"
+  "strand_index_test"
+  "strand_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strand_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

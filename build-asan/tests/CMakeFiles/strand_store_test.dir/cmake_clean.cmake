@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strand_store_test.dir/strand_store_test.cc.o"
+  "CMakeFiles/strand_store_test.dir/strand_store_test.cc.o.d"
+  "strand_store_test"
+  "strand_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strand_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striped_test.dir/striped_test.cc.o"
+  "CMakeFiles/striped_test.dir/striped_test.cc.o.d"
+  "striped_test"
+  "striped_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striped_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_files_test.dir/text_files_test.cc.o"
+  "CMakeFiles/text_files_test.dir/text_files_test.cc.o.d"
+  "text_files_test"
+  "text_files_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_files_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vbr_test.dir/vbr_test.cc.o"
+  "CMakeFiles/vbr_test.dir/vbr_test.cc.o.d"
+  "vbr_test"
+  "vbr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
