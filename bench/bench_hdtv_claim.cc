@@ -82,9 +82,9 @@ void BM_BatchReadThroughput(benchmark::State& state) {
   }
   SimDuration total = 0;
   for (auto _ : state) {
-    Result<SimDuration> service = array.ReadBatch(batch, nullptr);
-    benchmark::DoNotOptimize(service.ok());
-    total += *service;
+    Result<DiskArray::BatchOutcome> outcome = array.ReadBatch(batch, nullptr);
+    benchmark::DoNotOptimize(outcome.ok());
+    total += outcome->completion_time;
   }
   state.counters["sim_usec_per_batch"] = static_cast<double>(total) /
                                          static_cast<double>(state.iterations());

@@ -7,12 +7,12 @@
 namespace vafs {
 
 Disk::Disk(const DiskParameters& params, DiskOptions options)
-    : model_(params), options_(options) {}
+    : model_(params), options_(options), injector_(options.faults) {}
 
 namespace {
 
 void EmitTransfer(obs::TraceSink* trace, obs::TraceEventKind kind, int64_t start_sector,
-                  int64_t sectors, SimDuration service) {
+                  int64_t sectors, SimDuration service, const char* detail = nullptr) {
   if (trace == nullptr) {
     return;
   }
@@ -21,10 +21,40 @@ void EmitTransfer(obs::TraceSink* trace, obs::TraceEventKind kind, int64_t start
   event.sector = start_sector;
   event.blocks = sectors;
   event.duration = service;
+  if (detail != nullptr) {
+    event.detail = detail;
+  }
   trace->OnEvent(event);
 }
 
 }  // namespace
+
+Status Disk::CheckDeviceUp() {
+  if (!failed_) {
+    return Status::Ok();
+  }
+  // A dead device answers instantly (host-side timeout abstracted away).
+  last_fault_service_ = 0;
+  EmitTransfer(trace_, obs::TraceEventKind::kDiskFault, 0, 0, 0, "device_failed");
+  return Status(ErrorCode::kIoError, "disk failed");
+}
+
+Status Disk::Faulted(FaultKind kind, int64_t start_sector, int64_t sectors,
+                     SimDuration service) {
+  // The mechanism did the work before the error surfaced: the arm moved and
+  // the platter turned, only the data is missing.
+  last_fault_service_ = service;
+  EmitTransfer(trace_, obs::TraceEventKind::kDiskFault, start_sector, sectors, service,
+               FaultKindName(kind));
+  if (kind == FaultKind::kBadSector) {
+    return Status(ErrorCode::kBadSector,
+                  "latent defect in extent [" + std::to_string(start_sector) + ", +" +
+                      std::to_string(sectors) + ")");
+  }
+  return Status(ErrorCode::kIoError,
+                "transient fault reading/writing extent [" + std::to_string(start_sector) +
+                    ", +" + std::to_string(sectors) + ")");
+}
 
 void Disk::MoveHeadToCylinder(int64_t cylinder) {
   assert(cylinder >= 0 && cylinder < model_.params().cylinders);
@@ -54,15 +84,56 @@ SimDuration Disk::PeekServiceTime(int64_t start_sector, int64_t sectors) const {
 }
 
 Result<SimDuration> Disk::Read(int64_t start_sector, int64_t sectors, std::vector<uint8_t>* out) {
+  if (Status status = CheckDeviceUp(); !status.ok()) {
+    return status;
+  }
   if (Status status = ValidateExtent(start_sector, sectors); !status.ok()) {
     return status;
   }
   const SimDuration service = Position(start_sector) + model_.TransferTime(sectors);
   ++reads_;
   busy_time_ += service;
-  EmitTransfer(trace_, obs::TraceEventKind::kDiskRead, start_sector, sectors, service);
   // Arm ends on the cylinder of the last sector read.
   head_cylinder_ = model_.SectorToCylinder(start_sector + sectors - 1);
+  if (FaultKind fault = injector_.OnRead(start_sector, sectors); fault != FaultKind::kNone) {
+    return Faulted(fault, start_sector, sectors, service);
+  }
+  EmitTransfer(trace_, obs::TraceEventKind::kDiskRead, start_sector, sectors, service);
+
+  if (out != nullptr) {
+    out->clear();
+    if (options_.retain_data) {
+      const int64_t sector_bytes = bytes_per_sector();
+      out->resize(static_cast<size_t>(sectors * sector_bytes), 0);
+      for (int64_t i = 0; i < sectors; ++i) {
+        auto it = store_.find(start_sector + i);
+        if (it != store_.end()) {
+          std::copy(it->second.begin(), it->second.end(),
+                    out->begin() + static_cast<ptrdiff_t>(i * sector_bytes));
+        }
+      }
+    }
+  }
+  return service;
+}
+
+Result<SimDuration> Disk::ReadSalvage(int64_t start_sector, int64_t sectors,
+                                      std::vector<uint8_t>* out) {
+  if (Status status = CheckDeviceUp(); !status.ok()) {
+    return status;
+  }
+  if (Status status = ValidateExtent(start_sector, sectors); !status.ok()) {
+    return status;
+  }
+  // ECC heroics: the same mechanical access, repeated/slowed by the
+  // configured factor, and immune to injected faults.
+  const double factor = std::max(1.0, options_.faults.salvage_cost_multiplier);
+  const SimDuration service = static_cast<SimDuration>(
+      static_cast<double>(Position(start_sector) + model_.TransferTime(sectors)) * factor);
+  ++reads_;
+  busy_time_ += service;
+  head_cylinder_ = model_.SectorToCylinder(start_sector + sectors - 1);
+  EmitTransfer(trace_, obs::TraceEventKind::kDiskSalvage, start_sector, sectors, service);
 
   if (out != nullptr) {
     out->clear();
@@ -83,6 +154,9 @@ Result<SimDuration> Disk::Read(int64_t start_sector, int64_t sectors, std::vecto
 
 Result<SimDuration> Disk::Write(int64_t start_sector, int64_t sectors,
                                 std::span<const uint8_t> data) {
+  if (Status status = CheckDeviceUp(); !status.ok()) {
+    return status;
+  }
   if (Status status = ValidateExtent(start_sector, sectors); !status.ok()) {
     return status;
   }
@@ -96,8 +170,11 @@ Result<SimDuration> Disk::Write(int64_t start_sector, int64_t sectors,
   const SimDuration service = Position(start_sector) + model_.TransferTime(sectors);
   ++writes_;
   busy_time_ += service;
-  EmitTransfer(trace_, obs::TraceEventKind::kDiskWrite, start_sector, sectors, service);
   head_cylinder_ = model_.SectorToCylinder(start_sector + sectors - 1);
+  if (FaultKind fault = injector_.OnWrite(start_sector, sectors); fault != FaultKind::kNone) {
+    return Faulted(fault, start_sector, sectors, service);
+  }
+  EmitTransfer(trace_, obs::TraceEventKind::kDiskWrite, start_sector, sectors, service);
 
   if (options_.retain_data && !data.empty()) {
     for (int64_t i = 0; i < sectors; ++i) {

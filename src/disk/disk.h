@@ -8,6 +8,15 @@
 //
 // Data retention is optional: benchmarks that only study timing can run
 // with retain_data = false and skip the byte copies.
+//
+// Fault model (src/disk/fault_injector.h): when DiskOptions::faults is
+// configured, Read/Write may fail with kIoError (transient) or kBadSector
+// (latent defect). A faulted operation still consumed the mechanism — seek,
+// rotation, transfer — so the arm moves and busy time accrues; callers
+// recover the charge via last_fault_service(). ReadSalvage models heroic
+// recovery (ECC retries at reduced speed): it bypasses injection at a
+// configured service-time multiplier, so relocation machinery can rescue
+// data from a defective extent.
 
 #ifndef VAFS_SRC_DISK_DISK_H_
 #define VAFS_SRC_DISK_DISK_H_
@@ -18,6 +27,7 @@
 #include <vector>
 
 #include "src/disk/disk_model.h"
+#include "src/disk/fault_injector.h"
 #include "src/obs/trace.h"
 #include "src/util/result.h"
 #include "src/util/time.h"
@@ -26,6 +36,9 @@ namespace vafs {
 
 struct DiskOptions {
   bool retain_data = true;
+  // Fault injection; the default (zero rates, no bad ranges) never fails
+  // anything and leaves all timing bit-identical.
+  FaultOptions faults;
 };
 
 class Disk {
@@ -54,9 +67,32 @@ class Disk {
   // is off). Returns the simulated service time.
   Result<SimDuration> Write(int64_t start_sector, int64_t sectors, std::span<const uint8_t> data);
 
+  // Salvage read: bypasses fault injection (including bad ranges) at
+  // faults.salvage_cost_multiplier times the normal service time. Used by
+  // relocation to rescue the payload of a defective extent. Still fails if
+  // the whole device is down.
+  Result<SimDuration> ReadSalvage(int64_t start_sector, int64_t sectors,
+                                  std::vector<uint8_t>* out);
+
   // Pure timing: service time the next read/write of this extent would
   // take from the current arm position, without performing it.
   SimDuration PeekServiceTime(int64_t start_sector, int64_t sectors) const;
+
+  // Whole-device failure: while failed, every operation returns kIoError
+  // immediately (no mechanical time is consumed). DiskArray uses this to
+  // model the loss of one array member.
+  void set_failed(bool failed) { failed_ = failed; }
+  bool failed() const { return failed_; }
+
+  // Fault injection state (counters, runtime bad-range management).
+  FaultInjector& fault_injector() { return injector_; }
+  const FaultInjector& fault_injector() const { return injector_; }
+
+  // Simulated time the most recent *failed* Read/Write consumed before the
+  // fault surfaced (0 if the device was down and never moved). Callers
+  // advancing a clock must charge this on error, since the Result carries
+  // no duration.
+  SimDuration last_fault_service() const { return last_fault_service_; }
 
   // Lifetime operation counters (diagnostics).
   int64_t reads() const { return reads_; }
@@ -70,10 +106,18 @@ class Disk {
  private:
   Status ValidateExtent(int64_t start_sector, int64_t sectors) const;
   SimDuration Position(int64_t start_sector);
+  // Performs the mechanical part of an operation and consults the injector;
+  // on fault, records last_fault_service_, emits the trace event and
+  // returns the error the caller should surface.
+  Status Faulted(FaultKind kind, int64_t start_sector, int64_t sectors, SimDuration service);
+  Status CheckDeviceUp();
 
   DiskModel model_;
   Options options_;
+  FaultInjector injector_;
   obs::TraceSink* trace_ = nullptr;
+  bool failed_ = false;
+  SimDuration last_fault_service_ = 0;
   int64_t head_cylinder_ = 0;
   int64_t reads_ = 0;
   int64_t writes_ = 0;

@@ -10,7 +10,12 @@ DiskArray::DiskArray(const DiskParameters& member_params, int members, DiskOptio
   assert(members > 0);
   disks_.reserve(static_cast<size_t>(members));
   for (int i = 0; i < members; ++i) {
-    disks_.push_back(std::make_unique<Disk>(member_params, options));
+    // Decorrelate member fault schedules: identical seeds would make every
+    // member fault on the same ops, turning a 1% rate into a 1% whole-batch
+    // loss rate.
+    DiskOptions member_options = options;
+    member_options.faults.seed = options.faults.seed + static_cast<uint64_t>(i);
+    disks_.push_back(std::make_unique<Disk>(member_params, member_options));
   }
 }
 
@@ -33,49 +38,59 @@ Status DiskArray::ValidateBatch(const std::vector<BatchRequest>& batch) const {
   return Status::Ok();
 }
 
-Result<SimDuration> DiskArray::ReadBatch(const std::vector<BatchRequest>& batch,
-                                         std::vector<std::vector<uint8_t>>* out) {
+Result<DiskArray::BatchOutcome> DiskArray::ReadBatch(const std::vector<BatchRequest>& batch,
+                                                     std::vector<std::vector<uint8_t>>* out) {
   if (Status status = ValidateBatch(batch); !status.ok()) {
     return status;
   }
   if (out != nullptr) {
     out->assign(batch.size(), {});
   }
-  SimDuration slowest = 0;
+  BatchOutcome outcome;
+  outcome.per_request.resize(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     const BatchRequest& request = batch[i];
+    Disk& disk = *disks_[static_cast<size_t>(request.member)];
     std::vector<uint8_t>* slot = out != nullptr ? &(*out)[i] : nullptr;
-    Result<SimDuration> service =
-        disks_[static_cast<size_t>(request.member)]->Read(request.start_sector, request.sectors, slot);
-    if (!service.ok()) {
-      return service.status();
+    Result<SimDuration> service = disk.Read(request.start_sector, request.sectors, slot);
+    MemberOutcome& fate = outcome.per_request[i];
+    if (service.ok()) {
+      fate.service = *service;
+    } else {
+      fate.status = service.status();
+      fate.service = disk.last_fault_service();
     }
-    slowest = std::max(slowest, *service);
+    outcome.completion_time = std::max(outcome.completion_time, fate.service);
   }
-  return slowest;
+  return outcome;
 }
 
-Result<SimDuration> DiskArray::WriteBatch(const std::vector<BatchRequest>& batch,
-                                          const std::vector<std::vector<uint8_t>>& data) {
+Result<DiskArray::BatchOutcome> DiskArray::WriteBatch(const std::vector<BatchRequest>& batch,
+                                                      const std::vector<std::vector<uint8_t>>& data) {
   if (Status status = ValidateBatch(batch); !status.ok()) {
     return status;
   }
   if (!data.empty() && data.size() != batch.size()) {
     return Status(ErrorCode::kInvalidArgument, "payload count does not match batch size");
   }
-  SimDuration slowest = 0;
+  BatchOutcome outcome;
+  outcome.per_request.resize(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     const BatchRequest& request = batch[i];
+    Disk& disk = *disks_[static_cast<size_t>(request.member)];
     std::span<const uint8_t> payload =
         data.empty() ? std::span<const uint8_t>() : std::span<const uint8_t>(data[i]);
-    Result<SimDuration> service =
-        disks_[static_cast<size_t>(request.member)]->Write(request.start_sector, request.sectors, payload);
-    if (!service.ok()) {
-      return service.status();
+    Result<SimDuration> service = disk.Write(request.start_sector, request.sectors, payload);
+    MemberOutcome& fate = outcome.per_request[i];
+    if (service.ok()) {
+      fate.service = *service;
+    } else {
+      fate.status = service.status();
+      fate.service = disk.last_fault_service();
     }
-    slowest = std::max(slowest, *service);
+    outcome.completion_time = std::max(outcome.completion_time, fate.service);
   }
-  return slowest;
+  return outcome;
 }
 
 double DiskArray::AggregateTransferRateBitsPerSec() const {

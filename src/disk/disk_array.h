@@ -6,6 +6,14 @@
 // parallel and completes when the slowest member finishes. Consecutive
 // blocks of a strand are assigned to members round-robin, so a group of p
 // successive strand blocks always spans all members.
+//
+// Fault behaviour: a batch is issued to every member even when some of
+// them fault — the members run in parallel, so one bad platter cannot call
+// the others off. ReadBatch/WriteBatch therefore report a per-request
+// BatchOutcome instead of aborting on the first member error; only
+// malformed batches (unknown member, two requests on one member) fail the
+// call as a whole. Member fault schedules are decorrelated by deriving
+// each member's injector seed from the array seed and the member index.
 
 #ifndef VAFS_SRC_DISK_DISK_ARRAY_H_
 #define VAFS_SRC_DISK_DISK_ARRAY_H_
@@ -40,16 +48,56 @@ class DiskArray {
     int64_t sectors;
   };
 
-  // Issues the batch concurrently (at most one request per member) and
-  // returns the parallel completion time: max over members of their
-  // individual service times. Data is read into `out[i]` for request i
-  // when non-null.
-  Result<SimDuration> ReadBatch(const std::vector<BatchRequest>& batch,
-                                std::vector<std::vector<uint8_t>>* out);
+  // Fate of one request within a batch. A faulted request still consumed
+  // its member's mechanism for `service` microseconds (0 when the member
+  // was down and never moved).
+  struct MemberOutcome {
+    Status status = Status::Ok();
+    SimDuration service = 0;
+  };
+
+  struct BatchOutcome {
+    // Parallel completion: max over members of their service times,
+    // including the mechanical time of faulted requests — the batch is not
+    // done until the slowest arm stops, successful or not.
+    SimDuration completion_time = 0;
+    std::vector<MemberOutcome> per_request;  // one entry per batch request
+
+    bool AllOk() const {
+      for (const MemberOutcome& outcome : per_request) {
+        if (!outcome.status.ok()) {
+          return false;
+        }
+      }
+      return true;
+    }
+    int64_t FailedCount() const {
+      int64_t failed = 0;
+      for (const MemberOutcome& outcome : per_request) {
+        if (!outcome.status.ok()) {
+          ++failed;
+        }
+      }
+      return failed;
+    }
+  };
+
+  // Issues the batch concurrently (at most one request per member). Every
+  // request is attempted; per-request fates land in the outcome. The call
+  // itself only fails on a malformed batch. Data is read into `out[i]` for
+  // request i when non-null (left empty for faulted requests).
+  Result<BatchOutcome> ReadBatch(const std::vector<BatchRequest>& batch,
+                                 std::vector<std::vector<uint8_t>>* out);
 
   // Parallel write counterpart; `data[i]` is the payload of request i.
-  Result<SimDuration> WriteBatch(const std::vector<BatchRequest>& batch,
-                                 const std::vector<std::vector<uint8_t>>& data);
+  Result<BatchOutcome> WriteBatch(const std::vector<BatchRequest>& batch,
+                                  const std::vector<std::vector<uint8_t>>& data);
+
+  // Whole-member failure (e.g. a dead spindle). While failed, every
+  // request routed to the member returns kIoError with zero service time.
+  void FailMember(int index) { member(index).set_failed(true); }
+  void ReviveMember(int index) { member(index).set_failed(false); }
+  bool member_failed(int index) { return member(index).failed(); }
 
   // Aggregate transfer rate (members * per-member R_dt), the figure the
   // paper's HDTV feasibility argument sweeps.

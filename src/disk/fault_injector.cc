@@ -1,0 +1,60 @@
+#include "src/disk/fault_injector.h"
+
+#include <algorithm>
+
+namespace vafs {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kBadSector:
+      return "bad_sector";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultOptions options)
+    : options_(std::move(options)), prng_(options_.seed) {}
+
+FaultKind FaultInjector::Decide(double rate, int64_t start_sector, int64_t sectors,
+                                int64_t* transient_counter) {
+  if (IsBad(start_sector, sectors)) {
+    ++bad_sector_hits_;
+    return FaultKind::kBadSector;
+  }
+  // The stream is only consulted when a transient fault is possible, so a
+  // rate-zero injector stays bit-identical to having none at all.
+  if (rate > 0.0 && prng_.NextDouble() < rate) {
+    ++*transient_counter;
+    return FaultKind::kTransient;
+  }
+  return FaultKind::kNone;
+}
+
+FaultKind FaultInjector::OnRead(int64_t start_sector, int64_t sectors) {
+  return Decide(options_.read_fault_rate, start_sector, sectors, &transient_read_faults_);
+}
+
+FaultKind FaultInjector::OnWrite(int64_t start_sector, int64_t sectors) {
+  return Decide(options_.write_fault_rate, start_sector, sectors, &transient_write_faults_);
+}
+
+void FaultInjector::MarkBad(int64_t start_sector, int64_t sectors) {
+  options_.bad_ranges.push_back(BadRange{start_sector, sectors});
+}
+
+void FaultInjector::ClearBad(int64_t start_sector, int64_t sectors) {
+  std::erase_if(options_.bad_ranges, [&](const BadRange& range) {
+    return range.Overlaps(start_sector, sectors);
+  });
+}
+
+bool FaultInjector::IsBad(int64_t start_sector, int64_t sectors) const {
+  return std::any_of(options_.bad_ranges.begin(), options_.bad_ranges.end(),
+                     [&](const BadRange& range) { return range.Overlaps(start_sector, sectors); });
+}
+
+}  // namespace vafs

@@ -1,0 +1,100 @@
+// Seeded, deterministic disk fault injection.
+//
+// The paper assumes a fault-free disk; this module supplies the faults so
+// the rest of the system can prove it degrades gracefully. Three fault
+// classes are modeled, mirroring what real spindles do:
+//
+//  - transient read/write errors: each operation independently fails with
+//    a configured probability (a recoverable positioning or ECC hiccup —
+//    the next attempt may succeed);
+//  - latent bad-sector ranges: media defects. Every operation touching a
+//    marked range fails deterministically until the data is relocated;
+//  - whole-device failure: the disk stops answering (DiskArray uses this
+//    to model the loss of one array member).
+//
+// Determinism contract: all randomness comes from one explicitly seeded
+// xoshiro stream, consulted exactly once per eligible operation, so a
+// given (seed, operation sequence) always yields the same fault schedule.
+// With rates at zero and no bad ranges the injector never draws from the
+// stream and never fails anything — a disabled injector is bit-identical
+// to no injector at all.
+
+#ifndef VAFS_SRC_DISK_FAULT_INJECTOR_H_
+#define VAFS_SRC_DISK_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/prng.h"
+
+namespace vafs {
+
+// A latent defect: sectors [start_sector, start_sector + sectors).
+struct BadRange {
+  int64_t start_sector = 0;
+  int64_t sectors = 0;
+
+  bool Overlaps(int64_t start, int64_t count) const {
+    return start < start_sector + sectors && start_sector < start + count;
+  }
+};
+
+struct FaultOptions {
+  uint64_t seed = 0;
+  // Independent per-operation transient failure probabilities, in [0, 1].
+  double read_fault_rate = 0.0;
+  double write_fault_rate = 0.0;
+  // Latent defects present from construction (more can be added later).
+  std::vector<BadRange> bad_ranges;
+  // Service-time factor a salvage read pays (ECC heroics, re-reads at
+  // reduced speed) relative to a normal read of the same extent.
+  double salvage_cost_multiplier = 3.0;
+
+  bool AnyTransient() const { return read_fault_rate > 0.0 || write_fault_rate > 0.0; }
+};
+
+// What the injector decided about one operation.
+enum class FaultKind {
+  kNone,       // operation proceeds normally
+  kTransient,  // recoverable error: a retry may succeed
+  kBadSector,  // latent media defect: every attempt fails until relocated
+};
+
+const char* FaultKindName(FaultKind kind);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultOptions options);
+
+  const FaultOptions& options() const { return options_; }
+
+  // Fate of a read / write of [start_sector, start_sector + sectors).
+  // Bad ranges dominate transient faults (the defect is certain; the coin
+  // flip is not consulted for an extent that is doomed anyway).
+  FaultKind OnRead(int64_t start_sector, int64_t sectors);
+  FaultKind OnWrite(int64_t start_sector, int64_t sectors);
+
+  // Declares a latent defect at runtime (e.g. a scrub discovering one).
+  void MarkBad(int64_t start_sector, int64_t sectors);
+  // Clears any defect overlapping the extent (sector remapped/repaired).
+  void ClearBad(int64_t start_sector, int64_t sectors);
+  bool IsBad(int64_t start_sector, int64_t sectors) const;
+
+  // Lifetime fault counters, by class.
+  int64_t transient_read_faults() const { return transient_read_faults_; }
+  int64_t transient_write_faults() const { return transient_write_faults_; }
+  int64_t bad_sector_hits() const { return bad_sector_hits_; }
+
+ private:
+  FaultKind Decide(double rate, int64_t start_sector, int64_t sectors, int64_t* transient_counter);
+
+  FaultOptions options_;
+  Prng prng_;
+  int64_t transient_read_faults_ = 0;
+  int64_t transient_write_faults_ = 0;
+  int64_t bad_sector_hits_ = 0;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_DISK_FAULT_INJECTOR_H_

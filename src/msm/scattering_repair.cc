@@ -109,6 +109,27 @@ Result<RepairOutcome> RepairSeam(StrandStore* store, StrandId preceding,
 
   int64_t copied_units = 0;
   int64_t chain_length = 0;
+
+  // A device fault mid-chain does not forfeit the copied prefix: finish it
+  // into a real strand and hand the caller a resumable outcome. A chain of
+  // only silence blocks is abandoned instead — recopying silence is free.
+  auto interrupt = [&](const Status& fault) -> Result<RepairOutcome> {
+    outcome.interrupted = true;
+    outcome.fault = fault;
+    if (chain_length > 0 && copied_units > 0) {
+      Result<StrandId> copy_id = writer.Finish(copied_units);
+      if (!copy_id.ok()) {
+        return copy_id.status();
+      }
+      outcome.copy_strand = *copy_id;
+      outcome.blocks_copied = chain_length;
+    }
+    return outcome;
+  };
+  auto is_device_fault = [](const Status& status) {
+    return status.code() == ErrorCode::kIoError || status.code() == ErrorCode::kBadSector;
+  };
+
   while (chain_length < following_blocks_available) {
     const int64_t block = following_first_block + chain_length;
     Result<PrimaryEntry> entry = strand_b.index().Lookup(block);
@@ -134,6 +155,10 @@ Result<RepairOutcome> RepairSeam(StrandStore* store, StrandId preceding,
       std::vector<uint8_t> payload;
       Result<SimDuration> read = store->disk().Read(entry->sector, entry->sector_count, &payload);
       if (!read.ok()) {
+        if (is_device_fault(read.status())) {
+          outcome.copy_time += store->disk().last_fault_service();
+          return interrupt(read.status());
+        }
         return read.status();
       }
       outcome.copy_time += *read;
@@ -146,6 +171,10 @@ Result<RepairOutcome> RepairSeam(StrandStore* store, StrandId preceding,
       }
       Result<SimDuration> write = writer.AppendBlock(payload);
       if (!write.ok()) {
+        if (is_device_fault(write.status())) {
+          outcome.copy_time += store->disk().last_fault_service();
+          return interrupt(write.status());
+        }
         return write.status();
       }
       outcome.copy_time += *write;
@@ -164,6 +193,101 @@ Result<RepairOutcome> RepairSeam(StrandStore* store, StrandId preceding,
   }
   outcome.copy_strand = *copy_id;
   outcome.blocks_copied = chain_length;
+  return outcome;
+}
+
+Result<BlockRelocationOutcome> RelocateBlocks(StrandStore* store, StrandId strand_id,
+                                              int64_t first_block, int64_t block_count) {
+  if (block_count <= 0) {
+    return Status(ErrorCode::kInvalidArgument, "block_count must be positive");
+  }
+  Result<const Strand*> strand_result = store->Get(strand_id);
+  if (!strand_result.ok()) {
+    return strand_result.status();
+  }
+  const Strand& strand = **strand_result;
+  Result<std::unique_ptr<StrandWriter>> writer_result = store->CreateStrand(
+      strand.info().Profile(),
+      StrandPlacement{strand.info().granularity, strand.info().min_scattering_sec,
+                      strand.info().max_scattering_sec});
+  if (!writer_result.ok()) {
+    return writer_result.status();
+  }
+  StrandWriter& writer = **writer_result;
+
+  // Anchor the copy in the original neighborhood — after the predecessor
+  // block when one exists, else at the defective block's own position — so
+  // the splice honours the scattering contract on both sides of the cut.
+  PrimaryEntry anchor;
+  if (first_block > 0 && AnchorEntry(strand, first_block - 1, &anchor)) {
+    if (Status status = writer.SetAnchor(anchor.sector + anchor.sector_count); !status.ok()) {
+      return status;
+    }
+  } else {
+    Result<PrimaryEntry> first = strand.index().Lookup(first_block);
+    if (!first.ok()) {
+      return first.status();
+    }
+    if (!first->IsSilence()) {
+      writer.SetAllocationHint(first->sector);
+    }
+  }
+
+  BlockRelocationOutcome outcome;
+  int64_t copied_units = 0;
+  for (int64_t i = 0; i < block_count; ++i) {
+    const int64_t block = first_block + i;
+    Result<PrimaryEntry> entry = strand.index().Lookup(block);
+    if (!entry.ok()) {
+      return entry.status();
+    }
+    if (entry->IsSilence()) {
+      if (Status status = writer.AppendSilence(); !status.ok()) {
+        return status;
+      }
+    } else {
+      std::vector<uint8_t> payload;
+      Result<SimDuration> read =
+          store->disk().ReadSalvage(entry->sector, entry->sector_count, &payload);
+      if (!read.ok()) {
+        return read.status();  // salvage only fails when the device is down
+      }
+      outcome.copy_time += *read;
+      if (payload.empty()) {
+        payload.assign(static_cast<size_t>(entry->sector_count *
+                                           store->disk().bytes_per_sector()),
+                       0);
+      }
+      Result<SimDuration> write = writer.AppendBlock(payload);
+      // The destination itself can hit a transient write fault; the faulted
+      // extent was returned to the pool, so a re-append lands afresh.
+      for (int attempt = 0;
+           !write.ok() && write.status().code() == ErrorCode::kIoError && attempt < 3;
+           ++attempt) {
+        outcome.copy_time += store->disk().last_fault_service();
+        write = writer.AppendBlock(payload);
+      }
+      if (!write.ok()) {
+        return write.status();
+      }
+      outcome.copy_time += *write;
+      if (store->trace_sink() != nullptr) {
+        obs::TraceEvent event;
+        event.kind = obs::TraceEventKind::kBlockRelocated;
+        event.sector = entry->sector;
+        event.blocks = 1;
+        event.duration = *read + *write;
+        store->trace_sink()->OnEvent(event);
+      }
+    }
+    copied_units += strand.UnitsInBlock(block);
+    ++outcome.blocks_copied;
+  }
+  Result<StrandId> copy_id = writer.Finish(copied_units);
+  if (!copy_id.ok()) {
+    return copy_id.status();
+  }
+  outcome.copy_strand = *copy_id;
   return outcome;
 }
 

@@ -37,6 +37,14 @@ struct RepairOutcome {
   int64_t blocks_copied = 0;
   // Simulated disk time spent on the copy (reads + writes).
   SimDuration copy_time = 0;
+  // A disk fault cut the copy chain short. The blocks copied before the
+  // fault are preserved (finished into copy_strand when any exist), so the
+  // caller can splice the partial progress and resume from block
+  // `following_first_block + blocks_copied` later — re-checking the new
+  // seam finds it either healed or shorter. `fault` carries the device
+  // error; everything else about the outcome stays valid.
+  bool interrupted = false;
+  Status fault = Status::Ok();
 };
 
 // Checks the seam between block `preceding_last_block` of `preceding` and
@@ -53,6 +61,21 @@ Result<RepairOutcome> RepairSeam(StrandStore* store, StrandId preceding,
 // quantity RepairSeam compares against the scattering bound.
 Result<double> SeamGapSec(StrandStore* store, StrandId preceding, int64_t preceding_last_block,
                           StrandId following, int64_t following_first_block);
+
+// Relocation of defective blocks: copies `block_count` blocks of `strand`
+// starting at `first_block` into a fresh strand, reading the originals via
+// the disk's salvage path (immune to injected faults, at the configured
+// cost multiplier). The copy anchors next to the original neighborhood so
+// the strand's scattering contract still holds across the splice. Strands
+// are immutable, so callers (the rope layer) must re-point their interval
+// at the returned strand; the defective extents stay with the original.
+struct BlockRelocationOutcome {
+  StrandId copy_strand = kNullStrand;
+  int64_t blocks_copied = 0;
+  SimDuration copy_time = 0;
+};
+Result<BlockRelocationOutcome> RelocateBlocks(StrandStore* store, StrandId strand,
+                                              int64_t first_block, int64_t block_count);
 
 }  // namespace vafs
 

@@ -204,6 +204,73 @@ void ServiceScheduler::FinishRequest(ActiveRequest* request, SimTime now) {
   Emit(event);
 }
 
+bool ServiceScheduler::ReadBlockWithRetry(ActiveRequest* request, const PrimaryEntry& entry,
+                                          SimTime* now) {
+  Disk& disk = store_->disk();
+  Result<SimDuration> service = disk.Read(entry.sector, entry.sector_count, nullptr);
+  if (service.ok()) {
+    *now += *service;
+    return true;
+  }
+  // The failed attempt still moved the arm; charge its mechanical time.
+  *now += disk.last_fault_service();
+  ++request->stats.faults_seen;
+
+  int64_t retries = 0;
+  while (service.status().code() == ErrorCode::kIoError && !disk.failed() &&
+         retries < options_.max_block_retries) {
+    // Affordability: after the failed read the arm rests on the extent's
+    // cylinder, so PeekServiceTime is exactly what the re-read will cost.
+    // If that would push the round past its Eq. 11 budget, the retry would
+    // steal another stream's continuity slack — skip instead.
+    if (round_budget_ > 0 &&
+        (*now - round_start_) + disk.PeekServiceTime(entry.sector, entry.sector_count) >
+            round_budget_) {
+      break;
+    }
+    ++retries;
+    service = disk.Read(entry.sector, entry.sector_count, nullptr);
+    ++request->stats.blocks_retried;
+    const SimDuration spent = service.ok() ? *service : disk.last_fault_service();
+    *now += spent;
+    if (options_.trace != nullptr) {
+      obs::TraceEvent event = TraceContext();
+      event.kind = obs::TraceEventKind::kBlockRetried;
+      event.time = *now;
+      event.request = request->stats.id;
+      event.sector = entry.sector;
+      event.blocks = entry.sector_count;
+      event.duration = spent;
+      event.round_budget = round_budget_;
+      if (!service.ok()) {
+        event.detail = "faulted_again";
+      }
+      Emit(event);
+    }
+    if (service.ok()) {
+      return true;
+    }
+    ++request->stats.faults_seen;
+  }
+
+  // Give up on this block: degraded playback renders it as silence rather
+  // than stalling the stream (kBadSector is hopeless until relocated, and
+  // further transient retries are either exhausted or unaffordable).
+  ++request->stats.blocks_skipped;
+  if (options_.trace != nullptr) {
+    obs::TraceEvent event = TraceContext();
+    event.kind = obs::TraceEventKind::kBlockSkipped;
+    event.time = *now;
+    event.request = request->stats.id;
+    event.sector = entry.sector;
+    event.blocks = entry.sector_count;
+    event.round_budget = round_budget_;
+    event.detail = service.status().message();
+    Emit(event);
+  }
+  return false;
+}
+
 int64_t ServiceScheduler::ServicePlayback(ActiveRequest* request, SimTime* now) {
   PlaybackRequest& playback = *request->playback;
   const SimDuration effective_duration = static_cast<SimDuration>(
@@ -219,11 +286,12 @@ int64_t ServiceScheduler::ServicePlayback(ActiveRequest* request, SimTime* now) 
     }
     const PrimaryEntry& entry = playback.blocks[static_cast<size_t>(request->next_block)];
     if (!entry.IsSilence()) {
-      Result<SimDuration> service =
-          store_->disk().Read(entry.sector, entry.sector_count, nullptr);
-      assert(service.ok());
-      *now += *service;
-      ++transferred;
+      if (ReadBlockWithRetry(request, entry, now)) {
+        ++transferred;
+      }
+      // A skipped block falls through as a degraded frame: readiness is
+      // still reported so the consumer's clock keeps running, but no data
+      // moved and `transferred` does not count it.
     }
     // Report readiness of this block (silence is "ready" for free).
     if (request->consumer == nullptr) {
@@ -279,11 +347,72 @@ int64_t ServiceScheduler::ServiceRecording(ActiveRequest* request, SimTime* now)
       break;  // the camera has not finished this block yet
     }
     Result<SimDuration> service = request->writer->AppendBlock(payload);
-    assert(service.ok());
-    *now += *service;
+    bool wrote = service.ok();
+    if (wrote) {
+      *now += *service;
+    } else {
+      Disk& disk = store_->disk();
+      const bool device_fault = service.status().code() == ErrorCode::kIoError ||
+                                service.status().code() == ErrorCode::kBadSector;
+      assert(device_fault);  // allocator failures are admission bugs
+      if (device_fault) {
+        *now += disk.last_fault_service();
+        ++request->stats.faults_seen;
+        // Each retry lands on a freshly allocated extent (the faulted one
+        // was returned to the pool), so there is no exact peek; bound the
+        // retries by count and by the round budget at issue time. The
+        // emitted events carry round_budget 0 — the Eq. 11 completion
+        // guarantee is a retrieval-side contract; capture slack is already
+        // measured by the producer's overflow accounting.
+        int64_t retries = 0;
+        while (!wrote && service.status().code() == ErrorCode::kIoError && !disk.failed() &&
+               retries < options_.max_block_retries &&
+               (round_budget_ == 0 || *now - round_start_ < round_budget_)) {
+          ++retries;
+          service = request->writer->AppendBlock(payload);
+          ++request->stats.blocks_retried;
+          wrote = service.ok();
+          const SimDuration spent = wrote ? *service : disk.last_fault_service();
+          *now += spent;
+          if (options_.trace != nullptr) {
+            obs::TraceEvent event = TraceContext();
+            event.kind = obs::TraceEventKind::kBlockRetried;
+            event.time = *now;
+            event.request = request->stats.id;
+            event.duration = spent;
+            if (!wrote) {
+              event.detail = "faulted_again";
+            }
+            Emit(event);
+          }
+          if (!wrote) {
+            ++request->stats.faults_seen;
+          }
+        }
+      }
+      if (!wrote) {
+        // Give the block up as an unrecorded gap: a NULL index entry keeps
+        // the strand's timeline intact, and the capture buffer is released
+        // so the device does not overflow on a dead disk.
+        Status silence = request->writer->AppendSilence();
+        assert(silence.ok());
+        (void)silence;
+        ++request->stats.blocks_skipped;
+        if (options_.trace != nullptr) {
+          obs::TraceEvent event = TraceContext();
+          event.kind = obs::TraceEventKind::kBlockSkipped;
+          event.time = *now;
+          event.request = request->stats.id;
+          event.detail = service.status().message();
+          Emit(event);
+        }
+      }
+    }
     request->producer->BlockWritten(*now);
     ++request->stats.blocks_done;
-    ++transferred;
+    if (wrote) {
+      ++transferred;
+    }
   }
   if (request->stats.blocks_done == recording.total_blocks) {
     FinishRequest(request, *now);
@@ -325,6 +454,32 @@ void ServiceScheduler::RunRound() {
     obs::TraceEvent event = TraceContext();
     event.kind = obs::TraceEventKind::kRoundStart;
     Emit(event);
+  }
+
+  // Eq. 11 envelope of this round: the tightest serviced request's fetched
+  // playback, min_i(k_i * d_i). Retries of faulted blocks are only issued
+  // while the round still fits inside it.
+  round_start_ = round_start;
+  round_budget_ = 0;
+  for (RequestId id : service_order_) {
+    const ActiveRequest& request = requests_.at(id);
+    if (request.stats.completed || request.stats.paused) {
+      continue;
+    }
+    SimDuration block_playback = 0;
+    if (request.playback.has_value()) {
+      block_playback = static_cast<SimDuration>(
+          static_cast<double>(request.playback->block_duration) /
+          request.playback->rate_multiplier);
+    } else {
+      block_playback = SecondsToUsec(
+          static_cast<double>(request.recording->placement.granularity) /
+          request.recording->profile.units_per_sec);
+    }
+    const SimDuration budget = current_k_ * block_playback;
+    if (round_budget_ == 0 || budget < round_budget_) {
+      round_budget_ = budget;
+    }
   }
 
   // Section 6.2 SCAN option: service this round's requests in disk-position

@@ -68,6 +68,12 @@ struct RequestStats {
   SimTime completion_time = -1;
   int64_t blocks_done = 0;
   int64_t blocks_total = 0;
+  // Fault handling (src/disk/fault_injector.h): every faulted disk op the
+  // request suffered, the retries issued for them, and the blocks finally
+  // given up on (played/recorded as silence instead of killing the stream).
+  int64_t faults_seen = 0;
+  int64_t blocks_retried = 0;
+  int64_t blocks_skipped = 0;
   // Playback only:
   int64_t continuity_violations = 0;
   SimDuration total_tardiness = 0;
@@ -102,6 +108,10 @@ struct SchedulerOptions {
   // test, with a fixed round size (`forced_k`, or the current k if 0).
   bool bypass_admission = false;
   int64_t forced_k = 0;
+  // Most re-reads of one faulted block before the scheduler gives up and
+  // plays it as silence. Each retry must additionally fit the round's
+  // Eq. 11 budget — a retry never eats another stream's continuity slack.
+  int64_t max_block_retries = 2;
   // Optional observability: request lifecycle, admission decisions and
   // per-round service records are reported here (see src/obs/trace.h).
   // The sink must outlive the scheduler.
@@ -181,6 +191,10 @@ class ServiceScheduler {
   // spent. Returns blocks transferred.
   int64_t ServicePlayback(ActiveRequest* request, SimTime* now);
   int64_t ServiceRecording(ActiveRequest* request, SimTime* now);
+  // Reads one playback block, retrying transient faults while the round's
+  // Eq. 11 budget allows. Advances `now` by all disk time consumed (faulted
+  // attempts included). Returns false when the block was given up on.
+  bool ReadBlockWithRetry(ActiveRequest* request, const PrimaryEntry& entry, SimTime* now);
   void FinishRequest(ActiveRequest* request, SimTime now);
 
   StrandStore* store_;
@@ -191,6 +205,11 @@ class ServiceScheduler {
   int64_t current_k_ = 1;
   int64_t rounds_ = 0;
   bool round_scheduled_ = false;
+  // The running round's Eq. 11 envelope: start instant and the tightest
+  // request's playback budget, min_i(k_i * d_i). Retries are only issued
+  // while the round still fits inside it. 0 budget = no active requests.
+  SimTime round_start_ = 0;
+  SimDuration round_budget_ = 0;
   std::map<RequestId, ActiveRequest> requests_;
   std::vector<RequestId> service_order_;  // round-robin order over active requests
   std::deque<PendingAdmission> pending_;

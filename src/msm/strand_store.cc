@@ -120,6 +120,9 @@ Result<SimDuration> StrandWriter::AppendBlock(std::span<const uint8_t> payload) 
   }
   Result<SimDuration> service = store_->disk().Write(extent->start_sector, sectors, to_write);
   if (!service.ok()) {
+    // The block never made it to disk, so the extent is not part of the
+    // strand; return it or it leaks (the destructor only frees extents_).
+    (void)store_->allocator().Free(*extent);
     return service.status();
   }
 

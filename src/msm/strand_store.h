@@ -112,6 +112,7 @@ class StrandStore {
   // StrandWriter of this store) reports its realized gap against the
   // strand's scattering contract. The sink must outlive the store.
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace_sink() const { return trace_; }
 
   // Starts a new strand with the given media description and placement
   // contract (granularity + scattering bounds, from

@@ -113,16 +113,21 @@ Result<StripedStore::PlaybackOutcome> StripedStore::Play(const StripedStrand& st
         now = drain;
       }
     }
-    Result<SimDuration> service = array_->ReadBatch(batch, nullptr);
-    if (!service.ok()) {
-      return service.status();
+    Result<DiskArray::BatchOutcome> fetched = array_->ReadBatch(batch, nullptr);
+    if (!fetched.ok()) {
+      return fetched.status();  // malformed batch, not a member fault
     }
-    now += *service;
+    now += fetched->completion_time;
     if (consumer == nullptr) {
       // Anti-jitter: playback starts once the first batch group is in.
       consumer = std::make_unique<PlaybackConsumer>(block_duration, now, 0);
     }
     for (int64_t b = group_start; b < group_end; ++b) {
+      if (!fetched->per_request[static_cast<size_t>(b - group_start)].status.ok()) {
+        // Degraded frame: the member faulted but the group's timeline is
+        // intact, so readiness is still reported.
+        ++outcome.blocks_failed;
+      }
       consumer->BlockReady(now);
       ++outcome.blocks_done;
     }

@@ -64,6 +64,10 @@ class StripedStore {
     SimDuration total_tardiness = 0;
     int64_t max_buffered_blocks = 0;
     SimTime completion_time = 0;
+    // Blocks whose member faulted mid-batch: the batch still completes (the
+    // other members ran in parallel regardless) and playback degrades for
+    // just those blocks instead of aborting the stream.
+    int64_t blocks_failed = 0;
   };
 
   // Plays the strand back with batches of p parallel block fetches,

@@ -122,6 +122,7 @@ void ContinuityAuditor::HandleRound(const TraceEvent& event) {
   switch (event.kind) {
     case TraceEventKind::kRoundStart:
       round_open_ = true;
+      round_start_time_ = event.time;
       round_k_ = event.k;
       round_saturated_ = true;
       round_serviced_ = 0;
@@ -216,6 +217,22 @@ void ContinuityAuditor::OnEvent(const TraceEvent& event) {
                         " s scattering contract");
       }
       break;
+    case TraceEventKind::kBlockRetried:
+      // The scheduler stamps the event with the budget it pre-checked the
+      // retry against and the sim time at which the retry *completed*. A
+      // completion past the budget means the pre-check lied.
+      if (event.round_budget > 0 && round_open_ &&
+          event.time - round_start_time_ > event.round_budget) {
+        Flag(event, "retry of a block for request " + std::to_string(event.request) +
+                        " completed " + std::to_string(event.time - round_start_time_) +
+                        " us into a round budgeted at " + std::to_string(event.round_budget) +
+                        " us (retry overran the Eq. 11 slack)");
+      }
+      break;
+    case TraceEventKind::kBlockSkipped:
+    case TraceEventKind::kBlockRelocated:
+    case TraceEventKind::kDiskFault:
+    case TraceEventKind::kDiskSalvage:
     case TraceEventKind::kDiskRead:
     case TraceEventKind::kDiskWrite:
       break;

@@ -21,6 +21,10 @@
 //    double-count) shows up here as an off-by-one.
 //  - Strand placement: every recorded block's realized gap must honour the
 //    strand's max-scattering contract.
+//  - Retry budget: a faulted block may only be re-read while the round still
+//    fits its Eq. 11 budget; a retry completing past the budget it was
+//    checked against would have eaten the continuity slack of every other
+//    stream in the round.
 //
 // It can run online (as the scheduler's TraceSink) or replay a recorded
 // TraceLog after the fact. In strict mode, tests assert Clean().
@@ -102,6 +106,7 @@ class ContinuityAuditor : public TraceSink {
   int64_t previous_round_k_ = -1;  // -1 until the first round completes
   bool slot_released_ = false;     // since the previous round end
   bool round_open_ = false;
+  SimTime round_start_time_ = 0;
   int64_t round_k_ = 0;
   bool round_saturated_ = true;
   int64_t round_serviced_ = 0;

@@ -31,10 +31,20 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "request_serviced";
     case TraceEventKind::kRoundEnd:
       return "round_end";
+    case TraceEventKind::kBlockRetried:
+      return "block_retried";
+    case TraceEventKind::kBlockSkipped:
+      return "block_skipped";
+    case TraceEventKind::kBlockRelocated:
+      return "block_relocated";
     case TraceEventKind::kDiskRead:
       return "disk_read";
     case TraceEventKind::kDiskWrite:
       return "disk_write";
+    case TraceEventKind::kDiskFault:
+      return "disk_fault";
+    case TraceEventKind::kDiskSalvage:
+      return "disk_salvage";
     case TraceEventKind::kStrandWrite:
       return "strand_write";
   }
@@ -96,6 +106,16 @@ void MetricsSink::OnEvent(const TraceEvent& event) {
           .Set(static_cast<double>(event.slots.paused_destructive));
       m.gauge("scheduler.slots_held").Set(static_cast<double>(event.slots.Held()));
       break;
+    case TraceEventKind::kBlockRetried:
+      m.counter("scheduler.block_retries").Increment();
+      m.histogram("scheduler.retry_service_usec").Record(static_cast<double>(event.duration));
+      break;
+    case TraceEventKind::kBlockSkipped:
+      m.counter("scheduler.blocks_skipped").Increment();
+      break;
+    case TraceEventKind::kBlockRelocated:
+      m.counter("store.blocks_relocated").Increment(event.blocks);
+      break;
     case TraceEventKind::kDiskRead:
       m.counter("disk.reads").Increment();
       m.counter("disk.sectors_read").Increment(event.blocks);
@@ -105,6 +125,15 @@ void MetricsSink::OnEvent(const TraceEvent& event) {
       m.counter("disk.writes").Increment();
       m.counter("disk.sectors_written").Increment(event.blocks);
       m.histogram("disk.write_service_usec").Record(static_cast<double>(event.duration));
+      break;
+    case TraceEventKind::kDiskFault:
+      m.counter("disk.faults").Increment();
+      m.counter("disk.faults." + event.detail).Increment();
+      m.histogram("disk.fault_service_usec").Record(static_cast<double>(event.duration));
+      break;
+    case TraceEventKind::kDiskSalvage:
+      m.counter("disk.salvage_reads").Increment();
+      m.histogram("disk.salvage_service_usec").Record(static_cast<double>(event.duration));
       break;
     case TraceEventKind::kStrandWrite:
       m.counter("store.strand_blocks_written").Increment();

@@ -38,9 +38,15 @@ enum class TraceEventKind {
   kRoundStart,
   kRequestServiced,
   kRoundEnd,
+  // Fault handling (scheduler retry policy and relocation).
+  kBlockRetried,    // a faulted block was re-read within the round's slack
+  kBlockSkipped,    // retries exhausted or unaffordable: degraded playback
+  kBlockRelocated,  // a defective block was copied to a fresh extent
   // Device level.
   kDiskRead,
   kDiskWrite,
+  kDiskFault,    // injected fault; `detail` names the FaultKind
+  kDiskSalvage,  // heroic recovery read (bypasses injection, costs extra)
   kStrandWrite,
 };
 
@@ -77,6 +83,9 @@ struct TraceEvent {
   // Strand writes:
   double gap_sec = 0.0;        // realized gap to the previous block (-1: first)
   double gap_bound_sec = 0.0;  // the strand's max-scattering contract
+  // Fault handling: the Eq. 11 round-time budget the scheduler checked a
+  // retry against (0 = no budget applied).
+  SimDuration round_budget = 0;
   SlotSnapshot slots;
   std::string detail;  // human-readable context, e.g. a rejection reason
 };

@@ -445,9 +445,17 @@ Result<RopeServer::RopeRepairStats> RopeServer::RepairRope(RopeId id, Medium med
     if (outcome->already_continuous) {
       continue;
     }
-    ++stats.seams_repaired;
     stats.blocks_copied += outcome->blocks_copied;
     stats.copy_time += outcome->copy_time;
+    if (outcome->interrupted) {
+      ++stats.seams_interrupted;
+      stats.last_fault = outcome->fault;
+      if (outcome->blocks_copied == 0) {
+        continue;  // no progress; the seam stays for a later pass
+      }
+    } else {
+      ++stats.seams_repaired;
+    }
 
     // Splice: the first `blocks_copied` blocks of the current segment now
     // live (verbatim) in the copy strand.
@@ -461,10 +469,15 @@ Result<RopeServer::RopeRepairStats> RopeServer::RepairRope(RopeId id, Medium med
     track.segments[i] = part_a;
     if (part_b.unit_count > 0) {
       track.segments.insert(track.segments.begin() + static_cast<ptrdiff_t>(i) + 1, part_b);
-      // The copy chain ends exactly when part_b's first original block is
-      // within the bound of the last copied block, so the part_a/part_b
-      // seam needs no check; resume after part_b.
-      ++i;
+      if (!outcome->interrupted) {
+        // The copy chain ends exactly when part_b's first original block is
+        // within the bound of the last copied block, so the part_a/part_b
+        // seam needs no check; resume after part_b.
+        ++i;
+      }
+      // An interrupted chain stopped short of reachability: leave `i` so
+      // the next iteration re-checks the part_a/part_b seam. Every pass
+      // splices at least one block, so the walk still terminates.
     }
   }
   return stats;

@@ -97,6 +97,11 @@ class RopeServer {
     int64_t seams_repaired = 0;
     int64_t blocks_copied = 0;
     SimDuration copy_time = 0;
+    // Seams whose copy chain a disk fault cut short. Partial progress is
+    // spliced in and the unhealed remainder is re-checked on the next
+    // RepairRope pass; `last_fault` carries the most recent device error.
+    int64_t seams_interrupted = 0;
+    Status last_fault = Status::Ok();
   };
 
   // Walks every edit seam in the rope's medium track and repairs those

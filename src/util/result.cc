@@ -24,6 +24,10 @@ const char* ErrorCodeName(ErrorCode code) {
       return "OUT_OF_RANGE";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kIoError:
+      return "IO_ERROR";
+    case ErrorCode::kBadSector:
+      return "BAD_SECTOR";
   }
   return "UNKNOWN";
 }

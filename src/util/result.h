@@ -25,6 +25,8 @@ enum class ErrorCode {
   kAlreadyExists,     // ID collision
   kOutOfRange,        // interval outside strand/rope bounds
   kInternal,          // invariant violation; indicates a vaFS bug
+  kIoError,           // transient device error; a retry may succeed
+  kBadSector,         // latent media defect; fails until relocated
 };
 
 // Human-readable name for an ErrorCode, for logs and test failure messages.

@@ -16,7 +16,7 @@ const DeviceProfile& DeviceFor(const FileSystemConfig& config, Medium medium) {
 }  // namespace
 
 MultimediaFileSystem::MultimediaFileSystem(const FileSystemConfig& config) : config_(config) {
-  disk_ = std::make_unique<Disk>(config.disk, DiskOptions{config.retain_data});
+  disk_ = std::make_unique<Disk>(config.disk, DiskOptions{config.retain_data, config.faults});
   store_ = std::make_unique<StrandStore>(disk_.get());
 
   const StorageTimings storage = StorageTimings::FromDiskModel(disk_->model());

@@ -43,6 +43,9 @@ struct FileSystemConfig {
   // conservative value (the video placement's upper bound).
   double assumed_avg_scattering_sec = -1.0;
   bool retain_data = true;  // false: timing-only simulation (fast benches)
+  // Disk fault injection (src/disk/fault_injector.h). The default injects
+  // nothing and leaves every simulation bit-identical.
+  FaultOptions faults;
 };
 
 class MultimediaFileSystem {

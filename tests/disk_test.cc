@@ -180,9 +180,13 @@ TEST(DiskArrayTest, BatchCompletesWithSlowestMember) {
   const SimDuration slow = array.member(1).PeekServiceTime(199 * 128, 4);
   ASSERT_LT(fast, slow);
   std::vector<std::vector<uint8_t>> out;
-  Result<SimDuration> service = array.ReadBatch(batch, &out);
-  ASSERT_TRUE(service.ok());
-  EXPECT_EQ(*service, slow);
+  Result<DiskArray::BatchOutcome> outcome = array.ReadBatch(batch, &out);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->AllOk());
+  EXPECT_EQ(outcome->completion_time, slow);
+  ASSERT_EQ(outcome->per_request.size(), 2u);
+  EXPECT_EQ(outcome->per_request[0].service, fast);
+  EXPECT_EQ(outcome->per_request[1].service, slow);
   EXPECT_EQ(out.size(), 2u);
 }
 
@@ -199,9 +203,13 @@ TEST(DiskArrayTest, WriteReadRoundTripPerMember) {
   payloads[0].assign(512, 0xaa);
   payloads[1].assign(512, 0xbb);
   payloads[2].assign(512, 0xcc);
-  ASSERT_TRUE(array.WriteBatch(batch, payloads).ok());
+  Result<DiskArray::BatchOutcome> written = array.WriteBatch(batch, payloads);
+  ASSERT_TRUE(written.ok());
+  EXPECT_TRUE(written->AllOk());
   std::vector<std::vector<uint8_t>> out;
-  ASSERT_TRUE(array.ReadBatch(batch, &out).ok());
+  Result<DiskArray::BatchOutcome> read = array.ReadBatch(batch, &out);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->AllOk());
   EXPECT_EQ(out, payloads);
 }
 
