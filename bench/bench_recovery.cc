@@ -1,0 +1,218 @@
+// Crash-recovery cost: what a checkpoint writes, what recovery pays on
+// each of its three paths (clean root load, root load + journal replay,
+// fsck scavenge), and how long each takes. The paper's prototype had no
+// durable catalog at all; this bench quantifies the price of adding one
+// with crash consistency (A/B roots + intent journal, src/vafs/persistence.h).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "src/media/sources.h"
+#include "src/util/result.h"
+
+namespace vafs {
+namespace {
+
+// Every scenario folds its trace into one registry, dumped as JSON at exit
+// (root flips, journal appends/replays, fsck findings, power cuts).
+obs::MetricsRegistry g_metrics;
+obs::MetricsSink g_metrics_sink(&g_metrics);
+
+int64_t CounterValue(const char* name) {
+  const obs::Counter* counter = g_metrics.FindCounter(name);
+  return counter == nullptr ? 0 : counter->value();
+}
+
+// A populated file system: `ropes` video ropes of `seconds` each plus one
+// text file, all trace-connected to the shared registry.
+std::unique_ptr<MultimediaFileSystem> BuildPopulated(int ropes, double seconds) {
+  auto fs = std::make_unique<MultimediaFileSystem>(TestbedConfig());
+  fs->disk().set_trace_sink(&g_metrics_sink);
+  for (int i = 0; i < ropes; ++i) {
+    VideoSource video(UvcCompressedVideo(), static_cast<uint64_t>(i) + 1);
+    (void)fs->Record("bench", &video, nullptr, seconds);
+  }
+  (void)fs->text_files().Write("manifest.txt", std::vector<uint8_t>(900, 7));
+  return fs;
+}
+
+// Journaled mutations on top of a committed checkpoint.
+void MutateAfterCheckpoint(MultimediaFileSystem* fs) {
+  VideoSource video(UvcCompressedVideo(), 99);
+  (void)fs->Record("bench", &video, nullptr, 0.5);
+  (void)fs->text_files().Write("notes.txt", std::vector<uint8_t>(700, 3));
+  (void)fs->text_files().Remove("manifest.txt");
+}
+
+void CorruptBothRoots(MultimediaFileSystem* fs) {
+  const int64_t total = fs->disk().total_sectors();
+  std::vector<uint8_t> junk(static_cast<size_t>(fs->disk().bytes_per_sector()), 0xA5);
+  const char magic[8] = {'V', 'A', 'F', 'S', '0', '0', '0', '2'};
+  std::copy(magic, magic + 8, junk.begin());
+  (void)fs->disk().Write(total - 2, 1, junk);
+  (void)fs->disk().Write(total - 1, 1, junk);
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Row {
+  const char* name;
+  double recover_ms = 0.0;
+  int64_t strands = 0;
+  int64_t ropes = 0;
+  int64_t replayed = 0;
+  int64_t findings = 0;
+};
+
+void PrintRow(const Row& row) {
+  std::printf("%-22s | %10.2f %8" PRId64 " %6" PRId64 " %9" PRId64 " %9" PRId64 "\n", row.name,
+              row.recover_ms, row.strands, row.ropes, row.replayed, row.findings);
+}
+
+void PrintRecoveryTable() {
+  PrintHeader("crash recovery", "checkpoint cost and the three recovery paths");
+  PrintOperatingPoint(TestbedDisk());
+  const int kRopes = 4;
+  const double kSeconds = 2.0;
+
+  // Checkpoint cost for the shared workload.
+  {
+    auto fs = BuildPopulated(kRopes, kSeconds);
+    const int64_t before = fs->disk().fault_injector().sectors_written();
+    const auto start = std::chrono::steady_clock::now();
+    (void)fs->Checkpoint();
+    const double ms = MillisSince(start);
+    const int64_t sectors = fs->disk().fault_injector().sectors_written() - before;
+    std::printf("\ncheckpoint of %d ropes x %.0f s video: %" PRId64
+                " sectors (%.1f KB) in %.2f ms\n",
+                kRopes, kSeconds, sectors,
+                static_cast<double>(sectors * fs->disk().bytes_per_sector()) / 1024.0, ms);
+  }
+
+  std::printf("\n%-22s | %10s %8s %6s %9s %9s\n", "recovery path", "ms", "strands", "ropes",
+              "replayed", "findings");
+
+  // Path 1: clean load — the newest root's catalog, nothing to replay.
+  {
+    auto fs = BuildPopulated(kRopes, kSeconds);
+    (void)fs->Checkpoint();
+    const int64_t replays_before = CounterValue("persistence.journal_replays");
+    const auto start = std::chrono::steady_clock::now();
+    (void)fs->Recover();
+    Row row{"clean load"};
+    row.recover_ms = MillisSince(start);
+    row.strands = fs->storage_manager().strand_count();
+    row.ropes = fs->rope_server().rope_count();
+    row.replayed = CounterValue("persistence.journal_replays") - replays_before;
+    PrintRow(row);
+  }
+
+  // Path 2: load + journal replay of uncheckpointed mutations.
+  {
+    auto fs = BuildPopulated(kRopes, kSeconds);
+    (void)fs->Checkpoint();
+    MutateAfterCheckpoint(fs.get());
+    const int64_t replays_before = CounterValue("persistence.journal_replays");
+    const auto start = std::chrono::steady_clock::now();
+    (void)fs->Recover();
+    Row row{"load + journal replay"};
+    row.recover_ms = MillisSince(start);
+    row.strands = fs->storage_manager().strand_count();
+    row.ropes = fs->rope_server().rope_count();
+    row.replayed = CounterValue("persistence.journal_replays") - replays_before;
+    PrintRow(row);
+  }
+
+  // Path 2b: power cut mid-checkpoint — the previous generation plus its
+  // journal carries the full state across the crash.
+  {
+    auto fs = BuildPopulated(kRopes, kSeconds);
+    (void)fs->Checkpoint();
+    MutateAfterCheckpoint(fs.get());
+    fs->disk().fault_injector().ArmPowerCut(1, /*torn=*/true);
+    (void)fs->Checkpoint();  // dies mid-catalog-write
+    const int64_t replays_before = CounterValue("persistence.journal_replays");
+    const auto start = std::chrono::steady_clock::now();
+    (void)fs->Recover();
+    Row row{"crash mid-checkpoint"};
+    row.recover_ms = MillisSince(start);
+    row.strands = fs->storage_manager().strand_count();
+    row.ropes = fs->rope_server().rope_count();
+    row.replayed = CounterValue("persistence.journal_replays") - replays_before;
+    PrintRow(row);
+  }
+
+  // Path 3: fsck scavenge — both roots gone, strands rebuilt from their
+  // Header Block signatures; ropes die with the catalog.
+  {
+    auto fs = BuildPopulated(kRopes, kSeconds);
+    (void)fs->Checkpoint();
+    (void)fs->Checkpoint();  // populate both root slots
+    CorruptBothRoots(fs.get());
+    const int64_t findings_before = CounterValue("fsck.findings");
+    const auto start = std::chrono::steady_clock::now();
+    (void)fs->Recover();
+    Row row{"fsck scavenge"};
+    row.recover_ms = MillisSince(start);
+    row.strands = fs->storage_manager().strand_count();
+    row.ropes = fs->rope_server().rope_count();
+    row.findings = CounterValue("fsck.findings") - findings_before;
+    PrintRow(row);
+  }
+
+  std::printf("(replayed = intent-journal records applied on top of the loaded\n"
+              " catalog; findings = fsck findings, here the corrupt roots plus one\n"
+              " orphan-strand finding per scavenged strand)\n");
+}
+
+void BM_Checkpoint(benchmark::State& state) {
+  auto fs = BuildPopulated(2, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs->Checkpoint().ok());
+  }
+}
+BENCHMARK(BM_Checkpoint)->Unit(benchmark::kMillisecond);
+
+void BM_RecoverWithJournalReplay(benchmark::State& state) {
+  auto fs = BuildPopulated(2, 1.0);
+  (void)fs->Checkpoint();
+  MutateAfterCheckpoint(fs.get());
+  for (auto _ : state) {
+    // Replay does not consume the journal, so every iteration replays the
+    // same generation-1 records.
+    benchmark::DoNotOptimize(fs->Recover().ok());
+  }
+}
+BENCHMARK(BM_RecoverWithJournalReplay)->Unit(benchmark::kMillisecond);
+
+void BM_FsckScavenge(benchmark::State& state) {
+  auto fs = BuildPopulated(2, 1.0);
+  (void)fs->Checkpoint();
+  (void)fs->Checkpoint();
+  CorruptBothRoots(fs.get());
+  for (auto _ : state) {
+    Result<FsckReport> report = fs->RunFsck();
+    benchmark::DoNotOptimize(report.ok() && report->used_scavenger);
+  }
+}
+BENCHMARK(BM_FsckScavenge)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vafs
+
+int main(int argc, char** argv) {
+  vafs::PrintRecoveryTable();
+  vafs::WriteMetricsJson(vafs::g_metrics, "recovery");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

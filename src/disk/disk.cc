@@ -30,6 +30,12 @@ void EmitTransfer(obs::TraceSink* trace, obs::TraceEventKind kind, int64_t start
 }  // namespace
 
 Status Disk::CheckDeviceUp() {
+  if (injector_.powered_off()) {
+    // No power: the bus does not answer at all.
+    last_fault_service_ = 0;
+    EmitTransfer(trace_, obs::TraceEventKind::kDiskFault, 0, 0, 0, "powered_off");
+    return Status(ErrorCode::kIoError, "disk powered off");
+  }
   if (!failed_) {
     return Status::Ok();
   }
@@ -37,6 +43,21 @@ Status Disk::CheckDeviceUp() {
   last_fault_service_ = 0;
   EmitTransfer(trace_, obs::TraceEventKind::kDiskFault, 0, 0, 0, "device_failed");
   return Status(ErrorCode::kIoError, "disk failed");
+}
+
+void Disk::PowerCycle() {
+  injector_.PowerRestore();
+  head_cylinder_ = 0;
+}
+
+std::vector<int64_t> Disk::PopulatedSectors() const {
+  std::vector<int64_t> sectors;
+  sectors.reserve(store_.size());
+  for (const auto& [sector, data] : store_) {
+    sectors.push_back(sector);
+  }
+  std::sort(sectors.begin(), sectors.end());
+  return sectors;
 }
 
 Status Disk::Faulted(FaultKind kind, int64_t start_sector, int64_t sectors,
@@ -171,6 +192,31 @@ Result<SimDuration> Disk::Write(int64_t start_sector, int64_t sectors,
   ++writes_;
   busy_time_ += service;
   head_cylinder_ = model_.SectorToCylinder(start_sector + sectors - 1);
+  const CrashVerdict crash = injector_.OnWriteCrashCheck(sectors);
+  if (crash.power_cut) {
+    // The rail dropped mid-transfer: the leading prefix_sectors (plus any
+    // torn shred) reached the platter before everything went dark.
+    if (options_.retain_data && !data.empty()) {
+      auto persist = [&](int64_t i) {
+        auto first = data.begin() + static_cast<ptrdiff_t>(i * sector_bytes);
+        store_[start_sector + i] = std::vector<uint8_t>(first, first + sector_bytes);
+      };
+      for (int64_t i = 0; i < crash.prefix_sectors; ++i) {
+        persist(i);
+      }
+      for (size_t i = 0; i < crash.shred.size(); ++i) {
+        if (crash.shred[i]) {
+          persist(crash.prefix_sectors + static_cast<int64_t>(i));
+        }
+      }
+    }
+    last_fault_service_ = service;
+    EmitTransfer(trace_, obs::TraceEventKind::kPowerCut, start_sector, crash.prefix_sectors,
+                 service, crash.shred.empty() ? "power_cut" : "power_cut_torn");
+    return Status(ErrorCode::kIoError,
+                  "power cut " + std::to_string(crash.prefix_sectors) + " sectors into write [" +
+                      std::to_string(start_sector) + ", +" + std::to_string(sectors) + ")");
+  }
   if (FaultKind fault = injector_.OnWrite(start_sector, sectors); fault != FaultKind::kNone) {
     return Faulted(fault, start_sector, sectors, service);
   }

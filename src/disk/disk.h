@@ -17,6 +17,13 @@
 // recovery (ECC retries at reduced speed): it bypasses injection at a
 // configured service-time multiplier, so relocation machinery can rescue
 // data from a defective extent.
+//
+// Power cuts: an armed crash schedule kills the device after N durably
+// written sectors. The write in flight persists only a prefix (or a torn
+// shred) of its data; every later operation fails until PowerCycle()
+// models the host rebooting the drive. This is how the crash-consistency
+// layer (src/vafs/persistence.h) proves every checkpoint phase leaves a
+// recoverable image at every sector boundary.
 
 #ifndef VAFS_SRC_DISK_DISK_H_
 #define VAFS_SRC_DISK_DISK_H_
@@ -84,6 +91,19 @@ class Disk {
   void set_failed(bool failed) { failed_ = failed; }
   bool failed() const { return failed_; }
 
+  // Power state. A tripped crash schedule (FaultOptions::crash_after_sectors
+  // or FaultInjector::ArmPowerCut) leaves the device powered off; whatever
+  // sectors landed before the cut stay on the platter. PowerCycle restores
+  // power, disarms any pending schedule and homes the arm — the state a
+  // recovery path mounts against.
+  bool powered_off() const { return injector_.powered_off(); }
+  void PowerCycle();
+
+  // Sector numbers that currently hold data, sorted (offline diagnostics:
+  // the fsck scavenger scans these for Header Block signatures instead of
+  // sweeping the whole address space). Requires retain_data.
+  std::vector<int64_t> PopulatedSectors() const;
+
   // Fault injection state (counters, runtime bad-range management).
   FaultInjector& fault_injector() { return injector_; }
   const FaultInjector& fault_injector() const { return injector_; }
@@ -102,6 +122,7 @@ class Disk {
   // Optional observability: every Read/Write reports its extent and
   // simulated service time to `sink`. The sink must outlive the disk.
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace_sink() const { return trace_; }
 
  private:
   Status ValidateExtent(int64_t start_sector, int64_t sectors) const;

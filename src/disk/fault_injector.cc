@@ -17,7 +17,9 @@ const char* FaultKindName(FaultKind kind) {
 }
 
 FaultInjector::FaultInjector(FaultOptions options)
-    : options_(std::move(options)), prng_(options_.seed) {}
+    : options_(std::move(options)),
+      prng_(options_.seed),
+      shred_prng_(options_.seed ^ 0x746f726e'77726974ULL) {}
 
 FaultKind FaultInjector::Decide(double rate, int64_t start_sector, int64_t sectors,
                                 int64_t* transient_counter) {
@@ -40,6 +42,46 @@ FaultKind FaultInjector::OnRead(int64_t start_sector, int64_t sectors) {
 
 FaultKind FaultInjector::OnWrite(int64_t start_sector, int64_t sectors) {
   return Decide(options_.write_fault_rate, start_sector, sectors, &transient_write_faults_);
+}
+
+CrashVerdict FaultInjector::OnWriteCrashCheck(int64_t sectors) {
+  CrashVerdict verdict;
+  if (powered_off_) {
+    verdict.power_cut = true;
+    return verdict;
+  }
+  if (options_.crash_after_sectors < 0 ||
+      sectors_written_ + sectors <= options_.crash_after_sectors) {
+    sectors_written_ += sectors;
+    return verdict;
+  }
+  // The budget expires inside this write: a prefix lands, then the rail
+  // drops. With torn writes a seeded subset of the remainder lands too
+  // (the drive reordered sectors within the request).
+  verdict.power_cut = true;
+  verdict.prefix_sectors = options_.crash_after_sectors - sectors_written_;
+  if (options_.torn_writes) {
+    verdict.shred.resize(static_cast<size_t>(sectors - verdict.prefix_sectors));
+    for (size_t i = 0; i < verdict.shred.size(); ++i) {
+      verdict.shred[i] = shred_prng_.NextDouble() < 0.5;
+    }
+  }
+  sectors_written_ = options_.crash_after_sectors;
+  powered_off_ = true;
+  ++power_cuts_;
+  return verdict;
+}
+
+void FaultInjector::ArmPowerCut(int64_t after_sectors, bool torn) {
+  options_.crash_after_sectors = after_sectors;
+  options_.torn_writes = torn;
+  sectors_written_ = 0;
+}
+
+void FaultInjector::PowerRestore() {
+  powered_off_ = false;
+  options_.crash_after_sectors = -1;
+  sectors_written_ = 0;
 }
 
 void FaultInjector::MarkBad(int64_t start_sector, int64_t sectors) {

@@ -10,7 +10,13 @@
 //  - latent bad-sector ranges: media defects. Every operation touching a
 //    marked range fails deterministically until the data is relocated;
 //  - whole-device failure: the disk stops answering (DiskArray uses this
-//    to model the loss of one array member).
+//    to model the loss of one array member);
+//  - power cuts: the device dies after a scheduled number of sectors has
+//    been written. A cut landing mid-write leaves only a prefix of the
+//    data on the platter — or, with torn writes enabled, an interleaved
+//    shred where a seeded subset of the remaining sectors also landed.
+//    The crash-consistency layer (src/vafs/persistence.h) is proven
+//    against every such crash point.
 //
 // Determinism contract: all randomness comes from one explicitly seeded
 // xoshiro stream, consulted exactly once per eligible operation, so a
@@ -49,8 +55,27 @@ struct FaultOptions {
   // Service-time factor a salvage read pays (ECC heroics, re-reads at
   // reduced speed) relative to a normal read of the same extent.
   double salvage_cost_multiplier = 3.0;
+  // Power-cut schedule: the device loses power once this many sectors have
+  // been durably written (counted across all writes); -1 = never. The
+  // write in flight when the budget expires persists only its leading
+  // sectors. A crashed device fails every operation until PowerRestore.
+  int64_t crash_after_sectors = -1;
+  // When the cut lands mid-write: false leaves a clean prefix on the
+  // platter; true additionally lands a seeded subset of the remaining
+  // sectors (an interleaved shred — what a drive without atomic multi-
+  // sector writes can leave behind).
+  bool torn_writes = false;
 
   bool AnyTransient() const { return read_fault_rate > 0.0 || write_fault_rate > 0.0; }
+};
+
+// The injector's ruling on how much of one write survives a power cut.
+struct CrashVerdict {
+  bool power_cut = false;      // this write tripped the schedule
+  int64_t prefix_sectors = 0;  // leading sectors that reached the platter
+  // With torn writes: survival of each sector past the prefix (empty when
+  // the cut is clean or absent).
+  std::vector<bool> shred;
 };
 
 // What the injector decided about one operation.
@@ -80,19 +105,52 @@ class FaultInjector {
   void ClearBad(int64_t start_sector, int64_t sectors);
   bool IsBad(int64_t start_sector, int64_t sectors) const;
 
+  // Runtime tuning of the transient rates (tests force failures of the
+  // next operation deterministically with rate 1.0, then restore).
+  void set_read_fault_rate(double rate) { options_.read_fault_rate = rate; }
+  void set_write_fault_rate(double rate) { options_.write_fault_rate = rate; }
+
+  // --- Power-cut schedule -----------------------------------------------------
+
+  // Consulted once per write of `sectors`: advances the written-sector
+  // budget and rules whether the power dies during this write. After a cut
+  // the device is powered off and every later call reports a cut with a
+  // zero prefix.
+  CrashVerdict OnWriteCrashCheck(int64_t sectors);
+
+  // (Re)arms the schedule at runtime: the cut lands once `after_sectors`
+  // more sectors are written from this instant.
+  void ArmPowerCut(int64_t after_sectors, bool torn = false);
+
+  // Restores power (the host rebooted); the pending schedule, if any, is
+  // disarmed — recovery runs against a healthy device.
+  void PowerRestore();
+
+  bool powered_off() const { return powered_off_; }
+
   // Lifetime fault counters, by class.
   int64_t transient_read_faults() const { return transient_read_faults_; }
   int64_t transient_write_faults() const { return transient_write_faults_; }
   int64_t bad_sector_hits() const { return bad_sector_hits_; }
+  int64_t power_cuts() const { return power_cuts_; }
+  // Sectors durably written since construction (or the last ArmPowerCut);
+  // the crash matrix uses it to enumerate every write boundary of a phase.
+  int64_t sectors_written() const { return sectors_written_; }
 
  private:
   FaultKind Decide(double rate, int64_t start_sector, int64_t sectors, int64_t* transient_counter);
 
   FaultOptions options_;
   Prng prng_;
+  // Separate stream for torn-write shreds so arming a crash never perturbs
+  // the transient-fault schedule of the main stream.
+  Prng shred_prng_;
+  bool powered_off_ = false;
+  int64_t sectors_written_ = 0;
   int64_t transient_read_faults_ = 0;
   int64_t transient_write_faults_ = 0;
   int64_t bad_sector_hits_ = 0;
+  int64_t power_cuts_ = 0;
 };
 
 }  // namespace vafs

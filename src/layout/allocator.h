@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "src/disk/disk_model.h"
 #include "src/util/result.h"
@@ -91,6 +92,17 @@ class ConstrainedAllocator {
 
   // Largest free extent available anywhere.
   int64_t LargestFreeExtent() const;
+
+  // Every free extent, in sector order. The fsck claim-map check uses the
+  // complement of this as "what the allocator believes is allocated".
+  std::vector<Extent> FreeExtents() const {
+    std::vector<Extent> extents;
+    extents.reserve(free_.size());
+    for (const auto& [start, length] : free_) {
+      extents.push_back(Extent{start, length});
+    }
+    return extents;
+  }
 
  private:
   // Finds a free extent of `sectors` inside [window_begin, window_end),

@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <cstring>
+#include <span>
 #include <string>
 
+#include "src/util/checksum.h"
 #include "src/util/units.h"
 
 namespace vafs {
@@ -97,17 +99,39 @@ std::vector<uint8_t> StrandIndex::SerializeSecondaryBlock(
   return out;
 }
 
+// Header Block v2 layout (offsets in bytes):
+//   0  magic "VAFSHB02"      48 bits_per_unit
+//   8  crc64 over [16, len)  56 granularity
+//   16 len (logical bytes)   64 unit_count (frameCount)
+//   24 strand id             72 min_scattering_sec
+//   32 medium                80 max_scattering_sec
+//   40 recording_rate        88 secondaryCount, then secondaryArray
+constexpr size_t kHeaderFixedBytes = 96;
+
 std::vector<uint8_t> StrandIndex::SerializeHeaderBlock(
-    double recording_rate, int64_t unit_count,
+    const HeaderMeta& meta,
     const std::vector<std::pair<int64_t, int64_t>>& sb_extents) const {
   assert(static_cast<int64_t>(sb_extents.size()) == secondary_block_count());
   std::vector<uint8_t> out;
-  PutF64(&out, recording_rate);                                  // frameRate
+  PutI64(&out, static_cast<int64_t>(kHeaderBlockMagic));
+  PutI64(&out, 0);  // crc placeholder
+  PutI64(&out, static_cast<int64_t>(kHeaderFixedBytes + sb_extents.size() * 16));
+  PutI64(&out, meta.id);
+  PutI64(&out, meta.medium);
+  PutF64(&out, meta.recording_rate);                             // frameRate
+  PutI64(&out, meta.bits_per_unit);
+  PutI64(&out, meta.granularity);
+  PutI64(&out, meta.unit_count);                                 // frameCount
+  PutF64(&out, meta.min_scattering_sec);
+  PutF64(&out, meta.max_scattering_sec);
   PutI64(&out, static_cast<int64_t>(sb_extents.size()));         // secondaryCount
-  PutI64(&out, unit_count);                                      // frameCount
   for (const auto& [sector, sector_count] : sb_extents) {        // secondaryArray
     PutI64(&out, sector);
     PutI64(&out, sector_count);
+  }
+  const uint64_t crc = Crc64(std::span<const uint8_t>(out).subspan(16));
+  for (int i = 0; i < 8; ++i) {
+    out[8 + static_cast<size_t>(i)] = static_cast<uint8_t>(crc >> (8 * i));
   }
   return out;
 }
@@ -158,21 +182,42 @@ Result<std::vector<StrandIndex::SecondaryEntry>> StrandIndex::ParseSecondaryBloc
 }
 
 Result<StrandIndex::HeaderInfo> StrandIndex::ParseHeaderBlock(const std::vector<uint8_t>& blob) {
-  if (blob.size() < 24) {
+  if (blob.size() < kHeaderFixedBytes) {
     return Status(ErrorCode::kInvalidArgument, "header block too small");
   }
+  if (static_cast<uint64_t>(GetI64(blob, 0)) != kHeaderBlockMagic) {
+    return Status(ErrorCode::kInvalidArgument, "header block magic mismatch");
+  }
+  const int64_t len = GetI64(blob, 16);
+  if (len < static_cast<int64_t>(kHeaderFixedBytes) ||
+      static_cast<size_t>(len) > blob.size()) {
+    return Status(ErrorCode::kInvalidArgument, "header block length out of bounds");
+  }
+  const uint64_t crc = Crc64(std::span<const uint8_t>(blob).subspan(
+      16, static_cast<size_t>(len) - 16));
+  if (crc != static_cast<uint64_t>(GetI64(blob, 8))) {
+    return Status(ErrorCode::kInvalidArgument, "header block checksum mismatch");
+  }
   HeaderInfo info;
-  const int64_t rate_bits = GetI64(blob, 0);
-  uint64_t bits = static_cast<uint64_t>(rate_bits);
-  std::memcpy(&info.recording_rate, &bits, sizeof(bits));
-  const int64_t secondary_count = GetI64(blob, 8);
-  info.unit_count = GetI64(blob, 16);
-  if (secondary_count < 0 || info.unit_count < 0 || !(info.recording_rate > 0) ||
-      blob.size() < 24 + static_cast<size_t>(secondary_count) * 16) {
+  info.meta.id = GetI64(blob, 24);
+  info.meta.medium = GetI64(blob, 32);
+  uint64_t bits = static_cast<uint64_t>(GetI64(blob, 40));
+  std::memcpy(&info.meta.recording_rate, &bits, sizeof(bits));
+  info.meta.bits_per_unit = GetI64(blob, 48);
+  info.meta.granularity = GetI64(blob, 56);
+  info.meta.unit_count = GetI64(blob, 64);
+  bits = static_cast<uint64_t>(GetI64(blob, 72));
+  std::memcpy(&info.meta.min_scattering_sec, &bits, sizeof(bits));
+  bits = static_cast<uint64_t>(GetI64(blob, 80));
+  std::memcpy(&info.meta.max_scattering_sec, &bits, sizeof(bits));
+  const int64_t secondary_count = GetI64(blob, 88);
+  if (secondary_count < 0 || info.meta.unit_count < 0 ||
+      !(info.meta.recording_rate > 0) ||
+      len != static_cast<int64_t>(kHeaderFixedBytes) + secondary_count * 16) {
     return Status(ErrorCode::kInvalidArgument, "corrupt header block");
   }
   for (int64_t i = 0; i < secondary_count; ++i) {
-    const size_t offset = 24 + static_cast<size_t>(i) * 16;
+    const size_t offset = kHeaderFixedBytes + static_cast<size_t>(i) * 16;
     info.sb_extents.emplace_back(GetI64(blob, offset), GetI64(blob, offset + 8));
   }
   return info;

@@ -86,9 +86,30 @@ class StrandIndex {
   std::vector<uint8_t> SerializeSecondaryBlock(
       int64_t sb_number, const std::vector<std::pair<int64_t, int64_t>>& pb_extents) const;
 
-  // Serialized Header Block, given SB extents and media metadata.
+  // Signature of a serialized Header Block: the first 8 bytes on disk read
+  // "VAFSHB02". Because every HB starts on a sector boundary, the fsck
+  // scavenger can find orphaned strands by scanning populated sectors for
+  // this magic and validating the embedded CRC — no catalog required.
+  static constexpr uint64_t kHeaderBlockMagic = 0x3230'4248'5346'4156ULL;
+
+  // Media metadata carried inside the Header Block, enough to reconstruct
+  // a full StrandInfo without the catalog. `medium` is 0 for video, 1 for
+  // audio (the Medium enum lives a layer above this one).
+  struct HeaderMeta {
+    int64_t id = 0;
+    int64_t medium = 0;
+    double recording_rate = 0.0;
+    int64_t bits_per_unit = 0;
+    int64_t granularity = 1;
+    int64_t unit_count = 0;
+    double min_scattering_sec = 0.0;
+    double max_scattering_sec = 0.0;
+  };
+
+  // Serialized Header Block v2: magic, CRC-64 (over everything after the
+  // length field), logical length, HeaderMeta, then the SB placements.
   std::vector<uint8_t> SerializeHeaderBlock(
-      double recording_rate, int64_t unit_count,
+      const HeaderMeta& meta,
       const std::vector<std::pair<int64_t, int64_t>>& sb_extents) const;
 
   // Rebuilds an index from the concatenation of its serialized PBs, in
@@ -113,13 +134,14 @@ class StrandIndex {
 
   // The Header Block's decoded contents.
   struct HeaderInfo {
-    double recording_rate = 0.0;
-    int64_t unit_count = 0;
+    HeaderMeta meta;
     // SB placements: (sector, sector_count).
     std::vector<std::pair<int64_t, int64_t>> sb_extents;
   };
 
-  // Parses a Header Block read back from disk.
+  // Parses a Header Block read back from disk (trailing sector padding is
+  // tolerated). Fails unless the magic and CRC both check out, so a torn
+  // or shredded HB is rejected rather than half-trusted.
   static Result<HeaderInfo> ParseHeaderBlock(const std::vector<uint8_t>& blob);
 
  private:

@@ -226,8 +226,17 @@ Result<StrandId> StrandWriter::Finish(int64_t unit_count) {
     }
     sb_extents.push_back(*placed);
   }
+  StrandIndex::HeaderMeta meta;
+  meta.id = static_cast<int64_t>(info_.id);
+  meta.medium = info_.medium == Medium::kVideo ? 0 : 1;
+  meta.recording_rate = info_.recording_rate;
+  meta.bits_per_unit = info_.bits_per_unit;
+  meta.granularity = info_.granularity;
+  meta.unit_count = unit_count;
+  meta.min_scattering_sec = info_.min_scattering_sec;
+  meta.max_scattering_sec = info_.max_scattering_sec;
   if (Result<std::pair<int64_t, int64_t>> placed =
-          persist(index_.SerializeHeaderBlock(info_.recording_rate, unit_count, sb_extents));
+          persist(index_.SerializeHeaderBlock(meta, sb_extents));
       !placed.ok()) {
     return placed.status();
   }
@@ -238,8 +247,13 @@ Result<StrandId> StrandWriter::Finish(int64_t unit_count) {
   record.index_extents = std::move(owned_index_);
   record.total_gap_sec = total_gap_sec_;
   record.gap_count = blocks_written_ > 0 ? blocks_written_ - 1 : 0;
+  const Extent header_block = record.index_extents.back();
   store_->strands_[info_.id] = std::move(record);
   finished_ = true;
+  if (store_->catalog_listener_ != nullptr) {
+    store_->catalog_listener_->OnStrandAdded(
+        StrandStore::CatalogEntry{info_, header_block});
+  }
   return info_.id;
 }
 
@@ -267,7 +281,19 @@ Status StrandStore::Delete(StrandId id) {
     }
   }
   strands_.erase(it);
+  if (catalog_listener_ != nullptr) {
+    catalog_listener_->OnStrandDeleted(id);
+  }
   return Status::Ok();
+}
+
+std::vector<Extent> StrandStore::AllExtents() const {
+  std::vector<Extent> extents;
+  for (const auto& [id, record] : strands_) {
+    extents.insert(extents.end(), record.data_extents.begin(), record.data_extents.end());
+    extents.insert(extents.end(), record.index_extents.begin(), record.index_extents.end());
+  }
+  return extents;
 }
 
 std::vector<StrandId> StrandStore::AllIds() const {

@@ -144,6 +144,21 @@ class StrandStore {
   };
   std::vector<CatalogEntry> ExportCatalog() const;
 
+  // Observes catalog mutations (a strand finishing or being deleted), so
+  // the crash-consistency layer can journal the intent between
+  // checkpoints. Adoption during recovery does not notify.
+  class CatalogListener {
+   public:
+    virtual ~CatalogListener() = default;
+    virtual void OnStrandAdded(const CatalogEntry& entry) = 0;
+    virtual void OnStrandDeleted(StrandId id) = 0;
+  };
+  void set_catalog_listener(CatalogListener* listener) { catalog_listener_ = listener; }
+
+  // Every extent any strand occupies (data + index), unordered. The fsck
+  // claim-map check unions these against the allocator's view.
+  std::vector<Extent> AllExtents() const;
+
   // Re-registers a recovered strand: marks its extents allocated and
   // rebuilds gap statistics from the index. The id inside `info` is kept.
   Status AdoptStrand(const StrandInfo& info, StrandIndex index,
@@ -171,6 +186,7 @@ class StrandStore {
   StrandId next_id_ = 1;
   Disk* disk_;
   obs::TraceSink* trace_ = nullptr;
+  CatalogListener* catalog_listener_ = nullptr;
   ConstrainedAllocator allocator_;
   std::map<StrandId, StrandRecord> strands_;
 };

@@ -229,12 +229,27 @@ void ContinuityAuditor::OnEvent(const TraceEvent& event) {
                         " us (retry overran the Eq. 11 slack)");
       }
       break;
+    case TraceEventKind::kRecovery:
+      // The scheduler was rebuilt from a checkpoint: every in-flight request
+      // died with the crash, so the replayed ledger starts empty. Keeping
+      // pre-crash entries would flag phantom slots against the fresh
+      // scheduler's (correctly empty) snapshots.
+      requests_.clear();
+      previous_round_k_ = -1;
+      slot_released_ = false;
+      round_open_ = false;
+      break;
     case TraceEventKind::kBlockSkipped:
     case TraceEventKind::kBlockRelocated:
     case TraceEventKind::kDiskFault:
     case TraceEventKind::kDiskSalvage:
     case TraceEventKind::kDiskRead:
     case TraceEventKind::kDiskWrite:
+    case TraceEventKind::kPowerCut:
+    case TraceEventKind::kRootFlip:
+    case TraceEventKind::kJournalAppend:
+    case TraceEventKind::kJournalReplay:
+    case TraceEventKind::kFsckFinding:
       break;
   }
 }

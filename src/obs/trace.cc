@@ -45,8 +45,20 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "disk_fault";
     case TraceEventKind::kDiskSalvage:
       return "disk_salvage";
+    case TraceEventKind::kPowerCut:
+      return "power_cut";
     case TraceEventKind::kStrandWrite:
       return "strand_write";
+    case TraceEventKind::kRootFlip:
+      return "root_flip";
+    case TraceEventKind::kJournalAppend:
+      return "journal_append";
+    case TraceEventKind::kJournalReplay:
+      return "journal_replay";
+    case TraceEventKind::kFsckFinding:
+      return "fsck_finding";
+    case TraceEventKind::kRecovery:
+      return "recovery";
   }
   return "unknown";
 }
@@ -135,10 +147,35 @@ void MetricsSink::OnEvent(const TraceEvent& event) {
       m.counter("disk.salvage_reads").Increment();
       m.histogram("disk.salvage_service_usec").Record(static_cast<double>(event.duration));
       break;
+    case TraceEventKind::kPowerCut:
+      m.counter("disk.power_cuts").Increment();
+      power_cut_seen_ = true;
+      break;
     case TraceEventKind::kStrandWrite:
       m.counter("store.strand_blocks_written").Increment();
       if (event.gap_sec >= 0.0) {
         m.histogram("store.strand_gap_ms").Record(event.gap_sec * 1e3);
+      }
+      break;
+    case TraceEventKind::kRootFlip:
+      m.counter("persistence.root_flips").Increment();
+      m.gauge("persistence.generation").Set(static_cast<double>(event.round));
+      break;
+    case TraceEventKind::kJournalAppend:
+      m.counter("persistence.journal_appends").Increment();
+      break;
+    case TraceEventKind::kJournalReplay:
+      m.counter("persistence.journal_replays").Increment();
+      break;
+    case TraceEventKind::kFsckFinding:
+      m.counter("fsck.findings").Increment();
+      m.counter("fsck.findings." + event.detail).Increment();
+      break;
+    case TraceEventKind::kRecovery:
+      m.counter("recovery.completions").Increment();
+      if (power_cut_seen_) {
+        m.counter("recovery.crash_points_survived").Increment();
+        power_cut_seen_ = false;
       }
       break;
   }

@@ -47,7 +47,14 @@ enum class TraceEventKind {
   kDiskWrite,
   kDiskFault,    // injected fault; `detail` names the FaultKind
   kDiskSalvage,  // heroic recovery read (bypasses injection, costs extra)
+  kPowerCut,     // the device lost power mid-write; `blocks` = surviving prefix
   kStrandWrite,
+  // Crash consistency (src/vafs/persistence.h).
+  kRootFlip,       // a checkpoint committed by flipping the A/B root
+  kJournalAppend,  // a metadata intent reached the journal extent
+  kJournalReplay,  // recovery applied one journal intent
+  kFsckFinding,    // the scavenger reported one finding; `detail` names it
+  kRecovery,       // a recovery (LoadImage or Fsck) completed
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -130,6 +137,9 @@ class MetricsSink : public TraceSink {
 
  private:
   MetricsRegistry* registry_;
+  // Set by kPowerCut, consumed by the next kRecovery: a recovery that
+  // follows a cut counts as one crash point survived.
+  bool power_cut_seen_ = false;
 };
 
 }  // namespace obs

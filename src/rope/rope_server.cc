@@ -11,6 +11,16 @@ namespace vafs {
 
 RopeServer::RopeServer(StrandStore* store) : store_(store) {}
 
+void RopeServer::NotifyChanged(RopeId id) {
+  if (listener_ == nullptr) {
+    return;
+  }
+  auto it = ropes_.find(id);
+  if (it != ropes_.end()) {
+    listener_->OnRopeChanged(*it->second);
+  }
+}
+
 std::vector<Medium> RopeServer::SelectedMedia(MediaSelector media) {
   switch (media) {
     case MediaSelector::kVideo:
@@ -50,6 +60,7 @@ Result<RopeId> RopeServer::CreateRope(const std::string& creator, StrandId video
   }
   const RopeId id = next_id_++;
   ropes_[id] = std::move(rope);
+  NotifyChanged(id);
   return id;
 }
 
@@ -79,6 +90,7 @@ Status RopeServer::SetAccess(const std::string& user, RopeId id, AccessControl a
     return rope.status();
   }
   (*rope)->access() = std::move(access);
+  NotifyChanged(id);
   return Status::Ok();
 }
 
@@ -93,6 +105,7 @@ Status RopeServer::AddTrigger(const std::string& user, RopeId id, Trigger trigge
   (*rope)->triggers().push_back(std::move(trigger));
   std::sort((*rope)->triggers().begin(), (*rope)->triggers().end(),
             [](const Trigger& a, const Trigger& b) { return a.at_sec < b.at_sec; });
+  NotifyChanged(id);
   return Status::Ok();
 }
 
@@ -167,6 +180,7 @@ Status RopeServer::Insert(const std::string& user, RopeId base, double position_
       }
     }
   }
+  NotifyChanged(base);
   return Status::Ok();
 }
 
@@ -216,6 +230,7 @@ Status RopeServer::Replace(const std::string& user, RopeId base, MediaSelector m
     EraseRange(&target, erase_start, erase_count);
     InsertSegments(&target, erase_start, replacement);
   }
+  NotifyChanged(base);
   return Status::Ok();
 }
 
@@ -256,6 +271,7 @@ Result<RopeId> RopeServer::Substring(const std::string& user, RopeId base, Media
   }
   const RopeId id = next_id_++;
   ropes_[id] = std::move(result);
+  NotifyChanged(id);
   return id;
 }
 
@@ -313,6 +329,7 @@ Result<RopeId> RopeServer::Concat(const std::string& user, RopeId first, RopeId 
   }
   const RopeId id = next_id_++;
   ropes_[id] = std::move(result);
+  NotifyChanged(id);
   return id;
 }
 
@@ -352,6 +369,7 @@ Status RopeServer::Delete(const std::string& user, RopeId base, MediaSelector me
       }
     }
   }
+  NotifyChanged(base);
   return Status::Ok();
 }
 
@@ -361,6 +379,9 @@ Status RopeServer::DeleteRope(const std::string& user, RopeId id) {
     return rope.status();
   }
   ropes_.erase(id);
+  if (listener_ != nullptr) {
+    listener_->OnRopeDeleted(id);
+  }
   return Status::Ok();
 }
 
@@ -480,6 +501,9 @@ Result<RopeServer::RopeRepairStats> RopeServer::RepairRope(RopeId id, Medium med
       // splices at least one block, so the walk still terminates.
     }
   }
+  if (stats.blocks_copied > 0) {
+    NotifyChanged(id);
+  }
   return stats;
 }
 
@@ -538,6 +562,13 @@ Result<RopeServer::StorageReorgStats> RopeServer::ReorganizeStorage(double bound
     stats.copy_time += outcome->copy_time;
   }
   stats.largest_free_extent_after = store_->allocator().LargestFreeExtent();
+  if (stats.strands_relocated > 0) {
+    // Relocation rebinds strand ids inside rope tracks; report every rope's
+    // post-rebind state so the journal reflects the new bindings.
+    for (const auto& [rope_id, rope] : ropes_) {
+      NotifyChanged(rope_id);
+    }
+  }
   return stats;
 }
 
@@ -569,6 +600,11 @@ Result<RopeServer::StorageReorgStats> RopeServer::CompactStorage() {
     }
   }
   stats.largest_free_extent_after = store_->allocator().LargestFreeExtent();
+  if (stats.strands_relocated > 0) {
+    for (const auto& [rope_id, rope] : ropes_) {
+      NotifyChanged(rope_id);
+    }
+  }
   return stats;
 }
 
@@ -594,14 +630,21 @@ std::vector<const Rope*> RopeServer::AllRopes() const {
   return ropes;
 }
 
-Status RopeServer::AdoptRope(std::unique_ptr<Rope> rope) {
+Status RopeServer::AdoptRope(std::unique_ptr<Rope> rope, bool replace_existing) {
   const RopeId id = rope->id();
-  if (ropes_.count(id) != 0) {
+  if (!replace_existing && ropes_.count(id) != 0) {
     return Status(ErrorCode::kAlreadyExists, "rope " + std::to_string(id));
   }
   ropes_[id] = std::move(rope);
   if (id >= next_id_) {
     next_id_ = id + 1;
+  }
+  return Status::Ok();
+}
+
+Status RopeServer::EraseRope(RopeId id) {
+  if (ropes_.erase(id) == 0) {
+    return Status(ErrorCode::kNotFound, "rope " + std::to_string(id));
   }
   return Status::Ok();
 }

@@ -152,11 +152,31 @@ class RopeServer {
   // All ropes, for serialization into the on-disk image.
   std::vector<const Rope*> AllRopes() const;
 
-  // Re-registers a recovered rope, keeping its id.
-  Status AdoptRope(std::unique_ptr<Rope> rope);
+  // Re-registers a recovered rope, keeping its id. With `replace_existing`
+  // an already-present rope of the same id is overwritten — journal replay
+  // upserts the full rope state per recorded edit.
+  Status AdoptRope(std::unique_ptr<Rope> rope, bool replace_existing = false);
+
+  // Removes a rope without the access-control check of DeleteRope. Journal
+  // replay only: the recorded deletion already passed the check when it
+  // happened.
+  Status EraseRope(RopeId id);
+
+  // Observes rope mutations (creation, edit, deletion), so the
+  // crash-consistency layer can journal intents between checkpoints.
+  // Adoption and erasure during recovery do not notify.
+  class MutationListener {
+   public:
+    virtual ~MutationListener() = default;
+    virtual void OnRopeChanged(const Rope& rope) = 0;
+    virtual void OnRopeDeleted(RopeId id) = 0;
+  };
+  void set_mutation_listener(MutationListener* listener) { listener_ = listener; }
 
  private:
   Result<Rope*> FindMutable(const std::string& user, RopeId id);
+  // Reports a rope's (possibly new) full state to the mutation listener.
+  void NotifyChanged(RopeId id);
   // Tracks selected by a MediaSelector.
   static std::vector<Medium> SelectedMedia(MediaSelector media);
   // Ensures the rope's track for `medium` has rate/granularity compatible
@@ -171,6 +191,7 @@ class RopeServer {
   std::vector<StrandId> ReferencedStrands() const;
 
   StrandStore* store_;
+  MutationListener* listener_ = nullptr;
   RopeId next_id_ = 1;
   std::map<RopeId, std::unique_ptr<Rope>> ropes_;
   std::set<StrandId> pinned_;

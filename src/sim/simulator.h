@@ -49,6 +49,12 @@ class Simulator {
   // advances the clock to `deadline`.
   void RunUntil(SimTime deadline);
 
+  // Drops every pending event without running it. Crash recovery uses this:
+  // callbacks scheduled by a scheduler that died with the crash capture its
+  // `this` and must never fire against the rebuilt one. The clock and the
+  // executed-event counter are preserved.
+  void Clear() { queue_ = {}; }
+
   // Number of events executed so far (diagnostic).
   int64_t events_executed() const { return events_executed_; }
 

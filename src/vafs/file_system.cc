@@ -42,6 +42,47 @@ MultimediaFileSystem::MultimediaFileSystem(const FileSystemConfig& config) : con
       std::make_unique<ServiceScheduler>(store_.get(), &simulator_, *admission_, config.scheduler);
   ropes_ = std::make_unique<RopeServer>(store_.get());
   text_files_ = std::make_unique<TextFileService>(disk_.get(), &store_->allocator());
+  InstallListeners();
+}
+
+void MultimediaFileSystem::InstallListeners() {
+  store_->set_catalog_listener(&journal_hook_);
+  ropes_->set_mutation_listener(&journal_hook_);
+  text_files_->set_listener(&journal_hook_);
+}
+
+void MultimediaFileSystem::Journal(Intent intent, const std::vector<uint8_t>& payload) {
+  if (journal_ == nullptr || journal_overflowed_) {
+    return;  // no committed generation yet, or the journal filled up
+  }
+  if (Status status = journal_->Append(intent, payload); !status.ok()) {
+    // Stop journaling; the next checkpoint captures everything anyway.
+    journal_overflowed_ = true;
+  }
+}
+
+void MultimediaFileSystem::JournalHook::OnStrandAdded(const StrandStore::CatalogEntry& entry) {
+  fs_->Journal(Intent::kStrandAdded, EncodeStrandIntent(entry));
+}
+
+void MultimediaFileSystem::JournalHook::OnStrandDeleted(StrandId id) {
+  fs_->Journal(Intent::kStrandDeleted, EncodeStrandDeleteIntent(id));
+}
+
+void MultimediaFileSystem::JournalHook::OnRopeChanged(const Rope& rope) {
+  fs_->Journal(Intent::kRopeUpsert, EncodeRopeIntent(rope));
+}
+
+void MultimediaFileSystem::JournalHook::OnRopeDeleted(RopeId id) {
+  fs_->Journal(Intent::kRopeDeleted, EncodeRopeDeleteIntent(id));
+}
+
+void MultimediaFileSystem::JournalHook::OnFileWritten(const TextFileService::ExportedFile& file) {
+  fs_->Journal(Intent::kTextUpsert, EncodeTextIntent(file));
+}
+
+void MultimediaFileSystem::JournalHook::OnFileRemoved(const std::string& name) {
+  fs_->Journal(Intent::kTextRemoved, EncodeTextRemoveIntent(name));
 }
 
 Result<StrandPlacement> MultimediaFileSystem::PlacementFor(const MediaProfile& media) const {
@@ -153,26 +194,64 @@ Status MultimediaFileSystem::Checkpoint() {
       SaveImage(store_.get(), ropes_.get(), text_files_.get(),
                 image_receipt_.valid ? &image_receipt_ : nullptr);
   if (!receipt.ok()) {
+    // A failed save committed nothing: the previous receipt (and journal
+    // generation) remain the live ones.
     return receipt.status();
   }
   image_receipt_ = *receipt;
+  // The bumped generation implicitly invalidates all prior journal entries;
+  // start appending a fresh generation from the top of the extent.
+  journal_ = std::make_unique<IntentJournal>(disk_.get(), image_receipt_.journal_extent,
+                                             image_receipt_.generation);
+  journal_overflowed_ = false;
   return Status::Ok();
 }
 
 Status MultimediaFileSystem::Recover() {
-  Result<LoadedImage> image = LoadImage(disk_.get());
-  if (!image.ok()) {
-    return image.status();
+  if (disk_->powered_off()) {
+    disk_->PowerCycle();
   }
-  store_ = std::move(image->store);
-  ropes_ = std::move(image->ropes);
-  text_files_ = std::move(image->texts);
-  image_receipt_ = image->receipt;
-  // The scheduler's in-flight requests died with the crash; rebuild it
-  // over the recovered store.
+
+  int64_t journal_resume_offset = 0;
+  int64_t journal_resume_sequence = 0;
+  Result<LoadedImage> image = LoadImage(disk_.get());
+  if (image.ok()) {
+    store_ = std::move(image->store);
+    ropes_ = std::move(image->ropes);
+    text_files_ = std::move(image->texts);
+    image_receipt_ = image->receipt;
+    journal_resume_offset = image->journal_resume_offset_sectors;
+    journal_resume_sequence = image->journal_resume_sequence;
+  } else if (image.status().code() == ErrorCode::kNotFound) {
+    return image.status();  // pristine disk: nothing to recover
+  } else {
+    // Roots exist but no catalog is readable: scavenge.
+    Result<FsckReport> report = Fsck(disk_.get());
+    if (!report.ok()) {
+      return report.status();
+    }
+    store_ = std::move(report->store);
+    ropes_ = std::move(report->ropes);
+    text_files_ = std::move(report->texts);
+    image_receipt_ = report->receipt;
+  }
+
+  // The scheduler's in-flight requests died with the crash; drop the
+  // simulator events still holding the dead scheduler and rebuild it over
+  // the recovered store, returning every admission slot.
+  simulator_.Clear();
   scheduler_ =
       std::make_unique<ServiceScheduler>(store_.get(), &simulator_, *admission_,
                                          config_.scheduler);
+  InstallListeners();
+  if (image_receipt_.valid) {
+    journal_ = std::make_unique<IntentJournal>(disk_.get(), image_receipt_.journal_extent,
+                                               image_receipt_.generation);
+    journal_->ResumeAt(journal_resume_offset, journal_resume_sequence);
+  } else {
+    journal_.reset();  // scavenged state has no committed generation
+  }
+  journal_overflowed_ = false;
   return Status::Ok();
 }
 

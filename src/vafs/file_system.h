@@ -104,13 +104,22 @@ class MultimediaFileSystem {
 
   // --- Persistence ------------------------------------------------------------
 
-  // Writes the catalog (strands, ropes, text files) to the disk image;
-  // repeated checkpoints reuse the root sector and free the old catalog.
+  // Commits the catalog (strands, ropes, text files) to the disk image via
+  // the A/B root protocol and starts a fresh intent-journal generation. On
+  // failure the previous checkpoint stays committed and `image_receipt_`
+  // untouched, so a retry resumes cleanly.
   Status Checkpoint();
 
-  // Discards all in-memory state and rebuilds it from the disk image (the
-  // crash-recovery path). Active requests are abandoned.
+  // Discards all in-memory state and rebuilds it from the disk image plus
+  // the replayed intent journal; falls back to the fsck scavenger when no
+  // root yields a readable catalog. Restores power after a simulated cut,
+  // abandons all active requests (their admission slots die with the
+  // scheduler), and clears pending simulator events.
   Status Recover();
+
+  // Offline check-and-repair over the current disk. Unlike Recover(), the
+  // in-memory layers are not replaced; the report carries its own.
+  Result<FsckReport> RunFsck() { return Fsck(disk_.get()); }
 
   // Untimed data-path read of a rope interval (for verification and
   // non-real-time clients). Returns one payload per block covering the
@@ -120,6 +129,30 @@ class MultimediaFileSystem {
                                                            Medium medium, TimeInterval interval);
 
  private:
+  // Forwards every metadata mutation into the intent journal between
+  // checkpoints (redo logging: the mutation has already happened when the
+  // hook fires).
+  class JournalHook final : public StrandStore::CatalogListener,
+                            public RopeServer::MutationListener,
+                            public TextFileService::Listener {
+   public:
+    explicit JournalHook(MultimediaFileSystem* fs) : fs_(fs) {}
+    void OnStrandAdded(const StrandStore::CatalogEntry& entry) override;
+    void OnStrandDeleted(StrandId id) override;
+    void OnRopeChanged(const Rope& rope) override;
+    void OnRopeDeleted(RopeId id) override;
+    void OnFileWritten(const TextFileService::ExportedFile& file) override;
+    void OnFileRemoved(const std::string& name) override;
+
+   private:
+    MultimediaFileSystem* fs_;
+  };
+
+  // Appends one intent if a journal generation is active; a full journal
+  // (or a failed append) stops journaling until the next checkpoint.
+  void Journal(Intent intent, const std::vector<uint8_t>& payload);
+  void InstallListeners();
+
   FileSystemConfig config_;
   Simulator simulator_;
   std::unique_ptr<Disk> disk_;
@@ -131,6 +164,9 @@ class MultimediaFileSystem {
   std::unique_ptr<TextFileService> text_files_;
   SilenceDetector silence_detector_;
   ImageReceipt image_receipt_;
+  JournalHook journal_hook_{this};
+  std::unique_ptr<IntentJournal> journal_;
+  bool journal_overflowed_ = false;
 };
 
 }  // namespace vafs

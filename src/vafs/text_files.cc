@@ -71,7 +71,10 @@ Status TextFileService::Write(const std::string& name, std::span<const uint8_t> 
   if (it != files_.end()) {
     FreeFile(it->second);
   }
-  files_[name] = FileRecord{total_bytes, std::move(extents)};
+  FileRecord& record = files_[name] = FileRecord{total_bytes, std::move(extents)};
+  if (listener_ != nullptr) {
+    listener_->OnFileWritten(ExportedFile{name, record.size_bytes, record.extents});
+  }
   return Status::Ok();
 }
 
@@ -101,6 +104,9 @@ Status TextFileService::Remove(const std::string& name) {
   }
   FreeFile(it->second);
   files_.erase(it);
+  if (listener_ != nullptr) {
+    listener_->OnFileRemoved(name);
+  }
   return Status::Ok();
 }
 

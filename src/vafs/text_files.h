@@ -55,6 +55,17 @@ class TextFileService {
   // marked allocated.
   Status Adopt(const std::string& name, int64_t size_bytes, std::vector<Extent> extents);
 
+  // Observes file mutations (write or removal), so the crash-consistency
+  // layer can journal intents between checkpoints. Adoption during
+  // recovery does not notify.
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    virtual void OnFileWritten(const ExportedFile& file) = 0;
+    virtual void OnFileRemoved(const std::string& name) = 0;
+  };
+  void set_listener(Listener* listener) { listener_ = listener; }
+
  private:
   struct FileRecord {
     int64_t size_bytes = 0;
@@ -65,6 +76,7 @@ class TextFileService {
 
   Disk* disk_;
   ConstrainedAllocator* allocator_;
+  Listener* listener_ = nullptr;
   std::map<std::string, FileRecord> files_;
 };
 

@@ -177,12 +177,12 @@ TEST_F(FileSystemTest, CheckpointAndRecoverRoundTrip) {
   const std::vector<uint8_t> note{'x', 'y'};
   ASSERT_TRUE(fs_.text_files().Write("n", note).ok());
   ASSERT_TRUE(fs_.Checkpoint().ok());
-  // More work after the checkpoint is lost by a crash...
-  const auto lost = RecordAv(1.0, 21);
+  // Work after the checkpoint lands in the intent journal...
+  const auto journaled = RecordAv(1.0, 21);
   ASSERT_TRUE(fs_.Recover().ok());
-  // ...the checkpointed rope survives, the post-checkpoint one does not.
+  // ...so recovery replays it: both ropes survive the crash.
   EXPECT_TRUE(fs_.rope_server().Find(recorded.rope).ok());
-  EXPECT_FALSE(fs_.rope_server().Find(lost.rope).ok());
+  EXPECT_TRUE(fs_.rope_server().Find(journaled.rope).ok());
   Result<std::vector<uint8_t>> read = fs_.text_files().Read("n");
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(*read, note);

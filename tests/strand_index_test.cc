@@ -122,11 +122,37 @@ TEST(StrandIndexTest, HeaderBlockLayout) {
   for (int i = 0; i < 3; ++i) {
     index.Append(Block(i));
   }
+  StrandIndex::HeaderMeta meta;
+  meta.id = 7;
+  meta.medium = 0;
+  meta.recording_rate = 30.0;
+  meta.granularity = 4;
+  meta.bits_per_unit = 100;
+  meta.unit_count = 12;
+  meta.max_scattering_sec = 0.25;
   // 2 PBs -> 2 SBs with fanout 1.
-  const std::vector<uint8_t> header =
-      index.SerializeHeaderBlock(30.0, 12, {{100, 1}, {200, 1}});
-  // frameRate (8) + secondaryCount (8) + frameCount (8) + 2 * 16.
-  EXPECT_EQ(header.size(), 8u + 8 + 8 + 32);
+  const std::vector<uint8_t> header = index.SerializeHeaderBlock(meta, {{100, 1}, {200, 1}});
+  // magic + crc + len + 8 meta fields + secondaryCount (8 each) + 2 * 16.
+  EXPECT_EQ(header.size(), 96u + 32);
+
+  // The magic is the literal byte signature the scavenger scans for.
+  EXPECT_EQ(std::string(header.begin(), header.begin() + 8), "VAFSHB02");
+
+  // Round-trips, even with sector padding appended.
+  std::vector<uint8_t> padded = header;
+  padded.resize(512, 0);
+  auto parsed = StrandIndex::ParseHeaderBlock(padded);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->meta.id, 7);
+  EXPECT_EQ(parsed->meta.recording_rate, 30.0);
+  EXPECT_EQ(parsed->meta.unit_count, 12);
+  EXPECT_EQ(parsed->meta.max_scattering_sec, 0.25);
+  ASSERT_EQ(parsed->sb_extents.size(), 2u);
+  EXPECT_EQ(parsed->sb_extents[0].first, 100);
+
+  // One flipped payload bit must fail the checksum.
+  padded[40] ^= 0x01;
+  EXPECT_FALSE(StrandIndex::ParseHeaderBlock(padded).ok());
 }
 
 }  // namespace
