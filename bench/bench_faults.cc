@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cinttypes>
 #include <vector>
 
@@ -31,7 +32,8 @@ struct FaultSweepResult {
   bool auditor_clean = false;
 };
 
-FaultSweepResult RunScenario(double read_fault_rate, int streams, double seconds) {
+FaultSweepResult RunScenario(double read_fault_rate, int streams, double seconds,
+                             obs::TraceLog* log = nullptr, obs::SloTracker* slo = nullptr) {
   const MediaProfile video = UvcCompressedVideo();
   FaultOptions faults;
   faults.seed = 2024;
@@ -42,8 +44,16 @@ FaultSweepResult RunScenario(double read_fault_rate, int streams, double seconds
   obs::TeeSink tee;
   tee.Add(&auditor);
   tee.Add(&g_metrics_sink);
+  if (log != nullptr) {
+    tee.Add(log);
+  }
+  if (slo != nullptr) {
+    tee.Add(slo);
+  }
   store.set_trace_sink(&tee);
-  disk.set_trace_sink(&g_metrics_sink);
+  // The device feeds the same tee so the Perfetto export carries the disk
+  // timeline next to the scheduler's (the auditor ignores device events).
+  disk.set_trace_sink(&tee);
 
   ContinuityModel model(StorageTimings::FromDiskModel(disk.model()), UvcDisplay());
   const StrandPlacement placement =
@@ -108,18 +118,40 @@ void PrintFaultTable() {
   std::printf("4 streams x %.0f s playback; retries only while the round fits its\n"
               "Eq. 11 budget, skipped blocks play as silence (degraded frame)\n\n",
               seconds);
-  std::printf("%10s | %9s %7s %8s %8s %11s %8s\n", "fault rate", "completed", "faults",
-              "retried", "skipped", "violations", "auditor");
-  for (double rate : {0.0, 0.005, 0.01, 0.05}) {
-    const FaultSweepResult result = RunScenario(rate, streams, seconds);
-    std::printf("%9.1f%% | %7d/%d %7" PRId64 " %8" PRId64 " %8" PRId64 " %11" PRId64 " %8s\n",
+  std::printf("%10s | %9s %7s %8s %8s %11s %8s %8s %7s\n", "fault rate", "completed", "faults",
+              "retried", "skipped", "violations", "auditor", "within%", "degr%");
+  for (double rate : {0.0, 0.005, 0.01, 0.05, 0.25}) {
+    // Each rate gets its own trace log and SLO tracker; the clean run and
+    // the heaviest fault run also leave artifacts for CI.
+    obs::TraceLog log(1 << 16);
+    obs::SloTracker slo;
+    const FaultSweepResult result = RunScenario(rate, streams, seconds, &log, &slo);
+    const obs::SloReport report = slo.Report();
+    double min_within = 1.0;
+    double max_degraded = 0.0;
+    for (const obs::StreamSlo& stream : report.streams) {
+      min_within = std::min(min_within, stream.WithinBudgetFraction());
+      max_degraded = std::max(max_degraded, stream.DegradedRatio());
+    }
+    std::printf("%9.1f%% | %7d/%d %7" PRId64 " %8" PRId64 " %8" PRId64 " %11" PRId64
+                " %8s %7.2f%% %6.2f%%\n",
                 rate * 100.0, result.streams_completed, streams, result.faults_seen,
                 result.blocks_retried, result.blocks_skipped, result.continuity_violations,
-                result.auditor_clean ? "clean" : "FLAGGED");
+                result.auditor_clean ? "clean" : "FLAGGED", min_within * 100.0,
+                max_degraded * 100.0);
+    if (rate == 0.0) {
+      WriteSloJson(report, "faults_clean");
+    } else if (rate == 0.25) {
+      WriteSloJson(report, "faults");
+      WriteBenchArtifact(obs::PerfettoExporter(&log.events()), "faults");
+      WriteBenchArtifact(obs::PrometheusExporter(&g_metrics), "faults");
+    }
   }
   std::printf("(faults = injected transient read errors seen by the scheduler;\n"
               " retried = re-reads issued inside the round's continuity slack;\n"
-              " skipped = blocks given up on and played as silence)\n");
+              " skipped = blocks given up on and played as silence;\n"
+              " within%% = min over streams of accounted rounds inside the Eq. 11 budget;\n"
+              " degr%% = max over streams of blocks rendered as silence)\n");
 }
 
 void BM_FourStreamsAt1Percent(benchmark::State& state) {

@@ -15,7 +15,11 @@
 #include "src/core/profiles.h"
 #include "src/disk/disk_model.h"
 #include "src/media/media.h"
+#include "src/obs/export.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
+#include "src/obs/trace.h"
 #include "src/vafs/file_system.h"
 
 namespace vafs {
@@ -89,6 +93,53 @@ inline void WriteMetricsJson(const obs::MetricsRegistry& registry, const char* b
   std::fputc('\n', file);
   std::fclose(file);
   std::printf("metrics: %s\n", path.c_str());
+}
+
+// Writes one exporter artifact as BENCH_<name><extension>, logging the path
+// so CI can collect it.
+inline void WriteBenchArtifact(const obs::Exporter& exporter, const char* bench_name) {
+  const std::string path = std::string("BENCH_") + bench_name + exporter.FileExtension();
+  if (Status written = obs::WriteExport(exporter, path); !written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return;
+  }
+  std::printf("%s: %s\n", exporter.Format(), path.c_str());
+}
+
+// Writes a continuity-SLO report as BENCH_<name>_slo.json.
+inline void WriteSloJson(const obs::SloReport& report, const char* bench_name) {
+  const std::string path = std::string("BENCH_") + bench_name + "_slo.json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string json = report.ToJson();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("slo: %s\n", path.c_str());
+}
+
+// Writes a flight-recorder dump as BENCH_<name>_flight.txt (only when the
+// recorder actually triggered; a missing file means a clean run).
+inline void WriteFlightDump(const obs::FlightRecorder& flight, const char* bench_name) {
+  if (flight.triggers() == 0) {
+    return;
+  }
+  const std::string path = std::string("BENCH_") + bench_name + "_flight.txt";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  const std::string header = "trigger: " + flight.last_dump_reason() + "\n";
+  std::fwrite(header.data(), 1, header.size(), file);
+  const std::string dump = flight.Dump();
+  std::fwrite(dump.data(), 1, dump.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("flight dump: %s\n", path.c_str());
 }
 
 }  // namespace vafs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <string>
 
 namespace vafs {
@@ -12,15 +13,18 @@ Disk::Disk(const DiskParameters& params, DiskOptions options)
 namespace {
 
 void EmitTransfer(obs::TraceSink* trace, obs::TraceEventKind kind, int64_t start_sector,
-                  int64_t sectors, SimDuration service, const char* detail = nullptr) {
+                  int64_t sectors, SimDuration service, SimTime time, int64_t seek_cylinders,
+                  const char* detail = nullptr) {
   if (trace == nullptr) {
     return;
   }
   obs::TraceEvent event;
   event.kind = kind;
+  event.time = time;
   event.sector = start_sector;
   event.blocks = sectors;
   event.duration = service;
+  event.seek_cylinders = seek_cylinders;
   if (detail != nullptr) {
     event.detail = detail;
   }
@@ -29,11 +33,19 @@ void EmitTransfer(obs::TraceSink* trace, obs::TraceEventKind kind, int64_t start
 
 }  // namespace
 
+SimTime Disk::TraceTime(SimDuration service) const {
+  // Under a caller-provided clock the event ends `service` after the
+  // caller's now; otherwise the cumulative busy clock (already advanced by
+  // this operation) stands in.
+  return time_hint_ != nullptr ? *time_hint_ + service : busy_time_;
+}
+
 Status Disk::CheckDeviceUp() {
   if (injector_.powered_off()) {
     // No power: the bus does not answer at all.
     last_fault_service_ = 0;
-    EmitTransfer(trace_, obs::TraceEventKind::kDiskFault, 0, 0, 0, "powered_off");
+    EmitTransfer(trace_, obs::TraceEventKind::kDiskFault, 0, 0, 0, TraceTime(0), 0,
+                 "powered_off");
     return Status(ErrorCode::kIoError, "disk powered off");
   }
   if (!failed_) {
@@ -41,7 +53,8 @@ Status Disk::CheckDeviceUp() {
   }
   // A dead device answers instantly (host-side timeout abstracted away).
   last_fault_service_ = 0;
-  EmitTransfer(trace_, obs::TraceEventKind::kDiskFault, 0, 0, 0, "device_failed");
+  EmitTransfer(trace_, obs::TraceEventKind::kDiskFault, 0, 0, 0, TraceTime(0), 0,
+               "device_failed");
   return Status(ErrorCode::kIoError, "disk failed");
 }
 
@@ -66,7 +79,7 @@ Status Disk::Faulted(FaultKind kind, int64_t start_sector, int64_t sectors,
   // the platter turned, only the data is missing.
   last_fault_service_ = service;
   EmitTransfer(trace_, obs::TraceEventKind::kDiskFault, start_sector, sectors, service,
-               FaultKindName(kind));
+               TraceTime(service), last_seek_cylinders_, FaultKindName(kind));
   if (kind == FaultKind::kBadSector) {
     return Status(ErrorCode::kBadSector,
                   "latent defect in extent [" + std::to_string(start_sector) + ", +" +
@@ -94,6 +107,7 @@ Status Disk::ValidateExtent(int64_t start_sector, int64_t sectors) const {
 SimDuration Disk::Position(int64_t start_sector) {
   const int64_t target_cylinder = model_.SectorToCylinder(start_sector);
   const SimDuration seek = model_.SeekTime(head_cylinder_, target_cylinder);
+  last_seek_cylinders_ = std::abs(target_cylinder - head_cylinder_);
   head_cylinder_ = target_cylinder;
   return seek + model_.AverageRotationalLatency();
 }
@@ -119,7 +133,8 @@ Result<SimDuration> Disk::Read(int64_t start_sector, int64_t sectors, std::vecto
   if (FaultKind fault = injector_.OnRead(start_sector, sectors); fault != FaultKind::kNone) {
     return Faulted(fault, start_sector, sectors, service);
   }
-  EmitTransfer(trace_, obs::TraceEventKind::kDiskRead, start_sector, sectors, service);
+  EmitTransfer(trace_, obs::TraceEventKind::kDiskRead, start_sector, sectors, service,
+               TraceTime(service), last_seek_cylinders_);
 
   if (out != nullptr) {
     out->clear();
@@ -154,7 +169,8 @@ Result<SimDuration> Disk::ReadSalvage(int64_t start_sector, int64_t sectors,
   ++reads_;
   busy_time_ += service;
   head_cylinder_ = model_.SectorToCylinder(start_sector + sectors - 1);
-  EmitTransfer(trace_, obs::TraceEventKind::kDiskSalvage, start_sector, sectors, service);
+  EmitTransfer(trace_, obs::TraceEventKind::kDiskSalvage, start_sector, sectors, service,
+               TraceTime(service), last_seek_cylinders_);
 
   if (out != nullptr) {
     out->clear();
@@ -212,7 +228,8 @@ Result<SimDuration> Disk::Write(int64_t start_sector, int64_t sectors,
     }
     last_fault_service_ = service;
     EmitTransfer(trace_, obs::TraceEventKind::kPowerCut, start_sector, crash.prefix_sectors,
-                 service, crash.shred.empty() ? "power_cut" : "power_cut_torn");
+                 service, TraceTime(service), last_seek_cylinders_,
+                 crash.shred.empty() ? "power_cut" : "power_cut_torn");
     return Status(ErrorCode::kIoError,
                   "power cut " + std::to_string(crash.prefix_sectors) + " sectors into write [" +
                       std::to_string(start_sector) + ", +" + std::to_string(sectors) + ")");
@@ -220,7 +237,8 @@ Result<SimDuration> Disk::Write(int64_t start_sector, int64_t sectors,
   if (FaultKind fault = injector_.OnWrite(start_sector, sectors); fault != FaultKind::kNone) {
     return Faulted(fault, start_sector, sectors, service);
   }
-  EmitTransfer(trace_, obs::TraceEventKind::kDiskWrite, start_sector, sectors, service);
+  EmitTransfer(trace_, obs::TraceEventKind::kDiskWrite, start_sector, sectors, service,
+               TraceTime(service), last_seek_cylinders_);
 
   if (options_.retain_data && !data.empty()) {
     for (int64_t i = 0; i < sectors; ++i) {

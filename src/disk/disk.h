@@ -119,10 +119,22 @@ class Disk {
   int64_t writes() const { return writes_; }
   SimDuration busy_time() const { return busy_time_; }
 
-  // Optional observability: every Read/Write reports its extent and
-  // simulated service time to `sink`. The sink must outlive the disk.
+  // Optional observability: every Read/Write reports its extent, simulated
+  // service time and arm travel (seek_cylinders) to `sink`. The sink must
+  // outlive the disk.
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
   obs::TraceSink* trace_sink() const { return trace_; }
+
+  // Optional clock for trace timestamps: when set, device events are
+  // stamped end-of-operation relative to *hint (the caller's simulated
+  // clock at issue time, e.g. the scheduler's in-round `now`). When null,
+  // events fall back to the device's cumulative busy clock, which orders
+  // operations correctly but is not simulation time. The pointee must stay
+  // valid until the hint is cleared with set_time_hint(nullptr).
+  void set_time_hint(const SimTime* hint) { time_hint_ = hint; }
+
+  // Arm travel (cylinders) of the most recent positioned operation.
+  int64_t last_seek_cylinders() const { return last_seek_cylinders_; }
 
  private:
   Status ValidateExtent(int64_t start_sector, int64_t sectors) const;
@@ -133,10 +145,16 @@ class Disk {
   Status Faulted(FaultKind kind, int64_t start_sector, int64_t sectors, SimDuration service);
   Status CheckDeviceUp();
 
+  // Trace timestamp for an operation that consumed `service`, under the
+  // active clock (time hint or device busy clock).
+  SimTime TraceTime(SimDuration service) const;
+
   DiskModel model_;
   Options options_;
   FaultInjector injector_;
   obs::TraceSink* trace_ = nullptr;
+  const SimTime* time_hint_ = nullptr;
+  int64_t last_seek_cylinders_ = 0;
   bool failed_ = false;
   SimDuration last_fault_service_ = 0;
   int64_t head_cylinder_ = 0;

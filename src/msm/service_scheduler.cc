@@ -450,12 +450,6 @@ void ServiceScheduler::RunRound() {
       Emit(event);
     }
   }
-  if (options_.trace != nullptr) {
-    obs::TraceEvent event = TraceContext();
-    event.kind = obs::TraceEventKind::kRoundStart;
-    Emit(event);
-  }
-
   // Eq. 11 envelope of this round: the tightest serviced request's fetched
   // playback, min_i(k_i * d_i). Retries of faulted blocks are only issued
   // while the round still fits inside it.
@@ -481,6 +475,16 @@ void ServiceScheduler::RunRound() {
       round_budget_ = budget;
     }
   }
+  if (options_.trace != nullptr) {
+    obs::TraceEvent event = TraceContext();
+    event.kind = obs::TraceEventKind::kRoundStart;
+    event.round_budget = round_budget_;
+    Emit(event);
+  }
+  // Device events emitted while servicing this round carry the in-round
+  // simulated clock instead of the device busy clock (exporters place them
+  // on the shared timeline).
+  store_->disk().set_time_hint(&now);
 
   // Section 6.2 SCAN option: service this round's requests in disk-position
   // order, shrinking the inter-request repositioning cost.
@@ -502,6 +506,7 @@ void ServiceScheduler::RunRound() {
     if (request.stats.start_time < 0) {
       request.stats.start_time = now;
     }
+    const SimTime service_start = now;
     const int64_t transferred = request.playback.has_value() ? ServicePlayback(&request, &now)
                                                              : ServiceRecording(&request, &now);
     transferred_total += transferred;
@@ -511,6 +516,8 @@ void ServiceScheduler::RunRound() {
       event.time = now;
       event.request = id;
       event.blocks = transferred;
+      event.duration = now - service_start;
+      event.round_budget = round_budget_;
       if (request.playback.has_value()) {
         event.block_playback = static_cast<SimDuration>(
             static_cast<double>(request.playback->block_duration) /
@@ -523,12 +530,14 @@ void ServiceScheduler::RunRound() {
       Emit(event);
     }
   }
+  store_->disk().set_time_hint(nullptr);
   if (options_.trace != nullptr) {
     obs::TraceEvent event = TraceContext();
     event.kind = obs::TraceEventKind::kRoundEnd;
     event.time = now;
     event.duration = now - round_start;
     event.blocks = transferred_total;
+    event.round_budget = round_budget_;
     Emit(event);
   }
   simulator_->RunUntil(now);  // account the disk time this round consumed

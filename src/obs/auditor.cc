@@ -10,6 +10,9 @@ ContinuityAuditor::ContinuityAuditor(AuditorOptions options) : options_(options)
 
 void ContinuityAuditor::Flag(const TraceEvent& event, std::string what) {
   violations_.push_back(AuditViolation{event.round, event.time, std::move(what)});
+  if (violation_handler_) {
+    violation_handler_(violations_.back());
+  }
 }
 
 SlotSnapshot ContinuityAuditor::Ledger() const {

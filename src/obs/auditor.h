@@ -33,6 +33,7 @@
 #define VAFS_SRC_OBS_AUDITOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -69,6 +70,13 @@ class ContinuityAuditor : public TraceSink {
 
   const std::vector<AuditViolation>& violations() const { return violations_; }
   bool Clean() const { return violations_.empty(); }
+
+  // Fired on every violation as it is flagged (e.g. to trigger a
+  // FlightRecorder dump while the rings still hold the lead-up).
+  using ViolationHandler = std::function<void(const AuditViolation&)>;
+  void set_violation_handler(ViolationHandler handler) {
+    violation_handler_ = std::move(handler);
+  }
   // All violations joined into one message, for test failure output.
   std::string Report() const;
 
@@ -99,6 +107,7 @@ class ContinuityAuditor : public TraceSink {
   void HandleRound(const TraceEvent& event);
 
   AuditorOptions options_;
+  ViolationHandler violation_handler_;
   std::map<uint64_t, RequestState> requests_;
   std::vector<AuditViolation> violations_;
 

@@ -1,0 +1,93 @@
+// Telemetry exporters: one trace/metrics image per external toolchain.
+//
+// Every exporter renders an in-memory telemetry source to a string behind
+// the common Exporter interface, so benches, tests and the facade write
+// them uniformly:
+//
+//  - PerfettoExporter: Chrome trace-event JSON of a recorded TraceLog.
+//    Loadable in ui.perfetto.dev / chrome://tracing: one slice track per
+//    request (service windows plus lifecycle instants), a scheduler track
+//    of rounds (with their Eq. 11 budget and slack in args), and a disk
+//    track of individual transfers (sector, seek distance, faults).
+//  - PrometheusExporter: text exposition (version 0.0.4) of a
+//    MetricsRegistry. Counters/gauges map directly; histograms map to
+//    native Prometheus histograms with power-of-two `le` edges.
+//  - JsonSnapshotExporter: versioned JSON snapshot bundling the metrics
+//    image, an optional SLO report and trace-log health, for vafs_top and
+//    CI artifact diffing.
+
+#ifndef VAFS_SRC_OBS_EXPORT_H_
+#define VAFS_SRC_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/slo.h"
+#include "src/obs/trace.h"
+#include "src/util/result.h"
+
+namespace vafs {
+namespace obs {
+
+class Exporter {
+ public:
+  virtual ~Exporter() = default;
+  // Stable format tag ("perfetto", "prometheus", "json").
+  virtual const char* Format() const = 0;
+  // Conventional file suffix including the dot.
+  virtual const char* FileExtension() const = 0;
+  virtual std::string Export() const = 0;
+};
+
+// Writes exporter output to `path` (trailing newline included).
+Status WriteExport(const Exporter& exporter, const std::string& path);
+
+class PerfettoExporter : public Exporter {
+ public:
+  // The events must outlive the exporter.
+  explicit PerfettoExporter(const std::vector<TraceEvent>* events) : events_(events) {}
+  const char* Format() const override { return "perfetto"; }
+  const char* FileExtension() const override { return ".perfetto.json"; }
+  std::string Export() const override;
+
+ private:
+  const std::vector<TraceEvent>* events_;
+};
+
+class PrometheusExporter : public Exporter {
+ public:
+  explicit PrometheusExporter(const MetricsRegistry* registry) : registry_(registry) {}
+  const char* Format() const override { return "prometheus"; }
+  const char* FileExtension() const override { return ".prom"; }
+  std::string Export() const override;
+
+  // Instrument name -> exposition metric name: prefixed with "vafs_" and
+  // every character outside [a-zA-Z0-9_] replaced by '_'.
+  static std::string MetricName(const std::string& instrument);
+
+ private:
+  const MetricsRegistry* registry_;
+};
+
+class JsonSnapshotExporter : public Exporter {
+ public:
+  static constexpr int kVersion = 1;
+
+  JsonSnapshotExporter(const MetricsRegistry* registry, const SloTracker* slo = nullptr,
+                       const TraceLog* log = nullptr)
+      : registry_(registry), slo_(slo), log_(log) {}
+  const char* Format() const override { return "json"; }
+  const char* FileExtension() const override { return ".snapshot.json"; }
+  std::string Export() const override;
+
+ private:
+  const MetricsRegistry* registry_;
+  const SloTracker* slo_;
+  const TraceLog* log_;
+};
+
+}  // namespace obs
+}  // namespace vafs
+
+#endif  // VAFS_SRC_OBS_EXPORT_H_

@@ -26,6 +26,41 @@ void Histogram::Record(double value) {
   ++buckets_[static_cast<size_t>(bucket)];
 }
 
+double Histogram::Quantile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  p = std::min(1.0, std::max(0.0, p));
+  const double target_rank = p * static_cast<double>(count_);
+  if (target_rank <= 0.0) {
+    return min_;
+  }
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const int64_t in_bucket = buckets_[static_cast<size_t>(b)];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(seen + in_bucket) >= target_rank) {
+      // The rank lands in this bucket: interpolate across its value range,
+      // tightened to the observed extremes (bucket 0 has no lower edge, and
+      // the overflow bucket no upper one).
+      double lower = b == 0 ? min_ : std::ldexp(1.0, b - 1);
+      double upper = b == kBuckets - 1 ? max_ : std::ldexp(1.0, b);
+      lower = std::max(lower, min_);
+      upper = std::min(upper, max_);
+      if (upper < lower) {
+        upper = lower;
+      }
+      const double fraction =
+          (target_rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * fraction;
+    }
+    seen += in_bucket;
+  }
+  return max_;
+}
+
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
   auto it = counters_.find(name);
   return it != counters_.end() ? &it->second : nullptr;
@@ -41,16 +76,39 @@ const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
   return it != histograms_.end() ? &it->second : nullptr;
 }
 
-namespace {
-
-void AppendEscaped(std::string* out, const std::string& text) {
+void AppendJsonEscaped(std::string* out, const std::string& text) {
   for (char c : text) {
-    if (c == '"' || c == '\\') {
-      out->push_back('\\');
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", static_cast<unsigned char>(c));
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
     }
-    out->push_back(c);
   }
 }
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& text) { AppendJsonEscaped(out, text); }
 
 void AppendDouble(std::string* out, double value) {
   char buffer[32];
@@ -98,6 +156,12 @@ std::string MetricsRegistry::ToJson() const {
     AppendDouble(&json, histogram.max());
     json += ", \"mean\": ";
     AppendDouble(&json, histogram.Mean());
+    json += ", \"p50\": ";
+    AppendDouble(&json, histogram.Quantile(0.50));
+    json += ", \"p95\": ";
+    AppendDouble(&json, histogram.Quantile(0.95));
+    json += ", \"p99\": ";
+    AppendDouble(&json, histogram.Quantile(0.99));
     // Sparse buckets: [upper_bound, count] pairs for the occupied ones.
     json += ", \"buckets\": [";
     bool first_bucket = true;

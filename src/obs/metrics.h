@@ -19,6 +19,11 @@
 namespace vafs {
 namespace obs {
 
+// Appends `text` JSON-escaped (quotes, backslashes, control characters) to
+// `*out`, without surrounding quotes. Shared by the registry's ToJson and
+// the exporters (src/obs/export.h).
+void AppendJsonEscaped(std::string* out, const std::string& text);
+
 // Monotonically increasing event total.
 class Counter {
  public:
@@ -55,6 +60,11 @@ class Histogram {
   double Mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
   const std::array<int64_t, kBuckets>& buckets() const { return buckets_; }
 
+  // Estimated p-quantile (p in [0, 1]) by linear interpolation inside the
+  // power-of-two bucket holding the rank, clamped to the observed [min, max]
+  // so the estimate never leaves the sampled range. 0 when empty.
+  double Quantile(double p) const;
+
  private:
   int64_t count_ = 0;
   double sum_ = 0.0;
@@ -75,6 +85,20 @@ class MetricsRegistry {
   const Counter* FindCounter(const std::string& name) const;
   const Gauge* FindGauge(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
+
+  // Name-ordered visitation, for exporters that render every instrument.
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+    for (const auto& [name, counter] : counters_) fn(name, counter);
+  }
+  template <typename Fn>
+  void ForEachGauge(Fn&& fn) const {
+    for (const auto& [name, gauge] : gauges_) fn(name, gauge);
+  }
+  template <typename Fn>
+  void ForEachHistogram(Fn&& fn) const {
+    for (const auto& [name, histogram] : histograms_) fn(name, histogram);
+  }
 
   // Deterministic (name-sorted) JSON image of every instrument.
   std::string ToJson() const;

@@ -1,5 +1,8 @@
 #include "src/obs/trace.h"
 
+#include <algorithm>
+#include <cstddef>
+
 namespace vafs {
 namespace obs {
 
@@ -63,6 +66,50 @@ const char* TraceEventKindName(TraceEventKind kind) {
   return "unknown";
 }
 
+std::string TraceEventSummary(const TraceEvent& event) {
+  std::string line = "t=" + std::to_string(event.time) + " round=" + std::to_string(event.round) +
+                     " " + TraceEventKindName(event.kind);
+  if (event.request != 0) {
+    line += " req=" + std::to_string(event.request);
+  }
+  if (event.k != 0) {
+    line += " k=" + std::to_string(event.k);
+  }
+  if (event.blocks != 0) {
+    line += " blocks=" + std::to_string(event.blocks);
+  }
+  if (event.sector != 0) {
+    line += " sector=" + std::to_string(event.sector);
+  }
+  if (event.seek_cylinders != 0) {
+    line += " seek=" + std::to_string(event.seek_cylinders) + "cyl";
+  }
+  if (event.duration != 0) {
+    line += " dur=" + std::to_string(event.duration) + "us";
+  }
+  if (event.round_budget != 0) {
+    line += " budget=" + std::to_string(event.round_budget) + "us";
+  }
+  if (event.destructive) {
+    line += " destructive";
+  }
+  if (!event.detail.empty()) {
+    line += " [" + event.detail + "]";
+  }
+  return line;
+}
+
+void TraceLog::OnEvent(const TraceEvent& event) {
+  if (capacity_ > 0 && events_.size() >= capacity_) {
+    // Drop the oldest quarter in one go so a full log erases from the front
+    // O(1) amortized rather than per event.
+    const size_t drop = std::max<size_t>(1, capacity_ / 4);
+    events_.erase(events_.begin(), events_.begin() + static_cast<ptrdiff_t>(drop));
+    dropped_ += static_cast<int64_t>(drop);
+  }
+  events_.push_back(event);
+}
+
 void MetricsSink::OnEvent(const TraceEvent& event) {
   MetricsRegistry& m = *registry_;
   switch (event.kind) {
@@ -104,6 +151,9 @@ void MetricsSink::OnEvent(const TraceEvent& event) {
       break;
     case TraceEventKind::kRequestServiced:
       m.counter("scheduler.blocks_serviced").Increment(event.blocks);
+      if (event.duration > 0) {
+        m.histogram("scheduler.request_service_usec").Record(static_cast<double>(event.duration));
+      }
       break;
     case TraceEventKind::kRoundEnd:
       m.counter("scheduler.rounds").Increment();
@@ -132,11 +182,13 @@ void MetricsSink::OnEvent(const TraceEvent& event) {
       m.counter("disk.reads").Increment();
       m.counter("disk.sectors_read").Increment(event.blocks);
       m.histogram("disk.read_service_usec").Record(static_cast<double>(event.duration));
+      m.histogram("disk.seek_cylinders").Record(static_cast<double>(event.seek_cylinders));
       break;
     case TraceEventKind::kDiskWrite:
       m.counter("disk.writes").Increment();
       m.counter("disk.sectors_written").Increment(event.blocks);
       m.histogram("disk.write_service_usec").Record(static_cast<double>(event.duration));
+      m.histogram("disk.seek_cylinders").Record(static_cast<double>(event.seek_cylinders));
       break;
     case TraceEventKind::kDiskFault:
       m.counter("disk.faults").Increment();
@@ -149,7 +201,7 @@ void MetricsSink::OnEvent(const TraceEvent& event) {
       break;
     case TraceEventKind::kPowerCut:
       m.counter("disk.power_cuts").Increment();
-      power_cut_seen_ = true;
+      ++power_cuts_pending_;
       break;
     case TraceEventKind::kStrandWrite:
       m.counter("store.strand_blocks_written").Increment();
@@ -173,9 +225,11 @@ void MetricsSink::OnEvent(const TraceEvent& event) {
       break;
     case TraceEventKind::kRecovery:
       m.counter("recovery.completions").Increment();
-      if (power_cut_seen_) {
-        m.counter("recovery.crash_points_survived").Increment();
-        power_cut_seen_ = false;
+      if (power_cuts_pending_ > 0) {
+        // Every cut since the previous recovery is its own crash point; a
+        // recovery that had to ride out two back-to-back cuts survived two.
+        m.counter("recovery.crash_points_survived").Increment(power_cuts_pending_);
+        power_cuts_pending_ = 0;
       }
       break;
   }

@@ -59,6 +59,12 @@ enum class TraceEventKind {
 
 const char* TraceEventKindName(TraceEventKind kind);
 
+struct TraceEvent;
+
+// One-line human-readable rendering ("t=1200 round=3 disk_read req=2
+// sector=640+8 dur=950us ..."), for flight-recorder dumps and inspectors.
+std::string TraceEventSummary(const TraceEvent& event);
+
 // Snapshot of the scheduler's admission-slot ledger, attached to lifecycle
 // and round events. A slot is held by running, pending and non-destructively
 // paused requests; a destructive pause gives the slot back.
@@ -83,6 +89,7 @@ struct TraceEvent {
   SimDuration block_playback = 0;  // effective playback time of one block
   bool destructive = false;        // kPause / kResume flavor
   int64_t sector = 0;              // device events: first sector touched
+  int64_t seek_cylinders = 0;      // device events: arm travel to reach it
   // Admission decisions:
   int64_t existing = 0;  // size of the existing set presented
   int64_t target_k = 0;  // final k of the planned step schedule
@@ -103,14 +110,28 @@ class TraceSink {
   virtual void OnEvent(const TraceEvent& event) = 0;
 };
 
-// Records the full event stream for later replay (the round-trace log).
+// Records the event stream for later replay (the round-trace log). A
+// capacity of 0 keeps everything; otherwise the log holds the most recent
+// `capacity` events, dropping the oldest (counted in dropped()) so a
+// long-lived simulation cannot grow it without bound.
 class TraceLog : public TraceSink {
  public:
-  void OnEvent(const TraceEvent& event) override { events_.push_back(event); }
+  explicit TraceLog(size_t capacity = 0) : capacity_(capacity) {}
+
+  void OnEvent(const TraceEvent& event) override;
   const std::vector<TraceEvent>& events() const { return events_; }
-  void Clear() { events_.clear(); }
+  size_t capacity() const { return capacity_; }
+  // Events discarded so far to honour the capacity (the trace.events_dropped
+  // counter exported by telemetry snapshots).
+  int64_t dropped() const { return dropped_; }
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
  private:
+  size_t capacity_;
+  int64_t dropped_ = 0;
   std::vector<TraceEvent> events_;
 };
 
@@ -137,9 +158,10 @@ class MetricsSink : public TraceSink {
 
  private:
   MetricsRegistry* registry_;
-  // Set by kPowerCut, consumed by the next kRecovery: a recovery that
-  // follows a cut counts as one crash point survived.
-  bool power_cut_seen_ = false;
+  // Power cuts seen since the last kRecovery. Each is a distinct crash
+  // point; the recovery that finally lands credits them all, so
+  // back-to-back cuts before one recovery are not collapsed into one.
+  int64_t power_cuts_pending_ = 0;
 };
 
 }  // namespace obs

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/export.h"
+
 namespace vafs {
 
 namespace {
@@ -15,9 +17,34 @@ const DeviceProfile& DeviceFor(const FileSystemConfig& config, Medium medium) {
 
 }  // namespace
 
+MultimediaFileSystem::Telemetry::Telemetry(const TelemetryOptions& options)
+    : log(options.trace_capacity),
+      metrics_sink(&registry),
+      slo(options.slo),
+      flight(options.flight) {
+  tee.Add(&log);
+  tee.Add(&metrics_sink);
+  tee.Add(&slo);
+  tee.Add(&flight);
+  slo.set_breach_handler([this](uint64_t /*request*/, const std::string& description) {
+    flight.TriggerDump(description);
+  });
+}
+
 MultimediaFileSystem::MultimediaFileSystem(const FileSystemConfig& config) : config_(config) {
+  if (config_.telemetry.enabled) {
+    telemetry_ = std::make_unique<Telemetry>(config_.telemetry);
+    if (config_.scheduler.trace != nullptr) {
+      telemetry_->tee.Add(config_.scheduler.trace);  // user sink rides along
+    }
+    config_.scheduler.trace = &telemetry_->tee;
+  }
   disk_ = std::make_unique<Disk>(config.disk, DiskOptions{config.retain_data, config.faults});
   store_ = std::make_unique<StrandStore>(disk_.get());
+  if (telemetry_ != nullptr) {
+    disk_->set_trace_sink(&telemetry_->tee);
+    store_->set_trace_sink(&telemetry_->tee);
+  }
 
   const StorageTimings storage = StorageTimings::FromDiskModel(disk_->model());
   continuity_ =
@@ -39,7 +66,7 @@ MultimediaFileSystem::MultimediaFileSystem(const FileSystemConfig& config) : con
   }
   admission_ = std::make_unique<AdmissionControl>(storage, avg_scattering);
   scheduler_ =
-      std::make_unique<ServiceScheduler>(store_.get(), &simulator_, *admission_, config.scheduler);
+      std::make_unique<ServiceScheduler>(store_.get(), &simulator_, *admission_, config_.scheduler);
   ropes_ = std::make_unique<RopeServer>(store_.get());
   text_files_ = std::make_unique<TextFileService>(disk_.get(), &store_->allocator());
   InstallListeners();
@@ -243,6 +270,13 @@ Status MultimediaFileSystem::Recover() {
   scheduler_ =
       std::make_unique<ServiceScheduler>(store_.get(), &simulator_, *admission_,
                                          config_.scheduler);
+  if (telemetry_ != nullptr) {
+    // The rebuilt store starts with no sink; the disk survived the crash
+    // with its sink intact. Re-wire so post-recovery telemetry keeps
+    // flowing into the same pipeline.
+    store_->set_trace_sink(&telemetry_->tee);
+    disk_->set_trace_sink(&telemetry_->tee);
+  }
   InstallListeners();
   if (image_receipt_.valid) {
     journal_ = std::make_unique<IntentJournal>(disk_.get(), image_receipt_.journal_extent,
@@ -253,6 +287,34 @@ Status MultimediaFileSystem::Recover() {
   }
   journal_overflowed_ = false;
   return Status::Ok();
+}
+
+obs::MetricsRegistry* MultimediaFileSystem::metrics() {
+  return telemetry_ != nullptr ? &telemetry_->registry : nullptr;
+}
+
+obs::TraceLog* MultimediaFileSystem::trace_log() {
+  return telemetry_ != nullptr ? &telemetry_->log : nullptr;
+}
+
+obs::SloTracker* MultimediaFileSystem::slo_tracker() {
+  return telemetry_ != nullptr ? &telemetry_->slo : nullptr;
+}
+
+obs::FlightRecorder* MultimediaFileSystem::flight_recorder() {
+  return telemetry_ != nullptr ? &telemetry_->flight : nullptr;
+}
+
+obs::SloReport MultimediaFileSystem::SloSnapshot() const {
+  return telemetry_ != nullptr ? telemetry_->slo.Report() : obs::SloReport{};
+}
+
+std::string MultimediaFileSystem::TelemetrySnapshotJson() const {
+  if (telemetry_ == nullptr) {
+    return "null";
+  }
+  return obs::JsonSnapshotExporter(&telemetry_->registry, &telemetry_->slo, &telemetry_->log)
+      .Export();
 }
 
 Result<std::vector<std::vector<uint8_t>>> MultimediaFileSystem::ReadRopeBlocks(

@@ -24,12 +24,30 @@
 #include "src/msm/recorder.h"
 #include "src/msm/service_scheduler.h"
 #include "src/msm/strand_store.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/slo.h"
+#include "src/obs/trace.h"
 #include "src/rope/rope_server.h"
 #include "src/sim/simulator.h"
 #include "src/vafs/persistence.h"
 #include "src/vafs/text_files.h"
 
 namespace vafs {
+
+// Built-in telemetry for the facade: when enabled, the file system owns a
+// bounded TraceLog, a MetricsSink-fed registry, a continuity-SLO tracker
+// and a flight recorder, all fed from one internal tee wired into the
+// scheduler, strand store and disk (and re-wired across Recover()). A
+// user-supplied FileSystemConfig::scheduler.trace sink keeps receiving the
+// stream alongside them.
+struct TelemetryOptions {
+  bool enabled = false;
+  // TraceLog bound; 0 retains every event (fine for tests, not for long
+  // simulations).
+  size_t trace_capacity = 8192;
+  obs::SloOptions slo;
+  obs::FlightRecorderOptions flight;
+};
 
 struct FileSystemConfig {
   DiskParameters disk;
@@ -46,6 +64,7 @@ struct FileSystemConfig {
   // Disk fault injection (src/disk/fault_injector.h). The default injects
   // nothing and leaves every simulation bit-identical.
   FaultOptions faults;
+  TelemetryOptions telemetry;
 };
 
 class MultimediaFileSystem {
@@ -128,6 +147,20 @@ class MultimediaFileSystem {
   Result<std::vector<std::vector<uint8_t>>> ReadRopeBlocks(const std::string& user, RopeId rope,
                                                            Medium medium, TimeInterval interval);
 
+  // --- Telemetry (TelemetryOptions::enabled) ---------------------------------
+  //
+  // All accessors return nullptr (or empty values) when telemetry is off.
+  bool telemetry_enabled() const { return telemetry_ != nullptr; }
+  obs::MetricsRegistry* metrics();
+  obs::TraceLog* trace_log();
+  obs::SloTracker* slo_tracker();
+  obs::FlightRecorder* flight_recorder();
+  // Current per-stream continuity-SLO report (empty when disabled).
+  obs::SloReport SloSnapshot() const;
+  // Versioned JSON snapshot (metrics + SLO report + trace-log health), the
+  // format vafs_top loads. "null" when disabled.
+  std::string TelemetrySnapshotJson() const;
+
  private:
   // Forwards every metadata mutation into the intent journal between
   // checkpoints (redo logging: the mutation has already happened when the
@@ -153,7 +186,23 @@ class MultimediaFileSystem {
   void Journal(Intent intent, const std::vector<uint8_t>& payload);
   void InstallListeners();
 
+  // The built-in telemetry pipeline (constructed only when enabled): one
+  // tee fanning the trace stream into the bounded log, the metrics fold,
+  // the SLO tracker and the flight recorder, plus any user sink from the
+  // original config. The SLO breach handler triggers flight-recorder dumps.
+  struct Telemetry {
+    explicit Telemetry(const TelemetryOptions& options);
+
+    obs::MetricsRegistry registry;
+    obs::TraceLog log;
+    obs::MetricsSink metrics_sink;
+    obs::SloTracker slo;
+    obs::FlightRecorder flight;
+    obs::TeeSink tee;
+  };
+
   FileSystemConfig config_;
+  std::unique_ptr<Telemetry> telemetry_;
   Simulator simulator_;
   std::unique_ptr<Disk> disk_;
   std::unique_ptr<StrandStore> store_;

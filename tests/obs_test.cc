@@ -301,6 +301,146 @@ TEST(AuditorTest, FlagsScatteringContractBreach) {
   EXPECT_TRUE(ContinuityAuditor::Replay({write}).empty());
 }
 
+TEST(MetricsTest, QuantileInterpolatesWithinBuckets) {
+  Histogram histogram;
+  // 100 samples spread 1..100: p50 should land near 50, p99 near 100.
+  for (int i = 1; i <= 100; ++i) {
+    histogram.Record(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 100.0);
+  EXPECT_NEAR(histogram.Quantile(0.50), 50.0, 14.0);  // bucket (32,64] interpolation
+  EXPECT_NEAR(histogram.Quantile(0.99), 100.0, 4.0);
+  // Estimates never leave the sampled range, whatever the bucket edges say.
+  EXPECT_GE(histogram.Quantile(0.01), 1.0);
+  EXPECT_LE(histogram.Quantile(0.999), 100.0);
+}
+
+TEST(MetricsTest, QuantileSingleValueAndEmpty) {
+  Histogram histogram;
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+  histogram.Record(42.0);
+  // One sample: every quantile is that sample (min == max clamps the bucket).
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 42.0);
+}
+
+TEST(MetricsTest, ToJsonCarriesQuantiles) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 10; ++i) {
+    registry.histogram("h").Record(8.0);
+  }
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"p50\": 8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\": 8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\": 8"), std::string::npos) << json;
+}
+
+TEST(MetricsTest, JsonEscapesInstrumentNamesAndControlCharacters) {
+  std::string escaped;
+  AppendJsonEscaped(&escaped, "a\"b\\c\nd\te\x01");
+  EXPECT_EQ(escaped, "a\\\"b\\\\c\\nd\\te\\u0001");
+
+  MetricsRegistry registry;
+  registry.counter("weird\"name\\with\nescapes").Increment();
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"weird\\\"name\\\\with\\nescapes\": 1"), std::string::npos) << json;
+  // The raw quote must never appear unescaped inside the key.
+  EXPECT_EQ(json.find("weird\"name"), std::string::npos);
+}
+
+TEST(TraceTest, BoundedLogDropsOldestAndCounts) {
+  TraceLog log(/*capacity=*/8);
+  EXPECT_EQ(log.capacity(), 8u);
+  TraceEvent event;
+  event.kind = TraceEventKind::kRoundEnd;
+  for (int i = 0; i < 20; ++i) {
+    event.round = i;
+    log.OnEvent(event);
+  }
+  // Never grows past capacity, dropped + retained account for every event.
+  EXPECT_LE(log.events().size(), 8u);
+  EXPECT_EQ(log.dropped() + static_cast<int64_t>(log.events().size()), 20);
+  // Drop-oldest: the newest event is always retained, in order.
+  EXPECT_EQ(log.events().back().round, 19);
+  for (size_t i = 1; i < log.events().size(); ++i) {
+    EXPECT_EQ(log.events()[i].round, log.events()[i - 1].round + 1);
+  }
+  log.Clear();
+  EXPECT_EQ(log.dropped(), 0);
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST(TraceTest, UnboundedLogKeepsEverything) {
+  TraceLog log;  // capacity 0
+  TraceEvent event;
+  for (int i = 0; i < 1000; ++i) {
+    log.OnEvent(event);
+  }
+  EXPECT_EQ(log.events().size(), 1000u);
+  EXPECT_EQ(log.dropped(), 0);
+}
+
+TEST(TraceTest, BackToBackPowerCutsCountAsDistinctCrashPoints) {
+  MetricsRegistry registry;
+  MetricsSink sink(&registry);
+  TraceEvent cut;
+  cut.kind = TraceEventKind::kPowerCut;
+  TraceEvent recovery;
+  recovery.kind = TraceEventKind::kRecovery;
+
+  // Two cuts before the first successful recovery (e.g. a crash during
+  // fsck): both are crash points the eventual recovery survived.
+  sink.OnEvent(cut);
+  sink.OnEvent(cut);
+  sink.OnEvent(recovery);
+  EXPECT_EQ(registry.FindCounter("disk.power_cuts")->value(), 2);
+  EXPECT_EQ(registry.FindCounter("recovery.crash_points_survived")->value(), 2);
+
+  // A later single cut/recovery pair adds exactly one more.
+  sink.OnEvent(cut);
+  sink.OnEvent(recovery);
+  EXPECT_EQ(registry.FindCounter("recovery.crash_points_survived")->value(), 3);
+  // A recovery with no preceding cut (plain restart) credits nothing.
+  sink.OnEvent(recovery);
+  EXPECT_EQ(registry.FindCounter("recovery.crash_points_survived")->value(), 3);
+}
+
+TEST(TraceTest, SummaryRendersKeyFields) {
+  TraceEvent event;
+  event.kind = TraceEventKind::kDiskRead;
+  event.time = 1200;
+  event.round = 3;
+  event.request = 2;
+  event.sector = 640;
+  event.blocks = 8;
+  event.seek_cylinders = 17;
+  event.duration = 950;
+  event.detail = "why";
+  const std::string line = TraceEventSummary(event);
+  EXPECT_NE(line.find("t=1200"), std::string::npos) << line;
+  EXPECT_NE(line.find("disk_read"), std::string::npos);
+  EXPECT_NE(line.find("req=2"), std::string::npos);
+  EXPECT_NE(line.find("sector=640"), std::string::npos);
+  EXPECT_NE(line.find("seek=17cyl"), std::string::npos);
+  EXPECT_NE(line.find("dur=950us"), std::string::npos);
+  EXPECT_NE(line.find("[why]"), std::string::npos);
+}
+
+TEST(AuditorTest, ViolationHandlerFiresPerViolation) {
+  ContinuityAuditor auditor;
+  std::vector<std::string> seen;
+  auditor.set_violation_handler(
+      [&seen](const AuditViolation& violation) { seen.push_back(violation.what); });
+  TraceEvent bogus;
+  bogus.kind = TraceEventKind::kActivated;
+  bogus.request = 99;
+  auditor.OnEvent(bogus);  // activation of an unknown request
+  ASSERT_GE(seen.size(), 1u);
+  EXPECT_NE(seen[0].find("unknown request"), std::string::npos);
+}
+
 TEST(AuditorTest, NonDestructiveResumeRestoresLedgerColumn) {
   const SlotSnapshot one_active{.active = 1};
   std::vector<TraceEvent> events;

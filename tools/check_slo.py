@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""CI gate over the bench telemetry artifacts.
+
+Run from a directory containing the BENCH_* files that bench_admission and
+bench_faults drop next to their printed tables. Fails (exit 1) when:
+
+  - any admitted stream in a fault-free scenario (BENCH_admission_slo.json,
+    BENCH_faults_clean_slo.json) reports less than 100% of accounted rounds
+    inside its Eq. 11 budget, or a failed continuity verdict;
+  - the heavy-fault scenario (BENCH_faults_slo.json, 25% transient read
+    faults) shows no fault handling at all (no retried or skipped blocks),
+    which would mean the injection or the telemetry path is broken;
+  - a Perfetto artifact is not valid JSON or carries no trace events.
+"""
+
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(message: str) -> None:
+    FAILURES.append(message)
+    print(f"FAIL: {message}")
+
+
+def load(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            return json.load(fp)
+    except FileNotFoundError:
+        fail(f"{path}: missing artifact")
+    except json.JSONDecodeError as err:
+        fail(f"{path}: invalid JSON ({err})")
+    return None
+
+
+def check_clean_slo(path: str) -> None:
+    report = load(path)
+    if report is None:
+        return
+    streams = report.get("streams", [])
+    if not streams:
+        fail(f"{path}: no streams in SLO report")
+        return
+    clean = True
+    for stream in streams:
+        request = int(stream.get("request", -1))
+        within = stream.get("within_budget_fraction", 0.0)
+        if within < 1.0:
+            fail(f"{path}: stream {request} only {within:.4f} of rounds within budget")
+            clean = False
+        if not stream.get("continuity_met", 0):
+            fail(f"{path}: stream {request} breached its continuity SLO")
+            clean = False
+    if clean:
+        print(f"ok: {path}: {len(streams)} streams, all rounds within budget")
+
+
+def check_faulty_slo(path: str) -> None:
+    report = load(path)
+    if report is None:
+        return
+    streams = report.get("streams", [])
+    handled = sum(
+        int(s.get("blocks_retried", 0)) + int(s.get("blocks_skipped", 0)) for s in streams
+    )
+    if handled == 0:
+        fail(f"{path}: heavy-fault run shows no retried or skipped blocks")
+        return
+    degraded = max((s.get("degraded_ratio", 0.0) for s in streams), default=0.0)
+    print(f"ok: {path}: {handled} blocks handled by fault paths, "
+          f"max degraded ratio {degraded:.4f}")
+
+
+def check_perfetto(path: str) -> None:
+    trace = load(path)
+    if trace is None:
+        return
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+        return
+    phases = {event.get("ph") for event in events}
+    if "X" not in phases:
+        fail(f"{path}: no complete slices in trace")
+    print(f"ok: {path}: {len(events)} trace events")
+
+
+def main() -> int:
+    check_clean_slo("BENCH_admission_slo.json")
+    check_clean_slo("BENCH_faults_clean_slo.json")
+    check_faulty_slo("BENCH_faults_slo.json")
+    check_perfetto("BENCH_admission.perfetto.json")
+    check_perfetto("BENCH_faults.perfetto.json")
+    if FAILURES:
+        print(f"{len(FAILURES)} SLO gate failure(s)")
+        return 1
+    print("SLO gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

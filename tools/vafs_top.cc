@@ -1,0 +1,294 @@
+// vafs_top: inspector over vaFS continuity telemetry.
+//
+// Two modes share one renderer:
+//
+//   vafs_top --snapshot FILE   load a versioned telemetry snapshot (the
+//                              JsonSnapshotExporter format benches and the
+//                              facade emit) and render it;
+//   vafs_top [demo flags]      run a deterministic demo simulation with the
+//                              facade's built-in telemetry, then render its
+//                              live snapshot.
+//
+// Demo flags:
+//   --streams N          concurrent playback streams (default 4)
+//   --seconds S          recorded/played duration per stream (default 8)
+//   --read-fault-rate R  transient read-fault probability in [0,1]
+//   --seed K             fault-injection seed (default 7)
+//   --export PREFIX      also write PREFIX.snapshot.json,
+//                        PREFIX.perfetto.json and PREFIX.prom
+//
+// The tables map back to the paper: "service rounds" is Eq. 11 round time
+// against the min k_i*d_i budget, "slots" is the admission set bounded by
+// Eq. 17's n_max, "seek/gap" shows the l_ds scattering contract at work,
+// and the per-stream table is the continuity SLO (fraction of accounted
+// rounds with at least the target slack).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/media/media.h"
+#include "src/media/sources.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+#include "src/vafs/file_system.h"
+
+namespace {
+
+using vafs::obs::JsonValue;
+
+const JsonValue* Child(const JsonValue* value, const char* key) {
+  return value != nullptr ? value->Find(key) : nullptr;
+}
+
+double Num(const JsonValue* object, const char* key, double fallback = 0.0) {
+  return object != nullptr ? object->NumberOr(key, fallback) : fallback;
+}
+
+void RenderSlots(const JsonValue* counters, const JsonValue* gauges) {
+  std::printf("[admission / slots]\n");
+  std::printf("  k=%.0f  slots held=%.0f (active=%.0f pending=%.0f paused_nd=%.0f "
+              "paused_d=%.0f)\n",
+              Num(gauges, "scheduler.current_k"), Num(gauges, "scheduler.slots_held"),
+              Num(gauges, "scheduler.slots_active"), Num(gauges, "scheduler.slots_pending"),
+              Num(gauges, "scheduler.slots_paused_nondestructive"),
+              Num(gauges, "scheduler.slots_paused_destructive"));
+  std::printf("  submits: %.0f accepted / %.0f rejected   admission: %.0f plans / %.0f "
+              "rejections\n",
+              Num(counters, "scheduler.submits_accepted"),
+              Num(counters, "scheduler.submits_rejected"),
+              Num(counters, "admission.plans_accepted"), Num(counters, "admission.rejections"));
+  std::printf("  pauses: %.0f nd + %.0f d   resumes: %.0f (%.0f rejected)   stops: %.0f   "
+              "completions: %.0f\n\n",
+              Num(counters, "scheduler.pauses_nondestructive"),
+              Num(counters, "scheduler.pauses_destructive"), Num(counters, "scheduler.resumes"),
+              Num(counters, "scheduler.resumes_rejected"), Num(counters, "scheduler.stops"),
+              Num(counters, "scheduler.completions"));
+}
+
+void RenderHistogramRow(const JsonValue* histograms, const char* name, const char* label,
+                        const char* unit) {
+  const JsonValue* h = Child(histograms, name);
+  if (h == nullptr || Num(h, "count") <= 0) {
+    return;
+  }
+  std::printf("  %-22s n=%-7.0f mean=%-9.1f p50=%-9.1f p95=%-9.1f p99=%-9.1f max=%-9.1f %s\n",
+              label, Num(h, "count"), Num(h, "mean"), Num(h, "p50"), Num(h, "p95"),
+              Num(h, "p99"), Num(h, "max"), unit);
+}
+
+void RenderService(const JsonValue* counters, const JsonValue* histograms) {
+  std::printf("[service rounds / device]  (Eq. 11: round time vs min k_i*d_i)\n");
+  std::printf("  rounds=%.0f  blocks serviced=%.0f  retries=%.0f  skipped=%.0f  "
+              "relocated=%.0f\n",
+              Num(counters, "scheduler.rounds"), Num(counters, "scheduler.blocks_serviced"),
+              Num(counters, "scheduler.block_retries"), Num(counters, "scheduler.blocks_skipped"),
+              Num(counters, "store.blocks_relocated"));
+  RenderHistogramRow(histograms, "scheduler.round_duration_usec", "round duration", "us");
+  RenderHistogramRow(histograms, "scheduler.request_service_usec", "request service", "us");
+  RenderHistogramRow(histograms, "disk.read_service_usec", "disk read", "us");
+  RenderHistogramRow(histograms, "disk.seek_cylinders", "seek distance", "cyl");
+  RenderHistogramRow(histograms, "store.strand_gap_ms", "scattering gap", "ms (l_ds bound)");
+  std::printf("  disk: %.0f reads (%.0f sectors), %.0f writes (%.0f sectors), %.0f faults, "
+              "%.0f salvage reads\n\n",
+              Num(counters, "disk.reads"), Num(counters, "disk.sectors_read"),
+              Num(counters, "disk.writes"), Num(counters, "disk.sectors_written"),
+              Num(counters, "disk.faults"), Num(counters, "disk.salvage_reads"));
+}
+
+void RenderRecovery(const JsonValue* counters) {
+  // Only worth a section when anything crash-consistency-shaped happened.
+  const double activity = Num(counters, "disk.power_cuts") +
+                          Num(counters, "recovery.completions") +
+                          Num(counters, "persistence.root_flips") +
+                          Num(counters, "fsck.findings");
+  if (activity <= 0) {
+    return;
+  }
+  std::printf("[recovery]\n");
+  std::printf("  power cuts=%.0f  recoveries=%.0f  crash points survived=%.0f\n",
+              Num(counters, "disk.power_cuts"), Num(counters, "recovery.completions"),
+              Num(counters, "recovery.crash_points_survived"));
+  std::printf("  root flips=%.0f  journal appends=%.0f  replays=%.0f  fsck findings=%.0f\n\n",
+              Num(counters, "persistence.root_flips"),
+              Num(counters, "persistence.journal_appends"),
+              Num(counters, "persistence.journal_replays"), Num(counters, "fsck.findings"));
+}
+
+void RenderStreams(const JsonValue* slo) {
+  if (slo == nullptr || !slo->is_object()) {
+    return;
+  }
+  const JsonValue* streams = Child(slo, "streams");
+  std::printf("[streams]  SLO: %.1f%% of accounted rounds with >= %.0f%% slack\n",
+              Num(slo, "slo_target", 0.999) * 100.0, Num(slo, "slack_target", 0.10) * 100.0);
+  std::printf("  %4s %6s %6s %7s %9s %9s %6s %7s %9s %6s  %s\n", "req", "rounds", "exempt",
+              "within%", "slack p50", "slack p99", "min%", "util%", "jit p99us", "degr%",
+              "verdict");
+  if (streams == nullptr || !streams->is_array() || streams->array.empty()) {
+    std::printf("  (no streams tracked)\n\n");
+    return;
+  }
+  for (const JsonValue& s : streams->array) {
+    std::printf("  %4.0f %6.0f %6.0f %7.2f %8.1f%% %8.1f%% %5.1f%% %6.1f%% %9.0f %5.1f%%  %s\n",
+                Num(&s, "request"), Num(&s, "rounds_accounted"), Num(&s, "rounds_exempt"),
+                Num(&s, "within_budget_fraction") * 100.0, Num(&s, "slack_pct_p50"),
+                Num(&s, "slack_pct_p99"), Num(&s, "min_slack_fraction") * 100.0,
+                Num(&s, "mean_budget_utilization_pct"), Num(&s, "jitter_usec_p99"),
+                Num(&s, "degraded_ratio") * 100.0,
+                Num(&s, "continuity_met") != 0.0 ? "ok" : "BREACH");
+  }
+  std::printf("  breached streams: %.0f of %zu (rounds total %.0f)\n\n",
+              Num(slo, "breached_streams"), streams->array.size(), Num(slo, "rounds_total"));
+}
+
+int RenderSnapshot(const std::string& text, const char* source) {
+  vafs::Result<JsonValue> root = JsonValue::Parse(text);
+  if (!root.ok()) {
+    std::fprintf(stderr, "vafs_top: cannot parse %s: %s\n", source,
+                 root.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("vafs_top — continuity telemetry (%s, snapshot v%.0f)\n", source,
+              root->NumberOr("version", 0));
+  const JsonValue* trace = Child(&*root, "trace");
+  if (trace != nullptr && trace->is_object()) {
+    std::printf("trace: %.0f events retained, %.0f dropped\n\n",
+                Num(trace, "events_retained"), Num(trace, "events_dropped"));
+  } else {
+    std::printf("\n");
+  }
+  const JsonValue* metrics = Child(&*root, "metrics");
+  RenderSlots(Child(metrics, "counters"), Child(metrics, "gauges"));
+  RenderService(Child(metrics, "counters"), Child(metrics, "histograms"));
+  RenderRecovery(Child(metrics, "counters"));
+  RenderStreams(Child(&*root, "slo"));
+  return 0;
+}
+
+struct DemoFlags {
+  int streams = 4;
+  double seconds = 8.0;
+  double read_fault_rate = 0.0;
+  uint64_t seed = 7;
+  std::string export_prefix;
+};
+
+int RunDemo(const DemoFlags& flags) {
+  using namespace vafs;
+  FileSystemConfig config;
+  config.audio_device = DeviceProfile{TelephoneAudio().BitRate() * 16.0, 16'384};
+  config.telemetry.enabled = true;
+  config.telemetry.trace_capacity = 1 << 16;
+  config.faults.read_fault_rate = flags.read_fault_rate;
+  config.faults.seed = flags.seed;
+  MultimediaFileSystem fs(config);
+
+  // One rope per stream, recorded fault-free (only reads are injected),
+  // then all played concurrently through admission control.
+  std::vector<RopeId> ropes;
+  for (int i = 0; i < flags.streams; ++i) {
+    AudioSource microphone(TelephoneAudio(), SpeechProfile{},
+                           /*seed=*/flags.seed + static_cast<uint64_t>(i));
+    Result<MultimediaFileSystem::RecordResult> recorded =
+        fs.Record("top", nullptr, &microphone, flags.seconds);
+    if (!recorded.ok()) {
+      std::fprintf(stderr, "vafs_top: RECORD failed: %s\n",
+                   recorded.status().ToString().c_str());
+      return 1;
+    }
+    ropes.push_back(recorded->rope);
+  }
+  int admitted = 0;
+  for (RopeId rope : ropes) {
+    Result<RequestId> request =
+        fs.Play("top", rope, Medium::kAudio, TimeInterval{0.0, flags.seconds});
+    if (request.ok()) {
+      ++admitted;
+    } else {
+      std::fprintf(stderr, "vafs_top: PLAY rejected: %s\n",
+                   request.status().ToString().c_str());
+    }
+  }
+  if (admitted == 0) {
+    std::fprintf(stderr, "vafs_top: no stream admitted\n");
+    return 1;
+  }
+  fs.RunUntilIdle();
+
+  const int status = RenderSnapshot(fs.TelemetrySnapshotJson(), "demo");
+
+  obs::FlightRecorder* flight = fs.flight_recorder();
+  if (flight->triggers() > 0) {
+    std::printf("[flight recorder]  %lld trigger(s); first: %s\n%s\n",
+                static_cast<long long>(flight->triggers()),
+                flight->last_dump_reason().c_str(), flight->last_dump().c_str());
+  }
+
+  if (!flags.export_prefix.empty()) {
+    const obs::PerfettoExporter perfetto(&fs.trace_log()->events());
+    const obs::PrometheusExporter prometheus(fs.metrics());
+    const obs::JsonSnapshotExporter snapshot(fs.metrics(), fs.slo_tracker(), fs.trace_log());
+    for (const obs::Exporter* exporter :
+         std::initializer_list<const obs::Exporter*>{&perfetto, &prometheus, &snapshot}) {
+      const std::string path = flags.export_prefix + exporter->FileExtension();
+      if (Status written = obs::WriteExport(*exporter, path); !written.ok()) {
+        std::fprintf(stderr, "vafs_top: %s\n", written.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string snapshot_path;
+  DemoFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "vafs_top: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--snapshot") {
+      snapshot_path = value();
+    } else if (arg == "--streams") {
+      flags.streams = std::atoi(value());
+    } else if (arg == "--seconds") {
+      flags.seconds = std::atof(value());
+    } else if (arg == "--read-fault-rate") {
+      flags.read_fault_rate = std::atof(value());
+    } else if (arg == "--seed") {
+      flags.seed = static_cast<uint64_t>(std::atoll(value()));
+    } else if (arg == "--export") {
+      flags.export_prefix = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: vafs_top [--snapshot FILE] [--streams N] [--seconds S]\n"
+                   "                [--read-fault-rate R] [--seed K] [--export PREFIX]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  if (!snapshot_path.empty()) {
+    std::ifstream file(snapshot_path);
+    if (!file) {
+      std::fprintf(stderr, "vafs_top: cannot read %s\n", snapshot_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    return RenderSnapshot(text.str(), snapshot_path.c_str());
+  }
+  return RunDemo(flags);
+}
