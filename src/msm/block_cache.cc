@@ -1,0 +1,182 @@
+#include "src/msm/block_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vafs {
+
+std::vector<uint8_t>* PagePool::Acquire(int64_t bytes) {
+  const size_t want = static_cast<size_t>(bytes);
+  for (size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i]->capacity() >= want) {
+      std::unique_ptr<std::vector<uint8_t>> page = std::move(free_[i]);
+      free_.erase(free_.begin() + static_cast<ptrdiff_t>(i));
+      page->assign(want, 0);
+      live_.push_back(std::move(page));
+      return live_.back().get();
+    }
+  }
+  live_.push_back(std::make_unique<std::vector<uint8_t>>(want, 0));
+  return live_.back().get();
+}
+
+void PagePool::Release(std::vector<uint8_t>* page) {
+  for (size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i].get() == page) {
+      free_.push_back(std::move(live_[i]));
+      live_.erase(live_.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+  assert(false && "released a page the pool does not own");
+}
+
+BlockCache::BlockCache(BlockCacheOptions options) : options_(options) {}
+
+bool BlockCache::Lookup(int64_t sector, int64_t sectors) {
+  if (window_lookups_ >= std::max<int64_t>(options_.hit_window, 2)) {
+    // Exponential decay: old rounds fade so a sharing collapse shows up
+    // within one window instead of being averaged away.
+    window_lookups_ /= 2;
+    window_hits_ /= 2;
+  }
+  ++window_lookups_;
+  auto it = entries_.find(sector);
+  if (it == entries_.end() || it->second.sectors != sectors) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.erase(it->second.lru);
+  lru_.push_back(sector);
+  it->second.lru = std::prev(lru_.end());
+  ++stats_.hits;
+  ++window_hits_;
+  return true;
+}
+
+bool BlockCache::Contains(int64_t sector, int64_t sectors) const {
+  auto it = entries_.find(sector);
+  return it != entries_.end() && it->second.sectors == sectors;
+}
+
+void BlockCache::Evict(std::map<int64_t, Entry>::iterator it) {
+  stats_.resident_bytes -= it->second.bytes;
+  --stats_.resident_entries;
+  lru_.erase(it->second.lru);
+  entries_.erase(it);
+}
+
+bool BlockCache::MakeRoom(int64_t bytes) {
+  // Two passes over LRU order: plain entries first, interval-biased ones
+  // only when nothing else is left — a biased entry's next hit is another
+  // stream's scheduled read, the most valuable bytes in the cache.
+  for (const bool allow_biased : {false, true}) {
+    auto lru_it = lru_.begin();
+    while (stats_.resident_bytes + bytes > options_.capacity_bytes && lru_it != lru_.end()) {
+      auto entry = entries_.find(*lru_it);
+      assert(entry != entries_.end());
+      ++lru_it;  // advance before a potential erase
+      if (entry->second.pins > 0 || (entry->second.biased && !allow_biased)) {
+        continue;
+      }
+      Evict(entry);
+      ++stats_.evictions;
+    }
+    if (stats_.resident_bytes + bytes <= options_.capacity_bytes) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void BlockCache::Insert(int64_t sector, int64_t sectors, int64_t bytes, bool interval_biased) {
+  if (!enabled() || bytes > options_.capacity_bytes) {
+    return;
+  }
+  auto existing = entries_.find(sector);
+  if (existing != entries_.end()) {
+    // Re-read of a resident extent: refresh recency and bias only.
+    existing->second.biased = existing->second.biased || interval_biased;
+    lru_.erase(existing->second.lru);
+    lru_.push_back(sector);
+    existing->second.lru = std::prev(lru_.end());
+    return;
+  }
+  if (!MakeRoom(bytes)) {
+    return;  // everything resident is pinned; drop the insert
+  }
+  Entry entry;
+  entry.sector = sector;
+  entry.sectors = sectors;
+  entry.bytes = bytes;
+  entry.biased = interval_biased;
+  lru_.push_back(sector);
+  entry.lru = std::prev(lru_.end());
+  entries_.emplace(sector, entry);
+  stats_.resident_bytes += bytes;
+  ++stats_.resident_entries;
+  ++stats_.insertions;
+}
+
+void BlockCache::Pin(int64_t sector, int64_t sectors) {
+  auto it = entries_.find(sector);
+  if (it == entries_.end() || it->second.sectors != sectors) {
+    return;
+  }
+  if (it->second.pins == 0) {
+    ++stats_.pinned_entries;
+  }
+  ++it->second.pins;
+}
+
+void BlockCache::Unpin(int64_t sector, int64_t sectors) {
+  auto it = entries_.find(sector);
+  if (it == entries_.end() || it->second.sectors != sectors || it->second.pins == 0) {
+    return;
+  }
+  if (--it->second.pins == 0) {
+    --stats_.pinned_entries;
+  }
+}
+
+int64_t BlockCache::InvalidateRange(int64_t sector, int64_t sectors) {
+  const int64_t end = sector + sectors;
+  int64_t dropped = 0;
+  // Entries are keyed by start sector; one starting before `sector` can
+  // still overlap, so back up one position before scanning forward.
+  auto it = entries_.lower_bound(sector);
+  if (it != entries_.begin()) {
+    --it;
+  }
+  while (it != entries_.end() && it->first < end) {
+    if (it->first + it->second.sectors > sector) {
+      if (it->second.pins > 0) {
+        --stats_.pinned_entries;  // invalidation outranks pinning
+      }
+      Evict(it++);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidated_entries += dropped;
+  return dropped;
+}
+
+void BlockCache::InvalidateAll() {
+  stats_.invalidated_entries += stats_.resident_entries;
+  stats_.resident_bytes = 0;
+  stats_.resident_entries = 0;
+  stats_.pinned_entries = 0;
+  entries_.clear();
+  lru_.clear();
+}
+
+double BlockCache::RecentHitRate() const {
+  if (window_lookups_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(window_hits_) / static_cast<double>(window_lookups_);
+}
+
+}  // namespace vafs

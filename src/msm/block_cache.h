@@ -1,0 +1,138 @@
+// Shared block cache for the round I/O planner.
+//
+// Concurrent viewers of one strand read the same physical blocks; the
+// paper's admission math charges every viewer a full disk transfer, but a
+// block already resident in memory costs no mechanism at all. The cache
+// sits between the service scheduler and the disk, keyed by physical
+// extent (start sector + length): the planner probes it while building a
+// round's transfer list and every block that hits is served from memory,
+// shrinking the round and freeing Eq. 11 slack.
+//
+// Replacement is LRU with an interval-caching bias (PAPERS.md, scalable
+// VoD): an entry some *other* active stream will need soon — the interval
+// between a leading and a trailing viewer of the same strand — is evicted
+// last, because its next hit is scheduled, not speculative. Read-ahead
+// pages fetched during a stream's anti-jitter prelude can be pinned so
+// eviction cannot undo the startup guarantee before playback begins.
+//
+// Coherence: the cache indexes platter contents, so every path that
+// rewrites sectors must invalidate — StrandWriter appends (including
+// scattering repair and relocation, which write through fresh writers onto
+// possibly reused extents), strand deletion (the freed extents will be
+// reallocated), and recovery (the in-memory image is rebuilt from disk).
+//
+// The embedded PagePool recycles payload-sized scratch buffers so the
+// per-round service loop never allocates per block.
+
+#ifndef VAFS_SRC_MSM_BLOCK_CACHE_H_
+#define VAFS_SRC_MSM_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace vafs {
+
+// Recycles payload buffers between rounds. Acquired pages are zero-filled
+// (the simulated capture path records zero payloads), sized to whole
+// blocks, and returned to the pool on release instead of freed.
+class PagePool {
+ public:
+  // A zeroed buffer of exactly `bytes` bytes. Reuses a pooled page when
+  // one of sufficient capacity exists.
+  std::vector<uint8_t>* Acquire(int64_t bytes);
+  void Release(std::vector<uint8_t>* page);
+
+  int64_t pages_pooled() const { return static_cast<int64_t>(free_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<std::vector<uint8_t>>> free_;
+  std::vector<std::unique_ptr<std::vector<uint8_t>>> live_;
+};
+
+struct BlockCacheOptions {
+  // Total bytes of block payload the cache may hold; 0 disables caching
+  // (lookups always miss, inserts are dropped).
+  int64_t capacity_bytes = 0;
+  // Window of the recent-hit-rate estimate, in lookups. The estimate
+  // decays exponentially at this granularity so a collapse (the sharing
+  // stream stopped) surfaces within one window.
+  int64_t hit_window = 256;
+};
+
+struct BlockCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;
+  int64_t invalidated_entries = 0;
+  int64_t resident_bytes = 0;
+  int64_t resident_entries = 0;
+  int64_t pinned_entries = 0;
+};
+
+class BlockCache {
+ public:
+  explicit BlockCache(BlockCacheOptions options);
+
+  bool enabled() const { return options_.capacity_bytes > 0; }
+
+  // Probes for the exact extent, counting a hit or miss and refreshing
+  // LRU order on hit.
+  bool Lookup(int64_t sector, int64_t sectors);
+
+  // Probe without touching stats or recency (admission-time coverage
+  // estimates must not distort the measured hit rate).
+  bool Contains(int64_t sector, int64_t sectors) const;
+
+  // Registers an extent just read from disk. `interval_biased` marks it as
+  // scheduled for another active stream (evicted last). Entries larger
+  // than the whole cache are dropped.
+  void Insert(int64_t sector, int64_t sectors, int64_t bytes, bool interval_biased);
+
+  // Pins / unpins an extent (read-ahead pages). Pinned entries are never
+  // evicted; they still invalidate. Pin counts nest.
+  void Pin(int64_t sector, int64_t sectors);
+  void Unpin(int64_t sector, int64_t sectors);
+
+  // Drops every entry overlapping [sector, sector + sectors): the platter
+  // contents changed under the cache.
+  int64_t InvalidateRange(int64_t sector, int64_t sectors);
+  void InvalidateAll();
+
+  // Recent hit rate in [0, 1] over the configured window; 0 before any
+  // lookup lands.
+  double RecentHitRate() const;
+
+  const BlockCacheStats& stats() const { return stats_; }
+  PagePool& page_pool() { return pool_; }
+
+ private:
+  struct Entry {
+    int64_t sector = 0;
+    int64_t sectors = 0;
+    int64_t bytes = 0;
+    int64_t pins = 0;
+    bool biased = false;
+    std::list<int64_t>::iterator lru;  // position in lru_ (keyed by sector)
+  };
+
+  void Evict(std::map<int64_t, Entry>::iterator it);
+  // Frees space until `bytes` more fit, honouring pins and bias. Returns
+  // false when pinned entries make that impossible.
+  bool MakeRoom(int64_t bytes);
+
+  BlockCacheOptions options_;
+  BlockCacheStats stats_;
+  std::map<int64_t, Entry> entries_;  // by start sector
+  std::list<int64_t> lru_;            // front = least recently used
+  int64_t window_lookups_ = 0;
+  int64_t window_hits_ = 0;
+  PagePool pool_;
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_MSM_BLOCK_CACHE_H_

@@ -1,0 +1,118 @@
+#include "src/msm/round_planner.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace vafs {
+
+namespace {
+
+// C-SCAN key: cylinders at or past the arm sweep first in ascending
+// order; the rest wait for the wrap and sweep ascending again.
+std::pair<int, int64_t> ScanKey(int64_t cylinder, int64_t head_cylinder) {
+  return {cylinder >= head_cylinder ? 0 : 1, cylinder};
+}
+
+}  // namespace
+
+RoundPlan BuildRoundPlan(const DiskModel& model, const std::vector<int64_t>& head_cylinders,
+                         int array_members, const std::vector<PlanInput>& inputs) {
+  RoundPlan plan;
+  const int members = std::max(array_members, 1);
+
+  // Per-request coalescing: a run of consecutive non-silence candidates
+  // whose extents abut on the same member becomes one transfer. Silence
+  // breaks the run even when the flanking extents are contiguous.
+  std::vector<PlannedTransfer> reads;
+  for (const PlanInput& input : inputs) {
+    PlannedTransfer* run = nullptr;
+    bool run_broken = true;
+    for (const PlanCandidate& candidate : input.blocks) {
+      if (candidate.silence) {
+        run_broken = true;
+        continue;
+      }
+      ++plan.data_blocks;
+      if (candidate.cache_hit) {
+        ++plan.cache_hits;
+        run_broken = true;  // the round skips this extent; the run ends
+        continue;
+      }
+      const int member = members > 1 ? static_cast<int>(candidate.ordinal % members) : 0;
+      PlannedBlock block{input.request, candidate.ordinal, candidate.sector, candidate.sectors};
+      if (!run_broken && run != nullptr && run->member == member &&
+          run->start_sector + run->sectors == candidate.sector) {
+        run->sectors += candidate.sectors;
+        run->blocks.push_back(block);
+        ++plan.coalesced_blocks;
+        continue;
+      }
+      PlannedTransfer transfer;
+      transfer.start_sector = candidate.sector;
+      transfer.sectors = candidate.sectors;
+      transfer.member = member;
+      transfer.blocks.push_back(block);
+      reads.push_back(std::move(transfer));
+      run = &reads.back();
+      run_broken = false;
+    }
+    if (input.append_blocks > 0) {
+      PlannedTransfer append;
+      append.is_append = true;
+      append.append_request = input.request;
+      append.append_blocks = input.append_blocks;
+      append.start_sector = std::max<int64_t>(input.append_position_sector, 0);
+      append.member = 0;  // appends go to the primary spindle
+      reads.push_back(std::move(append));
+    }
+  }
+
+  // Dedup: identical extents wanted by several requests (lockstep viewers
+  // of one strand) collapse into one transfer carrying all riders.
+  std::map<std::pair<int64_t, int64_t>, size_t> by_extent;
+  std::vector<PlannedTransfer> unique;
+  for (PlannedTransfer& transfer : reads) {
+    if (transfer.is_append) {
+      unique.push_back(std::move(transfer));
+      continue;
+    }
+    const auto key = std::make_pair(transfer.start_sector, transfer.sectors);
+    auto found = by_extent.find(key);
+    if (found != by_extent.end()) {
+      PlannedTransfer& host = unique[found->second];
+      plan.deduped_blocks += static_cast<int64_t>(transfer.blocks.size());
+      host.blocks.insert(host.blocks.end(), transfer.blocks.begin(), transfer.blocks.end());
+      continue;
+    }
+    by_extent.emplace(key, unique.size());
+    unique.push_back(std::move(transfer));
+  }
+
+  // C-SCAN per member queue, from that member's current arm cylinder.
+  std::stable_sort(unique.begin(), unique.end(),
+                   [&](const PlannedTransfer& a, const PlannedTransfer& b) {
+                     if (a.member != b.member) {
+                       return a.member < b.member;
+                     }
+                     const int64_t head =
+                         a.member < static_cast<int>(head_cylinders.size())
+                             ? head_cylinders[static_cast<size_t>(a.member)]
+                             : 0;
+                     const auto ka = ScanKey(model.SectorToCylinder(a.start_sector), head);
+                     const auto kb = ScanKey(model.SectorToCylinder(b.start_sector), head);
+                     if (ka != kb) {
+                       return ka < kb;
+                     }
+                     return a.start_sector < b.start_sector;
+                   });
+  plan.transfers = std::move(unique);
+  for (const PlannedTransfer& transfer : plan.transfers) {
+    if (!transfer.is_append) {
+      ++plan.read_transfers;
+    }
+  }
+  return plan;
+}
+
+}  // namespace vafs

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <deque>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -72,22 +75,94 @@ void ServiceScheduler::Emit(const obs::TraceEvent& event) const {
   }
 }
 
+bool ServiceScheduler::CacheAdmissionEnabled() const {
+  return options_.cache_aware_admission && options_.service_order == ServiceOrder::kPlanned &&
+         options_.block_cache != nullptr && options_.block_cache->enabled();
+}
+
+int64_t ServiceScheduler::CacheLookaheadBlocks() const {
+  return options_.cache_admission_window > 0 ? options_.cache_admission_window
+                                             : std::max<int64_t>(4 * current_k_, 8);
+}
+
+double ServiceScheduler::ExpectedCacheCoverage(const PlaybackRequest& playback,
+                                               int64_t from_block) const {
+  const BlockCache* cache = options_.block_cache;
+  const int64_t window = CacheLookaheadBlocks();
+  // Sectors some live stream (rotating or still pending admission) is
+  // scheduled to read within the window: the candidate can ride those
+  // transfers (or their freshly cached results) even where the cache is
+  // still cold.
+  std::set<int64_t> scheduled;
+  for (const auto& [id, active] : requests_) {
+    if (active.stats.completed || active.stats.paused || !active.playback.has_value()) {
+      continue;
+    }
+    const auto& blocks = active.playback->blocks;
+    const int64_t limit =
+        std::min<int64_t>(active.next_block + window, static_cast<int64_t>(blocks.size()));
+    for (int64_t b = active.next_block; b < limit; ++b) {
+      const PrimaryEntry& entry = blocks[static_cast<size_t>(b)];
+      if (!entry.IsSilence()) {
+        scheduled.insert(entry.sector);
+      }
+    }
+  }
+  int64_t data = 0;
+  int64_t covered = 0;
+  const int64_t limit =
+      std::min<int64_t>(from_block + window, static_cast<int64_t>(playback.blocks.size()));
+  for (int64_t b = from_block; b < limit; ++b) {
+    const PrimaryEntry& entry = playback.blocks[static_cast<size_t>(b)];
+    if (entry.IsSilence()) {
+      continue;
+    }
+    ++data;
+    if (cache->Contains(entry.sector, entry.sector_count) || scheduled.count(entry.sector) > 0) {
+      ++covered;
+    }
+  }
+  return data > 0 ? static_cast<double>(covered) / static_cast<double>(data) : 0.0;
+}
+
 Result<RequestId> ServiceScheduler::Submit(ActiveRequest request, const RequestSpec& spec) {
   // Admission: existing = every request still holding a slot (active,
   // pending, or non-destructively paused); destructively paused requests
   // released theirs and must not be charged.
   Result<std::vector<int64_t>> schedule = std::vector<int64_t>{};
+  bool cache_admit = false;
+  double coverage = 0.0;
   if (options_.bypass_admission) {
     // Overload experiments: take everyone at a fixed round size.
     schedule->push_back(options_.forced_k > 0 ? options_.forced_k : current_k_);
   } else {
     schedule = admission_.PlanAdmission(SlotHolderSpecs(), spec, current_k_);
     if (!schedule.ok()) {
-      obs::TraceEvent event = TraceContext();
-      event.kind = obs::TraceEventKind::kSubmitRejected;
-      event.detail = schedule.status().message();
-      Emit(event);
-      return schedule.status();
+      // Cache-aware second chance: the Eq. 17 test prices every block at a
+      // full disk transfer, but a viewer trailing an admitted stream of the
+      // same strand is served mostly from memory. Admit at the current k
+      // when the expected coverage clears the threshold; a later coverage
+      // collapse destructively pauses the stream (back to n_max).
+      if (request.playback.has_value() && CacheAdmissionEnabled()) {
+        coverage = ExpectedCacheCoverage(*request.playback, 0);
+        if (coverage + 1e-9 >= options_.cache_admission_min_hit_rate) {
+          cache_admit = true;
+          // Join at the rotation's round size (k transitions already
+          // planned count: before the first round current_k_ is still 0).
+          int64_t rotation_k = current_k_;
+          for (const PendingAdmission& pending : pending_) {
+            rotation_k = std::max(rotation_k, pending.k_schedule.back());
+          }
+          schedule = std::vector<int64_t>{rotation_k};
+        }
+      }
+      if (!cache_admit) {
+        obs::TraceEvent event = TraceContext();
+        event.kind = obs::TraceEventKind::kSubmitRejected;
+        event.detail = schedule.status().message();
+        Emit(event);
+        return schedule.status();
+      }
     }
   }
   if (options_.max_k > 0 && schedule->back() > options_.max_k) {
@@ -103,6 +178,7 @@ Result<RequestId> ServiceScheduler::Submit(ActiveRequest request, const RequestS
   const RequestId id = next_id_++;
   request.stats.id = id;
   request.stats.submit_time = simulator_->Now();
+  request.stats.cache_admitted = cache_admit;
   if (request.playback.has_value()) {
     request.stats.blocks_total = static_cast<int64_t>(request.playback->blocks.size());
     const int64_t k_target = schedule->back();
@@ -112,6 +188,17 @@ Result<RequestId> ServiceScheduler::Submit(ActiveRequest request, const RequestS
     request.buffer_cap = request.playback->device_buffers;  // 0 resolved per round
   } else {
     request.stats.blocks_total = request.recording->total_blocks;
+  }
+
+  if (cache_admit) {
+    // Emitted before the request joins the ledger, so the attached slot
+    // snapshot agrees with the replayed lifecycle.
+    obs::TraceEvent event = TraceContext();
+    event.kind = obs::TraceEventKind::kCacheAdmit;
+    event.request = id;
+    event.cache_hit_rate = coverage;
+    event.detail = "expected coverage " + std::to_string(coverage);
+    Emit(event);
   }
 
   PendingAdmission pending;
@@ -176,11 +263,32 @@ void FoldConsumer(const PlaybackConsumer* consumer, RequestStats* stats) {
                                         consumer->max_buffered_blocks());
 }
 
+// Playback duration of one block at the request's rate.
+SimDuration EffectiveBlockDuration(const PlaybackRequest& playback) {
+  return static_cast<SimDuration>(static_cast<double>(playback.block_duration) /
+                                  playback.rate_multiplier);
+}
+
+SimDuration RecordingBlockDuration(const RecordingRequest& recording) {
+  return SecondsToUsec(static_cast<double>(recording.placement.granularity) /
+                       recording.profile.units_per_sec);
+}
+
 }  // namespace
+
+void ServiceScheduler::UnpinPreludePages(ActiveRequest* request) {
+  if (options_.block_cache != nullptr) {
+    for (const auto& [sector, sectors] : request->pinned_extents) {
+      options_.block_cache->Unpin(sector, sectors);
+    }
+  }
+  request->pinned_extents.clear();
+}
 
 void ServiceScheduler::FinishRequest(ActiveRequest* request, SimTime now) {
   request->stats.completed = true;
   request->stats.completion_time = now;
+  UnpinPreludePages(request);
   FoldConsumer(request->consumer.get(), &request->stats);
   request->consumer.reset();
   if (request->writer != nullptr) {
@@ -204,44 +312,53 @@ void ServiceScheduler::FinishRequest(ActiveRequest* request, SimTime now) {
   Emit(event);
 }
 
-bool ServiceScheduler::ReadBlockWithRetry(ActiveRequest* request, const PrimaryEntry& entry,
-                                          SimTime* now) {
-  Disk& disk = store_->disk();
-  Result<SimDuration> service = disk.Read(entry.sector, entry.sector_count, nullptr);
+bool ServiceScheduler::TransferWithRetry(ActiveRequest* request, Disk* device,
+                                         const std::function<Result<SimDuration>()>& attempt,
+                                         const std::function<SimDuration()>& peek_retry,
+                                         int64_t sector, int64_t sectors, SimTime* now,
+                                         Status* fail_status) {
+  Result<SimDuration> service = attempt();
   if (service.ok()) {
     *now += *service;
     return true;
   }
   // The failed attempt still moved the arm; charge its mechanical time.
-  *now += disk.last_fault_service();
+  *now += device->last_fault_service();
   ++request->stats.faults_seen;
 
   int64_t retries = 0;
-  while (service.status().code() == ErrorCode::kIoError && !disk.failed() &&
+  while (service.status().code() == ErrorCode::kIoError && !device->failed() &&
          retries < options_.max_block_retries) {
-    // Affordability: after the failed read the arm rests on the extent's
-    // cylinder, so PeekServiceTime is exactly what the re-read will cost.
-    // If that would push the round past its Eq. 11 budget, the retry would
-    // steal another stream's continuity slack — skip instead.
-    if (round_budget_ > 0 &&
-        (*now - round_start_) + disk.PeekServiceTime(entry.sector, entry.sector_count) >
-            round_budget_) {
+    if (peek_retry != nullptr) {
+      // Affordability: after the failed op the arm rests on the extent's
+      // cylinder, so PeekServiceTime is exactly what the re-attempt will
+      // cost. If that would push the round past its Eq. 11 budget, the
+      // retry would steal another stream's continuity slack — skip instead.
+      if (round_budget_ > 0 && (*now - round_start_) + peek_retry() > round_budget_) {
+        break;
+      }
+    } else if (round_budget_ > 0 && *now - round_start_ >= round_budget_) {
+      // No exact peek (appends land on a freshly allocated extent each
+      // attempt): bound the retries by count and the budget at issue time.
       break;
     }
     ++retries;
-    service = disk.Read(entry.sector, entry.sector_count, nullptr);
+    service = attempt();
     ++request->stats.blocks_retried;
-    const SimDuration spent = service.ok() ? *service : disk.last_fault_service();
+    const SimDuration spent = service.ok() ? *service : device->last_fault_service();
     *now += spent;
     if (options_.trace != nullptr) {
       obs::TraceEvent event = TraceContext();
       event.kind = obs::TraceEventKind::kBlockRetried;
       event.time = *now;
       event.request = request->stats.id;
-      event.sector = entry.sector;
-      event.blocks = entry.sector_count;
+      event.sector = sector;
+      event.blocks = sectors;
       event.duration = spent;
-      event.round_budget = round_budget_;
+      // Events of peeked retries carry the budget the pre-check ran
+      // against; issue-time-checked retries carry 0 — the Eq. 11
+      // completion guarantee is a retrieval-side contract.
+      event.round_budget = peek_retry != nullptr ? round_budget_ : 0;
       if (!service.ok()) {
         event.detail = "faulted_again";
       }
@@ -252,7 +369,22 @@ bool ServiceScheduler::ReadBlockWithRetry(ActiveRequest* request, const PrimaryE
     }
     ++request->stats.faults_seen;
   }
+  if (fail_status != nullptr) {
+    *fail_status = service.status();
+  }
+  return false;
+}
 
+bool ServiceScheduler::ReadExtentWithRetry(ActiveRequest* request, Disk* device, int64_t sector,
+                                           int64_t sectors, SimTime* now) {
+  Status fail = Status::Ok();
+  const bool ok = TransferWithRetry(
+      request, device, [device, sector, sectors] { return device->Read(sector, sectors, nullptr); },
+      [device, sector, sectors] { return device->PeekServiceTime(sector, sectors); }, sector,
+      sectors, now, &fail);
+  if (ok) {
+    return true;
+  }
   // Give up on this block: degraded playback renders it as silence rather
   // than stalling the stream (kBadSector is hopeless until relocated, and
   // further transient retries are either exhausted or unaffordable).
@@ -262,19 +394,46 @@ bool ServiceScheduler::ReadBlockWithRetry(ActiveRequest* request, const PrimaryE
     event.kind = obs::TraceEventKind::kBlockSkipped;
     event.time = *now;
     event.request = request->stats.id;
-    event.sector = entry.sector;
-    event.blocks = entry.sector_count;
+    event.sector = sector;
+    event.blocks = sectors;
     event.round_budget = round_budget_;
-    event.detail = service.status().message();
+    event.detail = fail.message();
     Emit(event);
   }
   return false;
 }
 
+void ServiceScheduler::ReportPlaybackReady(ActiveRequest* request, SimTime ready_time) {
+  PlaybackRequest& playback = *request->playback;
+  if (request->consumer == nullptr) {
+    request->prelude_ready_times.push_back(ready_time);
+    const bool prelude_done =
+        static_cast<int64_t>(request->prelude_ready_times.size()) >= request->read_ahead ||
+        request->next_block + 1 == static_cast<int64_t>(playback.blocks.size());
+    if (prelude_done) {
+      // Anti-jitter read-ahead satisfied: playback starts now, and the
+      // buffered blocks are ready at their recorded instants.
+      const SimTime start = request->prelude_ready_times.back();
+      request->consumer =
+          std::make_unique<PlaybackConsumer>(EffectiveBlockDuration(playback), start, 0);
+      for (SimTime ready : request->prelude_ready_times) {
+        request->consumer->BlockReady(ready);
+      }
+      request->prelude_ready_times.clear();
+      if (request->stats.startup_latency == RequestStats::kUnsetLatency) {
+        request->stats.startup_latency = start - request->stats.submit_time;
+      }
+      UnpinPreludePages(request);  // the startup guarantee is met; pages age normally
+    }
+  } else {
+    request->consumer->BlockReady(ready_time);
+  }
+  ++request->next_block;
+  ++request->stats.blocks_done;
+}
+
 int64_t ServiceScheduler::ServicePlayback(ActiveRequest* request, SimTime* now) {
   PlaybackRequest& playback = *request->playback;
-  const SimDuration effective_duration = static_cast<SimDuration>(
-      static_cast<double>(playback.block_duration) / playback.rate_multiplier);
   const int64_t cap = request->buffer_cap > 0 ? request->buffer_cap : 2 * current_k_;
   int64_t transferred = 0;
   while (transferred < current_k_ &&
@@ -286,7 +445,7 @@ int64_t ServiceScheduler::ServicePlayback(ActiveRequest* request, SimTime* now) 
     }
     const PrimaryEntry& entry = playback.blocks[static_cast<size_t>(request->next_block)];
     if (!entry.IsSilence()) {
-      if (ReadBlockWithRetry(request, entry, now)) {
+      if (ReadExtentWithRetry(request, &store_->disk(), entry.sector, entry.sector_count, now)) {
         ++transferred;
       }
       // A skipped block falls through as a degraded frame: readiness is
@@ -294,30 +453,7 @@ int64_t ServiceScheduler::ServicePlayback(ActiveRequest* request, SimTime* now) 
       // moved and `transferred` does not count it.
     }
     // Report readiness of this block (silence is "ready" for free).
-    if (request->consumer == nullptr) {
-      request->prelude_ready_times.push_back(*now);
-      const bool prelude_done =
-          static_cast<int64_t>(request->prelude_ready_times.size()) >= request->read_ahead ||
-          request->next_block + 1 == static_cast<int64_t>(playback.blocks.size());
-      if (prelude_done) {
-        // Anti-jitter read-ahead satisfied: playback starts now, and the
-        // buffered blocks are ready at their recorded instants.
-        const SimTime start = request->prelude_ready_times.back();
-        request->consumer =
-            std::make_unique<PlaybackConsumer>(effective_duration, start, 0);
-        for (SimTime ready : request->prelude_ready_times) {
-          request->consumer->BlockReady(ready);
-        }
-        request->prelude_ready_times.clear();
-        if (request->stats.startup_latency == RequestStats::kUnsetLatency) {
-          request->stats.startup_latency = start - request->stats.submit_time;
-        }
-      }
-    } else {
-      request->consumer->BlockReady(*now);
-    }
-    ++request->next_block;
-    ++request->stats.blocks_done;
+    ReportPlaybackReady(request, *now);
   }
   if (request->next_block == static_cast<int64_t>(playback.blocks.size())) {
     FinishRequest(request, *now);
@@ -325,87 +461,61 @@ int64_t ServiceScheduler::ServicePlayback(ActiveRequest* request, SimTime* now) 
   return transferred;
 }
 
-int64_t ServiceScheduler::ServiceRecording(ActiveRequest* request, SimTime* now) {
-  RecordingRequest& recording = *request->recording;
-  if (request->producer == nullptr) {
-    const SimDuration block_duration = SecondsToUsec(
-        static_cast<double>(recording.placement.granularity) / recording.profile.units_per_sec);
-    request->producer =
-        std::make_unique<CaptureProducer>(block_duration, *now, recording.capture_buffers);
-    Result<std::unique_ptr<StrandWriter>> writer =
-        store_->CreateStrand(recording.profile, recording.placement);
-    assert(writer.ok());
-    request->writer = std::move(*writer);
+void ServiceScheduler::EnsureRecordingDevices(ActiveRequest* request, SimTime now) {
+  if (request->producer != nullptr) {
+    return;
   }
+  RecordingRequest& recording = *request->recording;
+  request->producer = std::make_unique<CaptureProducer>(RecordingBlockDuration(recording), now,
+                                                        recording.capture_buffers);
+  Result<std::unique_ptr<StrandWriter>> writer =
+      store_->CreateStrand(recording.profile, recording.placement);
+  assert(writer.ok());
+  request->writer = std::move(*writer);
+}
+
+int64_t ServiceScheduler::ServiceRecording(ActiveRequest* request, SimTime* now,
+                                           int64_t max_blocks) {
+  RecordingRequest& recording = *request->recording;
+  EnsureRecordingDevices(request, *now);
   const int64_t block_bytes =
       BitsToBytesCeil(recording.placement.granularity * recording.profile.bits_per_unit);
-  const std::vector<uint8_t> payload(static_cast<size_t>(block_bytes), 0);
+  const int64_t sector_bytes = store_->disk().bytes_per_sector();
+  // A whole-sector payload from the page pool: AppendBlock pads short
+  // payloads with a fresh copy, so pre-padding keeps the append loop
+  // allocation-free across rounds.
+  const int64_t padded_bytes = ((block_bytes + sector_bytes - 1) / sector_bytes) * sector_bytes;
+  PagePool& pool =
+      options_.block_cache != nullptr ? options_.block_cache->page_pool() : scratch_pool_;
+  std::vector<uint8_t>* payload = pool.Acquire(padded_bytes);
 
   int64_t transferred = 0;
-  while (transferred < current_k_ && request->stats.blocks_done < recording.total_blocks) {
+  while (transferred < max_blocks && request->stats.blocks_done < recording.total_blocks) {
     if (request->producer->CaptureEnd(request->stats.blocks_done) > *now) {
       break;  // the camera has not finished this block yet
     }
-    Result<SimDuration> service = request->writer->AppendBlock(payload);
-    bool wrote = service.ok();
-    if (wrote) {
-      *now += *service;
-    } else {
-      Disk& disk = store_->disk();
-      const bool device_fault = service.status().code() == ErrorCode::kIoError ||
-                                service.status().code() == ErrorCode::kBadSector;
-      assert(device_fault);  // allocator failures are admission bugs
-      if (device_fault) {
-        *now += disk.last_fault_service();
-        ++request->stats.faults_seen;
-        // Each retry lands on a freshly allocated extent (the faulted one
-        // was returned to the pool), so there is no exact peek; bound the
-        // retries by count and by the round budget at issue time. The
-        // emitted events carry round_budget 0 — the Eq. 11 completion
-        // guarantee is a retrieval-side contract; capture slack is already
-        // measured by the producer's overflow accounting.
-        int64_t retries = 0;
-        while (!wrote && service.status().code() == ErrorCode::kIoError && !disk.failed() &&
-               retries < options_.max_block_retries &&
-               (round_budget_ == 0 || *now - round_start_ < round_budget_)) {
-          ++retries;
-          service = request->writer->AppendBlock(payload);
-          ++request->stats.blocks_retried;
-          wrote = service.ok();
-          const SimDuration spent = wrote ? *service : disk.last_fault_service();
-          *now += spent;
-          if (options_.trace != nullptr) {
-            obs::TraceEvent event = TraceContext();
-            event.kind = obs::TraceEventKind::kBlockRetried;
-            event.time = *now;
-            event.request = request->stats.id;
-            event.duration = spent;
-            if (!wrote) {
-              event.detail = "faulted_again";
-            }
-            Emit(event);
-          }
-          if (!wrote) {
-            ++request->stats.faults_seen;
-          }
-        }
-      }
-      if (!wrote) {
-        // Give the block up as an unrecorded gap: a NULL index entry keeps
-        // the strand's timeline intact, and the capture buffer is released
-        // so the device does not overflow on a dead disk.
-        Status silence = request->writer->AppendSilence();
-        assert(silence.ok());
-        (void)silence;
-        ++request->stats.blocks_skipped;
-        if (options_.trace != nullptr) {
-          obs::TraceEvent event = TraceContext();
-          event.kind = obs::TraceEventKind::kBlockSkipped;
-          event.time = *now;
-          event.request = request->stats.id;
-          event.detail = service.status().message();
-          Emit(event);
-        }
+    Status fail = Status::Ok();
+    const bool wrote =
+        TransferWithRetry(request, &store_->disk(),
+                          [request, payload] { return request->writer->AppendBlock(*payload); },
+                          nullptr, 0, 0, now, &fail);
+    if (!wrote) {
+      assert(fail.code() == ErrorCode::kIoError ||
+             fail.code() == ErrorCode::kBadSector);  // allocator failures are admission bugs
+      // Give the block up as an unrecorded gap: a NULL index entry keeps
+      // the strand's timeline intact, and the capture buffer is released
+      // so the device does not overflow on a dead disk.
+      Status silence = request->writer->AppendSilence();
+      assert(silence.ok());
+      (void)silence;
+      ++request->stats.blocks_skipped;
+      if (options_.trace != nullptr) {
+        obs::TraceEvent event = TraceContext();
+        event.kind = obs::TraceEventKind::kBlockSkipped;
+        event.time = *now;
+        event.request = request->stats.id;
+        event.detail = fail.message();
+        Emit(event);
       }
     }
     request->producer->BlockWritten(*now);
@@ -414,10 +524,504 @@ int64_t ServiceScheduler::ServiceRecording(ActiveRequest* request, SimTime* now)
       ++transferred;
     }
   }
+  pool.Release(payload);
   if (request->stats.blocks_done == recording.total_blocks) {
     FinishRequest(request, *now);
   }
   return transferred;
+}
+
+void ServiceScheduler::ComputeRoundBudget() {
+  // Eq. 11 envelope of this round: the tightest serviced request's fetched
+  // playback, min_i(k_i * d_i). Retries of faulted blocks are only issued
+  // while the round still fits inside it.
+  round_budget_ = 0;
+  for (RequestId id : service_order_) {
+    const ActiveRequest& request = requests_.at(id);
+    if (request.stats.completed || request.stats.paused) {
+      continue;
+    }
+    const SimDuration block_playback = request.playback.has_value()
+                                           ? EffectiveBlockDuration(*request.playback)
+                                           : RecordingBlockDuration(*request.recording);
+    const SimDuration budget = current_k_ * block_playback;
+    if (round_budget_ == 0 || budget < round_budget_) {
+      round_budget_ = budget;
+    }
+  }
+}
+
+std::vector<PlanInput> ServiceScheduler::BuildPlanInputs(SimTime round_start,
+                                                         bool count_cache_stats) {
+  BlockCache* cache = options_.block_cache != nullptr && options_.block_cache->enabled()
+                          ? options_.block_cache
+                          : nullptr;
+  std::vector<PlanInput> inputs;
+  for (RequestId id : service_order_) {
+    ActiveRequest& request = requests_.at(id);
+    if (request.stats.completed || request.stats.paused) {
+      continue;
+    }
+    PlanInput input;
+    input.request = id;
+    if (request.playback.has_value()) {
+      PlaybackRequest& playback = *request.playback;
+      const int64_t size = static_cast<int64_t>(playback.blocks.size());
+      int64_t target = current_k_;
+      if (request.consumer != nullptr) {
+        // Device-buffer backpressure, evaluated once at plan time: the
+        // round fetches at most the room available at its start.
+        const int64_t cap = request.buffer_cap > 0 ? request.buffer_cap : 2 * current_k_;
+        const int64_t room = cap - request.consumer->BufferedAt(round_start);
+        target = std::min(target, std::max<int64_t>(room, 0));
+      }
+      int64_t data = 0;
+      for (int64_t b = request.next_block; b < size && data < target; ++b) {
+        const PrimaryEntry& entry = playback.blocks[static_cast<size_t>(b)];
+        PlanCandidate candidate;
+        candidate.ordinal = b;
+        if (entry.IsSilence()) {
+          candidate.silence = true;
+        } else {
+          candidate.sector = entry.sector;
+          candidate.sectors = entry.sector_count;
+          if (cache != nullptr) {
+            candidate.cache_hit = count_cache_stats
+                                      ? cache->Lookup(entry.sector, entry.sector_count)
+                                      : cache->Contains(entry.sector, entry.sector_count);
+          }
+          ++data;
+        }
+        input.blocks.push_back(candidate);
+      }
+    } else {
+      // Blocks the capture device has finished by round start, up to k.
+      EnsureRecordingDevices(&request, round_start);
+      RecordingRequest& recording = *request.recording;
+      int64_t ready = 0;
+      while (ready < current_k_ && request.stats.blocks_done + ready < recording.total_blocks &&
+             request.producer->CaptureEnd(request.stats.blocks_done + ready) <= round_start) {
+        ++ready;
+      }
+      input.append_blocks = ready;
+      input.append_position_sector = request.writer->previous_end_sector();
+    }
+    inputs.push_back(std::move(input));
+  }
+  return inputs;
+}
+
+std::vector<RequestId> ServiceScheduler::CollapsedCacheAdmissions(
+    const std::vector<PlanInput>& inputs, const RoundPlan& plan) const {
+  // Realized coverage this round: plan-time cache hits plus blocks riding
+  // another request's transfer (dedup), over the round's data blocks.
+  std::map<uint64_t, std::pair<int64_t, int64_t>> demand;  // request -> (data, free)
+  for (const PlanInput& input : inputs) {
+    for (const PlanCandidate& candidate : input.blocks) {
+      if (candidate.silence) {
+        continue;
+      }
+      ++demand[input.request].first;
+      if (candidate.cache_hit) {
+        ++demand[input.request].second;
+      }
+    }
+  }
+  for (const PlannedTransfer& transfer : plan.transfers) {
+    if (transfer.is_append || transfer.blocks.empty()) {
+      continue;
+    }
+    // The first rider of each distinct extent pays for the read; every
+    // other rider of that extent gets it for free.
+    std::map<std::pair<int64_t, int64_t>, uint64_t> payer;
+    for (const PlannedBlock& block : transfer.blocks) {
+      const auto key = std::make_pair(block.sector, block.sectors);
+      auto [it, fresh] = payer.emplace(key, block.request);
+      if (!fresh && it->second != block.request) {
+        ++demand[block.request].second;
+      }
+    }
+  }
+  std::vector<RequestId> collapsed;
+  for (const auto& [id, counts] : demand) {
+    const auto it = requests_.find(id);
+    if (it == requests_.end() || !it->second.stats.cache_admitted) {
+      continue;
+    }
+    const auto [data, free_blocks] = counts;
+    if (data <= 0) {
+      continue;  // nothing demanded this round; no evidence either way
+    }
+    const double coverage = static_cast<double>(free_blocks) / static_cast<double>(data);
+    if (coverage + 1e-9 < options_.cache_admission_min_hit_rate) {
+      collapsed.push_back(id);
+    }
+  }
+  return collapsed;
+}
+
+int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
+  const SimTime round_start = *now;
+  Disk& disk = store_->disk();
+  DiskArray* array = options_.disk_array;
+  const int members = array != nullptr ? array->members() : 1;
+  BlockCache* cache = options_.block_cache != nullptr && options_.block_cache->enabled()
+                          ? options_.block_cache
+                          : nullptr;
+  const DiskModel& model = store_->model();
+
+  // Build the transfer program, revoking cache-admitted streams whose
+  // coverage collapsed before any disk time is spent on them. Each pass
+  // pauses at least one stream, so the loop is bounded.
+  std::vector<PlanInput> inputs = BuildPlanInputs(round_start, /*count_cache_stats=*/true);
+  RoundPlan plan;
+  for (;;) {
+    std::vector<int64_t> heads;
+    if (array != nullptr) {
+      for (int m = 0; m < members; ++m) {
+        heads.push_back(array->member(m).head_cylinder());
+      }
+    } else {
+      heads.push_back(disk.head_cylinder());
+    }
+    plan = BuildRoundPlan(model, heads, members, inputs);
+    const std::vector<RequestId> collapsed = CollapsedCacheAdmissions(inputs, plan);
+    if (collapsed.empty()) {
+      break;
+    }
+    for (RequestId id : collapsed) {
+      obs::TraceEvent event = TraceContext();
+      event.kind = obs::TraceEventKind::kCacheAdmitRevoked;
+      event.time = *now;
+      event.request = id;
+      event.cache_hit_rate = cache != nullptr ? cache->RecentHitRate() : 0.0;
+      event.detail = "round coverage below admission threshold";
+      Emit(event);
+      // Graceful fallback to the Eq. 17 regime: release the slot; the
+      // stream may re-apply through Resume under plain admission.
+      Pause(id, /*destructive=*/true);
+    }
+    inputs = BuildPlanInputs(round_start, /*count_cache_stats=*/false);
+    ComputeRoundBudget();
+  }
+
+  if (options_.trace != nullptr) {
+    obs::TraceEvent event = TraceContext();
+    event.kind = obs::TraceEventKind::kRoundPlanned;
+    event.time = *now;
+    event.blocks = plan.data_blocks;
+    event.transfers = plan.read_transfers;
+    event.coalesced_blocks = plan.coalesced_blocks;
+    event.deduped_blocks = plan.deduped_blocks;
+    event.cache_hits = plan.cache_hits;
+    event.cache_lookups = cache != nullptr ? plan.data_blocks : 0;
+    if (cache != nullptr) {
+      event.cache_resident_bytes = cache->stats().resident_bytes;
+      event.cache_pinned_entries = cache->stats().pinned_entries;
+      event.cache_evictions = cache->stats().evictions;
+      event.cache_hit_rate = cache->RecentHitRate();
+    }
+    Emit(event);
+  }
+
+  // Sectors more than one active stream wants within the lookahead window:
+  // the interval between a leading and a trailing viewer. Their cache
+  // entries are biased to evict last — the next hit is scheduled.
+  std::map<int64_t, int> wanted;
+  const int64_t lookahead = CacheLookaheadBlocks();
+  if (cache != nullptr) {
+    for (RequestId id : service_order_) {
+      const ActiveRequest& request = requests_.at(id);
+      if (request.stats.completed || request.stats.paused || !request.playback.has_value()) {
+        continue;
+      }
+      const auto& blocks = request.playback->blocks;
+      const int64_t limit =
+          std::min<int64_t>(request.next_block + lookahead, static_cast<int64_t>(blocks.size()));
+      for (int64_t b = request.next_block; b < limit; ++b) {
+        if (!blocks[static_cast<size_t>(b)].IsSilence()) {
+          ++wanted[blocks[static_cast<size_t>(b)].sector];
+        }
+      }
+    }
+  }
+
+  // Per-(request, ordinal) completion instants and fates; per-request disk
+  // time attribution (shared transfers split evenly between their riders).
+  std::map<std::pair<uint64_t, int64_t>, std::pair<SimTime, bool>> outcomes;
+  std::map<uint64_t, SimDuration> attributed;
+  std::map<uint64_t, int64_t> append_done;
+  int64_t ops = 0;
+  int64_t measured_seek = 0;
+  const int64_t full_stroke = std::max<int64_t>(model.params().cylinders - 1, 0);
+
+  using ExtentKey = std::pair<int64_t, int64_t>;
+  using RiderGroup = std::pair<ExtentKey, std::vector<const PlannedBlock*>>;
+  const auto distinct_extents = [](const PlannedTransfer& transfer) {
+    std::vector<RiderGroup> groups;
+    for (const PlannedBlock& block : transfer.blocks) {
+      const ExtentKey key{block.sector, block.sectors};
+      auto it = std::find_if(groups.begin(), groups.end(),
+                             [&key](const RiderGroup& group) { return group.first == key; });
+      if (it == groups.end()) {
+        groups.push_back({key, {&block}});
+      } else {
+        it->second.push_back(&block);
+      }
+    }
+    return groups;
+  };
+
+  const auto record_extent = [&](const ExtentKey& extent,
+                                 const std::vector<const PlannedBlock*>& riders, SimTime completion,
+                                 bool ok) {
+    for (const PlannedBlock* block : riders) {
+      outcomes[{block->request, block->ordinal}] = {completion, ok};
+    }
+    if (!ok || cache == nullptr) {
+      return;
+    }
+    const auto want = wanted.find(extent.first);
+    const bool biased = want != wanted.end() && want->second >= 2;
+    cache->Insert(extent.first, extent.second, extent.second * disk.bytes_per_sector(), biased);
+    for (const PlannedBlock* block : riders) {
+      ActiveRequest& rider = requests_.at(block->request);
+      if (rider.playback.has_value() && rider.consumer == nullptr) {
+        // Prelude read-ahead: pinned so eviction cannot undo the startup
+        // guarantee before playback begins.
+        cache->Pin(extent.first, extent.second);
+        rider.pinned_extents.push_back(extent);
+      }
+    }
+  };
+
+  // Reads one distinct extent with the shared retry policy, marking every
+  // rider's fate (all riders lose the block on give-up).
+  const auto read_extent = [&](Disk* device, const ExtentKey& extent,
+                               const std::vector<const PlannedBlock*>& riders) {
+    ActiveRequest& owner = requests_.at(riders.front()->request);
+    Status fail = Status::Ok();
+    const bool ok = TransferWithRetry(
+        &owner, device,
+        [device, extent] { return device->Read(extent.first, extent.second, nullptr); },
+        [device, extent] { return device->PeekServiceTime(extent.first, extent.second); },
+        extent.first, extent.second, now, &fail);
+    if (!ok) {
+      for (const PlannedBlock* block : riders) {
+        ActiveRequest& rider = requests_.at(block->request);
+        ++rider.stats.blocks_skipped;
+        if (options_.trace != nullptr) {
+          obs::TraceEvent event = TraceContext();
+          event.kind = obs::TraceEventKind::kBlockSkipped;
+          event.time = *now;
+          event.request = block->request;
+          event.sector = extent.first;
+          event.blocks = extent.second;
+          event.round_budget = round_budget_;
+          event.detail = fail.message();
+          Emit(event);
+        }
+      }
+    }
+    record_extent(extent, riders, *now, ok);
+  };
+
+  const auto attribute = [&](const PlannedTransfer& transfer, SimDuration spent) {
+    std::vector<uint64_t> riders;
+    for (const PlannedBlock& block : transfer.blocks) {
+      if (std::find(riders.begin(), riders.end(), block.request) == riders.end()) {
+        riders.push_back(block.request);
+      }
+    }
+    for (uint64_t rider : riders) {
+      attributed[rider] += spent / static_cast<SimDuration>(riders.size());
+    }
+  };
+
+  const auto run_append = [&](const PlannedTransfer& transfer) {
+    const SimTime start = *now;
+    ActiveRequest& request = requests_.at(transfer.append_request);
+    append_done[transfer.append_request] +=
+        ServiceRecording(&request, now, transfer.append_blocks);
+    attributed[transfer.append_request] += *now - start;
+  };
+
+  if (array == nullptr) {
+    // Single spindle: the plan order is the dispatch order (block-level
+    // C-SCAN with appends interleaved at their expected arm positions).
+    for (const PlannedTransfer& transfer : plan.transfers) {
+      if (transfer.is_append) {
+        run_append(transfer);
+        continue;
+      }
+      const SimTime start = *now;
+      measured_seek +=
+          std::abs(model.SectorToCylinder(transfer.start_sector) - disk.head_cylinder());
+      ++ops;
+      const auto groups = distinct_extents(transfer);
+      if (groups.size() == 1) {
+        read_extent(&disk, groups.front().first, groups.front().second);
+      } else {
+        // Coalesced transfer: one attempt for the merged extent; on a
+        // fault, de-coalesce so one bad sector does not burn the retry
+        // budget of its healthy neighbours.
+        Result<SimDuration> service = disk.Read(transfer.start_sector, transfer.sectors, nullptr);
+        if (service.ok()) {
+          *now += *service;
+          for (const auto& [extent, riders] : groups) {
+            record_extent(extent, riders, *now, true);
+          }
+        } else {
+          *now += disk.last_fault_service();
+          ++requests_.at(transfer.blocks.front().request).stats.faults_seen;
+          for (const auto& [extent, riders] : groups) {
+            measured_seek += std::abs(model.SectorToCylinder(extent.first) - disk.head_cylinder());
+            ++ops;
+            read_extent(&disk, extent, riders);
+          }
+        }
+      }
+      attribute(transfer, *now - start);
+    }
+  } else {
+    // Array-parallel dispatch: one wave per queue depth, each wave issuing
+    // at most one transfer per member; the wave completes at the slowest
+    // arm. Appends run after the waves on the primary spindle.
+    for (int m = 0; m < members; ++m) {
+      array->member(m).set_time_hint(now);
+    }
+    std::vector<std::deque<const PlannedTransfer*>> queues(static_cast<size_t>(members));
+    std::vector<const PlannedTransfer*> appends;
+    for (const PlannedTransfer& transfer : plan.transfers) {
+      if (transfer.is_append) {
+        appends.push_back(&transfer);
+      } else {
+        queues[static_cast<size_t>(transfer.member)].push_back(&transfer);
+      }
+    }
+    for (;;) {
+      std::vector<DiskArray::BatchRequest> batch;
+      std::vector<const PlannedTransfer*> wave;
+      for (int m = 0; m < members; ++m) {
+        auto& queue = queues[static_cast<size_t>(m)];
+        if (queue.empty()) {
+          continue;
+        }
+        const PlannedTransfer* transfer = queue.front();
+        queue.pop_front();
+        measured_seek += std::abs(model.SectorToCylinder(transfer->start_sector) -
+                                  array->member(m).head_cylinder());
+        ++ops;
+        batch.push_back(DiskArray::BatchRequest{m, transfer->start_sector, transfer->sectors});
+        wave.push_back(transfer);
+      }
+      if (batch.empty()) {
+        break;
+      }
+      const SimTime wave_start = *now;
+      Result<DiskArray::BatchOutcome> outcome = array->ReadBatch(batch, nullptr);
+      assert(outcome.ok());  // the planner only builds well-formed batches
+      *now = wave_start + outcome->completion_time;
+      for (size_t i = 0; i < wave.size(); ++i) {
+        const PlannedTransfer& transfer = *wave[i];
+        const DiskArray::MemberOutcome& member_outcome = outcome->per_request[i];
+        attribute(transfer, member_outcome.service);
+        const auto groups = distinct_extents(transfer);
+        if (member_outcome.status.ok()) {
+          for (const auto& [extent, riders] : groups) {
+            record_extent(extent, riders, wave_start + member_outcome.service, true);
+          }
+        } else {
+          // The faulted member's mechanical time is already inside the
+          // wave completion; de-coalesced retries run after the wave.
+          ++requests_.at(transfer.blocks.front().request).stats.faults_seen;
+          Disk& member_disk = array->member(transfer.member);
+          for (const auto& [extent, riders] : groups) {
+            measured_seek +=
+                std::abs(model.SectorToCylinder(extent.first) - member_disk.head_cylinder());
+            ++ops;
+            read_extent(&member_disk, extent, riders);
+          }
+        }
+      }
+    }
+    for (const PlannedTransfer* transfer : appends) {
+      run_append(*transfer);
+    }
+    for (int m = 0; m < members; ++m) {
+      array->member(m).set_time_hint(nullptr);
+    }
+  }
+
+  // Readiness in playback order: a request's blocks become ready at the
+  // running maximum of their transfer completions (the consumer contract
+  // requires non-decreasing instants), cache hits and silence at the
+  // prefix reached so far.
+  int64_t transferred_total = 0;
+  for (const PlanInput& input : inputs) {
+    auto it = requests_.find(input.request);
+    if (it == requests_.end()) {
+      continue;
+    }
+    ActiveRequest& request = it->second;
+    if (request.stats.completed || request.stats.paused) {
+      continue;
+    }
+    if (request.stats.start_time < 0) {
+      request.stats.start_time = round_start;
+    }
+    int64_t moved = 0;
+    SimDuration block_playback = 0;
+    if (request.recording.has_value()) {
+      block_playback = RecordingBlockDuration(*request.recording);
+      moved = append_done[input.request];
+    } else {
+      block_playback = EffectiveBlockDuration(*request.playback);
+      SimTime prefix = round_start;
+      for (const PlanCandidate& candidate : input.blocks) {
+        if (!candidate.silence && !candidate.cache_hit) {
+          const auto outcome = outcomes.find({input.request, candidate.ordinal});
+          assert(outcome != outcomes.end());
+          prefix = std::max(prefix, outcome->second.first);
+          if (outcome->second.second) {
+            ++moved;
+          }
+        } else if (candidate.cache_hit) {
+          ++moved;  // served from memory: counts as transferred, costs nothing
+        }
+        ReportPlaybackReady(&request, prefix);
+      }
+      if (request.next_block == static_cast<int64_t>(request.playback->blocks.size())) {
+        FinishRequest(&request, *now);
+      }
+    }
+    transferred_total += moved;
+    if (options_.trace != nullptr) {
+      obs::TraceEvent event = TraceContext();
+      event.kind = obs::TraceEventKind::kRequestServiced;
+      event.time = *now;
+      event.request = input.request;
+      event.blocks = moved;
+      event.duration = attributed[input.request];
+      event.round_budget = round_budget_;
+      event.block_playback = block_playback;
+      Emit(event);
+    }
+  }
+
+  if (options_.trace != nullptr && ops > 0) {
+    // The measured-vs-worst-case l_seek ledger: admission charged every
+    // operation a full-stroke reposition (the alpha of Eq. 12); the
+    // C-SCAN program paid `measured_seek`.
+    obs::TraceEvent event = TraceContext();
+    event.kind = obs::TraceEventKind::kSeekAccounting;
+    event.time = *now;
+    event.transfers = ops;
+    event.seek_cylinders = measured_seek;
+    event.seek_cylinders_worst = ops * full_stroke;
+    Emit(event);
+  }
+  return transferred_total;
 }
 
 void ServiceScheduler::RunRound() {
@@ -450,31 +1054,8 @@ void ServiceScheduler::RunRound() {
       Emit(event);
     }
   }
-  // Eq. 11 envelope of this round: the tightest serviced request's fetched
-  // playback, min_i(k_i * d_i). Retries of faulted blocks are only issued
-  // while the round still fits inside it.
   round_start_ = round_start;
-  round_budget_ = 0;
-  for (RequestId id : service_order_) {
-    const ActiveRequest& request = requests_.at(id);
-    if (request.stats.completed || request.stats.paused) {
-      continue;
-    }
-    SimDuration block_playback = 0;
-    if (request.playback.has_value()) {
-      block_playback = static_cast<SimDuration>(
-          static_cast<double>(request.playback->block_duration) /
-          request.playback->rate_multiplier);
-    } else {
-      block_playback = SecondsToUsec(
-          static_cast<double>(request.recording->placement.granularity) /
-          request.recording->profile.units_per_sec);
-    }
-    const SimDuration budget = current_k_ * block_playback;
-    if (round_budget_ == 0 || budget < round_budget_) {
-      round_budget_ = budget;
-    }
-  }
+  ComputeRoundBudget();
   if (options_.trace != nullptr) {
     obs::TraceEvent event = TraceContext();
     event.kind = obs::TraceEventKind::kRoundStart;
@@ -486,48 +1067,46 @@ void ServiceScheduler::RunRound() {
   // on the shared timeline).
   store_->disk().set_time_hint(&now);
 
-  // Section 6.2 SCAN option: service this round's requests in disk-position
-  // order, shrinking the inter-request repositioning cost.
-  std::vector<RequestId> round_order(service_order_.begin(), service_order_.end());
-  if (options_.service_order == ServiceOrder::kSeekScan) {
-    std::sort(round_order.begin(), round_order.end(), [this](RequestId a, RequestId b) {
-      return NextSector(requests_.at(a)) < NextSector(requests_.at(b));
-    });
-  }
-
   int64_t transferred_total = 0;
-  for (RequestId id : round_order) {
-    auto it = requests_.find(id);
-    assert(it != requests_.end());
-    ActiveRequest& request = it->second;
-    if (request.stats.completed || request.stats.paused) {
-      continue;
+  if (options_.service_order == ServiceOrder::kPlanned) {
+    transferred_total = ExecutePlannedRound(&now);
+  } else {
+    // Section 6.2 SCAN option: service this round's requests in
+    // disk-position order, shrinking the inter-request repositioning cost.
+    std::vector<RequestId> round_order(service_order_.begin(), service_order_.end());
+    if (options_.service_order == ServiceOrder::kSeekScan) {
+      std::sort(round_order.begin(), round_order.end(), [this](RequestId a, RequestId b) {
+        return NextSector(requests_.at(a)) < NextSector(requests_.at(b));
+      });
     }
-    if (request.stats.start_time < 0) {
-      request.stats.start_time = now;
-    }
-    const SimTime service_start = now;
-    const int64_t transferred = request.playback.has_value() ? ServicePlayback(&request, &now)
-                                                             : ServiceRecording(&request, &now);
-    transferred_total += transferred;
-    if (options_.trace != nullptr) {
-      obs::TraceEvent event = TraceContext();
-      event.kind = obs::TraceEventKind::kRequestServiced;
-      event.time = now;
-      event.request = id;
-      event.blocks = transferred;
-      event.duration = now - service_start;
-      event.round_budget = round_budget_;
-      if (request.playback.has_value()) {
-        event.block_playback = static_cast<SimDuration>(
-            static_cast<double>(request.playback->block_duration) /
-            request.playback->rate_multiplier);
-      } else {
-        event.block_playback = SecondsToUsec(
-            static_cast<double>(request.recording->placement.granularity) /
-            request.recording->profile.units_per_sec);
+    for (RequestId id : round_order) {
+      auto it = requests_.find(id);
+      assert(it != requests_.end());
+      ActiveRequest& request = it->second;
+      if (request.stats.completed || request.stats.paused) {
+        continue;
       }
-      Emit(event);
+      if (request.stats.start_time < 0) {
+        request.stats.start_time = now;
+      }
+      const SimTime service_start = now;
+      const int64_t transferred = request.playback.has_value()
+                                      ? ServicePlayback(&request, &now)
+                                      : ServiceRecording(&request, &now, current_k_);
+      transferred_total += transferred;
+      if (options_.trace != nullptr) {
+        obs::TraceEvent event = TraceContext();
+        event.kind = obs::TraceEventKind::kRequestServiced;
+        event.time = now;
+        event.request = id;
+        event.blocks = transferred;
+        event.duration = now - service_start;
+        event.round_budget = round_budget_;
+        event.block_playback = request.playback.has_value()
+                                   ? EffectiveBlockDuration(*request.playback)
+                                   : RecordingBlockDuration(*request.recording);
+        Emit(event);
+      }
     }
   }
   store_->disk().set_time_hint(nullptr);
@@ -611,6 +1190,7 @@ Status ServiceScheduler::Stop(RequestId id) {
     request.stats.capture_overflows = request.producer->overflows();
     request.producer.reset();
   }
+  UnpinPreludePages(&request);
   FoldConsumer(request.consumer.get(), &request.stats);
   request.consumer.reset();
   request.stats.completed = true;
@@ -638,6 +1218,7 @@ Status ServiceScheduler::Pause(RequestId id, bool destructive) {
   request.destructively_paused = destructive;
   // Deadlines do not survive a pause: fold what the consumer saw and
   // restart the anti-jitter prelude on resume.
+  UnpinPreludePages(&request);
   FoldConsumer(request.consumer.get(), &request.stats);
   request.consumer.reset();
   request.prelude_ready_times.clear();
@@ -684,6 +1265,19 @@ Status ServiceScheduler::Resume(RequestId id) {
                                                         : request.recording->Spec();
   Result<std::vector<int64_t>> schedule =
       admission_.PlanAdmission(SlotHolderSpecs(), spec, current_k_);
+  bool cache_admit = false;
+  double coverage = 0.0;
+  if (!schedule.ok() && request.playback.has_value() && CacheAdmissionEnabled()) {
+    coverage = ExpectedCacheCoverage(*request.playback, request.next_block);
+    if (coverage + 1e-9 >= options_.cache_admission_min_hit_rate) {
+      cache_admit = true;
+      int64_t rotation_k = current_k_;
+      for (const PendingAdmission& waiting : pending_) {
+        rotation_k = std::max(rotation_k, waiting.k_schedule.back());
+      }
+      schedule = std::vector<int64_t>{rotation_k};
+    }
+  }
   if (!schedule.ok()) {
     obs::TraceEvent event = TraceContext();
     event.kind = obs::TraceEventKind::kResumeRejected;
@@ -691,6 +1285,17 @@ Status ServiceScheduler::Resume(RequestId id) {
     event.detail = schedule.status().message();
     Emit(event);
     return schedule.status();
+  }
+  request.stats.cache_admitted = cache_admit;
+  if (cache_admit) {
+    // Emitted while still paused, so the attached slot snapshot agrees
+    // with the replayed lifecycle.
+    obs::TraceEvent event = TraceContext();
+    event.kind = obs::TraceEventKind::kCacheAdmit;
+    event.request = id;
+    event.cache_hit_rate = coverage;
+    event.detail = "expected coverage " + std::to_string(coverage);
+    Emit(event);
   }
   request.stats.paused = false;
   request.destructively_paused = false;

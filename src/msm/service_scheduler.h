@@ -13,20 +13,34 @@
 // a StrandWriter, honouring capture-device buffer limits. The scheduler
 // runs under the discrete-event simulator: each round is one event, and
 // all disk service times come from the disk model.
+//
+// ServiceOrder::kPlanned engages the round I/O planner
+// (src/msm/round_planner.h): the round's block needs are collected up
+// front, coalesced, deduplicated, C-SCAN-ordered per device, optionally
+// dispatched in parallel across a DiskArray, and probed against a shared
+// BlockCache before touching the platter. Admission stays planned against
+// the paper's worst-case alpha/beta; the planner only converts the
+// difference between that bound and the realized mechanism into slack
+// (plus, with cache-aware admission, into extra streams).
 
 #ifndef VAFS_SRC_MSM_SERVICE_SCHEDULER_H_
 #define VAFS_SRC_MSM_SERVICE_SCHEDULER_H_
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/core/admission.h"
+#include "src/disk/disk_array.h"
 #include "src/layout/strand_index.h"
 #include "src/media/devices.h"
+#include "src/msm/block_cache.h"
+#include "src/msm/round_planner.h"
 #include "src/msm/strand_store.h"
 #include "src/obs/trace.h"
 #include "src/sim/simulator.h"
@@ -63,6 +77,9 @@ struct RequestStats {
   bool is_recording = false;
   bool completed = false;
   bool paused = false;
+  // Admitted on expected block-cache coverage instead of the Eq. 17 test;
+  // such a stream is destructively paused if its coverage collapses.
+  bool cache_admitted = false;
   SimTime submit_time = 0;
   SimTime start_time = -1;       // first round that serviced it
   SimTime completion_time = -1;
@@ -90,11 +107,14 @@ struct RequestStats {
 // Order in which the requests of one round are serviced. The paper's
 // baseline is round-robin in arrival order, charging every switch a
 // worst-case reposition; Section 6.2 proposes servicing in the order that
-// minimizes inter-request seeks, which kSeekScan approximates by sorting
-// each round's requests by their next block's disk position.
+// minimizes inter-request seeks. kSeekScan approximates that by sorting
+// each round's *requests* by their next block's position; kPlanned
+// supersedes it with per-transfer planning: coalescing, dedup, block-level
+// C-SCAN and (with a DiskArray) parallel member dispatch.
 enum class ServiceOrder {
   kRoundRobin,
   kSeekScan,
+  kPlanned,
 };
 
 struct SchedulerOptions {
@@ -112,6 +132,25 @@ struct SchedulerOptions {
   // plays it as silence. Each retry must additionally fit the round's
   // Eq. 11 budget — a retry never eats another stream's continuity slack.
   int64_t max_block_retries = 2;
+  // Shared block cache probed by kPlanned rounds (see src/msm/block_cache.h).
+  // Must outlive the scheduler; null or capacity 0 disables caching. Wire
+  // the same cache into the StrandStore (set_block_cache) so writes
+  // invalidate.
+  BlockCache* block_cache = nullptr;
+  // When set, kPlanned rounds dispatch playback reads across this array's
+  // members in parallel waves (one ReadBatch per queue depth); appends stay
+  // on the store's primary spindle. Member geometry must match the store
+  // disk. Must outlive the scheduler.
+  DiskArray* disk_array = nullptr;
+  // Cache-aware admission (kPlanned + cache only): a playback request the
+  // Eq. 17 test rejects is still admitted when at least
+  // `cache_admission_min_hit_rate` of its upcoming window is expected from
+  // memory (resident, or scheduled by another active stream of the same
+  // strand). If a round's realized coverage drops below the threshold the
+  // stream is destructively paused — the set degrades back to n_max.
+  bool cache_aware_admission = false;
+  double cache_admission_min_hit_rate = 0.6;
+  int64_t cache_admission_window = 0;  // blocks of lookahead; 0 = 4k
   // Optional observability: request lifecycle, admission decisions and
   // per-round service records are reported here (see src/obs/trace.h).
   // The sink must outlive the scheduler.
@@ -160,6 +199,9 @@ class ServiceScheduler {
     int64_t next_block = 0;
     int64_t read_ahead = 1;
     int64_t buffer_cap = 0;
+    // Cache extents pinned for this request's anti-jitter prelude; unpinned
+    // when playback starts (or the request leaves the rotation).
+    std::vector<std::pair<int64_t, int64_t>> pinned_extents;
     // Recording state.
     std::optional<RecordingRequest> recording;
     std::unique_ptr<CaptureProducer> producer;
@@ -185,17 +227,64 @@ class ServiceScheduler {
   void Emit(const obs::TraceEvent& event) const;
   void ScheduleRound();
   void RunRound();
+  // The running round's Eq. 11 envelope over the active rotation.
+  void ComputeRoundBudget();
   // First disk position the request will touch next (for kSeekScan).
   int64_t NextSector(const ActiveRequest& request) const;
   // Services one request within the round; advances `now` by the disk time
   // spent. Returns blocks transferred.
   int64_t ServicePlayback(ActiveRequest* request, SimTime* now);
-  int64_t ServiceRecording(ActiveRequest* request, SimTime* now);
-  // Reads one playback block, retrying transient faults while the round's
-  // Eq. 11 budget allows. Advances `now` by all disk time consumed (faulted
-  // attempts included). Returns false when the block was given up on.
-  bool ReadBlockWithRetry(ActiveRequest* request, const PrimaryEntry& entry, SimTime* now);
+  // `max_blocks` bounds this call (current_k_ for the round-robin path; the
+  // planned append count for planner rounds).
+  int64_t ServiceRecording(ActiveRequest* request, SimTime* now, int64_t max_blocks);
+  // The single audited retry-within-budget policy for every faulted
+  // transfer (playback reads, planner transfers, recording appends).
+  // Runs `attempt` once and retries transient faults while the round's
+  // Eq. 11 budget allows; advances `now` by all disk time consumed
+  // (faulted attempts included). `peek_retry` gives the exact cost of a
+  // re-attempt when knowable (reads: the arm rests on the extent after the
+  // fault); when null (appends allocate fresh extents per attempt) the
+  // budget is checked at issue time and emitted events carry round_budget
+  // 0, matching the capture-side contract. Returns false on give-up, with
+  // the final status in `fail_status` when non-null.
+  bool TransferWithRetry(ActiveRequest* request, Disk* device,
+                         const std::function<Result<SimDuration>()>& attempt,
+                         const std::function<SimDuration()>& peek_retry, int64_t sector,
+                         int64_t sectors, SimTime* now, Status* fail_status);
+  // Reads one extent with the shared retry policy; on give-up records the
+  // skip against `request` and traces it. Returns false when given up.
+  bool ReadExtentWithRetry(ActiveRequest* request, Disk* device, int64_t sector, int64_t sectors,
+                           SimTime* now);
+  // Reports the next playback block ready at `ready_time`: runs the
+  // anti-jitter prelude until read-ahead is met, then feeds the consumer;
+  // advances next_block / blocks_done.
+  void ReportPlaybackReady(ActiveRequest* request, SimTime ready_time);
   void FinishRequest(ActiveRequest* request, SimTime now);
+  void UnpinPreludePages(ActiveRequest* request);
+  // Creates the capture producer and strand writer on first service.
+  void EnsureRecordingDevices(ActiveRequest* request, SimTime now);
+
+  // --- Round planner (ServiceOrder::kPlanned) -------------------------------
+  // Collects every active request's block needs for the round starting at
+  // `round_start`. `count_cache_stats` uses counting cache lookups; the
+  // rebuild after a revocation probes silently to keep the hit rate honest.
+  std::vector<PlanInput> BuildPlanInputs(SimTime round_start, bool count_cache_stats);
+  // Cache-admitted requests whose realized coverage (plan-time hits plus
+  // shared-transfer rides) fell below the admission threshold.
+  std::vector<RequestId> CollapsedCacheAdmissions(const std::vector<PlanInput>& inputs,
+                                                  const RoundPlan& plan) const;
+  // Expected fraction of the candidate's upcoming window (starting at
+  // block `from_block`) served from memory (resident extents or another
+  // active stream's scheduled reads).
+  double ExpectedCacheCoverage(const PlaybackRequest& playback, int64_t from_block) const;
+  bool CacheAdmissionEnabled() const;
+  int64_t CacheLookaheadBlocks() const;
+  // Executes one planned round: builds the program (revoking collapsed
+  // cache admissions), dispatches it (C-SCAN on one spindle, or parallel
+  // member waves through the DiskArray), reports readiness in playback
+  // order, and emits kRoundPlanned / kRequestServiced / kSeekAccounting.
+  // Returns the round's transferred total.
+  int64_t ExecutePlannedRound(SimTime* now);
 
   StrandStore* store_;
   Simulator* simulator_;
@@ -210,6 +299,8 @@ class ServiceScheduler {
   // while the round still fits inside it. 0 budget = no active requests.
   SimTime round_start_ = 0;
   SimDuration round_budget_ = 0;
+  // Recording payload scratch when no shared cache provides a pool.
+  PagePool scratch_pool_;
   std::map<RequestId, ActiveRequest> requests_;
   std::vector<RequestId> service_order_;  // round-robin order over active requests
   std::deque<PendingAdmission> pending_;

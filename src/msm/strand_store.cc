@@ -38,6 +38,20 @@ int64_t MinCylinderDistanceForGap(const DiskModel& model, SimDuration min_gap) {
 
 StrandStore::StrandStore(Disk* disk) : disk_(disk), allocator_(&disk->model()) {}
 
+void StrandStore::InvalidateCache(int64_t sector, int64_t sectors) {
+  if (block_cache_ == nullptr) {
+    return;
+  }
+  const int64_t dropped = block_cache_->InvalidateRange(sector, sectors);
+  if (dropped > 0 && trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.kind = obs::TraceEventKind::kCacheInvalidate;
+    event.sector = sector;
+    event.blocks = dropped;
+    trace_->OnEvent(event);
+  }
+}
+
 Result<std::unique_ptr<StrandWriter>> StrandStore::CreateStrand(
     const MediaProfile& media, const StrandPlacement& placement) {
   if (placement.granularity <= 0 || media.bits_per_unit <= 0 || media.units_per_sec <= 0) {
@@ -118,6 +132,9 @@ Result<SimDuration> StrandWriter::AppendBlock(std::span<const uint8_t> payload) 
     padded.resize(static_cast<size_t>(sectors * sector_bytes), 0);
     to_write = padded;
   }
+  // The extent may have held a cached block of a deleted strand; the write
+  // makes any such entry stale.
+  store_->InvalidateCache(extent->start_sector, sectors);
   Result<SimDuration> service = store_->disk().Write(extent->start_sector, sectors, to_write);
   if (!service.ok()) {
     // The block never made it to disk, so the extent is not part of the
@@ -200,6 +217,7 @@ Result<StrandId> StrandWriter::Finish(int64_t unit_count) {
     }
     std::vector<uint8_t> padded = blob;
     padded.resize(static_cast<size_t>(sectors * sector_bytes), 0);
+    store_->InvalidateCache(extent->start_sector, sectors);
     if (Result<SimDuration> write =
             store_->disk().Write(extent->start_sector, sectors, padded);
         !write.ok()) {
@@ -274,11 +292,15 @@ Status StrandStore::Delete(StrandId id) {
     if (Status status = allocator_.Free(extent); !status.ok()) {
       return status;
     }
+    // The freed extent will be reallocated; a resident copy of its old
+    // contents must not outlive the strand.
+    InvalidateCache(extent.start_sector, extent.sectors);
   }
   for (const Extent& extent : it->second.index_extents) {
     if (Status status = allocator_.Free(extent); !status.ok()) {
       return status;
     }
+    InvalidateCache(extent.start_sector, extent.sectors);
   }
   strands_.erase(it);
   if (catalog_listener_ != nullptr) {

@@ -23,6 +23,7 @@
 #include "src/disk/disk.h"
 #include "src/layout/allocator.h"
 #include "src/layout/strand_index.h"
+#include "src/msm/block_cache.h"
 #include "src/msm/strand.h"
 #include "src/obs/trace.h"
 #include "src/util/result.h"
@@ -114,6 +115,14 @@ class StrandStore {
   void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
   obs::TraceSink* trace_sink() const { return trace_; }
 
+  // Optional shared block cache coherence: every sector this store rewrites
+  // (strand appends — including relocation and scattering repair, which
+  // write through fresh StrandWriters — index persistence, and deletion,
+  // whose freed extents will be reallocated) drops overlapping cache
+  // entries. The cache must outlive the store.
+  void set_block_cache(BlockCache* cache) { block_cache_ = cache; }
+  BlockCache* block_cache() const { return block_cache_; }
+
   // Starts a new strand with the given media description and placement
   // contract (granularity + scattering bounds, from
   // ContinuityModel::DerivePlacement).
@@ -183,8 +192,13 @@ class StrandStore {
     int64_t gap_count = 0;
   };
 
+  // Drops cache entries overlapping [sector, sector + sectors) and traces
+  // the coherence action when anything was resident.
+  void InvalidateCache(int64_t sector, int64_t sectors);
+
   StrandId next_id_ = 1;
   Disk* disk_;
+  BlockCache* block_cache_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
   CatalogListener* catalog_listener_ = nullptr;
   ConstrainedAllocator allocator_;

@@ -242,6 +242,35 @@ void ContinuityAuditor::OnEvent(const TraceEvent& event) {
       slot_released_ = false;
       round_open_ = false;
       break;
+    case TraceEventKind::kRoundPlanned:
+      // Coalescing and dedup can only shrink the program: more dispatched
+      // operations than blocks needing disk service means the planner
+      // fabricated work (and each fabricated op costs a reposition).
+      if (event.transfers > event.blocks - event.cache_hits) {
+        Flag(event, "round " + std::to_string(event.round) + " planned " +
+                        std::to_string(event.transfers) + " transfers for only " +
+                        std::to_string(event.blocks - event.cache_hits) +
+                        " uncached blocks (planner expanded the round)");
+      }
+      break;
+    case TraceEventKind::kSeekAccounting:
+      // The measured-vs-worst-case l_seek ledger: per-op arm travel is
+      // bounded by a full stroke, so a round's measured travel above the
+      // alpha-model bound means the accounting (or the plan) is wrong.
+      if (event.seek_cylinders > event.seek_cylinders_worst) {
+        Flag(event, "round " + std::to_string(event.round) + " measured " +
+                        std::to_string(event.seek_cylinders) +
+                        " seek cylinders, above the worst-case bound of " +
+                        std::to_string(event.seek_cylinders_worst) + " for " +
+                        std::to_string(event.transfers) + " ops");
+      }
+      break;
+    case TraceEventKind::kCacheAdmit:
+    case TraceEventKind::kCacheAdmitRevoked:
+      // Lifecycle effects arrive as their own kSubmitAccepted / kPause
+      // events; the snapshot attached here must still agree.
+      CheckLedger(event);
+      break;
     case TraceEventKind::kBlockSkipped:
     case TraceEventKind::kBlockRelocated:
     case TraceEventKind::kDiskFault:
@@ -253,6 +282,7 @@ void ContinuityAuditor::OnEvent(const TraceEvent& event) {
     case TraceEventKind::kJournalAppend:
     case TraceEventKind::kJournalReplay:
     case TraceEventKind::kFsckFinding:
+    case TraceEventKind::kCacheInvalidate:
       break;
   }
 }

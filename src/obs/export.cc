@@ -194,12 +194,28 @@ std::string PerfettoExporter::Export() const {
       case TraceEventKind::kSubmitRejected:
       case TraceEventKind::kAdmissionPlan:
       case TraceEventKind::kAdmissionReject:
+      case TraceEventKind::kCacheAdmit:
+      case TraceEventKind::kCacheAdmitRevoked:
+      case TraceEventKind::kRoundPlanned:
+      case TraceEventKind::kSeekAccounting:
       case TraceEventKind::kRoundStart: {
         EventWriter& open =
             writer.Begin("i", kSchedulerPid, kRoundsTid, kind, event.time).Field("s", "t");
         if (event.kind == TraceEventKind::kAdmissionPlan) {
           open.Arg("existing", event.existing).Arg("target_k", event.target_k).Arg("n_max",
                                                                                    event.n_max);
+        }
+        if (event.kind == TraceEventKind::kRoundPlanned) {
+          open.Arg("transfers", event.transfers)
+              .Arg("blocks", event.blocks)
+              .Arg("coalesced", event.coalesced_blocks)
+              .Arg("deduped", event.deduped_blocks)
+              .Arg("cache_hits", event.cache_hits);
+        }
+        if (event.kind == TraceEventKind::kSeekAccounting) {
+          open.Arg("ops", event.transfers)
+              .Arg("seek_cylinders", event.seek_cylinders)
+              .Arg("seek_cylinders_worst", event.seek_cylinders_worst);
         }
         if (!event.detail.empty()) {
           open.Arg("detail", event.detail);
@@ -223,6 +239,14 @@ std::string PerfettoExporter::Export() const {
           open.Arg("detail", event.detail);
         }
         open.End();
+        break;
+      }
+      case TraceEventKind::kCacheInvalidate: {
+        writer.Begin("i", kDiskPid, kDeviceTid, kind, event.time)
+            .Field("s", "t")
+            .Arg("sector", event.sector)
+            .Arg("entries_dropped", event.blocks)
+            .End();
         break;
       }
       case TraceEventKind::kStrandWrite: {

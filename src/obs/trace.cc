@@ -62,6 +62,16 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "fsck_finding";
     case TraceEventKind::kRecovery:
       return "recovery";
+    case TraceEventKind::kRoundPlanned:
+      return "round_planned";
+    case TraceEventKind::kSeekAccounting:
+      return "seek_accounting";
+    case TraceEventKind::kCacheAdmit:
+      return "cache_admit";
+    case TraceEventKind::kCacheAdmitRevoked:
+      return "cache_admit_revoked";
+    case TraceEventKind::kCacheInvalidate:
+      return "cache_invalidate";
   }
   return "unknown";
 }
@@ -83,6 +93,19 @@ std::string TraceEventSummary(const TraceEvent& event) {
   }
   if (event.seek_cylinders != 0) {
     line += " seek=" + std::to_string(event.seek_cylinders) + "cyl";
+  }
+  if (event.transfers != 0) {
+    line += " transfers=" + std::to_string(event.transfers);
+  }
+  if (event.coalesced_blocks != 0) {
+    line += " coalesced=" + std::to_string(event.coalesced_blocks);
+  }
+  if (event.cache_lookups != 0) {
+    line += " cache=" + std::to_string(event.cache_hits) + "/" +
+            std::to_string(event.cache_lookups);
+  }
+  if (event.seek_cylinders_worst != 0) {
+    line += " seek_worst=" + std::to_string(event.seek_cylinders_worst) + "cyl";
   }
   if (event.duration != 0) {
     line += " dur=" + std::to_string(event.duration) + "us";
@@ -231,6 +254,40 @@ void MetricsSink::OnEvent(const TraceEvent& event) {
         m.counter("recovery.crash_points_survived").Increment(power_cuts_pending_);
         power_cuts_pending_ = 0;
       }
+      break;
+    case TraceEventKind::kRoundPlanned:
+      m.counter("plan.rounds").Increment();
+      m.counter("plan.read_transfers").Increment(event.transfers);
+      m.counter("plan.data_blocks").Increment(event.blocks);
+      m.counter("plan.coalesced_blocks").Increment(event.coalesced_blocks);
+      m.counter("plan.deduped_blocks").Increment(event.deduped_blocks);
+      m.histogram("plan.transfers_per_round").Record(static_cast<double>(event.transfers));
+      if (event.cache_lookups > 0) {
+        m.counter("cache.lookups").Increment(event.cache_lookups);
+        m.counter("cache.hits").Increment(event.cache_hits);
+      }
+      m.gauge("cache.resident_bytes").Set(static_cast<double>(event.cache_resident_bytes));
+      m.gauge("cache.pinned_entries").Set(static_cast<double>(event.cache_pinned_entries));
+      m.gauge("cache.evictions").Set(static_cast<double>(event.cache_evictions));
+      m.gauge("cache.hit_rate_recent").Set(event.cache_hit_rate);
+      break;
+    case TraceEventKind::kSeekAccounting:
+      m.histogram("plan.seek_cylinders_measured").Record(static_cast<double>(event.seek_cylinders));
+      m.histogram("plan.seek_cylinders_worst").Record(static_cast<double>(event.seek_cylinders_worst));
+      if (event.seek_cylinders_worst > event.seek_cylinders) {
+        m.counter("plan.seek_cylinders_saved")
+            .Increment(event.seek_cylinders_worst - event.seek_cylinders);
+      }
+      break;
+    case TraceEventKind::kCacheAdmit:
+      m.counter("admission.cache_admits").Increment();
+      break;
+    case TraceEventKind::kCacheAdmitRevoked:
+      m.counter("admission.cache_admit_revocations").Increment();
+      break;
+    case TraceEventKind::kCacheInvalidate:
+      m.counter("cache.invalidations").Increment();
+      m.counter("cache.invalidated_entries").Increment(event.blocks);
       break;
   }
 }

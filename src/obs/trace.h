@@ -55,6 +55,12 @@ enum class TraceEventKind {
   kJournalReplay,  // recovery applied one journal intent
   kFsckFinding,    // the scavenger reported one finding; `detail` names it
   kRecovery,       // a recovery (LoadImage or Fsck) completed
+  // Round I/O planner (src/msm/round_planner.h).
+  kRoundPlanned,     // a round's transfer program was built
+  kSeekAccounting,   // round-end measured vs worst-case arm travel
+  kCacheAdmit,       // a stream admitted on expected cache coverage
+  kCacheAdmitRevoked,  // coverage collapsed; the stream degraded out
+  kCacheInvalidate,  // rewritten sectors dropped resident cache entries
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -100,6 +106,20 @@ struct TraceEvent {
   // Fault handling: the Eq. 11 round-time budget the scheduler checked a
   // retry against (0 = no budget applied).
   SimDuration round_budget = 0;
+  // Round planner (kRoundPlanned / kSeekAccounting): the transfer program
+  // and what it saved. `blocks` carries the planned data blocks;
+  // `seek_cylinders` the measured per-round arm travel.
+  int64_t transfers = 0;         // disk operations the plan dispatches
+  int64_t coalesced_blocks = 0;  // blocks merged into a preceding transfer
+  int64_t deduped_blocks = 0;    // blocks riding another stream's transfer
+  int64_t cache_hits = 0;        // plan-time cache hits this round
+  int64_t cache_lookups = 0;     // plan-time cache probes this round
+  int64_t seek_cylinders_worst = 0;  // alpha-model bound for the op count
+  // Block-cache occupancy at emission (kRoundPlanned).
+  int64_t cache_resident_bytes = 0;
+  int64_t cache_pinned_entries = 0;
+  int64_t cache_evictions = 0;
+  double cache_hit_rate = 0.0;  // recent-window rate, [0, 1]
   SlotSnapshot slots;
   std::string detail;  // human-readable context, e.g. a rejection reason
 };

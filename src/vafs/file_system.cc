@@ -41,6 +41,11 @@ MultimediaFileSystem::MultimediaFileSystem(const FileSystemConfig& config) : con
   }
   disk_ = std::make_unique<Disk>(config.disk, DiskOptions{config.retain_data, config.faults});
   store_ = std::make_unique<StrandStore>(disk_.get());
+  if (config_.block_cache.capacity_bytes > 0) {
+    block_cache_ = std::make_unique<BlockCache>(config_.block_cache);
+    config_.scheduler.block_cache = block_cache_.get();
+    store_->set_block_cache(block_cache_.get());
+  }
   if (telemetry_ != nullptr) {
     disk_->set_trace_sink(&telemetry_->tee);
     store_->set_trace_sink(&telemetry_->tee);
@@ -270,6 +275,12 @@ Status MultimediaFileSystem::Recover() {
   scheduler_ =
       std::make_unique<ServiceScheduler>(store_.get(), &simulator_, *admission_,
                                          config_.scheduler);
+  if (block_cache_ != nullptr) {
+    // The rebuilt store must keep invalidating, and nothing cached before
+    // the crash is trustworthy against the recovered image.
+    store_->set_block_cache(block_cache_.get());
+    block_cache_->InvalidateAll();
+  }
   if (telemetry_ != nullptr) {
     // The rebuilt store starts with no sink; the disk survived the crash
     // with its sink intact. Re-wire so post-recovery telemetry keeps

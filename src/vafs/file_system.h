@@ -57,6 +57,11 @@ struct FileSystemConfig {
   RetrievalArchitecture architecture = RetrievalArchitecture::kPipelined;
   int concurrency = 1;  // p, for the concurrent architecture
   SchedulerOptions scheduler;
+  // Shared block cache for planned rounds (capacity 0 = disabled). When
+  // enabled the facade owns the cache and wires it into the scheduler
+  // (scheduler.block_cache) and the strand store (write invalidation);
+  // pair with scheduler.service_order = ServiceOrder::kPlanned.
+  BlockCacheOptions block_cache;
   // Average scattering assumed by admission control; < 0 derives a
   // conservative value (the video placement's upper bound).
   double assumed_avg_scattering_sec = -1.0;
@@ -80,6 +85,8 @@ class MultimediaFileSystem {
   TextFileService& text_files() { return *text_files_; }
   const ContinuityModel& continuity() const { return *continuity_; }
   const AdmissionControl& admission() const { return *admission_; }
+  // Null unless FileSystemConfig::block_cache has a positive capacity.
+  BlockCache* block_cache() { return block_cache_.get(); }
 
   // Placement derived for a media profile under the configured
   // architecture (granularity + scattering bounds).
@@ -205,6 +212,7 @@ class MultimediaFileSystem {
   std::unique_ptr<Telemetry> telemetry_;
   Simulator simulator_;
   std::unique_ptr<Disk> disk_;
+  std::unique_ptr<BlockCache> block_cache_;
   std::unique_ptr<StrandStore> store_;
   std::unique_ptr<ContinuityModel> continuity_;
   std::unique_ptr<AdmissionControl> admission_;

@@ -1,11 +1,164 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/msm/recorder.h"
+#include "src/msm/round_planner.h"
 #include "src/msm/service_scheduler.h"
+#include "src/obs/auditor.h"
+#include "src/obs/trace.h"
 #include "tests/test_support.h"
 
 namespace vafs {
 namespace {
+
+// --- BuildRoundPlan (pure planner) --------------------------------------
+
+class RoundPlannerTest : public ::testing::Test {
+ protected:
+  RoundPlannerTest() : model_(TestDiskParameters()) {}
+
+  // A candidate whose extent starts at the first sector of `cylinder`.
+  PlanCandidate AtCylinder(int64_t ordinal, int64_t cylinder, int64_t sectors = 4) {
+    PlanCandidate candidate;
+    candidate.ordinal = ordinal;
+    candidate.sector = cylinder * model_.params().SectorsPerCylinder();
+    candidate.sectors = sectors;
+    return candidate;
+  }
+
+  PlanCandidate AtSector(int64_t ordinal, int64_t sector, int64_t sectors) {
+    PlanCandidate candidate;
+    candidate.ordinal = ordinal;
+    candidate.sector = sector;
+    candidate.sectors = sectors;
+    return candidate;
+  }
+
+  PlanCandidate Silence(int64_t ordinal) {
+    PlanCandidate candidate;
+    candidate.ordinal = ordinal;
+    candidate.silence = true;
+    return candidate;
+  }
+
+  int64_t CylinderOf(const PlannedTransfer& transfer) const {
+    return model_.SectorToCylinder(transfer.start_sector);
+  }
+
+  DiskModel model_;
+};
+
+TEST_F(RoundPlannerTest, CScanWrapsPastTheOutermostCylinder) {
+  // Head at cylinder 40; wants at 50, 10 and 90. The elevator sweeps up
+  // from the arm (50, then 90) and wraps for the one behind it (10).
+  PlanInput input;
+  input.request = 1;
+  input.blocks = {AtCylinder(0, 50), AtCylinder(1, 10), AtCylinder(2, 90)};
+  const RoundPlan plan = BuildRoundPlan(model_, {40}, 1, {input});
+  ASSERT_EQ(plan.transfers.size(), 3u);
+  EXPECT_EQ(CylinderOf(plan.transfers[0]), 50);
+  EXPECT_EQ(CylinderOf(plan.transfers[1]), 90);
+  EXPECT_EQ(CylinderOf(plan.transfers[2]), 10);
+  EXPECT_EQ(plan.read_transfers, 3);
+  EXPECT_EQ(plan.data_blocks, 3);
+  EXPECT_EQ(plan.coalesced_blocks, 0);
+}
+
+TEST_F(RoundPlannerTest, SingleTransferRound) {
+  PlanInput input;
+  input.request = 1;
+  input.blocks = {AtCylinder(0, 7)};
+  const RoundPlan plan = BuildRoundPlan(model_, {100}, 1, {input});
+  ASSERT_EQ(plan.transfers.size(), 1u);
+  EXPECT_EQ(plan.read_transfers, 1);
+  EXPECT_EQ(plan.data_blocks, 1);
+  ASSERT_EQ(plan.transfers[0].blocks.size(), 1u);
+  EXPECT_EQ(plan.transfers[0].blocks[0].request, 1u);
+}
+
+TEST_F(RoundPlannerTest, ContiguousBlocksCoalesceIntoOneTransfer) {
+  PlanInput input;
+  input.request = 1;
+  input.blocks = {AtSector(0, 100, 4), AtSector(1, 104, 4), AtSector(2, 108, 4)};
+  const RoundPlan plan = BuildRoundPlan(model_, {0}, 1, {input});
+  ASSERT_EQ(plan.transfers.size(), 1u);
+  EXPECT_EQ(plan.transfers[0].start_sector, 100);
+  EXPECT_EQ(plan.transfers[0].sectors, 12);
+  EXPECT_EQ(plan.transfers[0].blocks.size(), 3u);
+  EXPECT_EQ(plan.coalesced_blocks, 2);
+  EXPECT_EQ(plan.read_transfers, 1);
+}
+
+TEST_F(RoundPlannerTest, SilenceGapBreaksCoalescingEvenWhenExtentsAbut) {
+  // An eliminated-silence entry sits between two physically adjacent
+  // extents: a timeline boundary, so they must stay separate transfers.
+  PlanInput input;
+  input.request = 1;
+  input.blocks = {AtSector(0, 100, 4), Silence(1), AtSector(2, 104, 4)};
+  const RoundPlan plan = BuildRoundPlan(model_, {0}, 1, {input});
+  ASSERT_EQ(plan.transfers.size(), 2u);
+  EXPECT_EQ(plan.coalesced_blocks, 0);
+  EXPECT_EQ(plan.read_transfers, 2);
+  EXPECT_EQ(plan.data_blocks, 2);  // silence is not a data block
+}
+
+TEST_F(RoundPlannerTest, NonAdjacentBlocksOfOneRequestDoNotCoalesce) {
+  PlanInput input;
+  input.request = 1;
+  input.blocks = {AtSector(0, 100, 4), AtSector(1, 112, 4)};
+  const RoundPlan plan = BuildRoundPlan(model_, {0}, 1, {input});
+  EXPECT_EQ(plan.transfers.size(), 2u);
+  EXPECT_EQ(plan.coalesced_blocks, 0);
+}
+
+TEST_F(RoundPlannerTest, SharedExtentDedupsAcrossRequests) {
+  PlanInput a;
+  a.request = 1;
+  a.blocks = {AtSector(0, 100, 4)};
+  PlanInput b;
+  b.request = 2;
+  b.blocks = {AtSector(5, 100, 4)};
+  const RoundPlan plan = BuildRoundPlan(model_, {0}, 1, {a, b});
+  ASSERT_EQ(plan.transfers.size(), 1u);
+  EXPECT_EQ(plan.transfers[0].blocks.size(), 2u);
+  EXPECT_EQ(plan.deduped_blocks, 1);
+  EXPECT_EQ(plan.read_transfers, 1);
+  EXPECT_EQ(plan.data_blocks, 2);
+}
+
+TEST_F(RoundPlannerTest, CacheHitsPlanNoTransfer) {
+  PlanInput input;
+  input.request = 1;
+  PlanCandidate hit = AtSector(0, 100, 4);
+  hit.cache_hit = true;
+  input.blocks = {hit, AtSector(1, 104, 4)};
+  const RoundPlan plan = BuildRoundPlan(model_, {0}, 1, {input});
+  ASSERT_EQ(plan.transfers.size(), 1u);
+  EXPECT_EQ(plan.transfers[0].start_sector, 104);
+  EXPECT_EQ(plan.cache_hits, 1);
+  EXPECT_EQ(plan.data_blocks, 2);
+}
+
+TEST_F(RoundPlannerTest, ArrayMembersGetIndependentCScanQueues) {
+  // Two members: block ordinals alternate members; each member's queue
+  // must be elevator-ordered on its own.
+  PlanInput input;
+  input.request = 1;
+  input.blocks = {AtCylinder(0, 80), AtCylinder(1, 60), AtCylinder(2, 20),
+                  AtCylinder(3, 90)};
+  const RoundPlan plan = BuildRoundPlan(model_, {50, 50}, 2, {input});
+  ASSERT_EQ(plan.transfers.size(), 4u);
+  std::vector<int64_t> member0;
+  std::vector<int64_t> member1;
+  for (const PlannedTransfer& transfer : plan.transfers) {
+    (transfer.member == 0 ? member0 : member1).push_back(CylinderOf(transfer));
+  }
+  // Member 0 holds ordinals 0 and 2 (cylinders 80, 20): sweep from 50
+  // takes 80 first, wraps to 20. Member 1 holds 60 then 90, in sweep order.
+  EXPECT_EQ(member0, (std::vector<int64_t>{80, 20}));
+  EXPECT_EQ(member1, (std::vector<int64_t>{60, 90}));
+}
 
 // SCAN (seek-ordered) servicing, the paper's Section 6.2 optimization.
 class ScanOrderTest : public ::testing::Test {
@@ -90,6 +243,92 @@ TEST_F(ScanOrderTest, BypassAdmissionAdmitsBeyondCeiling) {
   const RunOutcome overloaded =
       Run(ServiceOrder::kRoundRobin, static_cast<int>(n_max) + 2, true);
   EXPECT_TRUE(overloaded.all_admitted);  // nothing was rejected
+}
+
+// Planned rounds (block-level C-SCAN + coalescing + dedup) through the
+// full scheduler, replayed strict through the continuity auditor.
+class PlannedOrderTest : public ScanOrderTest {
+ protected:
+  PlannedOrderTest() {
+    tee_.Add(&log_);
+    tee_.Add(&auditor_);
+  }
+
+  void TearDown() override { EXPECT_TRUE(auditor_.Clean()) << auditor_.Report(); }
+
+  RunOutcome RunTraced(ServiceOrder order, int n, bool bypass, BlockCache* cache) {
+    Simulator sim;
+    AdmissionControl admission(TestStorage(), std::max(store_.AverageScatteringSec(), 1e-4));
+    SchedulerOptions options;
+    options.service_order = order;
+    options.bypass_admission = bypass;
+    options.forced_k = bypass ? 4 : 0;
+    options.block_cache = cache;
+    options.trace = &tee_;
+    ServiceScheduler scheduler(&store_, &sim, admission, options);
+    const SimDuration busy_before = disk_.busy_time();
+    std::vector<RequestId> ids;
+    RunOutcome outcome;
+    for (int i = 0; i < n; ++i) {
+      Result<RequestId> id = scheduler.SubmitPlayback(MakePlayback(3.0, 300 + i));
+      if (!id.ok()) {
+        outcome.all_admitted = false;
+        break;
+      }
+      ids.push_back(*id);
+    }
+    scheduler.RunUntilIdle();
+    for (RequestId id : ids) {
+      outcome.violations += scheduler.stats(id)->continuity_violations;
+    }
+    outcome.busy_time = disk_.busy_time() - busy_before;
+    return outcome;
+  }
+
+  obs::TraceLog log_;
+  obs::ContinuityAuditor auditor_{obs::AuditorOptions{.round_time_slack = 0.05}};
+  obs::TeeSink tee_;
+};
+
+TEST_F(PlannedOrderTest, PlannedCompletesCleanlyUnderStrictAudit) {
+  const RunOutcome outcome = RunTraced(ServiceOrder::kPlanned, 2, false, nullptr);
+  EXPECT_TRUE(outcome.all_admitted);
+  EXPECT_EQ(outcome.violations, 0);
+}
+
+TEST_F(PlannedOrderTest, PlannedSpendsNoMoreDiskTimeThanPerRequestScan) {
+  // Same admitted workload: ordering per transfer (and coalescing
+  // contiguous blocks) can only shrink the arm travel the per-request
+  // SCAN sort pays.
+  const RunOutcome scan = Run(ServiceOrder::kSeekScan, 2, true);
+  const RunOutcome planned = RunTraced(ServiceOrder::kPlanned, 2, true, nullptr);
+  EXPECT_LE(planned.busy_time, scan.busy_time);
+  EXPECT_EQ(planned.violations, 0);
+}
+
+TEST_F(PlannedOrderTest, PlannedRoundsEmitSeekAccounting) {
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 1 << 22});
+  const RunOutcome outcome = RunTraced(ServiceOrder::kPlanned, 2, false, &cache);
+  EXPECT_EQ(outcome.violations, 0);
+  int64_t planned_rounds = 0;
+  int64_t seek_events = 0;
+  for (const obs::TraceEvent& event : log_.events()) {
+    if (event.kind == obs::TraceEventKind::kRoundPlanned) {
+      ++planned_rounds;
+      EXPECT_GE(event.transfers, 0);
+      EXPECT_LE(event.transfers + event.cache_hits + event.coalesced_blocks +
+                    event.deduped_blocks,
+                event.blocks + event.transfers);
+    }
+    if (event.kind == obs::TraceEventKind::kSeekAccounting) {
+      ++seek_events;
+      // Measured arm travel never exceeds the alpha-model worst case the
+      // admission math charged (the auditor enforces this too).
+      EXPECT_LE(event.seek_cylinders, event.seek_cylinders_worst);
+    }
+  }
+  EXPECT_GT(planned_rounds, 0);
+  EXPECT_GT(seek_events, 0);
 }
 
 TEST_F(ScanOrderTest, ScanToleratesOverloadBetterThanFifo) {

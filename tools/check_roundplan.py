@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""CI gate over the round-planner bench artifact.
+
+Run from a directory containing BENCH_roundplan_metrics.json (dropped by
+bench_roundplan next to its printed tables). Fails (exit 1) when:
+
+  - planned rounds are not strictly faster than naive per-block rounds on
+    the 8-title library workload (the planner's whole point), or adding
+    the cache makes planned rounds slower than naive;
+  - any planned-mode stream glitched or finished a fault-free run with
+    less than 100% of its rounds inside the Eq. 11 budget;
+  - cache-aware admission failed to admit more viewers of one title than
+    the Eq. 17 ceiling n_max, or any of those viewers breached its SLO.
+"""
+
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(message: str) -> None:
+    FAILURES.append(message)
+    print(f"FAIL: {message}")
+
+
+def load(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            return json.load(fp)
+    except FileNotFoundError:
+        fail(f"{path}: missing artifact")
+    except json.JSONDecodeError as err:
+        fail(f"{path}: invalid JSON ({err})")
+    return None
+
+
+def check_roundplan(path: str) -> None:
+    data = load(path)
+    if data is None:
+        return
+    plan = data.get("roundplan", {})
+    naive = plan.get("naive_mean_round_usec", 0.0)
+    planned = plan.get("planned_mean_round_usec", 0.0)
+    planned_cache = plan.get("planned_cache_mean_round_usec", 0.0)
+    if naive <= 0.0 or planned <= 0.0:
+        fail(f"{path}: missing round-time measurements")
+        return
+    if planned >= naive:
+        fail(f"{path}: planned rounds ({planned:.1f} us) not faster than naive ({naive:.1f} us)")
+    else:
+        print(f"ok: planned mean round {planned:.1f} us < naive {naive:.1f} us "
+              f"({100.0 * (1.0 - planned / naive):.1f}% saved)")
+    if planned_cache >= naive:
+        fail(f"{path}: planned+cache rounds ({planned_cache:.1f} us) not faster than naive")
+    for mode in ("planned", "planned_cache"):
+        if plan.get(f"{mode}_violations", 1) != 0:
+            fail(f"{path}: {mode} streams glitched in a fault-free run")
+        within = plan.get(f"{mode}_within_budget_min", 0.0)
+        if within < 1.0:
+            fail(f"{path}: {mode} worst stream only {within:.4f} of rounds within budget")
+
+    shared = data.get("shared_title", {})
+    n_max = shared.get("n_max", 0)
+    achieved = shared.get("achieved_n", 0)
+    if achieved <= n_max:
+        fail(f"{path}: cache-aware admission achieved n = {achieved}, not past n_max = {n_max}")
+    else:
+        print(f"ok: shared title achieved n = {achieved} > n_max = {n_max} "
+              f"({shared.get('cache_admitted', 0)} cache-admitted)")
+    if shared.get("cache_admitted", 0) <= 0:
+        fail(f"{path}: no viewer was admitted through the cache path")
+    if shared.get("breaches", 1) != 0:
+        fail(f"{path}: {shared.get('breaches')} shared-title viewers breached their SLO")
+    within = shared.get("within_budget_min", 0.0)
+    if within < 1.0:
+        fail(f"{path}: shared-title worst stream only {within:.4f} of rounds within budget")
+
+
+def main() -> int:
+    check_roundplan("BENCH_roundplan_metrics.json")
+    if FAILURES:
+        print(f"{len(FAILURES)} round-planner gate(s) failed")
+        return 1
+    print("all round-planner gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,6 +100,47 @@ void RenderService(const JsonValue* counters, const JsonValue* histograms) {
               Num(counters, "disk.faults"), Num(counters, "disk.salvage_reads"));
 }
 
+void RenderPlanner(const JsonValue* counters, const JsonValue* histograms) {
+  const double rounds = Num(counters, "plan.rounds");
+  if (rounds <= 0) {
+    return;  // scheduler not running planned rounds
+  }
+  const double data_blocks = Num(counters, "plan.data_blocks");
+  const double coalesced = Num(counters, "plan.coalesced_blocks");
+  const double deduped = Num(counters, "plan.deduped_blocks");
+  std::printf("[round planner]  (block-level C-SCAN + coalescing + dedup)\n");
+  std::printf("  planned rounds=%.0f  transfers=%.0f for %.0f blocks  coalesced=%.0f  "
+              "deduped=%.0f (ratio %.2f)\n",
+              rounds, Num(counters, "plan.read_transfers"), data_blocks, coalesced, deduped,
+              data_blocks > 0 ? (coalesced + deduped) / data_blocks : 0.0);
+  RenderHistogramRow(histograms, "plan.transfers_per_round", "transfers/round", "ops");
+  RenderHistogramRow(histograms, "plan.seek_cylinders_measured", "seek measured", "cyl/round");
+  RenderHistogramRow(histograms, "plan.seek_cylinders_worst", "seek worst-case", "cyl/round");
+  std::printf("  arm travel saved vs worst-case charge: %.0f cylinders\n\n",
+              Num(counters, "plan.seek_cylinders_saved"));
+}
+
+void RenderCache(const JsonValue* counters, const JsonValue* gauges) {
+  const double lookups = Num(counters, "cache.lookups");
+  const double invalidations = Num(counters, "cache.invalidations");
+  if (lookups <= 0 && invalidations <= 0) {
+    return;  // no block cache configured
+  }
+  const double hits = Num(counters, "cache.hits");
+  std::printf("[block cache]\n");
+  std::printf("  lookups=%.0f  hits=%.0f (%.1f%%)  recent hit rate=%.1f%%\n", lookups, hits,
+              lookups > 0 ? 100.0 * hits / lookups : 0.0,
+              Num(gauges, "cache.hit_rate_recent") * 100.0);
+  std::printf("  resident=%.0f KB  pinned pages=%.0f  evictions=%.0f  invalidations=%.0f "
+              "(%.0f entries)\n",
+              Num(gauges, "cache.resident_bytes") / 1024.0, Num(gauges, "cache.pinned_entries"),
+              Num(gauges, "cache.evictions"), invalidations,
+              Num(counters, "cache.invalidated_entries"));
+  std::printf("  cache-aware admission: %.0f admits, %.0f revocations\n\n",
+              Num(counters, "admission.cache_admits"),
+              Num(counters, "admission.cache_admit_revocations"));
+}
+
 void RenderRecovery(const JsonValue* counters) {
   // Only worth a section when anything crash-consistency-shaped happened.
   const double activity = Num(counters, "disk.power_cuts") +
@@ -165,6 +206,8 @@ int RenderSnapshot(const std::string& text, const char* source) {
   const JsonValue* metrics = Child(&*root, "metrics");
   RenderSlots(Child(metrics, "counters"), Child(metrics, "gauges"));
   RenderService(Child(metrics, "counters"), Child(metrics, "histograms"));
+  RenderPlanner(Child(metrics, "counters"), Child(metrics, "histograms"));
+  RenderCache(Child(metrics, "counters"), Child(metrics, "gauges"));
   RenderRecovery(Child(metrics, "counters"));
   RenderStreams(Child(&*root, "slo"));
   return 0;
@@ -182,6 +225,10 @@ int RunDemo(const DemoFlags& flags) {
   using namespace vafs;
   FileSystemConfig config;
   config.audio_device = DeviceProfile{TelephoneAudio().BitRate() * 16.0, 16'384};
+  // The demo runs the round planner with a shared block cache so the
+  // planner and cache tables render with live data.
+  config.scheduler.service_order = ServiceOrder::kPlanned;
+  config.block_cache.capacity_bytes = 16 << 20;
   config.telemetry.enabled = true;
   config.telemetry.trace_capacity = 1 << 16;
   config.faults.read_fault_rate = flags.read_fault_rate;
