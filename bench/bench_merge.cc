@@ -1,0 +1,334 @@
+// Stream merging: admitted viewers per disk under a Zipf/Poisson flash
+// crowd, Eq. 17 alone vs cache-aware admission vs the session layer.
+//
+// One seeded workload (src/sim/workload.h) — Zipf popularity over a small
+// library, Poisson arrivals, a flash crowd pointed at one title — replays
+// against three admission stacks on the same future disk:
+//
+//   eq17      the paper's admission math: every viewer is a full stream;
+//   cache     PR 5's planned rounds + shared cache + cache-aware admission
+//             (trailing viewers of a hot title ride resident extents);
+//   sessions  the stream-merging layer on top: arrivals inside the batch
+//             window ride the leader outright, later ones catch up on a
+//             short patch stream and merge.
+//
+// The headline metric is viewers fully served at the continuity SLO
+// (99.9 % of rounds inside the Eq. 11 budget, zero glitches): sessions
+// must beat both the Eq. 17 ceiling n_max and the cache-only stack, with
+// the strict ContinuityAuditor replaying every trace clean and the whole
+// run bit-identical across repeats (same seed, same admissions).
+//
+// CI gates on BENCH_merge_metrics.json via tools/check_merge.py.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <string>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "src/obs/auditor.h"
+#include "src/sim/workload.h"
+
+namespace vafs {
+namespace {
+
+constexpr double kTitleSec = 10.0;
+constexpr double kTraceSec = 12.0;
+constexpr double kFlashStartSec = 1.0;
+constexpr double kFlashLenSec = 3.0;
+constexpr double kSloWithinBudget = 0.999;
+constexpr int kTitles = 3;
+
+enum class Policy { kEq17, kCache, kSessions };
+
+struct PolicyOutcome {
+  const char* name = "";
+  int64_t n_max = 0;
+  int arrivals = 0;
+  int admitted = 0;   // viewers that got a ticket / request
+  int rejected = 0;
+  int served = 0;     // admitted viewers whose full playback completed
+  int cache_admitted = 0;
+  int64_t breaches = 0;  // streams below the within-budget SLO or glitching
+  double within_budget_min = 1.0;
+  bool audit_clean = false;
+  SessionCensus census;     // sessions mode only
+  std::string signature;    // per-arrival decisions, for determinism checks
+};
+
+// The Eq. 17 ceiling for one viewer spec on the bench disk, computed the
+// same way every policy's scheduler will.
+int64_t ComputeNmax() {
+  FileSystemConfig config = TestbedConfig();
+  config.disk = FutureDisk();
+  config.retain_data = false;
+  MultimediaFileSystem fs(config);
+  const StrandPlacement placement = *fs.PlacementFor(UvcCompressedVideo());
+  return fs.admission()
+      .Analyze({RequestSpec{UvcCompressedVideo(), placement.granularity}})
+      .n_max;
+}
+
+// One workload for every policy: base Poisson arrivals sized well under
+// the ceiling, a flash crowd that alone demands ~2x n_max of one title.
+sim::WorkloadOptions MergeWorkload(int64_t n_max) {
+  sim::WorkloadOptions options;
+  options.titles = kTitles;
+  options.zipf_exponent = 1.0;
+  options.duration_sec = kTraceSec;
+  options.arrival_rate_per_sec = std::max(0.5, 0.3 * static_cast<double>(n_max) / kTitleSec);
+  options.flash_start_sec = kFlashStartSec;
+  options.flash_duration_sec = kFlashLenSec;
+  const double flash_rate = std::max(2.0, 2.0 * static_cast<double>(n_max) / kFlashLenSec);
+  options.flash_rate_multiplier = flash_rate / options.arrival_rate_per_sec;
+  options.flash_title_bias = 0.8;
+  options.flash_title = 0;
+  options.seed = 424242;
+  return options;
+}
+
+PolicyOutcome RunPolicy(Policy policy, const std::vector<sim::WorkloadArrival>& arrivals,
+                        bool write_slo = false) {
+  obs::ContinuityAuditor auditor{obs::AuditorOptions{.round_time_slack = 0.05}};
+  FileSystemConfig config = TestbedConfig();
+  config.disk = FutureDisk();
+  config.retain_data = false;
+  config.scheduler.service_order = ServiceOrder::kPlanned;
+  config.scheduler.trace = &auditor;
+  config.telemetry.enabled = true;
+  config.telemetry.trace_capacity = 1 << 14;
+  if (policy != Policy::kEq17) {
+    // Deliberately smaller than one title's footprint: trailing viewers
+    // hold an interval of the leader's wake, not the whole library.
+    config.block_cache.capacity_bytes = 4 << 20;
+    config.scheduler.cache_aware_admission = true;
+  }
+  if (policy == Policy::kSessions) {
+    config.sessions.enabled = true;
+    config.sessions.batch_window_sec = 2.0;
+    config.sessions.max_patch_blocks = 1 << 20;  // any gap the leader still covers
+    config.sessions.runway_margin_blocks = 0;    // uncapped rider runway
+  }
+  MultimediaFileSystem fs(config);
+
+  PolicyOutcome outcome;
+  std::vector<RopeId> ropes;
+  for (int t = 0; t < kTitles; ++t) {
+    VideoSource source(UvcCompressedVideo(), 1000 + static_cast<uint64_t>(t));
+    Result<MultimediaFileSystem::RecordResult> recorded =
+        fs.Record("bench", &source, nullptr, kTitleSec);
+    if (!recorded.ok()) {
+      std::printf("RECORD failed: %s\n", recorded.status().ToString().c_str());
+      return outcome;
+    }
+    ropes.push_back(recorded->rope);
+  }
+
+  outcome.arrivals = static_cast<int>(arrivals.size());
+  std::vector<SessionTicket> tickets;
+  std::vector<RequestId> solo_ids;
+  const SimTime base = fs.simulator().Now();
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    const sim::WorkloadArrival& arrival = arrivals[i];
+    const RopeId rope = ropes[static_cast<size_t>(arrival.title) % ropes.size()];
+    fs.simulator().ScheduleAt(
+        base + SecondsToUsec(arrival.time_sec),
+        [&fs, &outcome, &tickets, &solo_ids, policy, rope, i]() {
+          const TimeInterval interval{0.0, kTitleSec};
+          if (policy == Policy::kSessions) {
+            Result<SessionTicket> ticket = fs.OpenSession("crowd", rope, Medium::kVideo, interval);
+            if (ticket.ok()) {
+              ++outcome.admitted;
+              tickets.push_back(*ticket);
+              outcome.signature += std::to_string(i) + ":mode" +
+                                   std::to_string(static_cast<int>(ticket->mode)) + ":gap" +
+                                   std::to_string(ticket->gap_blocks) + ";";
+            } else {
+              ++outcome.rejected;
+              outcome.signature += std::to_string(i) + ":rej;";
+            }
+          } else {
+            Result<RequestId> id = fs.Play("crowd", rope, Medium::kVideo, interval);
+            if (id.ok()) {
+              ++outcome.admitted;
+              solo_ids.push_back(*id);
+            } else {
+              ++outcome.rejected;
+            }
+          }
+        });
+  }
+  fs.RunUntilIdle();
+
+  if (policy == Policy::kSessions) {
+    outcome.census = fs.session_manager()->census();
+    for (const SessionTicket& ticket : tickets) {
+      if (ticket.mode == SessionTicket::Mode::kPatched) {
+        continue;  // counted via census.merged below
+      }
+      Result<RequestStats> stats = fs.Stats(ticket.request);
+      if (stats.ok() && stats->completed) {
+        ++outcome.served;
+      }
+      if (stats.ok() && stats->cache_admitted) {
+        ++outcome.cache_admitted;
+      }
+    }
+    outcome.served += static_cast<int>(outcome.census.merged);
+    outcome.signature += "served" + std::to_string(outcome.served);
+  } else {
+    for (RequestId id : solo_ids) {
+      Result<RequestStats> stats = fs.Stats(id);
+      if (stats.ok() && stats->completed) {
+        ++outcome.served;
+      }
+      if (stats.ok() && stats->cache_admitted) {
+        ++outcome.cache_admitted;
+      }
+    }
+  }
+
+  const obs::SloReport report = fs.SloSnapshot();
+  for (const obs::StreamSlo& stream : report.streams) {
+    outcome.within_budget_min = std::min(outcome.within_budget_min, stream.WithinBudgetFraction());
+    if (!stream.ContinuityMet(report.options) ||
+        stream.WithinBudgetFraction() < kSloWithinBudget) {
+      ++outcome.breaches;
+    }
+  }
+  outcome.audit_clean = auditor.Clean();
+  if (!outcome.audit_clean) {
+    std::printf("AUDIT (%s):\n%s\n", outcome.name, auditor.Report().c_str());
+  }
+  if (write_slo) {
+    WriteSloJson(report, "merge");
+  }
+  return outcome;
+}
+
+void WriteMergeJson(int64_t n_max, const PolicyOutcome& eq17, const PolicyOutcome& cache,
+                    const PolicyOutcome& sessions, bool deterministic) {
+  const char* path = "BENCH_merge_metrics.json";
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  const auto policy_json = [file](const char* name, const PolicyOutcome& mode, bool last) {
+    std::fprintf(file,
+                 "    \"%s\": {\n"
+                 "      \"arrivals\": %d,\n"
+                 "      \"admitted\": %d,\n"
+                 "      \"rejected\": %d,\n"
+                 "      \"served\": %d,\n"
+                 "      \"cache_admitted\": %d,\n"
+                 "      \"breaches\": %lld,\n"
+                 "      \"within_budget_min\": %.6f,\n"
+                 "      \"audit_clean\": %s\n"
+                 "    }%s\n",
+                 name, mode.arrivals, mode.admitted, mode.rejected, mode.served,
+                 mode.cache_admitted, static_cast<long long>(mode.breaches),
+                 mode.within_budget_min, mode.audit_clean ? "true" : "false", last ? "" : ",");
+  };
+  std::fprintf(file,
+               "{\n"
+               "  \"merge\": {\n"
+               "    \"n_max\": %lld,\n"
+               "    \"deterministic\": %s,\n",
+               static_cast<long long>(n_max), deterministic ? "true" : "false");
+  policy_json("eq17", eq17, false);
+  policy_json("cache", cache, false);
+  policy_json("sessions", sessions, false);
+  std::fprintf(file,
+               "    \"census\": {\n"
+               "      \"viewers\": %lld,\n"
+               "      \"leaders\": %lld,\n"
+               "      \"batched\": %lld,\n"
+               "      \"patched\": %lld,\n"
+               "      \"merged\": %lld,\n"
+               "      \"degraded\": %lld\n"
+               "    }\n"
+               "  }\n"
+               "}\n",
+               static_cast<long long>(sessions.census.viewers),
+               static_cast<long long>(sessions.census.leaders),
+               static_cast<long long>(sessions.census.batched),
+               static_cast<long long>(sessions.census.patched),
+               static_cast<long long>(sessions.census.merged),
+               static_cast<long long>(sessions.census.degraded));
+  std::fclose(file);
+  std::printf("metrics: %s\n", path);
+}
+
+void PrintMergeTables() {
+  PrintHeader("stream merging", "flash crowd: Eq. 17 vs cache admission vs sessions");
+  PrintOperatingPoint(FutureDisk());
+  const int64_t n_max = ComputeNmax();
+  const sim::WorkloadOptions workload = MergeWorkload(n_max);
+  const std::vector<sim::WorkloadArrival> arrivals = sim::WorkloadEngine(workload).Generate();
+  int flash_arrivals = 0;
+  for (const sim::WorkloadArrival& arrival : arrivals) {
+    flash_arrivals += arrival.flash ? 1 : 0;
+  }
+  std::printf("n_max = %lld; %zu arrivals over %.0f s (%d in a %.0f s flash, bias %.1f "
+              "to title %lld), seed %llu\n",
+              static_cast<long long>(n_max), arrivals.size(), workload.duration_sec,
+              flash_arrivals, workload.flash_duration_sec, workload.flash_title_bias,
+              static_cast<long long>(workload.flash_title),
+              static_cast<unsigned long long>(workload.seed));
+
+  PolicyOutcome eq17 = RunPolicy(Policy::kEq17, arrivals);
+  eq17.name = "eq17";
+  PolicyOutcome cache = RunPolicy(Policy::kCache, arrivals);
+  cache.name = "cache";
+  PolicyOutcome sessions = RunPolicy(Policy::kSessions, arrivals, /*write_slo=*/true);
+  sessions.name = "sessions";
+  const PolicyOutcome repeat = RunPolicy(Policy::kSessions, arrivals);
+  const bool deterministic = sessions.signature == repeat.signature;
+
+  std::printf("%10s | %8s | %8s | %6s | %8s | %8s | %7s | %5s\n", "policy", "admitted",
+              "rejected", "served", "breaches", "within%", "cacheadm", "audit");
+  const auto row = [](const char* name, const PolicyOutcome& mode) {
+    std::printf("%10s | %8d | %8d | %6d | %8" PRId64 " | %7.2f%% | %7d | %5s\n", name,
+                mode.admitted, mode.rejected, mode.served, mode.breaches,
+                mode.within_budget_min * 100.0, mode.cache_admitted,
+                mode.audit_clean ? "ok" : "FAIL");
+  };
+  row("eq17", eq17);
+  row("cache", cache);
+  row("sessions", sessions);
+  std::printf("sessions census: %lld viewers = %lld leaders + %lld batched + %lld patched "
+              "(%lld merged, %lld degraded); deterministic replay: %s\n",
+              static_cast<long long>(sessions.census.viewers),
+              static_cast<long long>(sessions.census.leaders),
+              static_cast<long long>(sessions.census.batched),
+              static_cast<long long>(sessions.census.patched),
+              static_cast<long long>(sessions.census.merged),
+              static_cast<long long>(sessions.census.degraded), deterministic ? "yes" : "NO");
+  std::printf("(batched riders consume the leader's deliveries for free; patches pay a\n"
+              " short catch-up read, then the merged pair costs one stream, not two)\n");
+
+  WriteMergeJson(n_max, eq17, cache, sessions, deterministic);
+}
+
+void BM_SessionFlashCrowd(benchmark::State& state) {
+  const int64_t n_max = ComputeNmax();
+  const std::vector<sim::WorkloadArrival> arrivals =
+      sim::WorkloadEngine(MergeWorkload(n_max)).Generate();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunPolicy(Policy::kSessions, arrivals).served);
+  }
+}
+BENCHMARK(BM_SessionFlashCrowd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vafs
+
+int main(int argc, char** argv) {
+  vafs::PrintMergeTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -118,15 +118,16 @@ void BlockCache::Insert(int64_t sector, int64_t sectors, int64_t bytes, bool int
   ++stats_.insertions;
 }
 
-void BlockCache::Pin(int64_t sector, int64_t sectors) {
+bool BlockCache::Pin(int64_t sector, int64_t sectors) {
   auto it = entries_.find(sector);
   if (it == entries_.end() || it->second.sectors != sectors) {
-    return;
+    return false;
   }
   if (it->second.pins == 0) {
     ++stats_.pinned_entries;
   }
   ++it->second.pins;
+  return true;
 }
 
 void BlockCache::Unpin(int64_t sector, int64_t sectors) {
@@ -141,6 +142,7 @@ void BlockCache::Unpin(int64_t sector, int64_t sectors) {
 
 int64_t BlockCache::InvalidateRange(int64_t sector, int64_t sectors) {
   const int64_t end = sector + sectors;
+  const int64_t resident_before = stats_.resident_entries;
   int64_t dropped = 0;
   // Entries are keyed by start sector; one starting before `sector` can
   // still overlap, so back up one position before scanning forward.
@@ -160,6 +162,12 @@ int64_t BlockCache::InvalidateRange(int64_t sector, int64_t sectors) {
     }
   }
   stats_.invalidated_entries += dropped;
+  if (dropped > 0 && resident_before > 0) {
+    // The window's hits were earned against entries that may just have
+    // vanished: scale them down by the surviving fraction so the rate
+    // reflects what is still resident instead of a stale storm-ago view.
+    window_hits_ = (window_hits_ * stats_.resident_entries) / resident_before;
+  }
   return dropped;
 }
 
@@ -170,6 +178,9 @@ void BlockCache::InvalidateAll() {
   stats_.pinned_entries = 0;
   entries_.clear();
   lru_.clear();
+  // Nothing the window measured survives; the rate restarts from zero.
+  window_hits_ = 0;
+  window_lookups_ = 0;
 }
 
 double BlockCache::RecentHitRate() const {

@@ -93,17 +93,22 @@ class BlockCache {
   void Insert(int64_t sector, int64_t sectors, int64_t bytes, bool interval_biased);
 
   // Pins / unpins an extent (read-ahead pages). Pinned entries are never
-  // evicted; they still invalidate. Pin counts nest.
-  void Pin(int64_t sector, int64_t sectors);
+  // evicted; they still invalidate. Pin counts nest. Pin returns false when
+  // the extent is not resident (e.g. the insert was dropped because
+  // everything else was pinned) — callers must only record a pin they
+  // actually took, or a later Unpin releases somebody else's pin.
+  bool Pin(int64_t sector, int64_t sectors);
   void Unpin(int64_t sector, int64_t sectors);
 
   // Drops every entry overlapping [sector, sector + sectors): the platter
-  // contents changed under the cache.
+  // contents changed under the cache. Both also decay the recent-hit-rate
+  // window in proportion to what was dropped — the evidence behind those
+  // hits is gone, and cache-aware admission must not admit on it.
   int64_t InvalidateRange(int64_t sector, int64_t sectors);
   void InvalidateAll();
 
   // Recent hit rate in [0, 1] over the configured window; 0 before any
-  // lookup lands.
+  // lookup lands, and reset by invalidation storms (see above).
   double RecentHitRate() const;
 
   const BlockCacheStats& stats() const { return stats_; }

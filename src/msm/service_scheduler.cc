@@ -25,6 +25,12 @@ std::vector<RequestSpec> ServiceScheduler::SlotHolderSpecs() const {
     if (request.stats.paused && request.destructively_paused) {
       continue;  // the slot was released at pause time
     }
+    if (request.stats.cache_admitted) {
+      // A cache tenant never passed the Eq. 17 test and holds no slot;
+      // counting it here would charge later admissions (and k shrinks on
+      // its revocation) for a slot that was never granted.
+      continue;
+    }
     if (request.playback.has_value()) {
       specs.push_back(request.playback->spec);
     } else if (request.recording.has_value()) {
@@ -45,12 +51,14 @@ obs::SlotSnapshot ServiceScheduler::Snapshot() const {
     if (request.stats.completed) {
       continue;
     }
-    if (request.stats.paused) {
-      if (request.destructively_paused) {
-        ++snapshot.paused_destructive;
-      } else {
-        ++snapshot.paused_nondestructive;
-      }
+    if (request.stats.paused && request.destructively_paused) {
+      ++snapshot.paused_destructive;
+    } else if (request.stats.cache_admitted) {
+      // Pending, active or non-destructively paused cache tenants all sit
+      // in their own column: none of those states holds an Eq. 17 slot.
+      ++snapshot.cache_tenants;
+    } else if (request.stats.paused) {
+      ++snapshot.paused_nondestructive;
     } else if (IsPending(id)) {
       ++snapshot.pending;
     } else {
@@ -788,9 +796,13 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
       ActiveRequest& rider = requests_.at(block->request);
       if (rider.playback.has_value() && rider.consumer == nullptr) {
         // Prelude read-ahead: pinned so eviction cannot undo the startup
-        // guarantee before playback begins.
-        cache->Pin(extent.first, extent.second);
-        rider.pinned_extents.push_back(extent);
+        // guarantee before playback begins. Record the extent only when the
+        // pin actually landed (the insert can be dropped when everything
+        // resident is pinned); otherwise the eventual unpin would release a
+        // pin taken by a different request.
+        if (cache->Pin(extent.first, extent.second)) {
+          rider.pinned_extents.push_back(extent);
+        }
       }
     }
   };
@@ -1224,12 +1236,16 @@ Status ServiceScheduler::Pause(RequestId id, bool destructive) {
   request.prelude_ready_times.clear();
   if (destructive) {
     // The slot is released now: leave the rotation and any pending k ramp,
-    // and let the remaining slot holders settle to a smaller k.
+    // and let the remaining slot holders settle to a smaller k. A revoked
+    // cache tenant held no slot, so it releases nothing — shrinking k for
+    // it would hand the rotation a release that never happened.
     std::erase(service_order_, id);
     std::erase_if(pending_, [id](const PendingAdmission& p) { return p.id == id; });
-    Result<int64_t> k = admission_.TransientSafeBlocksPerRound(SlotHolderSpecs());
-    if (k.ok() && *k < current_k_) {
-      current_k_ = *k;
+    if (!request.stats.cache_admitted) {
+      Result<int64_t> k = admission_.TransientSafeBlocksPerRound(SlotHolderSpecs());
+      if (k.ok() && *k < current_k_) {
+        current_k_ = *k;
+      }
     }
   }
   obs::TraceEvent event = TraceContext();

@@ -1,0 +1,317 @@
+#include "src/msm/session_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/time.h"
+
+namespace vafs {
+
+SessionManager::SessionManager(ServiceScheduler* scheduler, Simulator* simulator,
+                               BlockCache* cache, obs::TraceSink* trace, SessionOptions options)
+    : scheduler_(scheduler),
+      simulator_(simulator),
+      cache_(cache),
+      trace_(trace),
+      options_(options) {}
+
+void SessionManager::Emit(obs::TraceEventKind kind, const Session& session,
+                          int64_t runway) const {
+  if (trace_ == nullptr) {
+    return;
+  }
+  obs::TraceEvent event;
+  event.kind = kind;
+  event.time = simulator_->Now();
+  event.session = session.ticket.session;
+  event.leader = session.ticket.request;
+  event.request = session.ticket.patch_request;
+  event.gap_blocks = session.ticket.gap_blocks;
+  event.runway_blocks = runway;
+  trace_->OnEvent(event);
+}
+
+int64_t SessionManager::LeaderBlocksDone(RequestId leader) const {
+  Result<RequestStats> stats = scheduler_->stats(leader);
+  return stats.ok() ? stats->blocks_done : 0;
+}
+
+void SessionManager::PinLeaderTrail(const Group& group, int64_t gap, Session* session) {
+  if (!options_.pin_leader_trail || cache_ == nullptr || !cache_->enabled()) {
+    return;
+  }
+  // The rider missed the leader's last `gap` deliveries; keep the most
+  // recent of them resident until the rider (or its patch) consumes them.
+  const int64_t first = std::max<int64_t>(0, gap - options_.trail_pin_limit);
+  for (int64_t i = first; i < gap && i < static_cast<int64_t>(group.blocks.size()); ++i) {
+    const PrimaryEntry& entry = group.blocks[static_cast<size_t>(i)];
+    if (entry.IsSilence()) {
+      continue;
+    }
+    if (cache_->Pin(entry.sector, entry.sector_count)) {
+      session->pinned.emplace_back(entry.sector, entry.sector_count);
+    }
+  }
+}
+
+void SessionManager::UnpinTrail(Session* session) {
+  if (cache_ != nullptr) {
+    for (const auto& [sector, sectors] : session->pinned) {
+      cache_->Unpin(sector, sectors);
+    }
+  }
+  session->pinned.clear();
+}
+
+Result<SessionTicket> SessionManager::Open(uint64_t title, PlaybackRequest solo) {
+  const int64_t total = static_cast<int64_t>(solo.blocks.size());
+  Group* group = nullptr;
+  if (auto live = live_group_.find(title); live != live_group_.end()) {
+    auto it = groups_.find(live->second);
+    if (it != groups_.end() && !it->second.closed) {
+      group = &it->second;
+    }
+  }
+  if (group != nullptr) {
+    const int64_t gap = LeaderBlocksDone(group->leader);
+    const int64_t remaining = group->leader_total - gap;
+    const bool in_window =
+        simulator_->Now() - group->opened <= SecondsToUsec(options_.batch_window_sec);
+    // Riding only makes sense while the leader still has the rider's whole
+    // remainder ahead of it.
+    if (remaining > 0 && total > gap) {
+      if (in_window || gap == 0) {
+        Session session;
+        session.ticket.session = next_session_++;
+        session.ticket.mode = SessionTicket::Mode::kBatched;
+        session.ticket.title = title;
+        session.ticket.request = group->leader;
+        session.ticket.gap_blocks = gap;
+        PinLeaderTrail(*group, gap, &session);
+        Emit(obs::TraceEventKind::kSessionBatched, session,
+             static_cast<int64_t>(session.pinned.size()));
+        group->sessions.push_back(session.ticket.session);
+        ++census_.viewers;
+        ++census_.batched;
+        const SessionTicket ticket = session.ticket;
+        sessions_.emplace(ticket.session, std::move(session));
+        return ticket;
+      }
+      if (options_.max_patch_blocks > 0 && gap <= options_.max_patch_blocks) {
+        // Catch-up patch: a regular short-lived stream over the missed
+        // prefix, admission-checked like any other (Eq. 17 tenant).
+        PlaybackRequest patch = solo;
+        patch.blocks.resize(static_cast<size_t>(gap));
+        patch.read_ahead_blocks = 1;  // start immediately; the gap is the runway
+        Result<RequestId> patch_id = scheduler_->SubmitPlayback(std::move(patch));
+        if (patch_id.ok()) {
+          // Section 3 buffering bound on the rider's banked runway: the
+          // leader cannot hand it more than it has left, and an explicit
+          // margin (when configured) claims gap + margin instead.
+          int64_t bound = remaining;
+          if (options_.runway_margin_blocks > 0) {
+            bound = std::min(bound, gap + options_.runway_margin_blocks);
+          }
+          Session session;
+          session.ticket.session = next_session_++;
+          session.ticket.mode = SessionTicket::Mode::kPatched;
+          session.ticket.title = title;
+          session.ticket.request = group->leader;
+          session.ticket.patch_request = *patch_id;
+          session.ticket.gap_blocks = gap;
+          session.ticket.runway_bound = bound;
+          PinLeaderTrail(*group, gap, &session);
+          Emit(obs::TraceEventKind::kSessionPatched, session, bound);
+          group->sessions.push_back(session.ticket.session);
+          patch_index_[*patch_id] = session.ticket.session;
+          ++census_.viewers;
+          ++census_.patched;
+          const SessionTicket ticket = session.ticket;
+          sessions_.emplace(ticket.session, std::move(session));
+          return ticket;
+        }
+        // Patch rejected (no slot for even the short stream): fall through
+        // and try a full solo stream — it may still be admissible later in
+        // the rotation, and a leader admits future riders.
+      }
+    }
+  }
+  std::vector<PrimaryEntry> blocks = solo.blocks;  // survives the submit
+  Result<RequestId> leader_id = scheduler_->SubmitPlayback(std::move(solo));
+  if (!leader_id.ok()) {
+    return leader_id.status();
+  }
+  Group fresh;
+  fresh.title = title;
+  fresh.leader = *leader_id;
+  fresh.opened = simulator_->Now();
+  fresh.leader_total = total;
+  fresh.blocks = std::move(blocks);
+  Session session;
+  session.ticket.session = next_session_++;
+  session.ticket.mode = SessionTicket::Mode::kLeader;
+  session.ticket.title = title;
+  session.ticket.request = *leader_id;
+  fresh.sessions.push_back(session.ticket.session);
+  groups_[*leader_id] = std::move(fresh);
+  live_group_[title] = *leader_id;
+  ++census_.viewers;
+  ++census_.leaders;
+  const SessionTicket ticket = session.ticket;
+  sessions_.emplace(ticket.session, std::move(session));
+  return ticket;
+}
+
+void SessionManager::CloseGroup(Group* group, bool completed) {
+  if (group->closed) {
+    return;
+  }
+  group->closed = true;
+  for (uint64_t id : group->sessions) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      continue;
+    }
+    Session& session = it->second;
+    if (session.ticket.mode == SessionTicket::Mode::kPatched && !session.merged &&
+        !session.degraded) {
+      const int64_t tail = group->leader_total - session.ticket.gap_blocks;
+      if (completed && session.ticket.runway_bound >= tail) {
+        // The leader delivered the whole title and the rider's runway holds
+        // its entire tail; only the catch-up patch is still running. Leave
+        // the session open — it merges (or degrades) when the patch ends.
+        continue;
+      }
+      // The leader died under the patch (or its remaining deliveries
+      // overflowed a capped runway): the rider finishes what the patch
+      // reads but the shared tail is gone.
+      session.degraded = true;
+      ++census_.degraded;
+    }
+    UnpinTrail(&session);
+    session.finished = true;
+  }
+  if (auto live = live_group_.find(group->title);
+      live != live_group_.end() && live->second == group->leader) {
+    live_group_.erase(live);
+  }
+}
+
+void SessionManager::HandlePatchGone(Session* session, bool try_resume) {
+  if (session->merged || session->degraded || session->finished) {
+    return;
+  }
+  if (try_resume && !session->resume_pending) {
+    // One deferred re-application: the pause may be transient (the slot
+    // freed again by the time the next event runs). Scheduled instead of
+    // called inline — the pause is still being emitted up the tee.
+    session->resume_pending = true;
+    const RequestId patch = session->ticket.patch_request;
+    const uint64_t id = session->ticket.session;
+    simulator_->ScheduleAfter(0, [this, patch, id]() {
+      auto it = sessions_.find(id);
+      if (it == sessions_.end() || it->second.merged || it->second.degraded) {
+        return;
+      }
+      if (!scheduler_->Resume(patch).ok()) {
+        it->second.degraded = true;
+        ++census_.degraded;
+        UnpinTrail(&it->second);
+      }
+    });
+    return;
+  }
+  session->degraded = true;
+  ++census_.degraded;
+  UnpinTrail(session);
+}
+
+void SessionManager::OnEvent(const obs::TraceEvent& event) {
+  switch (event.kind) {
+    case obs::TraceEventKind::kCompleted: {
+      if (auto pit = patch_index_.find(event.request); pit != patch_index_.end()) {
+        Session& session = sessions_.at(pit->second);
+        if (!session.merged && !session.degraded) {
+          // The patch closed its gap: the rider now follows the leader,
+          // holding the leader's deliveries it banked while catching up.
+          session.merged = true;
+          ++census_.merged;
+          UnpinTrail(&session);
+          const int64_t realized =
+              std::max<int64_t>(0, LeaderBlocksDone(session.ticket.request) -
+                                       session.ticket.gap_blocks);
+          Emit(obs::TraceEventKind::kSessionMerged, session, realized);
+          if (auto git = groups_.find(session.ticket.request);
+              git != groups_.end() && git->second.closed) {
+            // Merged after the leader already completed: the rider plays
+            // out of its banked runway, nothing left to observe.
+            session.finished = true;
+          }
+        }
+        break;
+      }
+      if (auto git = groups_.find(event.request); git != groups_.end()) {
+        CloseGroup(&git->second, /*completed=*/true);
+      }
+      break;
+    }
+    case obs::TraceEventKind::kStop: {
+      if (auto pit = patch_index_.find(event.request); pit != patch_index_.end()) {
+        HandlePatchGone(&sessions_.at(pit->second), /*try_resume=*/false);
+        break;
+      }
+      if (auto git = groups_.find(event.request); git != groups_.end()) {
+        CloseGroup(&git->second, /*completed=*/false);
+      }
+      break;
+    }
+    case obs::TraceEventKind::kPause: {
+      if (!event.destructive) {
+        break;
+      }
+      if (auto pit = patch_index_.find(event.request); pit != patch_index_.end()) {
+        HandlePatchGone(&sessions_.at(pit->second), /*try_resume=*/true);
+        break;
+      }
+      if (auto git = groups_.find(event.request); git != groups_.end()) {
+        CloseGroup(&git->second, /*completed=*/false);
+      }
+      break;
+    }
+    case obs::TraceEventKind::kResume:
+      if (auto pit = patch_index_.find(event.request); pit != patch_index_.end()) {
+        sessions_.at(pit->second).resume_pending = false;  // re-applied; re-arm
+      }
+      break;
+    case obs::TraceEventKind::kRecovery:
+      // Every request (leaders and patches alike) died with the crash; the
+      // cache was invalidated wholesale, so no pins survive to release.
+      groups_.clear();
+      live_group_.clear();
+      sessions_.clear();
+      patch_index_.clear();
+      break;
+    default:
+      break;  // session events (our own) and everything else
+  }
+}
+
+void SessionManager::Rebind(ServiceScheduler* scheduler) {
+  scheduler_ = scheduler;
+  groups_.clear();
+  live_group_.clear();
+  sessions_.clear();
+  patch_index_.clear();
+}
+
+int64_t SessionManager::LiveViewers() const {
+  int64_t live = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (!session.finished && !session.degraded) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+}  // namespace vafs

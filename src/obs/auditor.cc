@@ -20,13 +20,19 @@ SlotSnapshot ContinuityAuditor::Ledger() const {
   for (const auto& [id, request] : requests_) {
     switch (request.state) {
       case SlotState::kPending:
-        ++ledger.pending;
-        break;
       case SlotState::kActive:
-        ++ledger.active;
-        break;
       case SlotState::kPausedNonDestructive:
-        ++ledger.paused_nondestructive;
+        if (request.cache) {
+          // A cache tenant rides the rotation without an Eq. 17 slot: one
+          // column regardless of where in the lifecycle it sits.
+          ++ledger.cache_tenants;
+        } else if (request.state == SlotState::kPending) {
+          ++ledger.pending;
+        } else if (request.state == SlotState::kActive) {
+          ++ledger.active;
+        } else {
+          ++ledger.paused_nondestructive;
+        }
         break;
       case SlotState::kPausedDestructive:
         ++ledger.paused_destructive;
@@ -46,7 +52,8 @@ void ContinuityAuditor::CheckLedger(const TraceEvent& event) {
   auto render = [](const SlotSnapshot& s) {
     return "{active=" + std::to_string(s.active) + " pending=" + std::to_string(s.pending) +
            " paused_nd=" + std::to_string(s.paused_nondestructive) +
-           " paused_d=" + std::to_string(s.paused_destructive) + "}";
+           " paused_d=" + std::to_string(s.paused_destructive) +
+           " cache_t=" + std::to_string(s.cache_tenants) + "}";
   };
   Flag(event, std::string(TraceEventKindName(event.kind)) +
                   ": scheduler slot ledger " + render(event.slots) +
@@ -62,7 +69,8 @@ void ContinuityAuditor::HandleLifecycle(const TraceEvent& event) {
         Flag(event, "submit of request " + std::to_string(event.request) +
                         " which already holds a lifecycle state");
       }
-      requests_[event.request] = RequestState{SlotState::kPending, false};
+      requests_[event.request] =
+          RequestState{SlotState::kPending, false, pending_cache_.erase(event.request) > 0};
       break;
     case TraceEventKind::kActivated:
       if (!known) {
@@ -85,7 +93,10 @@ void ContinuityAuditor::HandleLifecycle(const TraceEvent& event) {
       }
       it->second.state = event.destructive ? SlotState::kPausedDestructive
                                            : SlotState::kPausedNonDestructive;
-      if (event.destructive) {
+      if (event.destructive && !it->second.cache) {
+        // A cache tenant never held a slot, so revoking one (the
+        // destructive pause behind kCacheAdmitRevoked) frees nothing a
+        // k-shrink could be justified by.
         slot_released_ = true;  // k may legitimately shrink to fit
       }
       break;
@@ -96,9 +107,13 @@ void ContinuityAuditor::HandleLifecycle(const TraceEvent& event) {
         break;
       }
       if (it->second.state == SlotState::kPausedDestructive) {
-        // Rejoins through the pending queue after fresh admission.
+        // Rejoins through the pending queue after fresh admission. Whether
+        // it re-entered as a cache tenant or under plain Eq. 17 admission is
+        // decided by the kCacheAdmit that did (or did not) precede this
+        // resume — the old flag must not survive the re-application.
         it->second.state = SlotState::kPending;
         it->second.activated = false;
+        it->second.cache = pending_cache_.erase(event.request) > 0;
       } else {
         it->second.state = it->second.activated ? SlotState::kActive : SlotState::kPending;
       }
@@ -110,7 +125,7 @@ void ContinuityAuditor::HandleLifecycle(const TraceEvent& event) {
                         std::to_string(event.request));
         break;
       }
-      if (it->second.state != SlotState::kPausedDestructive) {
+      if (it->second.state != SlotState::kPausedDestructive && !it->second.cache) {
         slot_released_ = true;
       }
       it->second.state = SlotState::kCompleted;
@@ -179,6 +194,73 @@ void ContinuityAuditor::HandleRound(const TraceEvent& event) {
   }
 }
 
+void ContinuityAuditor::HandleSession(const TraceEvent& event) {
+  const std::string tag = "session " + std::to_string(event.session);
+  switch (event.kind) {
+    case TraceEventKind::kSessionBatched:
+      // A batched rider shares the leader's stream outright; it can only
+      // attach while the leader is behind it or level with it.
+      if (event.gap_blocks < 0) {
+        Flag(event, tag + " batched with a negative gap of " +
+                        std::to_string(event.gap_blocks) + " blocks");
+      }
+      break;
+    case TraceEventKind::kSessionPatched: {
+      SessionState& session = sessions_[event.session];
+      if (session.patched) {
+        Flag(event, tag + " patched twice");
+      }
+      if (event.gap_blocks <= 0) {
+        // A zero-gap arrival is a batch, not a patch: a patch stream here
+        // would spend disk on blocks the leader delivers for free.
+        Flag(event, tag + " opened a patch for a gap of " +
+                        std::to_string(event.gap_blocks) + " blocks");
+      }
+      if (event.runway_blocks <= 0) {
+        // Section 3 buffering math: while the patch catches up, the rider
+        // banks the leader's deliveries into its runway. A bound of zero
+        // means the leader had nothing left to deliver at attach — the
+        // arrival should have played solo, not patched.
+        Flag(event, tag + " patched with a runway bound of " +
+                        std::to_string(event.runway_blocks) + " blocks");
+      }
+      session.patched = true;
+      session.merged = false;
+      session.gap_blocks = event.gap_blocks;
+      session.runway_bound = event.runway_blocks;
+      break;
+    }
+    case TraceEventKind::kSessionMerged: {
+      auto it = sessions_.find(event.session);
+      if (it == sessions_.end() || !it->second.patched) {
+        Flag(event, tag + " merged without a preceding patch");
+        break;
+      }
+      if (it->second.merged) {
+        Flag(event, tag + " merged twice");
+      }
+      if (event.runway_blocks < 0) {
+        // The leader moved backwards relative to the patch: the merge hands
+        // the rider a hole the leader will never re-read.
+        Flag(event, tag + " merged with a realized runway of " +
+                        std::to_string(event.runway_blocks) + " blocks (rider is short " +
+                        std::to_string(-event.runway_blocks) + " of the leader's trail)");
+      } else if (event.runway_blocks > it->second.runway_bound) {
+        // The rider banked more than the Section 3 bound planned for — the
+        // buffer claim made at patch time understated the memory the merge
+        // actually needed.
+        Flag(event, tag + " merged with a realized runway of " +
+                        std::to_string(event.runway_blocks) + " blocks, above the bound of " +
+                        std::to_string(it->second.runway_bound) + " stamped at patch time");
+      }
+      it->second.merged = true;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 void ContinuityAuditor::OnEvent(const TraceEvent& event) {
   switch (event.kind) {
     case TraceEventKind::kSubmitAccepted:
@@ -238,6 +320,8 @@ void ContinuityAuditor::OnEvent(const TraceEvent& event) {
       // pre-crash entries would flag phantom slots against the fresh
       // scheduler's (correctly empty) snapshots.
       requests_.clear();
+      pending_cache_.clear();
+      sessions_.clear();
       previous_round_k_ = -1;
       slot_released_ = false;
       round_open_ = false;
@@ -266,10 +350,23 @@ void ContinuityAuditor::OnEvent(const TraceEvent& event) {
       }
       break;
     case TraceEventKind::kCacheAdmit:
+      // Emitted before the lifecycle event it qualifies: latch the id so
+      // the next kSubmitAccepted (fresh tenant) or destructive-path kResume
+      // (re-application) of this request is replayed as a cache tenant.
+      pending_cache_.insert(event.request);
+      CheckLedger(event);
+      break;
     case TraceEventKind::kCacheAdmitRevoked:
       // Lifecycle effects arrive as their own kSubmitAccepted / kPause
       // events; the snapshot attached here must still agree.
       CheckLedger(event);
+      break;
+    case TraceEventKind::kSessionBatched:
+    case TraceEventKind::kSessionPatched:
+    case TraceEventKind::kSessionMerged:
+      // Session events carry no slot snapshot (batching and merging move no
+      // slots); only the merge bookkeeping is checked.
+      HandleSession(event);
       break;
     case TraceEventKind::kBlockSkipped:
     case TraceEventKind::kBlockRelocated:

@@ -25,6 +25,12 @@
 //    fits its Eq. 11 budget; a retry completing past the budget it was
 //    checked against would have eaten the continuity slack of every other
 //    stream in the round.
+//  - Cache tenancy: a cache-admitted stream never holds an Eq. 17 slot, so
+//    its revocation or departure must not justify a k-shrink, and the
+//    ledger's cache_tenants column must replay exactly.
+//  - Stream merging: a patch needs a positive gap and a positive Section 3
+//    runway bound; a merge needs a preceding patch and a realized runway
+//    within the bound stamped at patch time.
 //
 // It can run online (as the scheduler's TraceSink) or replay a recorded
 // TraceLog after the fact. In strict mode, tests assert Clean().
@@ -35,6 +41,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -98,6 +105,16 @@ class ContinuityAuditor : public TraceSink {
     // Whether the request had joined the service rotation before a pause,
     // so a non-destructive resume restores the right ledger column.
     bool activated = false;
+    // Cache-admitted tenant: rides the rotation without an Eq. 17 slot.
+    // Its lifecycle must never set slot_released_ — a k-shrink justified
+    // by a cache tenant's departure would eat a real stream's slack.
+    bool cache = false;
+  };
+  struct SessionState {
+    bool patched = false;       // a kSessionPatched was seen for this session
+    bool merged = false;        // the patch already closed its gap
+    int64_t gap_blocks = 0;     // distance behind the leader at attach
+    int64_t runway_bound = 0;   // Section 3 buffer bound stamped at patch time
   };
 
   void Flag(const TraceEvent& event, std::string what);
@@ -105,10 +122,17 @@ class ContinuityAuditor : public TraceSink {
   void CheckLedger(const TraceEvent& event);
   void HandleLifecycle(const TraceEvent& event);
   void HandleRound(const TraceEvent& event);
+  void HandleSession(const TraceEvent& event);
 
   AuditorOptions options_;
   ViolationHandler violation_handler_;
   std::map<uint64_t, RequestState> requests_;
+  // kCacheAdmit precedes the lifecycle event it qualifies (kSubmitAccepted
+  // for a fresh tenant, the destructive-path kResume for a re-application):
+  // the id is latched here and the flag applied when that event arrives.
+  std::set<uint64_t> pending_cache_;
+  // Per-session merge bookkeeping (kSessionPatched -> kSessionMerged).
+  std::map<uint64_t, SessionState> sessions_;
   std::vector<AuditViolation> violations_;
 
   // Round bookkeeping.

@@ -62,6 +62,36 @@ void SloTracker::OnEvent(const TraceEvent& event) {
         it->second.slo.completed = true;
       }
       break;
+    case TraceEventKind::kSessionBatched:
+      ++sessions_batched_;
+      if (auto it = streams_.find(event.leader); it != streams_.end()) {
+        StreamSlo& leader = it->second.slo;
+        leader.session = event.session;
+        ++leader.session_riders;
+      }
+      break;
+    case TraceEventKind::kSessionPatched:
+      ++sessions_patched_;
+      if (auto it = streams_.find(event.leader); it != streams_.end()) {
+        it->second.slo.session = event.session;
+      }
+      if (auto it = streams_.find(event.request); it != streams_.end()) {
+        StreamSlo& patch = it->second.slo;
+        patch.session = event.session;
+        patch.session_leader = event.leader;
+        patch.session_patch = true;
+      }
+      break;
+    case TraceEventKind::kSessionMerged:
+      ++sessions_merged_;
+      if (auto it = streams_.find(event.request); it != streams_.end()) {
+        it->second.slo.session_merged = true;
+      }
+      if (auto it = streams_.find(event.leader); it != streams_.end()) {
+        // The merged rider now consumes from the leader's deliveries.
+        ++it->second.slo.session_riders;
+      }
+      break;
     default:
       break;
   }
@@ -129,6 +159,9 @@ SloReport SloTracker::Report() const {
   SloReport report;
   report.options = options_;
   report.rounds_total = rounds_total_;
+  report.sessions_batched = sessions_batched_;
+  report.sessions_patched = sessions_patched_;
+  report.sessions_merged = sessions_merged_;
   report.streams.reserve(streams_.size());
   for (const auto& [id, state] : streams_) {
     report.streams.push_back(state.slo);
@@ -176,6 +209,9 @@ std::string SloReport::ToJson() const {
   AppendDouble(&json, options.slo_target);
   json += ", \"rounds_total\": " + std::to_string(rounds_total);
   json += ", \"breached_streams\": " + std::to_string(BreachedStreams());
+  json += ", \"sessions_batched\": " + std::to_string(sessions_batched);
+  json += ", \"sessions_patched\": " + std::to_string(sessions_patched);
+  json += ", \"sessions_merged\": " + std::to_string(sessions_merged);
   json += ", \"streams\": [";
   bool first_stream = true;
   for (const StreamSlo& slo : streams) {
@@ -204,6 +240,11 @@ std::string SloReport::ToJson() const {
     AppendField(&json, "blocks_retried", static_cast<double>(slo.blocks_retried), &first);
     AppendField(&json, "degraded_ratio", slo.DegradedRatio(), &first);
     AppendField(&json, "continuity_met", slo.ContinuityMet(options) ? 1.0 : 0.0, &first);
+    AppendField(&json, "session", static_cast<double>(slo.session), &first);
+    AppendField(&json, "session_leader", static_cast<double>(slo.session_leader), &first);
+    AppendField(&json, "session_riders", static_cast<double>(slo.session_riders), &first);
+    AppendField(&json, "session_patch", slo.session_patch ? 1.0 : 0.0, &first);
+    AppendField(&json, "session_merged", slo.session_merged ? 1.0 : 0.0, &first);
     json += "}";
   }
   json += "]}";

@@ -71,6 +71,15 @@ struct StreamSlo {
   int64_t blocks_skipped = 0;
   int64_t blocks_retried = 0;
 
+  // Session layer (src/msm/session_manager.h): 0 = solo stream. A leader
+  // carries batched riders on its physical stream; a patch is a short
+  // catch-up stream that merges into its leader when the gap closes.
+  uint64_t session = 0;
+  uint64_t session_leader = 0;  // for a patch: the leader's request id
+  int64_t session_riders = 0;   // for a leader: viewers riding its stream
+  bool session_patch = false;   // this stream is a catch-up patch
+  bool session_merged = false;  // the patch closed its gap
+
   double WithinBudgetFraction() const {
     return rounds_accounted > 0
                ? static_cast<double>(rounds_within_budget) /
@@ -103,6 +112,11 @@ struct StreamSlo {
 struct SloReport {
   SloOptions options;
   int64_t rounds_total = 0;
+  // Session-layer aggregates: viewers attached inside the batch window,
+  // patches opened, and patches that merged.
+  int64_t sessions_batched = 0;
+  int64_t sessions_patched = 0;
+  int64_t sessions_merged = 0;
   std::vector<StreamSlo> streams;  // ordered by request id
 
   // Streams whose verdict fails under `options`.
@@ -153,6 +167,9 @@ class SloTracker : public TraceSink {
   BreachHandler breach_handler_;
   std::map<uint64_t, StreamState> streams_;
   std::vector<RoundService> round_services_;
+  int64_t sessions_batched_ = 0;
+  int64_t sessions_patched_ = 0;
+  int64_t sessions_merged_ = 0;
   int64_t rounds_total_ = 0;
   int64_t round_k_ = 0;
   SimTime round_start_time_ = 0;

@@ -72,6 +72,12 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "cache_admit_revoked";
     case TraceEventKind::kCacheInvalidate:
       return "cache_invalidate";
+    case TraceEventKind::kSessionBatched:
+      return "session_batched";
+    case TraceEventKind::kSessionPatched:
+      return "session_patched";
+    case TraceEventKind::kSessionMerged:
+      return "session_merged";
   }
   return "unknown";
 }
@@ -115,6 +121,14 @@ std::string TraceEventSummary(const TraceEvent& event) {
   }
   if (event.destructive) {
     line += " destructive";
+  }
+  if (event.session != 0) {
+    line += " session=" + std::to_string(event.session);
+    if (event.leader != 0) {
+      line += " leader=" + std::to_string(event.leader);
+    }
+    line += " gap=" + std::to_string(event.gap_blocks) +
+            " runway=" + std::to_string(event.runway_blocks);
   }
   if (!event.detail.empty()) {
     line += " [" + event.detail + "]";
@@ -189,6 +203,8 @@ void MetricsSink::OnEvent(const TraceEvent& event) {
           .Set(static_cast<double>(event.slots.paused_nondestructive));
       m.gauge("scheduler.slots_paused_destructive")
           .Set(static_cast<double>(event.slots.paused_destructive));
+      m.gauge("scheduler.slots_cache_tenants")
+          .Set(static_cast<double>(event.slots.cache_tenants));
       m.gauge("scheduler.slots_held").Set(static_cast<double>(event.slots.Held()));
       break;
     case TraceEventKind::kBlockRetried:
@@ -288,6 +304,18 @@ void MetricsSink::OnEvent(const TraceEvent& event) {
     case TraceEventKind::kCacheInvalidate:
       m.counter("cache.invalidations").Increment();
       m.counter("cache.invalidated_entries").Increment(event.blocks);
+      break;
+    case TraceEventKind::kSessionBatched:
+      m.counter("sessions.batched").Increment();
+      break;
+    case TraceEventKind::kSessionPatched:
+      m.counter("sessions.patched").Increment();
+      m.histogram("sessions.patch_gap_blocks").Record(static_cast<double>(event.gap_blocks));
+      break;
+    case TraceEventKind::kSessionMerged:
+      m.counter("sessions.merged").Increment();
+      m.histogram("sessions.merge_runway_blocks")
+          .Record(static_cast<double>(event.runway_blocks));
       break;
   }
 }

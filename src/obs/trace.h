@@ -61,6 +61,10 @@ enum class TraceEventKind {
   kCacheAdmit,       // a stream admitted on expected cache coverage
   kCacheAdmitRevoked,  // coverage collapsed; the stream degraded out
   kCacheInvalidate,  // rewritten sectors dropped resident cache entries
+  // Stream-merging session layer (src/msm/session_manager.h).
+  kSessionBatched,  // a viewer attached to a leader inside the batch window
+  kSessionPatched,  // a late viewer opened a short catch-up stream
+  kSessionMerged,   // the patch closed its gap; the rider now follows the leader
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -73,12 +77,15 @@ std::string TraceEventSummary(const TraceEvent& event);
 
 // Snapshot of the scheduler's admission-slot ledger, attached to lifecycle
 // and round events. A slot is held by running, pending and non-destructively
-// paused requests; a destructive pause gives the slot back.
+// paused requests; a destructive pause gives the slot back. Cache-admitted
+// streams are tenants of the cache, not of an Eq. 17 slot: they ride the
+// rotation but are counted in their own column and never in Held().
 struct SlotSnapshot {
   int64_t active = 0;
   int64_t pending = 0;
   int64_t paused_nondestructive = 0;
   int64_t paused_destructive = 0;
+  int64_t cache_tenants = 0;  // cache-admitted, not destructively paused
 
   int64_t Held() const { return active + pending + paused_nondestructive; }
   bool operator==(const SlotSnapshot&) const = default;
@@ -120,6 +127,11 @@ struct TraceEvent {
   int64_t cache_pinned_entries = 0;
   int64_t cache_evictions = 0;
   double cache_hit_rate = 0.0;  // recent-window rate, [0, 1]
+  // Session layer (kSessionBatched / kSessionPatched / kSessionMerged).
+  uint64_t session = 0;       // session id; 0 = not session-scoped
+  uint64_t leader = 0;        // request id of the shared physical stream
+  int64_t gap_blocks = 0;     // rider's distance behind the leader at attach
+  int64_t runway_blocks = 0;  // patched: Section 3 buffer bound; merged: realized
   SlotSnapshot slots;
   std::string detail;  // human-readable context, e.g. a rejection reason
 };

@@ -1,0 +1,79 @@
+#include "src/sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vafs {
+namespace sim {
+
+ZipfPopularity::ZipfPopularity(int64_t titles, double exponent) {
+  const int64_t count = std::max<int64_t>(titles, 1);
+  cdf_.resize(static_cast<size_t>(count));
+  double total = 0.0;
+  for (int64_t t = 0; t < count; ++t) {
+    total += 1.0 / std::pow(static_cast<double>(t + 1), exponent);
+    cdf_[static_cast<size_t>(t)] = total;
+  }
+  for (double& value : cdf_) {
+    value /= total;
+  }
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+int64_t ZipfPopularity::Sample(Prng* prng) const {
+  const double u = prng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+double ZipfPopularity::Probability(int64_t title) const {
+  if (title < 0 || title >= titles()) {
+    return 0.0;
+  }
+  const double upper = cdf_[static_cast<size_t>(title)];
+  const double lower = title == 0 ? 0.0 : cdf_[static_cast<size_t>(title - 1)];
+  return upper - lower;
+}
+
+WorkloadEngine::WorkloadEngine(WorkloadOptions options)
+    : options_(options), popularity_(options.titles, options.zipf_exponent) {}
+
+std::vector<WorkloadArrival> WorkloadEngine::Generate() const {
+  std::vector<WorkloadArrival> arrivals;
+  Prng prng(options_.seed);
+  const double base_rate = std::max(options_.arrival_rate_per_sec, 1e-9);
+  const double flash_mult = std::max(options_.flash_rate_multiplier, 1.0);
+  const double flash_end = options_.flash_start_sec + options_.flash_duration_sec;
+  // Thinning: draw exponential gaps at the peak (flash) rate everywhere,
+  // then keep an off-flash arrival with probability base/peak. One stream
+  // of draws covers both regimes, so moving or widening the flash window
+  // leaves the trace before it untouched.
+  const double peak_rate = base_rate * flash_mult;
+  double now = 0.0;
+  while (true) {
+    const double u = std::max(prng.NextDouble(), 1e-12);
+    now += -std::log(u) / peak_rate;
+    if (now >= options_.duration_sec) {
+      break;
+    }
+    const bool in_flash = options_.flash_duration_sec > 0.0 && now >= options_.flash_start_sec &&
+                          now < flash_end;
+    const double keep = prng.NextDouble();
+    if (!in_flash && keep >= base_rate / peak_rate) {
+      continue;  // thinned: this draw only exists at the flash rate
+    }
+    WorkloadArrival arrival;
+    arrival.time_sec = now;
+    arrival.flash = in_flash;
+    if (in_flash && prng.NextDouble() < options_.flash_title_bias) {
+      arrival.title = std::clamp<int64_t>(options_.flash_title, 0, popularity_.titles() - 1);
+    } else {
+      arrival.title = popularity_.Sample(&prng);
+    }
+    arrivals.push_back(arrival);
+  }
+  return arrivals;
+}
+
+}  // namespace sim
+}  // namespace vafs

@@ -1,0 +1,89 @@
+// Deterministic viewer-arrival workloads for session and admission studies.
+//
+// Video-on-demand load is not uniform: a few titles draw most of the
+// audience (Zipf popularity), arrivals cluster in time (Poisson at a base
+// rate), and a release or an event can point a flash crowd at one title
+// for a bounded burst. The stream-merging session layer
+// (src/msm/session_manager.h) exists precisely because of that shape —
+// batching and patching only pay off when many viewers want the same title
+// close together — so its benchmarks need a workload engine that produces
+// it on demand, reproducibly.
+//
+// Everything is driven by one Prng seed: the same WorkloadOptions always
+// generate the same arrival trace, block by block, so a benchmark can
+// replay the identical crowd against different admission policies and a
+// regression can assert exact admission sequences.
+
+#ifndef VAFS_SRC_SIM_WORKLOAD_H_
+#define VAFS_SRC_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/prng.h"
+
+namespace vafs {
+namespace sim {
+
+// Zipf(s) popularity over `titles` items: title t (0-based) is drawn with
+// probability proportional to 1 / (t + 1)^s. Sampling inverts the CDF, so
+// one Prng draw yields one title and the sequence is seed-stable.
+class ZipfPopularity {
+ public:
+  ZipfPopularity(int64_t titles, double exponent);
+
+  int64_t Sample(Prng* prng) const;
+  // P(title), for tests asserting the realized skew.
+  double Probability(int64_t title) const;
+  int64_t titles() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[t] = P(title <= t)
+};
+
+struct WorkloadOptions {
+  int64_t titles = 20;
+  double zipf_exponent = 1.0;  // 0 = uniform; ~1 = classic VoD skew
+  double duration_sec = 60.0;  // arrival window; nothing arrives past it
+  double arrival_rate_per_sec = 1.0;  // Poisson base rate
+
+  // Flash crowd: for [flash_start_sec, flash_start_sec + flash_duration_sec)
+  // the arrival rate is multiplied by flash_rate_multiplier and each
+  // arrival is redirected to `flash_title` with probability
+  // flash_title_bias (otherwise it samples the Zipf as usual). A
+  // multiplier of 1 with bias 0 disables the flash entirely.
+  double flash_start_sec = 0.0;
+  double flash_duration_sec = 0.0;
+  double flash_rate_multiplier = 1.0;
+  double flash_title_bias = 0.0;
+  int64_t flash_title = 0;
+
+  uint64_t seed = 1;
+};
+
+struct WorkloadArrival {
+  double time_sec = 0.0;
+  int64_t title = 0;
+  bool flash = false;  // arrived inside the flash-crowd burst
+};
+
+// Generates the full arrival trace for one run, sorted by time. Poisson
+// arrivals are produced by exponential inter-arrival gaps at the peak rate
+// and thinned outside the flash window, so a sweep that moves or widens
+// the flash leaves the trace before the window untouched.
+class WorkloadEngine {
+ public:
+  explicit WorkloadEngine(WorkloadOptions options);
+
+  std::vector<WorkloadArrival> Generate() const;
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  WorkloadOptions options_;
+  ZipfPopularity popularity_;
+};
+
+}  // namespace sim
+}  // namespace vafs
+
+#endif  // VAFS_SRC_SIM_WORKLOAD_H_

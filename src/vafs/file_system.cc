@@ -72,6 +72,15 @@ MultimediaFileSystem::MultimediaFileSystem(const FileSystemConfig& config) : con
   admission_ = std::make_unique<AdmissionControl>(storage, avg_scattering);
   scheduler_ =
       std::make_unique<ServiceScheduler>(store_.get(), &simulator_, *admission_, config_.scheduler);
+  if (config_.sessions.enabled && telemetry_ != nullptr) {
+    // The manager observes stream progress from the tee and emits session
+    // events back into it; registered last so its nested emissions reach
+    // the other sinks after the event that triggered them.
+    session_manager_ = std::make_unique<SessionManager>(scheduler_.get(), &simulator_,
+                                                        block_cache_.get(), &telemetry_->tee,
+                                                        config_.sessions);
+    telemetry_->tee.Add(session_manager_.get());
+  }
   ropes_ = std::make_unique<RopeServer>(store_.get());
   text_files_ = std::make_unique<TextFileService>(disk_.get(), &store_->allocator());
   InstallListeners();
@@ -182,8 +191,9 @@ Result<RequestId> MultimediaFileSystem::StartTimedRecording(const MediaProfile& 
   return scheduler_->SubmitRecording(request);
 }
 
-Result<RequestId> MultimediaFileSystem::Play(const std::string& user, RopeId rope, Medium medium,
-                                             TimeInterval interval, double rate_multiplier) {
+Result<PlaybackRequest> MultimediaFileSystem::BuildPlayback(const std::string& user, RopeId rope,
+                                                            Medium medium, TimeInterval interval,
+                                                            double rate_multiplier) {
   Result<const Rope*> rope_ptr = ropes_->Find(rope);
   if (!rope_ptr.ok()) {
     return rope_ptr.status();
@@ -218,7 +228,30 @@ Result<RequestId> MultimediaFileSystem::Play(const std::string& user, RopeId rop
   request.spec =
       RequestSpec{MediaProfile{medium, track.rate, bits_per_unit}, track.granularity};
   request.rate_multiplier = rate_multiplier;
-  return scheduler_->SubmitPlayback(std::move(request));
+  return request;
+}
+
+Result<RequestId> MultimediaFileSystem::Play(const std::string& user, RopeId rope, Medium medium,
+                                             TimeInterval interval, double rate_multiplier) {
+  Result<PlaybackRequest> request = BuildPlayback(user, rope, medium, interval, rate_multiplier);
+  if (!request.ok()) {
+    return request.status();
+  }
+  return scheduler_->SubmitPlayback(std::move(*request));
+}
+
+Result<SessionTicket> MultimediaFileSystem::OpenSession(const std::string& user, RopeId rope,
+                                                        Medium medium, TimeInterval interval) {
+  if (session_manager_ == nullptr) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "session layer disabled (FileSystemConfig::sessions.enabled "
+                  "requires telemetry)");
+  }
+  Result<PlaybackRequest> request = BuildPlayback(user, rope, medium, interval, 1.0);
+  if (!request.ok()) {
+    return request.status();
+  }
+  return session_manager_->Open(rope, std::move(*request));
 }
 
 Status MultimediaFileSystem::Checkpoint() {
@@ -287,6 +320,11 @@ Status MultimediaFileSystem::Recover() {
     // flowing into the same pipeline.
     store_->set_trace_sink(&telemetry_->tee);
     disk_->set_trace_sink(&telemetry_->tee);
+  }
+  if (session_manager_ != nullptr) {
+    // Same tee registration, fresh scheduler: every leader and patch died
+    // with the crash, so the manager drops its groups wholesale.
+    session_manager_->Rebind(scheduler_.get());
   }
   InstallListeners();
   if (image_receipt_.valid) {

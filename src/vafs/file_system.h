@@ -23,6 +23,7 @@
 #include "src/media/sources.h"
 #include "src/msm/recorder.h"
 #include "src/msm/service_scheduler.h"
+#include "src/msm/session_manager.h"
 #include "src/msm/strand_store.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/slo.h"
@@ -66,6 +67,11 @@ struct FileSystemConfig {
   // conservative value (the video placement's upper bound).
   double assumed_avg_scattering_sec = -1.0;
   bool retain_data = true;  // false: timing-only simulation (fast benches)
+  // Stream-merging session layer (src/msm/session_manager.h). When enabled
+  // the facade owns a SessionManager fed from the telemetry tee; viewers
+  // admitted through OpenSession() share physical streams by batching and
+  // patching. Requires telemetry (the manager observes the trace stream).
+  SessionOptions sessions;
   // Disk fault injection (src/disk/fault_injector.h). The default injects
   // nothing and leaves every simulation bit-identical.
   FaultOptions faults;
@@ -87,6 +93,8 @@ class MultimediaFileSystem {
   const AdmissionControl& admission() const { return *admission_; }
   // Null unless FileSystemConfig::block_cache has a positive capacity.
   BlockCache* block_cache() { return block_cache_.get(); }
+  // Null unless FileSystemConfig::sessions.enabled (with telemetry on).
+  SessionManager* session_manager() { return session_manager_.get(); }
 
   // Placement derived for a media profile under the configured
   // architecture (granularity + scattering bounds).
@@ -117,6 +125,13 @@ class MultimediaFileSystem {
   // simulation with RunUntilIdle() and inspect Stats().
   Result<RequestId> Play(const std::string& user, RopeId rope, Medium medium,
                          TimeInterval interval, double rate_multiplier = 1.0);
+
+  // PLAY through the stream-merging session layer: viewers of one rope
+  // arriving close together share a physical stream (batching), or catch
+  // up on a short patch stream that merges into the leader. The rope id is
+  // the session title. Requires FileSystemConfig::sessions.enabled.
+  Result<SessionTicket> OpenSession(const std::string& user, RopeId rope, Medium medium,
+                                    TimeInterval interval);
 
   Status Stop(RequestId request) { return scheduler_->Stop(request); }
   Status Pause(RequestId request, bool destructive) {
@@ -192,6 +207,10 @@ class MultimediaFileSystem {
   // (or a failed append) stops journaling until the next checkpoint.
   void Journal(Intent intent, const std::vector<uint8_t>& payload);
   void InstallListeners();
+  // Resolves a rope interval into the fully solo PlaybackRequest Play()
+  // would submit (shared by Play and OpenSession).
+  Result<PlaybackRequest> BuildPlayback(const std::string& user, RopeId rope, Medium medium,
+                                        TimeInterval interval, double rate_multiplier);
 
   // The built-in telemetry pipeline (constructed only when enabled): one
   // tee fanning the trace stream into the bounded log, the metrics fold,
@@ -217,6 +236,7 @@ class MultimediaFileSystem {
   std::unique_ptr<ContinuityModel> continuity_;
   std::unique_ptr<AdmissionControl> admission_;
   std::unique_ptr<ServiceScheduler> scheduler_;
+  std::unique_ptr<SessionManager> session_manager_;
   std::unique_ptr<RopeServer> ropes_;
   std::unique_ptr<TextFileService> text_files_;
   SilenceDetector silence_detector_;

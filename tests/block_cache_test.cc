@@ -172,6 +172,44 @@ TEST(BlockCacheTest, RecentHitRateTracksTheWindow) {
   EXPECT_LT(cache.RecentHitRate(), 0.5);
 }
 
+TEST(BlockCacheTest, InvalidationDecaysTheHitWindow) {
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 1 << 20, .hit_window = 64});
+  for (int i = 0; i < 8; ++i) {
+    cache.Insert(i * 10, 8, 4096, false);
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(cache.Lookup(i * 10, 8));
+    }
+  }
+  EXPECT_DOUBLE_EQ(cache.RecentHitRate(), 1.0);
+  // Half the entries vanish under an invalidation: the evidence behind
+  // those hits is gone, so the estimate must decay in proportion instead
+  // of reporting a perfect window built on departed extents.
+  cache.InvalidateRange(0, 38);  // drops sectors 0, 10, 20, 30
+  EXPECT_LE(cache.RecentHitRate(), 0.5 + 1e-9);
+  EXPECT_GT(cache.RecentHitRate(), 0.0);
+  // A storm that empties the cache resets the window outright: the next
+  // admission decision starts from zero evidence, not stale history.
+  cache.InvalidateAll();
+  EXPECT_DOUBLE_EQ(cache.RecentHitRate(), 0.0);
+}
+
+TEST(BlockCacheTest, PinFailsWhenExtentIsNotResident) {
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 4096});
+  cache.Insert(0, 8, 4096, false);
+  EXPECT_TRUE(cache.Pin(0, 8));
+  // The insert is dropped (everything resident is pinned), so the pin
+  // must report failure instead of silently doing nothing...
+  cache.Insert(100, 8, 4096, false);
+  EXPECT_FALSE(cache.Pin(100, 8));
+  // ...and a length mismatch is not the pinned extent either.
+  EXPECT_FALSE(cache.Pin(0, 4));
+  // Unpinning the failed extent must not release the real pin.
+  cache.Unpin(100, 8);
+  EXPECT_EQ(cache.stats().pinned_entries, 1);
+}
+
 // --- Invalidation through the store (coherence) -------------------------
 
 class CacheCoherenceTest : public ::testing::Test {
@@ -297,6 +335,40 @@ TEST_F(CacheCoherenceTest, DeleteInvalidatesTheStrandExtents) {
   ASSERT_TRUE(store_.Delete(id).ok());
   EXPECT_EQ(cache_.stats().resident_entries, 0);
   EXPECT_EQ(cache_.stats().invalidated_entries, resident_before);
+}
+
+TEST_F(CacheCoherenceTest, DeleteResetsTheRecentHitRate) {
+  const StrandId id = RecordStrand(2.0, 21);
+  PrimeCache(id);
+  const Strand* strand = *store_.Get(id);
+  for (int64_t b = 0; b < strand->block_count(); ++b) {
+    const PrimaryEntry entry = *strand->index().Lookup(b);
+    if (!entry.IsSilence()) {
+      EXPECT_TRUE(cache_.Lookup(entry.sector, entry.sector_count));
+    }
+  }
+  EXPECT_DOUBLE_EQ(cache_.RecentHitRate(), 1.0);
+  // Deleting the strand drops every entry behind that perfect window; an
+  // admission decision made on the stale rate would admit against extents
+  // that no longer exist.
+  ASSERT_TRUE(store_.Delete(id).ok());
+  EXPECT_DOUBLE_EQ(cache_.RecentHitRate(), 0.0);
+}
+
+TEST_F(CacheCoherenceTest, RelocationDecaysTheRecentHitRate) {
+  const StrandId id = RecordStrand(2.0, 29);
+  BlanketPrime();
+  // A perfect window measured over blanket chunks...
+  for (int64_t s = 0; s + kChunk <= 64 * kChunk; s += kChunk) {
+    EXPECT_TRUE(cache_.Lookup(s, kChunk));
+  }
+  EXPECT_DOUBLE_EQ(cache_.RecentHitRate(), 1.0);
+  // ...must lose weight when relocation rewrites sectors under the cache,
+  // even though most of the blanket survives.
+  Result<BlockRelocationOutcome> outcome = RelocateBlocks(&store_, id, 1, 2);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_GT(cache_.stats().invalidated_entries, 0);
+  EXPECT_LT(cache_.RecentHitRate(), 1.0);
 }
 
 // --- Shared-strand playback: no block is read twice ---------------------

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "src/msm/block_cache.h"
 #include "src/msm/recorder.h"
 #include "src/msm/service_scheduler.h"
 #include "src/obs/auditor.h"
@@ -441,6 +442,100 @@ TEST_F(SchedulerTest, StartupLatencyStaysUnsetWhenStoppedBeforeStart) {
   EXPECT_TRUE(stats->completed);
   EXPECT_EQ(stats->blocks_done, 0);
   EXPECT_EQ(stats->startup_latency, RequestStats::kUnsetLatency);
+}
+
+TEST_F(SchedulerTest, CacheAdmitRevocationKeepsTheSlotLedgerBalanced) {
+  // Regression: a cache-admitted viewer never held an Eq. 17 slot, so the
+  // revocation path (destructive pause) must not release one, and a later
+  // Resume that succeeds under plain admission must take exactly one. The
+  // strict auditor replays the whole lifecycle against the slot ledger.
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 1 << 22});
+  SchedulerOptions options = Traced();
+  options.service_order = ServiceOrder::kPlanned;
+  options.block_cache = &cache;
+  options.cache_aware_admission = true;
+  PlaybackRequest shared = MakePlayback(4.0, 401);
+  const int64_t total = static_cast<int64_t>(shared.blocks.size());
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), options);
+
+  // A leader on the shared strand, then distinct-strand fillers up to the
+  // Eq. 17 ceiling. The cache is cold and no filler shares a strand, so
+  // the first failure is a genuine rejection, not a cache admit.
+  PlaybackRequest leader_request = shared;
+  Result<RequestId> leader = scheduler.SubmitPlayback(std::move(leader_request));
+  ASSERT_TRUE(leader.ok());
+  std::vector<RequestId> fillers;
+  for (int i = 0; i < 64; ++i) {
+    Result<RequestId> id = scheduler.SubmitPlayback(MakePlayback(4.0, 500 + i));
+    if (!id.ok()) {
+      break;
+    }
+    fillers.push_back(*id);
+  }
+  ASSERT_LT(fillers.size(), 64u) << "never reached the admission ceiling";
+
+  // A lockstep viewer of the leader's strand rides its scheduled reads:
+  // expected coverage ~1.0, admitted past the full Eq. 17 table.
+  Result<RequestId> rider = scheduler.SubmitPlayback(std::move(shared));
+  ASSERT_TRUE(rider.ok());
+  ASSERT_TRUE(scheduler.stats(*rider)->cache_admitted);
+
+  // Run to mid-stream, then kill the leader: the rider's next rounds find
+  // neither cached extents nor shared transfers, and the collapse detector
+  // must revoke the cache admission.
+  int guard = 0;
+  while (scheduler.stats(*leader)->blocks_done < total / 2) {
+    ASSERT_LT(++guard, 1000) << "leader never reached mid-stream";
+    sim_.RunUntil(sim_.Now() + 100'000);
+  }
+  ASSERT_TRUE(scheduler.Stop(*leader).ok());
+  guard = 0;
+  while (!scheduler.stats(*rider)->paused && !scheduler.stats(*rider)->completed) {
+    ASSERT_LT(++guard, 1000) << "rider neither revoked nor completed";
+    sim_.RunUntil(sim_.Now() + 100'000);
+  }
+  ASSERT_TRUE(scheduler.stats(*rider)->paused);
+  bool revoked = false;
+  for (const obs::TraceEvent& event : log_.events()) {
+    revoked = revoked || (event.kind == obs::TraceEventKind::kCacheAdmitRevoked &&
+                          event.request == *rider);
+  }
+  EXPECT_TRUE(revoked);
+
+  // The leader's slot is free now, so Resume re-applies under plain
+  // admission: the rider holds a regular slot, not a cache tenancy.
+  ASSERT_TRUE(scheduler.Resume(*rider).ok());
+  EXPECT_FALSE(scheduler.stats(*rider)->cache_admitted);
+  scheduler.RunUntilIdle();
+  EXPECT_TRUE(scheduler.stats(*rider)->completed);
+  EXPECT_GT(scheduler.stats(*rider)->blocks_done, 0);
+  for (RequestId id : fillers) {
+    EXPECT_TRUE(scheduler.stats(id)->completed);
+  }
+}
+
+TEST_F(SchedulerTest, AdmitStopCyclesLeaveNoPinnedResidue) {
+  // Regression: prelude read-ahead pages are pinned before playback
+  // starts; a Stop (or revocation) before consumption must unpin exactly
+  // the pins that landed. A request that recorded pins its inserts never
+  // took would slowly turn the cache into unevictable pinned residue.
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 1 << 22});
+  SchedulerOptions options = Traced();
+  options.service_order = ServiceOrder::kPlanned;
+  options.block_cache = &cache;
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), options);
+  const PlaybackRequest prototype = MakePlayback(3.0, 461);
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    PlaybackRequest request = prototype;
+    Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+    ASSERT_TRUE(id.ok());
+    // Stop at a different point each cycle: immediately, mid-prelude, and
+    // after playback start all exercise a different unpin path.
+    sim_.RunUntil(sim_.Now() + cycle * 40'000);
+    ASSERT_TRUE(scheduler.Stop(*id).ok());
+    scheduler.RunUntilIdle();
+    EXPECT_EQ(cache.stats().pinned_entries, 0) << "cycle " << cycle;
+  }
 }
 
 TEST_F(SchedulerTest, EmptyRequestsRejected) {

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CI gate over the stream-merging bench artifact.
+
+Run from a directory containing BENCH_merge_metrics.json (dropped by
+bench_merge next to its printed tables). Fails (exit 1) when:
+
+  - the session layer did not serve more viewers at the continuity SLO
+    than the Eq. 17 ceiling n_max, the plain Eq. 17 run, or the PR 5
+    planned+cache stack on the identical seeded Zipf/flash-crowd trace;
+  - nobody actually batched or patched (the extra admissions must come
+    from stream sharing, not slack in the workload);
+  - any session-layer viewer breached the SLO, a patched rider degraded,
+    or the strict ContinuityAuditor flagged the replayed trace;
+  - the run was not deterministic (same seed must reproduce the exact
+    admission sequence).
+"""
+
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(message: str) -> None:
+    FAILURES.append(message)
+    print(f"FAIL: {message}")
+
+
+def load(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            return json.load(fp)
+    except FileNotFoundError:
+        fail(f"{path}: missing artifact")
+    except json.JSONDecodeError as err:
+        fail(f"{path}: invalid JSON ({err})")
+    return None
+
+
+def check_merge(path: str) -> None:
+    data = load(path)
+    if data is None:
+        return
+    merge = data.get("merge", {})
+    n_max = merge.get("n_max", 0)
+    eq17 = merge.get("eq17", {})
+    cache = merge.get("cache", {})
+    sessions = merge.get("sessions", {})
+    census = merge.get("census", {})
+
+    served = sessions.get("served", 0)
+    if served <= n_max:
+        fail(f"{path}: sessions served {served} viewers, not past n_max = {n_max}")
+    if served <= eq17.get("served", 0):
+        fail(f"{path}: sessions served {served}, no better than Eq. 17 alone "
+             f"({eq17.get('served', 0)})")
+    if served <= cache.get("served", 0):
+        fail(f"{path}: sessions served {served}, no better than the planned+cache "
+             f"stack ({cache.get('served', 0)})")
+    if not FAILURES:
+        print(f"ok: sessions served {served} viewers > cache {cache.get('served', 0)} "
+              f"> eq17 {eq17.get('served', 0)} (n_max = {n_max})")
+
+    if census.get("batched", 0) + census.get("patched", 0) <= 0:
+        fail(f"{path}: no viewer was batched or patched — nothing merged")
+    if census.get("merged", 0) < census.get("patched", 0):
+        fail(f"{path}: {census.get('patched', 0)} patches opened but only "
+             f"{census.get('merged', 0)} merged")
+    if census.get("degraded", 0) != 0:
+        fail(f"{path}: {census.get('degraded')} riders degraded in a fault-free run")
+
+    if sessions.get("breaches", 1) != 0:
+        fail(f"{path}: {sessions.get('breaches')} session-layer streams breached their SLO")
+    within = sessions.get("within_budget_min", 0.0)
+    if within < 0.999:
+        fail(f"{path}: worst session stream only {within:.4f} of rounds within budget")
+    for mode in ("eq17", "cache", "sessions"):
+        if not merge.get(mode, {}).get("audit_clean", False):
+            fail(f"{path}: {mode} trace did not replay clean through the strict auditor")
+    if not merge.get("deterministic", False):
+        fail(f"{path}: repeated run diverged — admissions are not seed-deterministic")
+
+
+def main() -> int:
+    check_merge("BENCH_merge_metrics.json")
+    if FAILURES:
+        print(f"{len(FAILURES)} stream-merging gate(s) failed")
+        return 1
+    print("all stream-merging gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

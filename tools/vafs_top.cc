@@ -160,6 +160,39 @@ void RenderRecovery(const JsonValue* counters) {
               Num(counters, "persistence.journal_replays"), Num(counters, "fsck.findings"));
 }
 
+void RenderSessions(const JsonValue* slo) {
+  if (slo == nullptr || !slo->is_object()) {
+    return;
+  }
+  const double batched = Num(slo, "sessions_batched");
+  const double patched = Num(slo, "sessions_patched");
+  const double merged = Num(slo, "sessions_merged");
+  if (batched + patched + merged <= 0) {
+    return;  // session layer disabled or nobody shared a stream
+  }
+  std::printf("[sessions]  (stream merging: batched riders + patched catch-ups)\n");
+  std::printf("  batched=%.0f  patched=%.0f  merged=%.0f  unmerged patches=%.0f\n", batched,
+              patched, merged, patched - merged);
+  const JsonValue* streams = Child(slo, "streams");
+  if (streams != nullptr && streams->is_array()) {
+    for (const JsonValue& s : streams->array) {
+      const double riders = Num(&s, "session_riders");
+      const double patch = Num(&s, "session_patch");
+      if (riders <= 0 && patch <= 0) {
+        continue;
+      }
+      if (patch > 0) {
+        std::printf("  req %4.0f: patch stream for leader %.0f%s\n", Num(&s, "request"),
+                    Num(&s, "session_leader"),
+                    Num(&s, "session_merged") > 0 ? " (merged)" : "");
+      } else {
+        std::printf("  req %4.0f: leader carrying %.0f rider(s)\n", Num(&s, "request"), riders);
+      }
+    }
+  }
+  std::printf("\n");
+}
+
 void RenderStreams(const JsonValue* slo) {
   if (slo == nullptr || !slo->is_object()) {
     return;
@@ -203,12 +236,20 @@ int RenderSnapshot(const std::string& text, const char* source) {
   } else {
     std::printf("\n");
   }
+  // A bare SLO report (WriteSloJson's BENCH_*_slo.json) carries no metric
+  // tables; render just the session and stream sections from its root.
+  if (root->StringOr("kind", "") == "vafs.slo.report") {
+    RenderSessions(&*root);
+    RenderStreams(&*root);
+    return 0;
+  }
   const JsonValue* metrics = Child(&*root, "metrics");
   RenderSlots(Child(metrics, "counters"), Child(metrics, "gauges"));
   RenderService(Child(metrics, "counters"), Child(metrics, "histograms"));
   RenderPlanner(Child(metrics, "counters"), Child(metrics, "histograms"));
   RenderCache(Child(metrics, "counters"), Child(metrics, "gauges"));
   RenderRecovery(Child(metrics, "counters"));
+  RenderSessions(Child(&*root, "slo"));
   RenderStreams(Child(&*root, "slo"));
   return 0;
 }
