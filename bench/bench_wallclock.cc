@@ -1,0 +1,260 @@
+// Wall-clock execution engine: rounds/sec at 1/2/4/8 workers over an
+// 8-member array, with determinism receipts.
+//
+// The same planned-round workload (8 streams, one strand each, spread
+// across the array's address space, payload checksumming ON so every
+// member task carries real CPU) runs once per worker count. For each run
+// the bench reports wall-clock rounds/sec plus four digests of the
+// simulated-time results — trace stream, SLO report, payload CRCs and the
+// final completion time. The engine's contract is that every digest is
+// identical across worker counts; tools/check_wallclock.py gates on that
+// (hard) and on multi-worker throughput >= single-worker (relaxed to
+// advisory when the runner has one hardware thread, where no speedup is
+// physically possible).
+//
+// CI gates on BENCH_wallclock_metrics.json via tools/check_wallclock.py.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "src/disk/disk_array.h"
+#include "src/msm/recorder.h"
+#include "src/msm/service_scheduler.h"
+#include "src/util/worker_pool.h"
+
+namespace vafs {
+namespace {
+
+constexpr int kMembers = 8;
+constexpr int kStreams = 8;
+constexpr double kStreamSeconds = 20.0;
+constexpr int kWorkerCounts[] = {1, 2, 4, 8};
+
+// Seek-dominated member geometry (as in bench_roundplan): waves carry
+// enough mechanical time that per-member tasks are worth parallelizing.
+DiskParameters WallclockDisk() {
+  DiskParameters params;
+  params.cylinders = 5000;
+  params.surfaces = 16;
+  params.sectors_per_track = 256;
+  params.rpm = 15000.0;
+  params.min_seek_ms = 5.0;
+  params.max_seek_ms = 50.0;
+  return params;
+}
+
+// Folds every trace event summary into one order-sensitive digest without
+// retaining the log (FNV-1a over the rendered bytes).
+class TraceDigest : public obs::TraceSink {
+ public:
+  void OnEvent(const obs::TraceEvent& event) override {
+    const std::string line = obs::TraceEventSummary(event);
+    for (const char c : line) {
+      digest_ = (digest_ ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+    }
+    ++events_;
+  }
+  uint64_t digest() const { return digest_; }
+  int64_t events() const { return events_; }
+
+ private:
+  uint64_t digest_ = 14695981039346656037ULL;
+  int64_t events_ = 0;
+};
+
+uint64_t FnvOf(const std::string& text) {
+  uint64_t digest = 14695981039346656037ULL;
+  for (const char c : text) {
+    digest = (digest ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return digest;
+}
+
+struct WallclockOutcome {
+  int workers = 0;
+  double wall_sec = 0.0;
+  int64_t rounds = 0;
+  double rounds_per_sec = 0.0;
+  int admitted = 0;
+  uint64_t trace_digest = 0;
+  int64_t trace_events = 0;
+  uint64_t slo_digest = 0;
+  uint64_t payload_digest = 0;
+  SimTime completion = 0;
+};
+
+// One full workload on `workers` wall-clock workers. Everything is built
+// fresh (no state leaks between worker counts); only RunUntilIdle is
+// timed.
+WallclockOutcome RunWorkload(int workers) {
+  const MediaProfile video = UvcCompressedVideo();
+  Disk disk(WallclockDisk(), DiskOptions{.retain_data = false});
+  StrandStore store(&disk);
+  const StorageTimings storage = StorageTimings::FromDiskModel(disk.model());
+  ContinuityModel model(storage, UvcDisplay());
+  const StrandPlacement placement =
+      *model.DerivePlacement(RetrievalArchitecture::kPipelined, video);
+
+  const int64_t blocks_per_stream =
+      static_cast<int64_t>(kStreamSeconds * video.units_per_sec) / placement.granularity;
+  const std::vector<uint8_t> payload(
+      static_cast<size_t>(placement.granularity * video.bits_per_unit / 8), 0x5A);
+  std::vector<std::vector<PrimaryEntry>> strands;
+  for (int s = 0; s < kStreams; ++s) {
+    Result<std::unique_ptr<StrandWriter>> writer = store.CreateStrand(video, placement);
+    (*writer)->SetAllocationHint(s * (disk.total_sectors() / kStreams));
+    for (int64_t b = 0; b < blocks_per_stream; ++b) {
+      (void)(*writer)->AppendBlock(payload);
+    }
+    const StrandId id = *(*writer)->Finish(blocks_per_stream * placement.granularity);
+    const Strand* strand = *store.Get(id);
+    std::vector<PrimaryEntry> blocks;
+    for (int64_t b = 0; b < strand->block_count(); ++b) {
+      blocks.push_back(*strand->index().Lookup(b));
+    }
+    strands.push_back(std::move(blocks));
+  }
+
+  // Members retain data so the payload CRC reads real bytes back.
+  DiskArray array(WallclockDisk(), kMembers);
+  WorkerPool pool(workers);
+
+  Simulator sim;
+  TraceDigest trace;
+  obs::SloTracker slo;
+  obs::TeeSink tee;
+  tee.Add(&trace);
+  tee.Add(&slo);
+  SchedulerOptions options;
+  options.service_order = ServiceOrder::kPlanned;
+  options.disk_array = &array;
+  options.worker_pool = &pool;
+  options.verify_payloads = true;
+  options.trace = &tee;
+  ServiceScheduler scheduler(&store, &sim, AdmissionControl(storage, store.AverageScatteringSec()),
+                             options);
+
+  WallclockOutcome outcome;
+  outcome.workers = workers;
+  for (int s = 0; s < kStreams; ++s) {
+    PlaybackRequest request;
+    request.blocks = strands[static_cast<size_t>(s)];
+    request.block_duration =
+        SecondsToUsec(static_cast<double>(placement.granularity) / video.units_per_sec);
+    request.spec = RequestSpec{video, placement.granularity};
+    if (scheduler.SubmitPlayback(std::move(request)).ok()) {
+      ++outcome.admitted;
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  scheduler.RunUntilIdle();
+  const auto stop = std::chrono::steady_clock::now();
+
+  outcome.wall_sec = std::chrono::duration<double>(stop - start).count();
+  outcome.rounds = scheduler.rounds_executed();
+  outcome.rounds_per_sec =
+      outcome.wall_sec > 0.0 ? static_cast<double>(outcome.rounds) / outcome.wall_sec : 0.0;
+  outcome.trace_digest = trace.digest();
+  outcome.trace_events = trace.events();
+  outcome.slo_digest = FnvOf(slo.Report().ToJson());
+  outcome.payload_digest = scheduler.payload_digest();
+  outcome.completion = sim.Now();
+  return outcome;
+}
+
+void WriteWallclockJson(const std::vector<WallclockOutcome>& outcomes) {
+  const char* path = "BENCH_wallclock_metrics.json";
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"wallclock\": {\n"
+               "    \"hardware_concurrency\": %u,\n"
+               "    \"members\": %d,\n"
+               "    \"streams\": %d,\n"
+               "    \"runs\": [\n",
+               std::thread::hardware_concurrency(), kMembers, kStreams);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const WallclockOutcome& run = outcomes[i];
+    std::fprintf(file,
+                 "      {\"workers\": %d, \"wall_sec\": %.6f, \"rounds\": %lld,\n"
+                 "       \"rounds_per_sec\": %.3f, \"admitted\": %d,\n"
+                 "       \"trace_digest\": \"%016" PRIx64 "\", \"trace_events\": %lld,\n"
+                 "       \"slo_digest\": \"%016" PRIx64 "\",\n"
+                 "       \"payload_digest\": \"%016" PRIx64 "\",\n"
+                 "       \"completion_usec\": %lld}%s\n",
+                 run.workers, run.wall_sec, static_cast<long long>(run.rounds),
+                 run.rounds_per_sec, run.admitted, run.trace_digest,
+                 static_cast<long long>(run.trace_events), run.slo_digest, run.payload_digest,
+                 static_cast<long long>(run.completion),
+                 i + 1 < outcomes.size() ? "," : "");
+  }
+  std::fprintf(file,
+               "    ]\n"
+               "  }\n"
+               "}\n");
+  std::fclose(file);
+  std::printf("metrics: %s\n", path);
+}
+
+void PrintWallclockTables() {
+  PrintHeader("wall-clock engine", "parallel member waves, identical simulated results");
+  PrintOperatingPoint(WallclockDisk());
+  std::printf("host threads: %u, array members: %d, streams: %d\n",
+              std::thread::hardware_concurrency(), kMembers, kStreams);
+
+  std::vector<WallclockOutcome> outcomes;
+  for (const int workers : kWorkerCounts) {
+    outcomes.push_back(RunWorkload(workers));
+  }
+
+  std::printf("%8s | %9s | %7s | %11s | %16s | %16s\n", "workers", "wall (s)", "rounds",
+              "rounds/sec", "trace digest", "payload digest");
+  for (const WallclockOutcome& run : outcomes) {
+    std::printf("%8d | %9.3f | %7" PRId64 " | %11.1f | %016" PRIx64 " | %016" PRIx64 "\n",
+                run.workers, run.wall_sec, run.rounds, run.rounds_per_sec, run.trace_digest,
+                run.payload_digest);
+  }
+
+  bool identical = true;
+  for (const WallclockOutcome& run : outcomes) {
+    identical = identical && run.trace_digest == outcomes[0].trace_digest &&
+                run.slo_digest == outcomes[0].slo_digest &&
+                run.payload_digest == outcomes[0].payload_digest &&
+                run.completion == outcomes[0].completion && run.rounds == outcomes[0].rounds;
+  }
+  std::printf("simulated-time results identical across worker counts: %s\n",
+              identical ? "yes" : "NO -- DETERMINISM BROKEN");
+  std::printf("(wall-clock speed is allowed to change; simulated time is not)\n");
+
+  WriteWallclockJson(outcomes);
+}
+
+void BM_WallclockRound(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunWorkload(workers).rounds);
+  }
+}
+BENCHMARK(BM_WallclockRound)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vafs
+
+int main(int argc, char** argv) {
+  vafs::PrintWallclockTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

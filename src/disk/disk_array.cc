@@ -4,6 +4,10 @@
 #include <cassert>
 #include <string>
 
+#include "src/obs/trace.h"
+#include "src/util/checksum.h"
+#include "src/util/worker_pool.h"
+
 namespace vafs {
 
 DiskArray::DiskArray(const DiskParameters& member_params, int members, DiskOptions options) {
@@ -38,6 +42,50 @@ Status DiskArray::ValidateBatch(const std::vector<BatchRequest>& batch) const {
   return Status::Ok();
 }
 
+void DiskArray::DispatchBatch(const std::vector<BatchRequest>& batch,
+                              const std::function<void(size_t)>& serve, BatchOutcome* outcome) {
+  // Redirect each participating member's trace stream into a private
+  // buffer, so parallel tasks cannot interleave emissions in the shared
+  // sink graph. The swap happens before dispatch and the replay after the
+  // join, both on the coordinating thread; inside the window each task
+  // exclusively owns its member Disk and therefore its buffer.
+  std::vector<obs::BufferedTraceSink> buffers(batch.size());
+  std::vector<obs::TraceSink*> original(batch.size(), nullptr);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Disk& disk = *disks_[static_cast<size_t>(batch[i].member)];
+    original[i] = disk.trace_sink();
+    if (original[i] != nullptr) {
+      disk.set_trace_sink(&buffers[i]);
+    }
+  }
+  if (pool_ != nullptr && pool_->workers() > 1 && batch.size() > 1) {
+    std::vector<WorkerPool::Task> tasks;
+    tasks.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      tasks.push_back([&serve, i] { serve(i); });
+    }
+    pool_->RunAll(std::move(tasks));
+  } else {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      serve(i);
+    }
+  }
+  // Barrier passed: replay traces in batch order. Serial execution emits
+  // request 0's events, then request 1's, and so on — replaying the
+  // buffers in that same order makes the downstream stream byte-identical
+  // for any worker count.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Disk& disk = *disks_[static_cast<size_t>(batch[i].member)];
+    if (original[i] != nullptr) {
+      disk.set_trace_sink(original[i]);
+      buffers[i].FlushTo(original[i]);
+    }
+  }
+  for (const MemberOutcome& fate : outcome->per_request) {
+    outcome->completion_time = std::max(outcome->completion_time, fate.service);
+  }
+}
+
 Result<DiskArray::BatchOutcome> DiskArray::ReadBatch(const std::vector<BatchRequest>& batch,
                                                      std::vector<std::vector<uint8_t>>* out) {
   if (Status status = ValidateBatch(batch); !status.ok()) {
@@ -48,7 +96,8 @@ Result<DiskArray::BatchOutcome> DiskArray::ReadBatch(const std::vector<BatchRequ
   }
   BatchOutcome outcome;
   outcome.per_request.resize(batch.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
+  const bool checksum = checksum_payloads_;
+  auto serve = [this, &batch, out, &outcome, checksum](size_t i) {
     const BatchRequest& request = batch[i];
     Disk& disk = *disks_[static_cast<size_t>(request.member)];
     std::vector<uint8_t>* slot = out != nullptr ? &(*out)[i] : nullptr;
@@ -56,12 +105,15 @@ Result<DiskArray::BatchOutcome> DiskArray::ReadBatch(const std::vector<BatchRequ
     MemberOutcome& fate = outcome.per_request[i];
     if (service.ok()) {
       fate.service = *service;
+      if (checksum && slot != nullptr && !slot->empty()) {
+        fate.payload_crc = Crc64(*slot);
+      }
     } else {
       fate.status = service.status();
       fate.service = disk.last_fault_service();
     }
-    outcome.completion_time = std::max(outcome.completion_time, fate.service);
-  }
+  };
+  DispatchBatch(batch, serve, &outcome);
   return outcome;
 }
 
@@ -75,7 +127,8 @@ Result<DiskArray::BatchOutcome> DiskArray::WriteBatch(const std::vector<BatchReq
   }
   BatchOutcome outcome;
   outcome.per_request.resize(batch.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
+  const bool checksum = checksum_payloads_;
+  auto serve = [this, &batch, &data, &outcome, checksum](size_t i) {
     const BatchRequest& request = batch[i];
     Disk& disk = *disks_[static_cast<size_t>(request.member)];
     std::span<const uint8_t> payload =
@@ -84,12 +137,15 @@ Result<DiskArray::BatchOutcome> DiskArray::WriteBatch(const std::vector<BatchReq
     MemberOutcome& fate = outcome.per_request[i];
     if (service.ok()) {
       fate.service = *service;
+      if (checksum && !payload.empty()) {
+        fate.payload_crc = Crc64(payload);
+      }
     } else {
       fate.status = service.status();
       fate.service = disk.last_fault_service();
     }
-    outcome.completion_time = std::max(outcome.completion_time, fate.service);
-  }
+  };
+  DispatchBatch(batch, serve, &outcome);
   return outcome;
 }
 

@@ -14,11 +14,23 @@
 // malformed batches (unknown member, two requests on one member) fail the
 // call as a whole. Member fault schedules are decorrelated by deriving
 // each member's injector seed from the array seed and the member index.
+//
+// Wall-clock execution (DESIGN.md section 12): with set_worker_pool, the
+// requests of a batch run as real parallel tasks — one task per member —
+// joined at a barrier before the call returns. The one-request-per-member
+// rule that ValidateBatch enforces is what makes this safe without locks:
+// each task exclusively owns its member Disk (arm state, sector store,
+// fault injector are all per member), its own output slot and its own
+// MemberOutcome, so tasks share no mutable state. Member trace emissions
+// are buffered per request and replayed in batch order at the barrier, so
+// the trace stream, completion_time (= max over members, Eq. 11) and all
+// simulated-time results are byte-identical for any worker count.
 
 #ifndef VAFS_SRC_DISK_DISK_ARRAY_H_
 #define VAFS_SRC_DISK_DISK_ARRAY_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -27,6 +39,8 @@
 #include "src/util/time.h"
 
 namespace vafs {
+
+class WorkerPool;
 
 class DiskArray {
  public:
@@ -54,6 +68,10 @@ class DiskArray {
   struct MemberOutcome {
     Status status = Status::Ok();
     SimDuration service = 0;
+    // CRC-64 of the payload moved by this request, computed inside the
+    // member's task when set_checksum_payloads(true); 0 otherwise (or when
+    // the request faulted / carried no data).
+    uint64_t payload_crc = 0;
   };
 
   struct BatchOutcome {
@@ -103,10 +121,43 @@ class DiskArray {
   // paper's HDTV feasibility argument sweeps.
   double AggregateTransferRateBitsPerSec() const;
 
+  // Wall-clock parallelism: when set (non-owning; must outlive the array),
+  // batch requests run as one task per member on the pool, joined before
+  // the call returns. Null (the default) or a 1-worker pool executes the
+  // batch inline — the sequential reference every parallel run must match
+  // byte for byte.
+  void set_worker_pool(WorkerPool* pool) { pool_ = pool; }
+  WorkerPool* worker_pool() const { return pool_; }
+
+  // When true, each request's task also computes the CRC-64 of the bytes
+  // it moved into MemberOutcome::payload_crc. This is real per-task CPU
+  // work (the simulated mechanics cost nanoseconds of host time), so it is
+  // both an end-to-end integrity check and the load that makes wall-clock
+  // parallelism measurable. Requires retain_data on the members to see
+  // non-empty payloads.
+  void set_checksum_payloads(bool on) { checksum_payloads_ = on; }
+  bool checksum_payloads() const { return checksum_payloads_; }
+
  private:
+  // Rejecting two requests on one member is not a modeling nicety: it is
+  // the data-ownership rule of the parallel engine. One request per member
+  // means one task per Disk, so tasks never share arm state, stores or
+  // fault injectors and the wave needs no locks. Callers with deeper
+  // queues (the scheduler's C-SCAN member queues) issue one wave per queue
+  // depth instead.
   Status ValidateBatch(const std::vector<BatchRequest>& batch) const;
 
+  // Shared execution engine for Read/WriteBatch: redirects member traces
+  // into per-request buffers, runs `serve(i)` for every request (on the
+  // pool when configured, inline otherwise), then at the barrier restores
+  // the sinks, replays the buffers in batch order and folds
+  // completion_time = max over members.
+  void DispatchBatch(const std::vector<BatchRequest>& batch,
+                     const std::function<void(size_t)>& serve, BatchOutcome* outcome);
+
   std::vector<std::unique_ptr<Disk>> disks_;
+  WorkerPool* pool_ = nullptr;
+  bool checksum_payloads_ = false;
 };
 
 }  // namespace vafs

@@ -6,6 +6,7 @@
 namespace vafs {
 
 std::vector<uint8_t>* PagePool::Acquire(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const size_t want = static_cast<size_t>(bytes);
   for (size_t i = 0; i < free_.size(); ++i) {
     if (free_[i]->capacity() >= want) {
@@ -21,6 +22,7 @@ std::vector<uint8_t>* PagePool::Acquire(int64_t bytes) {
 }
 
 void PagePool::Release(std::vector<uint8_t>* page) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (size_t i = 0; i < live_.size(); ++i) {
     if (live_[i].get() == page) {
       free_.push_back(std::move(live_[i]));
@@ -34,6 +36,7 @@ void PagePool::Release(std::vector<uint8_t>* page) {
 BlockCache::BlockCache(BlockCacheOptions options) : options_(options) {}
 
 bool BlockCache::Lookup(int64_t sector, int64_t sectors) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (window_lookups_ >= std::max<int64_t>(options_.hit_window, 2)) {
     // Exponential decay: old rounds fade so a sharing collapse shows up
     // within one window instead of being averaged away.
@@ -55,6 +58,7 @@ bool BlockCache::Lookup(int64_t sector, int64_t sectors) {
 }
 
 bool BlockCache::Contains(int64_t sector, int64_t sectors) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(sector);
   return it != entries_.end() && it->second.sectors == sectors;
 }
@@ -90,6 +94,7 @@ bool BlockCache::MakeRoom(int64_t bytes) {
 }
 
 void BlockCache::Insert(int64_t sector, int64_t sectors, int64_t bytes, bool interval_biased) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (!enabled() || bytes > options_.capacity_bytes) {
     return;
   }
@@ -119,6 +124,7 @@ void BlockCache::Insert(int64_t sector, int64_t sectors, int64_t bytes, bool int
 }
 
 bool BlockCache::Pin(int64_t sector, int64_t sectors) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(sector);
   if (it == entries_.end() || it->second.sectors != sectors) {
     return false;
@@ -131,6 +137,7 @@ bool BlockCache::Pin(int64_t sector, int64_t sectors) {
 }
 
 void BlockCache::Unpin(int64_t sector, int64_t sectors) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(sector);
   if (it == entries_.end() || it->second.sectors != sectors || it->second.pins == 0) {
     return;
@@ -141,6 +148,7 @@ void BlockCache::Unpin(int64_t sector, int64_t sectors) {
 }
 
 int64_t BlockCache::InvalidateRange(int64_t sector, int64_t sectors) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const int64_t end = sector + sectors;
   const int64_t resident_before = stats_.resident_entries;
   int64_t dropped = 0;
@@ -172,6 +180,7 @@ int64_t BlockCache::InvalidateRange(int64_t sector, int64_t sectors) {
 }
 
 void BlockCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
   stats_.invalidated_entries += stats_.resident_entries;
   stats_.resident_bytes = 0;
   stats_.resident_entries = 0;
@@ -184,6 +193,7 @@ void BlockCache::InvalidateAll() {
 }
 
 double BlockCache::RecentHitRate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (window_lookups_ == 0) {
     return 0.0;
   }

@@ -31,13 +31,17 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace vafs {
 
 // Recycles payload buffers between rounds. Acquired pages are zero-filled
 // (the simulated capture path records zero payloads), sized to whole
-// blocks, and returned to the pool on release instead of freed.
+// blocks, and returned to the pool on release instead of freed. Acquire
+// and Release are thread-safe so wall-clock worker tasks (DESIGN.md
+// section 12) can borrow scratch pages concurrently; the buffers handed
+// out are exclusively the caller's until released.
 class PagePool {
  public:
   // A zeroed buffer of exactly `bytes` bytes. Reuses a pooled page when
@@ -45,9 +49,13 @@ class PagePool {
   std::vector<uint8_t>* Acquire(int64_t bytes);
   void Release(std::vector<uint8_t>* page);
 
-  int64_t pages_pooled() const { return static_cast<int64_t>(free_.size()); }
+  int64_t pages_pooled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int64_t>(free_.size());
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::vector<std::unique_ptr<std::vector<uint8_t>>> free_;
   std::vector<std::unique_ptr<std::vector<uint8_t>>> live_;
 };
@@ -73,6 +81,11 @@ struct BlockCacheStats {
   int64_t pinned_entries = 0;
 };
 
+// Thread-safety: every mutating or probing method takes an internal
+// mutex, so planner probes and worker-task insertions may interleave.
+// stats() returns a reference into the guarded state — read it only from
+// the coordinating thread between waves (after the pool's join barrier),
+// which is where the scheduler and exporters already sample it.
 class BlockCache {
  public:
   explicit BlockCache(BlockCacheOptions options);
@@ -124,11 +137,13 @@ class BlockCache {
     std::list<int64_t>::iterator lru;  // position in lru_ (keyed by sector)
   };
 
+  // Both run under mutex_ (called from the locked public methods only).
   void Evict(std::map<int64_t, Entry>::iterator it);
   // Frees space until `bytes` more fit, honouring pins and bias. Returns
   // false when pinned entries make that impossible.
   bool MakeRoom(int64_t bytes);
 
+  mutable std::mutex mutex_;
   BlockCacheOptions options_;
   BlockCacheStats stats_;
   std::map<int64_t, Entry> entries_;  // by start sector

@@ -14,6 +14,12 @@ ServiceScheduler::ServiceScheduler(StrandStore* store, Simulator* simulator,
                                    AdmissionControl admission, SchedulerOptions options)
     : store_(store), simulator_(simulator), admission_(std::move(admission)), options_(options) {
   admission_.set_trace_sink(options_.trace);
+  if (options_.disk_array != nullptr) {
+    // Wall-clock engine wiring: the array owns parallel dispatch; the
+    // scheduler only decides batch composition and folds the results.
+    options_.disk_array->set_worker_pool(options_.worker_pool);
+    options_.disk_array->set_checksum_payloads(options_.verify_payloads);
+  }
 }
 
 std::vector<RequestSpec> ServiceScheduler::SlotHolderSpecs() const {
@@ -931,12 +937,22 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
         break;
       }
       const SimTime wave_start = *now;
-      Result<DiskArray::BatchOutcome> outcome = array->ReadBatch(batch, nullptr);
+      // With verify_payloads the wave reads real data and each member task
+      // CRCs its own payload behind the join barrier (see DiskArray).
+      std::vector<std::vector<uint8_t>> payloads;
+      std::vector<std::vector<uint8_t>>* data_out =
+          options_.verify_payloads ? &payloads : nullptr;
+      Result<DiskArray::BatchOutcome> outcome = array->ReadBatch(batch, data_out);
       assert(outcome.ok());  // the planner only builds well-formed batches
       *now = wave_start + outcome->completion_time;
       for (size_t i = 0; i < wave.size(); ++i) {
         const PlannedTransfer& transfer = *wave[i];
         const DiskArray::MemberOutcome& member_outcome = outcome->per_request[i];
+        if (options_.verify_payloads && member_outcome.status.ok()) {
+          // Fold in batch order at the barrier: the digest is independent
+          // of which worker finished first.
+          payload_digest_ = (payload_digest_ ^ member_outcome.payload_crc) * 1099511628211ULL;
+        }
         attribute(transfer, member_outcome.service);
         const auto groups = distinct_extents(transfer);
         if (member_outcome.status.ok()) {

@@ -142,6 +142,18 @@ struct SchedulerOptions {
   // on the store's primary spindle. Member geometry must match the store
   // disk. Must outlive the scheduler.
   DiskArray* disk_array = nullptr;
+  // Wall-clock execution engine (DESIGN.md section 12): pool the array's
+  // member waves run on as real parallel tasks. Null (or 1 worker) keeps
+  // every wave inline — the sequential reference execution. Simulated-time
+  // results are byte-identical either way; only host CPU time changes.
+  // Must outlive the scheduler. Requires disk_array to have any effect.
+  WorkerPool* worker_pool = nullptr;
+  // End-to-end payload verification: planned waves read block data and
+  // each member task folds a CRC-64 of the bytes it moved; the scheduler
+  // combines them in batch order into payload_digest(). The hashing runs
+  // inside the member tasks (on the pool when one is set), keeping the
+  // checksum work off the round's critical path.
+  bool verify_payloads = false;
   // Cache-aware admission (kPlanned + cache only): a playback request the
   // Eq. 17 test rejects is still admitted when at least
   // `cache_admission_min_hit_rate` of its upcoming window is expected from
@@ -187,6 +199,12 @@ class ServiceScheduler {
   int64_t current_k() const { return current_k_; }
   int64_t active_request_count() const;
   int64_t rounds_executed() const { return rounds_; }
+
+  // Running FNV-1a-style fold of every payload CRC the planned waves
+  // computed (SchedulerOptions::verify_payloads), combined in batch order
+  // at each wave barrier — deterministic for any worker count. The offset
+  // basis when verification is off or nothing transferred yet.
+  uint64_t payload_digest() const { return payload_digest_; }
 
  private:
   struct ActiveRequest {
@@ -299,6 +317,8 @@ class ServiceScheduler {
   // while the round still fits inside it. 0 budget = no active requests.
   SimTime round_start_ = 0;
   SimDuration round_budget_ = 0;
+  // FNV-1a 64-bit offset basis; see payload_digest().
+  uint64_t payload_digest_ = 14695981039346656037ULL;
   // Recording payload scratch when no shared cache provides a pool.
   PagePool scratch_pool_;
   std::map<RequestId, ActiveRequest> requests_;

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <set>
+#include <span>
+
+#include "src/util/worker_pool.h"
 
 namespace vafs {
 namespace obs {
@@ -43,7 +46,11 @@ void AppendDouble(std::string* out, double value) {
 
 class EventWriter {
  public:
-  explicit EventWriter(std::string* out) : out_(out) {}
+  // `continuation` starts the writer as if events were already written, so
+  // a chunk rendered by a worker leads with the separating ",\n" and
+  // chunk concatenation is byte-identical to one serial pass.
+  explicit EventWriter(std::string* out, bool continuation = false)
+      : out_(out), first_(!continuation) {}
 
   // Opens one trace event object with the common fields.
   EventWriter& Begin(const char* ph, int64_t pid, int64_t tid, const std::string& name,
@@ -117,9 +124,13 @@ class EventWriter {
   bool args_open_ = false;
 };
 
+void WriteBodyEvent(EventWriter& writer, const TraceEvent& event);
+
 }  // namespace
 
-std::string PerfettoExporter::Export() const {
+std::string PerfettoExporter::Export() const { return Export(nullptr); }
+
+std::string PerfettoExporter::Export(WorkerPool* pool) const {
   std::string json = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   EventWriter writer(&json);
 
@@ -144,142 +155,178 @@ std::string PerfettoExporter::Export() const {
     }
   }
 
-  for (const TraceEvent& event : *events_) {
-    const char* kind = TraceEventKindName(event.kind);
-    switch (event.kind) {
-      case TraceEventKind::kRoundEnd:
-        writer
-            .Begin("X", kSchedulerPid, kRoundsTid, "round " + std::to_string(event.round),
-                   event.time - event.duration)
-            .Duration(event.duration)
-            .Arg("k", event.k)
-            .Arg("blocks", event.blocks)
-            .Arg("budget_usec", event.round_budget)
-            .Arg("slack_usec", event.round_budget - event.duration)
-            .End();
-        break;
-      case TraceEventKind::kRequestServiced:
-        writer
-            .Begin("X", kSchedulerPid, static_cast<int64_t>(event.request), "service",
-                   event.time - event.duration)
-            .Duration(event.duration)
-            .Arg("blocks", event.blocks)
-            .Arg("k", event.k)
-            .Arg("block_playback_usec", event.block_playback)
-            .Arg("budget_usec", event.round_budget)
-            .End();
-        break;
-      case TraceEventKind::kSubmitAccepted:
-      case TraceEventKind::kActivated:
-      case TraceEventKind::kPause:
-      case TraceEventKind::kResume:
-      case TraceEventKind::kResumeRejected:
-      case TraceEventKind::kStop:
-      case TraceEventKind::kCompleted:
-      case TraceEventKind::kBlockRetried:
-      case TraceEventKind::kBlockSkipped:
-      case TraceEventKind::kBlockRelocated: {
-        EventWriter& open = writer.Begin("i", kSchedulerPid,
-                                         static_cast<int64_t>(event.request), kind, event.time)
-                                .Field("s", "t");
-        if (event.blocks != 0) {
-          open.Arg("blocks", event.blocks);
+  // Body: serial when the pool is absent/solo or the log is small;
+  // otherwise contiguous chunks rendered in parallel and concatenated in
+  // event order. The metadata preamble above guarantees every chunk is a
+  // continuation, so the bytes match the serial pass exactly.
+  constexpr size_t kMinParallelEvents = 4096;
+  if (pool == nullptr || pool->workers() <= 1 || events_->size() < kMinParallelEvents) {
+    for (const TraceEvent& event : *events_) {
+      WriteBodyEvent(writer, event);
+    }
+  } else {
+    const size_t chunks = std::min<size_t>(static_cast<size_t>(pool->workers()),
+                                           events_->size() / (kMinParallelEvents / 2));
+    const size_t per_chunk = (events_->size() + chunks - 1) / chunks;
+    std::vector<std::string> parts(chunks);
+    std::vector<WorkerPool::Task> tasks;
+    tasks.reserve(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+      tasks.push_back([this, &parts, c, per_chunk] {
+        const size_t begin = c * per_chunk;
+        const size_t end = std::min(begin + per_chunk, events_->size());
+        EventWriter chunk_writer(&parts[c], /*continuation=*/true);
+        for (size_t i = begin; i < end; ++i) {
+          WriteBodyEvent(chunk_writer, (*events_)[i]);
         }
-        if (!event.detail.empty()) {
-          open.Arg("detail", event.detail);
-        }
-        open.End();
-        break;
-      }
-      case TraceEventKind::kSubmitRejected:
-      case TraceEventKind::kAdmissionPlan:
-      case TraceEventKind::kAdmissionReject:
-      case TraceEventKind::kCacheAdmit:
-      case TraceEventKind::kCacheAdmitRevoked:
-      case TraceEventKind::kRoundPlanned:
-      case TraceEventKind::kSeekAccounting:
-      case TraceEventKind::kRoundStart: {
-        EventWriter& open =
-            writer.Begin("i", kSchedulerPid, kRoundsTid, kind, event.time).Field("s", "t");
-        if (event.kind == TraceEventKind::kAdmissionPlan) {
-          open.Arg("existing", event.existing).Arg("target_k", event.target_k).Arg("n_max",
-                                                                                   event.n_max);
-        }
-        if (event.kind == TraceEventKind::kRoundPlanned) {
-          open.Arg("transfers", event.transfers)
-              .Arg("blocks", event.blocks)
-              .Arg("coalesced", event.coalesced_blocks)
-              .Arg("deduped", event.deduped_blocks)
-              .Arg("cache_hits", event.cache_hits);
-        }
-        if (event.kind == TraceEventKind::kSeekAccounting) {
-          open.Arg("ops", event.transfers)
-              .Arg("seek_cylinders", event.seek_cylinders)
-              .Arg("seek_cylinders_worst", event.seek_cylinders_worst);
-        }
-        if (!event.detail.empty()) {
-          open.Arg("detail", event.detail);
-        }
-        open.End();
-        break;
-      }
-      case TraceEventKind::kDiskRead:
-      case TraceEventKind::kDiskWrite:
-      case TraceEventKind::kDiskSalvage:
-      case TraceEventKind::kDiskFault:
-      case TraceEventKind::kPowerCut: {
-        EventWriter& open = writer
-                                .Begin("X", kDiskPid, kDeviceTid, kind,
-                                       event.time - event.duration)
-                                .Duration(event.duration)
-                                .Arg("sector", event.sector)
-                                .Arg("sectors", event.blocks)
-                                .Arg("seek_cylinders", event.seek_cylinders);
-        if (!event.detail.empty()) {
-          open.Arg("detail", event.detail);
-        }
-        open.End();
-        break;
-      }
-      case TraceEventKind::kCacheInvalidate: {
-        writer.Begin("i", kDiskPid, kDeviceTid, kind, event.time)
-            .Field("s", "t")
-            .Arg("sector", event.sector)
-            .Arg("entries_dropped", event.blocks)
-            .End();
-        break;
-      }
-      case TraceEventKind::kStrandWrite: {
-        EventWriter& open =
-            writer.Begin("i", kDiskPid, kDeviceTid, kind, event.time).Field("s", "t");
-        open.Arg("sector", event.sector);
-        if (event.gap_sec >= 0.0) {
-          open.Arg("gap_ms", static_cast<int64_t>(event.gap_sec * 1e3));
-        }
-        open.End();
-        break;
-      }
-      case TraceEventKind::kRootFlip:
-      case TraceEventKind::kJournalAppend:
-      case TraceEventKind::kJournalReplay:
-      case TraceEventKind::kFsckFinding:
-      case TraceEventKind::kRecovery: {
-        EventWriter& open =
-            writer.Begin("i", kPersistencePid, kDeviceTid, kind, event.time).Field("s", "t");
-        if (event.sector != 0) {
-          open.Arg("sector", event.sector);
-        }
-        if (!event.detail.empty()) {
-          open.Arg("detail", event.detail);
-        }
-        open.End();
-        break;
-      }
+      });
+    }
+    pool->RunAll(std::move(tasks));
+    for (const std::string& part : parts) {
+      json += part;
     }
   }
   json += "\n]}";
   return json;
 }
+
+namespace {
+
+void WriteBodyEvent(EventWriter& writer, const TraceEvent& event) {
+  const char* kind = TraceEventKindName(event.kind);
+  switch (event.kind) {
+    case TraceEventKind::kRoundEnd:
+      writer
+          .Begin("X", kSchedulerPid, kRoundsTid, "round " + std::to_string(event.round),
+                 event.time - event.duration)
+          .Duration(event.duration)
+          .Arg("k", event.k)
+          .Arg("blocks", event.blocks)
+          .Arg("budget_usec", event.round_budget)
+          .Arg("slack_usec", event.round_budget - event.duration)
+          .End();
+      break;
+    case TraceEventKind::kRequestServiced:
+      writer
+          .Begin("X", kSchedulerPid, static_cast<int64_t>(event.request), "service",
+                 event.time - event.duration)
+          .Duration(event.duration)
+          .Arg("blocks", event.blocks)
+          .Arg("k", event.k)
+          .Arg("block_playback_usec", event.block_playback)
+          .Arg("budget_usec", event.round_budget)
+          .End();
+      break;
+    case TraceEventKind::kSubmitAccepted:
+    case TraceEventKind::kActivated:
+    case TraceEventKind::kPause:
+    case TraceEventKind::kResume:
+    case TraceEventKind::kResumeRejected:
+    case TraceEventKind::kStop:
+    case TraceEventKind::kCompleted:
+    case TraceEventKind::kBlockRetried:
+    case TraceEventKind::kBlockSkipped:
+    case TraceEventKind::kBlockRelocated: {
+      EventWriter& open = writer.Begin("i", kSchedulerPid,
+                                       static_cast<int64_t>(event.request), kind, event.time)
+                              .Field("s", "t");
+      if (event.blocks != 0) {
+        open.Arg("blocks", event.blocks);
+      }
+      if (!event.detail.empty()) {
+        open.Arg("detail", event.detail);
+      }
+      open.End();
+      break;
+    }
+    case TraceEventKind::kSubmitRejected:
+    case TraceEventKind::kAdmissionPlan:
+    case TraceEventKind::kAdmissionReject:
+    case TraceEventKind::kCacheAdmit:
+    case TraceEventKind::kCacheAdmitRevoked:
+    case TraceEventKind::kRoundPlanned:
+    case TraceEventKind::kSeekAccounting:
+    case TraceEventKind::kRoundStart: {
+      EventWriter& open =
+          writer.Begin("i", kSchedulerPid, kRoundsTid, kind, event.time).Field("s", "t");
+      if (event.kind == TraceEventKind::kAdmissionPlan) {
+        open.Arg("existing", event.existing).Arg("target_k", event.target_k).Arg("n_max",
+                                                                                 event.n_max);
+      }
+      if (event.kind == TraceEventKind::kRoundPlanned) {
+        open.Arg("transfers", event.transfers)
+            .Arg("blocks", event.blocks)
+            .Arg("coalesced", event.coalesced_blocks)
+            .Arg("deduped", event.deduped_blocks)
+            .Arg("cache_hits", event.cache_hits);
+      }
+      if (event.kind == TraceEventKind::kSeekAccounting) {
+        open.Arg("ops", event.transfers)
+            .Arg("seek_cylinders", event.seek_cylinders)
+            .Arg("seek_cylinders_worst", event.seek_cylinders_worst);
+      }
+      if (!event.detail.empty()) {
+        open.Arg("detail", event.detail);
+      }
+      open.End();
+      break;
+    }
+    case TraceEventKind::kDiskRead:
+    case TraceEventKind::kDiskWrite:
+    case TraceEventKind::kDiskSalvage:
+    case TraceEventKind::kDiskFault:
+    case TraceEventKind::kPowerCut: {
+      EventWriter& open = writer
+                              .Begin("X", kDiskPid, kDeviceTid, kind,
+                                     event.time - event.duration)
+                              .Duration(event.duration)
+                              .Arg("sector", event.sector)
+                              .Arg("sectors", event.blocks)
+                              .Arg("seek_cylinders", event.seek_cylinders);
+      if (!event.detail.empty()) {
+        open.Arg("detail", event.detail);
+      }
+      open.End();
+      break;
+    }
+    case TraceEventKind::kCacheInvalidate: {
+      writer.Begin("i", kDiskPid, kDeviceTid, kind, event.time)
+          .Field("s", "t")
+          .Arg("sector", event.sector)
+          .Arg("entries_dropped", event.blocks)
+          .End();
+      break;
+    }
+    case TraceEventKind::kStrandWrite: {
+      EventWriter& open =
+          writer.Begin("i", kDiskPid, kDeviceTid, kind, event.time).Field("s", "t");
+      open.Arg("sector", event.sector);
+      if (event.gap_sec >= 0.0) {
+        open.Arg("gap_ms", static_cast<int64_t>(event.gap_sec * 1e3));
+      }
+      open.End();
+      break;
+    }
+    case TraceEventKind::kRootFlip:
+    case TraceEventKind::kJournalAppend:
+    case TraceEventKind::kJournalReplay:
+    case TraceEventKind::kFsckFinding:
+    case TraceEventKind::kRecovery: {
+      EventWriter& open =
+          writer.Begin("i", kPersistencePid, kDeviceTid, kind, event.time).Field("s", "t");
+      if (event.sector != 0) {
+        open.Arg("sector", event.sector);
+      }
+      if (!event.detail.empty()) {
+        open.Arg("detail", event.detail);
+      }
+      open.End();
+      break;
+    }
+  }
+}
+
+}  // namespace
 
 // --- Prometheus ------------------------------------------------------------
 

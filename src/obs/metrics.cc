@@ -9,6 +9,12 @@ namespace vafs {
 namespace obs {
 
 void Histogram::Record(double value) {
+  if (!std::isfinite(value)) {
+    // A NaN poisons min_/max_ (and every later comparison) for good; an
+    // infinity survives into exported JSON where "inf" does not parse.
+    ++rejected_;
+    return;
+  }
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -19,7 +25,12 @@ void Histogram::Record(double value) {
   ++count_;
   sum_ += value;
   int bucket = 0;
-  if (value > 1.0) {
+  if (value >= std::ldexp(1.0, kBuckets - 1)) {
+    // Straight to the overflow bucket: for values >= 2^64 the
+    // ceil-then-cast below is undefined behaviour, and everything past
+    // 2^(kBuckets-1) lands there anyway.
+    bucket = kBuckets - 1;
+  } else if (value > 1.0) {
     const uint64_t magnitude = static_cast<uint64_t>(std::ceil(value)) - 1;
     bucket = std::min(kBuckets - 1, 64 - std::countl_zero(magnitude));
   }
@@ -54,7 +65,10 @@ double Histogram::Quantile(double p) const {
       }
       const double fraction =
           (target_rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
-      return lower + (upper - lower) * fraction;
+      // At fraction 1.0 return `upper` exactly: `lower + (upper - lower)`
+      // cancels catastrophically when the extremes differ by many orders
+      // of magnitude.
+      return fraction >= 1.0 ? upper : lower + (upper - lower) * fraction;
     }
     seen += in_bucket;
   }

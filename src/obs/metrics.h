@@ -12,6 +12,7 @@
 #define VAFS_SRC_OBS_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -24,29 +25,50 @@ namespace obs {
 // the exporters (src/obs/export.h).
 void AppendJsonEscaped(std::string* out, const std::string& text);
 
-// Monotonically increasing event total.
+// Monotonically increasing event total. Increments are atomic so worker
+// tasks (src/util/worker_pool.h) may bump counters concurrently; readers
+// see a consistent total after the pool's join barrier.
 class Counter {
  public:
-  void Increment(int64_t by = 1) { value_ += by; }
-  int64_t value() const { return value_; }
+  Counter() = default;
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Increment(int64_t by = 1) { value_.fetch_add(by, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
-// Last-written instantaneous value.
+// Last-written instantaneous value. Atomic for the same reason as Counter;
+// concurrent writers race benignly (last store wins, no torn reads).
 class Gauge {
  public:
-  void Set(double value) { value_ = value; }
-  double value() const { return value_; }
+  Gauge() = default;
+  Gauge(const Gauge& other) : value_(other.value()) {}
+  Gauge& operator=(const Gauge& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
-// Distribution summary. Bucket 0 counts samples <= 1 (including non-positive
-// ones); bucket i counts samples in (2^(i-1), 2^i]; the last bucket absorbs
-// everything larger.
+// Distribution summary. Bucket 0 counts samples <= 1 (including negative
+// ones — durations and counts are never negative, so bucket 0 absorbing
+// them keeps a stray sign bug visible in the min rather than crashing);
+// bucket i counts samples in (2^(i-1), 2^i]; the last bucket absorbs
+// everything larger. Non-finite samples (NaN, +/-inf) are rejected and
+// tallied in rejected(): a NaN would poison min/max for the histogram's
+// whole lifetime, and an infinity would render unparsable JSON.
 class Histogram {
  public:
   static constexpr int kBuckets = 40;
@@ -54,6 +76,8 @@ class Histogram {
   void Record(double value);
 
   int64_t count() const { return count_; }
+  // Non-finite samples dropped by Record.
+  int64_t rejected() const { return rejected_; }
   double sum() const { return sum_; }
   double min() const { return count_ > 0 ? min_ : 0.0; }
   double max() const { return count_ > 0 ? max_ : 0.0; }
@@ -67,6 +91,7 @@ class Histogram {
 
  private:
   int64_t count_ = 0;
+  int64_t rejected_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;

@@ -45,12 +45,36 @@ class Prng {
     return result;
   }
 
-  // Uniform in [0, bound). bound must be > 0.
-  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+  // Uniform in [0, bound). bound must be > 0. Lemire's multiply-shift
+  // with rejection: `Next() % bound` over-weights the low residues by up
+  // to bound/2^64, so draws landing in the biased low fringe of the
+  // 128-bit product are redrawn instead. Unbiased for every bound, at one
+  // multiply per accepted draw (the rejection loop runs with probability
+  // < bound/2^64).
+  uint64_t NextBelow(uint64_t bound) {
+    uint64_t x = Next();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = -bound % bound;  // 2^64 mod bound
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<unsigned __int128>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
-  // Uniform integer in [lo, hi] inclusive.
+  // Uniform integer in [lo, hi] inclusive. hi must be >= lo. The span is
+  // computed in uint64 space: hi - lo + 1 overflows int64 whenever the
+  // interval covers more than half the domain, and the full
+  // [INT64_MIN, INT64_MAX] interval wraps the span to 0 — which here
+  // means "all 2^64 values", served by a raw draw.
   int64_t NextInRange(int64_t lo, int64_t hi) {
-    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+    const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    const uint64_t offset = span == 0 ? Next() : NextBelow(span);
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + offset);
   }
 
   // Uniform double in [0, 1).

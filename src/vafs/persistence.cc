@@ -447,7 +447,7 @@ struct RootChoice {
   std::vector<FsckFinding> findings;
 };
 
-RootChoice ChooseRoot(Disk* disk) {
+RootChoice ChooseRoot(Disk* disk, WorkerPool* pool = nullptr) {
   const int64_t roots_start = disk->total_sectors() - 2;
   RootChoice choice;
 
@@ -493,7 +493,7 @@ RootChoice ChooseRoot(Disk* disk) {
     const RootRecord& root = slot->record;
     Result<std::vector<uint8_t>> blob =
         ReadExtent(disk, root.catalog_sector, root.catalog_sectors, root.catalog_bytes);
-    if (blob.ok() && Crc64(*blob) == root.catalog_crc &&
+    if (blob.ok() && Crc64Parallel(*blob, pool) == root.catalog_crc &&
         blob->size() >= 8 && ReadU64(blob->data()) == kImageMagic) {
       choice.chosen = true;
       choice.root = root;
@@ -757,14 +757,16 @@ Result<LoadedImage> BuildImage(Disk* disk, const RootRecord& root,
 // --- SaveImage ---------------------------------------------------------------
 
 Result<ImageReceipt> SaveImage(StrandStore* store, const RopeServer* ropes,
-                               const TextFileService* texts, const ImageReceipt* previous) {
+                               const TextFileService* texts, const ImageReceipt* previous,
+                               WorkerPool* pool) {
   Disk& disk = store->disk();
   const int64_t sector_bytes = disk.bytes_per_sector();
   const int64_t roots_start = disk.total_sectors() - 2;
 
   std::vector<uint8_t> blob = SerializeCatalog(store, ropes, texts);
   const int64_t blob_bytes = static_cast<int64_t>(blob.size());
-  const uint64_t blob_crc = Crc64(blob);
+  // Chunk-parallel on the pool when one is set; bit-identical either way.
+  const uint64_t blob_crc = Crc64Parallel(blob, pool);
 
   // Everything this call allocates is released on any failure, leaving the
   // previously committed image untouched (the in-memory frees succeed even
@@ -823,7 +825,7 @@ Result<ImageReceipt> SaveImage(StrandStore* store, const RopeServer* ropes,
     rollback();
     return readback.status();
   }
-  if (Crc64(*readback) != blob_crc) {
+  if (Crc64Parallel(*readback, pool) != blob_crc) {
     rollback();
     return Status(ErrorCode::kIoError, "catalog read-back checksum mismatch");
   }
@@ -871,8 +873,8 @@ Result<ImageReceipt> SaveImage(StrandStore* store, const RopeServer* ropes,
 
 // --- LoadImage ---------------------------------------------------------------
 
-Result<LoadedImage> LoadImage(Disk* disk) {
-  RootChoice choice = ChooseRoot(disk);
+Result<LoadedImage> LoadImage(Disk* disk, WorkerPool* pool) {
+  RootChoice choice = ChooseRoot(disk, pool);
   if (!choice.any_magic) {
     return Status(ErrorCode::kNotFound, "no vaFS image on this disk");
   }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -324,6 +326,73 @@ TEST(MetricsTest, QuantileSingleValueAndEmpty) {
   EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 42.0);
   EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 42.0);
   EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 42.0);
+}
+
+TEST(MetricsTest, HistogramRejectsNonFiniteSamples) {
+  Histogram histogram;
+  histogram.Record(10.0);
+  // A NaN must not poison min/max or count; infinities must not reach the
+  // JSON image, where "inf" does not parse.
+  histogram.Record(std::nan(""));
+  histogram.Record(std::numeric_limits<double>::infinity());
+  histogram.Record(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(histogram.count(), 1);
+  EXPECT_EQ(histogram.rejected(), 3);
+  EXPECT_DOUBLE_EQ(histogram.min(), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 10.0);
+  // A NaN as the FIRST sample must not seed min/max either.
+  Histogram fresh;
+  fresh.Record(std::nan(""));
+  EXPECT_EQ(fresh.count(), 0);
+  fresh.Record(7.0);
+  EXPECT_DOUBLE_EQ(fresh.min(), 7.0);
+  EXPECT_DOUBLE_EQ(fresh.max(), 7.0);
+}
+
+TEST(MetricsTest, HistogramHugeValuesLandInOverflowBucket) {
+  Histogram histogram;
+  // Values at and beyond 2^64, where ceil-then-cast to uint64 is undefined
+  // behaviour: they must land in the overflow bucket, not crash or scatter.
+  histogram.Record(std::ldexp(1.0, 64));
+  histogram.Record(std::ldexp(1.0, 100));
+  histogram.Record(std::numeric_limits<double>::max());
+  EXPECT_EQ(histogram.count(), 3);
+  EXPECT_EQ(histogram.buckets()[Histogram::kBuckets - 1], 3);
+  // The overflow-bucket quantile stays inside the observed range.
+  EXPECT_GE(histogram.Quantile(0.5), std::ldexp(1.0, 64));
+  EXPECT_LE(histogram.Quantile(0.99), std::numeric_limits<double>::max());
+  // Just below the first power-of-two edge vs. exactly on it.
+  Histogram edges;
+  edges.Record(std::ldexp(1.0, Histogram::kBuckets - 1) - 1.0);
+  EXPECT_EQ(edges.buckets()[Histogram::kBuckets - 1], 1);
+}
+
+TEST(MetricsTest, HistogramNegativeSamplesStayInBucketZero) {
+  Histogram histogram;
+  histogram.Record(-5.0);
+  histogram.Record(-1e30);
+  EXPECT_EQ(histogram.count(), 2);
+  EXPECT_EQ(histogram.buckets()[0], 2);
+  // The sign bug stays visible in min instead of crashing.
+  EXPECT_DOUBLE_EQ(histogram.min(), -1e30);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), -1e30);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), -5.0);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaryValues) {
+  Histogram histogram;
+  // Powers of two sit at bucket upper edges: 2^i lands in bucket i
+  // ((2^(i-1), 2^i]); one past it spills into bucket i+1.
+  histogram.Record(2.0);
+  histogram.Record(4.0);
+  histogram.Record(4.0 + 1e-9);
+  histogram.Record(1024.0);
+  EXPECT_EQ(histogram.buckets()[1], 1);
+  EXPECT_EQ(histogram.buckets()[2], 1);
+  EXPECT_EQ(histogram.buckets()[3], 1);
+  EXPECT_EQ(histogram.buckets()[10], 1);
 }
 
 TEST(MetricsTest, ToJsonCarriesQuantiles) {

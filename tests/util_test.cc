@@ -1,11 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
 #include <set>
+#include <thread>
+#include <vector>
 
+#include "src/util/checksum.h"
 #include "src/util/prng.h"
 #include "src/util/result.h"
 #include "src/util/time.h"
 #include "src/util/units.h"
+#include "src/util/worker_pool.h"
 
 namespace vafs {
 namespace {
@@ -115,6 +123,158 @@ TEST(PrngTest, CoversRange) {
     seen.insert(prng.NextInRange(0, 9));
   }
   EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(PrngTest, NextBelowIsUniformChiSquared) {
+  // Pearson chi-squared over 10 cells, 9 degrees of freedom. The 0.999
+  // quantile is 27.88; a correct generator fails each seed with p < 0.001,
+  // and the old `Next() % bound` bias would not trip this for small
+  // bounds, so the large-bound test below is the sharp one.
+  for (uint64_t seed : {11ULL, 222ULL, 3333ULL}) {
+    Prng prng(seed);
+    constexpr int kCells = 10;
+    constexpr int kDraws = 100'000;
+    int64_t observed[kCells] = {};
+    for (int i = 0; i < kDraws; ++i) {
+      ++observed[prng.NextBelow(kCells)];
+    }
+    const double expected = static_cast<double>(kDraws) / kCells;
+    double chi2 = 0.0;
+    for (int64_t count : observed) {
+      const double diff = static_cast<double>(count) - expected;
+      chi2 += diff * diff / expected;
+    }
+    EXPECT_LT(chi2, 27.88) << "seed " << seed;
+  }
+}
+
+TEST(PrngTest, NextBelowUnbiasedForHugeBound) {
+  // bound = 3 * 2^62: under modulo reduction, residues below
+  // 2^64 - bound = 2^62 are hit twice as often, putting HALF of all draws
+  // below 2^62 instead of the uniform third. Lemire rejection must keep
+  // the observed fraction at ~1/3.
+  const uint64_t bound = 3ULL << 62;
+  const uint64_t cutoff = 1ULL << 62;
+  Prng prng(424242);
+  constexpr int kDraws = 30'000;
+  int below = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const uint64_t value = prng.NextBelow(bound);
+    ASSERT_LT(value, bound);
+    if (value < cutoff) {
+      ++below;
+    }
+  }
+  const double fraction = static_cast<double>(below) / kDraws;
+  EXPECT_NEAR(fraction, 1.0 / 3.0, 0.02);  // biased reduction gives 0.5
+}
+
+TEST(PrngTest, NextInRangeFullDomainDoesNotOverflow) {
+  // hi - lo + 1 wraps to 0 over the full int64 domain; the draw must not
+  // trip signed-overflow UB and should produce both signs.
+  Prng prng(5);
+  bool saw_negative = false;
+  bool saw_positive = false;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t value =
+        prng.NextInRange(std::numeric_limits<int64_t>::min(), std::numeric_limits<int64_t>::max());
+    saw_negative = saw_negative || value < 0;
+    saw_positive = saw_positive || value > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+  // Degenerate single-point intervals at the extremes.
+  EXPECT_EQ(prng.NextInRange(std::numeric_limits<int64_t>::min(),
+                             std::numeric_limits<int64_t>::min()),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(prng.NextInRange(std::numeric_limits<int64_t>::max(),
+                             std::numeric_limits<int64_t>::max()),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(PrngTest, NextInRangeCrossingZeroStaysInBounds) {
+  Prng prng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t value = prng.NextInRange(-1'000'000'000'000, 1'000'000'000'000);
+    EXPECT_GE(value, -1'000'000'000'000);
+    EXPECT_LE(value, 1'000'000'000'000);
+  }
+}
+
+TEST(ChecksumTest, CombineMatchesConcatenation) {
+  Prng prng(31337);
+  std::vector<uint8_t> a(1021);
+  std::vector<uint8_t> b(4099);
+  for (auto& byte : a) byte = static_cast<uint8_t>(prng.Next());
+  for (auto& byte : b) byte = static_cast<uint8_t>(prng.Next());
+  std::vector<uint8_t> joined = a;
+  joined.insert(joined.end(), b.begin(), b.end());
+  EXPECT_EQ(Crc64Combine(Crc64(a), Crc64(b), b.size()), Crc64(joined));
+  // Zero-length tail is the identity.
+  EXPECT_EQ(Crc64Combine(Crc64(a), 0, 0), Crc64(a));
+}
+
+TEST(ChecksumTest, ParallelCrcMatchesSerial) {
+  Prng prng(60065);
+  std::vector<uint8_t> data(300 * 1024);
+  for (auto& byte : data) byte = static_cast<uint8_t>(prng.Next());
+  const uint64_t serial = Crc64(data);
+  EXPECT_EQ(Crc64Parallel(data, nullptr), serial);
+  WorkerPool solo(1);
+  EXPECT_EQ(Crc64Parallel(data, &solo), serial);
+  WorkerPool pool(4);
+  EXPECT_EQ(Crc64Parallel(data, &pool), serial);
+  // Small inputs take the serial path but must agree too.
+  const std::vector<uint8_t> small(100, 0xAB);
+  EXPECT_EQ(Crc64Parallel(small, &pool), Crc64(small));
+}
+
+TEST(WorkerPoolTest, RunAllExecutesEveryTaskAndJoins) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.workers(), 4);
+  std::atomic<int> done{0};
+  std::vector<WorkerPool::Task> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.RunAll(std::move(tasks));
+  // RunAll is a barrier: every task observed complete at return.
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(WorkerPoolTest, SingleWorkerRunsInline) {
+  WorkerPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.RunAll({[&ran_on] { ran_on = std::this_thread::get_id(); }});
+  EXPECT_EQ(ran_on, caller);
+  pool.Submit([&ran_on] { ran_on = std::this_thread::get_id(); });
+  pool.Drain();
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(WorkerPoolTest, SubmitAndDrainCompleteBackgroundWork) {
+  WorkerPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Drain();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(WorkerPoolTest, WorkersFromEnvClampsAndDefaults) {
+  ASSERT_EQ(unsetenv("VAFS_WORKERS"), 0);
+  EXPECT_EQ(WorkerPool::WorkersFromEnv(), 1);
+  ASSERT_EQ(setenv("VAFS_WORKERS", "8", 1), 0);
+  EXPECT_EQ(WorkerPool::WorkersFromEnv(), 8);
+  ASSERT_EQ(setenv("VAFS_WORKERS", "0", 1), 0);
+  EXPECT_EQ(WorkerPool::WorkersFromEnv(), 1);
+  ASSERT_EQ(setenv("VAFS_WORKERS", "1000", 1), 0);
+  EXPECT_EQ(WorkerPool::WorkersFromEnv(), 64);
+  ASSERT_EQ(setenv("VAFS_WORKERS", "nonsense", 1), 0);
+  EXPECT_EQ(WorkerPool::WorkersFromEnv(), 1);
+  ASSERT_EQ(unsetenv("VAFS_WORKERS"), 0);
 }
 
 }  // namespace

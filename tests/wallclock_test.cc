@@ -1,0 +1,277 @@
+// Wall-clock execution engine: determinism and fault-accounting tests.
+//
+// The engine (DESIGN.md section 12) runs each planned round's member waves
+// as real parallel tasks on a WorkerPool. The contract under test here is
+// the hard one: for a fixed seed and configuration, every simulated-time
+// artifact — trace log, metrics JSON, SLO verdicts, Perfetto export, the
+// payload digest — is byte-identical for any worker count, including the
+// inline single-worker reference. Wall-clock speed may change; simulated
+// results may not.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/disk/disk_array.h"
+#include "src/msm/recorder.h"
+#include "src/msm/service_scheduler.h"
+#include "src/obs/auditor.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/slo.h"
+#include "src/obs/trace.h"
+#include "src/rope/rope_server.h"
+#include "src/sim/simulator.h"
+#include "src/util/worker_pool.h"
+#include "src/vafs/persistence.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+constexpr int kMembers = 4;
+constexpr int kStreams = 3;
+
+// Every simulated-time artifact of one scheduler run, rendered to bytes.
+struct RunImage {
+  std::string trace;              // TraceEventSummary of the full log
+  std::string metrics;            // MetricsRegistry JSON
+  std::string slo;                // SloReport JSON
+  std::string perfetto;           // serial PerfettoExporter output
+  std::string perfetto_parallel;  // pool-backed export of the same log
+  uint64_t payload_digest = 0;
+  int64_t rounds = 0;
+  SimTime completion = 0;
+  int64_t blocks_done = 0;
+  int64_t blocks_skipped = 0;
+  bool auditor_clean = false;
+  std::string auditor_report;
+};
+
+// One fully deterministic planned-round workload over a kMembers array,
+// dispatched on `workers` wall-clock workers. With `fault_member`, member 1
+// carries a whole-disk bad range, so every wave touching it faults
+// mid-wave and the de-coalesced retry/skip path runs.
+RunImage RunWorkload(int workers, bool fault_member) {
+  Disk disk(TestDiskParameters());
+  StrandStore store(&disk);
+
+  obs::TraceLog log;
+  obs::ContinuityAuditor auditor{obs::AuditorOptions{.round_time_slack = 0.05}};
+  obs::MetricsRegistry registry;
+  obs::MetricsSink metrics_sink(&registry);
+  obs::SloTracker slo;
+  obs::TeeSink tee;
+  tee.Add(&log);
+  tee.Add(&auditor);
+  tee.Add(&metrics_sink);
+  tee.Add(&slo);
+  store.set_trace_sink(&tee);
+
+  // Record the strands (seeded, before any scheduling).
+  ContinuityModel model(TestStorage(), TestVideoDevice());
+  Result<StrandPlacement> placement =
+      model.DerivePlacement(RetrievalArchitecture::kPipelined, TestVideo());
+  EXPECT_TRUE(placement.ok());
+  std::vector<PlaybackRequest> requests;
+  for (int i = 0; i < kStreams; ++i) {
+    VideoSource source(TestVideo(), 100 + static_cast<uint64_t>(i));
+    Result<RecordingResult> recorded = RecordVideo(&store, &source, *placement, 3.0);
+    EXPECT_TRUE(recorded.ok());
+    Result<const Strand*> strand = store.Get(recorded->strand);
+    EXPECT_TRUE(strand.ok());
+    PlaybackRequest request;
+    for (int64_t b = 0; b < (*strand)->block_count(); ++b) {
+      request.blocks.push_back(*(*strand)->index().Lookup(b));
+    }
+    request.block_duration = (*strand)->info().BlockDuration();
+    request.spec = RequestSpec{TestVideo(), placement->granularity};
+    requests.push_back(std::move(request));
+  }
+
+  DiskArray array(TestDiskParameters(), kMembers);
+  for (int m = 0; m < kMembers; ++m) {
+    array.member(m).set_trace_sink(&tee);
+  }
+  if (fault_member) {
+    array.member(1).fault_injector().MarkBad(0, array.member(1).total_sectors());
+  }
+
+  WorkerPool pool(workers);
+  Simulator sim;
+  SchedulerOptions options;
+  options.trace = &tee;
+  options.service_order = ServiceOrder::kPlanned;
+  options.disk_array = &array;
+  options.worker_pool = &pool;
+  options.verify_payloads = true;
+  const double avg = std::max(store.AverageScatteringSec(), 1e-4);
+  ServiceScheduler scheduler(&store, &sim, AdmissionControl(TestStorage(), avg), options);
+
+  std::vector<RequestId> ids;
+  for (PlaybackRequest& request : requests) {
+    Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+    EXPECT_TRUE(id.ok());
+    if (id.ok()) {
+      ids.push_back(*id);
+    }
+  }
+  scheduler.RunUntilIdle();
+
+  RunImage image;
+  for (const obs::TraceEvent& event : log.events()) {
+    image.trace += obs::TraceEventSummary(event);
+    image.trace += '\n';
+  }
+  image.metrics = registry.ToJson();
+  image.slo = slo.Report().ToJson();
+  obs::PerfettoExporter exporter(&log.events());
+  image.perfetto = exporter.Export();
+  image.perfetto_parallel = exporter.Export(&pool);
+  image.payload_digest = scheduler.payload_digest();
+  image.rounds = scheduler.rounds_executed();
+  image.completion = sim.Now();
+  for (RequestId id : ids) {
+    Result<RequestStats> stats = scheduler.stats(id);
+    EXPECT_TRUE(stats.ok());
+    if (stats.ok()) {
+      image.blocks_done += stats->blocks_done;
+      image.blocks_skipped += stats->blocks_skipped;
+      image.completion = std::max(image.completion, stats->completion_time);
+    }
+  }
+  image.auditor_clean = auditor.Clean();
+  image.auditor_report = auditor.Report();
+  return image;
+}
+
+TEST(WallclockDeterminismTest, WorkerCountsProduceByteIdenticalTelemetry) {
+  const RunImage reference = RunWorkload(1, /*fault_member=*/false);
+  EXPECT_TRUE(reference.auditor_clean) << reference.auditor_report;
+  EXPECT_GT(reference.rounds, 1);
+  EXPECT_GT(reference.completion, 0);
+  EXPECT_GT(reference.blocks_done, 0);
+  EXPECT_FALSE(reference.trace.empty());
+  // The pool-backed Perfetto export must already match the serial one in
+  // the reference run (1 worker serializes inline).
+  EXPECT_EQ(reference.perfetto_parallel, reference.perfetto);
+
+  for (int workers : {2, 8}) {
+    const RunImage image = RunWorkload(workers, /*fault_member=*/false);
+    EXPECT_TRUE(image.auditor_clean) << image.auditor_report;
+    EXPECT_EQ(image.trace, reference.trace) << "workers=" << workers;
+    EXPECT_EQ(image.metrics, reference.metrics) << "workers=" << workers;
+    EXPECT_EQ(image.slo, reference.slo) << "workers=" << workers;
+    EXPECT_EQ(image.perfetto, reference.perfetto) << "workers=" << workers;
+    EXPECT_EQ(image.perfetto_parallel, reference.perfetto) << "workers=" << workers;
+    EXPECT_EQ(image.payload_digest, reference.payload_digest) << "workers=" << workers;
+    EXPECT_EQ(image.rounds, reference.rounds) << "workers=" << workers;
+    EXPECT_EQ(image.completion, reference.completion) << "workers=" << workers;
+    EXPECT_EQ(image.blocks_done, reference.blocks_done) << "workers=" << workers;
+  }
+}
+
+TEST(WallclockDeterminismTest, FaultedRunsAreByteIdenticalAcrossWorkerCounts) {
+  const RunImage reference = RunWorkload(1, /*fault_member=*/true);
+  // One member's platter is all bad range: waves fault mid-round, retries
+  // run, blocks get skipped — the degraded path must be deterministic too.
+  EXPECT_GT(reference.blocks_skipped, 0);
+  EXPECT_GT(reference.completion, 0);
+  for (int workers : {2, 8}) {
+    const RunImage image = RunWorkload(workers, /*fault_member=*/true);
+    EXPECT_EQ(image.trace, reference.trace) << "workers=" << workers;
+    EXPECT_EQ(image.metrics, reference.metrics) << "workers=" << workers;
+    EXPECT_EQ(image.slo, reference.slo) << "workers=" << workers;
+    EXPECT_EQ(image.payload_digest, reference.payload_digest) << "workers=" << workers;
+    EXPECT_EQ(image.blocks_skipped, reference.blocks_skipped) << "workers=" << workers;
+    EXPECT_EQ(image.completion, reference.completion) << "workers=" << workers;
+  }
+}
+
+TEST(WallclockDiskArrayTest, FaultedMemberChargesMechanicalTimeIntoCompletion) {
+  // Eq. 11 accounting under faults: the batch is not done until the
+  // slowest arm stops, and a faulted member's arm still moved — its
+  // last_fault_service() must be inside completion_time. Identical for
+  // inline and pooled dispatch.
+  for (int workers : {1, 4}) {
+    DiskArray array(TestDiskParameters(), 2);
+    WorkerPool pool(workers);
+    array.set_worker_pool(&pool);
+    array.member(1).fault_injector().MarkBad(100, 8);
+    const std::vector<DiskArray::BatchRequest> batch = {{0, 0, 8}, {1, 100, 8}};
+    Result<DiskArray::BatchOutcome> outcome = array.ReadBatch(batch, nullptr);
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_EQ(outcome->per_request.size(), 2u);
+    EXPECT_TRUE(outcome->per_request[0].status.ok());
+    EXPECT_FALSE(outcome->per_request[1].status.ok());
+    EXPECT_GT(outcome->per_request[1].service, 0) << "faulted arm consumed no mechanism";
+    EXPECT_EQ(outcome->per_request[1].service, array.member(1).last_fault_service());
+    EXPECT_EQ(outcome->completion_time,
+              std::max(outcome->per_request[0].service, outcome->per_request[1].service));
+  }
+}
+
+TEST(WallclockDiskArrayTest, PayloadChecksumsMatchAcrossWorkerCounts) {
+  // Write distinct payloads to each member, then read them back with
+  // checksumming on: the per-request CRCs must be worker-count invariant.
+  std::vector<uint64_t> reference;
+  for (int workers : {1, 4}) {
+    DiskArray array(TestDiskParameters(), 3);
+    WorkerPool pool(workers);
+    array.set_worker_pool(&pool);
+    array.set_checksum_payloads(true);
+    const int64_t sector_bytes = array.member(0).bytes_per_sector();
+    std::vector<std::vector<uint8_t>> data;
+    std::vector<DiskArray::BatchRequest> batch;
+    for (int m = 0; m < 3; ++m) {
+      batch.push_back(DiskArray::BatchRequest{m, 64 * (m + 1), 4});
+      data.push_back(
+          std::vector<uint8_t>(static_cast<size_t>(4 * sector_bytes), static_cast<uint8_t>(m + 7)));
+    }
+    Result<DiskArray::BatchOutcome> wrote = array.WriteBatch(batch, data);
+    ASSERT_TRUE(wrote.ok());
+    ASSERT_TRUE(wrote->AllOk());
+    std::vector<std::vector<uint8_t>> read;
+    Result<DiskArray::BatchOutcome> outcome = array.ReadBatch(batch, &read);
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_TRUE(outcome->AllOk());
+    std::vector<uint64_t> crcs;
+    for (size_t i = 0; i < outcome->per_request.size(); ++i) {
+      EXPECT_EQ(outcome->per_request[i].payload_crc, wrote->per_request[i].payload_crc);
+      EXPECT_NE(outcome->per_request[i].payload_crc, 0u);
+      crcs.push_back(outcome->per_request[i].payload_crc);
+    }
+    if (reference.empty()) {
+      reference = crcs;
+    } else {
+      EXPECT_EQ(crcs, reference);
+    }
+  }
+}
+
+TEST(WallclockPersistenceTest, CheckpointRoundTripsThroughPool) {
+  Disk disk(TestDiskParameters());
+  StrandStore store(&disk);
+  ContinuityModel model(TestStorage(), TestVideoDevice());
+  Result<StrandPlacement> placement =
+      model.DerivePlacement(RetrievalArchitecture::kPipelined, TestVideo());
+  ASSERT_TRUE(placement.ok());
+  VideoSource source(TestVideo(), 9);
+  ASSERT_TRUE(RecordVideo(&store, &source, *placement, 2.0).ok());
+
+  // Save under a 4-worker pool (chunk-parallel catalog CRC), reload under
+  // the same pool; the serial path is already covered by persistence_test.
+  WorkerPool pool(4);
+  RopeServer ropes(&store);
+  Result<ImageReceipt> receipt = SaveImage(&store, &ropes, nullptr, nullptr, &pool);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(receipt->valid);
+  Result<LoadedImage> image = LoadImage(&disk, &pool);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->strands_recovered, 1);
+}
+
+}  // namespace
+}  // namespace vafs
