@@ -1,0 +1,389 @@
+// Cluster scale-out and fault tolerance: sharded vaFS under node loss.
+//
+// Two scenarios on the future disk (src/cluster/):
+//
+//   scaling   one cold title per node, each node saturated with twice its
+//             Eq. 17 ceiling of viewers: aggregate admitted streams must
+//             grow near-linearly with node count (>= 3x at 4 nodes vs 1).
+//
+//   failover  a 4-node cluster serving a Zipf library with a flash crowd
+//             on the hot title (2 replicas); the node hosting the hot
+//             title's primary replica is killed at flash peak. Every one
+//             of the dead node's viewers must either resume on a replica
+//             within the stamped failover bound (kFailover, checked by
+//             the cluster ContinuityAuditor) or be shed with an explicit
+//             kShedLoad record — zero silent stream deaths — while the
+//             token-bucket repair path re-replicates the orphaned titles
+//             in the background. The same seed replays byte-identically
+//             (signature + per-node SLO rollup) for any VAFS_WORKERS.
+//
+// CI gates on BENCH_cluster_metrics.json + BENCH_cluster_slo.json via
+// tools/check_cluster.py (failover bound, zero silent deaths and
+// determinism are hard gates; the scaling ratio is advisory).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <string>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "src/cluster/cluster.h"
+#include "src/sim/workload.h"
+
+namespace vafs {
+namespace {
+
+constexpr double kTitleSec = 6.0;
+constexpr double kEpochSec = 0.25;
+constexpr int64_t kFailoverBoundEpochs = 2;
+constexpr int kFailoverNodes = 4;
+
+// The Eq. 17 ceiling for one viewer of the bench title on one node.
+int64_t ComputeNmax() {
+  FileSystemConfig config = TestbedConfig();
+  config.disk = FutureDisk();
+  config.retain_data = false;
+  MultimediaFileSystem fs(config);
+  const StrandPlacement placement = *fs.PlacementFor(UvcCompressedVideo());
+  return fs.admission()
+      .Analyze({RequestSpec{UvcCompressedVideo(), placement.granularity}})
+      .n_max;
+}
+
+FileSystemConfig ClusterNodeConfig(bool merging) {
+  FileSystemConfig config = TestbedConfig();
+  config.disk = FutureDisk();
+  config.retain_data = false;
+  config.scheduler.service_order = ServiceOrder::kPlanned;
+  config.telemetry.enabled = true;
+  config.telemetry.trace_capacity = 1 << 14;
+  config.block_cache.capacity_bytes = 4 << 20;
+  if (merging) {
+    // The failover scenario runs the full session layer: orphans resuming
+    // mid-title on a survivor can ride that node's existing streams.
+    config.scheduler.cache_aware_admission = true;
+    config.sessions.batch_window_sec = 1.0;
+    config.sessions.max_patch_blocks = 1 << 20;
+    config.sessions.runway_margin_blocks = 0;
+  } else {
+    // The scaling scenario measures raw Eq. 17 capacity: every viewer is
+    // a full stream.
+    config.scheduler.cache_aware_admission = false;
+    config.sessions.batch_window_sec = 0.0;
+    config.sessions.max_patch_blocks = 0;
+  }
+  return config;
+}
+
+cluster::ClusterOptions BaseOptions(int nodes, bool merging) {
+  cluster::ClusterOptions options;
+  options.nodes = nodes;
+  options.node_config = ClusterNodeConfig(merging);
+  options.media = UvcCompressedVideo();
+  options.epoch_sec = kEpochSec;
+  options.hot_replicas = 2;
+  options.cold_replicas = 1;
+  options.failover_bound_epochs = kFailoverBoundEpochs;
+  return options;
+}
+
+struct ScalingPoint {
+  int nodes = 0;
+  int64_t arrivals = 0;
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  bool audit_clean = false;
+};
+
+// One cold title per node (least-loaded placement pins title t to node t),
+// each title hit with 2x one node's ceiling: admitted streams saturate at
+// roughly nodes * n_max.
+ScalingPoint RunScaling(int nodes, int64_t n_max) {
+  cluster::ClusterCoordinator coordinator(BaseOptions(nodes, /*merging=*/false));
+  for (int t = 0; t < nodes; ++t) {
+    if (!coordinator.AddTitle(t, 9000 + static_cast<uint64_t>(t), kTitleSec, /*hot=*/false)
+             .ok()) {
+      return {};
+    }
+  }
+  std::vector<sim::WorkloadArrival> arrivals;
+  const int64_t per_title = 2 * n_max;
+  for (int t = 0; t < nodes; ++t) {
+    for (int64_t i = 0; i < per_title; ++i) {
+      sim::WorkloadArrival arrival;
+      arrival.time_sec = 0.1 + 0.8 * static_cast<double>(i) / static_cast<double>(per_title);
+      arrival.title = t;
+      arrivals.push_back(arrival);
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const sim::WorkloadArrival& a, const sim::WorkloadArrival& b) {
+              return a.time_sec != b.time_sec ? a.time_sec < b.time_sec : a.title < b.title;
+            });
+  coordinator.Run(arrivals, {}, 3.0);
+
+  ScalingPoint point;
+  point.nodes = nodes;
+  point.arrivals = static_cast<int64_t>(arrivals.size());
+  point.admitted = coordinator.census().admitted;
+  point.rejected = coordinator.census().rejected;
+  point.audit_clean = coordinator.AuditsClean();
+  if (!point.audit_clean) {
+    std::printf("AUDIT (scaling, %d nodes):\n%s\n", nodes, coordinator.AuditReport().c_str());
+  }
+  return point;
+}
+
+struct FailoverOutcome {
+  int64_t arrivals = 0;
+  cluster::ClusterCensus census;
+  int64_t failover_events = 0;
+  int64_t failover_within_bound = 0;
+  int64_t shed_events = 0;
+  int64_t re_replicate_events = 0;
+  int64_t unaccounted_viewers = 0;  // still kViewing/kPending at the end
+  SimTime max_interruption_usec = 0;
+  SimTime bound_usec = 0;
+  bool audit_clean = false;
+  std::string signature;
+  std::string slo_json;
+};
+
+sim::WorkloadOptions FailoverWorkload(int64_t n_max) {
+  sim::WorkloadOptions options;
+  options.titles = kFailoverNodes;
+  options.zipf_exponent = 1.0;
+  options.duration_sec = 4.0;
+  // Base load sized to keep every node busy; the flash alone demands ~4x
+  // one node's ceiling of the hot title, which its two replica holders
+  // cannot absorb as full streams after one of them dies.
+  options.arrival_rate_per_sec = std::max(
+      1.0, static_cast<double>(kFailoverNodes) * static_cast<double>(n_max) / kTitleSec);
+  options.flash_start_sec = 1.5;
+  options.flash_duration_sec = 1.5;
+  const double flash_rate =
+      std::max(2.0, 4.0 * static_cast<double>(n_max) / options.flash_duration_sec);
+  options.flash_rate_multiplier = flash_rate / options.arrival_rate_per_sec;
+  options.flash_title_bias = 0.9;
+  options.flash_title = 0;
+  options.seed = 31337;
+  // Kill the hot title's primary replica holder at flash peak — mid-epoch,
+  // so its streams degrade to skip-on-time until the coordinator notices
+  // at the next boundary. It never comes back; repair must restore the
+  // lost replicas on survivors.
+  sim::WorkloadOptions::NodeFailure kill;
+  kill.time_sec = 2.3;
+  kill.node = 0;
+  options.node_failures = {kill};
+  return options;
+}
+
+FailoverOutcome RunFailover(int64_t n_max) {
+  cluster::ClusterCoordinator coordinator(BaseOptions(kFailoverNodes, /*merging=*/true));
+  FailoverOutcome outcome;
+  // Title 0 is the flash target: hot, two replicas (nodes 0 and 1). The
+  // cold tail spreads one replica each across the remaining nodes.
+  for (int t = 0; t < kFailoverNodes; ++t) {
+    if (!coordinator.AddTitle(t, 7000 + static_cast<uint64_t>(t), kTitleSec, t == 0).ok()) {
+      return outcome;
+    }
+  }
+  const sim::WorkloadOptions workload = FailoverWorkload(n_max);
+  const sim::WorkloadEngine engine(workload);
+  coordinator.Run(engine.Generate(), engine.FailureSchedule(), 12.0);
+
+  outcome.arrivals = static_cast<int64_t>(coordinator.viewers().size());
+  outcome.census = coordinator.census();
+  outcome.bound_usec = SecondsToUsec(kFailoverBoundEpochs * kEpochSec);
+  for (const obs::TraceEvent& event : coordinator.trace_log().events()) {
+    switch (event.kind) {
+      case obs::TraceEventKind::kFailover:
+        ++outcome.failover_events;
+        outcome.max_interruption_usec = std::max(outcome.max_interruption_usec, event.duration);
+        if (event.duration <= event.round_budget) {
+          ++outcome.failover_within_bound;
+        }
+        break;
+      case obs::TraceEventKind::kShedLoad:
+        ++outcome.shed_events;
+        break;
+      case obs::TraceEventKind::kReReplicate:
+        ++outcome.re_replicate_events;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const cluster::ViewerRecord& viewer : coordinator.viewers()) {
+    if (viewer.state == cluster::ViewerRecord::State::kViewing ||
+        viewer.state == cluster::ViewerRecord::State::kPending) {
+      ++outcome.unaccounted_viewers;
+    }
+  }
+  outcome.audit_clean = coordinator.AuditsClean();
+  if (!outcome.audit_clean) {
+    std::printf("AUDIT (failover):\n%s\n", coordinator.AuditReport().c_str());
+  }
+  outcome.signature = coordinator.Signature();
+  outcome.slo_json = coordinator.ClusterSloJson();
+  return outcome;
+}
+
+void WriteClusterJson(int64_t n_max, const std::vector<ScalingPoint>& scaling,
+                      double scaling_4x, const FailoverOutcome& failover, bool deterministic) {
+  const char* path = "BENCH_cluster_metrics.json";
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"cluster\": {\n"
+               "    \"n_max\": %lld,\n"
+               "    \"scaling\": [\n",
+               static_cast<long long>(n_max));
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingPoint& point = scaling[i];
+    std::fprintf(file,
+                 "      {\"nodes\": %d, \"arrivals\": %lld, \"admitted\": %lld, "
+                 "\"rejected\": %lld, \"audit_clean\": %s}%s\n",
+                 point.nodes, static_cast<long long>(point.arrivals),
+                 static_cast<long long>(point.admitted), static_cast<long long>(point.rejected),
+                 point.audit_clean ? "true" : "false", i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(file,
+               "    ],\n"
+               "    \"scaling_4x_vs_1x\": %.3f,\n"
+               "    \"failover\": {\n"
+               "      \"nodes\": %d,\n"
+               "      \"arrivals\": %lld,\n"
+               "      \"admitted\": %lld,\n"
+               "      \"rejected\": %lld,\n"
+               "      \"finished\": %lld,\n"
+               "      \"failed_over\": %lld,\n"
+               "      \"shed\": %lld,\n"
+               "      \"nodes_killed\": %lld,\n"
+               "      \"re_replications\": %lld,\n"
+               "      \"repair_blocks\": %lld,\n"
+               "      \"failover_events\": %lld,\n"
+               "      \"failover_within_bound\": %lld,\n"
+               "      \"shed_events\": %lld,\n"
+               "      \"unaccounted_viewers\": %lld,\n"
+               "      \"max_interruption_usec\": %lld,\n"
+               "      \"bound_usec\": %lld,\n"
+               "      \"audit_clean\": %s,\n"
+               "      \"deterministic\": %s\n"
+               "    }\n"
+               "  }\n"
+               "}\n",
+               scaling_4x, kFailoverNodes, static_cast<long long>(failover.arrivals),
+               static_cast<long long>(failover.census.admitted),
+               static_cast<long long>(failover.census.rejected),
+               static_cast<long long>(failover.census.finished),
+               static_cast<long long>(failover.census.failed_over),
+               static_cast<long long>(failover.census.shed),
+               static_cast<long long>(failover.census.nodes_killed),
+               static_cast<long long>(failover.census.re_replications),
+               static_cast<long long>(failover.census.repair_blocks),
+               static_cast<long long>(failover.failover_events),
+               static_cast<long long>(failover.failover_within_bound),
+               static_cast<long long>(failover.shed_events),
+               static_cast<long long>(failover.unaccounted_viewers),
+               static_cast<long long>(failover.max_interruption_usec),
+               static_cast<long long>(failover.bound_usec),
+               failover.audit_clean ? "true" : "false", deterministic ? "true" : "false");
+  std::fclose(file);
+  std::printf("metrics: %s\n", path);
+}
+
+void WriteClusterSlo(const FailoverOutcome& failover) {
+  const char* path = "BENCH_cluster_slo.json";
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fwrite(failover.slo_json.data(), 1, failover.slo_json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("slo: %s\n", path);
+}
+
+void PrintClusterTables() {
+  PrintHeader("cluster", "scale-out sharding and node-loss failover");
+  PrintOperatingPoint(FutureDisk());
+  const int64_t n_max = ComputeNmax();
+  std::printf("per-node Eq. 17 ceiling n_max = %lld\n", static_cast<long long>(n_max));
+
+  std::printf("\nscaling (one cold title per node, 2x ceiling offered per node):\n");
+  std::printf("%6s | %8s | %8s | %8s | %7s | %5s\n", "nodes", "arrivals", "admitted", "rejected",
+              "vs 1", "audit");
+  std::vector<ScalingPoint> scaling;
+  for (const int nodes : {1, 2, 4, 8}) {
+    scaling.push_back(RunScaling(nodes, n_max));
+    const ScalingPoint& point = scaling.back();
+    const double speedup = scaling.front().admitted > 0
+                               ? static_cast<double>(point.admitted) /
+                                     static_cast<double>(scaling.front().admitted)
+                               : 0.0;
+    std::printf("%6d | %8lld | %8lld | %8lld | %6.2fx | %5s\n", point.nodes,
+                static_cast<long long>(point.arrivals), static_cast<long long>(point.admitted),
+                static_cast<long long>(point.rejected), speedup,
+                point.audit_clean ? "ok" : "FAIL");
+  }
+  const double scaling_4x =
+      scaling.front().admitted > 0
+          ? static_cast<double>(scaling[2].admitted) / static_cast<double>(scaling.front().admitted)
+          : 0.0;
+
+  std::printf("\nfailover (kill hot replica holder at flash peak, 4 nodes):\n");
+  FailoverOutcome failover = RunFailover(n_max);
+  const FailoverOutcome repeat = RunFailover(n_max);
+  const bool deterministic =
+      failover.signature == repeat.signature && failover.slo_json == repeat.slo_json;
+  std::printf("%lld viewers: %lld admitted, %lld rejected, %lld finished, %lld failed over, "
+              "%lld shed\n",
+              static_cast<long long>(failover.arrivals),
+              static_cast<long long>(failover.census.admitted),
+              static_cast<long long>(failover.census.rejected),
+              static_cast<long long>(failover.census.finished),
+              static_cast<long long>(failover.census.failed_over),
+              static_cast<long long>(failover.census.shed));
+  std::printf("failovers: %lld events, %lld within the %lld us bound (max interruption %lld us)\n",
+              static_cast<long long>(failover.failover_events),
+              static_cast<long long>(failover.failover_within_bound),
+              static_cast<long long>(failover.bound_usec),
+              static_cast<long long>(failover.max_interruption_usec));
+  std::printf("shedding: %lld explicit kShedLoad records; %lld viewers unaccounted for\n",
+              static_cast<long long>(failover.shed_events),
+              static_cast<long long>(failover.unaccounted_viewers));
+  std::printf("repair: %lld re-replications (%lld blocks) behind the token bucket\n",
+              static_cast<long long>(failover.census.re_replications),
+              static_cast<long long>(failover.census.repair_blocks));
+  std::printf("audits: %s; deterministic replay: %s\n", failover.audit_clean ? "clean" : "DIRTY",
+              deterministic ? "yes" : "NO");
+
+  WriteClusterJson(n_max, scaling, scaling_4x, failover, deterministic);
+  WriteClusterSlo(failover);
+}
+
+void BM_ClusterScaleTwoNodes(benchmark::State& state) {
+  const int64_t n_max = ComputeNmax();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunScaling(2, n_max).admitted);
+  }
+}
+BENCHMARK(BM_ClusterScaleTwoNodes)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vafs
+
+int main(int argc, char** argv) {
+  vafs::PrintClusterTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -844,6 +844,31 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
     record_extent(extent, riders, *now, ok);
   };
 
+  // A transfer whose whole device is gone: every rider loses its blocks
+  // directly, without burning a per-block attempt through the retry
+  // machinery (a dead device answers instantly and data never comes, so
+  // per-block attempts are pure fault-accounting noise).
+  const auto skip_transfer = [&](const PlannedTransfer& transfer, const char* why) {
+    for (const auto& [extent, riders] : distinct_extents(transfer)) {
+      for (const PlannedBlock* block : riders) {
+        ActiveRequest& rider = requests_.at(block->request);
+        ++rider.stats.blocks_skipped;
+        if (options_.trace != nullptr) {
+          obs::TraceEvent event = TraceContext();
+          event.kind = obs::TraceEventKind::kBlockSkipped;
+          event.time = *now;
+          event.request = block->request;
+          event.sector = extent.first;
+          event.blocks = extent.second;
+          event.round_budget = round_budget_;
+          event.detail = why;
+          Emit(event);
+        }
+      }
+      record_extent(extent, riders, *now, false);
+    }
+  };
+
   const auto attribute = [&](const PlannedTransfer& transfer, SimDuration spent) {
     std::vector<uint64_t> riders;
     for (const PlannedBlock& block : transfer.blocks) {
@@ -925,6 +950,17 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
         if (queue.empty()) {
           continue;
         }
+        if (array->member(m).failed()) {
+          // The member already failed (this wave or an earlier round): the
+          // arm no longer moves, so dispatching its queue would only burn a
+          // per-block attempt against a device that answers instantly with
+          // nothing. Drain the queue as direct skips instead.
+          while (!queue.empty()) {
+            skip_transfer(*queue.front(), "member_failed");
+            queue.pop_front();
+          }
+          continue;
+        }
         const PlannedTransfer* transfer = queue.front();
         queue.pop_front();
         measured_seek += std::abs(model.SectorToCylinder(transfer->start_sector) -
@@ -964,11 +1000,18 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
           // wave completion; de-coalesced retries run after the wave.
           ++requests_.at(transfer.blocks.front().request).stats.faults_seen;
           Disk& member_disk = array->member(transfer.member);
-          for (const auto& [extent, riders] : groups) {
-            measured_seek +=
-                std::abs(model.SectorToCylinder(extent.first) - member_disk.head_cylinder());
-            ++ops;
-            read_extent(&member_disk, extent, riders);
+          if (member_disk.failed()) {
+            // The whole member died mid-wave: one member failure, not one
+            // attempt per block. This transfer's riders are skipped here;
+            // the arm's remaining queue drains at the next wave boundary.
+            skip_transfer(transfer, "member_failed");
+          } else {
+            for (const auto& [extent, riders] : groups) {
+              measured_seek +=
+                  std::abs(model.SectorToCylinder(extent.first) - member_disk.head_cylinder());
+              ++ops;
+              read_extent(&member_disk, extent, riders);
+            }
           }
         }
       }

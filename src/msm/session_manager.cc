@@ -36,13 +36,18 @@ int64_t SessionManager::LeaderBlocksDone(RequestId leader) const {
   return stats.ok() ? stats->blocks_done : 0;
 }
 
-void SessionManager::PinLeaderTrail(const Group& group, int64_t gap, Session* session) {
+void SessionManager::PinLeaderTrail(const Group& group, int64_t leader_pos, int64_t rider_start,
+                                    Session* session) {
   if (!options_.pin_leader_trail || cache_ == nullptr || !cache_->enabled()) {
     return;
   }
-  // The rider missed the leader's last `gap` deliveries; keep the most
-  // recent of them resident until the rider (or its patch) consumes them.
-  const int64_t first = std::max<int64_t>(0, gap - options_.trail_pin_limit);
+  // The rider missed the leader's deliveries between its own start and the
+  // leader's position; keep the most recent of them resident until the
+  // rider (or its patch) consumes them. Indices translate to the leader's
+  // block space (its playback may itself start mid-title).
+  const int64_t gap = leader_pos - group.leader_start;
+  const int64_t first = std::max({int64_t{0}, rider_start - group.leader_start,
+                                  gap - options_.trail_pin_limit});
   for (int64_t i = first; i < gap && i < static_cast<int64_t>(group.blocks.size()); ++i) {
     const PrimaryEntry& entry = group.blocks[static_cast<size_t>(i)];
     if (entry.IsSilence()) {
@@ -63,7 +68,8 @@ void SessionManager::UnpinTrail(Session* session) {
   session->pinned.clear();
 }
 
-Result<SessionTicket> SessionManager::Open(uint64_t title, PlaybackRequest solo) {
+Result<SessionTicket> SessionManager::Open(uint64_t title, PlaybackRequest solo,
+                                           int64_t start_block) {
   const int64_t total = static_cast<int64_t>(solo.blocks.size());
   Group* group = nullptr;
   if (auto live = live_group_.find(title); live != live_group_.end()) {
@@ -73,13 +79,17 @@ Result<SessionTicket> SessionManager::Open(uint64_t title, PlaybackRequest solo)
     }
   }
   if (group != nullptr) {
-    const int64_t gap = LeaderBlocksDone(group->leader);
-    const int64_t remaining = group->leader_total - gap;
+    // Everything in absolute title-block space: the leader's playback may
+    // itself start mid-title (a failed-over viewer turned leader).
+    const int64_t leader_pos = group->leader_start + LeaderBlocksDone(group->leader);
+    const int64_t leader_end = group->leader_start + group->leader_total;
+    const int64_t gap = leader_pos - start_block;  // rider's distance behind
+    const int64_t remaining = leader_end - leader_pos;
     const bool in_window =
         simulator_->Now() - group->opened <= SecondsToUsec(options_.batch_window_sec);
-    // Riding only makes sense while the leader still has the rider's whole
-    // remainder ahead of it.
-    if (remaining > 0 && total > gap) {
+    // Riding only makes sense while the leader is at or past the rider's
+    // start and still has the rider's whole remainder ahead of it.
+    if (remaining > 0 && gap >= 0 && total > gap && start_block + total <= leader_end) {
       if (in_window || gap == 0) {
         Session session;
         session.ticket.session = next_session_++;
@@ -87,7 +97,8 @@ Result<SessionTicket> SessionManager::Open(uint64_t title, PlaybackRequest solo)
         session.ticket.title = title;
         session.ticket.request = group->leader;
         session.ticket.gap_blocks = gap;
-        PinLeaderTrail(*group, gap, &session);
+        session.ticket.start_block = start_block;
+        PinLeaderTrail(*group, leader_pos, start_block, &session);
         Emit(obs::TraceEventKind::kSessionBatched, session,
              static_cast<int64_t>(session.pinned.size()));
         group->sessions.push_back(session.ticket.session);
@@ -120,7 +131,8 @@ Result<SessionTicket> SessionManager::Open(uint64_t title, PlaybackRequest solo)
           session.ticket.patch_request = *patch_id;
           session.ticket.gap_blocks = gap;
           session.ticket.runway_bound = bound;
-          PinLeaderTrail(*group, gap, &session);
+          session.ticket.start_block = start_block;
+          PinLeaderTrail(*group, leader_pos, start_block, &session);
           Emit(obs::TraceEventKind::kSessionPatched, session, bound);
           group->sessions.push_back(session.ticket.session);
           patch_index_[*patch_id] = session.ticket.session;
@@ -145,6 +157,7 @@ Result<SessionTicket> SessionManager::Open(uint64_t title, PlaybackRequest solo)
   fresh.title = title;
   fresh.leader = *leader_id;
   fresh.opened = simulator_->Now();
+  fresh.leader_start = start_block;
   fresh.leader_total = total;
   fresh.blocks = std::move(blocks);
   Session session;
@@ -152,6 +165,7 @@ Result<SessionTicket> SessionManager::Open(uint64_t title, PlaybackRequest solo)
   session.ticket.mode = SessionTicket::Mode::kLeader;
   session.ticket.title = title;
   session.ticket.request = *leader_id;
+  session.ticket.start_block = start_block;
   fresh.sessions.push_back(session.ticket.session);
   groups_[*leader_id] = std::move(fresh);
   live_group_[title] = *leader_id;
@@ -160,6 +174,29 @@ Result<SessionTicket> SessionManager::Open(uint64_t title, PlaybackRequest solo)
   const SessionTicket ticket = session.ticket;
   sessions_.emplace(ticket.session, std::move(session));
   return ticket;
+}
+
+void SessionManager::MarkDegraded(Session* session) {
+  // Exactly-once accounting: a rider can lose its leader and its patch in
+  // the same round (one CollapsedCacheAdmissions pass revokes both), and
+  // each path lands here.
+  if (!session->degraded) {
+    session->degraded = true;
+    ++census_.degraded;
+  }
+}
+
+bool SessionManager::PatchStillRunning(const Session& session) const {
+  if (session.ticket.patch_request == 0) {
+    return false;
+  }
+  Result<RequestStats> stats = scheduler_->stats(session.ticket.patch_request);
+  if (!stats.ok() || stats->completed) {
+    return false;
+  }
+  // A paused patch only counts as alive while a deferred resume is still
+  // in flight for it.
+  return !stats->paused || session.resume_pending;
 }
 
 void SessionManager::CloseGroup(Group* group, bool completed) {
@@ -173,23 +210,36 @@ void SessionManager::CloseGroup(Group* group, bool completed) {
       continue;
     }
     Session& session = it->second;
-    if (session.ticket.mode == SessionTicket::Mode::kPatched && !session.merged &&
-        !session.degraded) {
-      const int64_t tail = group->leader_total - session.ticket.gap_blocks;
-      if (completed && session.ticket.runway_bound >= tail) {
+    if (session.ticket.mode == SessionTicket::Mode::kPatched && !session.merged) {
+      // Deliveries after attach the rider still needed: from its attach
+      // position (start + gap, absolute) to the leader's end.
+      const int64_t tail = group->leader_start + group->leader_total -
+                           session.ticket.start_block - session.ticket.gap_blocks;
+      if (completed && !session.degraded && session.ticket.runway_bound >= tail) {
         // The leader delivered the whole title and the rider's runway holds
         // its entire tail; only the catch-up patch is still running. Leave
         // the session open — it merges (or degrades) when the patch ends.
         continue;
       }
-      // The leader died under the patch (or its remaining deliveries
-      // overflowed a capped runway): the rider finishes what the patch
-      // reads but the shared tail is gone.
-      session.degraded = true;
-      ++census_.degraded;
+      // The leader died under the patch (stop, destructive pause, or a
+      // cache-admission revocation) or its remaining deliveries overflowed
+      // a capped runway: the shared tail is gone. The rider degrades to a
+      // solo stream — its patch keeps delivering the prefix standalone —
+      // and the trail pins are released exactly once (UnpinTrail clears the
+      // ledger, so the later patch-termination path cannot release them a
+      // second time).
+      MarkDegraded(&session);
+      UnpinTrail(&session);
+      if (PatchStillRunning(session)) {
+        // The session finishes when its solo patch completes or dies.
+        continue;
+      }
     }
     UnpinTrail(&session);
     session.finished = true;
+    if (session.ticket.patch_request != 0) {
+      patch_index_.erase(session.ticket.patch_request);
+    }
   }
   if (auto live = live_group_.find(group->title);
       live != live_group_.end() && live->second == group->leader) {
@@ -198,32 +248,39 @@ void SessionManager::CloseGroup(Group* group, bool completed) {
 }
 
 void SessionManager::HandlePatchGone(Session* session, bool try_resume) {
-  if (session->merged || session->degraded || session->finished) {
+  if (session->merged || session->finished) {
     return;
   }
   if (try_resume && !session->resume_pending) {
     // One deferred re-application: the pause may be transient (the slot
     // freed again by the time the next event runs). Scheduled instead of
-    // called inline — the pause is still being emitted up the tee.
+    // called inline — the pause is still being emitted up the tee. A
+    // session already degraded by its leader's revocation still gets the
+    // attempt: degrading to solo means the patch stream should keep
+    // delivering if admission allows.
     session->resume_pending = true;
     const RequestId patch = session->ticket.patch_request;
     const uint64_t id = session->ticket.session;
     simulator_->ScheduleAfter(0, [this, patch, id]() {
       auto it = sessions_.find(id);
-      if (it == sessions_.end() || it->second.merged || it->second.degraded) {
+      if (it == sessions_.end() || it->second.merged || it->second.finished) {
         return;
       }
+      it->second.resume_pending = false;
       if (!scheduler_->Resume(patch).ok()) {
-        it->second.degraded = true;
-        ++census_.degraded;
+        // Resume exhausted: the rider is done for.
+        MarkDegraded(&it->second);
         UnpinTrail(&it->second);
+        it->second.finished = true;
+        patch_index_.erase(patch);
       }
     });
     return;
   }
-  session->degraded = true;
-  ++census_.degraded;
+  MarkDegraded(session);
   UnpinTrail(session);
+  session->finished = true;
+  patch_index_.erase(session->ticket.patch_request);
 }
 
 void SessionManager::OnEvent(const obs::TraceEvent& event) {
@@ -237,9 +294,15 @@ void SessionManager::OnEvent(const obs::TraceEvent& event) {
           session.merged = true;
           ++census_.merged;
           UnpinTrail(&session);
+          // Realized runway: leader deliveries since the rider attached,
+          // in absolute title-block space.
+          int64_t leader_start = 0;
+          if (auto git = groups_.find(session.ticket.request); git != groups_.end()) {
+            leader_start = git->second.leader_start;
+          }
           const int64_t realized =
-              std::max<int64_t>(0, LeaderBlocksDone(session.ticket.request) -
-                                       session.ticket.gap_blocks);
+              std::max<int64_t>(0, leader_start + LeaderBlocksDone(session.ticket.request) -
+                                       session.ticket.start_block - session.ticket.gap_blocks);
           Emit(obs::TraceEventKind::kSessionMerged, session, realized);
           if (auto git = groups_.find(session.ticket.request);
               git != groups_.end() && git->second.closed) {
@@ -247,7 +310,17 @@ void SessionManager::OnEvent(const obs::TraceEvent& event) {
             // out of its banked runway, nothing left to observe.
             session.finished = true;
           }
+        } else if (session.degraded && !session.finished) {
+          // Degraded-to-solo rider: its patch delivered the prefix it could;
+          // the session ends with it (pins were already released when the
+          // leader went down — UnpinTrail cleared the ledger, so this is a
+          // no-op, never a second release).
+          UnpinTrail(&session);
+          session.finished = true;
         }
+        // The patch stream is terminal either way; stop indexing it so a
+        // late Stop/Pause event for a recycled id cannot touch this session.
+        patch_index_.erase(pit);
         break;
       }
       if (auto git = groups_.find(event.request); git != groups_.end()) {

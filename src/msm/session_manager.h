@@ -77,6 +77,11 @@ struct SessionTicket {
   RequestId patch_request = 0;  // kPatched: the catch-up stream
   int64_t gap_blocks = 0;       // distance behind the leader at attach
   int64_t runway_bound = 0;     // kPatched: Section 3 buffer bound
+  // First title block this viewer plays (0 = from the top). Mid-title
+  // viewers exist on failover: a resumed viewer re-opens at its progress
+  // point on a replica node and may batch or patch against other viewers
+  // of the same title there.
+  int64_t start_block = 0;
 };
 
 // Lifetime totals, for benches and vafs_top.
@@ -101,8 +106,11 @@ class SessionManager : public obs::TraceSink {
   // the viewer would run alone; the manager either submits it (leader),
   // attaches to a live leader (batched), or submits a truncated catch-up
   // patch (patched). Admission failures of a leader propagate; a rejected
-  // patch falls back to a solo leader stream.
-  Result<SessionTicket> Open(uint64_t title, PlaybackRequest solo);
+  // patch falls back to a solo leader stream. `start_block` is the title
+  // block `solo` begins at (non-zero for mid-title viewers, e.g. failover
+  // resumption); batching and patching translate between the viewer's and
+  // the leader's block spaces through it.
+  Result<SessionTicket> Open(uint64_t title, PlaybackRequest solo, int64_t start_block = 0);
 
   // Progress observation: merges patches, closes groups, re-applies a
   // destructively paused patch once.
@@ -123,6 +131,7 @@ class SessionManager : public obs::TraceSink {
     uint64_t title = 0;
     RequestId leader = 0;
     SimTime opened = 0;
+    int64_t leader_start = 0;  // title block the leader's playback begins at
     int64_t leader_total = 0;
     bool closed = false;  // leader completed or stopped
     std::vector<PrimaryEntry> blocks;  // leader's playback, for trail pins
@@ -138,7 +147,11 @@ class SessionManager : public obs::TraceSink {
   };
 
   void Emit(obs::TraceEventKind kind, const Session& session, int64_t runway) const;
-  void PinLeaderTrail(const Group& group, int64_t gap, Session* session);
+  // Pins the leader's recent deliveries the rider missed: leader-space
+  // blocks [max(rider_start, pos - trail_pin_limit), pos), where `pos` and
+  // `rider_start` are absolute title-block positions.
+  void PinLeaderTrail(const Group& group, int64_t leader_pos, int64_t rider_start,
+                      Session* session);
   void UnpinTrail(Session* session);
   int64_t LeaderBlocksDone(RequestId leader) const;
   // `completed`: the leader finished the title (riders got everything) as
@@ -146,6 +159,12 @@ class SessionManager : public obs::TraceSink {
   // whose runway holds the leader's whole tail survives a completion.
   void CloseGroup(Group* group, bool completed);
   void HandlePatchGone(Session* session, bool try_resume);
+  // Exactly-once degraded accounting: a rider can lose its leader and its
+  // patch in the same round, and both paths mark it degraded.
+  void MarkDegraded(Session* session);
+  // True while the session's patch stream can still deliver blocks (running,
+  // or paused with a deferred resume in flight).
+  bool PatchStillRunning(const Session& session) const;
 
   ServiceScheduler* scheduler_;
   Simulator* simulator_;

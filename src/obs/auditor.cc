@@ -368,6 +368,21 @@ void ContinuityAuditor::OnEvent(const TraceEvent& event) {
       // slots); only the merge bookkeeping is checked.
       HandleSession(event);
       break;
+    case TraceEventKind::kFailover:
+      // The robustness headline's contract: a failed-over viewer's service
+      // interruption (`duration`, kill to first replica delivery) must fit
+      // the bound the coordinator stamped on the event (`round_budget`).
+      // An unbounded interruption is a silent stream death wearing a
+      // failover costume.
+      if (event.round_budget <= 0) {
+        Flag(event, "failover of request " + std::to_string(event.request) +
+                        " carries no stamped interruption bound");
+      } else if (event.duration > event.round_budget) {
+        Flag(event, "failover of request " + std::to_string(event.request) + " took " +
+                        std::to_string(event.duration) + " us, over its stamped bound of " +
+                        std::to_string(event.round_budget) + " us");
+      }
+      break;
     case TraceEventKind::kBlockSkipped:
     case TraceEventKind::kBlockRelocated:
     case TraceEventKind::kDiskFault:
@@ -380,6 +395,10 @@ void ContinuityAuditor::OnEvent(const TraceEvent& event) {
     case TraceEventKind::kJournalReplay:
     case TraceEventKind::kFsckFinding:
     case TraceEventKind::kCacheInvalidate:
+    case TraceEventKind::kNodeDown:
+    case TraceEventKind::kNodeUp:
+    case TraceEventKind::kReReplicate:
+    case TraceEventKind::kShedLoad:
       break;
   }
 }

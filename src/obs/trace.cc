@@ -78,6 +78,16 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "session_patched";
     case TraceEventKind::kSessionMerged:
       return "session_merged";
+    case TraceEventKind::kNodeDown:
+      return "node_down";
+    case TraceEventKind::kNodeUp:
+      return "node_up";
+    case TraceEventKind::kFailover:
+      return "failover";
+    case TraceEventKind::kReReplicate:
+      return "re_replicate";
+    case TraceEventKind::kShedLoad:
+      return "shed_load";
   }
   return "unknown";
 }
@@ -129,6 +139,9 @@ std::string TraceEventSummary(const TraceEvent& event) {
     }
     line += " gap=" + std::to_string(event.gap_blocks) +
             " runway=" + std::to_string(event.runway_blocks);
+  }
+  if (event.node >= 0) {
+    line += " node=" + std::to_string(event.node);
   }
   if (!event.detail.empty()) {
     line += " [" + event.detail + "]";
@@ -316,6 +329,24 @@ void MetricsSink::OnEvent(const TraceEvent& event) {
       m.counter("sessions.merged").Increment();
       m.histogram("sessions.merge_runway_blocks")
           .Record(static_cast<double>(event.runway_blocks));
+      break;
+    case TraceEventKind::kNodeDown:
+      m.counter("cluster.nodes_down").Increment();
+      break;
+    case TraceEventKind::kNodeUp:
+      m.counter("cluster.nodes_up").Increment();
+      break;
+    case TraceEventKind::kFailover:
+      m.counter("cluster.failovers").Increment();
+      m.histogram("cluster.failover_interruption_usec")
+          .Record(static_cast<double>(event.duration));
+      break;
+    case TraceEventKind::kReReplicate:
+      m.counter("cluster.re_replications").Increment();
+      m.counter("cluster.repair_blocks").Increment(event.blocks);
+      break;
+    case TraceEventKind::kShedLoad:
+      m.counter("cluster.viewers_shed").Increment();
       break;
   }
 }

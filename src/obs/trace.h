@@ -65,6 +65,13 @@ enum class TraceEventKind {
   kSessionBatched,  // a viewer attached to a leader inside the batch window
   kSessionPatched,  // a late viewer opened a short catch-up stream
   kSessionMerged,   // the patch closed its gap; the rider now follows the leader
+  // Cluster sharding and failover (src/cluster/).
+  kNodeDown,     // the coordinator declared a node dead; `node` names it
+  kNodeUp,       // a node (re)joined after its catalog reconciled
+  kFailover,     // a viewer resumed on a replica; `duration` = interruption,
+                 // `round_budget` = the stamped failover bound it must meet
+  kReReplicate,  // background repair restored one strand's replica count
+  kShedLoad,     // no survivor could absorb this viewer; explicitly dropped
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -132,6 +139,10 @@ struct TraceEvent {
   uint64_t leader = 0;        // request id of the shared physical stream
   int64_t gap_blocks = 0;     // rider's distance behind the leader at attach
   int64_t runway_blocks = 0;  // patched: Section 3 buffer bound; merged: realized
+  // Cluster events: the storage node the event concerns (-1 = not
+  // node-scoped; 0 is a valid node id). kFailover additionally uses `node`
+  // for the replica that absorbed the viewer and `sector` is unused.
+  int64_t node = -1;
   SlotSnapshot slots;
   std::string detail;  // human-readable context, e.g. a rejection reason
 };

@@ -75,5 +75,14 @@ std::vector<WorkloadArrival> WorkloadEngine::Generate() const {
   return arrivals;
 }
 
+std::vector<WorkloadOptions::NodeFailure> WorkloadEngine::FailureSchedule() const {
+  std::vector<WorkloadOptions::NodeFailure> schedule = options_.node_failures;
+  std::sort(schedule.begin(), schedule.end(),
+            [](const WorkloadOptions::NodeFailure& a, const WorkloadOptions::NodeFailure& b) {
+              return a.time_sec != b.time_sec ? a.time_sec < b.time_sec : a.node < b.node;
+            });
+  return schedule;
+}
+
 }  // namespace sim
 }  // namespace vafs

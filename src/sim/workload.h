@@ -59,6 +59,20 @@ struct WorkloadOptions {
   int64_t flash_title = 0;
 
   uint64_t seed = 1;
+
+  // Node-failure schedule for cluster runs (src/cluster/): each entry
+  // kills one storage node at a fixed time; a non-negative restart_after
+  // powers it back up that many seconds later (its journal replays and the
+  // coordinator reconciles its catalog before readmitting it). The
+  // schedule is part of the options — not sampled from the Prng — so the
+  // same seed with and without failures produces the identical arrival
+  // trace, and the failure instant itself is reproducible to the round.
+  struct NodeFailure {
+    double time_sec = 0.0;
+    int64_t node = 0;
+    double restart_after_sec = -1.0;  // < 0: the node stays dead
+  };
+  std::vector<NodeFailure> node_failures;
 };
 
 struct WorkloadArrival {
@@ -76,6 +90,9 @@ class WorkloadEngine {
   explicit WorkloadEngine(WorkloadOptions options);
 
   std::vector<WorkloadArrival> Generate() const;
+  // The failure schedule sorted by time (ties by node id), for drivers that
+  // interleave kills with the arrival trace.
+  std::vector<WorkloadOptions::NodeFailure> FailureSchedule() const;
   const WorkloadOptions& options() const { return options_; }
 
  private:

@@ -255,7 +255,19 @@ Result<SessionTicket> MultimediaFileSystem::OpenSession(const std::string& user,
   if (!request.ok()) {
     return request.status();
   }
-  return session_manager_->Open(rope, std::move(*request));
+  // The title block the interval begins at: non-zero for mid-title viewers
+  // (failover resumption), so the session layer can translate between this
+  // viewer's block space and a live leader's.
+  int64_t start_block = 0;
+  if (interval.start_sec > 0.0) {
+    if (Result<const Rope*> rope_ptr = ropes_->Find(rope); rope_ptr.ok()) {
+      const Track& track = (*rope_ptr)->TrackFor(medium);
+      if (track.rate > 0 && track.granularity > 0) {
+        start_block = track.UnitsAt(interval.start_sec) / track.granularity;
+      }
+    }
+  }
+  return session_manager_->Open(rope, std::move(*request), start_block);
 }
 
 Status MultimediaFileSystem::Checkpoint() {

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "src/disk/disk_array.h"
 #include "src/msm/block_cache.h"
 #include "src/msm/recorder.h"
 #include "src/msm/service_scheduler.h"
@@ -536,6 +537,53 @@ TEST_F(SchedulerTest, AdmitStopCyclesLeaveNoPinnedResidue) {
     scheduler.RunUntilIdle();
     EXPECT_EQ(cache.stats().pinned_entries, 0) << "cycle " << cycle;
   }
+}
+
+TEST_F(SchedulerTest, DeadArrayMemberFailsOnceNotPerBlock) {
+  // Regression: when a whole DiskArray member dies mid-stream, the planned
+  // dispatcher used to push every queued transfer at the dead arm, and each
+  // block burned its own attempt through the retry machinery (a fault event
+  // and fault accounting per block, against a device that answers instantly
+  // with nothing). The member must fail once; the rest of its queue is
+  // skipped directly.
+  PlaybackRequest request = MakePlayback(5.0, 77);
+  const int64_t total_blocks = static_cast<int64_t>(request.blocks.size());
+  DiskArray array(TestDiskParameters(), 2);
+  for (int m = 0; m < 2; ++m) {
+    array.member(m).set_trace_sink(&tee_);
+  }
+  SchedulerOptions options = Traced();
+  options.service_order = ServiceOrder::kPlanned;
+  options.disk_array = &array;
+  ServiceScheduler scheduler(&store_, &sim_, MakeAdmission(), options);
+  Result<RequestId> id = scheduler.SubmitPlayback(std::move(request));
+  ASSERT_TRUE(id.ok());
+  // A second of healthy rounds, then member 1 dies for good.
+  sim_.ScheduleAfter(SecondsToUsec(1.0), [&array] { array.FailMember(1); });
+  scheduler.RunUntilIdle();
+
+  Result<RequestStats> stats = scheduler.stats(*id);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->completed);
+  EXPECT_EQ(stats->blocks_done, total_blocks);  // skip-on-time: the clock never stalls
+  EXPECT_GT(stats->blocks_skipped, 0);
+  EXPECT_LT(stats->blocks_skipped, total_blocks);  // member 0 kept delivering
+  // No per-block attempts against the dead arm: zero retries, and at most
+  // one device_failed fault observation (the wave that caught it dying).
+  EXPECT_EQ(stats->blocks_retried, 0);
+  EXPECT_LE(stats->faults_seen, 1);
+  int64_t device_failed_events = 0;
+  int64_t skips = 0;
+  for (const obs::TraceEvent& event : log_.events()) {
+    if (event.kind == obs::TraceEventKind::kDiskFault && event.detail == "device_failed") {
+      ++device_failed_events;
+    }
+    if (event.kind == obs::TraceEventKind::kBlockSkipped) {
+      ++skips;
+    }
+  }
+  EXPECT_LE(device_failed_events, 1);
+  EXPECT_EQ(skips, stats->blocks_skipped);
 }
 
 TEST_F(SchedulerTest, EmptyRequestsRejected) {

@@ -239,6 +239,77 @@ TEST_F(SessionTest, PatchedRiderMergesAndSeesByteIdenticalContent) {
   }
 }
 
+TEST_F(SessionTest, LeaderRevokedDuringPatchDegradesToSoloWithoutDoubleRelease) {
+  FileSystemConfig config = SessionConfig();
+  config.block_cache.capacity_bytes = 1 << 23;  // hot title + filler churn stay resident
+  MultimediaFileSystem fs(config);
+  const RopeId hot = RecordTitle(&fs, 4.0, 21);
+  const TimeInterval interval{0.0, 4.0};
+
+  // Prime: one full solo pass leaves the hot title resident in the cache.
+  Result<RequestId> primer = fs.Play("primer", hot, Medium::kVideo, interval);
+  ASSERT_TRUE(primer.ok()) << primer.status().ToString();
+  fs.RunUntilIdle();
+
+  // Saturate the Eq. 17 slots with distinct cold titles (streams of one
+  // shared title would cover each other's lookahead and cache-admit) so
+  // the next viewer of the hot title only fits as a cache tenant.
+  std::vector<RequestId> fillers;
+  for (int i = 0;; ++i) {
+    ASSERT_LT(i, 40) << "admission never saturated";
+    const RopeId cold = RecordTitle(&fs, 2.5, 100 + i);
+    Result<RequestId> id = fs.Play("filler", cold, Medium::kVideo, TimeInterval{0.0, 2.5});
+    if (!id.ok()) {
+      break;
+    }
+    fillers.push_back(*id);
+  }
+  ASSERT_FALSE(fillers.empty());
+
+  Result<SessionTicket> leader = fs.OpenSession("alice", hot, Medium::kVideo, interval);
+  ASSERT_TRUE(leader.ok()) << leader.status().ToString();
+  ASSERT_EQ(leader->mode, SessionTicket::Mode::kLeader);
+  ASSERT_TRUE(fs.Stats(leader->request)->cache_admitted);
+
+  const SimTime opened = fs.simulator().Now();
+  fs.simulator().RunUntil(opened + SecondsToUsec(1.5));
+  Result<SessionTicket> rider = fs.OpenSession("bob", hot, Medium::kVideo, interval);
+  ASSERT_TRUE(rider.ok()) << rider.status().ToString();
+  ASSERT_EQ(rider->mode, SessionTicket::Mode::kPatched);
+  ASSERT_NE(rider->patch_request, 0u);
+
+  // Collapse the coverage both cache tenants were admitted on: the next
+  // planned round revokes the leader and the patch together, in one pass.
+  fs.simulator().ScheduleAfter(SecondsToUsec(0.1),
+                               [&fs]() { fs.block_cache()->InvalidateAll(); });
+  fs.RunUntilIdle();
+
+  int64_t revoked = 0;
+  for (const obs::TraceEvent& event : fs.trace_log()->events()) {
+    if (event.kind == obs::TraceEventKind::kCacheAdmitRevoked) {
+      ++revoked;
+    }
+  }
+  EXPECT_GE(revoked, 2) << "leader and patch should both lose their cache admission";
+
+  // The rider degrades to solo exactly once even though it lost its leader
+  // and its patch in the same round, and the leader's trail pins come off
+  // exactly once: nothing stays pinned, nothing underflows.
+  const SessionCensus& census = fs.session_manager()->census();
+  EXPECT_EQ(census.patched, 1);
+  EXPECT_EQ(census.merged, 0);
+  EXPECT_EQ(census.degraded, 1);
+  EXPECT_EQ(fs.session_manager()->LiveViewers(), 0);
+  EXPECT_EQ(fs.block_cache()->stats().pinned_entries, 0);
+  // The solo patch got its one deferred resume; with the slots still full
+  // and the cache cold it stays parked rather than completing.
+  EXPECT_TRUE(fs.Stats(rider->patch_request)->paused);
+  EXPECT_FALSE(fs.Stats(rider->patch_request)->completed);
+  for (RequestId id : fillers) {
+    EXPECT_TRUE(fs.Stats(id)->completed);
+  }
+}
+
 TEST_F(SessionTest, FlashCrowdAdmitsRidersUnderStrictAudit) {
   MultimediaFileSystem fs(SessionConfig());
   std::vector<RopeId> ropes;

@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/disk/disk_array.h"
@@ -271,6 +273,77 @@ TEST(WallclockPersistenceTest, CheckpointRoundTripsThroughPool) {
   Result<LoadedImage> image = LoadImage(&disk, &pool);
   ASSERT_TRUE(image.ok());
   EXPECT_EQ(image->strands_recovered, 1);
+}
+
+TEST(WallclockWorkerPoolTest, BackgroundSubmitsSurviveConcurrentRunAllBarriers) {
+  // The background lane's contract: tasks Submitted from another thread —
+  // even while the owner is running RunAll barriers — each execute exactly
+  // once, and a final Drain makes their writes visible. The RunAll
+  // restriction is on the barrier's own tasks, not on other threads.
+  for (int workers : {1, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    WorkerPool pool(workers);
+    constexpr int kBackground = 400;
+    constexpr int kWaves = 40;
+    constexpr int kTasksPerWave = 8;
+    std::vector<std::atomic<int>> slots(kBackground);
+    for (auto& slot : slots) {
+      slot.store(0, std::memory_order_relaxed);
+    }
+    std::atomic<int64_t> barrier_work{0};
+    std::thread producer([&pool, &slots] {
+      for (int i = 0; i < kBackground; ++i) {
+        pool.Submit([&slots, i] { slots[static_cast<size_t>(i)].fetch_add(1); });
+        if (i % 32 == 0) {
+          std::this_thread::yield();  // interleave with the barriers
+        }
+      }
+    });
+    for (int wave = 0; wave < kWaves; ++wave) {
+      std::vector<WorkerPool::Task> tasks;
+      tasks.reserve(kTasksPerWave);
+      for (int t = 0; t < kTasksPerWave; ++t) {
+        tasks.push_back([&barrier_work] { barrier_work.fetch_add(1); });
+      }
+      pool.RunAll(std::move(tasks));
+    }
+    producer.join();
+    pool.Drain();
+    EXPECT_EQ(barrier_work.load(), static_cast<int64_t>(kWaves) * kTasksPerWave);
+    for (int i = 0; i < kBackground; ++i) {
+      EXPECT_EQ(slots[static_cast<size_t>(i)].load(), 1) << "background task " << i;
+    }
+  }
+}
+
+TEST(WallclockWorkerPoolTest, DrainFromSecondThreadJoinsInFlightWork) {
+  // Two threads share the background lane: one submits and drains, the
+  // other hammers barriers. Drain must return only once the lane is empty,
+  // and neither side may deadlock the other.
+  WorkerPool pool(4);
+  std::atomic<int64_t> background{0};
+  std::atomic<int64_t> barrier_work{0};
+  std::thread producer([&pool, &background] {
+    for (int round = 0; round < 20; ++round) {
+      for (int i = 0; i < 16; ++i) {
+        pool.Submit([&background] { background.fetch_add(1); });
+      }
+      pool.Drain();
+      const int64_t seen = background.load();
+      ASSERT_GE(seen, (round + 1) * 16) << "Drain returned with work still in flight";
+    }
+  });
+  for (int wave = 0; wave < 40; ++wave) {
+    std::vector<WorkerPool::Task> tasks;
+    for (int t = 0; t < 4; ++t) {
+      tasks.push_back([&barrier_work] { barrier_work.fetch_add(1); });
+    }
+    pool.RunAll(std::move(tasks));
+  }
+  producer.join();
+  pool.Drain();
+  EXPECT_EQ(background.load(), 20 * 16);
+  EXPECT_EQ(barrier_work.load(), 40 * 4);
 }
 
 }  // namespace

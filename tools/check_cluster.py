@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""CI gate over the cluster sharding/failover bench artifacts.
+
+Run from a directory containing BENCH_cluster_metrics.json and
+BENCH_cluster_slo.json (dropped by bench_cluster next to its printed
+tables). Hard gates (exit 1):
+
+  - zero silent stream deaths: every viewer of the killed node either
+    failed over (each kFailover event inside its stamped bound) or was
+    shed with an explicit kShedLoad record; nobody is left dangling;
+  - a node was actually killed and at least one viewer actually failed
+    over (the scenario must exercise the failover path, not dodge it);
+  - every audit (cluster + per-node strict ContinuityAuditor) is clean,
+    in the failover scenario and at every scaling point;
+  - the seeded failure run replays byte-identically (signature and
+    per-node SLO rollup);
+  - the cluster SLO artifact is the vafs.slo.cluster shape with one
+    entry per node, each carrying a node id, state, and SLO report.
+
+Advisory (warn, exit 0): aggregate admitted streams at 4 nodes should
+be >= 3x the single-node run — near-linear scale-out.
+"""
+
+import json
+import sys
+
+FAILURES = []
+WARNINGS = []
+
+
+def fail(message: str) -> None:
+    FAILURES.append(message)
+    print(f"FAIL: {message}")
+
+
+def warn(message: str) -> None:
+    WARNINGS.append(message)
+    print(f"WARN: {message}")
+
+
+def load(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            return json.load(fp)
+    except FileNotFoundError:
+        fail(f"{path}: missing artifact")
+    except json.JSONDecodeError as err:
+        fail(f"{path}: invalid JSON ({err})")
+    return None
+
+
+def check_metrics(path: str) -> None:
+    data = load(path)
+    if data is None:
+        return
+    cluster = data.get("cluster", {})
+    scaling = cluster.get("scaling", [])
+    failover = cluster.get("failover", {})
+
+    # --- scaling: audits hard, the ratio advisory ---
+    if not scaling:
+        fail(f"{path}: no scaling points")
+    by_nodes = {}
+    for point in scaling:
+        by_nodes[point.get("nodes", 0)] = point
+        if not point.get("audit_clean", False):
+            fail(f"{path}: scaling at {point.get('nodes')} nodes did not audit clean")
+        if point.get("admitted", 0) <= 0:
+            fail(f"{path}: scaling at {point.get('nodes')} nodes admitted nobody")
+    ratio = cluster.get("scaling_4x_vs_1x", 0.0)
+    if ratio < 3.0:
+        warn(f"{path}: 4-node aggregate admissions only {ratio:.2f}x the single node "
+             f"(want >= 3x)")
+    else:
+        one = by_nodes.get(1, {}).get("admitted", 0)
+        four = by_nodes.get(4, {}).get("admitted", 0)
+        print(f"ok: 4 nodes admitted {four} streams vs {one} on one node ({ratio:.2f}x)")
+
+    # --- failover: everything hard ---
+    if failover.get("nodes_killed", 0) < 1:
+        fail(f"{path}: no node was killed — the failover scenario did not run")
+    if failover.get("admitted", 0) <= 0:
+        fail(f"{path}: failover scenario admitted nobody")
+    if failover.get("failed_over", 0) < 1:
+        fail(f"{path}: no viewer failed over — the kill missed every live stream")
+    events = failover.get("failover_events", 0)
+    within = failover.get("failover_within_bound", -1)
+    if events != within:
+        fail(f"{path}: {events - within} of {events} failovers exceeded the stamped bound "
+             f"(max interruption {failover.get('max_interruption_usec')} us, bound "
+             f"{failover.get('bound_usec')} us)")
+    if failover.get("max_interruption_usec", 0) > failover.get("bound_usec", 0):
+        fail(f"{path}: max failover interruption "
+             f"{failover.get('max_interruption_usec')} us exceeds the bound "
+             f"{failover.get('bound_usec')} us")
+    if failover.get("shed_events", -1) != failover.get("shed", 0):
+        fail(f"{path}: {failover.get('shed')} viewers shed but "
+             f"{failover.get('shed_events')} kShedLoad records — shedding must be explicit")
+    if failover.get("unaccounted_viewers", 1) != 0:
+        fail(f"{path}: {failover.get('unaccounted_viewers')} viewers neither finished, "
+             f"failed over, nor shed — silent stream deaths")
+    if not failover.get("audit_clean", False):
+        fail(f"{path}: failover trace did not replay clean through the strict auditors")
+    if not failover.get("deterministic", False):
+        fail(f"{path}: repeated seeded failure run diverged — not replay-deterministic")
+    if not FAILURES:
+        print(f"ok: kill at flash peak — {failover.get('failed_over')} failed over "
+              f"within {failover.get('bound_usec')} us, {failover.get('shed')} shed "
+              f"explicitly, {failover.get('re_replications')} repairs "
+              f"({failover.get('repair_blocks')} blocks) behind the token bucket")
+
+
+def check_cluster_slo(path: str) -> None:
+    data = load(path)
+    if data is None:
+        return
+    if data.get("kind") != "vafs.slo.cluster":
+        fail(f"{path}: kind is {data.get('kind')!r}, want 'vafs.slo.cluster'")
+        return
+    nodes = data.get("nodes", [])
+    if not nodes:
+        fail(f"{path}: empty per-node SLO rollup")
+    for entry in nodes:
+        node = entry.get("node", -1)
+        if node < 0:
+            fail(f"{path}: rollup entry without a node id")
+        if entry.get("state") not in ("up", "dead", "recovering"):
+            fail(f"{path}: node {node} has unknown state {entry.get('state')!r}")
+        slo = entry.get("slo")
+        if not isinstance(slo, dict) or "streams" not in slo:
+            fail(f"{path}: node {node} carries no SLO report")
+    states = [entry.get("state") for entry in nodes]
+    if "dead" not in states:
+        fail(f"{path}: no node reports dead after the kill scenario")
+    if not FAILURES:
+        print(f"ok: per-node SLO rollup covers {len(nodes)} nodes ({', '.join(states)})")
+
+
+def main() -> int:
+    check_metrics("BENCH_cluster_metrics.json")
+    check_cluster_slo("BENCH_cluster_slo.json")
+    if FAILURES:
+        print(f"{len(FAILURES)} cluster gate(s) failed")
+        return 1
+    if WARNINGS:
+        print(f"all hard cluster gates passed ({len(WARNINGS)} advisory warning(s))")
+    else:
+        print("all cluster gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -220,6 +220,40 @@ void RenderStreams(const JsonValue* slo) {
               Num(slo, "breached_streams"), streams->array.size(), Num(slo, "rounds_total"));
 }
 
+void RenderCluster(const JsonValue* root) {
+  const JsonValue* nodes = Child(root, "nodes");
+  if (nodes == nullptr || !nodes->is_array()) {
+    std::printf("  (no per-node rollup)\n");
+    return;
+  }
+  std::printf("[cluster]  per-node continuity rollup (%zu nodes)\n", nodes->array.size());
+  std::printf("  %4s %-11s %7s %8s %7s %8s %8s %7s\n", "node", "state", "rounds", "streams",
+              "breach", "batched", "patched", "merged");
+  double rounds = 0.0;
+  double streams = 0.0;
+  double breached = 0.0;
+  int up = 0;
+  int down = 0;
+  for (const JsonValue& entry : nodes->array) {
+    const JsonValue* slo = Child(&entry, "slo");
+    const JsonValue* node_streams = Child(slo, "streams");
+    const size_t stream_count =
+        node_streams != nullptr && node_streams->is_array() ? node_streams->array.size() : 0;
+    const std::string state = entry.StringOr("state", "?");
+    state == "up" ? ++up : ++down;
+    rounds += Num(slo, "rounds_total");
+    streams += static_cast<double>(stream_count);
+    breached += Num(slo, "breached_streams");
+    std::printf("  %4.0f %-11s %7.0f %8zu %7.0f %8.0f %8.0f %7.0f\n", Num(&entry, "node"),
+                state.c_str(), Num(slo, "rounds_total"), stream_count,
+                Num(slo, "breached_streams"), Num(slo, "sessions_batched"),
+                Num(slo, "sessions_patched"), Num(slo, "sessions_merged"));
+  }
+  std::printf("  rollup: %d up / %d down-or-recovering, %.0f rounds over %.0f streams, "
+              "%.0f breached\n\n",
+              up, down, rounds, streams, breached);
+}
+
 int RenderSnapshot(const std::string& text, const char* source) {
   vafs::Result<JsonValue> root = JsonValue::Parse(text);
   if (!root.ok()) {
@@ -235,6 +269,12 @@ int RenderSnapshot(const std::string& text, const char* source) {
                 Num(trace, "events_retained"), Num(trace, "events_dropped"));
   } else {
     std::printf("\n");
+  }
+  // A cluster rollup (bench_cluster's BENCH_cluster_slo.json) nests one
+  // SLO report per storage node under its lifecycle state.
+  if (root->StringOr("kind", "") == "vafs.slo.cluster") {
+    RenderCluster(&*root);
+    return 0;
   }
   // A bare SLO report (WriteSloJson's BENCH_*_slo.json) carries no metric
   // tables; render just the session and stream sections from its root.
