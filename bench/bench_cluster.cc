@@ -59,6 +59,9 @@ FileSystemConfig ClusterNodeConfig(bool merging) {
   config.scheduler.service_order = ServiceOrder::kPlanned;
   config.telemetry.enabled = true;
   config.telemetry.trace_capacity = 1 << 14;
+  // Causal spans on the failover scenario only: the scaling sweep measures
+  // raw admission capacity and keeps its event volume down.
+  config.telemetry.spans = merging;
   config.block_cache.capacity_bytes = 4 << 20;
   if (merging) {
     // The failover scenario runs the full session layer: orphans resuming
@@ -149,6 +152,9 @@ struct FailoverOutcome {
   bool audit_clean = false;
   std::string signature;
   std::string slo_json;
+  std::string critical_path_json;  // all nodes' rounds merged, node order
+  std::string folded;              // cluster-wide folded flame stacks
+  std::string perfetto;            // span slices, every node's retained log
 };
 
 sim::WorkloadOptions FailoverWorkload(int64_t n_max) {
@@ -228,6 +234,25 @@ FailoverOutcome RunFailover(int64_t n_max) {
   }
   outcome.signature = coordinator.Signature();
   outcome.slo_json = coordinator.ClusterSloJson();
+
+  // Merge every node's critical-path rounds and retained trace events (in
+  // node order, so the artifacts are deterministic) for the CI gate and
+  // the flame/Perfetto uploads.
+  std::vector<obs::RoundCriticalPath> merged_rounds;
+  std::vector<obs::TraceEvent> merged_events;
+  for (int n = 0; n < coordinator.nodes(); ++n) {
+    MultimediaFileSystem& fs = coordinator.node(n).fs();
+    if (const obs::CriticalPathAnalyzer* analyzer = fs.critical_path(); analyzer != nullptr) {
+      merged_rounds.insert(merged_rounds.end(), analyzer->rounds().begin(),
+                           analyzer->rounds().end());
+    }
+    if (obs::TraceLog* log = fs.trace_log(); log != nullptr) {
+      merged_events.insert(merged_events.end(), log->events().begin(), log->events().end());
+    }
+  }
+  outcome.critical_path_json = obs::CriticalPathAnalyzer::ToJson(merged_rounds);
+  outcome.folded = obs::CriticalPathAnalyzer::FoldedStacks(merged_events);
+  outcome.perfetto = obs::PerfettoExporter(&merged_events).Export();
   return outcome;
 }
 
@@ -342,8 +367,10 @@ void PrintClusterTables() {
   std::printf("\nfailover (kill hot replica holder at flash peak, 4 nodes):\n");
   FailoverOutcome failover = RunFailover(n_max);
   const FailoverOutcome repeat = RunFailover(n_max);
-  const bool deterministic =
-      failover.signature == repeat.signature && failover.slo_json == repeat.slo_json;
+  const bool deterministic = failover.signature == repeat.signature &&
+                             failover.slo_json == repeat.slo_json &&
+                             failover.critical_path_json == repeat.critical_path_json &&
+                             failover.folded == repeat.folded;
   std::printf("%lld viewers: %lld admitted, %lld rejected, %lld finished, %lld failed over, "
               "%lld shed\n",
               static_cast<long long>(failover.arrivals),
@@ -368,6 +395,10 @@ void PrintClusterTables() {
 
   WriteClusterJson(n_max, scaling, scaling_4x, failover, deterministic);
   WriteClusterSlo(failover);
+  WriteTextArtifact(failover.critical_path_json, "cluster", "_criticalpath.json",
+                    "critical path");
+  WriteTextArtifact(failover.folded, "cluster", ".folded", "folded");
+  WriteTextArtifact(failover.perfetto, "cluster", ".perfetto.json", "perfetto");
 }
 
 void BM_ClusterScaleTwoNodes(benchmark::State& state) {

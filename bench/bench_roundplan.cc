@@ -112,10 +112,14 @@ ModeOutcome RunLibrary(ServiceOrder order, int n, BlockCache* cache) {
   tee.Add(&rounds);
   tee.Add(&slo);
   tee.Add(&g_metrics_sink);
+  // Spans on: every mode's rounds get critical-path attribution, feeding
+  // the critical_path.* metrics into the registry artifact.
+  obs::CriticalPathAnalyzer analyzer(obs::CriticalPathOptions{&tee});
   SchedulerOptions options;
   options.service_order = order;
   options.block_cache = cache;
-  options.trace = &tee;
+  options.trace = &analyzer;
+  options.emit_spans = true;
   ServiceScheduler scheduler(&store, &sim, admission, options);
 
   ModeOutcome outcome;
@@ -171,6 +175,7 @@ SharedOutcome RunSharedTitle() {
   config.block_cache.capacity_bytes = 64 << 20;
   config.telemetry.enabled = true;
   config.telemetry.trace_capacity = 1 << 16;
+  config.telemetry.spans = true;
   MultimediaFileSystem fs(config);
 
   SharedOutcome outcome;
@@ -220,6 +225,16 @@ SharedOutcome RunSharedTitle() {
   }
 
   WriteSloJson(report, "roundplan");
+  // The causal-span artifacts CI gates on: the per-round attribution
+  // table (check_criticalpath.py), the span tree as Perfetto slices, and
+  // folded flame stacks for tools/vafs_flame.py.
+  if (const obs::CriticalPathAnalyzer* analyzer = fs.critical_path(); analyzer != nullptr) {
+    WriteTextArtifact(analyzer->ToJson(), "roundplan", "_criticalpath.json", "critical path");
+  }
+  if (obs::TraceLog* log = fs.trace_log(); log != nullptr) {
+    WriteBenchArtifact(obs::PerfettoExporter(&log->events()), "roundplan");
+    WriteBenchArtifact(obs::FoldedStackExporter(&log->events()), "roundplan");
+  }
   return outcome;
 }
 

@@ -106,6 +106,22 @@ inline void WriteBenchArtifact(const obs::Exporter& exporter, const char* bench_
   std::printf("%s: %s\n", exporter.Format(), path.c_str());
 }
 
+// Writes pre-rendered text (a critical-path JSON report, folded flame
+// stacks, ...) as BENCH_<name><suffix>, logging the path for CI.
+inline void WriteTextArtifact(const std::string& text, const char* bench_name, const char* suffix,
+                              const char* label) {
+  const std::string path = std::string("BENCH_") + bench_name + suffix;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("%s: %s\n", label, path.c_str());
+}
+
 // Writes a continuity-SLO report as BENCH_<name>_slo.json.
 inline void WriteSloJson(const obs::SloReport& report, const char* bench_name) {
   const std::string path = std::string("BENCH_") + bench_name + "_slo.json";

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/media/sources.h"
+#include "src/obs/span.h"
 #include "src/util/time.h"
 
 namespace vafs {
@@ -15,6 +16,10 @@ namespace {
 
 // Viewer tags carry the cluster-wide viewer id into per-node traces.
 std::string ViewerUser(uint64_t viewer) { return "viewer-" + std::to_string(viewer); }
+
+// Salt separating routing-decision trace ids from the per-round id space
+// (obs::RoundTraceId). One routing span tree per viewer placement.
+constexpr uint64_t kRouteTraceSalt = 0x524f555445ULL;  // "ROUTE"
 
 }  // namespace
 
@@ -37,6 +42,9 @@ StorageNode::StorageNode(int id, const FileSystemConfig& config, obs::TraceSink*
   // SLO rollups, so every node runs telemetry and the session layer.
   node_config.telemetry.enabled = true;
   node_config.sessions.enabled = true;
+  // Node identity is woven into the node's trace/span ids, so cluster-wide
+  // span streams never collide across nodes.
+  node_config.telemetry.node_id = id;
   user_tee_.Add(&auditor_);
   if (config.scheduler.trace != nullptr) {
     user_tee_.Add(config.scheduler.trace);
@@ -278,6 +286,19 @@ void ClusterCoordinator::RunWindow(const std::vector<sim::WorkloadArrival>& arri
     }
     const int node_id = candidates.front();
     ++routed_load_[static_cast<size_t>(node_id)];
+    if (options_.node_config.telemetry.spans) {
+      // Routing decision as a root span: the viewer's journey starts here,
+      // before the chosen node's round spans pick the stream up.
+      obs::TraceEvent route;
+      route.kind = obs::TraceEventKind::kSpan;
+      route.trace_id = obs::MixIds(kRouteTraceSalt, record.id);
+      route.span_id = obs::RootSpanId(route.trace_id);
+      route.span_stage = static_cast<int64_t>(obs::SpanStage::kRoute);
+      route.node = node_id;
+      route.session = record.id;
+      route.detail = "arrival";
+      Emit(route);
+    }
     record.node = node_id;
     record.state = ViewerRecord::State::kPending;
     record.start_sec = 0.0;
@@ -432,6 +453,21 @@ void ClusterCoordinator::TryFailovers() {
         ++census_.failed_over;
       }
       ++routed_load_[static_cast<size_t>(node_id)];
+      if (options_.node_config.telemetry.spans) {
+        // Re-routing decision: a child of the viewer's original routing
+        // span, ordinal = how many times this viewer has moved.
+        obs::TraceEvent route;
+        route.kind = obs::TraceEventKind::kSpan;
+        route.trace_id = obs::MixIds(kRouteTraceSalt, viewer.id);
+        route.span_id = obs::ChildSpanId(obs::RootSpanId(route.trace_id), obs::SpanStage::kRoute,
+                                         static_cast<uint64_t>(viewer.failovers));
+        route.parent_span = obs::RootSpanId(route.trace_id);
+        route.span_stage = static_cast<int64_t>(obs::SpanStage::kRoute);
+        route.node = node_id;
+        route.session = viewer.id;
+        route.detail = "failover";
+        Emit(route);
+      }
       obs::TraceEvent event;
       event.kind = obs::TraceEventKind::kFailover;
       event.node = node_id;
@@ -669,7 +705,13 @@ std::string ClusterCoordinator::ClusterSloJson() const {
     }
     json += "{\"node\":" + std::to_string(nodes_[i]->id()) + ",\"state\":\"" +
             NodeStateName(nodes_[i]->state()) + "\",\"slo\":" +
-            nodes_[i]->fs().SloSnapshot().ToJson() + "}";
+            nodes_[i]->fs().SloSnapshot().ToJson();
+    const obs::CriticalPathAnalyzer* critical_path = nodes_[i]->fs().critical_path();
+    if (critical_path != nullptr && !critical_path->rounds().empty()) {
+      json += ",\"critical_path\":{\"rounds\":" + std::to_string(critical_path->rounds().size()) +
+              ",\"anomalies\":" + std::to_string(critical_path->anomalies()) + "}";
+    }
+    json += "}";
   }
   json += "]}";
   return json;

@@ -8,6 +8,8 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/span.h"
+
 namespace vafs {
 
 ServiceScheduler::ServiceScheduler(StrandStore* store, Simulator* simulator,
@@ -79,6 +81,7 @@ obs::TraceEvent ServiceScheduler::TraceContext() const {
   event.time = simulator_->Now();
   event.round = rounds_;
   event.k = current_k_;
+  event.node = options_.node;
   event.slots = Snapshot();
   return event;
 }
@@ -86,6 +89,99 @@ obs::TraceEvent ServiceScheduler::TraceContext() const {
 void ServiceScheduler::Emit(const obs::TraceEvent& event) const {
   if (options_.trace != nullptr) {
     options_.trace->OnEvent(event);
+  }
+}
+
+void ServiceScheduler::ChargeStage(obs::SpanStage stage, SimDuration usec) {
+  if (!span_.open || usec <= 0) {
+    return;
+  }
+  switch (stage) {
+    case obs::SpanStage::kSeek:
+      span_.stages.seek += usec;
+      break;
+    case obs::SpanStage::kTransfer:
+      span_.stages.transfer += usec;
+      break;
+    case obs::SpanStage::kRetry:
+      span_.stages.retry += usec;
+      break;
+    case obs::SpanStage::kCache:
+      span_.stages.cache += usec;
+      break;
+    case obs::SpanStage::kMergePatch:
+      span_.stages.merge_patch += usec;
+      break;
+    case obs::SpanStage::kAppend:
+      span_.stages.append += usec;
+      break;
+    default:
+      span_.stages.queue += usec;
+      break;
+  }
+}
+
+void ServiceScheduler::ChargeTransfer(obs::SpanStage stage, Disk* device, SimDuration service) {
+  if (!span_.open || service <= 0) {
+    return;
+  }
+  if (stage == obs::SpanStage::kAppend) {
+    // Appends interleave allocation and write; the arm's reposition is not
+    // separable from the transfer, so the whole service is append time.
+    ChargeStage(stage, service);
+    return;
+  }
+  // The mechanical split: the arm's last reposition (clamped to the
+  // service, which also covers rotation and transfer) is seek time; the
+  // rest is the stage's own data movement.
+  const SimDuration seek =
+      std::min(service, device->model().SeekTimeForDistance(device->last_seek_cylinders()));
+  span_.active_seek += seek;
+  ChargeStage(obs::SpanStage::kSeek, seek);
+  ChargeStage(stage, service - seek);
+}
+
+uint64_t ServiceScheduler::OpenTransferSpan(obs::SpanStage stage, uint64_t request,
+                                            int64_t member) {
+  if (!span_.open) {
+    return 0;
+  }
+  span_.active_stage = stage;
+  span_.active_request = request;
+  span_.active_member = member;
+  span_.active_parent = obs::ChildSpanId(span_.root, stage, span_.ordinal++);
+  span_.retry_ordinal = 0;
+  span_.active_seek = 0;
+  return span_.active_parent;
+}
+
+void ServiceScheduler::EmitSpan(obs::SpanStage stage, uint64_t span_id, uint64_t parent,
+                                SimTime end, SimDuration duration, uint64_t request,
+                                int64_t member, SimDuration seek, int64_t blocks,
+                                int64_t sector) {
+  if (!span_.open || span_id == 0 || options_.trace == nullptr) {
+    return;
+  }
+  obs::TraceEvent event = TraceContext();
+  obs::StampSpan(&event, span_.trace_id, span_id, parent, stage);
+  event.time = end;
+  event.duration = duration;
+  event.request = request;
+  event.member = member;
+  event.span_seek = seek;
+  event.blocks = blocks;
+  event.sector = sector;
+  Emit(event);
+}
+
+obs::SpanStage ServiceScheduler::TransferStageFor(const ActiveRequest& request) const {
+  return request.merge_patch ? obs::SpanStage::kMergePatch : obs::SpanStage::kTransfer;
+}
+
+void ServiceScheduler::set_merge_patch(RequestId id, bool patch) {
+  auto it = requests_.find(id);
+  if (it != requests_.end()) {
+    it->second.merge_patch = patch;
   }
 }
 
@@ -333,10 +429,12 @@ bool ServiceScheduler::TransferWithRetry(ActiveRequest* request, Disk* device,
                                          Status* fail_status) {
   Result<SimDuration> service = attempt();
   if (service.ok()) {
+    ChargeTransfer(span_.active_stage, device, *service);
     *now += *service;
     return true;
   }
   // The failed attempt still moved the arm; charge its mechanical time.
+  ChargeStage(obs::SpanStage::kRetry, device->last_fault_service());
   *now += device->last_fault_service();
   ++request->stats.faults_seen;
 
@@ -360,7 +458,15 @@ bool ServiceScheduler::TransferWithRetry(ActiveRequest* request, Disk* device,
     service = attempt();
     ++request->stats.blocks_retried;
     const SimDuration spent = service.ok() ? *service : device->last_fault_service();
+    ChargeStage(obs::SpanStage::kRetry, spent);
     *now += spent;
+    if (span_.open && span_.active_parent != 0) {
+      EmitSpan(obs::SpanStage::kRetry,
+               obs::ChildSpanId(span_.active_parent, obs::SpanStage::kRetry,
+                                span_.retry_ordinal++),
+               span_.active_parent, *now, spent, request->stats.id, span_.active_member,
+               /*seek=*/0, sectors, sector);
+    }
     if (options_.trace != nullptr) {
       obs::TraceEvent event = TraceContext();
       event.kind = obs::TraceEventKind::kBlockRetried;
@@ -737,6 +843,15 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
     }
     Emit(event);
   }
+  if (span_.open && plan.cache_hits > 0) {
+    // Blocks served from memory cost no disk time: a zero-duration span
+    // records the cache's contribution to the round without skewing the
+    // stage ledger.
+    EmitSpan(obs::SpanStage::kCache,
+             obs::ChildSpanId(span_.root, obs::SpanStage::kCache, span_.ordinal++), span_.root,
+             *now, /*duration=*/0, /*request=*/0, /*member=*/-1, /*seek=*/0, plan.cache_hits,
+             /*sector=*/0);
+  }
 
   // Sectors more than one active stream wants within the lookahead window:
   // the interval between a leading and a trailing viewer. Their cache
@@ -884,9 +999,16 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
   const auto run_append = [&](const PlannedTransfer& transfer) {
     const SimTime start = *now;
     ActiveRequest& request = requests_.at(transfer.append_request);
+    const uint64_t span_id =
+        OpenTransferSpan(obs::SpanStage::kAppend, transfer.append_request, /*member=*/-1);
     append_done[transfer.append_request] +=
         ServiceRecording(&request, now, transfer.append_blocks);
     attributed[transfer.append_request] += *now - start;
+    if (*now > start) {
+      EmitSpan(obs::SpanStage::kAppend, span_id, span_.root, *now, *now - start,
+               transfer.append_request, /*member=*/-1, /*seek=*/0, transfer.append_blocks,
+               transfer.start_sector);
+    }
   };
 
   if (array == nullptr) {
@@ -898,6 +1020,9 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
         continue;
       }
       const SimTime start = *now;
+      const uint64_t owner = transfer.blocks.front().request;
+      const obs::SpanStage stage = TransferStageFor(requests_.at(owner));
+      const uint64_t span_id = OpenTransferSpan(stage, owner, /*member=*/-1);
       measured_seek +=
           std::abs(model.SectorToCylinder(transfer.start_sector) - disk.head_cylinder());
       ++ops;
@@ -910,11 +1035,13 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
         // budget of its healthy neighbours.
         Result<SimDuration> service = disk.Read(transfer.start_sector, transfer.sectors, nullptr);
         if (service.ok()) {
+          ChargeTransfer(stage, &disk, *service);
           *now += *service;
           for (const auto& [extent, riders] : groups) {
             record_extent(extent, riders, *now, true);
           }
         } else {
+          ChargeStage(obs::SpanStage::kRetry, disk.last_fault_service());
           *now += disk.last_fault_service();
           ++requests_.at(transfer.blocks.front().request).stats.faults_seen;
           for (const auto& [extent, riders] : groups) {
@@ -925,6 +1052,9 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
         }
       }
       attribute(transfer, *now - start);
+      EmitSpan(stage, span_id, span_.root, *now, *now - start, owner, /*member=*/-1,
+               span_.active_seek, static_cast<int64_t>(transfer.blocks.size()),
+               transfer.start_sector);
     }
   } else {
     // Array-parallel dispatch: one wave per queue depth, each wave issuing
@@ -942,9 +1072,11 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
         queues[static_cast<size_t>(transfer.member)].push_back(&transfer);
       }
     }
+    uint64_t wave_index = 0;
     for (;;) {
       std::vector<DiskArray::BatchRequest> batch;
       std::vector<const PlannedTransfer*> wave;
+      std::vector<int64_t> wave_dists;  // dispatch seek distance per entry
       for (int m = 0; m < members; ++m) {
         auto& queue = queues[static_cast<size_t>(m)];
         if (queue.empty()) {
@@ -963,11 +1095,13 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
         }
         const PlannedTransfer* transfer = queue.front();
         queue.pop_front();
-        measured_seek += std::abs(model.SectorToCylinder(transfer->start_sector) -
-                                  array->member(m).head_cylinder());
+        const int64_t dist = std::abs(model.SectorToCylinder(transfer->start_sector) -
+                                      array->member(m).head_cylinder());
+        measured_seek += dist;
         ++ops;
         batch.push_back(DiskArray::BatchRequest{m, transfer->start_sector, transfer->sectors});
         wave.push_back(transfer);
+        wave_dists.push_back(dist);
       }
       if (batch.empty()) {
         break;
@@ -981,6 +1115,34 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
       Result<DiskArray::BatchOutcome> outcome = array->ReadBatch(batch, data_out);
       assert(outcome.ok());  // the planner only builds well-formed batches
       *now = wave_start + outcome->completion_time;
+
+      // Span bookkeeping happens on the scheduler thread at the wave
+      // barrier, in batch order — independent of worker scheduling. The
+      // wave's ledger charge goes to its slowest arm (the wave completes
+      // when that arm does): its reposition is seek, the rest the
+      // dominant transfer's own stage.
+      const uint64_t wave_span =
+          span_.open ? obs::ChildSpanId(span_.root, obs::SpanStage::kWave, wave_index) : 0;
+      if (span_.open) {
+        size_t dominant = 0;
+        for (size_t i = 1; i < wave.size(); ++i) {
+          if (outcome->per_request[i].service > outcome->per_request[dominant].service) {
+            dominant = i;
+          }
+        }
+        const obs::SpanStage dominant_stage =
+            TransferStageFor(requests_.at(wave[dominant]->blocks.front().request));
+        const SimDuration completion = outcome->completion_time;
+        const SimDuration seek = std::min(
+            completion, model.SeekTimeForDistance(wave_dists[dominant]));
+        ChargeStage(obs::SpanStage::kSeek, seek);
+        ChargeStage(dominant_stage, completion - seek);
+        EmitSpan(obs::SpanStage::kWave, wave_span, span_.root, *now, completion, /*request=*/0,
+                 static_cast<int64_t>(batch[dominant].member), seek,
+                 static_cast<int64_t>(batch.size()), static_cast<int64_t>(wave_index));
+      }
+      ++wave_index;
+
       for (size_t i = 0; i < wave.size(); ++i) {
         const PlannedTransfer& transfer = *wave[i];
         const DiskArray::MemberOutcome& member_outcome = outcome->per_request[i];
@@ -990,6 +1152,16 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
           payload_digest_ = (payload_digest_ ^ member_outcome.payload_crc) * 1099511628211ULL;
         }
         attribute(transfer, member_outcome.service);
+        const uint64_t entry_owner = transfer.blocks.front().request;
+        const obs::SpanStage entry_stage = TransferStageFor(requests_.at(entry_owner));
+        uint64_t entry_span = 0;
+        if (span_.open) {
+          entry_span = obs::ChildSpanId(wave_span, entry_stage, i);
+          EmitSpan(entry_stage, entry_span, wave_span, wave_start + member_outcome.service,
+                   member_outcome.service, entry_owner, transfer.member,
+                   std::min(member_outcome.service, model.SeekTimeForDistance(wave_dists[i])),
+                   static_cast<int64_t>(transfer.blocks.size()), transfer.start_sector);
+        }
         const auto groups = distinct_extents(transfer);
         if (member_outcome.status.ok()) {
           for (const auto& [extent, riders] : groups) {
@@ -1006,6 +1178,12 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
             // the arm's remaining queue drains at the next wave boundary.
             skip_transfer(transfer, "member_failed");
           } else {
+            // The serial de-coalesced reads nest their charges (and any
+            // retry subspans) under this wave entry's span.
+            span_.active_parent = entry_span;
+            span_.active_stage = entry_stage;
+            span_.active_member = transfer.member;
+            span_.retry_ordinal = 0;
             for (const auto& [extent, riders] : groups) {
               measured_seek +=
                   std::abs(model.SectorToCylinder(extent.first) - member_disk.head_cylinder());
@@ -1133,6 +1311,12 @@ void ServiceScheduler::RunRound() {
     event.round_budget = round_budget_;
     Emit(event);
   }
+  span_ = SpanContext{};
+  if (options_.emit_spans && options_.trace != nullptr) {
+    span_.open = true;
+    span_.trace_id = obs::RoundTraceId(options_.node, rounds_);
+    span_.root = obs::RootSpanId(span_.trace_id);
+  }
   // Device events emitted while servicing this round carry the in-round
   // simulated clock instead of the device busy clock (exporters place them
   // on the shared timeline).
@@ -1161,10 +1345,17 @@ void ServiceScheduler::RunRound() {
         request.stats.start_time = now;
       }
       const SimTime service_start = now;
+      const obs::SpanStage stage =
+          request.playback.has_value() ? TransferStageFor(request) : obs::SpanStage::kAppend;
+      const uint64_t span_id = OpenTransferSpan(stage, id, /*member=*/-1);
       const int64_t transferred = request.playback.has_value()
                                       ? ServicePlayback(&request, &now)
                                       : ServiceRecording(&request, &now, current_k_);
       transferred_total += transferred;
+      if (now > service_start) {
+        EmitSpan(stage, span_id, span_.root, now, now - service_start, id, /*member=*/-1,
+                 span_.active_seek, transferred, /*sector=*/0);
+      }
       if (options_.trace != nullptr) {
         obs::TraceEvent event = TraceContext();
         event.kind = obs::TraceEventKind::kRequestServiced;
@@ -1181,6 +1372,27 @@ void ServiceScheduler::RunRound() {
     }
   }
   store_->disk().set_time_hint(nullptr);
+  if (span_.open) {
+    // Close the round's root span. Every `now` advance above was charged
+    // to exactly one stage; the queue stage absorbs any residual, so the
+    // ledger partitions the measured duration (the auditor and
+    // check_criticalpath.py enforce this within kStageSumEpsilonUsec).
+    const SimDuration duration = now - round_start;
+    const SimDuration charged = span_.stages.Total();
+    if (duration > charged) {
+      span_.stages.queue += duration - charged;
+    }
+    obs::TraceEvent event = TraceContext();
+    obs::StampSpan(&event, span_.trace_id, span_.root, /*parent_span=*/0,
+                   obs::SpanStage::kRound);
+    event.time = now;
+    event.duration = duration;
+    event.blocks = transferred_total;
+    event.round_budget = round_budget_;
+    event.stages = span_.stages;
+    Emit(event);
+    span_.open = false;
+  }
   if (options_.trace != nullptr) {
     obs::TraceEvent event = TraceContext();
     event.kind = obs::TraceEventKind::kRoundEnd;

@@ -167,6 +167,16 @@ struct SchedulerOptions {
   // per-round service records are reported here (see src/obs/trace.h).
   // The sink must outlive the scheduler.
   obs::TraceSink* trace = nullptr;
+  // Causal span tracing (src/obs/span.h): every round emits a span tree —
+  // round root, per-wave, per-transfer, retry/append/cache sub-spans —
+  // with ids derived from (node, round, stage, ordinal), plus a per-stage
+  // service-time ledger on the root that partitions the round exactly.
+  // All spans are emitted on the scheduler thread in batch order, so the
+  // stream is byte-identical for any worker_pool size.
+  bool emit_spans = false;
+  // Storage-node id stamped on this scheduler's trace events and woven
+  // into its trace ids (-1 = not part of a cluster).
+  int64_t node = -1;
 };
 
 class ServiceScheduler {
@@ -206,10 +216,18 @@ class ServiceScheduler {
   // basis when verification is off or nothing transferred yet.
   uint64_t payload_digest() const { return payload_digest_; }
 
+  // Marks a request as a stream-merging patch: its transfers are charged
+  // to the merge_patch stage of the round's span ledger instead of
+  // transfer. The session layer tags patch tickets through this.
+  void set_merge_patch(RequestId id, bool patch);
+
  private:
   struct ActiveRequest {
     RequestStats stats;
     bool destructively_paused = false;
+    // Stream-merging patch stream: transfers charge the merge_patch stage
+    // of the span ledger (set_merge_patch).
+    bool merge_patch = false;
     // Playback state.
     std::optional<PlaybackRequest> playback;
     std::unique_ptr<PlaybackConsumer> consumer;
@@ -304,6 +322,43 @@ class ServiceScheduler {
   // Returns the round's transferred total.
   int64_t ExecutePlannedRound(SimTime* now);
 
+  // --- Causal span tracing (SchedulerOptions::emit_spans) -------------------
+  // Per-round context: ids for the open round's span tree plus the stage
+  // ledger that partitions the round's service time. Every `*now` advance
+  // in the round is charged to exactly one stage, so the ledger sums to
+  // the round duration by construction (the queue stage absorbs any
+  // residual; in this simulator rounds only advance on disk ops, so the
+  // residual is normally zero).
+  struct SpanContext {
+    bool open = false;
+    uint64_t trace_id = 0;
+    uint64_t root = 0;           // round root span id
+    uint64_t ordinal = 0;        // next child ordinal under the root
+    uint64_t active_parent = 0;  // enclosing transfer span for retry subspans
+    uint64_t retry_ordinal = 0;  // next retry ordinal under active_parent
+    SimDuration active_seek = 0; // seek time charged since OpenTransferSpan
+    obs::SpanStage active_stage = obs::SpanStage::kTransfer;
+    uint64_t active_request = 0;
+    int64_t active_member = -1;
+    obs::StageBreakdown stages;
+  };
+  // Adds `usec` to one ledger stage (no-op when no round span is open).
+  void ChargeStage(obs::SpanStage stage, SimDuration usec);
+  // Charges one clean transfer: the seek fraction (the arm's last reposition
+  // time, clamped to the service) to kSeek and the remainder to `stage`;
+  // append charges whole (allocation and write are not separable).
+  void ChargeTransfer(obs::SpanStage stage, Disk* device, SimDuration service);
+  // Opens a per-transfer child span under the round root and makes it the
+  // active parent for retry subspans. Returns the span id.
+  uint64_t OpenTransferSpan(obs::SpanStage stage, uint64_t request, int64_t member);
+  // Emits one span event (scheduler thread only). `end` is the span's end
+  // instant; `seek` the seek fraction of its duration.
+  void EmitSpan(obs::SpanStage stage, uint64_t span_id, uint64_t parent, SimTime end,
+                SimDuration duration, uint64_t request, int64_t member, SimDuration seek,
+                int64_t blocks, int64_t sector);
+  // Stage a request's reads charge: merge_patch for tagged patch streams.
+  obs::SpanStage TransferStageFor(const ActiveRequest& request) const;
+
   StrandStore* store_;
   Simulator* simulator_;
   AdmissionControl admission_;
@@ -321,6 +376,7 @@ class ServiceScheduler {
   uint64_t payload_digest_ = 14695981039346656037ULL;
   // Recording payload scratch when no shared cache provides a pool.
   PagePool scratch_pool_;
+  SpanContext span_;
   std::map<RequestId, ActiveRequest> requests_;
   std::vector<RequestId> service_order_;  // round-robin order over active requests
   std::deque<PendingAdmission> pending_;

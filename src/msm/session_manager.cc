@@ -132,6 +132,10 @@ Result<SessionTicket> SessionManager::Open(uint64_t title, PlaybackRequest solo,
           session.ticket.gap_blocks = gap;
           session.ticket.runway_bound = bound;
           session.ticket.start_block = start_block;
+          // The catch-up stream's transfers charge the round ledger's
+          // merge_patch stage, so critical-path verdicts can name a round
+          // as patch-bound.
+          scheduler_->set_merge_patch(*patch_id, true);
           PinLeaderTrail(*group, leader_pos, start_block, &session);
           Emit(obs::TraceEventKind::kSessionPatched, session, bound);
           group->sessions.push_back(session.ticket.session);

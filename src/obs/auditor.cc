@@ -383,6 +383,46 @@ void ContinuityAuditor::OnEvent(const TraceEvent& event) {
                         std::to_string(event.round_budget) + " us");
       }
       break;
+    case TraceEventKind::kCriticalPath:
+      // The analyzer's attribution must partition the measured round: every
+      // microsecond the round spent is charged to exactly one stage, so the
+      // stage sum equals the kRoundEnd duration (epsilon absorbs integer
+      // rounding of the seek split).
+      {
+        const SimDuration total = event.stages.Total();
+        const SimDuration delta = total > event.duration ? total - event.duration
+                                                         : event.duration - total;
+        if (delta > kStageSumEpsilonUsec) {
+          Flag(event, "critical path of round " + std::to_string(event.round) +
+                          " attributes " + std::to_string(total) +
+                          " us across stages but the round measured " +
+                          std::to_string(event.duration) + " us");
+        }
+        if (event.stages.queue < 0) {
+          Flag(event, "critical path of round " + std::to_string(event.round) +
+                          " charged a negative queue residual of " +
+                          std::to_string(event.stages.queue) + " us (stages over-attributed)");
+        }
+      }
+      break;
+    case TraceEventKind::kSpan:
+      // Span identity must be well-formed: a closed span always links into
+      // a trace, and only the root (the round span) is its own parent-less
+      // anchor. Durations are intervals, never negative.
+      if (event.span_id == 0 || event.trace_id == 0) {
+        Flag(event, "span without identity (span_id=" + std::to_string(event.span_id) +
+                        " trace_id=" + std::to_string(event.trace_id) + ")");
+      }
+      if (event.span_stage != static_cast<int64_t>(SpanStage::kRound) &&
+          event.span_stage != static_cast<int64_t>(SpanStage::kRoute) &&
+          event.parent_span == 0) {
+        Flag(event, "non-root span " + std::to_string(event.span_id) + " has no parent link");
+      }
+      if (event.duration < 0) {
+        Flag(event, "span " + std::to_string(event.span_id) + " closed with a negative " +
+                        "duration of " + std::to_string(event.duration) + " us");
+      }
+      break;
     case TraceEventKind::kBlockSkipped:
     case TraceEventKind::kBlockRelocated:
     case TraceEventKind::kDiskFault:

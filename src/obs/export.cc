@@ -6,6 +6,7 @@
 #include <set>
 #include <span>
 
+#include "src/obs/span.h"
 #include "src/util/worker_pool.h"
 
 namespace vafs {
@@ -35,8 +36,12 @@ namespace {
 constexpr int kSchedulerPid = 1;
 constexpr int kDiskPid = 2;
 constexpr int kPersistencePid = 3;
+constexpr int kSpanPid = 4;
 constexpr int kRoundsTid = 0;
 constexpr int kDeviceTid = 1;
+
+// Span slices group per storage node: node -1 (single-node) on tid 1.
+int64_t SpanTid(const TraceEvent& event) { return event.node + 2; }
 
 void AppendDouble(std::string* out, double value) {
   char buffer[32];
@@ -141,17 +146,29 @@ std::string PerfettoExporter::Export(WorkerPool* pool) const {
   auto name_thread = [&](int pid, int64_t tid, const std::string& name) {
     writer.Begin("M", pid, tid, "thread_name", 0).Arg("name", name).End();
   };
+  const bool has_spans = std::any_of(events_->begin(), events_->end(), [](const TraceEvent& event) {
+    return event.kind == TraceEventKind::kSpan || event.kind == TraceEventKind::kCriticalPath;
+  });
   name_process(kSchedulerPid, "vafs scheduler");
   name_process(kDiskPid, "vafs disk");
   name_process(kPersistencePid, "vafs persistence");
+  if (has_spans) {
+    name_process(kSpanPid, "vafs spans");
+  }
   name_thread(kSchedulerPid, kRoundsTid, "service rounds");
   name_thread(kDiskPid, kDeviceTid, "transfers");
   name_thread(kPersistencePid, kDeviceTid, "checkpoint/journal/fsck");
   std::set<uint64_t> requests;
+  std::set<int64_t> span_nodes;
   for (const TraceEvent& event : *events_) {
     if (event.request != 0 && requests.insert(event.request).second) {
       name_thread(kSchedulerPid, static_cast<int64_t>(event.request),
                   "request " + std::to_string(event.request));
+    }
+    if ((event.kind == TraceEventKind::kSpan || event.kind == TraceEventKind::kCriticalPath) &&
+        span_nodes.insert(event.node).second) {
+      name_thread(kSpanPid, SpanTid(event),
+                  event.node >= 0 ? "node " + std::to_string(event.node) + " spans" : "spans");
     }
   }
 
@@ -323,6 +340,59 @@ void WriteBodyEvent(EventWriter& writer, const TraceEvent& event) {
       open.End();
       break;
     }
+    case TraceEventKind::kSpan: {
+      // Parent-linked slice: ids ride as string args (64-bit ids overflow
+      // JSON number precision), so ui.perfetto.dev can reconstruct the
+      // tree via args.span_id / args.parent_id.
+      EventWriter& open = writer
+                              .Begin("X", kSpanPid, SpanTid(event), SpanFrameName(event),
+                                     event.time - event.duration)
+                              .Duration(event.duration)
+                              .Arg("trace_id", std::to_string(event.trace_id))
+                              .Arg("span_id", std::to_string(event.span_id))
+                              .Arg("parent_id", std::to_string(event.parent_span))
+                              .Arg("stage",
+                                   std::string(SpanStageName(
+                                       static_cast<SpanStage>(event.span_stage))));
+      if (event.request != 0) {
+        open.Arg("request", static_cast<int64_t>(event.request));
+      }
+      if (event.member >= 0) {
+        open.Arg("member", event.member);
+      }
+      if (event.span_seek > 0) {
+        open.Arg("seek_usec", event.span_seek);
+      }
+      open.End();
+      break;
+    }
+    case TraceEventKind::kCriticalPath: {
+      EventWriter& open =
+          writer
+              .Begin("i", kSpanPid, SpanTid(event),
+                     "critical_path " +
+                         std::string(SpanStageName(static_cast<SpanStage>(event.span_stage))),
+                     event.time)
+              .Field("s", "t")
+              .Arg("round", event.round)
+              .Arg("duration_usec", event.duration)
+              .Arg("queue_usec", event.stages.queue)
+              .Arg("seek_usec", event.stages.seek)
+              .Arg("transfer_usec", event.stages.transfer)
+              .Arg("retry_usec", event.stages.retry)
+              .Arg("cache_usec", event.stages.cache)
+              .Arg("merge_patch_usec", event.stages.merge_patch)
+              .Arg("append_usec", event.stages.append)
+              .Arg("anomalous", static_cast<int64_t>(event.anomalous ? 1 : 0));
+      if (event.request != 0) {
+        open.Arg("request", static_cast<int64_t>(event.request));
+      }
+      if (event.member >= 0) {
+        open.Arg("member", event.member);
+      }
+      open.End();
+      break;
+    }
   }
 }
 
@@ -342,6 +412,14 @@ std::string PrometheusExporter::MetricName(const std::string& instrument) {
 
 std::string PrometheusExporter::Export() const {
   std::string out;
+  if (log_ != nullptr) {
+    // Telemetry health first: a scrape that reads the rest of this page
+    // should know whether the bounded log shed events to produce it.
+    out += "# TYPE vafs_trace_events_dropped_total counter\n";
+    out += "vafs_trace_events_dropped_total " + std::to_string(log_->dropped()) + "\n";
+    out += "# TYPE vafs_trace_events_retained gauge\n";
+    out += "vafs_trace_events_retained " + std::to_string(log_->events().size()) + "\n";
+  }
   registry_->ForEachCounter([&](const std::string& name, const Counter& counter) {
     const std::string metric = MetricName(name);
     out += "# TYPE " + metric + " counter\n";
@@ -374,6 +452,10 @@ std::string PrometheusExporter::Export() const {
     out += metric + "_sum ";
     AppendDouble(&out, histogram.sum());
     out += "\n" + metric + "_count " + std::to_string(histogram.count()) + "\n";
+    // Samples the histogram refused (non-finite values): silently dropped
+    // data would make the distribution above look healthier than it is.
+    out += "# TYPE " + metric + "_rejected_total counter\n";
+    out += metric + "_rejected_total " + std::to_string(histogram.rejected()) + "\n";
   });
   return out;
 }
@@ -391,6 +473,8 @@ std::string JsonSnapshotExporter::Export() const {
   }
   json += ", \"slo\": ";
   json += slo_ != nullptr ? slo_->Report().ToJson() : "null";
+  json += ", \"critical_path\": ";
+  json += critical_path_ != nullptr ? critical_path_->ToJson() : "null";
   json += ", \"metrics\": ";
   const std::string metrics = registry_->ToJson();
   // ToJson ends with a newline; trim it so the envelope stays compact.

@@ -11,10 +11,15 @@
 //    track of individual transfers (sector, seek distance, faults).
 //  - PrometheusExporter: text exposition (version 0.0.4) of a
 //    MetricsRegistry. Counters/gauges map directly; histograms map to
-//    native Prometheus histograms with power-of-two `le` edges.
+//    native Prometheus histograms with power-of-two `le` edges. With a
+//    TraceLog attached it also exposes the log's dropped-event counter,
+//    and every histogram's rejected-sample counter rides along — silent
+//    telemetry loss is itself telemetry.
 //  - JsonSnapshotExporter: versioned JSON snapshot bundling the metrics
-//    image, an optional SLO report and trace-log health, for vafs_top and
-//    CI artifact diffing.
+//    image, an optional SLO report, trace-log health and the critical-path
+//    attribution table, for vafs_top and CI artifact diffing.
+//  - FoldedStackExporter: folded flame stacks ("a;b;c usec" lines) over
+//    the causal span events of a recorded log, for tools/vafs_flame.py.
 
 #ifndef VAFS_SRC_OBS_EXPORT_H_
 #define VAFS_SRC_OBS_EXPORT_H_
@@ -22,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/critical_path.h"
 #include "src/obs/metrics.h"
 #include "src/obs/slo.h"
 #include "src/obs/trace.h"
@@ -67,7 +73,11 @@ class PerfettoExporter : public Exporter {
 
 class PrometheusExporter : public Exporter {
  public:
-  explicit PrometheusExporter(const MetricsRegistry* registry) : registry_(registry) {}
+  // With a `log`, the exposition leads with vafs_trace_events_dropped_total
+  // (the TraceLog's drop counter): a dashboard reading partial telemetry
+  // should be able to see that it is partial.
+  explicit PrometheusExporter(const MetricsRegistry* registry, const TraceLog* log = nullptr)
+      : registry_(registry), log_(log) {}
   const char* Format() const override { return "prometheus"; }
   const char* FileExtension() const override { return ".prom"; }
   std::string Export() const override;
@@ -78,6 +88,7 @@ class PrometheusExporter : public Exporter {
 
  private:
   const MetricsRegistry* registry_;
+  const TraceLog* log_;
 };
 
 class JsonSnapshotExporter : public Exporter {
@@ -85,8 +96,9 @@ class JsonSnapshotExporter : public Exporter {
   static constexpr int kVersion = 1;
 
   JsonSnapshotExporter(const MetricsRegistry* registry, const SloTracker* slo = nullptr,
-                       const TraceLog* log = nullptr)
-      : registry_(registry), slo_(slo), log_(log) {}
+                       const TraceLog* log = nullptr,
+                       const CriticalPathAnalyzer* critical_path = nullptr)
+      : registry_(registry), slo_(slo), log_(log), critical_path_(critical_path) {}
   const char* Format() const override { return "json"; }
   const char* FileExtension() const override { return ".snapshot.json"; }
   std::string Export() const override;
@@ -95,6 +107,22 @@ class JsonSnapshotExporter : public Exporter {
   const MetricsRegistry* registry_;
   const SloTracker* slo_;
   const TraceLog* log_;
+  const CriticalPathAnalyzer* critical_path_;
+};
+
+// Folded flame stacks over the span events of a recorded log: one
+// "frame;frame;frame usec" line per unique root-to-leaf path, exclusive
+// time, path-sorted (see CriticalPathAnalyzer::FoldedStacks).
+class FoldedStackExporter : public Exporter {
+ public:
+  // The events must outlive the exporter.
+  explicit FoldedStackExporter(const std::vector<TraceEvent>* events) : events_(events) {}
+  const char* Format() const override { return "folded"; }
+  const char* FileExtension() const override { return ".folded"; }
+  std::string Export() const override { return CriticalPathAnalyzer::FoldedStacks(*events_); }
+
+ private:
+  const std::vector<TraceEvent>* events_;
 };
 
 }  // namespace obs

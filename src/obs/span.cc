@@ -1,0 +1,49 @@
+#include "src/obs/span.h"
+
+namespace vafs {
+namespace obs {
+
+std::string SpanFrameName(const TraceEvent& event) {
+  if (event.span_stage < 0) {
+    return "?";
+  }
+  const SpanStage stage = static_cast<SpanStage>(event.span_stage);
+  std::string name = SpanStageName(stage);
+  switch (stage) {
+    case SpanStage::kRound:
+      name += " r" + std::to_string(event.round);
+      if (event.node >= 0) {
+        name = "node " + std::to_string(event.node) + " " + name;
+      }
+      break;
+    case SpanStage::kWave:
+      name += " " + std::to_string(event.sector);  // wave ordinal
+      break;
+    case SpanStage::kTransfer:
+    case SpanStage::kMergePatch:
+    case SpanStage::kAppend:
+    case SpanStage::kCache:
+      if (event.request != 0) {
+        name += " req" + std::to_string(event.request);
+      }
+      if (event.member >= 0) {
+        name += " arm" + std::to_string(event.member);
+      }
+      break;
+    case SpanStage::kRetry:
+      if (event.request != 0) {
+        name += " req" + std::to_string(event.request);
+      }
+      break;
+    case SpanStage::kQueue:
+    case SpanStage::kSeek:
+    case SpanStage::kPlan:
+    case SpanStage::kRoute:
+    case SpanStage::kSession:
+      break;
+  }
+  return name;
+}
+
+}  // namespace obs
+}  // namespace vafs

@@ -88,8 +88,42 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "re_replicate";
     case TraceEventKind::kShedLoad:
       return "shed_load";
+    case TraceEventKind::kSpan:
+      return "span";
+    case TraceEventKind::kCriticalPath:
+      return "critical_path";
   }
   return "unknown";
+}
+
+const char* SpanStageName(SpanStage stage) {
+  switch (stage) {
+    case SpanStage::kRound:
+      return "round";
+    case SpanStage::kQueue:
+      return "queue";
+    case SpanStage::kSeek:
+      return "seek";
+    case SpanStage::kTransfer:
+      return "transfer";
+    case SpanStage::kRetry:
+      return "retry";
+    case SpanStage::kCache:
+      return "cache";
+    case SpanStage::kMergePatch:
+      return "merge_patch";
+    case SpanStage::kAppend:
+      return "append";
+    case SpanStage::kWave:
+      return "wave";
+    case SpanStage::kPlan:
+      return "plan";
+    case SpanStage::kRoute:
+      return "route";
+    case SpanStage::kSession:
+      return "session";
+  }
+  return "?";
 }
 
 std::string TraceEventSummary(const TraceEvent& event) {
@@ -142,6 +176,32 @@ std::string TraceEventSummary(const TraceEvent& event) {
   }
   if (event.node >= 0) {
     line += " node=" + std::to_string(event.node);
+  }
+  if (event.span_id != 0) {
+    line += " span=" + std::to_string(event.span_id) + "<" + std::to_string(event.parent_span) +
+            " trace=" + std::to_string(event.trace_id);
+    if (event.span_stage >= 0) {
+      line += " stage=";
+      line += SpanStageName(static_cast<SpanStage>(event.span_stage));
+    }
+    if (event.span_seek != 0) {
+      line += " span_seek=" + std::to_string(event.span_seek) + "us";
+    }
+    if (event.member >= 0) {
+      line += " member=" + std::to_string(event.member);
+    }
+  }
+  if (event.kind == TraceEventKind::kCriticalPath || event.stages != StageBreakdown{}) {
+    line += " stages[q=" + std::to_string(event.stages.queue) +
+            " s=" + std::to_string(event.stages.seek) +
+            " x=" + std::to_string(event.stages.transfer) +
+            " r=" + std::to_string(event.stages.retry) +
+            " c=" + std::to_string(event.stages.cache) +
+            " m=" + std::to_string(event.stages.merge_patch) +
+            " a=" + std::to_string(event.stages.append) + "]";
+    if (event.anomalous) {
+      line += " ANOMALOUS";
+    }
   }
   if (!event.detail.empty()) {
     line += " [" + event.detail + "]";
@@ -347,6 +407,37 @@ void MetricsSink::OnEvent(const TraceEvent& event) {
       break;
     case TraceEventKind::kShedLoad:
       m.counter("cluster.viewers_shed").Increment();
+      break;
+    case TraceEventKind::kSpan:
+      // Spans are structural (the analyzer consumes them); only the volume
+      // is worth a counter here.
+      m.counter("spans.emitted").Increment();
+      break;
+    case TraceEventKind::kCriticalPath:
+      m.counter("critical_path.rounds").Increment();
+      if (event.anomalous) {
+        m.counter("critical_path.anomalies").Increment();
+      }
+      if (event.span_stage >= 0) {
+        m.counter(std::string("critical_path.dominant.") +
+                  SpanStageName(static_cast<SpanStage>(event.span_stage)))
+            .Increment();
+      }
+      m.histogram("critical_path.queue_usec").Record(static_cast<double>(event.stages.queue));
+      m.histogram("critical_path.seek_usec").Record(static_cast<double>(event.stages.seek));
+      m.histogram("critical_path.transfer_usec")
+          .Record(static_cast<double>(event.stages.transfer));
+      if (event.stages.retry > 0) {
+        m.histogram("critical_path.retry_usec").Record(static_cast<double>(event.stages.retry));
+      }
+      if (event.stages.merge_patch > 0) {
+        m.histogram("critical_path.merge_patch_usec")
+            .Record(static_cast<double>(event.stages.merge_patch));
+      }
+      if (event.stages.append > 0) {
+        m.histogram("critical_path.append_usec")
+            .Record(static_cast<double>(event.stages.append));
+      }
       break;
   }
 }

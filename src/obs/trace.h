@@ -72,9 +72,52 @@ enum class TraceEventKind {
                  // `round_budget` = the stamped failover bound it must meet
   kReReplicate,  // background repair restored one strand's replica count
   kShedLoad,     // no survivor could absorb this viewer; explicitly dropped
+  // Causal span tracing (src/obs/span.h) and critical-path attribution
+  // (src/obs/critical_path.h).
+  kSpan,          // one closed span: (trace_id, span_id, parent_span) + stage
+  kCriticalPath,  // per-round stage attribution emitted by the analyzer
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
+
+// The analyzer's stage taxonomy. Every span names exactly one stage, and
+// every microsecond of a round's service time is charged to exactly one
+// stage (kQueue absorbs the residual the transfer path did not claim), so
+// a round's stage breakdown sums to its measured duration by construction.
+enum class SpanStage {
+  kRound = 0,       // root span of one scheduler round
+  kQueue,           // round time not spent moving data (dispatch residual)
+  kSeek,            // arm repositioning ahead of a transfer
+  kTransfer,        // media moving for normal playback/recording
+  kRetry,           // faulted service + re-reads within the round's slack
+  kCache,           // plan-time cache hits (zero disk time by design)
+  kMergePatch,      // transfers feeding a session-layer catch-up stream
+  kAppend,          // recording appends riding the round tail
+  kWave,            // one parallel DiskArray dispatch wave
+  kPlan,            // round-plan construction
+  kRoute,           // cluster coordinator routing/failover decision
+  kSession,         // session-layer attach/patch bookkeeping
+};
+
+const char* SpanStageName(SpanStage stage);
+
+// Per-round service-time attribution (usec). The stages partition the
+// round: Total() equals the round's kRoundEnd duration within the
+// integer-rounding epsilon checked by the ContinuityAuditor.
+struct StageBreakdown {
+  SimDuration queue = 0;
+  SimDuration seek = 0;
+  SimDuration transfer = 0;
+  SimDuration retry = 0;
+  SimDuration cache = 0;
+  SimDuration merge_patch = 0;
+  SimDuration append = 0;
+
+  SimDuration Total() const {
+    return queue + seek + transfer + retry + cache + merge_patch + append;
+  }
+  bool operator==(const StageBreakdown&) const = default;
+};
 
 struct TraceEvent;
 
@@ -143,6 +186,21 @@ struct TraceEvent {
   // node-scoped; 0 is a valid node id). kFailover additionally uses `node`
   // for the replica that absorbed the viewer and `sector` is unused.
   int64_t node = -1;
+  // Causal spans (kSpan) and critical-path verdicts (kCriticalPath). Ids
+  // are derived deterministically from (node, round, stage, ordinal) —
+  // never from wall clock — so they are byte-identical for any worker
+  // count. `member` names the disk-array arm a transfer ran on (-1 = not
+  // arm-scoped); `span_seek` is the seek share of a transfer span's
+  // duration; `stages` carries the full round attribution on kSpan round
+  // roots and on kCriticalPath.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span = 0;
+  int64_t span_stage = -1;  // SpanStage as int; -1 = not a span event
+  SimDuration span_seek = 0;
+  int64_t member = -1;
+  bool anomalous = false;  // kCriticalPath: dominant stage broke the trend
+  StageBreakdown stages;
   SlotSnapshot slots;
   std::string detail;  // human-readable context, e.g. a rejection reason
 };

@@ -21,7 +21,8 @@ MultimediaFileSystem::Telemetry::Telemetry(const TelemetryOptions& options)
     : log(options.trace_capacity),
       metrics_sink(&registry),
       slo(options.slo),
-      flight(options.flight) {
+      flight(options.flight),
+      critical_path(obs::CriticalPathOptions{&tee}) {
   tee.Add(&log);
   tee.Add(&metrics_sink);
   tee.Add(&slo);
@@ -41,7 +42,16 @@ MultimediaFileSystem::MultimediaFileSystem(const FileSystemConfig& config) : con
     if (config_.scheduler.trace != nullptr) {
       telemetry_->tee.Add(config_.scheduler.trace);  // user sink rides along
     }
-    config_.scheduler.trace = &telemetry_->tee;
+    if (config_.telemetry.spans) {
+      // The analyzer sits between the scheduler and the tee: every event
+      // passes through unchanged and each round's spans are folded into a
+      // kCriticalPath verdict emitted right after its kRoundEnd.
+      config_.scheduler.emit_spans = true;
+      config_.scheduler.node = config_.telemetry.node_id;
+      config_.scheduler.trace = &telemetry_->critical_path;
+    } else {
+      config_.scheduler.trace = &telemetry_->tee;
+    }
   }
   disk_ = std::make_unique<Disk>(config.disk, DiskOptions{config.retain_data, config.faults});
   store_ = std::make_unique<StrandStore>(disk_.get());
@@ -371,6 +381,14 @@ obs::FlightRecorder* MultimediaFileSystem::flight_recorder() {
   return telemetry_ != nullptr ? &telemetry_->flight : nullptr;
 }
 
+obs::CriticalPathAnalyzer* MultimediaFileSystem::critical_path() {
+  return telemetry_ != nullptr ? &telemetry_->critical_path : nullptr;
+}
+
+const obs::CriticalPathAnalyzer* MultimediaFileSystem::critical_path() const {
+  return telemetry_ != nullptr ? &telemetry_->critical_path : nullptr;
+}
+
 obs::SloReport MultimediaFileSystem::SloSnapshot() const {
   return telemetry_ != nullptr ? telemetry_->slo.Report() : obs::SloReport{};
 }
@@ -379,7 +397,8 @@ std::string MultimediaFileSystem::TelemetrySnapshotJson() const {
   if (telemetry_ == nullptr) {
     return "null";
   }
-  return obs::JsonSnapshotExporter(&telemetry_->registry, &telemetry_->slo, &telemetry_->log)
+  return obs::JsonSnapshotExporter(&telemetry_->registry, &telemetry_->slo, &telemetry_->log,
+                                   &telemetry_->critical_path)
       .Export();
 }
 

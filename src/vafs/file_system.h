@@ -25,6 +25,7 @@
 #include "src/msm/service_scheduler.h"
 #include "src/msm/session_manager.h"
 #include "src/msm/strand_store.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/slo.h"
 #include "src/obs/trace.h"
@@ -49,6 +50,14 @@ struct TelemetryOptions {
   size_t trace_capacity = 8192;
   obs::SloOptions slo;
   obs::FlightRecorderOptions flight;
+  // Causal span tracing: the scheduler emits per-round span trees
+  // (SchedulerOptions::emit_spans) and a CriticalPathAnalyzer is
+  // interposed between the scheduler and the tee, so every round gets a
+  // kCriticalPath attribution verdict in the same stream.
+  bool spans = false;
+  // Storage-node id woven into trace/span ids and stamped on the
+  // scheduler's events (-1 = single-node).
+  int64_t node_id = -1;
 };
 
 struct FileSystemConfig {
@@ -178,6 +187,10 @@ class MultimediaFileSystem {
   obs::TraceLog* trace_log();
   obs::SloTracker* slo_tracker();
   obs::FlightRecorder* flight_recorder();
+  // The per-round critical-path attributions (empty unless
+  // TelemetryOptions::spans).
+  obs::CriticalPathAnalyzer* critical_path();
+  const obs::CriticalPathAnalyzer* critical_path() const;
   // Current per-stream continuity-SLO report (empty when disabled).
   obs::SloReport SloSnapshot() const;
   // Versioned JSON snapshot (metrics + SLO report + trace-log health), the
@@ -226,6 +239,10 @@ class MultimediaFileSystem {
     obs::SloTracker slo;
     obs::FlightRecorder flight;
     obs::TeeSink tee;
+    // Interposed between the scheduler and the tee when
+    // TelemetryOptions::spans; forwards every event and appends a
+    // kCriticalPath verdict after each round.
+    obs::CriticalPathAnalyzer critical_path;
   };
 
   FileSystemConfig config_;

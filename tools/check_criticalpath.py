@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""CI gate over the critical-path attribution artifacts.
+
+Run from a directory containing BENCH_*_criticalpath.json (dropped by
+bench_roundplan and bench_cluster with spans enabled). The scheduler
+charges every microsecond of a round to exactly one stage, so for every
+attributed round:
+
+  - the stage breakdown must sum to the round's measured service time
+    within epsilon (the same bound the ContinuityAuditor enforces inline);
+  - no stage may carry a negative charge, and the queue residual must be
+    non-negative;
+  - the reported dominant stage must actually be the largest charge;
+  - total_usec must equal the recomputed stage sum exactly (it is derived
+    from the same ledger).
+
+Exits 1 if any round violates, or if no artifact yields any round at all
+(spans silently off would otherwise pass vacuously).
+"""
+
+import json
+import sys
+
+# Matches obs::ContinuityAuditor::kStageSumEpsilonUsec.
+EPSILON_USEC = 2
+
+STAGES = ("queue", "seek", "transfer", "retry", "cache", "merge_patch", "append")
+
+FAILURES = []
+
+
+def fail(message: str) -> None:
+    FAILURES.append(message)
+    print(f"FAIL: {message}")
+
+
+def check_artifact(path: str) -> int:
+    """Returns the number of rounds checked (0 when the file is absent)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            data = json.load(fp)
+    except FileNotFoundError:
+        print(f"note: {path} not present, skipping")
+        return 0
+    except json.JSONDecodeError as err:
+        fail(f"{path}: invalid JSON ({err})")
+        return 0
+
+    if data.get("kind") != "vafs.critical_path":
+        fail(f"{path}: kind is {data.get('kind')!r}, not vafs.critical_path")
+        return 0
+    rounds = data.get("rounds", [])
+    checked = 0
+    anomalies = 0
+    for entry in rounds:
+        checked += 1
+        where = f"{path} node {entry.get('node')} round {entry.get('round')}"
+        stages = entry.get("stages", {})
+        for stage in STAGES:
+            if stages.get(stage, 0) < 0:
+                fail(f"{where}: stage {stage} charged {stages.get(stage)} < 0")
+        stage_sum = sum(stages.get(stage, 0) for stage in STAGES)
+        duration = entry.get("duration_usec", 0)
+        if abs(stage_sum - duration) > EPSILON_USEC:
+            fail(f"{where}: stage sum {stage_sum} != round duration {duration} "
+                 f"(epsilon {EPSILON_USEC})")
+        if entry.get("total_usec", -1) != stage_sum:
+            fail(f"{where}: total_usec {entry.get('total_usec')} != stage sum {stage_sum}")
+        dominant = entry.get("dominant")
+        if dominant not in STAGES:
+            fail(f"{where}: dominant stage {dominant!r} not in the taxonomy")
+        else:
+            if entry.get("dominant_usec", -1) != stages.get(dominant, 0):
+                fail(f"{where}: dominant_usec {entry.get('dominant_usec')} != "
+                     f"stages[{dominant}] = {stages.get(dominant, 0)}")
+            largest = max(stages.get(stage, 0) for stage in STAGES)
+            if stages.get(dominant, 0) != largest:
+                fail(f"{where}: dominant {dominant} ({stages.get(dominant, 0)} us) is not "
+                     f"the largest charge ({largest} us)")
+        if entry.get("anomalous", False):
+            anomalies += 1
+    print(f"ok: {path}: {checked} rounds attributed, {anomalies} anomalous")
+    return checked
+
+
+def main() -> int:
+    paths = sys.argv[1:] or [
+        "BENCH_roundplan_criticalpath.json",
+        "BENCH_cluster_criticalpath.json",
+    ]
+    total = sum(check_artifact(path) for path in paths)
+    if total == 0:
+        fail("no critical-path rounds found in any artifact (spans off?)")
+    if FAILURES:
+        print(f"{len(FAILURES)} critical-path gate(s) failed")
+        return 1
+    print(f"all critical-path gates passed over {total} rounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

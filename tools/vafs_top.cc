@@ -15,7 +15,8 @@
 //   --read-fault-rate R  transient read-fault probability in [0,1]
 //   --seed K             fault-injection seed (default 7)
 //   --export PREFIX      also write PREFIX.snapshot.json,
-//                        PREFIX.perfetto.json and PREFIX.prom
+//                        PREFIX.perfetto.json, PREFIX.prom and
+//                        PREFIX.folded (flame stacks for vafs_flame.py)
 //
 // The tables map back to the paper: "service rounds" is Eq. 11 round time
 // against the min k_i*d_i budget, "slots" is the admission set bounded by
@@ -47,6 +48,11 @@ const JsonValue* Child(const JsonValue* value, const char* key) {
 
 double Num(const JsonValue* object, const char* key, double fallback = 0.0) {
   return object != nullptr ? object->NumberOr(key, fallback) : fallback;
+}
+
+bool Flag(const JsonValue* object, const char* key) {
+  const JsonValue* value = Child(object, key);
+  return value != nullptr && value->type == JsonValue::Type::kBool && value->boolean;
 }
 
 void RenderSlots(const JsonValue* counters, const JsonValue* gauges) {
@@ -220,6 +226,55 @@ void RenderStreams(const JsonValue* slo) {
               Num(slo, "breached_streams"), streams->array.size(), Num(slo, "rounds_total"));
 }
 
+void RenderCriticalPath(const JsonValue* critical_path) {
+  const JsonValue* rounds = Child(critical_path, "rounds");
+  if (rounds == nullptr || !rounds->is_array() || rounds->array.empty()) {
+    return;  // spans disabled, or no round completed
+  }
+  // Aggregate the per-round attributions: total time charged per stage,
+  // how often each stage dominated, and the anomaly count.
+  static const char* const kStages[] = {"queue",  "seek",        "transfer", "retry",
+                                        "cache",  "merge_patch", "append"};
+  double totals[7] = {};
+  double dominants[7] = {};
+  double anomalies = 0.0;
+  for (const JsonValue& round : rounds->array) {
+    const JsonValue* stages = Child(&round, "stages");
+    const std::string dominant = round.StringOr("dominant", "");
+    for (int s = 0; s < 7; ++s) {
+      totals[s] += Num(stages, kStages[s]);
+      if (dominant == kStages[s]) {
+        dominants[s] += 1.0;
+      }
+    }
+    if (Flag(&round, "anomalous")) {
+      anomalies += 1.0;
+    }
+  }
+  std::printf("[critical path]  (per-round stage attribution; sums audited to round time)\n");
+  std::printf("  rounds=%zu  anomalous=%.0f\n", rounds->array.size(), anomalies);
+  std::printf("  %-12s %12s %10s\n", "stage", "total us", "dominant");
+  for (int s = 0; s < 7; ++s) {
+    if (totals[s] <= 0 && dominants[s] <= 0) {
+      continue;
+    }
+    std::printf("  %-12s %12.0f %10.0f\n", kStages[s], totals[s], dominants[s]);
+  }
+  // The tail of the table: the most recent rounds with their verdicts.
+  const size_t tail = rounds->array.size() > 5 ? rounds->array.size() - 5 : 0;
+  std::printf("  %6s %5s %12s %-12s %12s %8s %7s\n", "round", "node", "duration us", "dominant",
+              "dominant us", "request", "member");
+  for (size_t i = tail; i < rounds->array.size(); ++i) {
+    const JsonValue& round = rounds->array[i];
+    std::printf("  %6.0f %5.0f %12.0f %-12s %12.0f %8.0f %7.0f%s\n", Num(&round, "round"),
+                Num(&round, "node"), Num(&round, "duration_usec"),
+                round.StringOr("dominant", "?").c_str(), Num(&round, "dominant_usec"),
+                Num(&round, "dominant_request"), Num(&round, "dominant_member"),
+                Flag(&round, "anomalous") ? "  ANOMALOUS" : "");
+  }
+  std::printf("\n");
+}
+
 void RenderCluster(const JsonValue* root) {
   const JsonValue* nodes = Child(root, "nodes");
   if (nodes == nullptr || !nodes->is_array()) {
@@ -227,15 +282,18 @@ void RenderCluster(const JsonValue* root) {
     return;
   }
   std::printf("[cluster]  per-node continuity rollup (%zu nodes)\n", nodes->array.size());
-  std::printf("  %4s %-11s %7s %8s %7s %8s %8s %7s\n", "node", "state", "rounds", "streams",
-              "breach", "batched", "patched", "merged");
+  std::printf("  %4s %-11s %7s %8s %7s %8s %8s %7s %9s %6s\n", "node", "state", "rounds",
+              "streams", "breach", "batched", "patched", "merged", "cp.rounds", "anom");
   double rounds = 0.0;
   double streams = 0.0;
   double breached = 0.0;
+  double cp_rounds = 0.0;
+  double cp_anomalies = 0.0;
   int up = 0;
   int down = 0;
   for (const JsonValue& entry : nodes->array) {
     const JsonValue* slo = Child(&entry, "slo");
+    const JsonValue* critical_path = Child(&entry, "critical_path");
     const JsonValue* node_streams = Child(slo, "streams");
     const size_t stream_count =
         node_streams != nullptr && node_streams->is_array() ? node_streams->array.size() : 0;
@@ -244,14 +302,22 @@ void RenderCluster(const JsonValue* root) {
     rounds += Num(slo, "rounds_total");
     streams += static_cast<double>(stream_count);
     breached += Num(slo, "breached_streams");
-    std::printf("  %4.0f %-11s %7.0f %8zu %7.0f %8.0f %8.0f %7.0f\n", Num(&entry, "node"),
-                state.c_str(), Num(slo, "rounds_total"), stream_count,
+    cp_rounds += Num(critical_path, "rounds");
+    cp_anomalies += Num(critical_path, "anomalies");
+    std::printf("  %4.0f %-11s %7.0f %8zu %7.0f %8.0f %8.0f %7.0f %9.0f %6.0f\n",
+                Num(&entry, "node"), state.c_str(), Num(slo, "rounds_total"), stream_count,
                 Num(slo, "breached_streams"), Num(slo, "sessions_batched"),
-                Num(slo, "sessions_patched"), Num(slo, "sessions_merged"));
+                Num(slo, "sessions_patched"), Num(slo, "sessions_merged"),
+                Num(critical_path, "rounds"), Num(critical_path, "anomalies"));
   }
   std::printf("  rollup: %d up / %d down-or-recovering, %.0f rounds over %.0f streams, "
-              "%.0f breached\n\n",
+              "%.0f breached\n",
               up, down, rounds, streams, breached);
+  if (cp_rounds > 0) {
+    std::printf("  critical path: %.0f attributed rounds, %.0f anomalous\n", cp_rounds,
+                cp_anomalies);
+  }
+  std::printf("\n");
 }
 
 int RenderSnapshot(const std::string& text, const char* source) {
@@ -291,6 +357,7 @@ int RenderSnapshot(const std::string& text, const char* source) {
   RenderRecovery(Child(metrics, "counters"));
   RenderSessions(Child(&*root, "slo"));
   RenderStreams(Child(&*root, "slo"));
+  RenderCriticalPath(Child(&*root, "critical_path"));
   return 0;
 }
 
@@ -312,6 +379,7 @@ int RunDemo(const DemoFlags& flags) {
   config.block_cache.capacity_bytes = 16 << 20;
   config.telemetry.enabled = true;
   config.telemetry.trace_capacity = 1 << 16;
+  config.telemetry.spans = true;  // light up the critical-path pane
   config.faults.read_fault_rate = flags.read_fault_rate;
   config.faults.seed = flags.seed;
   MultimediaFileSystem fs(config);
@@ -359,10 +427,12 @@ int RunDemo(const DemoFlags& flags) {
 
   if (!flags.export_prefix.empty()) {
     const obs::PerfettoExporter perfetto(&fs.trace_log()->events());
-    const obs::PrometheusExporter prometheus(fs.metrics());
-    const obs::JsonSnapshotExporter snapshot(fs.metrics(), fs.slo_tracker(), fs.trace_log());
+    const obs::PrometheusExporter prometheus(fs.metrics(), fs.trace_log());
+    const obs::JsonSnapshotExporter snapshot(fs.metrics(), fs.slo_tracker(), fs.trace_log(),
+                                             fs.critical_path());
+    const obs::FoldedStackExporter folded(&fs.trace_log()->events());
     for (const obs::Exporter* exporter :
-         std::initializer_list<const obs::Exporter*>{&perfetto, &prometheus, &snapshot}) {
+         std::initializer_list<const obs::Exporter*>{&perfetto, &prometheus, &snapshot, &folded}) {
       const std::string path = flags.export_prefix + exporter->FileExtension();
       if (Status written = obs::WriteExport(*exporter, path); !written.ok()) {
         std::fprintf(stderr, "vafs_top: %s\n", written.ToString().c_str());
