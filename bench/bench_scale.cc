@@ -1,0 +1,471 @@
+// Round hot path at scale: 1k/5k/20k/50k concurrent Zipf viewers through
+// planned+cache+sessions mode, with determinism receipts.
+//
+// The paper sizes rounds so a server admits the hardware's maximum stream
+// count; this bench proves the *implementation* keeps up when that count
+// is tens of thousands (DESIGN.md section 15). Two parts:
+//
+//   sweep   One node, planned rounds + block cache + session layer, a
+//           fixed Zipf viewer population per size (a flash-crowd slice
+//           arrives through OpenSession and batches/merges; the rest are
+//           solo physical streams). Reports wall-clock rounds/sec, the
+//           per-stream round cost (the near-linear-scaling criterion:
+//           20k within 5x of 1k), and the incremental planner's reuse
+//           counters. The 5k point runs twice — incremental vs
+//           from-scratch planning — and every simulated-time digest must
+//           match between the two.
+//
+//   waves   The wallclock-style array engine at 5k streams with payload
+//           verification ON, run at 1 and 8 workers: digests must be
+//           byte-identical, and the PagePool counters show the pooled
+//           read path recycling pages instead of allocating per block.
+//
+// tools/check_scale.py gates digest equality (hard) and near-linear
+// scaling (advisory). CI publishes BENCH_scale_metrics.json.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "src/disk/disk_array.h"
+#include "src/msm/recorder.h"
+#include "src/msm/service_scheduler.h"
+#include "src/obs/auditor.h"
+#include "src/sim/workload.h"
+#include "src/util/worker_pool.h"
+
+namespace vafs {
+namespace {
+
+constexpr int kTitles = 64;
+constexpr double kTitleSec = 2.0;
+// Arrivals are clustered into a short window so the whole population is
+// concurrent: spreading them out would let each round activate one new
+// stream (N rounds of ramp, each scanning the live rotation — O(N^2)
+// bench wall time) instead of a handful of long rounds that carry all N.
+constexpr double kArrivalWindowSec = 0.2;
+// The sweep runs a fixed simulated horizon, not to idle. The disk is
+// massively oversubscribed, so the makespan grows with the population; a
+// bounded horizon keeps the round count predictable across sweep sizes
+// while every round still carries the full population.
+constexpr double kSweepHorizonSec = 8.0;
+constexpr int64_t kSweepSizes[] = {1000, 5000, 20000, 50000};
+constexpr int64_t kDeterminismSize = 5000;
+
+// FNV-1a fold of every rendered trace event (order-sensitive, unbounded
+// stream, no retention).
+class TraceDigest : public obs::TraceSink {
+ public:
+  void OnEvent(const obs::TraceEvent& event) override {
+    const std::string line = obs::TraceEventSummary(event);
+    for (const char c : line) {
+      digest_ = (digest_ ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+    }
+    ++events_;
+  }
+  uint64_t digest() const { return digest_; }
+  int64_t events() const { return events_; }
+
+ private:
+  uint64_t digest_ = 14695981039346656037ULL;
+  int64_t events_ = 0;
+};
+
+uint64_t FnvOf(const std::string& text) {
+  uint64_t digest = 14695981039346656037ULL;
+  for (const char c : text) {
+    digest = (digest ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return digest;
+}
+
+struct ScaleOutcome {
+  const char* part = "sweep";
+  int64_t viewers = 0;
+  const char* mode = "incremental";
+  int workers = 1;
+  int64_t admitted = 0;
+  int64_t sessions_batched = 0;
+  int64_t sessions_merged = 0;
+  double wall_sec = 0.0;
+  int64_t rounds = 0;
+  double rounds_per_sec = 0.0;
+  double stream_round_cost_wall_sec = 0.0;  // usec of wall time per stream-round
+  uint64_t trace_digest = 0;
+  int64_t trace_events = 0;
+  uint64_t slo_digest = 0;
+  uint64_t audit_digest = 0;
+  uint64_t payload_digest = 0;
+  SimTime completion = 0;
+  IncrementalRoundPlanner::Stats planner;
+  int64_t pool_created = 0;
+  int64_t pool_recycled = 0;
+  int64_t pool_outstanding = 0;
+};
+
+sim::WorkloadOptions SweepWorkload() {
+  sim::WorkloadOptions options;
+  options.titles = kTitles;
+  options.zipf_exponent = 1.0;
+  options.duration_sec = kArrivalWindowSec;
+  // Flash slice: ~20% of the window redirects to title 0; those viewers
+  // arrive through OpenSession and exercise batching/merging.
+  options.flash_start_sec = 0.4 * kArrivalWindowSec;
+  options.flash_duration_sec = 0.2 * kArrivalWindowSec;
+  options.flash_title_bias = 1.0;
+  options.flash_title = 0;
+  options.seed = 20260808;
+  return options;
+}
+
+// One facade run: `viewers` Zipf arrivals against kTitles short titles,
+// planned rounds + cache + sessions, admission bypassed (the point is the
+// hot path, not Eq. 17 — the simulated disk is massively oversubscribed
+// and the SLO records that honestly).
+ScaleOutcome RunSweep(int64_t viewers, bool incremental) {
+  TraceDigest trace;
+  obs::ContinuityAuditor auditor{obs::AuditorOptions{.round_time_slack = 0.05}};
+  obs::SloTracker slo;
+  obs::TeeSink receipts;
+  receipts.Add(&trace);
+  receipts.Add(&auditor);
+  receipts.Add(&slo);
+
+  FileSystemConfig config = TestbedConfig();
+  config.disk = FutureDisk();
+  config.retain_data = false;
+  config.scheduler.service_order = ServiceOrder::kPlanned;
+  config.scheduler.bypass_admission = true;
+  config.scheduler.forced_k = 1;
+  config.scheduler.batch_activation = true;
+  config.scheduler.incremental_planning = incremental;
+  config.scheduler.trace = &receipts;
+  config.block_cache.capacity_bytes = 8 << 20;
+  config.sessions.enabled = true;
+  config.sessions.batch_window_sec = 1.0;
+  config.sessions.max_patch_blocks = 1 << 20;
+  config.sessions.runway_margin_blocks = 0;
+  config.telemetry.enabled = true;
+  config.telemetry.trace_capacity = 1 << 10;
+  MultimediaFileSystem fs(config);
+
+  std::vector<RopeId> ropes;
+  for (int t = 0; t < kTitles; ++t) {
+    VideoSource source(UvcCompressedVideo(), 7000 + static_cast<uint64_t>(t));
+    Result<MultimediaFileSystem::RecordResult> recorded =
+        fs.Record("scale", &source, nullptr, kTitleSec);
+    if (!recorded.ok()) {
+      std::printf("RECORD failed: %s\n", recorded.status().ToString().c_str());
+      return {};
+    }
+    ropes.push_back(recorded->rope);
+  }
+
+  const std::vector<sim::WorkloadArrival> arrivals =
+      sim::WorkloadEngine(SweepWorkload()).GenerateCount(viewers);
+
+  ScaleOutcome outcome;
+  outcome.viewers = viewers;
+  outcome.mode = incremental ? "incremental" : "from_scratch";
+  const SimTime base = fs.simulator().Now();
+  for (const sim::WorkloadArrival& arrival : arrivals) {
+    const RopeId rope = ropes[static_cast<size_t>(arrival.title) % ropes.size()];
+    const bool session_viewer = arrival.flash;
+    fs.simulator().ScheduleAt(
+        base + SecondsToUsec(arrival.time_sec), [&fs, &outcome, rope, session_viewer]() {
+          const TimeInterval interval{0.0, kTitleSec};
+          if (session_viewer) {
+            Result<SessionTicket> ticket = fs.OpenSession("scale", rope, Medium::kVideo, interval);
+            if (ticket.ok()) {
+              ++outcome.admitted;
+            }
+          } else {
+            Result<RequestId> id = fs.Play("scale", rope, Medium::kVideo, interval);
+            if (id.ok()) {
+              ++outcome.admitted;
+            }
+          }
+        });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  fs.simulator().RunUntil(base + SecondsToUsec(kSweepHorizonSec));
+  const auto stop = std::chrono::steady_clock::now();
+
+  outcome.wall_sec = std::chrono::duration<double>(stop - start).count();
+  outcome.rounds = fs.scheduler().rounds_executed();
+  outcome.rounds_per_sec =
+      outcome.wall_sec > 0.0 ? static_cast<double>(outcome.rounds) / outcome.wall_sec : 0.0;
+  const double stream_rounds = static_cast<double>(outcome.rounds) * static_cast<double>(viewers);
+  outcome.stream_round_cost_wall_sec =
+      stream_rounds > 0.0 ? outcome.wall_sec * 1e6 / stream_rounds : 0.0;
+  if (fs.session_manager() != nullptr) {
+    outcome.sessions_batched = fs.session_manager()->census().batched;
+    outcome.sessions_merged = fs.session_manager()->census().merged;
+  }
+  outcome.trace_digest = trace.digest();
+  outcome.trace_events = trace.events();
+  outcome.slo_digest = FnvOf(slo.Report().ToJson());
+  outcome.audit_digest = FnvOf(auditor.Report());
+  outcome.completion = fs.simulator().Now();
+  outcome.planner = fs.scheduler().planner_stats();
+  if (fs.block_cache() != nullptr) {
+    PagePool& pool = fs.block_cache()->page_pool();
+    outcome.pool_created = pool.pages_created();
+    outcome.pool_recycled = pool.pages_recycled();
+    outcome.pool_outstanding = pool.pages_outstanding();
+  }
+  return outcome;
+}
+
+// Seek-dominated member geometry (as in bench_wallclock).
+DiskParameters WaveDisk() {
+  DiskParameters params;
+  params.cylinders = 5000;
+  params.surfaces = 16;
+  params.sectors_per_track = 256;
+  params.rpm = 15000.0;
+  params.min_seek_ms = 5.0;
+  params.max_seek_ms = 50.0;
+  return params;
+}
+
+// Wallclock-style engine at `viewers` streams over an 8-member array with
+// payload verification on: the pooled read path carries every wave, and
+// the digests must not move with the worker count.
+ScaleOutcome RunWaves(int64_t viewers, int workers) {
+  const MediaProfile video = UvcCompressedVideo();
+  Disk disk(WaveDisk(), DiskOptions{.retain_data = false});
+  StrandStore store(&disk);
+  const StorageTimings storage = StorageTimings::FromDiskModel(disk.model());
+  ContinuityModel model(storage, UvcDisplay());
+  const StrandPlacement placement =
+      *model.DerivePlacement(RetrievalArchitecture::kPipelined, video);
+
+  // A small catalog of short strands, viewers spread across them: extents
+  // repeat, so dedup + cache see real sharing while the request table
+  // holds `viewers` live entries.
+  constexpr int kStrands = 32;
+  const int64_t blocks_per_stream =
+      static_cast<int64_t>(2.0 * video.units_per_sec) / placement.granularity;
+  const std::vector<uint8_t> payload(
+      static_cast<size_t>(placement.granularity * video.bits_per_unit / 8), 0xA5);
+  std::vector<std::vector<PrimaryEntry>> strands;
+  for (int s = 0; s < kStrands; ++s) {
+    Result<std::unique_ptr<StrandWriter>> writer = store.CreateStrand(video, placement);
+    (*writer)->SetAllocationHint(s * (disk.total_sectors() / kStrands));
+    for (int64_t b = 0; b < blocks_per_stream; ++b) {
+      (void)(*writer)->AppendBlock(payload);
+    }
+    const StrandId id = *(*writer)->Finish(blocks_per_stream * placement.granularity);
+    const Strand* strand = *store.Get(id);
+    std::vector<PrimaryEntry> blocks;
+    for (int64_t b = 0; b < strand->block_count(); ++b) {
+      blocks.push_back(*strand->index().Lookup(b));
+    }
+    strands.push_back(std::move(blocks));
+  }
+
+  DiskArray array(WaveDisk(), 8);
+  WorkerPool pool(workers);
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 8 << 20});
+
+  Simulator sim;
+  TraceDigest trace;
+  obs::SloTracker slo;
+  obs::TeeSink tee;
+  tee.Add(&trace);
+  tee.Add(&slo);
+  SchedulerOptions options;
+  options.service_order = ServiceOrder::kPlanned;
+  options.disk_array = &array;
+  options.worker_pool = &pool;
+  options.verify_payloads = true;
+  options.bypass_admission = true;
+  options.forced_k = 1;
+  options.batch_activation = true;
+  options.block_cache = &cache;
+  options.trace = &tee;
+  ServiceScheduler scheduler(&store, &sim, AdmissionControl(storage, store.AverageScatteringSec()),
+                             options);
+
+  ScaleOutcome outcome;
+  outcome.part = "waves";
+  outcome.viewers = viewers;
+  outcome.workers = workers;
+  for (int64_t v = 0; v < viewers; ++v) {
+    PlaybackRequest request;
+    request.blocks = strands[static_cast<size_t>(v % kStrands)];
+    request.block_duration =
+        SecondsToUsec(static_cast<double>(placement.granularity) / video.units_per_sec);
+    request.spec = RequestSpec{video, placement.granularity};
+    if (scheduler.SubmitPlayback(std::move(request)).ok()) {
+      ++outcome.admitted;
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  scheduler.RunUntilIdle();
+  const auto stop = std::chrono::steady_clock::now();
+
+  outcome.wall_sec = std::chrono::duration<double>(stop - start).count();
+  outcome.rounds = scheduler.rounds_executed();
+  outcome.rounds_per_sec =
+      outcome.wall_sec > 0.0 ? static_cast<double>(outcome.rounds) / outcome.wall_sec : 0.0;
+  const double stream_rounds = static_cast<double>(outcome.rounds) * static_cast<double>(viewers);
+  outcome.stream_round_cost_wall_sec =
+      stream_rounds > 0.0 ? outcome.wall_sec * 1e6 / stream_rounds : 0.0;
+  outcome.trace_digest = trace.digest();
+  outcome.trace_events = trace.events();
+  outcome.slo_digest = FnvOf(slo.Report().ToJson());
+  outcome.payload_digest = scheduler.payload_digest();
+  outcome.completion = sim.Now();
+  outcome.planner = scheduler.planner_stats();
+  outcome.pool_created = cache.page_pool().pages_created();
+  outcome.pool_recycled = cache.page_pool().pages_recycled();
+  outcome.pool_outstanding = cache.page_pool().pages_outstanding();
+  return outcome;
+}
+
+void WriteScaleJson(const std::vector<ScaleOutcome>& outcomes) {
+  const char* path = "BENCH_scale_metrics.json";
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(file,
+               "{\n"
+               "  \"scale\": {\n"
+               "    \"hardware_concurrency\": %u,\n"
+               "    \"titles\": %d,\n"
+               "    \"runs\": [\n",
+               std::thread::hardware_concurrency(), kTitles);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const ScaleOutcome& run = outcomes[i];
+    std::fprintf(
+        file,
+        "      {\"part\": \"%s\", \"viewers\": %lld, \"mode\": \"%s\", \"workers\": %d,\n"
+        "       \"admitted\": %lld, \"sessions_batched\": %lld, \"sessions_merged\": %lld,\n"
+        "       \"wall_sec\": %.6f, \"rounds\": %lld, \"rounds_per_sec\": %.3f,\n"
+        "       \"stream_round_cost_wall_sec\": %.6f,\n"
+        "       \"trace_digest\": \"%016" PRIx64 "\", \"trace_events\": %lld,\n"
+        "       \"slo_digest\": \"%016" PRIx64 "\", \"audit_digest\": \"%016" PRIx64 "\",\n"
+        "       \"payload_digest\": \"%016" PRIx64 "\", \"completion_usec\": %lld,\n"
+        "       \"planner_inputs_seen\": %lld, \"planner_inputs_reused\": %lld,\n"
+        "       \"planner_groups_resorted\": %lld, \"planner_full_sort_fallbacks\": %lld,\n"
+        "       \"pool_created\": %lld, \"pool_recycled\": %lld, \"pool_outstanding\": %lld}%s\n",
+        run.part, static_cast<long long>(run.viewers), run.mode, run.workers,
+        static_cast<long long>(run.admitted), static_cast<long long>(run.sessions_batched),
+        static_cast<long long>(run.sessions_merged), run.wall_sec,
+        static_cast<long long>(run.rounds), run.rounds_per_sec, run.stream_round_cost_wall_sec,
+        run.trace_digest, static_cast<long long>(run.trace_events), run.slo_digest,
+        run.audit_digest, run.payload_digest, static_cast<long long>(run.completion),
+        static_cast<long long>(run.planner.inputs_seen),
+        static_cast<long long>(run.planner.inputs_reused),
+        static_cast<long long>(run.planner.groups_resorted),
+        static_cast<long long>(run.planner.full_sort_fallbacks),
+        static_cast<long long>(run.pool_created), static_cast<long long>(run.pool_recycled),
+        static_cast<long long>(run.pool_outstanding), i + 1 < outcomes.size() ? "," : "");
+  }
+  std::fprintf(file,
+               "    ]\n"
+               "  }\n"
+               "}\n");
+  std::fclose(file);
+  std::printf("metrics: %s\n", path);
+}
+
+void PrintScaleTables() {
+  PrintHeader("round hot path at scale", "20k+ concurrent Zipf streams per node");
+  PrintOperatingPoint(FutureDisk());
+  std::printf("host threads: %u, titles: %d, title length: %.1fs\n",
+              std::thread::hardware_concurrency(), kTitles, kTitleSec);
+
+  // VAFS_SCALE_MAX trims the sweep for constrained runners (digest
+  // comparisons all happen at the 5k point, which is never trimmed).
+  int64_t max_viewers = 50000;
+  if (const char* env_max = std::getenv("VAFS_SCALE_MAX"); env_max != nullptr) {
+    max_viewers = std::max<int64_t>(std::atoll(env_max), kDeterminismSize);
+  }
+  std::vector<ScaleOutcome> outcomes;
+  for (const int64_t viewers : kSweepSizes) {
+    if (viewers > max_viewers) {
+      continue;
+    }
+    std::fprintf(stderr, "sweep %lld incremental...\n", static_cast<long long>(viewers));
+    outcomes.push_back(RunSweep(viewers, /*incremental=*/true));
+    if (viewers == kDeterminismSize) {
+      std::fprintf(stderr, "sweep %lld from-scratch...\n", static_cast<long long>(viewers));
+      outcomes.push_back(RunSweep(viewers, /*incremental=*/false));
+    }
+  }
+  std::fprintf(stderr, "waves %lld x1...\n", static_cast<long long>(kDeterminismSize));
+  outcomes.push_back(RunWaves(kDeterminismSize, /*workers=*/1));
+  std::fprintf(stderr, "waves %lld x8...\n", static_cast<long long>(kDeterminismSize));
+  outcomes.push_back(RunWaves(kDeterminismSize, /*workers=*/8));
+
+  std::printf("%6s | %7s | %12s | %3s | %9s | %7s | %11s | %11s | %16s\n", "part", "viewers",
+              "mode", "wk", "wall (s)", "rounds", "rounds/sec", "us/strm-rnd", "trace digest");
+  for (const ScaleOutcome& run : outcomes) {
+    std::printf("%6s | %7" PRId64 " | %12s | %3d | %9.3f | %7" PRId64
+                " | %11.1f | %11.3f | %016" PRIx64 "\n",
+                run.part, run.viewers, run.mode, run.workers, run.wall_sec, run.rounds,
+                run.rounds_per_sec, run.stream_round_cost_wall_sec, run.trace_digest);
+  }
+
+  // Receipts the checker gates on (printed for the human too).
+  const ScaleOutcome* inc = nullptr;
+  const ScaleOutcome* scratch = nullptr;
+  for (const ScaleOutcome& run : outcomes) {
+    if (run.viewers == kDeterminismSize && std::string(run.part) == "sweep") {
+      (std::string(run.mode) == "incremental" ? inc : scratch) = &run;
+    }
+  }
+  if (inc != nullptr && scratch != nullptr) {
+    const bool same = inc->trace_digest == scratch->trace_digest &&
+                      inc->slo_digest == scratch->slo_digest &&
+                      inc->audit_digest == scratch->audit_digest &&
+                      inc->completion == scratch->completion && inc->rounds == scratch->rounds;
+    std::printf("incremental == from-scratch planning: %s\n",
+                same ? "yes" : "NO -- DETERMINISM BROKEN");
+  }
+  const ScaleOutcome& w1 = outcomes[outcomes.size() - 2];
+  const ScaleOutcome& w8 = outcomes[outcomes.size() - 1];
+  const bool workers_same =
+      w1.trace_digest == w8.trace_digest && w1.slo_digest == w8.slo_digest &&
+      w1.payload_digest == w8.payload_digest && w1.completion == w8.completion;
+  std::printf("1-worker == 8-worker waves: %s\n",
+              workers_same ? "yes" : "NO -- DETERMINISM BROKEN");
+  std::printf("pooled reads: %" PRId64 " pages created, %" PRId64 " recycled (%.1f%% reuse)\n",
+              w1.pool_created, w1.pool_recycled,
+              100.0 * static_cast<double>(w1.pool_recycled) /
+                  static_cast<double>(std::max<int64_t>(w1.pool_created + w1.pool_recycled, 1)));
+
+  WriteScaleJson(outcomes);
+}
+
+void BM_ScaleSweep(benchmark::State& state) {
+  const int64_t viewers = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunSweep(viewers, /*incremental=*/true).rounds);
+  }
+}
+BENCHMARK(BM_ScaleSweep)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vafs
+
+int main(int argc, char** argv) {
+  vafs::PrintScaleTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -3,12 +3,20 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace vafs {
 
 Disk::Disk(const DiskParameters& params, DiskOptions options)
-    : model_(params), options_(options), injector_(options.faults) {}
+    : model_(params), options_(options), injector_(options.faults) {
+  if (options_.retain_data && !options_.image_path.empty()) {
+    image_ = DiskImage::Open(options_.image_path, total_sectors(), bytes_per_sector(),
+                             options_.image_truncate, &image_error_);
+    // A refused image (unwritable path, geometry mismatch) is soft: the
+    // sparse store takes over and simulated results are unchanged.
+  }
+}
 
 namespace {
 
@@ -64,6 +72,9 @@ void Disk::PowerCycle() {
 }
 
 std::vector<int64_t> Disk::PopulatedSectors() const {
+  if (image_ != nullptr) {
+    return image_->PopulatedSectors();  // bitmap scan, already sorted
+  }
   std::vector<int64_t> sectors;
   sectors.reserve(store_.size());
   for (const auto& [sector, data] : store_) {
@@ -71,6 +82,45 @@ std::vector<int64_t> Disk::PopulatedSectors() const {
   }
   std::sort(sectors.begin(), sectors.end());
   return sectors;
+}
+
+bool Disk::SyncImage() { return image_ == nullptr || image_->Sync(); }
+
+void Disk::CopyOut(int64_t start_sector, int64_t count, std::vector<uint8_t>* out) const {
+  const int64_t sector_bytes = bytes_per_sector();
+  out->resize(static_cast<size_t>(count * sector_bytes), 0);
+  if (image_ != nullptr) {
+    for (int64_t i = 0; i < count; ++i) {
+      if (image_->IsPopulated(start_sector + i)) {
+        std::memcpy(out->data() + static_cast<ptrdiff_t>(i * sector_bytes),
+                    image_->SectorData(start_sector + i), static_cast<size_t>(sector_bytes));
+      } else {
+        std::memset(out->data() + static_cast<ptrdiff_t>(i * sector_bytes), 0,
+                    static_cast<size_t>(sector_bytes));
+      }
+    }
+    return;
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    auto it = store_.find(start_sector + i);
+    if (it != store_.end()) {
+      std::copy(it->second.begin(), it->second.end(),
+                out->begin() + static_cast<ptrdiff_t>(i * sector_bytes));
+    } else {
+      std::memset(out->data() + static_cast<ptrdiff_t>(i * sector_bytes), 0,
+                  static_cast<size_t>(sector_bytes));
+    }
+  }
+}
+
+void Disk::PersistSector(int64_t sector, const uint8_t* data) {
+  const int64_t sector_bytes = bytes_per_sector();
+  if (image_ != nullptr) {
+    std::memcpy(image_->SectorData(sector), data, static_cast<size_t>(sector_bytes));
+    image_->MarkPopulated(sector);
+    return;
+  }
+  store_[sector] = std::vector<uint8_t>(data, data + sector_bytes);
 }
 
 Status Disk::Faulted(FaultKind kind, int64_t start_sector, int64_t sectors,
@@ -137,17 +187,10 @@ Result<SimDuration> Disk::Read(int64_t start_sector, int64_t sectors, std::vecto
                TraceTime(service), last_seek_cylinders_);
 
   if (out != nullptr) {
-    out->clear();
     if (options_.retain_data) {
-      const int64_t sector_bytes = bytes_per_sector();
-      out->resize(static_cast<size_t>(sectors * sector_bytes), 0);
-      for (int64_t i = 0; i < sectors; ++i) {
-        auto it = store_.find(start_sector + i);
-        if (it != store_.end()) {
-          std::copy(it->second.begin(), it->second.end(),
-                    out->begin() + static_cast<ptrdiff_t>(i * sector_bytes));
-        }
-      }
+      CopyOut(start_sector, sectors, out);
+    } else {
+      out->clear();
     }
   }
   return service;
@@ -173,17 +216,10 @@ Result<SimDuration> Disk::ReadSalvage(int64_t start_sector, int64_t sectors,
                TraceTime(service), last_seek_cylinders_);
 
   if (out != nullptr) {
-    out->clear();
     if (options_.retain_data) {
-      const int64_t sector_bytes = bytes_per_sector();
-      out->resize(static_cast<size_t>(sectors * sector_bytes), 0);
-      for (int64_t i = 0; i < sectors; ++i) {
-        auto it = store_.find(start_sector + i);
-        if (it != store_.end()) {
-          std::copy(it->second.begin(), it->second.end(),
-                    out->begin() + static_cast<ptrdiff_t>(i * sector_bytes));
-        }
-      }
+      CopyOut(start_sector, sectors, out);
+    } else {
+      out->clear();
     }
   }
   return service;
@@ -214,8 +250,7 @@ Result<SimDuration> Disk::Write(int64_t start_sector, int64_t sectors,
     // torn shred) reached the platter before everything went dark.
     if (options_.retain_data && !data.empty()) {
       auto persist = [&](int64_t i) {
-        auto first = data.begin() + static_cast<ptrdiff_t>(i * sector_bytes);
-        store_[start_sector + i] = std::vector<uint8_t>(first, first + sector_bytes);
+        PersistSector(start_sector + i, data.data() + static_cast<ptrdiff_t>(i * sector_bytes));
       };
       for (int64_t i = 0; i < crash.prefix_sectors; ++i) {
         persist(i);
@@ -242,8 +277,7 @@ Result<SimDuration> Disk::Write(int64_t start_sector, int64_t sectors,
 
   if (options_.retain_data && !data.empty()) {
     for (int64_t i = 0; i < sectors; ++i) {
-      auto first = data.begin() + static_cast<ptrdiff_t>(i * sector_bytes);
-      store_[start_sector + i] = std::vector<uint8_t>(first, first + sector_bytes);
+      PersistSector(start_sector + i, data.data() + static_cast<ptrdiff_t>(i * sector_bytes));
     }
   }
   return service;

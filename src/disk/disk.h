@@ -29,10 +29,13 @@
 #define VAFS_SRC_DISK_DISK_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/disk/disk_image.h"
 #include "src/disk/disk_model.h"
 #include "src/disk/fault_injector.h"
 #include "src/obs/trace.h"
@@ -46,6 +49,14 @@ struct DiskOptions {
   // Fault injection; the default (zero rates, no bad ranges) never fails
   // anything and leaves all timing bit-identical.
   FaultOptions faults;
+  // When non-empty (and retain_data is on), sector payloads live in an
+  // mmap'd image file at this path instead of per-sector heap vectors
+  // (DESIGN.md section 15). Timing and trace output are identical either
+  // way; an unopenable path falls back to the in-memory store (see
+  // Disk::image_backed). `image_truncate` discards any existing file
+  // instead of remounting its contents.
+  std::string image_path;
+  bool image_truncate = false;
 };
 
 class Disk {
@@ -136,6 +147,18 @@ class Disk {
   // Arm travel (cylinders) of the most recent positioned operation.
   int64_t last_seek_cylinders() const { return last_seek_cylinders_; }
 
+  // Backing-store introspection: true when sector payloads live in the
+  // mmap'd image (DiskOptions::image_path opened successfully). When an
+  // image was requested but could not be opened, image_error() carries the
+  // reason and the disk runs on the sparse in-memory store.
+  bool image_backed() const { return image_ != nullptr; }
+  const std::string& image_error() const { return image_error_; }
+
+  // Flushes the mmap'd image to stable storage (msync). A no-op returning
+  // true when not image-backed; the persistence layer calls this at
+  // checkpoint so a durable checkpoint implies a durable image.
+  bool SyncImage();
+
  private:
   Status ValidateExtent(int64_t start_sector, int64_t sectors) const;
   SimDuration Position(int64_t start_sector);
@@ -161,8 +184,16 @@ class Disk {
   int64_t reads_ = 0;
   int64_t writes_ = 0;
   SimDuration busy_time_ = 0;
-  // Sparse store: sector number -> sector payload.
+  // Copies `count` sectors starting at `start_sector` from the active
+  // backing store into *out (resized; unwritten sectors read as zeros).
+  void CopyOut(int64_t start_sector, int64_t count, std::vector<uint8_t>* out) const;
+  // Persists one sector's payload into the active backing store.
+  void PersistSector(int64_t sector, const uint8_t* data);
+
+  // Sparse store: sector number -> sector payload. Unused when image-backed.
   std::unordered_map<int64_t, std::vector<uint8_t>> store_;
+  std::unique_ptr<DiskImage> image_;
+  std::string image_error_;
 };
 
 }  // namespace vafs

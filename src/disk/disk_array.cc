@@ -19,6 +19,11 @@ DiskArray::DiskArray(const DiskParameters& member_params, int members, DiskOptio
     // loss rate.
     DiskOptions member_options = options;
     member_options.faults.seed = options.faults.seed + static_cast<uint64_t>(i);
+    // One image file per member: a shared mapping would let two arms
+    // clobber each other's sectors.
+    if (!member_options.image_path.empty()) {
+      member_options.image_path += ".m" + std::to_string(i);
+    }
     disks_.push_back(std::make_unique<Disk>(member_params, member_options));
   }
 }
@@ -101,6 +106,37 @@ Result<DiskArray::BatchOutcome> DiskArray::ReadBatch(const std::vector<BatchRequ
     const BatchRequest& request = batch[i];
     Disk& disk = *disks_[static_cast<size_t>(request.member)];
     std::vector<uint8_t>* slot = out != nullptr ? &(*out)[i] : nullptr;
+    Result<SimDuration> service = disk.Read(request.start_sector, request.sectors, slot);
+    MemberOutcome& fate = outcome.per_request[i];
+    if (service.ok()) {
+      fate.service = *service;
+      if (checksum && slot != nullptr && !slot->empty()) {
+        fate.payload_crc = Crc64(*slot);
+      }
+    } else {
+      fate.status = service.status();
+      fate.service = disk.last_fault_service();
+    }
+  };
+  DispatchBatch(batch, serve, &outcome);
+  return outcome;
+}
+
+Result<DiskArray::BatchOutcome> DiskArray::ReadBatchInto(
+    const std::vector<BatchRequest>& batch, const std::vector<std::vector<uint8_t>*>& pages) {
+  if (Status status = ValidateBatch(batch); !status.ok()) {
+    return status;
+  }
+  if (!pages.empty() && pages.size() != batch.size()) {
+    return Status(ErrorCode::kInvalidArgument, "page count does not match batch size");
+  }
+  BatchOutcome outcome;
+  outcome.per_request.resize(batch.size());
+  const bool checksum = checksum_payloads_;
+  auto serve = [this, &batch, &pages, &outcome, checksum](size_t i) {
+    const BatchRequest& request = batch[i];
+    Disk& disk = *disks_[static_cast<size_t>(request.member)];
+    std::vector<uint8_t>* slot = pages.empty() ? nullptr : pages[i];
     Result<SimDuration> service = disk.Read(request.start_sector, request.sectors, slot);
     MemberOutcome& fate = outcome.per_request[i];
     if (service.ok()) {

@@ -107,6 +107,15 @@ class DiskArray {
   Result<BatchOutcome> ReadBatch(const std::vector<BatchRequest>& batch,
                                  std::vector<std::vector<uint8_t>>* out);
 
+  // Pooled-payload variant: request i's data lands in `*pages[i]`, a
+  // caller-owned buffer (typically a PagePool page). The buffer is resized
+  // to the transfer's byte count, which allocates nothing when its capacity
+  // already suffices — the allocation-free read path of the 20k-stream
+  // rounds (DESIGN.md section 15). An empty `pages` (or a null entry)
+  // skips the payload for all (or that) request.
+  Result<BatchOutcome> ReadBatchInto(const std::vector<BatchRequest>& batch,
+                                     const std::vector<std::vector<uint8_t>*>& pages);
+
   // Parallel write counterpart; `data[i]` is the payload of request i.
   Result<BatchOutcome> WriteBatch(const std::vector<BatchRequest>& batch,
                                   const std::vector<std::vector<uint8_t>>& data);

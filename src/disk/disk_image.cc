@@ -1,0 +1,131 @@
+#include "src/disk/disk_image.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vafs {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'A', 'F', 'S', 'I', 'M', 'G', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr int64_t kHeaderBytes = 4096;
+
+struct ImageHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t bytes_per_sector;
+  uint64_t total_sectors;
+};
+static_assert(sizeof(ImageHeader) <= kHeaderBytes, "header must fit its reserved page");
+
+int64_t BitmapBytes(int64_t total_sectors) {
+  const int64_t raw = (total_sectors + 7) / 8;
+  return (raw + kHeaderBytes - 1) / kHeaderBytes * kHeaderBytes;  // 4 KiB-rounded
+}
+
+std::string Errno(const std::string& what) { return what + ": " + std::strerror(errno); }
+
+}  // namespace
+
+std::unique_ptr<DiskImage> DiskImage::Open(const std::string& path, int64_t total_sectors,
+                                           int64_t bytes_per_sector, bool truncate,
+                                           std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  auto fail = [error](const std::string& why) -> std::unique_ptr<DiskImage> {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return nullptr;
+  };
+  if (total_sectors <= 0 || bytes_per_sector <= 0) {
+    return fail("image geometry must be positive");
+  }
+  const int64_t bitmap_bytes = BitmapBytes(total_sectors);
+  const int64_t file_bytes = kHeaderBytes + bitmap_bytes + total_sectors * bytes_per_sector;
+
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0), 0644);
+  if (fd < 0) {
+    return fail(Errno("open " + path));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const std::string why = Errno("fstat " + path);
+    ::close(fd);
+    return fail(why);
+  }
+  const bool fresh = st.st_size == 0;
+  if (fresh) {
+    if (::ftruncate(fd, file_bytes) != 0) {
+      const std::string why = Errno("ftruncate " + path);
+      ::close(fd);
+      return fail(why);
+    }
+  } else if (st.st_size != file_bytes) {
+    ::close(fd);
+    return fail("image " + path + " is " + std::to_string(st.st_size) + " bytes, geometry needs " +
+                std::to_string(file_bytes));
+  }
+
+  void* mapping =
+      ::mmap(nullptr, static_cast<size_t>(file_bytes), PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  // The fd is only needed to establish the mapping.
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    return fail(Errno("mmap " + path));
+  }
+
+  uint8_t* base = static_cast<uint8_t*>(mapping);
+  ImageHeader* header = reinterpret_cast<ImageHeader*>(base);
+  if (fresh) {
+    std::memcpy(header->magic, kMagic, sizeof(kMagic));
+    header->version = kVersion;
+    header->bytes_per_sector = static_cast<uint32_t>(bytes_per_sector);
+    header->total_sectors = static_cast<uint64_t>(total_sectors);
+  } else if (std::memcmp(header->magic, kMagic, sizeof(kMagic)) != 0 ||
+             header->version != kVersion ||
+             header->bytes_per_sector != static_cast<uint32_t>(bytes_per_sector) ||
+             header->total_sectors != static_cast<uint64_t>(total_sectors)) {
+    ::munmap(mapping, static_cast<size_t>(file_bytes));
+    return fail("image " + path + " header does not match the simulated geometry");
+  }
+
+  std::unique_ptr<DiskImage> image(new DiskImage());
+  image->path_ = path;
+  image->total_sectors_ = total_sectors;
+  image->bytes_per_sector_ = bytes_per_sector;
+  image->base_ = base;
+  image->mapped_bytes_ = static_cast<size_t>(file_bytes);
+  image->bitmap_ = base + kHeaderBytes;
+  image->payload_ = base + kHeaderBytes + bitmap_bytes;
+  return image;
+}
+
+DiskImage::~DiskImage() {
+  if (base_ != nullptr) {
+    ::munmap(base_, mapped_bytes_);
+  }
+}
+
+std::vector<int64_t> DiskImage::PopulatedSectors() const {
+  std::vector<int64_t> sectors;
+  for (int64_t s = 0; s < total_sectors_; ++s) {
+    if (IsPopulated(s)) {
+      sectors.push_back(s);
+    }
+  }
+  return sectors;
+}
+
+bool DiskImage::Sync() {
+  return base_ != nullptr && ::msync(base_, mapped_bytes_, MS_SYNC) == 0;
+}
+
+}  // namespace vafs

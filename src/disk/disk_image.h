@@ -1,0 +1,90 @@
+// mmap'd disk-image backing store (DESIGN.md section 15).
+//
+// The simulated Disk's sparse in-memory store keeps one heap vector per
+// written sector — fine for unit tests, but a 20k-stream image is
+// gigabytes of payload that the host allocator has to carry and that
+// vanishes with the process. DiskImage maps a flat on-disk file instead:
+//
+//   [ 4 KiB header | populated bitmap (4 KiB-rounded) | sector payloads ]
+//
+// The mapping is MAP_SHARED, so sector writes are plain memcpys into the
+// page cache and the kernel persists them lazily; Sync() (wired to the
+// filesystem's Checkpoint) forces an msync so a checkpointed image is
+// durable at the same instant its metadata is. Reads memcpy straight out
+// of the mapping into the caller's (pooled) buffer — no per-sector heap
+// nodes anywhere on the path.
+//
+// The populated bitmap distinguishes never-written sectors (read as
+// zeros, invisible to PopulatedSectors()) from genuinely zero payloads,
+// preserving the sparse-store semantics the fsck scavenger depends on.
+//
+// Open() validates the header of an existing file against the simulated
+// geometry, so remounting a previous run's image resumes with its data —
+// the power-cut story of tests/disk_image_test.cc. All failures (bad
+// path, geometry mismatch, mmap refusal) are soft: Open returns null with
+// a message and the Disk falls back to the sparse store, keeping
+// simulated results identical either way.
+
+#ifndef VAFS_SRC_DISK_DISK_IMAGE_H_
+#define VAFS_SRC_DISK_DISK_IMAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vafs {
+
+class DiskImage {
+ public:
+  // Maps `path`, creating/resizing it when new or `truncate` is set. An
+  // existing file must carry a matching header (magic, sector size, sector
+  // count); otherwise null is returned and `*error` says why.
+  static std::unique_ptr<DiskImage> Open(const std::string& path, int64_t total_sectors,
+                                         int64_t bytes_per_sector, bool truncate,
+                                         std::string* error);
+
+  ~DiskImage();
+  DiskImage(const DiskImage&) = delete;
+  DiskImage& operator=(const DiskImage&) = delete;
+
+  int64_t total_sectors() const { return total_sectors_; }
+  int64_t bytes_per_sector() const { return bytes_per_sector_; }
+  const std::string& path() const { return path_; }
+
+  // Direct pointer to a sector's payload inside the mapping.
+  uint8_t* SectorData(int64_t sector) {
+    return payload_ + sector * bytes_per_sector_;
+  }
+  const uint8_t* SectorData(int64_t sector) const {
+    return payload_ + sector * bytes_per_sector_;
+  }
+
+  bool IsPopulated(int64_t sector) const {
+    return (bitmap_[static_cast<size_t>(sector >> 3)] >> (sector & 7)) & 1;
+  }
+  void MarkPopulated(int64_t sector) {
+    bitmap_[static_cast<size_t>(sector >> 3)] |= static_cast<uint8_t>(1u << (sector & 7));
+  }
+
+  // Sorted sector numbers with the populated bit set.
+  std::vector<int64_t> PopulatedSectors() const;
+
+  // msync the whole mapping (header, bitmap, payloads). False on failure.
+  bool Sync();
+
+ private:
+  DiskImage() = default;
+
+  std::string path_;
+  int64_t total_sectors_ = 0;
+  int64_t bytes_per_sector_ = 0;
+  uint8_t* base_ = nullptr;  // mapping base (header page)
+  size_t mapped_bytes_ = 0;
+  uint8_t* bitmap_ = nullptr;   // into base_
+  uint8_t* payload_ = nullptr;  // into base_
+};
+
+}  // namespace vafs
+
+#endif  // VAFS_SRC_DISK_DISK_IMAGE_H_

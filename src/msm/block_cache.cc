@@ -13,24 +13,28 @@ std::vector<uint8_t>* PagePool::Acquire(int64_t bytes) {
       std::unique_ptr<std::vector<uint8_t>> page = std::move(free_[i]);
       free_.erase(free_.begin() + static_cast<ptrdiff_t>(i));
       page->assign(want, 0);
-      live_.push_back(std::move(page));
-      return live_.back().get();
+      std::vector<uint8_t>* raw = page.get();
+      live_.emplace(raw, std::move(page));
+      ++recycled_;
+      return raw;
     }
   }
-  live_.push_back(std::make_unique<std::vector<uint8_t>>(want, 0));
-  return live_.back().get();
+  auto page = std::make_unique<std::vector<uint8_t>>(want, 0);
+  std::vector<uint8_t>* raw = page.get();
+  live_.emplace(raw, std::move(page));
+  ++created_;
+  return raw;
 }
 
 void PagePool::Release(std::vector<uint8_t>* page) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (size_t i = 0; i < live_.size(); ++i) {
-    if (live_[i].get() == page) {
-      free_.push_back(std::move(live_[i]));
-      live_.erase(live_.begin() + static_cast<ptrdiff_t>(i));
-      return;
-    }
+  auto it = live_.find(page);
+  if (it == live_.end()) {
+    assert(false && "released a page the pool does not own");
+    return;
   }
-  assert(false && "released a page the pool does not own");
+  free_.push_back(std::move(it->second));
+  live_.erase(it);
 }
 
 BlockCache::BlockCache(BlockCacheOptions options) : options_(options) {}

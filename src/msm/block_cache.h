@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace vafs {
@@ -53,11 +54,30 @@ class PagePool {
     std::lock_guard<std::mutex> lock(mutex_);
     return static_cast<int64_t>(free_.size());
   }
+  // Pages handed out and not yet released: a non-zero steady state between
+  // rounds is a leak (surfaces in telemetry as page_pool.outstanding).
+  int64_t pages_outstanding() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int64_t>(live_.size());
+  }
+  // Lifetime counters: fresh heap allocations vs. recycled acquisitions.
+  int64_t pages_created() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return created_;
+  }
+  int64_t pages_recycled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recycled_;
+  }
 
  private:
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<std::vector<uint8_t>>> free_;
-  std::vector<std::unique_ptr<std::vector<uint8_t>>> live_;
+  // Keyed by buffer address so Release is O(1) even with thousands of
+  // pages in flight during a scale round.
+  std::unordered_map<std::vector<uint8_t>*, std::unique_ptr<std::vector<uint8_t>>> live_;
+  int64_t created_ = 0;
+  int64_t recycled_ = 0;
 };
 
 struct BlockCacheOptions {

@@ -235,6 +235,10 @@ Result<BlockRelocationOutcome> RelocateBlocks(StrandStore* store, StrandId stran
 
   BlockRelocationOutcome outcome;
   int64_t copied_units = 0;
+  // One payload buffer for the whole copy: ReadSalvage overwrites it in
+  // full each block, so reusing the capacity keeps a large relocation from
+  // allocating O(blocks) buffers.
+  std::vector<uint8_t> payload;
   for (int64_t i = 0; i < block_count; ++i) {
     const int64_t block = first_block + i;
     Result<PrimaryEntry> entry = strand.index().Lookup(block);
@@ -246,7 +250,6 @@ Result<BlockRelocationOutcome> RelocateBlocks(StrandStore* store, StrandId stran
         return status;
       }
     } else {
-      std::vector<uint8_t> payload;
       Result<SimDuration> read =
           store->disk().ReadSalvage(entry->sector, entry->sector_count, &payload);
       if (!read.ok()) {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdlib>
 #include <deque>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -24,56 +25,116 @@ ServiceScheduler::ServiceScheduler(StrandStore* store, Simulator* simulator,
   }
 }
 
+ServiceScheduler::ActiveRequest* ServiceScheduler::FindRequest(RequestId id) {
+  if (id >= id_to_slot_.size()) {
+    return nullptr;
+  }
+  const int32_t slot = id_to_slot_[static_cast<size_t>(id)];
+  if (slot < 0) {
+    return nullptr;
+  }
+  assert(slots_[static_cast<size_t>(slot)].id == id);
+  return &slots_[static_cast<size_t>(slot)].request;
+}
+
+const ServiceScheduler::ActiveRequest* ServiceScheduler::FindRequest(RequestId id) const {
+  return const_cast<ServiceScheduler*>(this)->FindRequest(id);
+}
+
+ServiceScheduler::ActiveRequest& ServiceScheduler::RequestAt(RequestId id) {
+  ActiveRequest* request = FindRequest(id);
+  assert(request != nullptr);
+  return *request;
+}
+
+const ServiceScheduler::ActiveRequest& ServiceScheduler::RequestAt(RequestId id) const {
+  return const_cast<ServiceScheduler*>(this)->RequestAt(id);
+}
+
+ServiceScheduler::ActiveRequest& ServiceScheduler::InsertRequest(RequestId id,
+                                                                 ActiveRequest request) {
+  int32_t slot_index;
+  if (!free_slots_.empty()) {
+    slot_index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot_index = static_cast<int32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[static_cast<size_t>(slot_index)];
+  slot.id = id;
+  ++slot.generation;
+  slot.request = std::move(request);
+  if (id >= id_to_slot_.size()) {
+    id_to_slot_.resize(static_cast<size_t>(id) + 1, -1);
+  }
+  id_to_slot_[static_cast<size_t>(id)] = slot_index;
+  live_ids_.push_back(id);  // ids are issued monotonically: stays ascending
+  CountSlots(slot.request, +1);
+  return slot.request;
+}
+
+void ServiceScheduler::RetireCompletedRequests() {
+  std::erase_if(live_ids_, [this](RequestId id) {
+    const int32_t slot_index = id_to_slot_[static_cast<size_t>(id)];
+    Slot& slot = slots_[static_cast<size_t>(slot_index)];
+    if (!slot.request.stats.completed) {
+      return false;
+    }
+    // The consumer/producer were already folded and reset when the request
+    // completed, so the stats snapshot is final.
+    finished_stats_.emplace(id, slot.request.stats);
+    planner_.Forget(id);
+    slot.id = 0;
+    slot.request = ActiveRequest{};
+    id_to_slot_[static_cast<size_t>(id)] = -1;
+    free_slots_.push_back(slot_index);
+    return true;
+  });
+}
+
+void ServiceScheduler::CountSlots(const ActiveRequest& request, int64_t delta) {
+  // Mirrors the legacy per-event sweep's classification order exactly.
+  if (request.stats.completed) {
+    return;
+  }
+  if (request.stats.paused && request.destructively_paused) {
+    slot_counts_.paused_destructive += delta;
+  } else if (request.stats.cache_admitted) {
+    // Pending, active or non-destructively paused cache tenants all sit
+    // in their own column: none of those states holds an Eq. 17 slot.
+    slot_counts_.cache_tenants += delta;
+  } else if (request.stats.paused) {
+    slot_counts_.paused_nondestructive += delta;
+  } else if (request.pending) {
+    slot_counts_.pending += delta;
+  } else {
+    slot_counts_.active += delta;
+  }
+}
+
 std::vector<RequestSpec> ServiceScheduler::SlotHolderSpecs() const {
   std::vector<RequestSpec> specs;
-  for (const auto& [id, request] : requests_) {
+  ForEachRequest([&specs](RequestId, const ActiveRequest& request) {
     if (request.stats.completed) {
-      continue;
+      return;
     }
     if (request.stats.paused && request.destructively_paused) {
-      continue;  // the slot was released at pause time
+      return;  // the slot was released at pause time
     }
     if (request.stats.cache_admitted) {
       // A cache tenant never passed the Eq. 17 test and holds no slot;
       // counting it here would charge later admissions (and k shrinks on
       // its revocation) for a slot that was never granted.
-      continue;
+      return;
     }
     if (request.playback.has_value()) {
       specs.push_back(request.playback->spec);
     } else if (request.recording.has_value()) {
       specs.push_back(request.recording->Spec());
     }
-  }
+  });
   return specs;
-}
-
-bool ServiceScheduler::IsPending(RequestId id) const {
-  return std::any_of(pending_.begin(), pending_.end(),
-                     [id](const PendingAdmission& pending) { return pending.id == id; });
-}
-
-obs::SlotSnapshot ServiceScheduler::Snapshot() const {
-  obs::SlotSnapshot snapshot;
-  for (const auto& [id, request] : requests_) {
-    if (request.stats.completed) {
-      continue;
-    }
-    if (request.stats.paused && request.destructively_paused) {
-      ++snapshot.paused_destructive;
-    } else if (request.stats.cache_admitted) {
-      // Pending, active or non-destructively paused cache tenants all sit
-      // in their own column: none of those states holds an Eq. 17 slot.
-      ++snapshot.cache_tenants;
-    } else if (request.stats.paused) {
-      ++snapshot.paused_nondestructive;
-    } else if (IsPending(id)) {
-      ++snapshot.pending;
-    } else {
-      ++snapshot.active;
-    }
-  }
-  return snapshot;
 }
 
 obs::TraceEvent ServiceScheduler::TraceContext() const {
@@ -179,9 +240,9 @@ obs::SpanStage ServiceScheduler::TransferStageFor(const ActiveRequest& request) 
 }
 
 void ServiceScheduler::set_merge_patch(RequestId id, bool patch) {
-  auto it = requests_.find(id);
-  if (it != requests_.end()) {
-    it->second.merge_patch = patch;
+  ActiveRequest* request = FindRequest(id);
+  if (request != nullptr) {
+    request->merge_patch = patch;
   }
 }
 
@@ -204,9 +265,9 @@ double ServiceScheduler::ExpectedCacheCoverage(const PlaybackRequest& playback,
   // transfers (or their freshly cached results) even where the cache is
   // still cold.
   std::set<int64_t> scheduled;
-  for (const auto& [id, active] : requests_) {
+  ForEachRequest([&scheduled, window](RequestId, const ActiveRequest& active) {
     if (active.stats.completed || active.stats.paused || !active.playback.has_value()) {
-      continue;
+      return;
     }
     const auto& blocks = active.playback->blocks;
     const int64_t limit =
@@ -217,7 +278,7 @@ double ServiceScheduler::ExpectedCacheCoverage(const PlaybackRequest& playback,
         scheduled.insert(entry.sector);
       }
     }
-  }
+  });
   int64_t data = 0;
   int64_t covered = 0;
   const int64_t limit =
@@ -320,7 +381,8 @@ Result<RequestId> ServiceScheduler::Submit(ActiveRequest request, const RequestS
     // can glitch in-flight streams; bench_admission_transition measures it).
     pending.k_schedule.push_back(schedule->back());
   }
-  requests_.emplace(id, std::move(request));
+  request.pending = true;
+  InsertRequest(id, std::move(request));
   pending_.push_back(std::move(pending));
   obs::TraceEvent event = TraceContext();
   event.kind = obs::TraceEventKind::kSubmitAccepted;
@@ -396,8 +458,10 @@ void ServiceScheduler::UnpinPreludePages(ActiveRequest* request) {
 }
 
 void ServiceScheduler::FinishRequest(ActiveRequest* request, SimTime now) {
-  request->stats.completed = true;
-  request->stats.completion_time = now;
+  WithSlotUpdate(*request, [request, now] {
+    request->stats.completed = true;
+    request->stats.completion_time = now;
+  });
   UnpinPreludePages(request);
   FoldConsumer(request->consumer.get(), &request->stats);
   request->consumer.reset();
@@ -657,7 +721,7 @@ void ServiceScheduler::ComputeRoundBudget() {
   // while the round still fits inside it.
   round_budget_ = 0;
   for (RequestId id : service_order_) {
-    const ActiveRequest& request = requests_.at(id);
+    const ActiveRequest& request = RequestAt(id);
     if (request.stats.completed || request.stats.paused) {
       continue;
     }
@@ -671,19 +735,27 @@ void ServiceScheduler::ComputeRoundBudget() {
   }
 }
 
-std::vector<PlanInput> ServiceScheduler::BuildPlanInputs(SimTime round_start,
-                                                         bool count_cache_stats) {
+const std::vector<PlanInput>& ServiceScheduler::BuildPlanInputs(SimTime round_start,
+                                                                bool count_cache_stats) {
   BlockCache* cache = options_.block_cache != nullptr && options_.block_cache->enabled()
                           ? options_.block_cache
                           : nullptr;
-  std::vector<PlanInput> inputs;
+  // Reuse plan_inputs_ (and each element's candidate vector) across rounds:
+  // with a steady rotation the resize is a no-op and nothing allocates.
+  size_t used = 0;
   for (RequestId id : service_order_) {
-    ActiveRequest& request = requests_.at(id);
+    ActiveRequest& request = RequestAt(id);
     if (request.stats.completed || request.stats.paused) {
       continue;
     }
-    PlanInput input;
+    if (used == plan_inputs_.size()) {
+      plan_inputs_.emplace_back();
+    }
+    PlanInput& input = plan_inputs_[used++];
     input.request = id;
+    input.blocks.clear();
+    input.append_blocks = 0;
+    input.append_position_sector = 0;
     if (request.playback.has_value()) {
       PlaybackRequest& playback = *request.playback;
       const int64_t size = static_cast<int64_t>(playback.blocks.size());
@@ -726,17 +798,31 @@ std::vector<PlanInput> ServiceScheduler::BuildPlanInputs(SimTime round_start,
       input.append_blocks = ready;
       input.append_position_sector = request.writer->previous_end_sector();
     }
-    inputs.push_back(std::move(input));
   }
-  return inputs;
+  plan_inputs_.resize(used);
+  return plan_inputs_;
 }
 
 std::vector<RequestId> ServiceScheduler::CollapsedCacheAdmissions(
     const std::vector<PlanInput>& inputs, const RoundPlan& plan) const {
+  // Only cache-admitted streams can collapse; with no tenants in the
+  // ledger the whole coverage audit is skipped (the 20k-stream hot path).
+  if (slot_counts_.cache_tenants == 0) {
+    return {};
+  }
+  const auto cache_admitted = [this](uint64_t id) {
+    const ActiveRequest* request = FindRequest(id);
+    return request != nullptr && request->stats.cache_admitted;
+  };
   // Realized coverage this round: plan-time cache hits plus blocks riding
   // another request's transfer (dedup), over the round's data blocks.
+  // Tracked for cache-admitted streams only; keyed by a std::map so the
+  // collapsed list (and the revocation Pause order) stays id-ascending.
   std::map<uint64_t, std::pair<int64_t, int64_t>> demand;  // request -> (data, free)
   for (const PlanInput& input : inputs) {
+    if (!cache_admitted(input.request)) {
+      continue;
+    }
     for (const PlanCandidate& candidate : input.blocks) {
       if (candidate.silence) {
         continue;
@@ -748,26 +834,22 @@ std::vector<RequestId> ServiceScheduler::CollapsedCacheAdmissions(
     }
   }
   for (const PlannedTransfer& transfer : plan.transfers) {
-    if (transfer.is_append || transfer.blocks.empty()) {
+    if (transfer.is_append || transfer.rider_count == 0) {
       continue;
     }
     // The first rider of each distinct extent pays for the read; every
     // other rider of that extent gets it for free.
     std::map<std::pair<int64_t, int64_t>, uint64_t> payer;
-    for (const PlannedBlock& block : transfer.blocks) {
+    for (const PlannedBlock& block : plan.riders_of(transfer)) {
       const auto key = std::make_pair(block.sector, block.sectors);
       auto [it, fresh] = payer.emplace(key, block.request);
-      if (!fresh && it->second != block.request) {
+      if (!fresh && it->second != block.request && cache_admitted(block.request)) {
         ++demand[block.request].second;
       }
     }
   }
   std::vector<RequestId> collapsed;
   for (const auto& [id, counts] : demand) {
-    const auto it = requests_.find(id);
-    if (it == requests_.end() || !it->second.stats.cache_admitted) {
-      continue;
-    }
     const auto [data, free_blocks] = counts;
     if (data <= 0) {
       continue;  // nothing demanded this round; no evidence either way
@@ -778,6 +860,33 @@ std::vector<RequestId> ServiceScheduler::CollapsedCacheAdmissions(
     }
   }
   return collapsed;
+}
+
+void ServiceScheduler::GroupExtents(const RoundPlan& plan, const PlannedTransfer& transfer) {
+  // Distinct (sector, sectors) extents of a transfer, riders grouped in
+  // encounter order — the first rider of each extent pays for the read.
+  // The scratch vectors are reused across calls (inner vectors are cleared,
+  // not destroyed) so steady-state rounds group without allocating.
+  group_count_ = 0;
+  for (const PlannedBlock& block : plan.riders_of(transfer)) {
+    const std::pair<int64_t, int64_t> key{block.sector, block.sectors};
+    size_t g = 0;
+    for (; g < group_count_; ++g) {
+      if (group_keys_[g] == key) {
+        break;
+      }
+    }
+    if (g == group_count_) {
+      if (group_count_ == group_keys_.size()) {
+        group_keys_.emplace_back();
+        group_riders_.emplace_back();
+      }
+      group_keys_[group_count_] = key;
+      group_riders_[group_count_].clear();
+      ++group_count_;
+    }
+    group_riders_[g].push_back(&block);
+  }
 }
 
 int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
@@ -793,19 +902,24 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
   // Build the transfer program, revoking cache-admitted streams whose
   // coverage collapsed before any disk time is spent on them. Each pass
   // pauses at least one stream, so the loop is bounded.
-  std::vector<PlanInput> inputs = BuildPlanInputs(round_start, /*count_cache_stats=*/true);
-  RoundPlan plan;
+  const std::vector<PlanInput>& inputs = BuildPlanInputs(round_start, /*count_cache_stats=*/true);
+  const RoundPlan* planned = nullptr;
   for (;;) {
-    std::vector<int64_t> heads;
+    head_scratch_.clear();
     if (array != nullptr) {
       for (int m = 0; m < members; ++m) {
-        heads.push_back(array->member(m).head_cylinder());
+        head_scratch_.push_back(array->member(m).head_cylinder());
       }
     } else {
-      heads.push_back(disk.head_cylinder());
+      head_scratch_.push_back(disk.head_cylinder());
     }
-    plan = BuildRoundPlan(model, heads, members, inputs);
-    const std::vector<RequestId> collapsed = CollapsedCacheAdmissions(inputs, plan);
+    if (options_.incremental_planning) {
+      planned = &planner_.Plan(model, head_scratch_, members, inputs);
+    } else {
+      BuildRoundPlanInto(model, head_scratch_, members, inputs, &scratch_plan_);
+      planned = &scratch_plan_;
+    }
+    const std::vector<RequestId> collapsed = CollapsedCacheAdmissions(inputs, *planned);
     if (collapsed.empty()) {
       break;
     }
@@ -821,9 +935,10 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
       // stream may re-apply through Resume under plain admission.
       Pause(id, /*destructive=*/true);
     }
-    inputs = BuildPlanInputs(round_start, /*count_cache_stats=*/false);
+    BuildPlanInputs(round_start, /*count_cache_stats=*/false);  // refills `inputs`
     ComputeRoundBudget();
   }
+  const RoundPlan& plan = *planned;
 
   if (options_.trace != nullptr) {
     obs::TraceEvent event = TraceContext();
@@ -841,6 +956,12 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
       event.cache_evictions = cache->stats().evictions;
       event.cache_hit_rate = cache->RecentHitRate();
     }
+    // Page-pool occupancy gauges (unrendered: the round-trace digest does
+    // not change). A non-zero outstanding count between rounds is a leak.
+    PagePool& pool =
+        options_.block_cache != nullptr ? options_.block_cache->page_pool() : scratch_pool_;
+    event.pool_outstanding = pool.pages_outstanding();
+    event.pool_recycled = pool.pages_recycled();
     Emit(event);
   }
   if (span_.open && plan.cache_hits > 0) {
@@ -856,11 +977,11 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
   // Sectors more than one active stream wants within the lookahead window:
   // the interval between a leading and a trailing viewer. Their cache
   // entries are biased to evict last — the next hit is scheduled.
-  std::map<int64_t, int> wanted;
+  wanted_.clear();
   const int64_t lookahead = CacheLookaheadBlocks();
   if (cache != nullptr) {
     for (RequestId id : service_order_) {
-      const ActiveRequest& request = requests_.at(id);
+      const ActiveRequest& request = RequestAt(id);
       if (request.stats.completed || request.stats.paused || !request.playback.has_value()) {
         continue;
       }
@@ -869,52 +990,46 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
           std::min<int64_t>(request.next_block + lookahead, static_cast<int64_t>(blocks.size()));
       for (int64_t b = request.next_block; b < limit; ++b) {
         if (!blocks[static_cast<size_t>(b)].IsSilence()) {
-          ++wanted[blocks[static_cast<size_t>(b)].sector];
+          ++wanted_[blocks[static_cast<size_t>(b)].sector];
         }
       }
     }
   }
 
-  // Per-(request, ordinal) completion instants and fates; per-request disk
-  // time attribution (shared transfers split evenly between their riders).
-  std::map<std::pair<uint64_t, int64_t>, std::pair<SimTime, bool>> outcomes;
-  std::map<uint64_t, SimDuration> attributed;
-  std::map<uint64_t, int64_t> append_done;
+  // Per-candidate completion instants and fates, indexed by the planner's
+  // round-global slot numbering; per-request disk time attribution (shared
+  // transfers split evenly between their riders). All flat or lookup-only
+  // scratch reused across rounds.
+  size_t total_candidates = 0;
+  for (const PlanInput& input : inputs) {
+    total_candidates += input.blocks.size();
+  }
+  outcome_time_.assign(total_candidates, 0);
+  outcome_ok_.assign(total_candidates, 0);
+  outcome_known_.assign(total_candidates, 0);
+  attributed_.clear();
+  append_done_.clear();
   int64_t ops = 0;
   int64_t measured_seek = 0;
   const int64_t full_stroke = std::max<int64_t>(model.params().cylinders - 1, 0);
 
   using ExtentKey = std::pair<int64_t, int64_t>;
-  using RiderGroup = std::pair<ExtentKey, std::vector<const PlannedBlock*>>;
-  const auto distinct_extents = [](const PlannedTransfer& transfer) {
-    std::vector<RiderGroup> groups;
-    for (const PlannedBlock& block : transfer.blocks) {
-      const ExtentKey key{block.sector, block.sectors};
-      auto it = std::find_if(groups.begin(), groups.end(),
-                             [&key](const RiderGroup& group) { return group.first == key; });
-      if (it == groups.end()) {
-        groups.push_back({key, {&block}});
-      } else {
-        it->second.push_back(&block);
-      }
-    }
-    return groups;
-  };
-
   const auto record_extent = [&](const ExtentKey& extent,
                                  const std::vector<const PlannedBlock*>& riders, SimTime completion,
                                  bool ok) {
     for (const PlannedBlock* block : riders) {
-      outcomes[{block->request, block->ordinal}] = {completion, ok};
+      outcome_time_[static_cast<size_t>(block->slot)] = completion;
+      outcome_ok_[static_cast<size_t>(block->slot)] = ok ? 1 : 0;
+      outcome_known_[static_cast<size_t>(block->slot)] = 1;
     }
     if (!ok || cache == nullptr) {
       return;
     }
-    const auto want = wanted.find(extent.first);
-    const bool biased = want != wanted.end() && want->second >= 2;
+    const auto want = wanted_.find(extent.first);
+    const bool biased = want != wanted_.end() && want->second >= 2;
     cache->Insert(extent.first, extent.second, extent.second * disk.bytes_per_sector(), biased);
     for (const PlannedBlock* block : riders) {
-      ActiveRequest& rider = requests_.at(block->request);
+      ActiveRequest& rider = RequestAt(block->request);
       if (rider.playback.has_value() && rider.consumer == nullptr) {
         // Prelude read-ahead: pinned so eviction cannot undo the startup
         // guarantee before playback begins. Record the extent only when the
@@ -932,7 +1047,7 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
   // rider's fate (all riders lose the block on give-up).
   const auto read_extent = [&](Disk* device, const ExtentKey& extent,
                                const std::vector<const PlannedBlock*>& riders) {
-    ActiveRequest& owner = requests_.at(riders.front()->request);
+    ActiveRequest& owner = RequestAt(riders.front()->request);
     Status fail = Status::Ok();
     const bool ok = TransferWithRetry(
         &owner, device,
@@ -941,7 +1056,7 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
         extent.first, extent.second, now, &fail);
     if (!ok) {
       for (const PlannedBlock* block : riders) {
-        ActiveRequest& rider = requests_.at(block->request);
+        ActiveRequest& rider = RequestAt(block->request);
         ++rider.stats.blocks_skipped;
         if (options_.trace != nullptr) {
           obs::TraceEvent event = TraceContext();
@@ -964,9 +1079,12 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
   // machinery (a dead device answers instantly and data never comes, so
   // per-block attempts are pure fault-accounting noise).
   const auto skip_transfer = [&](const PlannedTransfer& transfer, const char* why) {
-    for (const auto& [extent, riders] : distinct_extents(transfer)) {
+    GroupExtents(plan, transfer);
+    for (size_t g = 0; g < group_count_; ++g) {
+      const ExtentKey& extent = group_keys_[g];
+      const std::vector<const PlannedBlock*>& riders = group_riders_[g];
       for (const PlannedBlock* block : riders) {
-        ActiveRequest& rider = requests_.at(block->request);
+        ActiveRequest& rider = RequestAt(block->request);
         ++rider.stats.blocks_skipped;
         if (options_.trace != nullptr) {
           obs::TraceEvent event = TraceContext();
@@ -985,25 +1103,26 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
   };
 
   const auto attribute = [&](const PlannedTransfer& transfer, SimDuration spent) {
-    std::vector<uint64_t> riders;
-    for (const PlannedBlock& block : transfer.blocks) {
-      if (std::find(riders.begin(), riders.end(), block.request) == riders.end()) {
-        riders.push_back(block.request);
+    attribute_scratch_.clear();
+    for (const PlannedBlock& block : plan.riders_of(transfer)) {
+      if (std::find(attribute_scratch_.begin(), attribute_scratch_.end(), block.request) ==
+          attribute_scratch_.end()) {
+        attribute_scratch_.push_back(block.request);
       }
     }
-    for (uint64_t rider : riders) {
-      attributed[rider] += spent / static_cast<SimDuration>(riders.size());
+    for (uint64_t rider : attribute_scratch_) {
+      attributed_[rider] += spent / static_cast<SimDuration>(attribute_scratch_.size());
     }
   };
 
   const auto run_append = [&](const PlannedTransfer& transfer) {
     const SimTime start = *now;
-    ActiveRequest& request = requests_.at(transfer.append_request);
+    ActiveRequest& request = RequestAt(transfer.append_request);
     const uint64_t span_id =
         OpenTransferSpan(obs::SpanStage::kAppend, transfer.append_request, /*member=*/-1);
-    append_done[transfer.append_request] +=
+    append_done_[transfer.append_request] +=
         ServiceRecording(&request, now, transfer.append_blocks);
-    attributed[transfer.append_request] += *now - start;
+    attributed_[transfer.append_request] += *now - start;
     if (*now > start) {
       EmitSpan(obs::SpanStage::kAppend, span_id, span_.root, *now, *now - start,
                transfer.append_request, /*member=*/-1, /*seek=*/0, transfer.append_blocks,
@@ -1020,15 +1139,15 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
         continue;
       }
       const SimTime start = *now;
-      const uint64_t owner = transfer.blocks.front().request;
-      const obs::SpanStage stage = TransferStageFor(requests_.at(owner));
+      const uint64_t owner = plan.riders_of(transfer).front().request;
+      const obs::SpanStage stage = TransferStageFor(RequestAt(owner));
       const uint64_t span_id = OpenTransferSpan(stage, owner, /*member=*/-1);
       measured_seek +=
           std::abs(model.SectorToCylinder(transfer.start_sector) - disk.head_cylinder());
       ++ops;
-      const auto groups = distinct_extents(transfer);
-      if (groups.size() == 1) {
-        read_extent(&disk, groups.front().first, groups.front().second);
+      GroupExtents(plan, transfer);
+      if (group_count_ == 1) {
+        read_extent(&disk, group_keys_[0], group_riders_[0]);
       } else {
         // Coalesced transfer: one attempt for the merged extent; on a
         // fault, de-coalesce so one bad sector does not burn the retry
@@ -1037,23 +1156,24 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
         if (service.ok()) {
           ChargeTransfer(stage, &disk, *service);
           *now += *service;
-          for (const auto& [extent, riders] : groups) {
-            record_extent(extent, riders, *now, true);
+          for (size_t g = 0; g < group_count_; ++g) {
+            record_extent(group_keys_[g], group_riders_[g], *now, true);
           }
         } else {
           ChargeStage(obs::SpanStage::kRetry, disk.last_fault_service());
           *now += disk.last_fault_service();
-          ++requests_.at(transfer.blocks.front().request).stats.faults_seen;
-          for (const auto& [extent, riders] : groups) {
-            measured_seek += std::abs(model.SectorToCylinder(extent.first) - disk.head_cylinder());
+          ++RequestAt(owner).stats.faults_seen;
+          for (size_t g = 0; g < group_count_; ++g) {
+            measured_seek +=
+                std::abs(model.SectorToCylinder(group_keys_[g].first) - disk.head_cylinder());
             ++ops;
-            read_extent(&disk, extent, riders);
+            read_extent(&disk, group_keys_[g], group_riders_[g]);
           }
         }
       }
       attribute(transfer, *now - start);
       EmitSpan(stage, span_id, span_.root, *now, *now - start, owner, /*member=*/-1,
-               span_.active_seek, static_cast<int64_t>(transfer.blocks.size()),
+               span_.active_seek, static_cast<int64_t>(transfer.rider_count),
                transfer.start_sector);
     }
   } else {
@@ -1063,22 +1183,34 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
     for (int m = 0; m < members; ++m) {
       array->member(m).set_time_hint(now);
     }
-    std::vector<std::deque<const PlannedTransfer*>> queues(static_cast<size_t>(members));
-    std::vector<const PlannedTransfer*> appends;
+    queue_scratch_.resize(static_cast<size_t>(members));
+    for (auto& queue : queue_scratch_) {
+      queue.clear();
+    }
+    append_scratch_.clear();
     for (const PlannedTransfer& transfer : plan.transfers) {
       if (transfer.is_append) {
-        appends.push_back(&transfer);
+        append_scratch_.push_back(&transfer);
       } else {
-        queues[static_cast<size_t>(transfer.member)].push_back(&transfer);
+        queue_scratch_[static_cast<size_t>(transfer.member)].push_back(&transfer);
       }
     }
+    // Payload buffers come from the page pool, so verify_payloads rounds
+    // stop allocating O(blocks) vectors: each wave borrows one page per
+    // batch entry and returns it at the barrier.
+    PagePool& page_pool =
+        options_.block_cache != nullptr ? options_.block_cache->page_pool() : scratch_pool_;
+    const int64_t sector_bytes = disk.bytes_per_sector();
     uint64_t wave_index = 0;
     for (;;) {
-      std::vector<DiskArray::BatchRequest> batch;
-      std::vector<const PlannedTransfer*> wave;
-      std::vector<int64_t> wave_dists;  // dispatch seek distance per entry
+      batch_scratch_.clear();
+      wave_scratch_.clear();
+      wave_dist_scratch_.clear();
+      std::vector<DiskArray::BatchRequest>& batch = batch_scratch_;
+      std::vector<const PlannedTransfer*>& wave = wave_scratch_;
+      std::vector<int64_t>& wave_dists = wave_dist_scratch_;  // dispatch seek distance per entry
       for (int m = 0; m < members; ++m) {
-        auto& queue = queues[static_cast<size_t>(m)];
+        auto& queue = queue_scratch_[static_cast<size_t>(m)];
         if (queue.empty()) {
           continue;
         }
@@ -1108,12 +1240,20 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
       }
       const SimTime wave_start = *now;
       // With verify_payloads the wave reads real data and each member task
-      // CRCs its own payload behind the join barrier (see DiskArray).
-      std::vector<std::vector<uint8_t>> payloads;
-      std::vector<std::vector<uint8_t>>* data_out =
-          options_.verify_payloads ? &payloads : nullptr;
-      Result<DiskArray::BatchOutcome> outcome = array->ReadBatch(batch, data_out);
+      // CRCs its own payload behind the join barrier (see DiskArray). The
+      // pages are acquired and released on the scheduler thread only, so
+      // pool state stays deterministic for any worker count.
+      wave_pages_.clear();
+      if (options_.verify_payloads) {
+        for (const DiskArray::BatchRequest& request : batch) {
+          wave_pages_.push_back(page_pool.Acquire(request.sectors * sector_bytes));
+        }
+      }
+      Result<DiskArray::BatchOutcome> outcome = array->ReadBatchInto(batch, wave_pages_);
       assert(outcome.ok());  // the planner only builds well-formed batches
+      for (std::vector<uint8_t>* page : wave_pages_) {
+        page_pool.Release(page);
+      }
       *now = wave_start + outcome->completion_time;
 
       // Span bookkeeping happens on the scheduler thread at the wave
@@ -1131,7 +1271,7 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
           }
         }
         const obs::SpanStage dominant_stage =
-            TransferStageFor(requests_.at(wave[dominant]->blocks.front().request));
+            TransferStageFor(RequestAt(plan.riders_of(*wave[dominant]).front().request));
         const SimDuration completion = outcome->completion_time;
         const SimDuration seek = std::min(
             completion, model.SeekTimeForDistance(wave_dists[dominant]));
@@ -1152,25 +1292,26 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
           payload_digest_ = (payload_digest_ ^ member_outcome.payload_crc) * 1099511628211ULL;
         }
         attribute(transfer, member_outcome.service);
-        const uint64_t entry_owner = transfer.blocks.front().request;
-        const obs::SpanStage entry_stage = TransferStageFor(requests_.at(entry_owner));
+        const uint64_t entry_owner = plan.riders_of(transfer).front().request;
+        const obs::SpanStage entry_stage = TransferStageFor(RequestAt(entry_owner));
         uint64_t entry_span = 0;
         if (span_.open) {
           entry_span = obs::ChildSpanId(wave_span, entry_stage, i);
           EmitSpan(entry_stage, entry_span, wave_span, wave_start + member_outcome.service,
                    member_outcome.service, entry_owner, transfer.member,
                    std::min(member_outcome.service, model.SeekTimeForDistance(wave_dists[i])),
-                   static_cast<int64_t>(transfer.blocks.size()), transfer.start_sector);
+                   static_cast<int64_t>(transfer.rider_count), transfer.start_sector);
         }
-        const auto groups = distinct_extents(transfer);
         if (member_outcome.status.ok()) {
-          for (const auto& [extent, riders] : groups) {
-            record_extent(extent, riders, wave_start + member_outcome.service, true);
+          GroupExtents(plan, transfer);
+          for (size_t g = 0; g < group_count_; ++g) {
+            record_extent(group_keys_[g], group_riders_[g],
+                          wave_start + member_outcome.service, true);
           }
         } else {
           // The faulted member's mechanical time is already inside the
           // wave completion; de-coalesced retries run after the wave.
-          ++requests_.at(transfer.blocks.front().request).stats.faults_seen;
+          ++RequestAt(entry_owner).stats.faults_seen;
           Disk& member_disk = array->member(transfer.member);
           if (member_disk.failed()) {
             // The whole member died mid-wave: one member failure, not one
@@ -1184,17 +1325,18 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
             span_.active_stage = entry_stage;
             span_.active_member = transfer.member;
             span_.retry_ordinal = 0;
-            for (const auto& [extent, riders] : groups) {
-              measured_seek +=
-                  std::abs(model.SectorToCylinder(extent.first) - member_disk.head_cylinder());
+            GroupExtents(plan, transfer);
+            for (size_t g = 0; g < group_count_; ++g) {
+              measured_seek += std::abs(model.SectorToCylinder(group_keys_[g].first) -
+                                        member_disk.head_cylinder());
               ++ops;
-              read_extent(&member_disk, extent, riders);
+              read_extent(&member_disk, group_keys_[g], group_riders_[g]);
             }
           }
         }
       }
     }
-    for (const PlannedTransfer* transfer : appends) {
+    for (const PlannedTransfer* transfer : append_scratch_) {
       run_append(*transfer);
     }
     for (int m = 0; m < members; ++m) {
@@ -1207,12 +1349,15 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
   // requires non-decreasing instants), cache hits and silence at the
   // prefix reached so far.
   int64_t transferred_total = 0;
+  size_t slot_cursor = 0;  // walks the planner's candidate numbering in input order
   for (const PlanInput& input : inputs) {
-    auto it = requests_.find(input.request);
-    if (it == requests_.end()) {
+    const size_t input_slot_base = slot_cursor;
+    slot_cursor += input.blocks.size();
+    ActiveRequest* found = FindRequest(input.request);
+    if (found == nullptr) {
       continue;
     }
-    ActiveRequest& request = it->second;
+    ActiveRequest& request = *found;
     if (request.stats.completed || request.stats.paused) {
       continue;
     }
@@ -1223,21 +1368,22 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
     SimDuration block_playback = 0;
     if (request.recording.has_value()) {
       block_playback = RecordingBlockDuration(*request.recording);
-      moved = append_done[input.request];
+      moved = append_done_[input.request];
     } else {
       block_playback = EffectiveBlockDuration(*request.playback);
       SimTime prefix = round_start;
+      size_t slot = input_slot_base;
       for (const PlanCandidate& candidate : input.blocks) {
         if (!candidate.silence && !candidate.cache_hit) {
-          const auto outcome = outcomes.find({input.request, candidate.ordinal});
-          assert(outcome != outcomes.end());
-          prefix = std::max(prefix, outcome->second.first);
-          if (outcome->second.second) {
+          assert(outcome_known_[slot]);
+          prefix = std::max(prefix, outcome_time_[slot]);
+          if (outcome_ok_[slot] != 0) {
             ++moved;
           }
         } else if (candidate.cache_hit) {
           ++moved;  // served from memory: counts as transferred, costs nothing
         }
+        ++slot;
         ReportPlaybackReady(&request, prefix);
       }
       if (request.next_block == static_cast<int64_t>(request.playback->blocks.size())) {
@@ -1251,7 +1397,7 @@ int64_t ServiceScheduler::ExecutePlannedRound(SimTime* now) {
       event.time = *now;
       event.request = input.request;
       event.blocks = moved;
-      event.duration = attributed[input.request];
+      event.duration = attributed_[input.request];
       event.round_budget = round_budget_;
       event.block_playback = block_playback;
       Emit(event);
@@ -1297,6 +1443,33 @@ void ServiceScheduler::RunRound() {
       const RequestId activated = front.id;
       service_order_.push_back(activated);
       pending_.pop_front();
+      WithSlotUpdate(RequestAt(activated), [this, activated] {
+        RequestAt(activated).pending = false;
+      });
+      obs::TraceEvent event = TraceContext();
+      event.kind = obs::TraceEventKind::kActivated;
+      event.request = activated;
+      Emit(event);
+    }
+    // batch_activation: keep draining admissions whose ramp is already
+    // satisfied (their single remaining step needs no k raise). k itself
+    // still moved at most one step above — only same-k activations batch —
+    // so a 20k-stream ramp-in joins in one round instead of 20k.
+    while (options_.batch_activation && !pending_.empty()) {
+      PendingAdmission& next = pending_.front();
+      assert(!next.k_schedule.empty());
+      while (next.k_schedule.size() > 1 && next.k_schedule.front() <= current_k_) {
+        next.k_schedule.pop_front();
+      }
+      if (next.k_schedule.front() > current_k_ || next.k_schedule.size() > 1) {
+        break;  // needs a real Eq. 18 step: one per round, wait your turn
+      }
+      const RequestId activated = next.id;
+      service_order_.push_back(activated);
+      pending_.pop_front();
+      WithSlotUpdate(RequestAt(activated), [this, activated] {
+        RequestAt(activated).pending = false;
+      });
       obs::TraceEvent event = TraceContext();
       event.kind = obs::TraceEventKind::kActivated;
       event.request = activated;
@@ -1331,13 +1504,11 @@ void ServiceScheduler::RunRound() {
     std::vector<RequestId> round_order(service_order_.begin(), service_order_.end());
     if (options_.service_order == ServiceOrder::kSeekScan) {
       std::sort(round_order.begin(), round_order.end(), [this](RequestId a, RequestId b) {
-        return NextSector(requests_.at(a)) < NextSector(requests_.at(b));
+        return NextSector(RequestAt(a)) < NextSector(RequestAt(b));
       });
     }
     for (RequestId id : round_order) {
-      auto it = requests_.find(id);
-      assert(it != requests_.end());
-      ActiveRequest& request = it->second;
+      ActiveRequest& request = RequestAt(id);
       if (request.stats.completed || request.stats.paused) {
         continue;
       }
@@ -1404,15 +1575,19 @@ void ServiceScheduler::RunRound() {
   }
   simulator_->RunUntil(now);  // account the disk time this round consumed
 
-  // Drop completed requests from the rotation.
+  // Drop completed requests from the rotation, then retire their slots:
+  // stats move to finished_stats_, the slot returns to the free list, and
+  // the planner forgets their cached runs. Lazy (round-edge only) so that
+  // mid-round completions stay addressable until every rider settles.
   std::erase_if(service_order_, [this](RequestId id) {
-    return requests_.at(id).stats.completed;
+    return RequestAt(id).stats.completed;
   });
+  RetireCompletedRequests();
 
   const bool have_work =
       !pending_.empty() ||
       std::any_of(service_order_.begin(), service_order_.end(), [this](RequestId id) {
-        return !requests_.at(id).stats.paused;
+        return !RequestAt(id).stats.paused;
       });
   if (!have_work) {
     return;
@@ -1425,7 +1600,7 @@ void ServiceScheduler::RunRound() {
   // the earliest instant more work exists instead of spinning.
   SimTime wake = -1;
   for (RequestId id : service_order_) {
-    const ActiveRequest& request = requests_.at(id);
+    const ActiveRequest& request = RequestAt(id);
     if (request.stats.completed || request.stats.paused) {
       continue;
     }
@@ -1447,11 +1622,14 @@ void ServiceScheduler::RunRound() {
 }
 
 Status ServiceScheduler::Stop(RequestId id) {
-  auto it = requests_.find(id);
-  if (it == requests_.end()) {
+  ActiveRequest* found = FindRequest(id);
+  if (found == nullptr) {
+    if (finished_stats_.count(id) > 0) {
+      return Status::Ok();  // already completed and retired
+    }
     return Status(ErrorCode::kNotFound, "request " + std::to_string(id));
   }
-  ActiveRequest& request = it->second;
+  ActiveRequest& request = *found;
   if (request.stats.completed) {
     return Status::Ok();
   }
@@ -1476,8 +1654,11 @@ Status ServiceScheduler::Stop(RequestId id) {
   UnpinPreludePages(&request);
   FoldConsumer(request.consumer.get(), &request.stats);
   request.consumer.reset();
-  request.stats.completed = true;
-  request.stats.completion_time = simulator_->Now();
+  WithSlotUpdate(request, [this, &request] {
+    request.stats.completed = true;
+    request.stats.completion_time = simulator_->Now();
+    request.pending = false;
+  });
   std::erase(service_order_, id);
   std::erase_if(pending_, [id](const PendingAdmission& p) { return p.id == id; });
   obs::TraceEvent event = TraceContext();
@@ -1489,16 +1670,24 @@ Status ServiceScheduler::Stop(RequestId id) {
 }
 
 Status ServiceScheduler::Pause(RequestId id, bool destructive) {
-  auto it = requests_.find(id);
-  if (it == requests_.end()) {
+  ActiveRequest* found = FindRequest(id);
+  if (found == nullptr) {
+    if (finished_stats_.count(id) > 0) {
+      return Status(ErrorCode::kFailedPrecondition, "request not running");
+    }
     return Status(ErrorCode::kNotFound, "request " + std::to_string(id));
   }
-  ActiveRequest& request = it->second;
+  ActiveRequest& request = *found;
   if (request.stats.completed || request.stats.paused) {
     return Status(ErrorCode::kFailedPrecondition, "request not running");
   }
-  request.stats.paused = true;
-  request.destructively_paused = destructive;
+  WithSlotUpdate(request, [&request, destructive] {
+    request.stats.paused = true;
+    request.destructively_paused = destructive;
+    if (destructive) {
+      request.pending = false;  // leaves pending_ below
+    }
+  });
   // Deadlines do not survive a pause: fold what the consumer saw and
   // restart the anti-jitter prelude on resume.
   UnpinPreludePages(&request);
@@ -1528,16 +1717,19 @@ Status ServiceScheduler::Pause(RequestId id, bool destructive) {
 }
 
 Status ServiceScheduler::Resume(RequestId id) {
-  auto it = requests_.find(id);
-  if (it == requests_.end()) {
+  ActiveRequest* found = FindRequest(id);
+  if (found == nullptr) {
+    if (finished_stats_.count(id) > 0) {
+      return Status(ErrorCode::kFailedPrecondition, "request not paused");
+    }
     return Status(ErrorCode::kNotFound, "request " + std::to_string(id));
   }
-  ActiveRequest& request = it->second;
+  ActiveRequest& request = *found;
   if (request.stats.completed || !request.stats.paused) {
     return Status(ErrorCode::kFailedPrecondition, "request not paused");
   }
   if (!request.destructively_paused) {
-    request.stats.paused = false;
+    WithSlotUpdate(request, [&request] { request.stats.paused = false; });
     obs::TraceEvent event = TraceContext();
     event.kind = obs::TraceEventKind::kResume;
     event.request = id;
@@ -1573,7 +1765,7 @@ Status ServiceScheduler::Resume(RequestId id) {
     Emit(event);
     return schedule.status();
   }
-  request.stats.cache_admitted = cache_admit;
+  WithSlotUpdate(request, [&request, cache_admit] { request.stats.cache_admitted = cache_admit; });
   if (cache_admit) {
     // Emitted while still paused, so the attached slot snapshot agrees
     // with the replayed lifecycle.
@@ -1584,8 +1776,11 @@ Status ServiceScheduler::Resume(RequestId id) {
     event.detail = "expected coverage " + std::to_string(coverage);
     Emit(event);
   }
-  request.stats.paused = false;
-  request.destructively_paused = false;
+  WithSlotUpdate(request, [&request] {
+    request.stats.paused = false;
+    request.destructively_paused = false;
+    request.pending = true;  // joins pending_ below
+  });
   PendingAdmission pending;
   pending.id = id;
   pending.k_schedule.assign(schedule->begin(), schedule->end());
@@ -1618,15 +1813,22 @@ int64_t ServiceScheduler::NextSector(const ActiveRequest& request) const {
 void ServiceScheduler::RunUntilIdle() { simulator_->Run(); }
 
 Result<RequestStats> ServiceScheduler::stats(RequestId id) const {
-  auto it = requests_.find(id);
-  if (it == requests_.end()) {
+  const ActiveRequest* found = FindRequest(id);
+  if (found == nullptr) {
+    // Completed requests outlive their slot; their final stats are kept in
+    // the retirement ledger so callers can still read them after the round
+    // edge recycled the slot.
+    auto finished = finished_stats_.find(id);
+    if (finished != finished_stats_.end()) {
+      return finished->second;
+    }
     return Status(ErrorCode::kNotFound, "request " + std::to_string(id));
   }
-  RequestStats stats = it->second.stats;
+  RequestStats stats = found->stats;
   // Live requests report the consumer's running totals too.
-  FoldConsumer(it->second.consumer.get(), &stats);
-  if (it->second.producer != nullptr) {
-    stats.capture_overflows = it->second.producer->overflows();
+  FoldConsumer(found->consumer.get(), &stats);
+  if (found->producer != nullptr) {
+    stats.capture_overflows = found->producer->overflows();
   }
   return stats;
 }

@@ -29,9 +29,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -167,6 +167,22 @@ struct SchedulerOptions {
   // per-round service records are reported here (see src/obs/trace.h).
   // The sink must outlive the scheduler.
   obs::TraceSink* trace = nullptr;
+  // Incremental round planning (kPlanned only): reuse each stream's cached
+  // coalesced runs and the previous round's C-SCAN order, re-sorting only
+  // streams whose extents changed (DESIGN.md section 15). Off = rebuild
+  // every plan from scratch. The dispatch program is byte-identical either
+  // way; bench_scale and the scale test verify the digests agree.
+  bool incremental_planning = true;
+  // Activate every pending admission whose k ramp is already satisfied in
+  // one round instead of one per round. k itself still steps at most once
+  // per round (Eq. 18); only same-k activations batch, so a 20k-stream
+  // ramp-in is O(N) rounds -> O(1). Off by default: the paper's rotation
+  // admits one newcomer per round and the seed benches count on it.
+  bool batch_activation = false;
+  // Test-only: iterate admission-ledger sweeps in raw slot-table order
+  // instead of ascending request id. Observable results must not depend on
+  // it (the scale test asserts digest equality across both settings).
+  bool scan_slot_order = false;
   // Causal span tracing (src/obs/span.h): every round emits a span tree —
   // round root, per-wave, per-transfer, retry/append/cache sub-spans —
   // with ids derived from (node, round, stage, ordinal), plus a per-stage
@@ -221,10 +237,17 @@ class ServiceScheduler {
   // transfer. The session layer tags patch tickets through this.
   void set_merge_patch(RequestId id, bool patch);
 
+  // Incremental-planner reuse counters (bench_scale reports these as the
+  // evidence that unchanged streams skip the per-round re-sort).
+  const IncrementalRoundPlanner::Stats& planner_stats() const { return planner_.stats(); }
+
  private:
   struct ActiveRequest {
     RequestStats stats;
     bool destructively_paused = false;
+    // Mirrors membership in pending_ (the admission ramp queue), so the
+    // O(1) slot ledger never scans the deque.
+    bool pending = false;
     // Stream-merging patch stream: transfers charge the merge_patch stage
     // of the span ledger (set_merge_patch).
     bool merge_patch = false;
@@ -250,13 +273,64 @@ class ServiceScheduler {
     std::deque<int64_t> k_schedule;
   };
 
+  // --- Flat request table (DESIGN.md section 15) ----------------------------
+  // Requests live in a dense slot table with a generation-stamped free
+  // list; id -> slot is one vector index. A completed request's slot is
+  // retired at the next round edge (RetireCompletedRequests) and its final
+  // stats move to finished_stats_, so stats() keeps answering forever while
+  // the hot path only ever walks live slots.
+  struct Slot {
+    RequestId id = 0;  // 0 = free
+    uint32_t generation = 0;
+    ActiveRequest request;
+  };
+
+  ActiveRequest* FindRequest(RequestId id);
+  const ActiveRequest* FindRequest(RequestId id) const;
+  // Must exist (asserts): the hot-path lookup for rotation members.
+  ActiveRequest& RequestAt(RequestId id);
+  const ActiveRequest& RequestAt(RequestId id) const;
+  ActiveRequest& InsertRequest(RequestId id, ActiveRequest request);
+  // Moves every completed request's stats to finished_stats_, frees its
+  // slot and drops its cached planner runs. Round-edge only: within a
+  // round completed entries must stay findable.
+  void RetireCompletedRequests();
+  // The slot-ledger column the request occupies (one of SlotSnapshot's
+  // counters, or none for completed); delta is +-1.
+  void CountSlots(const ActiveRequest& request, int64_t delta);
+  // Wraps a state mutation so the O(1) ledger stays exact: the request is
+  // removed from its column, mutated, and re-added to its (new) column.
+  template <typename Fn>
+  void WithSlotUpdate(ActiveRequest& request, Fn&& fn) {
+    CountSlots(request, -1);
+    fn();
+    CountSlots(request, +1);
+  }
+  // Visits every live request. Ascending request id by default; raw slot
+  // order under SchedulerOptions::scan_slot_order (test-only — callers must
+  // be order-insensitive).
+  template <typename Fn>
+  void ForEachRequest(Fn&& fn) const {
+    if (options_.scan_slot_order) {
+      for (const Slot& slot : slots_) {
+        if (slot.id != 0) {
+          fn(slot.id, slot.request);
+        }
+      }
+    } else {
+      for (RequestId id : live_ids_) {
+        fn(id, RequestAt(id));
+      }
+    }
+  }
+
   Result<RequestId> Submit(ActiveRequest request, const RequestSpec& spec);
   // The requests currently holding an admission slot: running, pending, or
   // non-destructively paused. Destructively paused requests gave theirs up.
   std::vector<RequestSpec> SlotHolderSpecs() const;
-  bool IsPending(RequestId id) const;
-  // Slot ledger by lifecycle state, for trace events.
-  obs::SlotSnapshot Snapshot() const;
+  // Slot ledger by lifecycle state, for trace events. O(1): the counters
+  // are maintained at every state transition (WithSlotUpdate).
+  obs::SlotSnapshot Snapshot() const { return slot_counts_; }
   // Builds a trace event pre-filled with time/round/k/ledger context; the
   // caller adds kind-specific fields and passes it to Emit.
   obs::TraceEvent TraceContext() const;
@@ -304,7 +378,9 @@ class ServiceScheduler {
   // Collects every active request's block needs for the round starting at
   // `round_start`. `count_cache_stats` uses counting cache lookups; the
   // rebuild after a revocation probes silently to keep the hit rate honest.
-  std::vector<PlanInput> BuildPlanInputs(SimTime round_start, bool count_cache_stats);
+  // Fills plan_inputs_ (inner vectors keep their capacity between rounds)
+  // and returns it.
+  const std::vector<PlanInput>& BuildPlanInputs(SimTime round_start, bool count_cache_stats);
   // Cache-admitted requests whose realized coverage (plan-time hits plus
   // shared-transfer rides) fell below the admission threshold.
   std::vector<RequestId> CollapsedCacheAdmissions(const std::vector<PlanInput>& inputs,
@@ -377,9 +453,56 @@ class ServiceScheduler {
   // Recording payload scratch when no shared cache provides a pool.
   PagePool scratch_pool_;
   SpanContext span_;
-  std::map<RequestId, ActiveRequest> requests_;
+
+  // Flat request table (see the Slot comment above). std::deque keeps
+  // ActiveRequest references stable across insertions, so a submission
+  // arriving mid-round (session layer callbacks) cannot dangle the round's
+  // in-flight references the way a reallocating vector would.
+  std::deque<Slot> slots_;
+  std::vector<int32_t> free_slots_;
+  std::vector<int32_t> id_to_slot_;  // by RequestId; -1 = unknown or retired
+  std::vector<RequestId> live_ids_;  // ascending (ids are issued monotonically)
+  std::unordered_map<RequestId, RequestStats> finished_stats_;
+  obs::SlotSnapshot slot_counts_;
+
   std::vector<RequestId> service_order_;  // round-robin order over active requests
   std::deque<PendingAdmission> pending_;
+
+  // Incremental planner and the per-round scratch arenas. All of these are
+  // cleared (capacity kept) every round, so a steady 20k-stream rotation
+  // allocates nothing on the hot path after warm-up.
+  IncrementalRoundPlanner planner_;
+  RoundPlan scratch_plan_;  // from-scratch planning (incremental_planning off)
+  std::vector<PlanInput> plan_inputs_;
+  std::vector<int64_t> head_scratch_;
+  // Per-candidate outcomes, indexed by PlannedBlock::slot (the planner's
+  // round-global candidate numbering) — replaces a map keyed by
+  // (request, ordinal).
+  std::vector<SimTime> outcome_time_;
+  std::vector<uint8_t> outcome_ok_;
+  std::vector<uint8_t> outcome_known_;
+  // Lookup-only per-round maps (never iterated, so unordered is safe for
+  // determinism).
+  std::unordered_map<uint64_t, SimDuration> attributed_;
+  std::unordered_map<uint64_t, int64_t> append_done_;
+  std::unordered_map<int64_t, int> wanted_;
+  // Distinct-extent grouping scratch for one transfer (GroupExtents).
+  std::vector<std::pair<int64_t, int64_t>> group_keys_;
+  std::vector<std::vector<const PlannedBlock*>> group_riders_;
+  size_t group_count_ = 0;
+  std::vector<uint64_t> attribute_scratch_;
+  // Array-wave dispatch scratch.
+  std::vector<std::deque<const PlannedTransfer*>> queue_scratch_;
+  std::vector<const PlannedTransfer*> append_scratch_;
+  std::vector<DiskArray::BatchRequest> batch_scratch_;
+  std::vector<const PlannedTransfer*> wave_scratch_;
+  std::vector<int64_t> wave_dist_scratch_;
+  std::vector<std::vector<uint8_t>*> wave_pages_;  // pooled payload buffers
+
+  // Fills group_keys_/group_riders_[0..group_count_) with the transfer's
+  // distinct extents in first-encounter order. One grouping is live at a
+  // time; callers must finish with a group before regrouping.
+  void GroupExtents(const RoundPlan& plan, const PlannedTransfer& transfer);
 };
 
 }  // namespace vafs

@@ -15,33 +15,29 @@ void ContinuityAuditor::Flag(const TraceEvent& event, std::string what) {
   }
 }
 
-SlotSnapshot ContinuityAuditor::Ledger() const {
-  SlotSnapshot ledger;
-  for (const auto& [id, request] : requests_) {
-    switch (request.state) {
-      case SlotState::kPending:
-      case SlotState::kActive:
-      case SlotState::kPausedNonDestructive:
-        if (request.cache) {
-          // A cache tenant rides the rotation without an Eq. 17 slot: one
-          // column regardless of where in the lifecycle it sits.
-          ++ledger.cache_tenants;
-        } else if (request.state == SlotState::kPending) {
-          ++ledger.pending;
-        } else if (request.state == SlotState::kActive) {
-          ++ledger.active;
-        } else {
-          ++ledger.paused_nondestructive;
-        }
-        break;
-      case SlotState::kPausedDestructive:
-        ++ledger.paused_destructive;
-        break;
-      case SlotState::kCompleted:
-        break;
-    }
+void ContinuityAuditor::CountRequest(const RequestState& request, int64_t delta) {
+  switch (request.state) {
+    case SlotState::kPending:
+    case SlotState::kActive:
+    case SlotState::kPausedNonDestructive:
+      if (request.cache) {
+        // A cache tenant rides the rotation without an Eq. 17 slot: one
+        // column regardless of where in the lifecycle it sits.
+        ledger_.cache_tenants += delta;
+      } else if (request.state == SlotState::kPending) {
+        ledger_.pending += delta;
+      } else if (request.state == SlotState::kActive) {
+        ledger_.active += delta;
+      } else {
+        ledger_.paused_nondestructive += delta;
+      }
+      break;
+    case SlotState::kPausedDestructive:
+      ledger_.paused_destructive += delta;
+      break;
+    case SlotState::kCompleted:
+      break;
   }
-  return ledger;
 }
 
 void ContinuityAuditor::CheckLedger(const TraceEvent& event) {
@@ -69,18 +65,27 @@ void ContinuityAuditor::HandleLifecycle(const TraceEvent& event) {
         Flag(event, "submit of request " + std::to_string(event.request) +
                         " which already holds a lifecycle state");
       }
-      requests_[event.request] =
-          RequestState{SlotState::kPending, false, pending_cache_.erase(event.request) > 0};
+      if (it != requests_.end()) {
+        CountRequest(it->second, -1);  // resubmit overwrites the old lifecycle
+      }
+      {
+        const RequestState fresh{SlotState::kPending, false,
+                                 pending_cache_.erase(event.request) > 0};
+        CountRequest(fresh, +1);
+        requests_[event.request] = fresh;
+      }
       break;
     case TraceEventKind::kActivated:
       if (!known) {
         Flag(event, "activation of unknown request " + std::to_string(event.request));
         break;
       }
+      CountRequest(it->second, -1);
       it->second.activated = true;
       if (it->second.state == SlotState::kPending) {
         it->second.state = SlotState::kActive;
       }
+      CountRequest(it->second, +1);
       // A paused request can legitimately reach the head of the pending
       // queue; it stays paused and only the activated flag advances.
       break;
@@ -91,8 +96,10 @@ void ContinuityAuditor::HandleLifecycle(const TraceEvent& event) {
                         " which is not running or pending");
         break;
       }
+      CountRequest(it->second, -1);
       it->second.state = event.destructive ? SlotState::kPausedDestructive
                                            : SlotState::kPausedNonDestructive;
+      CountRequest(it->second, +1);
       if (event.destructive && !it->second.cache) {
         // A cache tenant never held a slot, so revoking one (the
         // destructive pause behind kCacheAdmitRevoked) frees nothing a
@@ -106,6 +113,7 @@ void ContinuityAuditor::HandleLifecycle(const TraceEvent& event) {
         Flag(event, "resume of request " + std::to_string(event.request) + " which is not paused");
         break;
       }
+      CountRequest(it->second, -1);
       if (it->second.state == SlotState::kPausedDestructive) {
         // Rejoins through the pending queue after fresh admission. Whether
         // it re-entered as a cache tenant or under plain Eq. 17 admission is
@@ -117,6 +125,7 @@ void ContinuityAuditor::HandleLifecycle(const TraceEvent& event) {
       } else {
         it->second.state = it->second.activated ? SlotState::kActive : SlotState::kPending;
       }
+      CountRequest(it->second, +1);
       break;
     case TraceEventKind::kStop:
     case TraceEventKind::kCompleted:
@@ -128,7 +137,9 @@ void ContinuityAuditor::HandleLifecycle(const TraceEvent& event) {
       if (it->second.state != SlotState::kPausedDestructive && !it->second.cache) {
         slot_released_ = true;
       }
+      CountRequest(it->second, -1);
       it->second.state = SlotState::kCompleted;
+      CountRequest(it->second, +1);
       break;
     default:
       break;

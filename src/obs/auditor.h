@@ -123,7 +123,13 @@ class ContinuityAuditor : public TraceSink {
   };
 
   void Flag(const TraceEvent& event, std::string what);
-  SlotSnapshot Ledger() const;
+  SlotSnapshot Ledger() const { return ledger_; }
+  // Moves `request` in or out of its ledger column (delta of +1 / -1).
+  // Every lifecycle mutation is bracketed by a -1/+1 pair, so the replayed
+  // ledger stays exact without rescanning every request the trace ever
+  // mentioned — CheckLedger runs on each of the O(streams) lifecycle
+  // events, and a rescan there turns a 20k-stream trace into O(N^2).
+  void CountRequest(const RequestState& request, int64_t delta);
   void CheckLedger(const TraceEvent& event);
   void HandleLifecycle(const TraceEvent& event);
   void HandleRound(const TraceEvent& event);
@@ -132,6 +138,8 @@ class ContinuityAuditor : public TraceSink {
   AuditorOptions options_;
   ViolationHandler violation_handler_;
   std::map<uint64_t, RequestState> requests_;
+  // Replayed slot ledger, maintained incrementally by CountRequest.
+  SlotSnapshot ledger_;
   // kCacheAdmit precedes the lifecycle event it qualifies (kSubmitAccepted
   // for a fresh tenant, the destructive-path kResume for a re-application):
   // the id is latched here and the flag applied when that event arrives.

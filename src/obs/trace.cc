@@ -359,6 +359,8 @@ void MetricsSink::OnEvent(const TraceEvent& event) {
       m.gauge("cache.pinned_entries").Set(static_cast<double>(event.cache_pinned_entries));
       m.gauge("cache.evictions").Set(static_cast<double>(event.cache_evictions));
       m.gauge("cache.hit_rate_recent").Set(event.cache_hit_rate);
+      m.gauge("page_pool.outstanding").Set(static_cast<double>(event.pool_outstanding));
+      m.gauge("page_pool.recycled").Set(static_cast<double>(event.pool_recycled));
       break;
     case TraceEventKind::kSeekAccounting:
       m.histogram("plan.seek_cylinders_measured").Record(static_cast<double>(event.seek_cylinders));

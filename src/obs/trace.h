@@ -177,6 +177,10 @@ struct TraceEvent {
   int64_t cache_pinned_entries = 0;
   int64_t cache_evictions = 0;
   double cache_hit_rate = 0.0;  // recent-window rate, [0, 1]
+  // Payload page pool at emission (kRoundPlanned); not rendered into the
+  // trace digest — wall-clock-side allocator telemetry only.
+  int64_t pool_outstanding = 0;  // pages currently checked out
+  int64_t pool_recycled = 0;     // cumulative acquisitions served from the pool
   // Session layer (kSessionBatched / kSessionPatched / kSessionMerged).
   uint64_t session = 0;       // session id; 0 = not session-scoped
   uint64_t leader = 0;        // request id of the shared physical stream

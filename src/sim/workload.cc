@@ -75,6 +75,32 @@ std::vector<WorkloadArrival> WorkloadEngine::Generate() const {
   return arrivals;
 }
 
+std::vector<WorkloadArrival> WorkloadEngine::GenerateCount(int64_t viewers) const {
+  std::vector<WorkloadArrival> arrivals;
+  if (viewers <= 0) {
+    return arrivals;
+  }
+  arrivals.reserve(static_cast<size_t>(viewers));
+  Prng prng(options_.seed);
+  const double flash_end = options_.flash_start_sec + options_.flash_duration_sec;
+  for (int64_t i = 0; i < viewers; ++i) {
+    WorkloadArrival arrival;
+    // Deterministic stride over the window (midpoint rule): the population
+    // is exact and the spacing independent of the seed.
+    arrival.time_sec = (static_cast<double>(i) + 0.5) / static_cast<double>(viewers) *
+                       options_.duration_sec;
+    arrival.flash = options_.flash_duration_sec > 0.0 &&
+                    arrival.time_sec >= options_.flash_start_sec && arrival.time_sec < flash_end;
+    if (arrival.flash && prng.NextDouble() < options_.flash_title_bias) {
+      arrival.title = std::clamp<int64_t>(options_.flash_title, 0, popularity_.titles() - 1);
+    } else {
+      arrival.title = popularity_.Sample(&prng);
+    }
+    arrivals.push_back(arrival);
+  }
+  return arrivals;
+}
+
 std::vector<WorkloadOptions::NodeFailure> WorkloadEngine::FailureSchedule() const {
   std::vector<WorkloadOptions::NodeFailure> schedule = options_.node_failures;
   std::sort(schedule.begin(), schedule.end(),

@@ -90,6 +90,11 @@ class WorkloadEngine {
   explicit WorkloadEngine(WorkloadOptions options);
 
   std::vector<WorkloadArrival> Generate() const;
+  // Exactly `viewers` arrivals, evenly spread over the duration window,
+  // titles Zipf-sampled (flash redirect still applies inside the window).
+  // Scale benches need a fixed population — a Poisson trace whose size
+  // varies with the seed would make "20k streams" a lottery.
+  std::vector<WorkloadArrival> GenerateCount(int64_t viewers) const;
   // The failure schedule sorted by time (ties by node id), for drivers that
   // interleave kills with the arrival trace.
   std::vector<WorkloadOptions::NodeFailure> FailureSchedule() const;

@@ -1,6 +1,7 @@
 #include "src/vafs/file_system.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <string>
 #include <utility>
 
@@ -53,7 +54,15 @@ MultimediaFileSystem::MultimediaFileSystem(const FileSystemConfig& config) : con
       config_.scheduler.trace = &telemetry_->tee;
     }
   }
-  disk_ = std::make_unique<Disk>(config.disk, DiskOptions{config.retain_data, config.faults});
+  DiskOptions disk_options{config.retain_data, config.faults};
+  disk_options.image_path = config.disk_image_path;
+  disk_options.image_truncate = config.disk_image_truncate;
+  if (disk_options.image_path.empty()) {
+    if (const char* env_image = std::getenv("VAFS_DISK_IMAGE"); env_image != nullptr) {
+      disk_options.image_path = env_image;
+    }
+  }
+  disk_ = std::make_unique<Disk>(config.disk, disk_options);
   store_ = std::make_unique<StrandStore>(disk_.get());
   if (config_.block_cache.capacity_bytes > 0) {
     block_cache_ = std::make_unique<BlockCache>(config_.block_cache);
@@ -296,6 +305,10 @@ Status MultimediaFileSystem::Checkpoint() {
   journal_ = std::make_unique<IntentJournal>(disk_.get(), image_receipt_.journal_extent,
                                              image_receipt_.generation);
   journal_overflowed_ = false;
+  // A durable checkpoint implies a durable backing image: msync the mmap'd
+  // sector file (no-op for the in-memory store) so remounting the image
+  // file after a host crash sees exactly the checkpointed state.
+  disk_->SyncImage();
   return Status::Ok();
 }
 

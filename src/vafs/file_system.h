@@ -77,6 +77,13 @@ struct FileSystemConfig {
   // conservative value (the video placement's upper bound).
   double assumed_avg_scattering_sec = -1.0;
   bool retain_data = true;  // false: timing-only simulation (fast benches)
+  // mmap'd disk-image backing store (DESIGN.md section 15). Empty (the
+  // default) consults the VAFS_DISK_IMAGE environment variable; when that
+  // is unset too, sector payloads live in the sparse in-memory store.
+  // Requires retain_data; an unopenable path falls back to the in-memory
+  // store without changing any simulated result.
+  std::string disk_image_path;
+  bool disk_image_truncate = false;  // discard an existing image file
   // Stream-merging session layer (src/msm/session_manager.h). When enabled
   // the facade owns a SessionManager fed from the telemetry tee; viewers
   // admitted through OpenSession() share physical streams by batching and

@@ -1,0 +1,177 @@
+// mmap'd disk-image backing store: round-trip, crash, and fallback tests.
+//
+// With FileSystemConfig::disk_image_path set, sector payloads live in a
+// file-backed mmap instead of the in-memory sparse store. The contract:
+//
+//   - a second mount of the same image file sees exactly the sectors the
+//     first mount persisted (the durable prefix of a power-cut write
+//     included), so Recover() on a fresh instance rebuilds the catalog
+//     and fsck finds a structurally sound volume;
+//   - Checkpoint() msyncs the mapping, so a committed generation is on
+//     stable storage, not just in the page cache;
+//   - an unopenable image path degrades soft: the disk falls back to the
+//     sparse store, records why, and the file system works normally.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/media/sources.h"
+#include "src/vafs/file_system.h"
+#include "tests/test_support.h"
+
+namespace vafs {
+namespace {
+
+// A unique image path under the test tmp dir; remove() before first use
+// so reruns never inherit a stale image.
+std::string ImagePath(const std::string& name) {
+  const char* base = std::getenv("TMPDIR");
+  std::string path = (base != nullptr ? std::string(base) : std::string("/tmp"));
+  path += "/vafs_disk_image_test_" + name + ".img";
+  std::remove(path.c_str());
+  return path;
+}
+
+FileSystemConfig ImageConfig(const std::string& path, bool truncate) {
+  FileSystemConfig config = TestConfig();
+  config.disk_image_path = path;
+  config.disk_image_truncate = truncate;
+  return config;
+}
+
+void RecordBase(MultimediaFileSystem* fs) {
+  VideoSource video(TestVideo(), 7);
+  AudioSource audio(TestAudio(), SpeechProfile{}, 7);
+  Result<MultimediaFileSystem::RecordResult> rec = fs->Record("alice", &video, &audio, 1.0);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  Status wrote = fs->text_files().Write("config.txt", std::vector<uint8_t>{1, 2, 3, 4});
+  ASSERT_TRUE(wrote.ok()) << wrote.ToString();
+  Status checkpoint = fs->Checkpoint();
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.ToString();
+}
+
+void ExpectBaseReadable(MultimediaFileSystem* fs) {
+  ASSERT_GE(fs->rope_server().rope_count(), 1);
+  const Rope* alice = nullptr;
+  for (const Rope* rope : fs->rope_server().AllRopes()) {
+    if (rope->creator() == "alice") {
+      alice = rope;
+    }
+  }
+  ASSERT_NE(alice, nullptr);
+  Result<std::vector<std::vector<uint8_t>>> blocks =
+      fs->ReadRopeBlocks("alice", alice->id(), Medium::kVideo, TimeInterval{0.0, 1.0});
+  ASSERT_TRUE(blocks.ok()) << blocks.status().ToString();
+  EXPECT_FALSE(blocks->empty());
+  Result<std::vector<uint8_t>> text = fs->text_files().Read("config.txt");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(*text, (std::vector<uint8_t>{1, 2, 3, 4}));
+}
+
+void ExpectStructurallySound(MultimediaFileSystem* fs) {
+  Result<FsckReport> report = fs->RunFsck();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const FsckFinding& finding : report->findings) {
+    EXPECT_NE(finding.kind, FsckFindingKind::kLeakedExtent)
+        << FsckFindingKindName(finding.kind) << ": " << finding.detail;
+    EXPECT_NE(finding.kind, FsckFindingKind::kDoublyClaimedExtent)
+        << FsckFindingKindName(finding.kind) << ": " << finding.detail;
+    EXPECT_NE(finding.kind, FsckFindingKind::kUnreadableStrand)
+        << FsckFindingKindName(finding.kind) << ": " << finding.detail;
+  }
+}
+
+TEST(DiskImageTest, CheckpointedStateRemountsFromTheSameFile) {
+  const std::string path = ImagePath("remount");
+  {
+    MultimediaFileSystem fs(ImageConfig(path, /*truncate=*/true));
+    ASSERT_TRUE(fs.disk().image_backed()) << fs.disk().image_error();
+    ASSERT_NO_FATAL_FAILURE(RecordBase(&fs));
+    ASSERT_NO_FATAL_FAILURE(ExpectBaseReadable(&fs));
+  }  // unmount: only the mmap'd file survives this scope
+
+  MultimediaFileSystem fs(ImageConfig(path, /*truncate=*/false));
+  ASSERT_TRUE(fs.disk().image_backed()) << fs.disk().image_error();
+  Status recovered = fs.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.ToString();
+  ASSERT_NO_FATAL_FAILURE(ExpectBaseReadable(&fs));
+  ASSERT_NO_FATAL_FAILURE(ExpectStructurallySound(&fs));
+  std::remove(path.c_str());
+}
+
+TEST(DiskImageTest, PowerCutLeavesARecoverableImageForTheNextMount) {
+  const std::string path = ImagePath("powercut");
+  {
+    MultimediaFileSystem fs(ImageConfig(path, /*truncate=*/true));
+    ASSERT_TRUE(fs.disk().image_backed()) << fs.disk().image_error();
+    ASSERT_NO_FATAL_FAILURE(RecordBase(&fs));
+    // Die partway through an uncommitted mutation: the image must hold the
+    // checkpointed generation plus whatever durable prefix the cut allowed.
+    fs.disk().fault_injector().ArmPowerCut(/*cut_after_sectors=*/5, /*torn=*/true);
+    VideoSource video(TestVideo(), 8);
+    (void)fs.Record("bob", &video, nullptr, 0.2);  // dies at the crash point
+    ASSERT_TRUE(fs.disk().powered_off());
+  }  // abandon the dead instance without any orderly shutdown
+
+  MultimediaFileSystem fs(ImageConfig(path, /*truncate=*/false));
+  ASSERT_TRUE(fs.disk().image_backed()) << fs.disk().image_error();
+  Status recovered = fs.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.ToString();
+  ASSERT_NO_FATAL_FAILURE(ExpectBaseReadable(&fs));
+  ASSERT_NO_FATAL_FAILURE(ExpectStructurallySound(&fs));
+  std::remove(path.c_str());
+}
+
+TEST(DiskImageTest, GeometryMismatchFallsBackToTheSparseStore) {
+  const std::string path = ImagePath("geometry");
+  {
+    MultimediaFileSystem fs(ImageConfig(path, /*truncate=*/true));
+    ASSERT_TRUE(fs.disk().image_backed()) << fs.disk().image_error();
+    ASSERT_NO_FATAL_FAILURE(RecordBase(&fs));
+  }
+  // Same file, different drive: the header's geometry no longer matches,
+  // so the open must refuse the mapping rather than corrupt it.
+  FileSystemConfig config = ImageConfig(path, /*truncate=*/false);
+  config.disk.cylinders *= 2;
+  MultimediaFileSystem fs(config);
+  EXPECT_FALSE(fs.disk().image_backed());
+  EXPECT_FALSE(fs.disk().image_error().empty());
+  ASSERT_NO_FATAL_FAILURE(RecordBase(&fs));  // sparse-store fallback works
+  std::remove(path.c_str());
+}
+
+TEST(DiskImageTest, UnwritablePathFallsBackToTheSparseStore) {
+  FileSystemConfig config =
+      ImageConfig("/nonexistent_vafs_dir/image.img", /*truncate=*/true);
+  MultimediaFileSystem fs(config);
+  EXPECT_FALSE(fs.disk().image_backed());
+  EXPECT_FALSE(fs.disk().image_error().empty());
+  ASSERT_NO_FATAL_FAILURE(RecordBase(&fs));
+  ASSERT_NO_FATAL_FAILURE(ExpectBaseReadable(&fs));
+}
+
+TEST(DiskImageTest, EnvironmentVariableSelectsTheImagePath) {
+  const std::string path = ImagePath("env");
+  ASSERT_EQ(setenv("VAFS_DISK_IMAGE", path.c_str(), /*overwrite=*/1), 0);
+  {
+    MultimediaFileSystem fs(TestConfig());  // no explicit path: env applies
+    ASSERT_TRUE(fs.disk().image_backed()) << fs.disk().image_error();
+    ASSERT_NO_FATAL_FAILURE(RecordBase(&fs));
+  }
+  ASSERT_EQ(unsetenv("VAFS_DISK_IMAGE"), 0);
+
+  MultimediaFileSystem fs(ImageConfig(path, /*truncate=*/false));
+  ASSERT_TRUE(fs.disk().image_backed()) << fs.disk().image_error();
+  Status recovered = fs.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.ToString();
+  ASSERT_NO_FATAL_FAILURE(ExpectBaseReadable(&fs));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vafs

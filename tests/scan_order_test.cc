@@ -73,8 +73,8 @@ TEST_F(RoundPlannerTest, SingleTransferRound) {
   ASSERT_EQ(plan.transfers.size(), 1u);
   EXPECT_EQ(plan.read_transfers, 1);
   EXPECT_EQ(plan.data_blocks, 1);
-  ASSERT_EQ(plan.transfers[0].blocks.size(), 1u);
-  EXPECT_EQ(plan.transfers[0].blocks[0].request, 1u);
+  ASSERT_EQ(plan.riders_of(plan.transfers[0]).size(), 1u);
+  EXPECT_EQ(plan.riders_of(plan.transfers[0])[0].request, 1u);
 }
 
 TEST_F(RoundPlannerTest, ContiguousBlocksCoalesceIntoOneTransfer) {
@@ -85,7 +85,7 @@ TEST_F(RoundPlannerTest, ContiguousBlocksCoalesceIntoOneTransfer) {
   ASSERT_EQ(plan.transfers.size(), 1u);
   EXPECT_EQ(plan.transfers[0].start_sector, 100);
   EXPECT_EQ(plan.transfers[0].sectors, 12);
-  EXPECT_EQ(plan.transfers[0].blocks.size(), 3u);
+  EXPECT_EQ(plan.riders_of(plan.transfers[0]).size(), 3u);
   EXPECT_EQ(plan.coalesced_blocks, 2);
   EXPECT_EQ(plan.read_transfers, 1);
 }
@@ -121,7 +121,7 @@ TEST_F(RoundPlannerTest, SharedExtentDedupsAcrossRequests) {
   b.blocks = {AtSector(5, 100, 4)};
   const RoundPlan plan = BuildRoundPlan(model_, {0}, 1, {a, b});
   ASSERT_EQ(plan.transfers.size(), 1u);
-  EXPECT_EQ(plan.transfers[0].blocks.size(), 2u);
+  EXPECT_EQ(plan.riders_of(plan.transfers[0]).size(), 2u);
   EXPECT_EQ(plan.deduped_blocks, 1);
   EXPECT_EQ(plan.read_transfers, 1);
   EXPECT_EQ(plan.data_blocks, 2);

@@ -24,6 +24,7 @@
 // and the per-stream table is the continuity SLO (fraction of accounted
 // rounds with at least the target slack).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -166,6 +167,12 @@ void RenderRecovery(const JsonValue* counters) {
               Num(counters, "persistence.journal_replays"), Num(counters, "fsck.findings"));
 }
 
+// Row cap for the per-stream and per-session tables (--top N; 0 = all).
+// A 20k-stream snapshot renders in full otherwise, which no terminal
+// survives; the streams table shows the WORST rows (breached first, then
+// thinnest slack) so the cap never hides a problem.
+int g_top_rows = 20;
+
 void RenderSessions(const JsonValue* slo) {
   if (slo == nullptr || !slo->is_object()) {
     return;
@@ -181,12 +188,19 @@ void RenderSessions(const JsonValue* slo) {
               patched, merged, patched - merged);
   const JsonValue* streams = Child(slo, "streams");
   if (streams != nullptr && streams->is_array()) {
+    int shown = 0;
+    size_t suppressed = 0;
     for (const JsonValue& s : streams->array) {
       const double riders = Num(&s, "session_riders");
       const double patch = Num(&s, "session_patch");
       if (riders <= 0 && patch <= 0) {
         continue;
       }
+      if (g_top_rows > 0 && shown >= g_top_rows) {
+        ++suppressed;
+        continue;
+      }
+      ++shown;
       if (patch > 0) {
         std::printf("  req %4.0f: patch stream for leader %.0f%s\n", Num(&s, "request"),
                     Num(&s, "session_leader"),
@@ -194,6 +208,9 @@ void RenderSessions(const JsonValue* slo) {
       } else {
         std::printf("  req %4.0f: leader carrying %.0f rider(s)\n", Num(&s, "request"), riders);
       }
+    }
+    if (suppressed > 0) {
+      std::printf("  ... %zu more session row(s) (--top 0 shows all)\n", suppressed);
     }
   }
   std::printf("\n");
@@ -213,7 +230,25 @@ void RenderStreams(const JsonValue* slo) {
     std::printf("  (no streams tracked)\n\n");
     return;
   }
+  // Worst-first under the row cap: breaches, then thinnest minimum slack.
+  std::vector<const JsonValue*> rows;
+  rows.reserve(streams->array.size());
   for (const JsonValue& s : streams->array) {
+    rows.push_back(&s);
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const JsonValue* a, const JsonValue* b) {
+    const double breach_a = Num(a, "continuity_met") != 0.0 ? 1.0 : 0.0;
+    const double breach_b = Num(b, "continuity_met") != 0.0 ? 1.0 : 0.0;
+    if (breach_a != breach_b) {
+      return breach_a < breach_b;  // breached streams first
+    }
+    return Num(a, "min_slack_fraction") < Num(b, "min_slack_fraction");
+  });
+  const size_t limit = g_top_rows > 0 && static_cast<size_t>(g_top_rows) < rows.size()
+                           ? static_cast<size_t>(g_top_rows)
+                           : rows.size();
+  for (size_t i = 0; i < limit; ++i) {
+    const JsonValue& s = *rows[i];
     std::printf("  %4.0f %6.0f %6.0f %7.2f %8.1f%% %8.1f%% %5.1f%% %6.1f%% %9.0f %5.1f%%  %s\n",
                 Num(&s, "request"), Num(&s, "rounds_accounted"), Num(&s, "rounds_exempt"),
                 Num(&s, "within_budget_fraction") * 100.0, Num(&s, "slack_pct_p50"),
@@ -221,6 +256,10 @@ void RenderStreams(const JsonValue* slo) {
                 Num(&s, "mean_budget_utilization_pct"), Num(&s, "jitter_usec_p99"),
                 Num(&s, "degraded_ratio") * 100.0,
                 Num(&s, "continuity_met") != 0.0 ? "ok" : "BREACH");
+  }
+  if (limit < rows.size()) {
+    std::printf("  ... %zu more stream(s), worst shown (--top 0 shows all)\n",
+                rows.size() - limit);
   }
   std::printf("  breached streams: %.0f of %zu (rounds total %.0f)\n\n",
               Num(slo, "breached_streams"), streams->array.size(), Num(slo, "rounds_total"));
@@ -470,10 +509,13 @@ int main(int argc, char** argv) {
       flags.seed = static_cast<uint64_t>(std::atoll(value()));
     } else if (arg == "--export") {
       flags.export_prefix = value();
+    } else if (arg == "--top") {
+      g_top_rows = std::atoi(value());
     } else {
       std::fprintf(stderr,
                    "usage: vafs_top [--snapshot FILE] [--streams N] [--seconds S]\n"
-                   "                [--read-fault-rate R] [--seed K] [--export PREFIX]\n");
+                   "                [--read-fault-rate R] [--seed K] [--export PREFIX]\n"
+                   "                [--top N]   (cap table rows, worst first; 0 = all)\n");
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
